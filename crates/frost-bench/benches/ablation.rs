@@ -1,0 +1,104 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * duplicate-clustering algorithms (transitive closure vs center vs
+//!   clique vs pivot vs star vs MCL) on the same match set;
+//! * similarity measures on realistic value pairs (edit-based measures
+//!   are quadratic in value length; token-based ones linear — the
+//!   reason the SIGMOD-like matchers use token measures on long names);
+//! * blocking strategies (candidate-set construction cost).
+//!
+//! Run `cargo bench -p frost-bench --bench ablation`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use frost_core::clustering::algorithms;
+use frost_datagen::experiments::synthetic_experiment;
+use frost_datagen::generator::{generate, GeneratorConfig};
+use frost_matchers::blocking::{
+    Blocker, BlockingKey, SortedNeighborhood, StandardBlocking, TokenBlocking,
+};
+use frost_matchers::similarity::Measure;
+
+fn bench_clustering_algorithms(c: &mut Criterion) {
+    let generated = generate(&GeneratorConfig::small("ablation", 2_000, 11));
+    let experiment = synthetic_experiment("m", &generated.truth, 1_500, 0.8, 3);
+    let pairs = experiment.pairs().to_vec();
+    let n = generated.dataset.len();
+    let mut group = c.benchmark_group("clustering_algorithms");
+    group.sample_size(20);
+    group.bench_function("transitive_closure", |b| {
+        b.iter(|| algorithms::connected_components(n, &pairs))
+    });
+    group.bench_function("center", |b| {
+        b.iter(|| algorithms::center_clustering(n, &pairs))
+    });
+    group.bench_function("merge_center", |b| {
+        b.iter(|| algorithms::merge_center_clustering(n, &pairs))
+    });
+    group.bench_function("greedy_clique", |b| {
+        b.iter(|| algorithms::greedy_clique_clustering(n, &pairs))
+    });
+    group.bench_function("pivot", |b| {
+        b.iter(|| algorithms::pivot_clustering(n, &pairs, 1))
+    });
+    group.bench_function("star", |b| {
+        b.iter(|| algorithms::star_clustering(n, &pairs))
+    });
+    group.bench_function("markov", |b| {
+        b.iter(|| algorithms::markov_clustering(n, &pairs, 2.0, 256))
+    });
+    group.finish();
+}
+
+fn bench_similarity_measures(c: &mut Criterion) {
+    let short = ("anna schmidt", "anna schmitd");
+    let long = (
+        "brilliant fast notebook computer with retina display and extended battery option",
+        "briliant fast notebok computer retina display with extended batery options",
+    );
+    let mut group = c.benchmark_group("similarity_measures");
+    for (label, (a, b)) in [("short", short), ("long", long)] {
+        for m in [
+            Measure::Levenshtein,
+            Measure::JaroWinkler,
+            Measure::TokenJaccard,
+            Measure::MongeElkan,
+            Measure::Trigram,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{m:?}"), label),
+                &(a, b),
+                |bench, (a, b)| bench.iter(|| m.compute(a, b)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_blocking(c: &mut Criterion) {
+    let generated = generate(&GeneratorConfig::small("blocking", 3_000, 23));
+    let ds = &generated.dataset;
+    let mut group = c.benchmark_group("blocking");
+    group.sample_size(20);
+    group.bench_function("standard_first_token", |b| {
+        let blocker = StandardBlocking::new(BlockingKey::FirstToken("name".into()));
+        b.iter(|| blocker.candidates(ds))
+    });
+    group.bench_function("sorted_neighborhood_w10", |b| {
+        let blocker = SortedNeighborhood {
+            key: BlockingKey::Attribute("name".into()),
+            window: 10,
+        };
+        b.iter(|| blocker.candidates(ds))
+    });
+    group.bench_function("token_blocking", |b| {
+        let blocker = TokenBlocking {
+            attributes: vec!["name".into()],
+            max_token_frequency: 60,
+        };
+        b.iter(|| blocker.candidates(ds))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_clustering_algorithms, bench_similarity_measures, bench_blocking);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion benchmark for Table 1's workload: the optimized
+//! metric/metric-diagram algorithm (Appendix D) against the naïve
+//! per-threshold baseline, across dataset sizes.
+//!
+//! Run `cargo bench -p frost-bench`. Sizes are scaled versions of the
+//! paper's rows; set `FROST_SCALE` to adjust.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use frost_core::diagram::DiagramEngine;
+use frost_datagen::experiments::synthetic_experiment;
+use frost_datagen::generator::generate;
+use frost_datagen::presets::{altosight_x4, cora, freedb_cds, songs_100k};
+
+fn bench_engines(c: &mut Criterion) {
+    let scale: f64 = std::env::var("FROST_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.1);
+    let s = 100;
+    let mut group = c.benchmark_group("metric_diagrams");
+    group.sample_size(10);
+
+    for preset in [
+        altosight_x4(scale.max(0.5)),
+        cora(scale.max(0.5)),
+        freedb_cds(scale),
+        songs_100k(scale),
+    ] {
+        let gen = generate(&preset.config);
+        let n = gen.dataset.len();
+        let experiment = synthetic_experiment(
+            "bench",
+            &gen.truth,
+            preset.matched_pairs,
+            0.7,
+            preset.config.seed,
+        );
+        let matches = experiment.len();
+        group.bench_with_input(
+            BenchmarkId::new("optimized", format!("{}-n{n}-m{matches}", preset.config.name)),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    DiagramEngine::Optimized.confusion_series(n, &gen.truth, &experiment, s)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("naive", format!("{}-n{n}-m{matches}", preset.config.name)),
+            &(),
+            |b, _| {
+                b.iter(|| DiagramEngine::Naive.confusion_series(n, &gen.truth, &experiment, s))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

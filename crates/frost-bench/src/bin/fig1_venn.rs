@@ -1,0 +1,120 @@
+//! **Figure 1 / §5.4** — The N-Intersection viewer: set-based
+//! comparison of several matching runs against the ground truth,
+//! including the paper's headline analysis — true duplicate pairs that
+//! almost no solution found (all three such pairs in the paper shared
+//! one especially hard record).
+//!
+//! ```text
+//! cargo run --release -p frost-bench --bin fig1_venn
+//! ```
+
+use frost_bench::materialize;
+use frost_core::dataset::{Experiment, RecordPair};
+use frost_core::explore::setops::{hard_pairs, venn_regions, SetExpression};
+use frost_core::metrics::confusion::ConfusionMatrix;
+use frost_core::metrics::pair;
+use frost_datagen::experiments::synthetic_experiment;
+use frost_datagen::presets::altosight_x4;
+use std::collections::HashSet;
+
+fn main() {
+    let gen = materialize(&altosight_x4(0.3));
+    let n = gen.dataset.len();
+    println!(
+        "Figure 1 / §5.4: N-intersection analysis over 5 runs on {} records",
+        n
+    );
+
+    // Five matching solutions of varying quality (three ML-ish strong,
+    // one rule-based weaker, one hybrid), as in the §5.4 contest study.
+    let qualities = [0.92, 0.88, 0.85, 0.75, 0.82];
+    let experiments: Vec<Experiment> = qualities
+        .iter()
+        .enumerate()
+        .map(|(i, &q)| {
+            synthetic_experiment(
+                format!("run-{}", i + 1),
+                &gen.truth,
+                (gen.truth.pair_count() as f64 * 0.9) as usize,
+                q,
+                200 + i as u64,
+            )
+        })
+        .collect();
+
+    // N-Metrics viewer: the per-run f1 overview.
+    println!("\nN-Metrics view:");
+    let mut f1s = Vec::new();
+    for e in &experiments {
+        let m = ConfusionMatrix::from_experiment(e, &gen.truth, n);
+        let f1 = pair::f1(&m);
+        f1s.push(f1);
+        println!(
+            "  {:<7} precision {:.3}  recall {:.3}  f1 {:.3}",
+            e.name(),
+            pair::precision(&m),
+            pair::recall(&m),
+            f1
+        );
+    }
+    let avg = f1s.iter().sum::<f64>() / f1s.len() as f64;
+    println!(
+        "  average f1 {:.3} (min {:.3}, max {:.3}) — paper: avg 90.3%, 87.4–92.7%",
+        avg,
+        f1s.iter().cloned().fold(f64::INFINITY, f64::min),
+        f1s.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+    );
+
+    // Figure 1 proper: ground-truth pairs found by run-1 but not run-2.
+    let truth_pairs: HashSet<RecordPair> = gen.truth.intra_pairs().collect();
+    let universe = vec![
+        experiments[0].pair_set(),
+        experiments[1].pair_set(),
+        truth_pairs.clone(),
+    ];
+    let found_by_1_not_2 = SetExpression::set(2)
+        .intersection(SetExpression::set(0))
+        .difference(SetExpression::set(1))
+        .evaluate(&universe);
+    println!(
+        "\nGround-truth matches run-1 found and run-2 did not: {}",
+        found_by_1_not_2.len()
+    );
+
+    // The three-set Venn region sizes (run-1, run-2, ground truth).
+    println!("\nVenn regions (run-1, run-2, ground truth):");
+    for region in venn_regions(&universe) {
+        let mut label = String::new();
+        for (i, name) in ["run-1", "run-2", "truth"].iter().enumerate() {
+            if region.contains_set(i) {
+                if !label.is_empty() {
+                    label.push_str(" ∩ ");
+                }
+                label.push_str(name);
+            }
+        }
+        println!("  {label:<24} {:>7} pairs", region.pairs.len());
+    }
+
+    // §5.4: duplicates missed by at least 4 of the 5 solutions, i.e.
+    // found by at most 1.
+    let refs: Vec<&Experiment> = experiments.iter().collect();
+    let hard = hard_pairs(&truth_pairs, &refs, 1);
+    println!(
+        "\nTrue duplicates found by at most one of the five solutions: {}",
+        hard.len()
+    );
+    // Which records recur among them? (the paper found one record in
+    // all three such pairs: altosight.com//1420)
+    let mut record_counts: std::collections::HashMap<u32, usize> = Default::default();
+    for &(p, _) in &hard {
+        *record_counts.entry(p.lo().0).or_insert(0) += 1;
+        *record_counts.entry(p.hi().0).or_insert(0) += 1;
+    }
+    if let Some((rec, count)) = record_counts.iter().max_by_key(|&(_, c)| *c) {
+        println!(
+            "hardest record: {} appears in {count} of the universally-missed pairs",
+            gen.dataset.native_id(frost_core::dataset::RecordId(*rec))
+        );
+    }
+}

@@ -1,0 +1,293 @@
+//! Disjoint clusterings of a dataset.
+
+use super::UnionFind;
+use crate::dataset::{Experiment, RecordId, RecordPair};
+use std::collections::HashMap;
+
+/// A disjoint clustering `{C1, C2, …}` of a dataset: every record belongs
+/// to exactly one cluster.
+///
+/// Both the output of a (final) matching solution and a gold standard are
+/// clusterings (§1.2, §3.1.1). Two equivalent representations exist — a
+/// cluster per record, or the transitively closed set of intra-cluster
+/// pairs (the *identity link network*); this type stores the first and
+/// derives the second on demand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clustering {
+    /// `assignment[r]` = dense cluster index of record `r`.
+    assignment: Vec<u32>,
+    /// Members per cluster, each sorted ascending.
+    clusters: Vec<Vec<RecordId>>,
+}
+
+impl Clustering {
+    /// Builds a clustering from a per-record cluster label vector. Labels
+    /// are compacted to dense indices `0..k` in order of first appearance.
+    pub fn from_assignment(labels: &[u32]) -> Self {
+        let mut remap: HashMap<u32, u32> = HashMap::new();
+        let mut clusters: Vec<Vec<RecordId>> = Vec::new();
+        let mut assignment = Vec::with_capacity(labels.len());
+        for (i, &label) in labels.iter().enumerate() {
+            let dense = *remap.entry(label).or_insert_with(|| {
+                clusters.push(Vec::new());
+                (clusters.len() - 1) as u32
+            });
+            clusters[dense as usize].push(RecordId(i as u32));
+            assignment.push(dense);
+        }
+        Self {
+            assignment,
+            clusters,
+        }
+    }
+
+    /// Builds a clustering from arbitrary (e.g. string) labels, as used by
+    /// gold standards "modeled within the actual dataset by adding an
+    /// extra attribute that associates each record with its cluster"
+    /// (§3.1.1).
+    pub fn from_labels<L: std::hash::Hash + Eq>(labels: impl IntoIterator<Item = L>) -> Self {
+        let mut remap: HashMap<L, u32> = HashMap::new();
+        let mut next = 0u32;
+        let dense: Vec<u32> = labels
+            .into_iter()
+            .map(|l| {
+                *remap.entry(l).or_insert_with(|| {
+                    let d = next;
+                    next += 1;
+                    d
+                })
+            })
+            .collect();
+        Self::from_assignment(&dense)
+    }
+
+    /// The singleton clustering of `n` records (no duplicates at all).
+    pub fn singletons(n: usize) -> Self {
+        Self {
+            assignment: (0..n as u32).collect(),
+            clusters: (0..n as u32).map(|i| vec![RecordId(i)]).collect(),
+        }
+    }
+
+    /// Builds the clustering induced by transitively closing a set of
+    /// match pairs over `n` records (connected components).
+    pub fn from_pairs<P>(n: usize, pairs: impl IntoIterator<Item = P>) -> Self
+    where
+        P: Into<RecordPair>,
+    {
+        let mut uf = UnionFind::new(n);
+        for p in pairs {
+            let p = p.into();
+            uf.union(p.lo(), p.hi());
+        }
+        Self::from_union_find(&mut uf)
+    }
+
+    /// Builds the clustering induced by an [`Experiment`]'s match pairs.
+    pub fn from_experiment(n: usize, experiment: &Experiment) -> Self {
+        Self::from_pairs(n, experiment.pairs().iter().map(|sp| sp.pair))
+    }
+
+    /// Snapshots a [`UnionFind`]'s current state.
+    pub fn from_union_find(uf: &mut UnionFind) -> Self {
+        let clusters = uf.clusters();
+        let mut assignment = vec![0u32; uf.len()];
+        for (dense, members) in clusters.iter().enumerate() {
+            for &m in members {
+                assignment[m.index()] = dense as u32;
+            }
+        }
+        Self {
+            assignment,
+            clusters,
+        }
+    }
+
+    /// Number of records.
+    pub fn num_records(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Number of clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Dense index of the cluster containing `r`.
+    pub fn cluster_of(&self, r: RecordId) -> u32 {
+        self.assignment[r.index()]
+    }
+
+    /// Whether two records share a cluster (i.e. the pair is a match in
+    /// this clustering's identity link network).
+    pub fn same_cluster(&self, a: RecordId, b: RecordId) -> bool {
+        self.assignment[a.index()] == self.assignment[b.index()]
+    }
+
+    /// Members of cluster `idx`, sorted ascending.
+    pub fn cluster(&self, idx: u32) -> &[RecordId] {
+        &self.clusters[idx as usize]
+    }
+
+    /// All clusters.
+    pub fn clusters(&self) -> &[Vec<RecordId>] {
+        &self.clusters
+    }
+
+    /// Number of intra-cluster pairs, `Σ s·(s−1)/2`.
+    pub fn pair_count(&self) -> u64 {
+        self.clusters
+            .iter()
+            .map(|c| {
+                let s = c.len() as u64;
+                s * (s - 1) / 2
+            })
+            .sum()
+    }
+
+    /// Enumerates every intra-cluster pair (the identity link network).
+    ///
+    /// Beware: quadratic in cluster size; use [`Clustering::pair_count`]
+    /// when only the count is needed.
+    pub fn intra_pairs(&self) -> impl Iterator<Item = RecordPair> + '_ {
+        self.clusters.iter().flat_map(|members| {
+            members.iter().enumerate().flat_map(move |(i, &a)| {
+                members[i + 1..].iter().map(move |&b| RecordPair::new(a, b))
+            })
+        })
+    }
+
+    /// Non-singleton clusters (actual duplicate groups).
+    pub fn duplicate_clusters(&self) -> impl Iterator<Item = &Vec<RecordId>> {
+        self.clusters.iter().filter(|c| c.len() > 1)
+    }
+
+    /// Histogram of cluster sizes: `sizes[s]` = number of clusters with
+    /// exactly `s` members (index 0 unused).
+    pub fn size_histogram(&self) -> Vec<usize> {
+        let max = self.clusters.iter().map(Vec::len).max().unwrap_or(0);
+        let mut hist = vec![0usize; max + 1];
+        for c in &self.clusters {
+            hist[c.len()] += 1;
+        }
+        hist
+    }
+
+    /// The intersection clustering: records share a cluster iff they share
+    /// a cluster in **both** inputs. The pair count of the result is the
+    /// true-positive count when `self` is an experiment and `other` the
+    /// ground truth (Appendix D).
+    pub fn intersect(&self, other: &Clustering) -> Clustering {
+        assert_eq!(
+            self.num_records(),
+            other.num_records(),
+            "clusterings cover different datasets"
+        );
+        let mut remap: HashMap<(u32, u32), u32> = HashMap::new();
+        let mut next = 0u32;
+        let dense: Vec<u32> = (0..self.num_records())
+            .map(|i| {
+                let key = (self.assignment[i], other.assignment[i]);
+                *remap.entry(key).or_insert_with(|| {
+                    let d = next;
+                    next += 1;
+                    d
+                })
+            })
+            .collect();
+        Clustering::from_assignment(&dense)
+    }
+
+    /// Converts the clustering to an unscored [`Experiment`] containing
+    /// every intra-cluster pair. Useful for treating a second experiment
+    /// or a gold standard as a comparison set (§4.1).
+    pub fn to_experiment(&self, name: impl Into<String>) -> Experiment {
+        Experiment::from_pairs(name, self.intra_pairs().map(|p| (p.lo(), p.hi())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_assignment_compacts_labels() {
+        let c = Clustering::from_assignment(&[7, 7, 3, 7, 3]);
+        assert_eq!(c.num_clusters(), 2);
+        assert_eq!(c.cluster_of(RecordId(0)), c.cluster_of(RecordId(3)));
+        assert!(c.same_cluster(RecordId(2), RecordId(4)));
+        assert!(!c.same_cluster(RecordId(0), RecordId(2)));
+        assert_eq!(c.cluster(0), &[RecordId(0), RecordId(1), RecordId(3)]);
+    }
+
+    #[test]
+    fn from_labels_strings() {
+        let c = Clustering::from_labels(["x", "y", "x"]);
+        assert_eq!(c.num_clusters(), 2);
+        assert!(c.same_cluster(RecordId(0), RecordId(2)));
+    }
+
+    #[test]
+    fn singletons_have_no_pairs() {
+        let c = Clustering::singletons(5);
+        assert_eq!(c.num_clusters(), 5);
+        assert_eq!(c.pair_count(), 0);
+        assert_eq!(c.intra_pairs().count(), 0);
+    }
+
+    #[test]
+    fn from_pairs_transitively_closes() {
+        // 0-1 and 1-2 connect to a triangle.
+        let c = Clustering::from_pairs(4, [(0u32, 1u32), (1, 2)]);
+        assert_eq!(c.num_clusters(), 2);
+        assert_eq!(c.pair_count(), 3);
+        assert!(c.same_cluster(RecordId(0), RecordId(2)));
+        let pairs: Vec<RecordPair> = c.intra_pairs().collect();
+        assert_eq!(pairs.len(), 3);
+    }
+
+    #[test]
+    fn intersection_pair_count_is_tp() {
+        // Ground truth {a,b},{c,d}; experiment merged everything.
+        let truth = Clustering::from_assignment(&[0, 0, 1, 1]);
+        let exp = Clustering::from_assignment(&[0, 0, 0, 0]);
+        let inter = exp.intersect(&truth);
+        assert_eq!(inter.pair_count(), 2); // TP = {a,b} and {c,d}
+        assert_eq!(inter.num_clusters(), 2);
+    }
+
+    #[test]
+    fn intersection_with_self_is_identity() {
+        let c = Clustering::from_assignment(&[0, 1, 0, 2, 1]);
+        let i = c.intersect(&c);
+        assert_eq!(i.num_clusters(), c.num_clusters());
+        assert_eq!(i.pair_count(), c.pair_count());
+    }
+
+    #[test]
+    fn size_histogram() {
+        let c = Clustering::from_assignment(&[0, 0, 0, 1, 1, 2]);
+        let h = c.size_histogram();
+        assert_eq!(h[1], 1);
+        assert_eq!(h[2], 1);
+        assert_eq!(h[3], 1);
+        assert_eq!(c.duplicate_clusters().count(), 2);
+    }
+
+    #[test]
+    fn to_experiment_roundtrip() {
+        let c = Clustering::from_assignment(&[0, 0, 1, 1, 1]);
+        let e = c.to_experiment("gold");
+        assert_eq!(e.len() as u64, c.pair_count());
+        let back = Clustering::from_experiment(5, &e);
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "different datasets")]
+    fn intersect_size_mismatch_panics() {
+        let a = Clustering::singletons(3);
+        let b = Clustering::singletons(4);
+        a.intersect(&b);
+    }
+}

@@ -1,0 +1,18 @@
+//! Clusterings, union-find and duplicate-clustering algorithms.
+//!
+//! The output of a complete matching solution is a disjoint clustering of
+//! the dataset (§1.2). This module provides the [`Clustering`] type, the
+//! pair-counting [`UnionFind`] with tracked unions that powers the
+//! optimized diagram algorithm (Appendix D), transitive [`closure`]
+//! utilities, and the duplicate-clustering [`algorithms`] referenced by
+//! the paper for non-closed match sets.
+
+#[allow(clippy::module_inception)]
+mod clustering;
+mod union_find;
+
+pub mod algorithms;
+pub mod closure;
+
+pub use clustering::Clustering;
+pub use union_find::{ClusterId, Merge, UnionFind};

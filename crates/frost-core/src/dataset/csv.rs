@@ -1,0 +1,324 @@
+//! A small, dependency-free CSV reader/writer.
+//!
+//! Snowman's custom importers are "as simple as defining the separator,
+//! quote, escape symbols and a mapping for rows" (§5.1). This module
+//! provides exactly that: a configurable delimited-text parser used by the
+//! dataset and experiment importers in `frost-storage`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Parser/writer configuration: separator, quote and escape symbols.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CsvOptions {
+    /// Field separator, usually `,` or `;` or `\t`.
+    pub separator: char,
+    /// Quote character wrapping fields that contain separators/newlines.
+    pub quote: char,
+    /// Escape character used *inside* quoted fields to escape the quote.
+    /// When equal to `quote`, doubled quotes (`""`) act as the escape,
+    /// per RFC 4180.
+    pub escape: char,
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        Self {
+            separator: ',',
+            quote: '"',
+            escape: '"',
+        }
+    }
+}
+
+impl CsvOptions {
+    /// RFC 4180-style comma-separated values.
+    pub fn comma() -> Self {
+        Self::default()
+    }
+
+    /// Tab-separated values.
+    pub fn tsv() -> Self {
+        Self {
+            separator: '\t',
+            ..Self::default()
+        }
+    }
+
+    /// Semicolon-separated values (common in European exports).
+    pub fn semicolon() -> Self {
+        Self {
+            separator: ';',
+            ..Self::default()
+        }
+    }
+}
+
+/// Errors raised while parsing delimited text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsvError {
+    /// A quoted field was never closed before end of input.
+    UnterminatedQuote {
+        /// 1-based line on which the field started.
+        line: usize,
+    },
+    /// A row had a different number of fields than the first row.
+    RaggedRow {
+        /// 1-based row number.
+        row: usize,
+        /// Fields found in this row.
+        found: usize,
+        /// Fields expected (width of the first row).
+        expected: usize,
+    },
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::UnterminatedQuote { line } => {
+                write!(f, "unterminated quoted field starting on line {line}")
+            }
+            CsvError::RaggedRow {
+                row,
+                found,
+                expected,
+            } => write!(
+                f,
+                "row {row} has {found} fields, expected {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Parses delimited text into rows of fields.
+///
+/// * Handles quoted fields, escaped quotes, embedded separators and
+///   embedded newlines.
+/// * Accepts `\n` and `\r\n` row terminators.
+/// * Rejects ragged rows (all rows must match the first row's width).
+/// * An empty input yields no rows; a trailing newline does not produce an
+///   empty final row.
+pub fn parse_csv(input: &str, opts: CsvOptions) -> Result<Vec<Vec<String>>, CsvError> {
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut row: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut chars = input.chars().peekable();
+    let mut in_quotes = false;
+    let mut quote_start_line = 1usize;
+    let mut line = 1usize;
+    // Tracks whether the current row has any content (so that a trailing
+    // newline does not emit a spurious empty row).
+    let mut row_started = false;
+
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            if c == opts.escape && opts.escape == opts.quote {
+                // RFC 4180 style: `""` inside quotes is a literal quote,
+                // a single `"` ends the field.
+                if chars.peek() == Some(&opts.quote) {
+                    field.push(opts.quote);
+                    chars.next();
+                } else {
+                    in_quotes = false;
+                }
+            } else if c == opts.escape {
+                // Distinct escape char: next char is taken literally.
+                if let Some(next) = chars.next() {
+                    field.push(next);
+                    if next == '\n' {
+                        line += 1;
+                    }
+                }
+            } else if c == opts.quote {
+                in_quotes = false;
+            } else {
+                if c == '\n' {
+                    line += 1;
+                }
+                field.push(c);
+            }
+        } else if c == opts.quote {
+            in_quotes = true;
+            quote_start_line = line;
+            row_started = true;
+        } else if c == opts.separator {
+            row.push(std::mem::take(&mut field));
+            row_started = true;
+        } else if c == '\n' || c == '\r' {
+            if c == '\r' && chars.peek() == Some(&'\n') {
+                chars.next();
+            }
+            line += 1;
+            if row_started || !field.is_empty() {
+                row.push(std::mem::take(&mut field));
+                rows.push(std::mem::take(&mut row));
+            }
+            row_started = false;
+        } else {
+            field.push(c);
+            row_started = true;
+        }
+    }
+    if in_quotes {
+        return Err(CsvError::UnterminatedQuote {
+            line: quote_start_line,
+        });
+    }
+    if row_started || !field.is_empty() || !row.is_empty() {
+        row.push(field);
+        rows.push(row);
+    }
+
+    if let Some(width) = rows.first().map(Vec::len) {
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != width {
+                return Err(CsvError::RaggedRow {
+                    row: i + 1,
+                    found: r.len(),
+                    expected: width,
+                });
+            }
+        }
+    }
+    Ok(rows)
+}
+
+/// Serializes rows back to delimited text. Fields containing the
+/// separator, quote, `\n` or `\r` are quoted; quotes are escaped.
+pub fn write_csv<R, F>(rows: R, opts: CsvOptions) -> String
+where
+    R: IntoIterator<Item = F>,
+    F: IntoIterator<Item = String>,
+{
+    let mut out = String::new();
+    for row in rows {
+        let mut first = true;
+        for field in row {
+            if !first {
+                out.push(opts.separator);
+            }
+            first = false;
+            let needs_quoting = field.contains(opts.separator)
+                || field.contains(opts.quote)
+                || field.contains('\n')
+                || field.contains('\r');
+            if needs_quoting {
+                out.push(opts.quote);
+                for c in field.chars() {
+                    if c == opts.quote {
+                        out.push(opts.escape);
+                    }
+                    out.push(c);
+                }
+                out.push(opts.quote);
+            } else {
+                out.push_str(&field);
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_rows() {
+        let rows = parse_csv("a,b\nc,d\n", CsvOptions::comma()).unwrap();
+        assert_eq!(rows, vec![vec!["a", "b"], vec!["c", "d"]]);
+    }
+
+    #[test]
+    fn crlf_and_no_trailing_newline() {
+        let rows = parse_csv("a,b\r\nc,d", CsvOptions::comma()).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1], vec!["c", "d"]);
+    }
+
+    #[test]
+    fn quoted_fields_with_separator_and_newline() {
+        let rows = parse_csv("\"a,1\",\"b\nx\"\n", CsvOptions::comma()).unwrap();
+        assert_eq!(rows, vec![vec!["a,1".to_string(), "b\nx".to_string()]]);
+    }
+
+    #[test]
+    fn doubled_quote_escape() {
+        let rows = parse_csv("\"he said \"\"hi\"\"\",x\n", CsvOptions::comma()).unwrap();
+        assert_eq!(rows[0][0], "he said \"hi\"");
+        assert_eq!(rows[0][1], "x");
+    }
+
+    #[test]
+    fn distinct_escape_char() {
+        let opts = CsvOptions {
+            separator: ',',
+            quote: '"',
+            escape: '\\',
+        };
+        let rows = parse_csv("\"a\\\"b\",y\n", opts).unwrap();
+        assert_eq!(rows[0][0], "a\"b");
+    }
+
+    #[test]
+    fn empty_fields() {
+        let rows = parse_csv("a,,c\n,,\n", CsvOptions::comma()).unwrap();
+        assert_eq!(rows[0], vec!["a", "", "c"]);
+        assert_eq!(rows[1], vec!["", "", ""]);
+    }
+
+    #[test]
+    fn empty_input_yields_no_rows() {
+        assert!(parse_csv("", CsvOptions::comma()).unwrap().is_empty());
+        assert!(parse_csv("\n", CsvOptions::comma()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn unterminated_quote_error() {
+        let err = parse_csv("\"abc", CsvOptions::comma()).unwrap_err();
+        assert_eq!(err, CsvError::UnterminatedQuote { line: 1 });
+        assert!(err.to_string().contains("unterminated"));
+    }
+
+    #[test]
+    fn ragged_row_error() {
+        let err = parse_csv("a,b\nc\n", CsvOptions::comma()).unwrap_err();
+        assert_eq!(
+            err,
+            CsvError::RaggedRow {
+                row: 2,
+                found: 1,
+                expected: 2
+            }
+        );
+    }
+
+    #[test]
+    fn tsv_and_semicolon_presets() {
+        let rows = parse_csv("a\tb\n", CsvOptions::tsv()).unwrap();
+        assert_eq!(rows[0], vec!["a", "b"]);
+        let rows = parse_csv("a;b\n", CsvOptions::semicolon()).unwrap();
+        assert_eq!(rows[0], vec!["a", "b"]);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let original = vec![
+            vec!["plain".to_string(), "with,comma".to_string()],
+            vec!["with \"quote\"".to_string(), "multi\nline".to_string()],
+        ];
+        let text = write_csv(original.clone(), CsvOptions::comma());
+        let parsed = parse_csv(&text, CsvOptions::comma()).unwrap();
+        assert_eq!(parsed, original);
+    }
+
+    #[test]
+    fn quoted_empty_string_is_a_field() {
+        let rows = parse_csv("\"\",x\n", CsvOptions::comma()).unwrap();
+        assert_eq!(rows[0], vec!["", "x"]);
+    }
+}

@@ -1,0 +1,262 @@
+//! Experiments: the output of one matching-solution run.
+
+use super::{RecordId, RecordPair};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Where a pair in an experiment came from.
+///
+/// Frost requires result sets to be transitively closed (§1.2), but the
+/// closure step can add many pairs the matching solution never emitted.
+/// The *plain result pairs* selection strategy (§4.2.4) hides pairs that
+/// were only added by a clustering/closure step, which requires tracking
+/// the origin of every pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PairOrigin {
+    /// The matching solution itself labelled this pair a match.
+    Matcher,
+    /// The pair was added by transitive closure / a clustering algorithm.
+    Closure,
+}
+
+/// One match predicted by a matching solution: the pair, an optional
+/// similarity (or confidence) score, and its [`PairOrigin`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScoredPair {
+    /// The matched record pair.
+    pub pair: RecordPair,
+    /// Similarity/confidence in `[0, 1]`; `None` when the solution does not
+    /// expose scores (e.g. hard rule-based matchers).
+    pub similarity: Option<f64>,
+    /// Whether the matcher emitted the pair or a closure step added it.
+    pub origin: PairOrigin,
+}
+
+impl ScoredPair {
+    /// A matcher-emitted pair with a similarity score.
+    pub fn scored(pair: impl Into<RecordPair>, similarity: f64) -> Self {
+        Self {
+            pair: pair.into(),
+            similarity: Some(similarity),
+            origin: PairOrigin::Matcher,
+        }
+    }
+
+    /// A matcher-emitted pair without a score.
+    pub fn unscored(pair: impl Into<RecordPair>) -> Self {
+        Self {
+            pair: pair.into(),
+            similarity: None,
+            origin: PairOrigin::Matcher,
+        }
+    }
+
+    /// A pair introduced by transitive closure.
+    pub fn closure(pair: impl Into<RecordPair>) -> Self {
+        Self {
+            pair: pair.into(),
+            similarity: None,
+            origin: PairOrigin::Closure,
+        }
+    }
+}
+
+/// The output of one run of a matching solution on one dataset: a set of
+/// predicted matches, optionally scored.
+///
+/// The paper calls this an *experiment* (§1.2). Experiments are the unit
+/// everything else operates on: metrics compare an experiment against a
+/// gold standard, set-based comparisons intersect/subtract experiments,
+/// diagrams sweep an experiment's similarity scores.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Experiment {
+    name: String,
+    pairs: Vec<ScoredPair>,
+}
+
+impl Experiment {
+    /// Creates an experiment from pre-built [`ScoredPair`]s.
+    ///
+    /// Duplicate pairs are collapsed (keeping the first occurrence), since
+    /// `E ⊆ [D]²` is a set.
+    pub fn new(name: impl Into<String>, pairs: impl IntoIterator<Item = ScoredPair>) -> Self {
+        let mut seen = HashSet::new();
+        let pairs = pairs
+            .into_iter()
+            .filter(|sp| seen.insert(sp.pair))
+            .collect();
+        Self {
+            name: name.into(),
+            pairs,
+        }
+    }
+
+    /// Builds an experiment from `(a, b, similarity)` triples.
+    pub fn from_scored_pairs<P>(
+        name: impl Into<String>,
+        triples: impl IntoIterator<Item = (P, P, f64)>,
+    ) -> Self
+    where
+        P: Into<RecordId>,
+    {
+        Self::new(
+            name,
+            triples
+                .into_iter()
+                .map(|(a, b, s)| ScoredPair::scored((a.into(), b.into()), s)),
+        )
+    }
+
+    /// Builds an unscored experiment from `(a, b)` id pairs.
+    pub fn from_pairs<P>(
+        name: impl Into<String>,
+        pairs: impl IntoIterator<Item = (P, P)>,
+    ) -> Self
+    where
+        P: Into<RecordId>,
+    {
+        Self::new(
+            name,
+            pairs
+                .into_iter()
+                .map(|(a, b)| ScoredPair::unscored((a.into(), b.into()))),
+        )
+    }
+
+    /// The experiment (run) name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of predicted matches.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether no matches were predicted.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// All predicted matches.
+    pub fn pairs(&self) -> &[ScoredPair] {
+        &self.pairs
+    }
+
+    /// The set of matched [`RecordPair`]s (dropping scores and origins).
+    pub fn pair_set(&self) -> HashSet<RecordPair> {
+        self.pairs.iter().map(|sp| sp.pair).collect()
+    }
+
+    /// Only the pairs the matcher itself emitted (§4.2.4 "plain result pairs").
+    pub fn matcher_pairs(&self) -> impl Iterator<Item = &ScoredPair> {
+        self.pairs
+            .iter()
+            .filter(|sp| sp.origin == PairOrigin::Matcher)
+    }
+
+    /// Whether every pair carries a similarity score.
+    pub fn fully_scored(&self) -> bool {
+        self.pairs.iter().all(|sp| sp.similarity.is_some())
+    }
+
+    /// Pairs sorted by similarity, descending; unscored pairs sort last.
+    ///
+    /// This is the order the diagram algorithms (Appendix D) consume
+    /// matches in.
+    pub fn pairs_by_similarity_desc(&self) -> Vec<ScoredPair> {
+        let mut out = self.pairs.clone();
+        out.sort_by(|a, b| {
+            let sa = a.similarity.unwrap_or(f64::NEG_INFINITY);
+            let sb = b.similarity.unwrap_or(f64::NEG_INFINITY);
+            sb.partial_cmp(&sa)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.pair.cmp(&b.pair))
+        });
+        out
+    }
+
+    /// Keeps only matches with `similarity ≥ threshold` (unscored pairs are
+    /// kept — a matcher without scores asserts all its pairs are matches).
+    pub fn at_threshold(&self, threshold: f64) -> Experiment {
+        Experiment {
+            name: format!("{}@{threshold}", self.name),
+            pairs: self
+                .pairs
+                .iter()
+                .filter(|sp| sp.similarity.is_none_or(|s| s >= threshold))
+                .copied()
+                .collect(),
+        }
+    }
+
+    /// Appends a pair (ignored if already present).
+    pub fn push(&mut self, sp: ScoredPair) {
+        if !self.pairs.iter().any(|p| p.pair == sp.pair) {
+            self.pairs.push(sp);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_on_construction() {
+        let e = Experiment::from_scored_pairs("e", [(0u32, 1u32, 0.9), (1, 0, 0.5)]);
+        assert_eq!(e.len(), 1);
+        assert_eq!(e.pairs()[0].similarity, Some(0.9));
+    }
+
+    #[test]
+    fn similarity_sort_descending_unscored_last() {
+        let e = Experiment::new(
+            "e",
+            [
+                ScoredPair::unscored((0u32, 1u32)),
+                ScoredPair::scored((2u32, 3u32), 0.4),
+                ScoredPair::scored((4u32, 5u32), 0.9),
+            ],
+        );
+        let sorted = e.pairs_by_similarity_desc();
+        assert_eq!(sorted[0].similarity, Some(0.9));
+        assert_eq!(sorted[1].similarity, Some(0.4));
+        assert_eq!(sorted[2].similarity, None);
+    }
+
+    #[test]
+    fn threshold_filter() {
+        let e = Experiment::from_scored_pairs("e", [(0u32, 1u32, 0.9), (2, 3, 0.3)]);
+        let t = e.at_threshold(0.5);
+        assert_eq!(t.len(), 1);
+        assert!(t.pair_set().contains(&RecordPair::from((0u32, 1u32))));
+        // Unscored pairs survive any threshold.
+        let mut u = Experiment::from_pairs("u", [(0u32, 1u32)]);
+        u.push(ScoredPair::scored((2u32, 3u32), 0.1));
+        assert_eq!(u.at_threshold(0.99).len(), 1);
+    }
+
+    #[test]
+    fn matcher_pairs_filters_closure() {
+        let e = Experiment::new(
+            "e",
+            [
+                ScoredPair::scored((0u32, 1u32), 0.8),
+                ScoredPair::closure((0u32, 2u32)),
+            ],
+        );
+        assert_eq!(e.matcher_pairs().count(), 1);
+        assert!(!e.fully_scored());
+        assert_eq!(e.len(), 2);
+    }
+
+    #[test]
+    fn push_ignores_existing() {
+        let mut e = Experiment::from_pairs("e", [(0u32, 1u32)]);
+        e.push(ScoredPair::scored((1u32, 0u32), 0.7));
+        assert_eq!(e.len(), 1);
+        e.push(ScoredPair::scored((1u32, 2u32), 0.7));
+        assert_eq!(e.len(), 2);
+    }
+}

@@ -1,0 +1,219 @@
+//! Datasets, records, schemas and record pairs.
+//!
+//! A *dataset* `D` is a collection of records that may contain duplicates
+//! (§1.2 of the paper). A *record pair* is a set of two records
+//! `{r1, r2} ⊆ D`; the set of all record pairs is `[D]² = {A ⊆ D : |A| = 2}`.
+//! A *matching solution* outputs a set of matches `E ⊆ [D]²` — an
+//! [`Experiment`] in Frost terminology.
+
+mod csv;
+mod experiment;
+mod pair;
+mod record;
+mod schema;
+
+pub use csv::{parse_csv, write_csv, CsvError, CsvOptions};
+pub use experiment::{Experiment, PairOrigin, ScoredPair};
+pub use pair::RecordPair;
+pub use record::{Record, RecordId};
+pub use schema::Schema;
+
+use std::collections::HashMap;
+
+/// A named collection of records sharing a [`Schema`].
+///
+/// Records are addressed by dense numeric [`RecordId`]s assigned at insert
+/// time. Snowman performs the same optimization during import: *"a unique
+/// numerical ID is assigned to each record, allowing constant time access
+/// to records"* (§5.3). The original ("native") string identifiers remain
+/// available through [`Dataset::native_id`] and can be resolved back with
+/// [`Dataset::resolve_native`].
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    name: String,
+    schema: Schema,
+    records: Vec<Record>,
+    native_index: HashMap<String, RecordId>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset with the given name and schema.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        Self {
+            name: name.into(),
+            schema,
+            records: Vec::new(),
+            native_index: HashMap::new(),
+        }
+    }
+
+    /// Creates an empty dataset, pre-allocating room for `capacity` records.
+    pub fn with_capacity(name: impl Into<String>, schema: Schema, capacity: usize) -> Self {
+        Self {
+            name: name.into(),
+            schema,
+            records: Vec::with_capacity(capacity),
+            native_index: HashMap::with_capacity(capacity),
+        }
+    }
+
+    /// The dataset name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The dataset schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the dataset holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Number of record pairs `|[D]²| = n·(n−1)/2`.
+    pub fn pair_count(&self) -> u64 {
+        let n = self.records.len() as u64;
+        n * n.saturating_sub(1) / 2
+    }
+
+    /// Appends a record with all attribute values present.
+    ///
+    /// # Panics
+    /// Panics if the value count does not match the schema width.
+    pub fn push_record<I, S>(&mut self, native_id: impl Into<String>, values: I) -> RecordId
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let values: Vec<Option<String>> = values.into_iter().map(|v| Some(v.into())).collect();
+        self.push_record_opt(native_id, values)
+    }
+
+    /// Appends a record that may contain missing (`None`) attribute values.
+    ///
+    /// # Panics
+    /// Panics if the value count does not match the schema width, or if the
+    /// native id was already used.
+    pub fn push_record_opt(
+        &mut self,
+        native_id: impl Into<String>,
+        values: Vec<Option<String>>,
+    ) -> RecordId {
+        assert_eq!(
+            values.len(),
+            self.schema.len(),
+            "record width {} does not match schema width {}",
+            values.len(),
+            self.schema.len()
+        );
+        let native_id = native_id.into();
+        let id = RecordId(u32::try_from(self.records.len()).expect("more than u32::MAX records"));
+        let prev = self.native_index.insert(native_id.clone(), id);
+        assert!(prev.is_none(), "duplicate native id {native_id:?}");
+        self.records.push(Record::new(native_id, values));
+        id
+    }
+
+    /// Returns the record with the given id.
+    pub fn record(&self, id: RecordId) -> &Record {
+        &self.records[id.index()]
+    }
+
+    /// Returns the record with the given id, or `None` if out of range.
+    pub fn get(&self, id: RecordId) -> Option<&Record> {
+        self.records.get(id.index())
+    }
+
+    /// All records in id order.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Iterates over `(RecordId, &Record)`.
+    pub fn iter(&self) -> impl Iterator<Item = (RecordId, &Record)> {
+        self.records
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (RecordId(i as u32), r))
+    }
+
+    /// The native (import-time) identifier of a record.
+    pub fn native_id(&self, id: RecordId) -> &str {
+        self.records[id.index()].native_id()
+    }
+
+    /// Resolves a native identifier to its dense [`RecordId`].
+    pub fn resolve_native(&self, native_id: &str) -> Option<RecordId> {
+        self.native_index.get(native_id).copied()
+    }
+
+    /// Value of attribute `attr` for record `id` (None when missing or when
+    /// the attribute does not exist).
+    pub fn value(&self, id: RecordId, attr: &str) -> Option<&str> {
+        let col = self.schema.index_of(attr)?;
+        self.records[id.index()].value(col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        let mut ds = Dataset::new("t", Schema::new(["name", "city"]));
+        ds.push_record("r1", ["Ann", "Berlin"]);
+        ds.push_record_opt("r2", vec![Some("Bob".into()), None]);
+        ds
+    }
+
+    #[test]
+    fn push_and_lookup() {
+        let ds = sample();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.name(), "t");
+        let r1 = ds.resolve_native("r1").unwrap();
+        assert_eq!(ds.native_id(r1), "r1");
+        assert_eq!(ds.value(r1, "name"), Some("Ann"));
+        assert_eq!(ds.value(r1, "city"), Some("Berlin"));
+        let r2 = ds.resolve_native("r2").unwrap();
+        assert_eq!(ds.value(r2, "city"), None);
+        assert_eq!(ds.value(r2, "nope"), None);
+    }
+
+    #[test]
+    fn pair_count_formula() {
+        let ds = sample();
+        assert_eq!(ds.pair_count(), 1);
+        let empty = Dataset::new("e", Schema::new(["a"]));
+        assert_eq!(empty.pair_count(), 0);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn wrong_width_panics() {
+        let mut ds = sample();
+        ds.push_record("r3", ["only-one"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate native id")]
+    fn duplicate_native_id_panics() {
+        let mut ds = sample();
+        ds.push_record("r1", ["X", "Y"]);
+    }
+
+    #[test]
+    fn iter_yields_ids_in_order() {
+        let ds = sample();
+        let ids: Vec<u32> = ds.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(ids, vec![0, 1]);
+    }
+}

@@ -1,0 +1,130 @@
+//! Unordered record pairs.
+
+use super::RecordId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An unordered pair of distinct records `{r1, r2} ∈ [D]²`.
+///
+/// Stored in normalized form (`lo < hi`) so that `{a, b}` and `{b, a}`
+/// compare, hash and sort identically — all of Frost's set-based
+/// comparisons (§4.1) rely on this canonical form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RecordPair {
+    lo: RecordId,
+    hi: RecordId,
+}
+
+impl RecordPair {
+    /// Creates a normalized pair.
+    ///
+    /// # Panics
+    /// Panics if both ids are equal (a pair is a *set* of two records).
+    #[inline]
+    pub fn new(a: RecordId, b: RecordId) -> Self {
+        assert_ne!(a, b, "a record pair must consist of two distinct records");
+        if a < b {
+            Self { lo: a, hi: b }
+        } else {
+            Self { lo: b, hi: a }
+        }
+    }
+
+    /// The smaller record id.
+    #[inline]
+    pub fn lo(self) -> RecordId {
+        self.lo
+    }
+
+    /// The larger record id.
+    #[inline]
+    pub fn hi(self) -> RecordId {
+        self.hi
+    }
+
+    /// Both ids as a `(lo, hi)` tuple.
+    #[inline]
+    pub fn ids(self) -> (RecordId, RecordId) {
+        (self.lo, self.hi)
+    }
+
+    /// Whether the pair contains the given record.
+    #[inline]
+    pub fn contains(self, id: RecordId) -> bool {
+        self.lo == id || self.hi == id
+    }
+
+    /// Given one member of the pair, returns the other.
+    ///
+    /// # Panics
+    /// Panics if `id` is not a member.
+    #[inline]
+    pub fn other(self, id: RecordId) -> RecordId {
+        if self.lo == id {
+            self.hi
+        } else if self.hi == id {
+            self.lo
+        } else {
+            panic!("{id} is not a member of {self}")
+        }
+    }
+}
+
+impl From<(RecordId, RecordId)> for RecordPair {
+    fn from((a, b): (RecordId, RecordId)) -> Self {
+        Self::new(a, b)
+    }
+}
+
+impl From<(u32, u32)> for RecordPair {
+    fn from((a, b): (u32, u32)) -> Self {
+        Self::new(RecordId(a), RecordId(b))
+    }
+}
+
+impl fmt::Display for RecordPair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{{}, {}}}", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization() {
+        let p = RecordPair::new(RecordId(5), RecordId(2));
+        assert_eq!(p.lo(), RecordId(2));
+        assert_eq!(p.hi(), RecordId(5));
+        assert_eq!(p, RecordPair::from((2u32, 5u32)));
+        assert_eq!(p.ids(), (RecordId(2), RecordId(5)));
+    }
+
+    #[test]
+    fn membership() {
+        let p = RecordPair::from((1u32, 3u32));
+        assert!(p.contains(RecordId(1)));
+        assert!(p.contains(RecordId(3)));
+        assert!(!p.contains(RecordId(2)));
+        assert_eq!(p.other(RecordId(1)), RecordId(3));
+        assert_eq!(p.other(RecordId(3)), RecordId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn self_pair_panics() {
+        RecordPair::new(RecordId(1), RecordId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a member")]
+    fn other_of_non_member_panics() {
+        RecordPair::from((1u32, 3u32)).other(RecordId(9));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(RecordPair::from((4u32, 1u32)).to_string(), "{#1, #4}");
+    }
+}

@@ -1,0 +1,327 @@
+//! Metric/metric diagrams (§4.5.1, Appendix D).
+//!
+//! For matching solutions that return similarity scores, Frost plots two
+//! quality metrics against each other over a sweep of similarity
+//! thresholds — e.g. the precision/recall curve (Figure 3). Every data
+//! point is a confusion matrix at one threshold, so the problem reduces
+//! to computing a *sequence of confusion matrices*.
+//!
+//! Two engines are provided:
+//!
+//! * [`naive`] — rebuilds the experiment clustering and its intersection
+//!   with the ground truth from scratch at every sampled threshold
+//!   (`O(s · (|D| + |Matches|))`), the baseline of Table 1.
+//! * [`optimized`] — Snowman's algorithm (Appendix D): a single pass over
+//!   the matches in descending similarity order, maintaining the
+//!   experiment clustering with a tracked union-find and *dynamically*
+//!   maintaining the intersection clustering
+//!   (`O(|D| + |Matches|·(s + log |Matches|))`, and faster the more
+//!   similar experiment and ground truth are).
+//!
+//! Sampling follows the paper: rather than stepping the threshold by a
+//! constant amount (which concentrates points wherever scores cluster),
+//! the number of *matches* between consecutive points is constant. Point
+//! `i` applies the `⌊i·|Matches|/(s−1)⌋` highest-scoring matches; point 0
+//! corresponds to threshold `+∞` (no matches).
+
+pub mod naive;
+pub mod optimized;
+pub mod timeline;
+
+use crate::clustering::Clustering;
+use crate::dataset::{Experiment, ScoredPair};
+use crate::metrics::confusion::ConfusionMatrix;
+use crate::metrics::pair::PairMetric;
+use serde::{Deserialize, Serialize};
+
+/// One sampled point of a threshold sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiagramPoint {
+    /// The similarity threshold this point corresponds to: the score of
+    /// the last match applied (`+∞` for the empty prefix, `-∞` when the
+    /// last applied match carries no score).
+    pub threshold: f64,
+    /// How many matches (prefix of the descending-similarity order) are
+    /// treated as predicted positives.
+    pub matches_applied: usize,
+    /// The confusion matrix at this threshold.
+    pub matrix: ConfusionMatrix,
+}
+
+/// Which algorithm computes the confusion-matrix series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DiagramEngine {
+    /// Per-threshold recomputation (Table 1 baseline).
+    Naive,
+    /// Appendix D: tracked union-find + dynamic intersection.
+    Optimized,
+}
+
+impl DiagramEngine {
+    /// Computes `s` confusion matrices for the experiment against the
+    /// ground truth over a dataset of `n` records.
+    ///
+    /// The experiment's matches are sorted by similarity descending
+    /// internally; the experiment clustering at each point is the
+    /// transitive closure of the applied prefix (Frost's experiments are
+    /// clusterings, §1.2).
+    ///
+    /// # Panics
+    /// Panics if `s < 2` or the ground truth does not cover `n` records.
+    pub fn confusion_series(
+        self,
+        n: usize,
+        truth: &Clustering,
+        experiment: &Experiment,
+        s: usize,
+    ) -> Vec<DiagramPoint> {
+        assert!(s >= 2, "a diagram needs at least two sample points");
+        assert_eq!(
+            truth.num_records(),
+            n,
+            "ground truth covers {} records, dataset has {n}",
+            truth.num_records()
+        );
+        let matches = experiment.pairs_by_similarity_desc();
+        match self {
+            DiagramEngine::Naive => naive::confusion_series(n, truth, &matches, s),
+            DiagramEngine::Optimized => optimized::confusion_series(n, truth, &matches, s),
+        }
+    }
+}
+
+/// Prefix boundaries for `s` sample points over `m` matches:
+/// `k_i = ⌊i·m/(s−1)⌋` for `i = 0..s`.
+pub(crate) fn sample_boundaries(m: usize, s: usize) -> Vec<usize> {
+    (0..s).map(|i| i * m / (s - 1)).collect()
+}
+
+/// Threshold value for a prefix of `k` matches.
+pub(crate) fn threshold_at(matches: &[ScoredPair], k: usize) -> f64 {
+    if k == 0 {
+        f64::INFINITY
+    } else {
+        matches[k - 1].similarity.unwrap_or(f64::NEG_INFINITY)
+    }
+}
+
+/// A metric/metric diagram: two pair metrics evaluated over the same
+/// threshold sweep (e.g. recall on x, precision on y — Figure 3).
+///
+/// ```
+/// use frost_core::clustering::Clustering;
+/// use frost_core::dataset::Experiment;
+/// use frost_core::diagram::{DiagramEngine, MetricDiagram};
+///
+/// let truth = Clustering::from_assignment(&[0, 0, 1, 1]);
+/// let run = Experiment::from_scored_pairs("r", [(0u32, 1u32, 0.9), (0, 2, 0.4)]);
+/// let points = MetricDiagram::precision_recall()
+///     .compute(DiagramEngine::Optimized, 4, &truth, &run, 3);
+/// assert_eq!(points.len(), 3);
+/// // At the strictest threshold nothing is matched yet.
+/// assert_eq!(points[0].1, 0.0); // recall
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct MetricDiagram {
+    /// Metric on the x axis.
+    pub x: PairMetric,
+    /// Metric on the y axis.
+    pub y: PairMetric,
+}
+
+impl MetricDiagram {
+    /// The classic precision/recall curve (recall on x, precision on y).
+    pub fn precision_recall() -> Self {
+        Self {
+            x: PairMetric::Recall,
+            y: PairMetric::Precision,
+        }
+    }
+
+    /// The ROC curve (1−specificity on x via recall pairing is *not* what
+    /// the paper plots; it plots sensitivity against specificity, §4.5.1).
+    pub fn roc() -> Self {
+        Self {
+            x: PairMetric::Specificity,
+            y: PairMetric::Recall,
+        }
+    }
+
+    /// Any metric pair.
+    pub fn new(x: PairMetric, y: PairMetric) -> Self {
+        Self { x, y }
+    }
+
+    /// Evaluates the diagram: one `(threshold, x, y)` triple per sample.
+    pub fn compute(
+        &self,
+        engine: DiagramEngine,
+        n: usize,
+        truth: &Clustering,
+        experiment: &Experiment,
+        s: usize,
+    ) -> Vec<(f64, f64, f64)> {
+        engine
+            .confusion_series(n, truth, experiment, s)
+            .into_iter()
+            .map(|p| {
+                (
+                    p.threshold,
+                    self.x.compute(&p.matrix),
+                    self.y.compute(&p.matrix),
+                )
+            })
+            .collect()
+    }
+
+    /// The threshold maximizing a target metric over the sweep — how
+    /// Snowman "assists users in finding good similarity thresholds".
+    pub fn best_threshold(
+        engine: DiagramEngine,
+        target: PairMetric,
+        n: usize,
+        truth: &Clustering,
+        experiment: &Experiment,
+        s: usize,
+    ) -> (f64, f64) {
+        engine
+            .confusion_series(n, truth, experiment, s)
+            .into_iter()
+            .map(|p| (p.threshold, target.compute(&p.matrix)))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .expect("series is never empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::RecordPair;
+
+    fn truth_ab_cd() -> Clustering {
+        Clustering::from_assignment(&[0, 0, 1, 1])
+    }
+
+    fn paper_experiment() -> Experiment {
+        // Appendix D.4: matches {a,c}, {b,d}, {a,b} in descending score.
+        Experiment::from_scored_pairs("ex", [(0u32, 2u32, 0.9), (1, 3, 0.6), (0, 1, 0.3)])
+    }
+
+    /// Appendix D.4 / Figure 10 worked example, on both engines.
+    #[test]
+    fn paper_example_fig10() {
+        for engine in [DiagramEngine::Naive, DiagramEngine::Optimized] {
+            let points = engine.confusion_series(4, &truth_ab_cd(), &paper_experiment(), 4);
+            assert_eq!(points.len(), 4);
+            let expect = [
+                ConfusionMatrix::new(0, 0, 2, 4), // step 0: no matches
+                ConfusionMatrix::new(0, 1, 2, 3), // {a,c}
+                ConfusionMatrix::new(0, 2, 2, 2), // + {b,d}
+                ConfusionMatrix::new(2, 4, 0, 0), // + {a,b} closes everything
+            ];
+            for (p, e) in points.iter().zip(expect) {
+                assert_eq!(p.matrix, e, "engine {engine:?}");
+            }
+            assert_eq!(points[0].threshold, f64::INFINITY);
+            assert!((points[1].threshold - 0.9).abs() < 1e-12);
+            assert!((points[3].threshold - 0.3).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_small_random_like_input() {
+        let truth = Clustering::from_assignment(&[0, 0, 0, 1, 1, 2, 3, 3]);
+        let e = Experiment::from_scored_pairs(
+            "e",
+            [
+                (0u32, 1u32, 0.95),
+                (3, 4, 0.9),
+                (1, 2, 0.85),
+                (6, 7, 0.8),
+                (2, 5, 0.4),
+                (0, 6, 0.2),
+            ],
+        );
+        for s in [2, 3, 4, 7] {
+            let a = DiagramEngine::Naive.confusion_series(8, &truth, &e, s);
+            let b = DiagramEngine::Optimized.confusion_series(8, &truth, &e, s);
+            assert_eq!(a, b, "s = {s}");
+        }
+    }
+
+    #[test]
+    fn empty_experiment_series() {
+        let truth = truth_ab_cd();
+        let e = Experiment::from_pairs::<u32>("none", []);
+        for engine in [DiagramEngine::Naive, DiagramEngine::Optimized] {
+            let pts = engine.confusion_series(4, &truth, &e, 3);
+            assert_eq!(pts.len(), 3);
+            for p in &pts {
+                assert_eq!(p.matrix, ConfusionMatrix::new(0, 0, 2, 4));
+                assert_eq!(p.matches_applied, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn sample_boundaries_cover_all_matches() {
+        assert_eq!(sample_boundaries(4, 3), vec![0, 2, 4]);
+        assert_eq!(sample_boundaries(5, 3), vec![0, 2, 5]);
+        assert_eq!(sample_boundaries(0, 2), vec![0, 0]);
+        let b = sample_boundaries(144_349, 100);
+        assert_eq!(b.len(), 100);
+        assert_eq!(*b.last().unwrap(), 144_349);
+    }
+
+    #[test]
+    fn threshold_at_unscored_is_neg_infinity() {
+        let m = [crate::dataset::ScoredPair::unscored(RecordPair::from((0u32, 1u32)))];
+        assert_eq!(threshold_at(&m, 1), f64::NEG_INFINITY);
+        assert_eq!(threshold_at(&m, 0), f64::INFINITY);
+    }
+
+    #[test]
+    fn precision_recall_diagram_shape() {
+        // A well-behaved matcher: high-score matches correct, low-score wrong.
+        let truth = Clustering::from_assignment(&[0, 0, 1, 1, 2, 3]);
+        let e = Experiment::from_scored_pairs(
+            "e",
+            [(0u32, 1u32, 0.9), (2, 3, 0.8), (4, 5, 0.2)],
+        );
+        let pts =
+            MetricDiagram::precision_recall().compute(DiagramEngine::Optimized, 6, &truth, &e, 4);
+        // Recall grows monotonically as the threshold drops.
+        for w in pts.windows(2) {
+            assert!(w[1].1 >= w[0].1 - 1e-12, "recall must not decrease");
+        }
+        // Final point has perfect recall but imperfect precision.
+        let last = pts.last().unwrap();
+        assert!((last.1 - 1.0).abs() < 1e-12);
+        assert!(last.2 < 1.0);
+    }
+
+    #[test]
+    fn best_threshold_finds_f1_peak() {
+        let truth = Clustering::from_assignment(&[0, 0, 1, 1, 2, 3]);
+        let e = Experiment::from_scored_pairs(
+            "e",
+            [(0u32, 1u32, 0.9), (2, 3, 0.8), (4, 5, 0.2)],
+        );
+        let (thr, f1) = MetricDiagram::best_threshold(
+            DiagramEngine::Optimized,
+            PairMetric::F1,
+            6,
+            &truth,
+            &e,
+            4,
+        );
+        assert!((f1 - 1.0).abs() < 1e-12);
+        assert!((thr - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn s_must_be_at_least_two() {
+        DiagramEngine::Optimized.confusion_series(4, &truth_ab_cd(), &paper_experiment(), 1);
+    }
+}

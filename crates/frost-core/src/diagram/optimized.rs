@@ -1,0 +1,225 @@
+//! Snowman's optimized confusion-matrix-series algorithm (Appendix D).
+//!
+//! Algorithm 1 walks the matches once in descending similarity order,
+//! maintaining the experiment clustering in a tracked union-find and the
+//! *intersection* of experiment and ground-truth clusterings in a
+//! [`DynamicIntersection`] (Algorithm 2). At each sample boundary the
+//! confusion matrix is read off in constant time:
+//!
+//! * `TP` = pair count of the intersection clustering,
+//! * `TP + FP` = pair count of the experiment clustering,
+//! * `TP + FN` = pair count of the ground truth (constant),
+//! * `TN` = `|[D]²| − (TP + FP) − FN`.
+//!
+//! The subtle part is that a match can affect the intersection *later*
+//! (Figure 9): merging `{b,c}` changes nothing when `b`, `c` sit in
+//! different ground-truth clusters, but a subsequent `{a,c}` merge then
+//! joins `a` and `b` — which *do* share a ground-truth cluster. The
+//! dynamic intersection handles this by regrouping, per merged experiment
+//! cluster, all involved intersection clusters by ground-truth cluster.
+
+use super::{sample_boundaries, threshold_at, DiagramPoint};
+use crate::clustering::{ClusterId, Clustering, Merge, UnionFind};
+use crate::dataset::{RecordId, ScoredPair};
+use crate::metrics::confusion::{total_pairs, ConfusionMatrix};
+use std::collections::HashMap;
+
+/// The dynamically maintained intersection clustering of Appendix D.3.
+///
+/// Stored as a pair of structures:
+/// * a [`UnionFind`] over records whose clusters are the intersection
+///   clusters (providing the pair count = `TP`), and
+/// * a map from every live *experiment* cluster id to a map from every
+///   involved *ground-truth* cluster to a representative record of the
+///   corresponding intersection cluster.
+#[derive(Debug, Clone)]
+pub struct DynamicIntersection {
+    uf: UnionFind,
+    /// experiment cluster → (ground-truth cluster → any member record of
+    /// the intersection cluster identified by the two).
+    map: HashMap<ClusterId, HashMap<u32, RecordId>>,
+}
+
+impl DynamicIntersection {
+    /// Initial state for `n` singleton experiment clusters: every record
+    /// is its own intersection cluster, and experiment cluster `r` maps
+    /// `truth(r) → r` (Appendix D.3, Figure 10 row 0).
+    pub fn new(n: usize, truth: &Clustering) -> Self {
+        let mut map: HashMap<ClusterId, HashMap<u32, RecordId>> = HashMap::with_capacity(n);
+        for i in 0..n {
+            let r = RecordId(i as u32);
+            let mut inner = HashMap::with_capacity(1);
+            inner.insert(truth.cluster_of(r), r);
+            map.insert(ClusterId(i as u32), inner);
+        }
+        Self {
+            uf: UnionFind::new(n),
+            map,
+        }
+    }
+
+    /// Number of intra-cluster pairs in the intersection — exactly the
+    /// current true-positive count.
+    pub fn true_positives(&self) -> u64 {
+        self.uf.total_pairs()
+    }
+
+    /// Applies the merges reported by a `tracked_union` on the experiment
+    /// clustering (Algorithm 2).
+    pub fn apply_merges(&mut self, merges: &[Merge], truth: &Clustering) {
+        for merge in merges {
+            // Aggregate all intersection clusters of the source experiment
+            // clusters, grouped by ground-truth cluster.
+            let mut groups: HashMap<u32, Vec<RecordId>> = HashMap::new();
+            for source in &merge.sources {
+                let inner = self
+                    .map
+                    .remove(source)
+                    .expect("source experiment cluster must be live");
+                for (truth_cluster, rep) in inner {
+                    groups.entry(truth_cluster).or_default().push(rep);
+                }
+            }
+            // Merge the intersection clusters sharing a ground-truth
+            // cluster and store the new representatives under the target
+            // experiment cluster.
+            let mut new_inner = HashMap::with_capacity(groups.len());
+            for (truth_cluster, reps) in groups {
+                self.uf.union_all(&reps);
+                new_inner.insert(truth_cluster, reps[0]);
+            }
+            let _ = truth; // grouping used truth clusters captured in `map`
+            self.map.insert(merge.target, new_inner);
+        }
+    }
+
+    /// The current intersection clustering as a snapshot (test support).
+    pub fn snapshot(&mut self) -> Clustering {
+        Clustering::from_union_find(&mut self.uf)
+    }
+}
+
+/// Algorithm 1: computes `s` confusion matrices in one pass.
+/// `matches` must already be sorted by similarity descending.
+pub fn confusion_series(
+    n: usize,
+    truth: &Clustering,
+    matches: &[ScoredPair],
+    s: usize,
+) -> Vec<DiagramPoint> {
+    let mut experiment = UnionFind::new(n);
+    let mut intersection = DynamicIntersection::new(n, truth);
+    let g = truth.pair_count();
+    let all = total_pairs(n);
+
+    let matrix_of = |experiment: &UnionFind, intersection: &DynamicIntersection| {
+        let tp = intersection.true_positives();
+        let e = experiment.total_pairs();
+        let fn_ = g - tp;
+        ConfusionMatrix::new(tp, e - tp, fn_, all - e - fn_)
+    };
+
+    let boundaries = sample_boundaries(matches.len(), s);
+    let mut points = Vec::with_capacity(s);
+    points.push(DiagramPoint {
+        threshold: f64::INFINITY,
+        matches_applied: 0,
+        matrix: matrix_of(&experiment, &intersection),
+    });
+    for window in boundaries.windows(2) {
+        let (start, stop) = (window[0], window[1]);
+        let merges = experiment.tracked_union(matches[start..stop].iter().map(|sp| sp.pair));
+        intersection.apply_merges(&merges, truth);
+        points.push(DiagramPoint {
+            threshold: threshold_at(matches, stop),
+            matches_applied: stop,
+            matrix: matrix_of(&experiment, &intersection),
+        });
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Figure 9: the match {b,c} does not change the intersection, but the
+    /// later {a,c} does — because b and c were already merged, the
+    /// intersection then contains {a,b}.
+    #[test]
+    fn deferred_intersection_effect_fig9() {
+        // a=0, b=1, c=2; truth {a,b},{c}.
+        let truth = Clustering::from_assignment(&[0, 0, 1]);
+        let mut exp = UnionFind::new(3);
+        let mut inter = DynamicIntersection::new(3, &truth);
+
+        let merges = exp.tracked_union([crate::dataset::RecordPair::from((1u32, 2u32))]);
+        inter.apply_merges(&merges, &truth);
+        assert_eq!(inter.true_positives(), 0);
+
+        let merges = exp.tracked_union([crate::dataset::RecordPair::from((0u32, 2u32))]);
+        inter.apply_merges(&merges, &truth);
+        // Intersection now contains the cluster {a,b}: one pair.
+        assert_eq!(inter.true_positives(), 1);
+        let snap = inter.snapshot();
+        assert!(snap.same_cluster(RecordId(0), RecordId(1)));
+        assert!(!snap.same_cluster(RecordId(0), RecordId(2)));
+    }
+
+    /// Figure 10, step by step: the dynamic intersection's map state is
+    /// exercised through the resulting TP counts of every step.
+    #[test]
+    fn fig10_stepwise_tp() {
+        let truth = Clustering::from_assignment(&[0, 0, 1, 1]); // g0{a,b} g1{c,d}
+        let mut exp = UnionFind::new(4);
+        let mut inter = DynamicIntersection::new(4, &truth);
+        let steps: [(u32, u32, u64, u64); 3] = [
+            (0, 2, 0, 1), // merge {a,c}: TP 0, E-pairs 1
+            (1, 3, 0, 2), // merge {b,d}: TP 0, E-pairs 2
+            (0, 1, 2, 6), // merge {a,b}: TP 2, E-pairs 6
+        ];
+        for (a, b, tp, epairs) in steps {
+            let merges = exp.tracked_union([crate::dataset::RecordPair::from((a, b))]);
+            inter.apply_merges(&merges, &truth);
+            assert_eq!(inter.true_positives(), tp);
+            assert_eq!(exp.total_pairs(), epairs);
+        }
+    }
+
+    #[test]
+    fn dynamic_intersection_matches_static_intersection() {
+        // Apply a fixed match sequence; after every step the dynamic
+        // intersection must equal Clustering::intersect.
+        let truth = Clustering::from_assignment(&[0, 0, 0, 1, 1, 2, 2, 3]);
+        let seq: [(u32, u32); 6] = [(0, 1), (3, 4), (5, 7), (1, 2), (2, 3), (6, 7)];
+        let mut exp = UnionFind::new(8);
+        let mut inter = DynamicIntersection::new(8, &truth);
+        for (a, b) in seq {
+            let merges = exp.tracked_union([crate::dataset::RecordPair::from((a, b))]);
+            inter.apply_merges(&merges, &truth);
+            let exp_snapshot = Clustering::from_union_find(&mut exp);
+            let expected = exp_snapshot.intersect(&truth);
+            assert_eq!(inter.true_positives(), expected.pair_count());
+        }
+    }
+
+    #[test]
+    fn batched_merges_equal_single_steps() {
+        let truth = Clustering::from_assignment(&[0, 0, 1, 1, 2]);
+        let seq: [(u32, u32); 4] = [(0, 2), (1, 3), (0, 1), (3, 4)];
+        // Single-step application.
+        let mut exp1 = UnionFind::new(5);
+        let mut int1 = DynamicIntersection::new(5, &truth);
+        for (a, b) in seq {
+            let m = exp1.tracked_union([crate::dataset::RecordPair::from((a, b))]);
+            int1.apply_merges(&m, &truth);
+        }
+        // One batch.
+        let mut exp2 = UnionFind::new(5);
+        let mut int2 = DynamicIntersection::new(5, &truth);
+        let m = exp2.tracked_union(seq.iter().map(|&(a, b)| crate::dataset::RecordPair::from((a, b))));
+        int2.apply_merges(&m, &truth);
+        assert_eq!(int1.true_positives(), int2.true_positives());
+        assert_eq!(exp1.total_pairs(), exp2.total_pairs());
+    }
+}

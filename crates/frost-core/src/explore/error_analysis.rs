@@ -1,0 +1,172 @@
+//! Error analysis: explaining a misclassified pair through its nearest
+//! correctly classified pair (§4.4).
+//!
+//! To understand why `p_f = {e_f1, e_f2}` was misclassified, Frost finds
+//! the correctly classified pair `p_t = {e_t1, e_t2}` most similar to it.
+//! Similarity between two *pairs* is captured by two vectors,
+//!
+//! ```text
+//! v_direct = (sim(e_f1, e_t1), sim(e_f2, e_t2))
+//! v_cross  = (sim(e_f1, e_t2), sim(e_f2, e_t1))
+//! ```
+//!
+//! each collapsed to a scalar via the Minkowski norm with `q ∈ [1, 2]`
+//! (Manhattan … Euclidean) against the origin; the pair's score is the
+//! larger of the two, and the best-scoring candidate is selected.
+
+use crate::dataset::{RecordId, RecordPair};
+
+/// Minkowski norm of a 2-vector against the origin,
+/// `(|v1|^q + |v2|^q)^(1/q)`.
+///
+/// # Panics
+/// Panics unless `q ∈ [1, 2]`.
+pub fn minkowski_distance(v: (f64, f64), q: f64) -> f64 {
+    assert!((1.0..=2.0).contains(&q), "q must be in [1, 2]");
+    (v.0.abs().powf(q) + v.1.abs().powf(q)).powf(1.0 / q)
+}
+
+/// The §4.4 distance score of a candidate `p_t` against the misclassified
+/// `p_f`: `max(‖v_direct‖_q, ‖v_cross‖_q)`, taking the better of the two
+/// record alignments.
+pub fn pair_distance_score(
+    p_f: RecordPair,
+    p_t: RecordPair,
+    sim: &impl Fn(RecordId, RecordId) -> f64,
+    q: f64,
+) -> f64 {
+    let (f1, f2) = p_f.ids();
+    let (t1, t2) = p_t.ids();
+    let direct = (sim(f1, t1), sim(f2, t2));
+    let cross = (sim(f1, t2), sim(f2, t1));
+    minkowski_distance(direct, q).max(minkowski_distance(cross, q))
+}
+
+/// The result of an error-analysis lookup.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NearestCorrectPair {
+    /// The selected correctly classified pair.
+    pub pair: RecordPair,
+    /// Its distance score (higher = more similar record-wise).
+    pub score: f64,
+}
+
+/// Finds, among `correct_pairs`, the pair most similar to the
+/// misclassified `p_f` under the record-similarity function `sim`.
+/// Returns `None` when there are no candidates. Candidates equal to
+/// `p_f` itself are skipped.
+pub fn nearest_correct_pair(
+    p_f: RecordPair,
+    correct_pairs: &[RecordPair],
+    sim: impl Fn(RecordId, RecordId) -> f64,
+    q: f64,
+) -> Option<NearestCorrectPair> {
+    correct_pairs
+        .iter()
+        .filter(|&&p| p != p_f)
+        .map(|&p| NearestCorrectPair {
+            pair: p,
+            score: pair_distance_score(p_f, p, &sim, q),
+        })
+        .max_by(|a, b| {
+            a.score
+                .partial_cmp(&b.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| b.pair.cmp(&a.pair)) // deterministic tie-break
+        })
+}
+
+/// Enriches every misclassified pair with its nearest correctly
+/// classified pair — the batch form used by result views.
+pub fn explain_errors(
+    misclassified: &[RecordPair],
+    correct_pairs: &[RecordPair],
+    sim: impl Fn(RecordId, RecordId) -> f64 + Copy,
+    q: f64,
+) -> Vec<(RecordPair, Option<NearestCorrectPair>)> {
+    misclassified
+        .iter()
+        .map(|&p| (p, nearest_correct_pair(p, correct_pairs, sim, q)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(a: u32, b: u32) -> RecordPair {
+        RecordPair::from((a, b))
+    }
+
+    #[test]
+    fn minkowski_special_cases() {
+        // q = 1: Manhattan.
+        assert!((minkowski_distance((0.3, 0.4), 1.0) - 0.7).abs() < 1e-12);
+        // q = 2: Euclidean.
+        assert!((minkowski_distance((0.3, 0.4), 2.0) - 0.5).abs() < 1e-12);
+        // Intermediate q lies between.
+        let mid = minkowski_distance((0.3, 0.4), 1.5);
+        assert!(mid > 0.5 && mid < 0.7);
+    }
+
+    #[test]
+    #[should_panic(expected = "q must be in [1, 2]")]
+    fn q_out_of_range_panics() {
+        minkowski_distance((0.1, 0.1), 3.0);
+    }
+
+    /// Similarity on a toy id-space: records with close ids are similar.
+    fn toy_sim(a: RecordId, b: RecordId) -> f64 {
+        let d = (a.0 as f64 - b.0 as f64).abs();
+        (1.0 - d / 10.0).max(0.0)
+    }
+
+    #[test]
+    fn cross_alignment_is_considered() {
+        // p_f = {0, 9}; candidate {9, 0} reversed is p_f itself, so use
+        // {8, 1}: direct = (sim(0,1), sim(9,8)) wait — normalized pairs
+        // sort ids, so direct = (sim(0,1), sim(9,8)) both 0.9 → strong.
+        let p_f = pair(0, 9);
+        let direct_friendly = pair(1, 8);
+        let score = pair_distance_score(p_f, direct_friendly, &toy_sim, 2.0);
+        // direct = (sim(0,1), sim(9,8)) = (0.9, 0.9) → norm ≈ 1.2728.
+        assert!((score - (2.0f64 * 0.81).sqrt()).abs() < 1e-9);
+        // A candidate whose *cross* alignment is better: {9, 10} vs {0, 9}:
+        // direct = (sim(0,9), sim(9,10)) = (0.1, 0.9);
+        // cross  = (sim(0,10), sim(9,9)) = (0.0, 1.0) → max picks cross (1.0 < 0.906? no).
+        let cand = pair(9, 10);
+        let s = pair_distance_score(p_f, cand, &toy_sim, 2.0);
+        let direct = minkowski_distance((toy_sim(RecordId(0), RecordId(9)), toy_sim(RecordId(9), RecordId(10))), 2.0);
+        let cross = minkowski_distance((toy_sim(RecordId(0), RecordId(10)), toy_sim(RecordId(9), RecordId(9))), 2.0);
+        assert!((s - direct.max(cross)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nearest_pair_selection() {
+        let p_f = pair(4, 5);
+        let candidates = [pair(3, 6), pair(0, 9), pair(4, 5)];
+        let best = nearest_correct_pair(p_f, &candidates, toy_sim, 2.0).unwrap();
+        // {3,6} is record-wise closest to {4,5}; {4,5} itself is skipped.
+        assert_eq!(best.pair, pair(3, 6));
+        assert!(best.score > 1.0);
+    }
+
+    #[test]
+    fn no_candidates_returns_none() {
+        assert_eq!(nearest_correct_pair(pair(0, 1), &[], toy_sim, 1.0), None);
+        assert_eq!(
+            nearest_correct_pair(pair(0, 1), &[pair(0, 1)], toy_sim, 1.0),
+            None
+        );
+    }
+
+    #[test]
+    fn batch_explanation() {
+        let wrong = [pair(4, 5), pair(0, 1)];
+        let correct = [pair(3, 6), pair(2, 7)];
+        let explained = explain_errors(&wrong, &correct, toy_sim, 1.5);
+        assert_eq!(explained.len(), 2);
+        assert!(explained.iter().all(|(_, n)| n.is_some()));
+        assert_eq!(explained[0].1.unwrap().pair, pair(3, 6));
+    }
+}

@@ -1,0 +1,339 @@
+//! Error categorization (the paper's §7 outlook: "The ability to
+//! categorize the errors of a matching solution helps to more easily
+//! find structural deficiencies. For example, a matching solution could
+//! be especially weak in the handling of typos.").
+//!
+//! Each misclassified pair is assigned the most specific applicable
+//! category by inspecting the two records' attribute values; a
+//! solution's *error profile* is the category histogram over all its
+//! errors.
+
+use super::JudgedPair;
+use crate::dataset::Dataset;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Structural categories of matching errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ErrorCategory {
+    /// At least one attribute value is missing on one side — the
+    /// solution likely mishandles nulls (ties into nullRatio, §4.5.2).
+    MissingValue,
+    /// Some attribute pair differs only by a small edit distance —
+    /// a typo the solution failed to bridge (false negative) or was
+    /// fooled by (false positive).
+    Typo,
+    /// Some attribute pair contains the same tokens in different order.
+    TokenReorder,
+    /// Some attribute pair differs by an abbreviation (one token is a
+    /// 1-character-plus-dot, or prefix, form of the other).
+    Abbreviation,
+    /// Some attribute pair shares a strict subset of tokens (partial
+    /// overlap — extra or dropped tokens).
+    PartialTokens,
+    /// None of the structural patterns apply: the values genuinely
+    /// conflict (or agree) — a semantic decision-model error.
+    ValueConflict,
+}
+
+impl ErrorCategory {
+    /// All categories in match-priority order (most specific first).
+    pub const ALL: [ErrorCategory; 6] = [
+        ErrorCategory::MissingValue,
+        ErrorCategory::Abbreviation,
+        ErrorCategory::TokenReorder,
+        ErrorCategory::Typo,
+        ErrorCategory::PartialTokens,
+        ErrorCategory::ValueConflict,
+    ];
+}
+
+impl std::fmt::Display for ErrorCategory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ErrorCategory::MissingValue => "missing value",
+            ErrorCategory::Typo => "typo",
+            ErrorCategory::TokenReorder => "token reorder",
+            ErrorCategory::Abbreviation => "abbreviation",
+            ErrorCategory::PartialTokens => "partial tokens",
+            ErrorCategory::ValueConflict => "value conflict",
+        };
+        f.pad(s)
+    }
+}
+
+/// Levenshtein distance, capped at `cap + 1` (early exit keeps the
+/// categorizer cheap on long values).
+fn capped_levenshtein(a: &str, b: &str, cap: usize) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.len().abs_diff(b.len()) > cap {
+        return cap + 1;
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        let mut row_min = cur[0];
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+            row_min = row_min.min(cur[j + 1]);
+        }
+        if row_min > cap {
+            return cap + 1;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+fn is_abbreviation(a: &str, b: &str) -> bool {
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if short.is_empty() || long.is_empty() || short == long {
+        return false;
+    }
+    // "a." or "a" abbreviating "anna"; or a strict prefix of ≥1 char.
+    let stem = short.strip_suffix('.').unwrap_or(short);
+    !stem.is_empty() && stem.len() < long.len() && long.starts_with(stem) && stem.len() <= 3
+}
+
+fn same_tokens_reordered(a: &str, b: &str) -> bool {
+    let mut ta: Vec<&str> = a.split_whitespace().collect();
+    let mut tb: Vec<&str> = b.split_whitespace().collect();
+    if ta == tb || ta.len() < 2 {
+        return false;
+    }
+    ta.sort_unstable();
+    tb.sort_unstable();
+    ta == tb
+}
+
+fn token_abbreviation(a: &str, b: &str) -> bool {
+    let ta: Vec<&str> = a.split_whitespace().collect();
+    let tb: Vec<&str> = b.split_whitespace().collect();
+    if ta.len() != tb.len() {
+        return false;
+    }
+    let mut abbreviated = false;
+    for (x, y) in ta.iter().zip(&tb) {
+        if x == y {
+            continue;
+        }
+        if is_abbreviation(x, y) {
+            abbreviated = true;
+        } else {
+            return false;
+        }
+    }
+    abbreviated
+}
+
+fn partial_token_overlap(a: &str, b: &str) -> bool {
+    let ta: std::collections::HashSet<&str> = a.split_whitespace().collect();
+    let tb: std::collections::HashSet<&str> = b.split_whitespace().collect();
+    if ta.is_empty() || tb.is_empty() || ta == tb {
+        return false;
+    }
+    let inter = ta.intersection(&tb).count();
+    inter > 0 && (inter < ta.len() || inter < tb.len())
+}
+
+/// Categorizes one misclassified pair by scanning its attribute pairs
+/// for the most specific structural pattern.
+pub fn categorize(ds: &Dataset, pair: crate::dataset::RecordPair) -> ErrorCategory {
+    let a = ds.record(pair.lo());
+    let b = ds.record(pair.hi());
+    let mut seen_typo = false;
+    let mut seen_reorder = false;
+    let mut seen_abbrev = false;
+    let mut seen_partial = false;
+    for col in 0..ds.schema().len() {
+        match (a.value(col), b.value(col)) {
+            (None, Some(_)) | (Some(_), None) => return ErrorCategory::MissingValue,
+            (Some(x), Some(y)) if x != y => {
+                if token_abbreviation(x, y) {
+                    seen_abbrev = true;
+                } else if same_tokens_reordered(x, y) {
+                    seen_reorder = true;
+                } else if capped_levenshtein(x, y, 2) <= 2 {
+                    seen_typo = true;
+                } else if partial_token_overlap(x, y) {
+                    seen_partial = true;
+                }
+            }
+            _ => {}
+        }
+    }
+    if seen_abbrev {
+        ErrorCategory::Abbreviation
+    } else if seen_reorder {
+        ErrorCategory::TokenReorder
+    } else if seen_typo {
+        ErrorCategory::Typo
+    } else if seen_partial {
+        ErrorCategory::PartialTokens
+    } else {
+        ErrorCategory::ValueConflict
+    }
+}
+
+/// The error profile of a judged result set: category → count over all
+/// misclassified pairs, split by false positives and false negatives.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ErrorProfile {
+    /// Category counts among false positives.
+    pub false_positives: HashMap<ErrorCategory, usize>,
+    /// Category counts among false negatives.
+    pub false_negatives: HashMap<ErrorCategory, usize>,
+}
+
+impl ErrorProfile {
+    /// Builds the profile from judged pairs.
+    pub fn from_judged(ds: &Dataset, judged: &[JudgedPair]) -> Self {
+        let mut profile = ErrorProfile::default();
+        for p in judged.iter().filter(|p| !p.correct()) {
+            let cat = categorize(ds, p.pair);
+            let bucket = if p.predicted_match {
+                &mut profile.false_positives
+            } else {
+                &mut profile.false_negatives
+            };
+            *bucket.entry(cat).or_insert(0) += 1;
+        }
+        profile
+    }
+
+    /// Total errors in a category across both buckets.
+    pub fn total(&self, cat: ErrorCategory) -> usize {
+        self.false_positives.get(&cat).copied().unwrap_or(0)
+            + self.false_negatives.get(&cat).copied().unwrap_or(0)
+    }
+
+    /// The dominant error category, if any errors exist.
+    pub fn dominant(&self) -> Option<ErrorCategory> {
+        ErrorCategory::ALL
+            .into_iter()
+            .max_by_key(|&c| self.total(c))
+            .filter(|&c| self.total(c) > 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{RecordPair, Schema};
+
+    fn ds(rows: &[[Option<&str>; 2]]) -> Dataset {
+        let mut d = Dataset::new("d", Schema::new(["name", "year"]));
+        for (i, row) in rows.iter().enumerate() {
+            d.push_record_opt(
+                format!("r{i}"),
+                row.iter().map(|v| v.map(str::to_string)).collect(),
+            );
+        }
+        d
+    }
+
+    fn pair(a: u32, b: u32) -> RecordPair {
+        RecordPair::from((a, b))
+    }
+
+    #[test]
+    fn missing_value_wins() {
+        let d = ds(&[[Some("ann"), None], [Some("anne"), Some("1999")]]);
+        assert_eq!(categorize(&d, pair(0, 1)), ErrorCategory::MissingValue);
+    }
+
+    #[test]
+    fn typo_detection() {
+        let d = ds(&[
+            [Some("anna schmidt"), Some("1999")],
+            [Some("anna schmitd"), Some("1999")],
+        ]);
+        assert_eq!(categorize(&d, pair(0, 1)), ErrorCategory::Typo);
+    }
+
+    #[test]
+    fn token_reorder_detection() {
+        let d = ds(&[
+            [Some("schmidt anna"), Some("1999")],
+            [Some("anna schmidt"), Some("1999")],
+        ]);
+        assert_eq!(categorize(&d, pair(0, 1)), ErrorCategory::TokenReorder);
+    }
+
+    #[test]
+    fn abbreviation_detection() {
+        let d = ds(&[
+            [Some("a. schmidt"), Some("1999")],
+            [Some("anna schmidt"), Some("1999")],
+        ]);
+        assert_eq!(categorize(&d, pair(0, 1)), ErrorCategory::Abbreviation);
+        assert!(is_abbreviation("a.", "anna"));
+        assert!(is_abbreviation("an", "anna"));
+        assert!(!is_abbreviation("anna", "anna"));
+        assert!(!is_abbreviation("bert", "anna"));
+    }
+
+    #[test]
+    fn partial_tokens_and_conflict() {
+        let partial = ds(&[
+            [Some("anna maria schmidt"), Some("1999")],
+            [Some("anna schmidt extra thing"), Some("1999")],
+        ]);
+        assert_eq!(categorize(&partial, pair(0, 1)), ErrorCategory::PartialTokens);
+        let conflict = ds(&[
+            [Some("anna schmidt"), Some("1999")],
+            [Some("totally different"), Some("1999")],
+        ]);
+        assert_eq!(categorize(&conflict, pair(0, 1)), ErrorCategory::ValueConflict);
+        // Identical records (an FP on exact duplicates) → ValueConflict.
+        let same = ds(&[[Some("x"), Some("1")], [Some("x"), Some("1")]]);
+        assert_eq!(categorize(&same, pair(0, 1)), ErrorCategory::ValueConflict);
+    }
+
+    #[test]
+    fn capped_levenshtein_early_exit() {
+        assert_eq!(capped_levenshtein("abc", "abd", 2), 1);
+        assert!(capped_levenshtein("abcdefgh", "zzzzzzzz", 2) > 2);
+        assert!(capped_levenshtein("short", "muchlongerstring", 2) > 2);
+    }
+
+    #[test]
+    fn profile_histogram() {
+        let d = ds(&[
+            [Some("anna schmidt"), Some("1999")],  // 0
+            [Some("anna schmitd"), Some("1999")],  // 1: typo of 0
+            [Some("bert weber"), None],            // 2: missing year
+            [Some("bert weber"), Some("2001")],    // 3
+        ]);
+        let judged = vec![
+            JudgedPair {
+                pair: pair(0, 1),
+                similarity: Some(0.6),
+                predicted_match: false,
+                actual_match: true, // FN via typo
+            },
+            JudgedPair {
+                pair: pair(2, 3),
+                similarity: Some(0.9),
+                predicted_match: true,
+                actual_match: false, // FP via missing value
+            },
+            JudgedPair {
+                pair: pair(0, 3),
+                similarity: Some(0.2),
+                predicted_match: false,
+                actual_match: false, // correct; ignored
+            },
+        ];
+        let profile = ErrorProfile::from_judged(&d, &judged);
+        assert_eq!(profile.false_negatives[&ErrorCategory::Typo], 1);
+        assert_eq!(profile.false_positives[&ErrorCategory::MissingValue], 1);
+        assert_eq!(profile.total(ErrorCategory::Typo), 1);
+        assert!(profile.dominant().is_some());
+        let empty = ErrorProfile::from_judged(&d, &[]);
+        assert_eq!(empty.dominant(), None);
+    }
+}

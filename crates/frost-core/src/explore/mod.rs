@@ -1,0 +1,117 @@
+//! Exploring data matching results (§4).
+//!
+//! The workflow for improving a matching solution is iterative: run,
+//! analyze, refine, re-run. Frost structures the analysis step by
+//! *filtering* irrelevant data out ([`selection`]), *sorting* what
+//! remains by interestingness ([`sorting`]), and *enriching* it with
+//! information about the error ([`error_analysis`], [`attribute_stats`]).
+//! [`setops`] provides the set-based comparisons and Venn-region
+//! enumeration behind the N-Intersection viewer (Figure 1).
+
+pub mod attribute_stats;
+pub mod error_analysis;
+pub mod error_categories;
+pub mod selection;
+pub mod setops;
+pub mod sorting;
+
+use crate::clustering::Clustering;
+use crate::dataset::{Experiment, RecordPair};
+
+/// A pair together with its classification outcome against a ground
+/// truth — the unit most exploration techniques operate on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JudgedPair {
+    /// The record pair.
+    pub pair: RecordPair,
+    /// Similarity score, when the matching solution provided one.
+    pub similarity: Option<f64>,
+    /// Whether the solution predicted the pair to be a match.
+    pub predicted_match: bool,
+    /// Whether the pair is a true duplicate according to the ground truth.
+    pub actual_match: bool,
+}
+
+impl JudgedPair {
+    /// Whether the prediction agrees with the ground truth.
+    pub fn correct(&self) -> bool {
+        self.predicted_match == self.actual_match
+    }
+
+    /// Confusion-matrix quadrant as a short label (`"TP"`, `"FP"`,
+    /// `"FN"`, `"TN"`).
+    pub fn quadrant(&self) -> &'static str {
+        match (self.predicted_match, self.actual_match) {
+            (true, true) => "TP",
+            (true, false) => "FP",
+            (false, true) => "FN",
+            (false, false) => "TN",
+        }
+    }
+}
+
+/// Judges an experiment's predicted matches against a ground truth
+/// (predicted positives only — the usual case when the full pair space
+/// is too large to enumerate).
+pub fn judge_experiment(experiment: &Experiment, truth: &Clustering) -> Vec<JudgedPair> {
+    experiment
+        .pairs()
+        .iter()
+        .map(|sp| JudgedPair {
+            pair: sp.pair,
+            similarity: sp.similarity,
+            predicted_match: true,
+            actual_match: truth.same_cluster(sp.pair.lo(), sp.pair.hi()),
+        })
+        .collect()
+}
+
+/// Judges a full scored candidate list against a threshold and ground
+/// truth: candidates with `similarity ≥ threshold` count as predicted
+/// matches, the rest as predicted non-matches. This includes predicted
+/// negatives, enabling the around-the-threshold strategies (§4.2.1).
+pub fn judge_candidates(
+    candidates: &[(RecordPair, f64)],
+    threshold: f64,
+    truth: &Clustering,
+) -> Vec<JudgedPair> {
+    candidates
+        .iter()
+        .map(|&(pair, similarity)| JudgedPair {
+            pair,
+            similarity: Some(similarity),
+            predicted_match: similarity >= threshold,
+            actual_match: truth.same_cluster(pair.lo(), pair.hi()),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadrants() {
+        let truth = Clustering::from_assignment(&[0, 0, 1, 1]);
+        let e = Experiment::from_scored_pairs("e", [(0u32, 1u32, 0.9), (0, 2, 0.8)]);
+        let judged = judge_experiment(&e, &truth);
+        assert_eq!(judged[0].quadrant(), "TP");
+        assert!(judged[0].correct());
+        assert_eq!(judged[1].quadrant(), "FP");
+        assert!(!judged[1].correct());
+    }
+
+    #[test]
+    fn candidate_judging_covers_negatives() {
+        let truth = Clustering::from_assignment(&[0, 0, 1, 1]);
+        let candidates = vec![
+            (RecordPair::from((0u32, 1u32)), 0.9), // TP
+            (RecordPair::from((2u32, 3u32)), 0.3), // FN (below threshold)
+            (RecordPair::from((0u32, 2u32)), 0.2), // TN
+            (RecordPair::from((1u32, 3u32)), 0.7), // FP
+        ];
+        let judged = judge_candidates(&candidates, 0.5, &truth);
+        let quadrants: Vec<&str> = judged.iter().map(JudgedPair::quadrant).collect();
+        assert_eq!(quadrants, vec!["TP", "FN", "TN", "FP"]);
+    }
+}

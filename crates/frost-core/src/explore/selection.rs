@@ -1,0 +1,399 @@
+//! Pair selection strategies (§4.2).
+//!
+//! Real-world result sets can contain millions of pairs; these strategies
+//! reduce what is shown to the user:
+//!
+//! * [`around_threshold`] / [`around_threshold_proportional`] — border
+//!   cases near the similarity threshold (§4.2.1).
+//! * [`misclassified_outliers`] — incorrectly labelled pairs furthest
+//!   from the threshold (§4.2.2).
+//! * [`percentile_partitions`] — representative pairs per score
+//!   percentile, with random / class-based / quantile sampling and a
+//!   per-partition confusion matrix (§4.2.3).
+//! * Plain result pairs (§4.2.4) are available via
+//!   [`Experiment::matcher_pairs`](crate::dataset::Experiment::matcher_pairs).
+
+use super::JudgedPair;
+use crate::metrics::confusion::ConfusionMatrix;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Distance of a judged pair's score from the threshold; pairs without a
+/// score are infinitely far (never "around" the threshold).
+fn distance_to(threshold: f64) -> impl Fn(&JudgedPair) -> f64 {
+    move |p| {
+        p.similarity
+            .map(|s| (s - threshold).abs())
+            .unwrap_or(f64::INFINITY)
+    }
+}
+
+/// Selects up to `k` pairs closest to the threshold, half from above
+/// (`similarity ≥ threshold`) and half from below. When one side has too
+/// few pairs, the other side fills the remainder.
+pub fn around_threshold(judged: &[JudgedPair], threshold: f64, k: usize) -> Vec<JudgedPair> {
+    around_threshold_proportional(judged, threshold, k, 0.5)
+}
+
+/// Like [`around_threshold`], but drawing `⌈k·ratio_above⌉` pairs from
+/// above the threshold — e.g. with `ratio_above =`
+/// [`misclassification_ratio_above`] to mirror where the errors sit.
+pub fn around_threshold_proportional(
+    judged: &[JudgedPair],
+    threshold: f64,
+    k: usize,
+    ratio_above: f64,
+) -> Vec<JudgedPair> {
+    assert!(
+        (0.0..=1.0).contains(&ratio_above),
+        "ratio_above must be in [0,1]"
+    );
+    let dist = distance_to(threshold);
+    let mut above: Vec<JudgedPair> = judged
+        .iter()
+        .filter(|p| p.similarity.is_some_and(|s| s >= threshold))
+        .copied()
+        .collect();
+    let mut below: Vec<JudgedPair> = judged
+        .iter()
+        .filter(|p| p.similarity.is_some_and(|s| s < threshold))
+        .copied()
+        .collect();
+    above.sort_by(|a, b| dist(a).partial_cmp(&dist(b)).unwrap());
+    below.sort_by(|a, b| dist(a).partial_cmp(&dist(b)).unwrap());
+    let want_above = ((k as f64 * ratio_above).ceil() as usize).min(k);
+    let take_above = want_above.min(above.len());
+    let take_below = (k - take_above).min(below.len());
+    // Backfill from above when below ran short.
+    let take_above = (k - take_below).min(above.len());
+    let mut out = Vec::with_capacity(take_above + take_below);
+    out.extend_from_slice(&above[..take_above]);
+    out.extend_from_slice(&below[..take_below]);
+    out.sort_by(|a, b| dist(a).partial_cmp(&dist(b)).unwrap());
+    out
+}
+
+/// The fraction of misclassified pairs lying above the threshold — "one
+/// interesting proportion is the ratio of incorrectly classified pairs
+/// above the threshold to below" (§4.2.1). `0.5` when there are no
+/// errors at all.
+pub fn misclassification_ratio_above(judged: &[JudgedPair], threshold: f64) -> f64 {
+    let mut above = 0usize;
+    let mut below = 0usize;
+    for p in judged.iter().filter(|p| !p.correct()) {
+        match p.similarity {
+            Some(s) if s >= threshold => above += 1,
+            Some(_) => below += 1,
+            None => {}
+        }
+    }
+    if above + below == 0 {
+        0.5
+    } else {
+        above as f64 / (above + below) as f64
+    }
+}
+
+/// Selects the `k` misclassified pairs *furthest* from the threshold —
+/// confident mistakes worth investigating for a common misleading
+/// feature (§4.2.2).
+pub fn misclassified_outliers(
+    judged: &[JudgedPair],
+    threshold: f64,
+    k: usize,
+) -> Vec<JudgedPair> {
+    let dist = distance_to(threshold);
+    let mut wrong: Vec<JudgedPair> = judged
+        .iter()
+        .filter(|p| !p.correct() && p.similarity.is_some())
+        .copied()
+        .collect();
+    wrong.sort_by(|a, b| dist(b).partial_cmp(&dist(a)).unwrap());
+    wrong.truncate(k);
+    wrong
+}
+
+/// How representatives are drawn from each partition (§4.2.3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SamplingStrategy {
+    /// Unbiased uniform sampling (seeded for reproducibility).
+    Random {
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Samples correctly and incorrectly classified pairs proportionally
+    /// to their frequency in the partition.
+    ClassBased {
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Deterministic quantiles of the similarity score (e.g. `b = 5` →
+    /// quantiles 0, 0.25, 0.5, 0.75, 1).
+    Quantile,
+}
+
+/// One score partition with its local confusion matrix and sampled
+/// representatives.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Partition {
+    /// Partition index, 0 = lowest scores.
+    pub index: usize,
+    /// `(min, max)` similarity within the partition.
+    pub score_range: (f64, f64),
+    /// Confusion counts restricted to this partition; "users can focus
+    /// on those partitions with high error levels".
+    pub matrix: ConfusionMatrix,
+    /// The sampled representative pairs.
+    pub representatives: Vec<JudgedPair>,
+}
+
+impl Partition {
+    /// A partition with few or no errors is a *confident section*.
+    pub fn is_confident(&self) -> bool {
+        self.matrix.errors() == 0
+    }
+}
+
+/// Sorts pairs by similarity, splits them into `k` near-equal partitions
+/// and reduces each to `b` representatives (§4.2.3). Pairs without a
+/// score are ignored.
+pub fn percentile_partitions(
+    judged: &[JudgedPair],
+    k: usize,
+    b: usize,
+    strategy: SamplingStrategy,
+) -> Vec<Partition> {
+    assert!(k > 0, "need at least one partition");
+    let mut scored: Vec<JudgedPair> = judged
+        .iter()
+        .filter(|p| p.similarity.is_some())
+        .copied()
+        .collect();
+    scored.sort_by(|a, b| {
+        a.similarity
+            .partial_cmp(&b.similarity)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let m = scored.len();
+    let mut partitions = Vec::with_capacity(k);
+    for index in 0..k {
+        let start = index * m / k;
+        let stop = (index + 1) * m / k;
+        let slice = &scored[start..stop];
+        if slice.is_empty() {
+            partitions.push(Partition {
+                index,
+                score_range: (f64::NAN, f64::NAN),
+                matrix: ConfusionMatrix::default(),
+                representatives: Vec::new(),
+            });
+            continue;
+        }
+        let matrix = local_matrix(slice);
+        let representatives = sample(slice, b, strategy);
+        partitions.push(Partition {
+            index,
+            score_range: (
+                slice.first().unwrap().similarity.unwrap(),
+                slice.last().unwrap().similarity.unwrap(),
+            ),
+            matrix,
+            representatives,
+        });
+    }
+    partitions
+}
+
+fn local_matrix(slice: &[JudgedPair]) -> ConfusionMatrix {
+    let mut m = ConfusionMatrix::default();
+    for p in slice {
+        match (p.predicted_match, p.actual_match) {
+            (true, true) => m.true_positives += 1,
+            (true, false) => m.false_positives += 1,
+            (false, true) => m.false_negatives += 1,
+            (false, false) => m.true_negatives += 1,
+        }
+    }
+    m
+}
+
+fn sample(slice: &[JudgedPair], b: usize, strategy: SamplingStrategy) -> Vec<JudgedPair> {
+    if slice.len() <= b {
+        return slice.to_vec();
+    }
+    match strategy {
+        SamplingStrategy::Random { seed } => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut out: Vec<JudgedPair> =
+                slice.choose_multiple(&mut rng, b).copied().collect();
+            out.sort_by(|a, b| a.similarity.partial_cmp(&b.similarity).unwrap());
+            out
+        }
+        SamplingStrategy::ClassBased { seed } => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let correct: Vec<JudgedPair> =
+                slice.iter().filter(|p| p.correct()).copied().collect();
+            let incorrect: Vec<JudgedPair> =
+                slice.iter().filter(|p| !p.correct()).copied().collect();
+            let kt = correct.len();
+            let kf = incorrect.len();
+            // b·kT/(kT+kF) correct and b·kF/(kT+kF) incorrect pairs.
+            let want_correct =
+                ((b as f64 * kt as f64 / (kt + kf) as f64).round() as usize).min(kt);
+            let want_incorrect = (b - want_correct.min(b)).min(kf);
+            let mut out: Vec<JudgedPair> = correct
+                .choose_multiple(&mut rng, want_correct)
+                .copied()
+                .collect();
+            out.extend(incorrect.choose_multiple(&mut rng, want_incorrect).copied());
+            out.sort_by(|a, b| a.similarity.partial_cmp(&b.similarity).unwrap());
+            out
+        }
+        SamplingStrategy::Quantile => {
+            if b == 1 {
+                return vec![slice[slice.len() / 2]];
+            }
+            (0..b)
+                .map(|i| slice[i * (slice.len() - 1) / (b - 1)])
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::RecordPair;
+
+    fn jp(a: u32, b: u32, sim: f64, predicted: bool, actual: bool) -> JudgedPair {
+        JudgedPair {
+            pair: RecordPair::from((a, b)),
+            similarity: Some(sim),
+            predicted_match: predicted,
+            actual_match: actual,
+        }
+    }
+
+    fn ladder() -> Vec<JudgedPair> {
+        // Scores 0.1 … 1.0; threshold 0.55: above predicted match.
+        (0..10)
+            .map(|i| {
+                let s = (i + 1) as f64 / 10.0;
+                let predicted = s >= 0.55;
+                // Make 0.5 a FN and 0.6 a FP; everything else correct.
+                let actual = match i {
+                    4 => true,  // 0.5 below threshold but a duplicate
+                    5 => false, // 0.6 above threshold but no duplicate
+                    _ => predicted,
+                };
+                jp(2 * i, 2 * i + 1, s, predicted, actual)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn around_threshold_picks_border_cases() {
+        let judged = ladder();
+        let sel = around_threshold(&judged, 0.55, 4);
+        let scores: Vec<f64> = sel.iter().map(|p| p.similarity.unwrap()).collect();
+        // Nearest two above (0.6, 0.7) and below (0.5, 0.4).
+        for s in [0.6, 0.5, 0.7, 0.4] {
+            assert!(scores.iter().any(|&x| (x - s).abs() < 1e-12), "missing {s}");
+        }
+        assert_eq!(sel.len(), 4);
+    }
+
+    #[test]
+    fn around_threshold_backfills_short_side() {
+        let judged: Vec<JudgedPair> = (0..5)
+            .map(|i| jp(2 * i, 2 * i + 1, 0.9 - i as f64 * 0.01, true, true))
+            .collect();
+        // Everything is above 0.5; below side is empty.
+        let sel = around_threshold(&judged, 0.5, 4);
+        assert_eq!(sel.len(), 4);
+    }
+
+    #[test]
+    fn proportional_selection_respects_ratio() {
+        let judged = ladder();
+        let sel = around_threshold_proportional(&judged, 0.55, 4, 1.0);
+        assert!(sel
+            .iter()
+            .all(|p| p.similarity.unwrap() >= 0.55));
+    }
+
+    #[test]
+    fn misclassification_ratio() {
+        let judged = ladder();
+        // One error above (0.6 FP), one below (0.5 FN) → 0.5.
+        assert!((misclassification_ratio_above(&judged, 0.55) - 0.5).abs() < 1e-12);
+        let clean: Vec<JudgedPair> = judged.iter().filter(|p| p.correct()).copied().collect();
+        assert_eq!(misclassification_ratio_above(&clean, 0.55), 0.5);
+    }
+
+    #[test]
+    fn outliers_are_far_errors() {
+        let mut judged = ladder();
+        // Add a confident mistake at 0.99 (predicted match, not actual).
+        judged.push(jp(100, 101, 0.99, true, false));
+        let out = misclassified_outliers(&judged, 0.55, 2);
+        assert_eq!(out.len(), 2);
+        assert!((out[0].similarity.unwrap() - 0.99).abs() < 1e-12);
+        assert!(!out.iter().any(|p| p.correct()));
+    }
+
+    #[test]
+    fn partitions_cover_and_count() {
+        let judged = ladder();
+        let parts = percentile_partitions(&judged, 2, 3, SamplingStrategy::Quantile);
+        assert_eq!(parts.len(), 2);
+        // Lower partition: scores 0.1–0.5, contains the FN at 0.5.
+        assert_eq!(parts[0].matrix.false_negatives, 1);
+        assert_eq!(parts[0].matrix.true_negatives, 4);
+        assert!(!parts[0].is_confident());
+        // Upper partition: contains the FP at 0.6.
+        assert_eq!(parts[1].matrix.false_positives, 1);
+        assert_eq!(parts[1].matrix.true_positives, 4);
+        // Quantile sampling: first and last of each slice included.
+        assert!((parts[0].score_range.0 - 0.1).abs() < 1e-12);
+        assert!((parts[1].score_range.1 - 1.0).abs() < 1e-12);
+        assert_eq!(parts[0].representatives.len(), 3);
+    }
+
+    #[test]
+    fn random_sampling_is_seeded_and_bounded() {
+        let judged = ladder();
+        let a = percentile_partitions(&judged, 1, 4, SamplingStrategy::Random { seed: 7 });
+        let b = percentile_partitions(&judged, 1, 4, SamplingStrategy::Random { seed: 7 });
+        assert_eq!(a, b, "same seed must reproduce the sample");
+        assert_eq!(a[0].representatives.len(), 4);
+    }
+
+    #[test]
+    fn class_based_sampling_weighs_errors() {
+        // Partition of 10 with 5 errors: b=4 should pick 2 correct, 2 incorrect.
+        let judged: Vec<JudgedPair> = (0..10)
+            .map(|i| jp(2 * i, 2 * i + 1, 0.5, true, i % 2 == 0))
+            .collect();
+        let parts =
+            percentile_partitions(&judged, 1, 4, SamplingStrategy::ClassBased { seed: 3 });
+        let reps = &parts[0].representatives;
+        assert_eq!(reps.len(), 4);
+        assert_eq!(reps.iter().filter(|p| p.correct()).count(), 2);
+    }
+
+    #[test]
+    fn small_partition_returns_everything() {
+        let judged = vec![jp(0, 1, 0.9, true, true)];
+        let parts = percentile_partitions(&judged, 1, 5, SamplingStrategy::Quantile);
+        assert_eq!(parts[0].representatives.len(), 1);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_partitions() {
+        let parts = percentile_partitions(&[], 3, 2, SamplingStrategy::Quantile);
+        assert_eq!(parts.len(), 3);
+        assert!(parts.iter().all(|p| p.representatives.is_empty()));
+    }
+}

@@ -1,0 +1,272 @@
+//! Set-based comparisons of result sets (§4.1, Figure 1).
+//!
+//! Intersection and difference over experiments "can describe all
+//! partitions of the confusion matrix" and, unlike the binary confusion
+//! matrix, generalize to *n* result sets. The [`SetExpression`] tree is
+//! the programmatic counterpart of clicking regions of Snowman's
+//! interactive Venn diagram; [`venn_regions`] enumerates every region at
+//! once.
+
+use crate::dataset::{Dataset, Experiment, Record, RecordPair};
+use std::collections::{HashMap, HashSet};
+
+/// A set-algebra expression over a universe of named result sets.
+///
+/// Leaves reference result sets by index into the slice passed to
+/// [`SetExpression::evaluate`]. Example — the false positives of
+/// experiment 0 against ground truth 1 (`E \ G`):
+///
+/// ```
+/// use frost_core::explore::setops::SetExpression;
+/// let fp = SetExpression::set(0).difference(SetExpression::set(1));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SetExpression {
+    /// A result set, by index into the universe.
+    Set(usize),
+    /// Pairs in both operands.
+    Intersection(Box<SetExpression>, Box<SetExpression>),
+    /// Pairs in either operand.
+    Union(Box<SetExpression>, Box<SetExpression>),
+    /// Pairs in the left but not the right operand.
+    Difference(Box<SetExpression>, Box<SetExpression>),
+}
+
+impl SetExpression {
+    /// Leaf constructor.
+    pub fn set(index: usize) -> Self {
+        SetExpression::Set(index)
+    }
+
+    /// `self ∩ other`.
+    pub fn intersection(self, other: SetExpression) -> Self {
+        SetExpression::Intersection(Box::new(self), Box::new(other))
+    }
+
+    /// `self ∪ other`.
+    pub fn union(self, other: SetExpression) -> Self {
+        SetExpression::Union(Box::new(self), Box::new(other))
+    }
+
+    /// `self \ other`.
+    pub fn difference(self, other: SetExpression) -> Self {
+        SetExpression::Difference(Box::new(self), Box::new(other))
+    }
+
+    /// Evaluates the expression over pair sets.
+    ///
+    /// # Panics
+    /// Panics if a leaf index is out of range.
+    pub fn evaluate(&self, universe: &[HashSet<RecordPair>]) -> HashSet<RecordPair> {
+        match self {
+            SetExpression::Set(i) => universe
+                .get(*i)
+                .unwrap_or_else(|| panic!("set index {i} out of range ({} sets)", universe.len()))
+                .clone(),
+            SetExpression::Intersection(a, b) => {
+                let (sa, sb) = (a.evaluate(universe), b.evaluate(universe));
+                sa.intersection(&sb).copied().collect()
+            }
+            SetExpression::Union(a, b) => {
+                let (sa, sb) = (a.evaluate(universe), b.evaluate(universe));
+                sa.union(&sb).copied().collect()
+            }
+            SetExpression::Difference(a, b) => {
+                let (sa, sb) = (a.evaluate(universe), b.evaluate(universe));
+                sa.difference(&sb).copied().collect()
+            }
+        }
+    }
+
+    /// Evaluates over experiments directly.
+    pub fn evaluate_experiments(&self, experiments: &[&Experiment]) -> HashSet<RecordPair> {
+        let universe: Vec<HashSet<RecordPair>> =
+            experiments.iter().map(|e| e.pair_set()).collect();
+        self.evaluate(&universe)
+    }
+}
+
+/// One region of an n-set Venn diagram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VennRegion {
+    /// Bitmask over the input sets: bit `i` set ⇔ pairs of this region
+    /// belong to set `i`.
+    pub membership: u32,
+    /// The pairs exactly in the member sets and no others.
+    pub pairs: HashSet<RecordPair>,
+}
+
+impl VennRegion {
+    /// Whether the region includes set `i`.
+    pub fn contains_set(&self, i: usize) -> bool {
+        self.membership & (1 << i) != 0
+    }
+
+    /// Number of sets this region belongs to.
+    pub fn set_count(&self) -> u32 {
+        self.membership.count_ones()
+    }
+}
+
+/// Enumerates all non-empty exclusive regions of the n-set Venn diagram
+/// in one pass over the pairs (supports up to 32 sets; the UI caps at 3,
+/// "Venn diagrams of more than three sets need … advanced shapes").
+pub fn venn_regions(sets: &[HashSet<RecordPair>]) -> Vec<VennRegion> {
+    assert!(sets.len() <= 32, "at most 32 sets supported");
+    let mut by_mask: HashMap<u32, HashSet<RecordPair>> = HashMap::new();
+    let mut membership_of: HashMap<RecordPair, u32> = HashMap::new();
+    for (i, set) in sets.iter().enumerate() {
+        for &p in set {
+            *membership_of.entry(p).or_insert(0) |= 1 << i;
+        }
+    }
+    for (p, mask) in membership_of {
+        by_mask.entry(mask).or_default().insert(p);
+    }
+    let mut regions: Vec<VennRegion> = by_mask
+        .into_iter()
+        .map(|(membership, pairs)| VennRegion { membership, pairs })
+        .collect();
+    regions.sort_by_key(|r| r.membership);
+    regions
+}
+
+/// Pairs found by at most `max_finders` of the given sets — the §5.4
+/// analysis "three true duplicate pairs that were not detected by at
+/// least four solutions" is `found_by_at_most(&truth_minus_each, …)`;
+/// here expressed directly: ground-truth pairs detected by at most
+/// `max_finders` experiments.
+pub fn hard_pairs(
+    truth_pairs: &HashSet<RecordPair>,
+    experiments: &[&Experiment],
+    max_finders: usize,
+) -> Vec<(RecordPair, usize)> {
+    let sets: Vec<HashSet<RecordPair>> = experiments.iter().map(|e| e.pair_set()).collect();
+    let mut out: Vec<(RecordPair, usize)> = truth_pairs
+        .iter()
+        .map(|&p| (p, sets.iter().filter(|s| s.contains(&p)).count()))
+        .filter(|&(_, finders)| finders <= max_finders)
+        .collect();
+    out.sort_by_key(|&(p, finders)| (finders, p));
+    out
+}
+
+/// Enriches bare pair identifiers with the actual dataset records —
+/// "some output formats consist solely of identifiers and thus require
+/// to be joined with the dataset to be helpful" (§4.1).
+pub fn enrich(
+    pairs: impl IntoIterator<Item = RecordPair>,
+    dataset: &Dataset,
+) -> Vec<(RecordPair, &Record, &Record)> {
+    pairs
+        .into_iter()
+        .map(|p| (p, dataset.record(p.lo()), dataset.record(p.hi())))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(a: u32, b: u32) -> RecordPair {
+        RecordPair::from((a, b))
+    }
+
+    fn setof(pairs: &[(u32, u32)]) -> HashSet<RecordPair> {
+        pairs.iter().map(|&(a, b)| pair(a, b)).collect()
+    }
+
+    #[test]
+    fn confusion_partitions_via_set_algebra() {
+        // E = experiment, G = ground truth: FP = E \ G, FN = G \ E, TP = E ∩ G.
+        let universe = vec![setof(&[(0, 1), (0, 2)]), setof(&[(0, 1), (2, 3)])];
+        let tp = SetExpression::set(0).intersection(SetExpression::set(1));
+        let fp = SetExpression::set(0).difference(SetExpression::set(1));
+        let fn_ = SetExpression::set(1).difference(SetExpression::set(0));
+        assert_eq!(tp.evaluate(&universe), setof(&[(0, 1)]));
+        assert_eq!(fp.evaluate(&universe), setof(&[(0, 2)]));
+        assert_eq!(fn_.evaluate(&universe), setof(&[(2, 3)]));
+    }
+
+    #[test]
+    fn union_and_nesting() {
+        let universe = vec![setof(&[(0, 1)]), setof(&[(2, 3)]), setof(&[(0, 1), (4, 5)])];
+        // (S0 ∪ S1) \ S2
+        let expr = SetExpression::set(0)
+            .union(SetExpression::set(1))
+            .difference(SetExpression::set(2));
+        assert_eq!(expr.evaluate(&universe), setof(&[(2, 3)]));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_leaf_panics() {
+        SetExpression::set(5).evaluate(&[]);
+    }
+
+    #[test]
+    fn venn_regions_partition_everything() {
+        let sets = vec![
+            setof(&[(0, 1), (0, 2), (4, 5)]),
+            setof(&[(0, 1), (2, 3)]),
+        ];
+        let regions = venn_regions(&sets);
+        // Regions: only-A {(0,2),(4,5)}, only-B {(2,3)}, both {(0,1)}.
+        assert_eq!(regions.len(), 3);
+        let by_mask: HashMap<u32, &VennRegion> =
+            regions.iter().map(|r| (r.membership, r)).collect();
+        assert_eq!(by_mask[&0b01].pairs, setof(&[(0, 2), (4, 5)]));
+        assert_eq!(by_mask[&0b10].pairs, setof(&[(2, 3)]));
+        assert_eq!(by_mask[&0b11].pairs, setof(&[(0, 1)]));
+        assert!(by_mask[&0b11].contains_set(0) && by_mask[&0b11].contains_set(1));
+        assert_eq!(by_mask[&0b01].set_count(), 1);
+        // Regions are exclusive: total size = |union|.
+        let total: usize = regions.iter().map(|r| r.pairs.len()).sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn venn_of_three_sets() {
+        let sets = vec![
+            setof(&[(0, 1), (2, 3), (4, 5)]),
+            setof(&[(0, 1), (2, 3)]),
+            setof(&[(0, 1), (6, 7)]),
+        ];
+        let regions = venn_regions(&sets);
+        let by_mask: HashMap<u32, usize> = regions
+            .iter()
+            .map(|r| (r.membership, r.pairs.len()))
+            .collect();
+        assert_eq!(by_mask[&0b111], 1); // (0,1) in all three
+        assert_eq!(by_mask[&0b011], 1); // (2,3) in first two
+        assert_eq!(by_mask[&0b001], 1); // (4,5) only first
+        assert_eq!(by_mask[&0b100], 1); // (6,7) only third
+    }
+
+    #[test]
+    fn hard_pairs_finds_universally_missed_duplicates() {
+        let truth = setof(&[(0, 1), (2, 3), (4, 5)]);
+        let e1 = Experiment::from_pairs("e1", [(0u32, 1u32), (2, 3)]);
+        let e2 = Experiment::from_pairs("e2", [(0u32, 1u32)]);
+        let e3 = Experiment::from_pairs("e3", [(0u32, 1u32), (2, 3)]);
+        let hard = hard_pairs(&truth, &[&e1, &e2, &e3], 1);
+        // (4,5) found by nobody; (2,3) found by two → excluded at max 1.
+        assert_eq!(hard, vec![(pair(4, 5), 0)]);
+        let hard2 = hard_pairs(&truth, &[&e1, &e2, &e3], 2);
+        assert_eq!(hard2.len(), 2);
+        assert_eq!(hard2[0].0, pair(4, 5));
+        assert_eq!(hard2[1], (pair(2, 3), 2));
+    }
+
+    #[test]
+    fn enrich_joins_records() {
+        use crate::dataset::Schema;
+        let mut ds = Dataset::new("d", Schema::new(["name"]));
+        ds.push_record("a", ["Ann"]);
+        ds.push_record("b", ["Anne"]);
+        let enriched = enrich([pair(0, 1)], &ds);
+        assert_eq!(enriched.len(), 1);
+        assert_eq!(enriched[0].1.value(0), Some("Ann"));
+        assert_eq!(enriched[0].2.value(0), Some("Anne"));
+    }
+}

@@ -1,0 +1,396 @@
+//! Cluster-based quality metrics (§3.2.2).
+//!
+//! Cluster-based metrics compare the *clusterings* of experiment and
+//! ground truth rather than their pair sets; they are immune to the
+//! class-imbalance problem of pair-based metrics but require transitively
+//! closed results. Frost ships "the closest-cluster-f1 score, the
+//! Variation of information and the Generalized merge distance".
+
+use crate::clustering::Clustering;
+use std::collections::HashMap;
+
+/// Contingency counts between two clusterings: `counts[(i, j)]` is the
+/// number of records in cluster `i` of `a` and cluster `j` of `b`.
+fn contingency(a: &Clustering, b: &Clustering) -> HashMap<(u32, u32), u64> {
+    assert_eq!(
+        a.num_records(),
+        b.num_records(),
+        "clusterings cover different datasets"
+    );
+    let mut counts: HashMap<(u32, u32), u64> = HashMap::new();
+    for i in 0..a.num_records() {
+        let r = crate::dataset::RecordId(i as u32);
+        *counts.entry((a.cluster_of(r), b.cluster_of(r))).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Closest-cluster precision: the average, over experiment clusters, of
+/// the best Jaccard overlap with any ground-truth cluster.
+pub fn closest_cluster_precision(experiment: &Clustering, truth: &Clustering) -> f64 {
+    closest_cluster_directed(experiment, truth)
+}
+
+/// Closest-cluster recall: the average, over ground-truth clusters, of
+/// the best Jaccard overlap with any experiment cluster.
+pub fn closest_cluster_recall(experiment: &Clustering, truth: &Clustering) -> f64 {
+    closest_cluster_directed(truth, experiment)
+}
+
+/// Harmonic mean of closest-cluster precision and recall (the
+/// "closest-cluster-f1 score" after Benjelloun et al.).
+pub fn closest_cluster_f1(experiment: &Clustering, truth: &Clustering) -> f64 {
+    let p = closest_cluster_precision(experiment, truth);
+    let r = closest_cluster_recall(experiment, truth);
+    if p + r == 0.0 {
+        0.0
+    } else {
+        2.0 * p * r / (p + r)
+    }
+}
+
+fn closest_cluster_directed(from: &Clustering, to: &Clustering) -> f64 {
+    if from.num_clusters() == 0 {
+        return 0.0;
+    }
+    // Only clusters sharing at least one record can have positive Jaccard,
+    // so the overlap counts from the contingency table suffice.
+    let counts = contingency(from, to);
+    let mut best: Vec<f64> = vec![0.0; from.num_clusters()];
+    for (&(i, j), &overlap) in &counts {
+        let union = from.cluster(i).len() as u64 + to.cluster(j).len() as u64 - overlap;
+        let jac = overlap as f64 / union as f64;
+        if jac > best[i as usize] {
+            best[i as usize] = jac;
+        }
+    }
+    best.iter().sum::<f64>() / from.num_clusters() as f64
+}
+
+/// Variation of information (Meilă 2003): `H(A|B) + H(B|A)`, in nats.
+/// Zero iff the clusterings are identical; a true metric on clusterings.
+pub fn variation_of_information(a: &Clustering, b: &Clustering) -> f64 {
+    let n = a.num_records() as f64;
+    if n == 0.0 {
+        return 0.0;
+    }
+    let counts = contingency(a, b);
+    let mut vi = 0.0;
+    for (&(i, j), &nij) in &counts {
+        let pij = nij as f64 / n;
+        let pi = a.cluster(i).len() as f64 / n;
+        let pj = b.cluster(j).len() as f64 / n;
+        // −p_ij · (ln(p_ij/p_i) + ln(p_ij/p_j))
+        vi -= pij * ((pij / pi).ln() + (pij / pj).ln());
+    }
+    vi.max(0.0) // guard tiny negative rounding
+}
+
+/// Generalized merge distance (Menestrina et al. 2010): the cheapest cost
+/// of transforming `from` into `to` using cluster splits and merges, with
+/// user-supplied cost functions `split_cost(x, y)` / `merge_cost(x, y)`
+/// on part sizes. Computed with the linear-time "slice" algorithm.
+pub fn generalized_merge_distance(
+    from: &Clustering,
+    to: &Clustering,
+    split_cost: impl Fn(u64, u64) -> f64,
+    merge_cost: impl Fn(u64, u64) -> f64,
+) -> f64 {
+    assert_eq!(
+        from.num_records(),
+        to.num_records(),
+        "clusterings cover different datasets"
+    );
+    let mut cost = 0.0;
+    // Accumulated sizes per target cluster across already-processed parts.
+    let mut acc: HashMap<u32, u64> = HashMap::new();
+    for members in from.clusters() {
+        // Partition this cluster by target-cluster membership.
+        let mut parts: HashMap<u32, u64> = HashMap::new();
+        for &r in members {
+            *parts.entry(to.cluster_of(r)).or_insert(0) += 1;
+        }
+        // Cost of splitting the cluster into its parts, peeling one part
+        // off the remainder at a time.
+        let mut remaining = members.len() as u64;
+        // Deterministic order for floating-point stability.
+        let mut part_list: Vec<(u32, u64)> = parts.into_iter().collect();
+        part_list.sort_unstable();
+        for &(_, cnt) in &part_list {
+            if remaining > cnt {
+                cost += split_cost(cnt, remaining - cnt);
+            }
+            remaining -= cnt;
+        }
+        // Cost of merging each part into its target cluster.
+        for (sid, cnt) in part_list {
+            match acc.get_mut(&sid) {
+                Some(existing) => {
+                    cost += merge_cost(cnt, *existing);
+                    *existing += cnt;
+                }
+                None => {
+                    acc.insert(sid, cnt);
+                }
+            }
+        }
+    }
+    cost
+}
+
+/// Basic merge distance: GMD with unit costs — the number of split and
+/// merge operations needed.
+pub fn basic_merge_distance(from: &Clustering, to: &Clustering) -> f64 {
+    generalized_merge_distance(from, to, |_, _| 1.0, |_, _| 1.0)
+}
+
+/// Pairwise precision derived from the GMD (Menestrina et al.):
+/// splits with cost `x·y` measure wrongly-merged pairs.
+pub fn gmd_pairwise_precision(experiment: &Clustering, truth: &Clustering) -> f64 {
+    let wrong = generalized_merge_distance(
+        experiment,
+        truth,
+        |x, y| (x * y) as f64,
+        |_, _| 0.0,
+    );
+    let total = experiment.pair_count() as f64;
+    if total == 0.0 {
+        0.0
+    } else {
+        (total - wrong) / total
+    }
+}
+
+/// Pairwise recall derived from the GMD: merges with cost `x·y` measure
+/// missed pairs.
+pub fn gmd_pairwise_recall(experiment: &Clustering, truth: &Clustering) -> f64 {
+    let missed = generalized_merge_distance(
+        experiment,
+        truth,
+        |_, _| 0.0,
+        |x, y| (x * y) as f64,
+    );
+    let total = truth.pair_count() as f64;
+    if total == 0.0 {
+        0.0
+    } else {
+        (total - missed) / total
+    }
+}
+
+/// Purity: every experiment cluster votes for its dominant ground-truth
+/// cluster; purity is the fraction of records covered by those votes.
+/// `1.0` iff every experiment cluster is a subset of a truth cluster
+/// (over-splitting is *not* penalized — pair with
+/// [`inverse_purity`]).
+pub fn purity(experiment: &Clustering, truth: &Clustering) -> f64 {
+    directed_purity(experiment, truth)
+}
+
+/// Inverse purity: [`purity`] with the roles swapped — penalizes
+/// over-splitting instead of over-merging.
+pub fn inverse_purity(experiment: &Clustering, truth: &Clustering) -> f64 {
+    directed_purity(truth, experiment)
+}
+
+/// Harmonic mean of purity and inverse purity.
+pub fn purity_f1(experiment: &Clustering, truth: &Clustering) -> f64 {
+    let p = purity(experiment, truth);
+    let i = inverse_purity(experiment, truth);
+    if p + i == 0.0 {
+        0.0
+    } else {
+        2.0 * p * i / (p + i)
+    }
+}
+
+fn directed_purity(from: &Clustering, to: &Clustering) -> f64 {
+    let n = from.num_records();
+    if n == 0 {
+        return 1.0;
+    }
+    let counts = contingency(from, to);
+    let mut best = vec![0u64; from.num_clusters()];
+    for (&(i, _), &overlap) in &counts {
+        if overlap > best[i as usize] {
+            best[i as usize] = overlap;
+        }
+    }
+    best.iter().sum::<u64>() as f64 / n as f64
+}
+
+/// Talburt–Wang index: `√(|A|·|B|) / |Φ|` where `Φ` is the set of
+/// non-empty cluster overlaps. `1.0` iff the clusterings are identical;
+/// decreases as they fragment against each other.
+pub fn talburt_wang_index(a: &Clustering, b: &Clustering) -> f64 {
+    let overlaps = contingency(a, b).len();
+    if overlaps == 0 {
+        return 1.0; // both empty
+    }
+    ((a.num_clusters() as f64) * (b.num_clusters() as f64)).sqrt() / overlaps as f64
+}
+
+/// Adjusted Rand index: chance-corrected pair agreement, `1.0` for
+/// identical clusterings, `≈0` for independent ones.
+pub fn adjusted_rand_index(a: &Clustering, b: &Clustering) -> f64 {
+    fn c2(x: u64) -> f64 {
+        (x * x.saturating_sub(1)) as f64 / 2.0
+    }
+    let n = a.num_records() as u64;
+    if n < 2 {
+        return 1.0;
+    }
+    let counts = contingency(a, b);
+    let sum_ij: f64 = counts.values().map(|&v| c2(v)).sum();
+    let sum_a: f64 = a.clusters().iter().map(|c| c2(c.len() as u64)).sum();
+    let sum_b: f64 = b.clusters().iter().map(|c| c2(c.len() as u64)).sum();
+    let expected = sum_a * sum_b / c2(n);
+    let max = (sum_a + sum_b) / 2.0;
+    if (max - expected).abs() < f64::EPSILON {
+        1.0
+    } else {
+        (sum_ij - expected) / (max - expected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(labels: &[u32]) -> Clustering {
+        Clustering::from_assignment(labels)
+    }
+
+    #[test]
+    fn identical_clusterings_are_perfect() {
+        let a = c(&[0, 0, 1, 1, 2]);
+        assert!((closest_cluster_f1(&a, &a) - 1.0).abs() < 1e-12);
+        assert!(variation_of_information(&a, &a).abs() < 1e-12);
+        assert_eq!(basic_merge_distance(&a, &a), 0.0);
+        assert!((adjusted_rand_index(&a, &a) - 1.0).abs() < 1e-12);
+        assert!((gmd_pairwise_precision(&a, &a) - 1.0).abs() < 1e-12);
+        assert!((gmd_pairwise_recall(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bmd_counts_operations() {
+        // {0,1,2} vs {0,1},{2}: one split.
+        assert_eq!(basic_merge_distance(&c(&[0, 0, 0]), &c(&[0, 0, 1])), 1.0);
+        // {0,1},{2} vs {0,1,2}: one merge.
+        assert_eq!(basic_merge_distance(&c(&[0, 0, 1]), &c(&[0, 0, 0])), 1.0);
+        // {0,1},{2,3} vs {0,2},{1,3}: two splits + two merges.
+        assert_eq!(
+            basic_merge_distance(&c(&[0, 0, 1, 1]), &c(&[0, 1, 0, 1])),
+            4.0
+        );
+    }
+
+    #[test]
+    fn gmd_pairwise_matches_confusion_based() {
+        use crate::metrics::confusion::ConfusionMatrix;
+        use crate::metrics::pair;
+        let exp = c(&[0, 0, 0, 1, 2, 2]);
+        let truth = c(&[0, 0, 1, 1, 2, 3]);
+        let m = ConfusionMatrix::from_clusterings(&exp, &truth);
+        assert!((gmd_pairwise_precision(&exp, &truth) - pair::precision(&m)).abs() < 1e-12);
+        assert!((gmd_pairwise_recall(&exp, &truth) - pair::recall(&m)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vi_known_value() {
+        // Two records split apart vs together: VI = H(A|B)+H(B|A).
+        let together = c(&[0, 0]);
+        let apart = c(&[0, 1]);
+        // H(apart) = ln 2, H(together) = 0, I = 0 → VI = ln 2.
+        let vi = variation_of_information(&together, &apart);
+        assert!((vi - std::f64::consts::LN_2).abs() < 1e-12);
+        // Symmetry.
+        assert!(
+            (vi - variation_of_information(&apart, &together)).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn vi_triangle_inequality_spot_check() {
+        let a = c(&[0, 0, 1, 1, 2, 2]);
+        let b = c(&[0, 0, 0, 1, 1, 1]);
+        let d = c(&[0, 1, 2, 3, 4, 5]);
+        let ab = variation_of_information(&a, &b);
+        let bd = variation_of_information(&b, &d);
+        let ad = variation_of_information(&a, &d);
+        assert!(ad <= ab + bd + 1e-12);
+    }
+
+    #[test]
+    fn closest_cluster_partial_overlap() {
+        let exp = c(&[0, 0, 0, 1]); // {0,1,2},{3}
+        let truth = c(&[0, 0, 1, 1]); // {0,1},{2,3}
+        let p = closest_cluster_precision(&exp, &truth);
+        // Cluster {0,1,2}: best J = 2/3 vs {0,1}; cluster {3}: J = 1/2 vs {2,3}.
+        assert!((p - (2.0 / 3.0 + 0.5) / 2.0).abs() < 1e-12);
+        let f = closest_cluster_f1(&exp, &truth);
+        assert!(f > 0.0 && f < 1.0);
+    }
+
+    #[test]
+    fn ari_independent_is_near_zero() {
+        // A perfectly "crossed" pair of clusterings.
+        let a = c(&[0, 0, 1, 1]);
+        let b = c(&[0, 1, 0, 1]);
+        let ari = adjusted_rand_index(&a, &b);
+        assert!(ari.abs() < 0.5, "ARI {ari} not near 0");
+        assert!(ari < 1.0);
+    }
+
+    #[test]
+    fn singleton_vs_everything() {
+        let singles = Clustering::singletons(4);
+        let one = c(&[0, 0, 0, 0]);
+        // Merging 4 singletons into one cluster: 3 merges.
+        assert_eq!(basic_merge_distance(&singles, &one), 3.0);
+        assert_eq!(basic_merge_distance(&one, &singles), 3.0);
+        assert_eq!(gmd_pairwise_precision(&singles, &one), 0.0); // no pairs proposed
+        assert!((gmd_pairwise_recall(&one, &singles) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_clusterings() {
+        let e = Clustering::singletons(0);
+        assert_eq!(variation_of_information(&e, &e), 0.0);
+        assert_eq!(adjusted_rand_index(&e, &e), 1.0);
+        assert_eq!(talburt_wang_index(&e, &e), 1.0);
+        assert_eq!(purity(&e, &e), 1.0);
+    }
+
+    #[test]
+    fn purity_asymmetry() {
+        let truth = c(&[0, 0, 1, 1]);
+        // Over-split experiment: all singletons — perfectly pure, but
+        // inverse purity suffers.
+        let split = Clustering::singletons(4);
+        assert_eq!(purity(&split, &truth), 1.0);
+        assert_eq!(inverse_purity(&split, &truth), 0.5);
+        // Over-merged experiment: one big cluster — inverse purity 1,
+        // purity suffers.
+        let merged = c(&[0, 0, 0, 0]);
+        assert_eq!(purity(&merged, &truth), 0.5);
+        assert_eq!(inverse_purity(&merged, &truth), 1.0);
+        // Purity-F balances both failure modes equally here.
+        assert!((purity_f1(&split, &truth) - purity_f1(&merged, &truth)).abs() < 1e-12);
+        assert!((purity_f1(&truth, &truth) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn talburt_wang_values() {
+        let truth = c(&[0, 0, 1, 1]);
+        assert!((talburt_wang_index(&truth, &truth) - 1.0).abs() < 1e-12);
+        // Crossed clusterings: |A|=2, |B|=2, overlaps=4 → √4/4 = 0.5.
+        let crossed = c(&[0, 1, 0, 1]);
+        assert!((talburt_wang_index(&truth, &crossed) - 0.5).abs() < 1e-12);
+        // Symmetric.
+        assert_eq!(
+            talburt_wang_index(&truth, &crossed),
+            talburt_wang_index(&crossed, &truth)
+        );
+    }
+}

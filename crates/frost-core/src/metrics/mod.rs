@@ -1,0 +1,12 @@
+//! Quality metrics for data matching (§3.2).
+//!
+//! * [`confusion`] — the confusion matrix over pair sets (Figure 2).
+//! * [`pair`] — pair-based metrics (§3.2.1), constant-time from the matrix.
+//! * [`cluster`] — cluster-based metrics (§3.2.2), computed on clusterings.
+
+pub mod cluster;
+pub mod confusion;
+pub mod pair;
+
+pub use confusion::ConfusionMatrix;
+pub use pair::PairMetric;

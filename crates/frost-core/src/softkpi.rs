@@ -1,0 +1,537 @@
+//! Soft KPIs: effort, cost and business factors (§3.3).
+//!
+//! Quality metrics alone do not decide which matching solution a business
+//! should adopt. Frost adds a benchmark dimension for *soft key
+//! performance indicators*: lifecycle expenditures, categorical
+//! properties (deployment type, interfaces, technique) and per-experiment
+//! effort/runtime. Effort is subjective, so it is measured as two
+//! variables — the **HR-amount** (time an expert needs) and the expert's
+//! **skill level** from 0 (untrained) to 100 (highly skilled) — which
+//! combine into a rough monetary cost.
+//!
+//! Two evaluation devices are provided: a side-by-side decision matrix
+//! (including quality metrics, for a holistic view) and a user-defined
+//! aggregation framework ("Frost does not pre-define aggregation
+//! strategies, but provides a framework"). Effort/metric diagram data
+//! (Figure 6; after Köpcke et al.'s FEVER) lives in [`EffortCurve`].
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Human effort for one task: time spent and the expertise of whoever
+/// spent it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Effort {
+    /// HR-amount: hours of work.
+    pub hours: f64,
+    /// Skill level, 0 (untrained) … 100 (highly skilled).
+    pub expertise: u8,
+}
+
+impl Effort {
+    /// Creates an effort value.
+    ///
+    /// # Panics
+    /// Panics if `expertise > 100` or `hours` is negative/non-finite.
+    pub fn new(hours: f64, expertise: u8) -> Self {
+        assert!(expertise <= 100, "expertise is a 0–100 scale");
+        assert!(hours.is_finite() && hours >= 0.0, "hours must be ≥ 0");
+        Self { hours, expertise }
+    }
+
+    /// Zero effort.
+    pub fn zero() -> Self {
+        Self {
+            hours: 0.0,
+            expertise: 0,
+        }
+    }
+
+    /// Monetary cost under a [`CostModel`]: `hours × rate(expertise)`.
+    pub fn cost(&self, model: &CostModel) -> f64 {
+        self.hours * model.hourly_rate(self.expertise)
+    }
+
+    /// Combines two efforts: hours add, expertise is the hours-weighted
+    /// mean (the blended skill level of the joint work).
+    pub fn combine(&self, other: &Effort) -> Effort {
+        let hours = self.hours + other.hours;
+        let expertise = if hours == 0.0 {
+            self.expertise.max(other.expertise)
+        } else {
+            ((self.hours * self.expertise as f64 + other.hours * other.expertise as f64) / hours)
+                .round() as u8
+        };
+        Effort { hours, expertise }
+    }
+}
+
+/// Converts expertise into an hourly rate. "Expertise is typically
+/// related to pay level" — the rate scales linearly from the base rate
+/// (expertise 0) to `base × (1 + premium)` (expertise 100).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Hourly rate of an untrained worker.
+    pub base_hourly_rate: f64,
+    /// Relative premium of a maximally skilled expert (e.g. `1.5` means
+    /// 2.5× the base rate at expertise 100).
+    pub expertise_premium: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self {
+            base_hourly_rate: 50.0,
+            expertise_premium: 2.0,
+        }
+    }
+}
+
+impl CostModel {
+    /// Hourly rate for a given expertise level.
+    pub fn hourly_rate(&self, expertise: u8) -> f64 {
+        self.base_hourly_rate * (1.0 + self.expertise_premium * expertise as f64 / 100.0)
+    }
+}
+
+/// How a matching solution is deployed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeploymentType {
+    /// Runs inside the company's own infrastructure.
+    OnPremise,
+    /// Operated as a cloud service.
+    CloudBased,
+    /// Mixed on-premise/cloud deployment.
+    Hybrid,
+}
+
+/// Interfaces a matching solution offers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Interface {
+    /// Graphical user interface.
+    Gui,
+    /// Programmatic API.
+    Api,
+    /// Command-line interface.
+    Cli,
+}
+
+/// Matching techniques a solution supports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Technique {
+    /// Hand-crafted matching rules.
+    RuleBased,
+    /// Supervised machine learning.
+    MachineLearning,
+    /// Clustering-based decision models.
+    Clustering,
+    /// Probabilistic decision models.
+    Probabilistic,
+}
+
+/// Lifecycle expenditures of a matching solution, based on life-cycle
+/// cost analysis (LCCA).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LifecycleExpenditures {
+    /// General monetary costs over the lifecycle (licences, operations).
+    pub general_costs: f64,
+    /// Effort to get the solution production-ready in the company's
+    /// ecosystem.
+    pub installation: Effort,
+    /// Domain-specific configuration (e.g. manual labeling of training
+    /// data).
+    pub domain_configuration: Effort,
+    /// Technique-specific configuration (e.g. selection of algorithms).
+    pub technical_configuration: Effort,
+}
+
+impl LifecycleExpenditures {
+    /// Total effort across all lifecycle phases.
+    pub fn total_effort(&self) -> Effort {
+        self.installation
+            .combine(&self.domain_configuration)
+            .combine(&self.technical_configuration)
+    }
+
+    /// Total estimated monetary cost: general costs plus all effort
+    /// converted through the cost model — the paper's example
+    /// aggregation ("the effort-based metrics can be converted into
+    /// costs … and added to general costs").
+    pub fn total_cost(&self, model: &CostModel) -> f64 {
+        self.general_costs
+            + self.installation.cost(model)
+            + self.domain_configuration.cost(model)
+            + self.technical_configuration.cost(model)
+    }
+}
+
+/// The soft-KPI record of one matching solution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SolutionKpis {
+    /// Solution name.
+    pub name: String,
+    /// Lifecycle expenditures.
+    pub lifecycle: LifecycleExpenditures,
+    /// Deployment types offered.
+    pub deployment: Vec<DeploymentType>,
+    /// Interfaces offered.
+    pub interfaces: Vec<Interface>,
+    /// Techniques supported.
+    pub techniques: Vec<Technique>,
+}
+
+/// Per-experiment soft KPIs (§3.3 "Soft KPIs of Experiments").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentKpis {
+    /// Effort to set the experiment up (e.g. acquiring test data).
+    pub setup: Effort,
+    /// Wall-clock runtime of the matching solution, in seconds.
+    pub runtime_seconds: f64,
+}
+
+/// A decision matrix of solutions × KPIs, including quality metrics for
+/// a holistic view. Rows are keyed by solution name; cells are named
+/// numeric KPI values (categorical KPIs are exposed via the
+/// [`SolutionKpis`] kept per row).
+#[derive(Debug, Clone, Default)]
+pub struct SoftKpiSheet {
+    rows: BTreeMap<String, BTreeMap<String, f64>>,
+    solutions: BTreeMap<String, SolutionKpis>,
+}
+
+impl SoftKpiSheet {
+    /// Creates an empty sheet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a solution with its soft KPIs, pre-filling the derived
+    /// numeric columns (total effort hours, total cost).
+    pub fn add_solution(&mut self, kpis: SolutionKpis, cost_model: &CostModel) {
+        let mut row = BTreeMap::new();
+        row.insert(
+            "total effort (h)".to_string(),
+            kpis.lifecycle.total_effort().hours,
+        );
+        row.insert("total cost".to_string(), kpis.lifecycle.total_cost(cost_model));
+        row.insert("general costs".to_string(), kpis.lifecycle.general_costs);
+        self.rows.insert(kpis.name.clone(), row);
+        self.solutions.insert(kpis.name.clone(), kpis);
+    }
+
+    /// Sets (or overwrites) a numeric KPI cell — quality metrics go here
+    /// so the matrix "includes quality metrics to provide a holistic
+    /// view".
+    pub fn set(&mut self, solution: &str, kpi: &str, value: f64) {
+        self.rows
+            .entry(solution.to_string())
+            .or_default()
+            .insert(kpi.to_string(), value);
+    }
+
+    /// Reads a KPI cell.
+    pub fn get(&self, solution: &str, kpi: &str) -> Option<f64> {
+        self.rows.get(solution)?.get(kpi).copied()
+    }
+
+    /// The registered categorical KPIs of a solution.
+    pub fn solution(&self, name: &str) -> Option<&SolutionKpis> {
+        self.solutions.get(name)
+    }
+
+    /// All solution names (sorted).
+    pub fn solutions(&self) -> impl Iterator<Item = &str> {
+        self.rows.keys().map(String::as_str)
+    }
+
+    /// All KPI column names present in any row (sorted).
+    pub fn columns(&self) -> Vec<String> {
+        let mut cols: Vec<String> = self
+            .rows
+            .values()
+            .flat_map(|r| r.keys().cloned())
+            .collect();
+        cols.sort();
+        cols.dedup();
+        cols
+    }
+
+    /// Aggregates each row into a single use-case-specific score using a
+    /// caller-supplied function — the aggregation *framework* the paper
+    /// mandates instead of fixed strategies. Returns `(solution, score)`
+    /// sorted by descending score.
+    pub fn aggregate<F>(&self, f: F) -> Vec<(String, f64)>
+    where
+        F: Fn(&str, &BTreeMap<String, f64>) -> f64,
+    {
+        let mut out: Vec<(String, f64)> = self
+            .rows
+            .iter()
+            .map(|(name, row)| (name.clone(), f(name, row)))
+            .collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        out
+    }
+
+    /// Renders the matrix as an aligned text table (solutions × KPIs).
+    pub fn render(&self) -> String {
+        let cols = self.columns();
+        let mut out = String::new();
+        out.push_str(&format!("{:<24}", "solution"));
+        for c in &cols {
+            out.push_str(&format!(" | {c:>18}"));
+        }
+        out.push('\n');
+        for (name, row) in &self.rows {
+            out.push_str(&format!("{name:<24}"));
+            for c in &cols {
+                match row.get(c) {
+                    Some(v) => out.push_str(&format!(" | {v:>18.4}")),
+                    None => out.push_str(&format!(" | {:>18}", "-")),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// One point of an effort/metric curve: cumulative effort spent and the
+/// best metric value achieved by then.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EffortPoint {
+    /// Cumulative hours invested.
+    pub hours: f64,
+    /// Target metric value (e.g. f1) reached at this effort level.
+    pub metric: f64,
+}
+
+/// An effort/metric diagram (Figure 6): metric evolution against
+/// cumulative configuration effort, answering questions such as "How
+/// much effort is needed to reach 80% precision?".
+///
+/// ```
+/// use frost_core::softkpi::EffortCurve;
+/// let curve = EffortCurve::new("run", [(1.0, 0.2), (3.0, 0.8), (8.0, 0.82)]);
+/// assert_eq!(curve.effort_to_reach(0.8), Some(3.0));
+/// assert_eq!(curve.breakthrough().unwrap().hours, 3.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EffortCurve {
+    /// The tracked solution's name.
+    pub solution: String,
+    /// Points in ascending-hours order.
+    pub points: Vec<EffortPoint>,
+}
+
+impl EffortCurve {
+    /// Creates a curve from `(hours, metric)` samples; samples are sorted
+    /// by hours.
+    pub fn new(solution: impl Into<String>, samples: impl IntoIterator<Item = (f64, f64)>) -> Self {
+        let mut points: Vec<EffortPoint> = samples
+            .into_iter()
+            .map(|(hours, metric)| EffortPoint { hours, metric })
+            .collect();
+        points.sort_by(|a, b| a.hours.partial_cmp(&b.hours).unwrap_or(std::cmp::Ordering::Equal));
+        Self {
+            solution: solution.into(),
+            points,
+        }
+    }
+
+    /// The running maximum of the metric ("maximum f1 score against
+    /// effort spent") — what Figure 6 plots.
+    pub fn running_max(&self) -> Vec<EffortPoint> {
+        let mut best = f64::NEG_INFINITY;
+        self.points
+            .iter()
+            .map(|p| {
+                best = best.max(p.metric);
+                EffortPoint {
+                    hours: p.hours,
+                    metric: best,
+                }
+            })
+            .collect()
+    }
+
+    /// Hours needed until the metric first reaches `target`
+    /// (FEVER-style: "How much effort is needed to reach 80%
+    /// precision?"); `None` if never reached.
+    pub fn effort_to_reach(&self, target: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| p.metric >= target)
+            .map(|p| p.hours)
+    }
+
+    /// The *breakthrough*: the point with the largest single metric gain
+    /// over its predecessor. `None` with fewer than two points.
+    pub fn breakthrough(&self) -> Option<EffortPoint> {
+        let rm = self.running_max();
+        rm.windows(2)
+            .max_by(|a, b| {
+                let ga = a[1].metric - a[0].metric;
+                let gb = b[1].metric - b[0].metric;
+                ga.partial_cmp(&gb).unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|w| w[1])
+    }
+
+    /// The earliest effort level after which the running-max metric never
+    /// improves by more than `epsilon` — where the curve plateaus (the
+    /// paper observes "a barrier at around 14 hours").
+    pub fn plateau_start(&self, epsilon: f64) -> Option<f64> {
+        let rm = self.running_max();
+        let last = rm.last()?.metric;
+        rm.iter().find(|p| last - p.metric <= epsilon).map(|p| p.hours)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effort_cost_scales_with_expertise() {
+        let model = CostModel {
+            base_hourly_rate: 100.0,
+            expertise_premium: 1.0,
+        };
+        assert_eq!(Effort::new(2.0, 0).cost(&model), 200.0);
+        assert_eq!(Effort::new(2.0, 100).cost(&model), 400.0);
+        assert_eq!(Effort::new(2.0, 50).cost(&model), 300.0);
+    }
+
+    #[test]
+    fn effort_combine_weights_expertise_by_hours() {
+        let junior = Effort::new(3.0, 20);
+        let senior = Effort::new(1.0, 100);
+        let combined = junior.combine(&senior);
+        assert_eq!(combined.hours, 4.0);
+        assert_eq!(combined.expertise, 40); // (3·20 + 1·100)/4
+        let z = Effort::zero().combine(&Effort::zero());
+        assert_eq!(z.hours, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "0–100")]
+    fn effort_rejects_out_of_scale_expertise() {
+        Effort::new(1.0, 101);
+    }
+
+    fn sample_solution(name: &str, hours: f64) -> SolutionKpis {
+        SolutionKpis {
+            name: name.to_string(),
+            lifecycle: LifecycleExpenditures {
+                general_costs: 1000.0,
+                installation: Effort::new(hours, 50),
+                domain_configuration: Effort::new(hours / 2.0, 80),
+                technical_configuration: Effort::new(hours / 4.0, 90),
+            },
+            deployment: vec![DeploymentType::OnPremise],
+            interfaces: vec![Interface::Api, Interface::Gui],
+            techniques: vec![Technique::RuleBased],
+        }
+    }
+
+    #[test]
+    fn lifecycle_totals() {
+        let s = sample_solution("s", 4.0);
+        let total = s.lifecycle.total_effort();
+        assert_eq!(total.hours, 7.0);
+        let model = CostModel::default();
+        let cost = s.lifecycle.total_cost(&model);
+        assert!(cost > 1000.0);
+        let manual = 1000.0
+            + s.lifecycle.installation.cost(&model)
+            + s.lifecycle.domain_configuration.cost(&model)
+            + s.lifecycle.technical_configuration.cost(&model);
+        assert!((cost - manual).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sheet_holds_soft_and_quality_kpis() {
+        let mut sheet = SoftKpiSheet::new();
+        let model = CostModel::default();
+        sheet.add_solution(sample_solution("alpha", 2.0), &model);
+        sheet.add_solution(sample_solution("beta", 10.0), &model);
+        sheet.set("alpha", "f1", 0.85);
+        sheet.set("beta", "f1", 0.92);
+        assert_eq!(sheet.get("alpha", "f1"), Some(0.85));
+        assert!(sheet.get("alpha", "total cost").unwrap() < sheet.get("beta", "total cost").unwrap());
+        assert_eq!(sheet.solutions().count(), 2);
+        assert!(sheet.columns().contains(&"f1".to_string()));
+        assert_eq!(
+            sheet.solution("alpha").unwrap().interfaces,
+            vec![Interface::Api, Interface::Gui]
+        );
+        let rendered = sheet.render();
+        assert!(rendered.contains("alpha"));
+        assert!(rendered.contains("f1"));
+    }
+
+    #[test]
+    fn aggregation_framework_ranks_by_custom_score() {
+        let mut sheet = SoftKpiSheet::new();
+        let model = CostModel::default();
+        sheet.add_solution(sample_solution("cheap", 1.0), &model);
+        sheet.add_solution(sample_solution("good", 20.0), &model);
+        sheet.set("cheap", "f1", 0.70);
+        sheet.set("good", "f1", 0.95);
+        // Quality-first aggregation.
+        let by_quality = sheet.aggregate(|_, row| row.get("f1").copied().unwrap_or(0.0));
+        assert_eq!(by_quality[0].0, "good");
+        // Cost-sensitive aggregation flips the ranking.
+        let cost_sensitive = sheet.aggregate(|_, row| {
+            row.get("f1").copied().unwrap_or(0.0)
+                - row.get("total cost").copied().unwrap_or(0.0) / 10_000.0
+        });
+        assert_eq!(cost_sensitive[0].0, "cheap");
+    }
+
+    #[test]
+    fn effort_curve_queries() {
+        let curve = EffortCurve::new(
+            "rule-based",
+            [
+                (1.0, 0.10),
+                (4.0, 0.15),
+                (6.0, 0.70), // breakthrough
+                (10.0, 0.78),
+                (14.0, 0.80),
+                (20.0, 0.805),
+            ],
+        );
+        assert_eq!(curve.effort_to_reach(0.5), Some(6.0));
+        assert_eq!(curve.effort_to_reach(0.99), None);
+        let bt = curve.breakthrough().unwrap();
+        assert_eq!(bt.hours, 6.0);
+        // Plateau: everything from 14 h on is within 0.01 of the final value.
+        assert_eq!(curve.plateau_start(0.01), Some(14.0));
+        // Running max is monotone.
+        let rm = curve.running_max();
+        for w in rm.windows(2) {
+            assert!(w[1].metric >= w[0].metric);
+        }
+    }
+
+    #[test]
+    fn effort_curve_handles_regressions() {
+        // Figure 7: scores sometimes decline; running max smooths this.
+        let curve = EffortCurve::new("team", [(1.0, 0.5), (2.0, 0.8), (3.0, 0.6), (4.0, 0.85)]);
+        let rm = curve.running_max();
+        assert_eq!(rm[2].metric, 0.8);
+        assert_eq!(rm[3].metric, 0.85);
+    }
+
+    #[test]
+    fn experiment_kpis_roundtrip() {
+        let k = ExperimentKpis {
+            setup: Effort::new(0.5, 60),
+            runtime_seconds: 12.5,
+        };
+        assert_eq!(k.runtime_seconds, 12.5);
+        assert_eq!(k.setup.expertise, 60);
+    }
+}

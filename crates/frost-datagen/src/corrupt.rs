@@ -1,0 +1,231 @@
+//! The data polluter: realistic error injection for duplicate records.
+//!
+//! Duplicates in real data differ by typos, abbreviations, token
+//! reorderings and missing values (§1). This module applies such
+//! corruptions to a clean value, in the spirit of the test-data
+//! generators the paper cites (TDGen, GeCo, BART, LANCE, EMBench++).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The corruption operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Corruption {
+    /// Replace one character with a neighboring letter.
+    TypoReplace,
+    /// Delete one character.
+    TypoDelete,
+    /// Insert one character.
+    TypoInsert,
+    /// Transpose two adjacent characters.
+    TypoTranspose,
+    /// Drop one whitespace token.
+    TokenDrop,
+    /// Swap two adjacent tokens.
+    TokenSwap,
+    /// Abbreviate one token to its first letter plus a dot.
+    Abbreviate,
+    /// Duplicate one token (stutter).
+    TokenDuplicate,
+}
+
+impl Corruption {
+    /// All operators (used for random selection).
+    pub const ALL: [Corruption; 8] = [
+        Corruption::TypoReplace,
+        Corruption::TypoDelete,
+        Corruption::TypoInsert,
+        Corruption::TypoTranspose,
+        Corruption::TokenDrop,
+        Corruption::TokenSwap,
+        Corruption::Abbreviate,
+        Corruption::TokenDuplicate,
+    ];
+
+    /// Applies the corruption; returns the input unchanged when it is
+    /// too short for the operator (e.g. token swap on a single token).
+    pub fn apply(self, value: &str, rng: &mut impl Rng) -> String {
+        let chars: Vec<char> = value.chars().collect();
+        let tokens: Vec<&str> = value.split_whitespace().collect();
+        match self {
+            Corruption::TypoReplace => {
+                if chars.is_empty() {
+                    return value.to_string();
+                }
+                let i = rng.gen_range(0..chars.len());
+                let mut out = chars.clone();
+                out[i] = (b'a' + rng.gen_range(0..26u8)) as char;
+                out.into_iter().collect()
+            }
+            Corruption::TypoDelete => {
+                if chars.len() < 2 {
+                    return value.to_string();
+                }
+                let i = rng.gen_range(0..chars.len());
+                let mut out = chars.clone();
+                out.remove(i);
+                out.into_iter().collect()
+            }
+            Corruption::TypoInsert => {
+                let i = rng.gen_range(0..=chars.len());
+                let mut out = chars.clone();
+                out.insert(i, (b'a' + rng.gen_range(0..26u8)) as char);
+                out.into_iter().collect()
+            }
+            Corruption::TypoTranspose => {
+                if chars.len() < 2 {
+                    return value.to_string();
+                }
+                let i = rng.gen_range(0..chars.len() - 1);
+                let mut out = chars.clone();
+                out.swap(i, i + 1);
+                out.into_iter().collect()
+            }
+            Corruption::TokenDrop => {
+                if tokens.len() < 2 {
+                    return value.to_string();
+                }
+                let i = rng.gen_range(0..tokens.len());
+                tokens
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != i)
+                    .map(|(_, t)| *t)
+                    .collect::<Vec<&str>>()
+                    .join(" ")
+            }
+            Corruption::TokenSwap => {
+                if tokens.len() < 2 {
+                    return value.to_string();
+                }
+                let i = rng.gen_range(0..tokens.len() - 1);
+                let mut out = tokens.clone();
+                out.swap(i, i + 1);
+                out.join(" ")
+            }
+            Corruption::Abbreviate => {
+                if tokens.is_empty() {
+                    return value.to_string();
+                }
+                let i = rng.gen_range(0..tokens.len());
+                let out: Vec<String> = tokens
+                    .iter()
+                    .enumerate()
+                    .map(|(j, t)| {
+                        if j == i && t.len() > 1 {
+                            format!("{}.", &t[..1])
+                        } else {
+                            t.to_string()
+                        }
+                    })
+                    .collect();
+                out.join(" ")
+            }
+            Corruption::TokenDuplicate => {
+                if tokens.is_empty() {
+                    return value.to_string();
+                }
+                let i = rng.gen_range(0..tokens.len());
+                let mut out: Vec<&str> = tokens.clone();
+                out.insert(i, tokens[i]);
+                out.join(" ")
+            }
+        }
+    }
+}
+
+/// Applies `count` randomly chosen corruptions in sequence.
+pub fn corrupt_value(value: &str, count: usize, rng: &mut impl Rng) -> String {
+    let mut v = value.to_string();
+    for _ in 0..count {
+        let op = Corruption::ALL[rng.gen_range(0..Corruption::ALL.len())];
+        v = op.apply(&v, rng);
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn operators_change_or_preserve_gracefully() {
+        let mut r = rng();
+        let value = "anna maria schmidt";
+        for op in Corruption::ALL {
+            let out = op.apply(value, &mut r);
+            assert!(!out.is_empty(), "{op:?} emptied the value");
+        }
+    }
+
+    #[test]
+    fn short_inputs_are_safe() {
+        let mut r = rng();
+        for op in Corruption::ALL {
+            // Must not panic on degenerate inputs.
+            let _ = op.apply("", &mut r);
+            let _ = op.apply("a", &mut r);
+            let _ = op.apply("ab", &mut r);
+        }
+        assert_eq!(Corruption::TokenSwap.apply("single", &mut r), "single");
+        assert_eq!(Corruption::TokenDrop.apply("single", &mut r), "single");
+        assert_eq!(Corruption::TypoDelete.apply("a", &mut r), "a");
+    }
+
+    #[test]
+    fn typo_delete_shortens() {
+        let mut r = rng();
+        let out = Corruption::TypoDelete.apply("abcdef", &mut r);
+        assert_eq!(out.chars().count(), 5);
+    }
+
+    #[test]
+    fn typo_insert_lengthens() {
+        let mut r = rng();
+        let out = Corruption::TypoInsert.apply("abc", &mut r);
+        assert_eq!(out.chars().count(), 4);
+    }
+
+    #[test]
+    fn token_drop_removes_exactly_one() {
+        let mut r = rng();
+        let out = Corruption::TokenDrop.apply("a b c", &mut r);
+        assert_eq!(out.split_whitespace().count(), 2);
+    }
+
+    #[test]
+    fn abbreviate_produces_initial() {
+        let mut r = rng();
+        let out = Corruption::Abbreviate.apply("anna", &mut r);
+        assert_eq!(out, "a.");
+    }
+
+    #[test]
+    fn corrupted_duplicates_stay_similar() {
+        let mut r = rng();
+        let original = "brilliant notebook computer with retina display";
+        for _ in 0..20 {
+            let dirty = corrupt_value(original, 2, &mut r);
+            // Token overlap must remain substantial after 2 corruptions.
+            let orig_tokens: std::collections::HashSet<&str> =
+                original.split_whitespace().collect();
+            let dirty_tokens: std::collections::HashSet<&str> =
+                dirty.split_whitespace().collect();
+            let inter = orig_tokens.intersection(&dirty_tokens).count();
+            assert!(inter >= 3, "too much damage: {dirty:?}");
+        }
+    }
+
+    #[test]
+    fn corruption_is_seeded() {
+        let a = corrupt_value("hello world", 3, &mut StdRng::seed_from_u64(1));
+        let b = corrupt_value("hello world", 3, &mut StdRng::seed_from_u64(1));
+        assert_eq!(a, b);
+    }
+}

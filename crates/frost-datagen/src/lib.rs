@@ -1,0 +1,34 @@
+//! # frost-datagen
+//!
+//! Synthetic benchmark dataset generation for the Frost platform.
+//!
+//! The paper evaluates on proprietary/contest datasets (SIGMOD 2021
+//! D2/D3/D4, Altosight X4, HPI Cora, FreeDB CDs, Magellan Songs) that are
+//! not redistributable here. Following the substitution rule of the
+//! reproduction, this crate generates the closest synthetic equivalents:
+//! dirty datasets with known gold standards whose *profile features* —
+//! sparsity (SP), textuality (TX), tuple count (TC), positive ratio (PR)
+//! and pairwise vocabulary similarity (VS) — are dialled to the values
+//! the paper reports (Table 2), because those features are exactly what
+//! the paper's analyses depend on.
+//!
+//! * [`words`] — a deterministic synthetic vocabulary with a Zipf-like
+//!   frequency skew.
+//! * [`corrupt`] — the data polluter (typos, token ops, nulls), in the
+//!   spirit of the generators the paper cites (TDGen, GeCo, BART).
+//! * [`generator`] — entity/duplicate generation with controllable
+//!   cluster-size distribution and profile targets.
+//! * [`presets`] — ready-made configurations mirroring the paper's
+//!   datasets (scaled variants included).
+//! * [`experiments`] — synthetic matcher output (scored match sets of a
+//!   chosen size/quality) for benchmarking the evaluation algorithms
+//!   themselves (Table 1 does not need a real matcher, only `|D|`,
+//!   `|Matches|` and cluster structure).
+
+pub mod corrupt;
+pub mod experiments;
+pub mod generator;
+pub mod presets;
+pub mod words;
+
+pub use generator::{ClusterSizeModel, Generated, GeneratorConfig};

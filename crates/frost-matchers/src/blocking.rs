@@ -1,0 +1,321 @@
+//! Candidate generation / blocking (pipeline step 2, §1.2).
+//!
+//! Comparing all `O(n²)` pairs is infeasible; blocking creates a
+//! candidate subset "that contains as many true duplicates as possible"
+//! while pruning the pair space. Implemented: standard (key-equality)
+//! blocking, the sorted-neighborhood (windowing) method, and token
+//! blocking; [`FullPairs`] provides the exhaustive baseline for small
+//! datasets.
+
+use frost_core::dataset::{Dataset, RecordId, RecordPair};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// Anything that generates candidate pairs from a dataset.
+pub trait Blocker {
+    /// Generates the deduplicated candidate pairs, sorted ascending.
+    fn candidates(&self, ds: &Dataset) -> Vec<RecordPair>;
+}
+
+/// How a record is mapped to its blocking key.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BlockingKey {
+    /// The full value of an attribute.
+    Attribute(String),
+    /// A character prefix of an attribute value.
+    Prefix {
+        /// Attribute name.
+        attribute: String,
+        /// Prefix length in characters.
+        len: usize,
+    },
+    /// The first whitespace token of an attribute value.
+    FirstToken(String),
+}
+
+impl BlockingKey {
+    /// The key of one record; `None` when the attribute is missing.
+    pub fn key_of(&self, ds: &Dataset, id: RecordId) -> Option<String> {
+        match self {
+            BlockingKey::Attribute(attr) => ds.value(id, attr).map(str::to_string),
+            BlockingKey::Prefix { attribute, len } => ds
+                .value(id, attribute)
+                .map(|v| v.chars().take(*len).collect()),
+            BlockingKey::FirstToken(attr) => ds
+                .value(id, attr)
+                .and_then(|v| v.split_whitespace().next())
+                .map(str::to_string),
+        }
+    }
+}
+
+fn dedup_sorted(mut pairs: Vec<RecordPair>) -> Vec<RecordPair> {
+    pairs.sort_unstable();
+    pairs.dedup();
+    pairs
+}
+
+/// Standard blocking: records sharing a key form a block; all
+/// intra-block pairs become candidates. Records without a key form no
+/// candidates.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StandardBlocking {
+    /// The blocking key.
+    pub key: BlockingKey,
+    /// Blocks larger than this are skipped entirely (guards against a
+    /// degenerate key flooding the candidate set); `None` disables the
+    /// guard.
+    pub max_block_size: Option<usize>,
+}
+
+impl StandardBlocking {
+    /// Standard blocking without a block-size cap.
+    pub fn new(key: BlockingKey) -> Self {
+        Self {
+            key,
+            max_block_size: None,
+        }
+    }
+}
+
+impl Blocker for StandardBlocking {
+    fn candidates(&self, ds: &Dataset) -> Vec<RecordPair> {
+        let mut blocks: HashMap<String, Vec<RecordId>> = HashMap::new();
+        for (id, _) in ds.iter() {
+            if let Some(key) = self.key.key_of(ds, id) {
+                blocks.entry(key).or_default().push(id);
+            }
+        }
+        let mut pairs = Vec::new();
+        for members in blocks.values() {
+            if let Some(cap) = self.max_block_size {
+                if members.len() > cap {
+                    continue;
+                }
+            }
+            for (i, &a) in members.iter().enumerate() {
+                for &b in &members[i + 1..] {
+                    pairs.push(RecordPair::new(a, b));
+                }
+            }
+        }
+        dedup_sorted(pairs)
+    }
+}
+
+/// Sorted-neighborhood method: records are sorted by key and every pair
+/// within a sliding window of size `window` becomes a candidate.
+/// Records without a key sort last and still participate (their
+/// neighbors may be genuine duplicates with a missing key attribute).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SortedNeighborhood {
+    /// Sort key.
+    pub key: BlockingKey,
+    /// Window size (≥ 2).
+    pub window: usize,
+}
+
+impl Blocker for SortedNeighborhood {
+    fn candidates(&self, ds: &Dataset) -> Vec<RecordPair> {
+        assert!(self.window >= 2, "window must span at least two records");
+        let mut keyed: Vec<(Option<String>, RecordId)> =
+            ds.iter().map(|(id, _)| (self.key.key_of(ds, id), id)).collect();
+        keyed.sort_by(|a, b| match (&a.0, &b.0) {
+            (Some(x), Some(y)) => x.cmp(y).then(a.1.cmp(&b.1)),
+            (Some(_), None) => std::cmp::Ordering::Less,
+            (None, Some(_)) => std::cmp::Ordering::Greater,
+            (None, None) => a.1.cmp(&b.1),
+        });
+        let mut pairs = Vec::new();
+        for i in 0..keyed.len() {
+            for j in i + 1..(i + self.window).min(keyed.len()) {
+                pairs.push(RecordPair::new(keyed[i].1, keyed[j].1));
+            }
+        }
+        dedup_sorted(pairs)
+    }
+}
+
+/// Token blocking: records sharing any whitespace token in the given
+/// attributes become candidates. Tokens occurring in more than
+/// `max_token_frequency` records are considered stop words and skipped.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TokenBlocking {
+    /// Attributes whose tokens index the records.
+    pub attributes: Vec<String>,
+    /// Frequency cap above which a token is ignored.
+    pub max_token_frequency: usize,
+}
+
+impl Blocker for TokenBlocking {
+    fn candidates(&self, ds: &Dataset) -> Vec<RecordPair> {
+        let mut index: HashMap<&str, Vec<RecordId>> = HashMap::new();
+        for (id, _) in ds.iter() {
+            let mut seen: HashSet<&str> = HashSet::new();
+            for attr in &self.attributes {
+                if let Some(v) = ds.value(id, attr) {
+                    for t in v.split_whitespace() {
+                        if seen.insert(t) {
+                            index.entry(t).or_default().push(id);
+                        }
+                    }
+                }
+            }
+        }
+        let mut pairs = Vec::new();
+        for members in index.values() {
+            if members.len() > self.max_token_frequency {
+                continue;
+            }
+            for (i, &a) in members.iter().enumerate() {
+                for &b in &members[i + 1..] {
+                    pairs.push(RecordPair::new(a, b));
+                }
+            }
+        }
+        dedup_sorted(pairs)
+    }
+}
+
+/// The exhaustive `[D]²` candidate set — quadratic; small datasets only.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct FullPairs;
+
+impl Blocker for FullPairs {
+    fn candidates(&self, ds: &Dataset) -> Vec<RecordPair> {
+        let n = ds.len() as u32;
+        let mut pairs = Vec::with_capacity(ds.pair_count() as usize);
+        for a in 0..n {
+            for b in a + 1..n {
+                pairs.push(RecordPair::new(RecordId(a), RecordId(b)));
+            }
+        }
+        pairs
+    }
+}
+
+/// Pair completeness of a candidate set against a ground truth: the
+/// fraction of true duplicate pairs retained — the recall of the
+/// blocking step, measurable because pair-based metrics do not require
+/// transitively closed sets (§3.2.1).
+pub fn pair_completeness(
+    candidates: &[RecordPair],
+    truth: &frost_core::clustering::Clustering,
+) -> f64 {
+    let total = truth.pair_count();
+    if total == 0 {
+        return 1.0;
+    }
+    let found = candidates
+        .iter()
+        .filter(|p| truth.same_cluster(p.lo(), p.hi()))
+        .count() as u64;
+    found as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frost_core::clustering::Clustering;
+    use frost_core::dataset::Schema;
+
+    fn dataset() -> Dataset {
+        let mut ds = Dataset::new("d", Schema::new(["name", "city"]));
+        ds.push_record("a", ["anna schmidt", "berlin"]);
+        ds.push_record("b", ["anna schmid", "berlin"]);
+        ds.push_record("c", ["bernd braun", "potsdam"]);
+        ds.push_record_opt("d", vec![None, Some("berlin".into())]);
+        ds.push_record("e", ["carla diaz", "berlin"]);
+        ds
+    }
+
+    #[test]
+    fn standard_blocking_groups_by_key() {
+        let b = StandardBlocking::new(BlockingKey::Attribute("city".into()));
+        let pairs = b.candidates(&dataset());
+        // berlin block: {a,b,d,e} → 6 pairs; potsdam block: {c} → 0.
+        assert_eq!(pairs.len(), 6);
+        assert!(pairs.contains(&RecordPair::from((0u32, 1u32))));
+        assert!(!pairs.iter().any(|p| p.contains(RecordId(2))));
+    }
+
+    #[test]
+    fn standard_blocking_respects_cap() {
+        let b = StandardBlocking {
+            key: BlockingKey::Attribute("city".into()),
+            max_block_size: Some(3),
+        };
+        // berlin block has 4 members > cap → dropped entirely.
+        assert!(b.candidates(&dataset()).is_empty());
+    }
+
+    #[test]
+    fn prefix_and_first_token_keys() {
+        let ds = dataset();
+        let prefix = BlockingKey::Prefix {
+            attribute: "name".into(),
+            len: 4,
+        };
+        assert_eq!(prefix.key_of(&ds, RecordId(0)).as_deref(), Some("anna"));
+        let token = BlockingKey::FirstToken("name".into());
+        assert_eq!(token.key_of(&ds, RecordId(2)).as_deref(), Some("bernd"));
+        assert_eq!(token.key_of(&ds, RecordId(3)), None);
+    }
+
+    #[test]
+    fn sorted_neighborhood_window() {
+        let b = SortedNeighborhood {
+            key: BlockingKey::FirstToken("name".into()),
+            window: 2,
+        };
+        let pairs = b.candidates(&dataset());
+        // Sorted keys: anna(a), anna(b), bernd(c), carla(e), None(d).
+        // Window 2 → consecutive pairs: (a,b), (b,c), (c,e), (e,d).
+        assert_eq!(pairs.len(), 4);
+        assert!(pairs.contains(&RecordPair::from((0u32, 1u32))));
+        assert!(pairs.contains(&RecordPair::from((3u32, 4u32))));
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn sorted_neighborhood_rejects_tiny_window() {
+        SortedNeighborhood {
+            key: BlockingKey::Attribute("city".into()),
+            window: 1,
+        }
+        .candidates(&dataset());
+    }
+
+    #[test]
+    fn token_blocking_with_stopword_cap() {
+        let b = TokenBlocking {
+            attributes: vec!["name".into(), "city".into()],
+            max_token_frequency: 3,
+        };
+        let pairs = b.candidates(&dataset());
+        // "anna" links a,b; "berlin" occurs 4× > cap → skipped.
+        assert!(pairs.contains(&RecordPair::from((0u32, 1u32))));
+        assert!(!pairs.contains(&RecordPair::from((0u32, 4u32))));
+    }
+
+    #[test]
+    fn full_pairs_is_exhaustive() {
+        let ds = dataset();
+        let pairs = FullPairs.candidates(&ds);
+        assert_eq!(pairs.len() as u64, ds.pair_count());
+    }
+
+    #[test]
+    fn pair_completeness_measures_blocking_recall() {
+        let ds = dataset();
+        let truth = Clustering::from_assignment(&[0, 0, 1, 2, 3]); // a≡b
+        let full = FullPairs.candidates(&ds);
+        assert_eq!(pair_completeness(&full, &truth), 1.0);
+        let city = StandardBlocking::new(BlockingKey::Attribute("city".into()));
+        assert_eq!(pair_completeness(&city.candidates(&ds), &truth), 1.0);
+        let none: Vec<RecordPair> = Vec::new();
+        assert_eq!(pair_completeness(&none, &truth), 0.0);
+        let no_dups = Clustering::singletons(5);
+        assert_eq!(pair_completeness(&none, &no_dups), 1.0);
+    }
+}

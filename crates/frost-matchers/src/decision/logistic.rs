@@ -1,0 +1,246 @@
+//! Supervised decision model: logistic regression trained from scratch.
+//!
+//! "Supervised machine learning models … are trained by domain experts
+//! who label example pairs from the dataset as duplicate or
+//! non-duplicate" (§1). This model learns weights over the
+//! [`FeatureConfig`] similarity vector by full-batch gradient descent
+//! with L2 regularization — small, deterministic, dependency-free, and
+//! easily strong enough to reproduce the evaluation shapes of the paper
+//! (learning-based matchers dominating on their development split,
+//! Appendix C).
+
+use super::DecisionModel;
+use crate::features::FeatureConfig;
+use frost_core::dataset::{Dataset, RecordPair};
+use serde::{Deserialize, Serialize};
+
+/// Training hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Gradient-descent epochs.
+    pub epochs: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// L2 regularization strength.
+    pub l2: f64,
+    /// Weight applied to positive examples (duplicates are rare, §3.2.1's
+    /// class imbalance; > 1 upweights them).
+    pub positive_weight: f64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 300,
+            learning_rate: 0.5,
+            l2: 1e-4,
+            positive_weight: 1.0,
+        }
+    }
+}
+
+/// A trained logistic-regression matcher.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogisticRegression {
+    config: FeatureConfig,
+    weights: Vec<f64>,
+    bias: f64,
+    match_threshold: f64,
+}
+
+fn sigmoid(z: f64) -> f64 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+impl LogisticRegression {
+    /// Trains on labelled pairs: `(pair, is_duplicate)`.
+    ///
+    /// # Panics
+    /// Panics when `labeled` is empty.
+    pub fn train(
+        ds: &Dataset,
+        labeled: &[(RecordPair, bool)],
+        feature_config: FeatureConfig,
+        train: TrainConfig,
+    ) -> Self {
+        assert!(!labeled.is_empty(), "training requires labelled pairs");
+        let width = feature_config.width();
+        let features: Vec<Vec<f64>> = labeled
+            .iter()
+            .map(|&(p, _)| feature_config.features(ds, p))
+            .collect();
+        let mut weights = vec![0.0f64; width];
+        let mut bias = 0.0f64;
+        let n = labeled.len() as f64;
+        for _ in 0..train.epochs {
+            let mut grad_w = vec![0.0f64; width];
+            let mut grad_b = 0.0f64;
+            for (x, &(_, label)) in features.iter().zip(labeled) {
+                let z = bias + x.iter().zip(&weights).map(|(xi, wi)| xi * wi).sum::<f64>();
+                let p = sigmoid(z);
+                let y = f64::from(label);
+                let sample_weight = if label { train.positive_weight } else { 1.0 };
+                let err = (p - y) * sample_weight;
+                for (g, xi) in grad_w.iter_mut().zip(x) {
+                    *g += err * xi;
+                }
+                grad_b += err;
+            }
+            for (w, g) in weights.iter_mut().zip(&grad_w) {
+                *w -= train.learning_rate * (g / n + train.l2 * *w);
+            }
+            bias -= train.learning_rate * grad_b / n;
+        }
+        Self {
+            config: feature_config,
+            weights,
+            bias,
+            match_threshold: 0.5,
+        }
+    }
+
+    /// The learned feature weights (interpretability hook; feeds the
+    /// semantic/material-mismatch analysis of §4.5.2).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The bias term.
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+
+    /// The feature configuration used at training time.
+    pub fn feature_config(&self) -> &FeatureConfig {
+        &self.config
+    }
+
+    /// Replaces the match threshold (probability scale).
+    pub fn with_threshold(mut self, t: f64) -> Self {
+        self.match_threshold = t;
+        self
+    }
+}
+
+impl DecisionModel for LogisticRegression {
+    fn score(&self, ds: &Dataset, pair: RecordPair) -> f64 {
+        let x = self.config.features(ds, pair);
+        let z = self.bias
+            + x.iter()
+                .zip(&self.weights)
+                .map(|(xi, wi)| xi * wi)
+                .sum::<f64>();
+        sigmoid(z)
+    }
+
+    fn threshold(&self) -> f64 {
+        self.match_threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::Comparator;
+    use crate::similarity::Measure;
+    use frost_core::dataset::Schema;
+
+    /// A dataset where name similarity perfectly separates duplicates.
+    fn dataset() -> (Dataset, Vec<(RecordPair, bool)>) {
+        let mut ds = Dataset::new("d", Schema::new(["name"]));
+        let names = [
+            ("a1", "anna schmidt"),
+            ("a2", "anna schmidt"),
+            ("b1", "bert weber"),
+            ("b2", "bert weber"),
+            ("c1", "carla diaz"),
+            ("d1", "dieter braun"),
+        ];
+        for (id, n) in names {
+            ds.push_record(id, [n]);
+        }
+        let labeled = vec![
+            (RecordPair::from((0u32, 1u32)), true),
+            (RecordPair::from((2u32, 3u32)), true),
+            (RecordPair::from((0u32, 2u32)), false),
+            (RecordPair::from((1u32, 4u32)), false),
+            (RecordPair::from((3u32, 5u32)), false),
+            (RecordPair::from((4u32, 5u32)), false),
+        ];
+        (ds, labeled)
+    }
+
+    fn config() -> FeatureConfig {
+        FeatureConfig::new([Comparator::new("name", Measure::JaroWinkler)])
+    }
+
+    #[test]
+    fn learns_separable_problem() {
+        let (ds, labeled) = dataset();
+        let model = LogisticRegression::train(&ds, &labeled, config(), TrainConfig::default());
+        for &(pair, label) in &labeled {
+            assert_eq!(model.is_match(&ds, pair), label, "pair {pair}");
+        }
+        // Positive weight on the similarity feature.
+        assert!(model.weights()[0] > 0.0);
+    }
+
+    #[test]
+    fn scores_are_probabilities() {
+        let (ds, labeled) = dataset();
+        let model = LogisticRegression::train(&ds, &labeled, config(), TrainConfig::default());
+        for &(pair, _) in &labeled {
+            let s = model.score(&ds, pair);
+            assert!((0.0..=1.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let (ds, labeled) = dataset();
+        let a = LogisticRegression::train(&ds, &labeled, config(), TrainConfig::default());
+        let b = LogisticRegression::train(&ds, &labeled, config(), TrainConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn positive_weight_shifts_recall() {
+        let (ds, labeled) = dataset();
+        let balanced = LogisticRegression::train(&ds, &labeled, config(), TrainConfig::default());
+        let recall_biased = LogisticRegression::train(
+            &ds,
+            &labeled,
+            config(),
+            TrainConfig {
+                positive_weight: 5.0,
+                ..TrainConfig::default()
+            },
+        );
+        // Upweighting positives raises the scores assigned to the
+        // positive training pairs on average.
+        let mean = |m: &LogisticRegression| {
+            let positives: Vec<f64> = labeled
+                .iter()
+                .filter(|(_, y)| *y)
+                .map(|&(p, _)| m.score(&ds, p))
+                .collect();
+            positives.iter().sum::<f64>() / positives.len() as f64
+        };
+        assert!(mean(&recall_biased) > mean(&balanced));
+    }
+
+    #[test]
+    fn threshold_builder() {
+        let (ds, labeled) = dataset();
+        let model = LogisticRegression::train(&ds, &labeled, config(), TrainConfig::default())
+            .with_threshold(0.99);
+        assert_eq!(model.threshold(), 0.99);
+    }
+
+    #[test]
+    #[should_panic(expected = "labelled pairs")]
+    fn empty_training_set_panics() {
+        let (ds, _) = dataset();
+        LogisticRegression::train(&ds, &[], config(), TrainConfig::default());
+    }
+}

@@ -1,0 +1,58 @@
+//! Decision models / classification (pipeline step 4, §1.2).
+//!
+//! "Given the similarities for each candidate pair, decide which
+//! candidate pairs are probably duplicates. Typically, this step produces
+//! a final similarity or confidence score for each candidate pair. A
+//! pair is matched if its score is higher than a specific threshold."
+//!
+//! Three model families, matching the paper's taxonomy (§1): the
+//! rule-based [`rules::RuleSet`], the score-aggregating
+//! [`threshold::WeightedAverage`], and the supervised
+//! [`logistic::LogisticRegression`] trained on labelled example pairs.
+
+pub mod logistic;
+pub mod rules;
+pub mod threshold;
+
+use frost_core::dataset::{Dataset, RecordPair};
+
+/// A decision model: scores candidate pairs and owns a match threshold.
+pub trait DecisionModel {
+    /// Similarity/confidence for a candidate pair, in `[0, 1]`.
+    fn score(&self, ds: &Dataset, pair: RecordPair) -> f64;
+
+    /// The similarity threshold at/above which a pair is a match.
+    fn threshold(&self) -> f64;
+
+    /// Whether the pair is predicted to be a duplicate.
+    fn is_match(&self, ds: &Dataset, pair: RecordPair) -> bool {
+        self.score(ds, pair) >= self.threshold()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Constant(f64);
+    impl DecisionModel for Constant {
+        fn score(&self, _: &Dataset, _: RecordPair) -> f64 {
+            self.0
+        }
+        fn threshold(&self) -> f64 {
+            0.5
+        }
+    }
+
+    #[test]
+    fn default_is_match_uses_threshold() {
+        use frost_core::dataset::Schema;
+        let mut ds = Dataset::new("d", Schema::new(["a"]));
+        ds.push_record("x", ["1"]);
+        ds.push_record("y", ["2"]);
+        let p = RecordPair::from((0u32, 1u32));
+        assert!(Constant(0.5).is_match(&ds, p));
+        assert!(Constant(0.9).is_match(&ds, p));
+        assert!(!Constant(0.49).is_match(&ds, p));
+    }
+}

@@ -1,0 +1,279 @@
+//! Rule-based decision models.
+//!
+//! "Rule-based solutions are configured by hand-crafted matching rules …
+//! An example rule in the context of a customer dataset could state that
+//! a high similarity of the surname is an indicator for duplicates, but
+//! a high similarity of customer IDs is not" (§1). A [`RuleSet`] scores
+//! a pair by the weight fraction of rules that fire; per-rule influence
+//! analysis (after NADEEF/ER, §2.2) reports how often each rule
+//! contributed.
+
+use super::DecisionModel;
+use crate::similarity::Measure;
+use frost_core::dataset::{Dataset, RecordPair};
+use serde::{Deserialize, Serialize};
+
+/// An atomic condition on a record pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Condition {
+    /// The attribute's similarity under the measure is at least `min`.
+    /// Missing values fail the condition.
+    SimilarityAtLeast {
+        /// Attribute name.
+        attribute: String,
+        /// Similarity measure.
+        measure: Measure,
+        /// Minimum similarity.
+        min: f64,
+    },
+    /// Both records hold *equal present* values in the attribute.
+    Equal {
+        /// Attribute name.
+        attribute: String,
+    },
+    /// Both records hold a value (any value) in the attribute.
+    BothPresent {
+        /// Attribute name.
+        attribute: String,
+    },
+    /// Negation.
+    Not(Box<Condition>),
+}
+
+impl Condition {
+    /// Evaluates the condition on a pair.
+    pub fn holds(&self, ds: &Dataset, pair: RecordPair) -> bool {
+        match self {
+            Condition::SimilarityAtLeast {
+                attribute,
+                measure,
+                min,
+            } => match (value(ds, pair, attribute, true), value(ds, pair, attribute, false)) {
+                (Some(a), Some(b)) => measure.compute(a, b) >= *min,
+                _ => false,
+            },
+            Condition::Equal { attribute } => {
+                match (value(ds, pair, attribute, true), value(ds, pair, attribute, false)) {
+                    (Some(a), Some(b)) => a == b,
+                    _ => false,
+                }
+            }
+            Condition::BothPresent { attribute } => {
+                value(ds, pair, attribute, true).is_some()
+                    && value(ds, pair, attribute, false).is_some()
+            }
+            Condition::Not(inner) => !inner.holds(ds, pair),
+        }
+    }
+}
+
+fn value<'a>(ds: &'a Dataset, pair: RecordPair, attribute: &str, lo: bool) -> Option<&'a str> {
+    let id = if lo { pair.lo() } else { pair.hi() };
+    ds.value(id, attribute)
+}
+
+/// A named, weighted conjunction of conditions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Rule {
+    /// Human-readable rule name (shows up in influence analyses).
+    pub name: String,
+    /// All conditions must hold for the rule to fire.
+    pub conditions: Vec<Condition>,
+    /// Relative weight of the rule (> 0).
+    pub weight: f64,
+}
+
+impl Rule {
+    /// Creates a rule.
+    ///
+    /// # Panics
+    /// Panics on non-positive weight.
+    pub fn new(
+        name: impl Into<String>,
+        conditions: impl IntoIterator<Item = Condition>,
+        weight: f64,
+    ) -> Self {
+        assert!(weight > 0.0, "rule weight must be positive");
+        Self {
+            name: name.into(),
+            conditions: conditions.into_iter().collect(),
+            weight,
+        }
+    }
+
+    /// Whether all conditions hold.
+    pub fn fires(&self, ds: &Dataset, pair: RecordPair) -> bool {
+        self.conditions.iter().all(|c| c.holds(ds, pair))
+    }
+}
+
+/// A weighted rule set with a match threshold. The score of a pair is
+/// the total weight of the firing rules divided by the total weight of
+/// all rules — a confidence in `[0, 1]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RuleSet {
+    /// The rules.
+    pub rules: Vec<Rule>,
+    /// Match threshold on the weight fraction.
+    pub match_threshold: f64,
+}
+
+impl RuleSet {
+    /// Creates a rule set.
+    ///
+    /// # Panics
+    /// Panics when empty.
+    pub fn new(rules: impl IntoIterator<Item = Rule>, match_threshold: f64) -> Self {
+        let rules: Vec<Rule> = rules.into_iter().collect();
+        assert!(!rules.is_empty(), "a rule set needs at least one rule");
+        Self {
+            rules,
+            match_threshold,
+        }
+    }
+
+    /// Per-rule firing counts over a candidate set — "the influence of
+    /// each individual rule on the result".
+    pub fn rule_influence(
+        &self,
+        ds: &Dataset,
+        candidates: &[RecordPair],
+    ) -> Vec<(String, usize)> {
+        self.rules
+            .iter()
+            .map(|r| {
+                (
+                    r.name.clone(),
+                    candidates.iter().filter(|&&p| r.fires(ds, p)).count(),
+                )
+            })
+            .collect()
+    }
+}
+
+impl DecisionModel for RuleSet {
+    fn score(&self, ds: &Dataset, pair: RecordPair) -> f64 {
+        let total: f64 = self.rules.iter().map(|r| r.weight).sum();
+        let fired: f64 = self
+            .rules
+            .iter()
+            .filter(|r| r.fires(ds, pair))
+            .map(|r| r.weight)
+            .sum();
+        fired / total
+    }
+
+    fn threshold(&self) -> f64 {
+        self.match_threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frost_core::dataset::Schema;
+
+    fn dataset() -> Dataset {
+        let mut ds = Dataset::new("d", Schema::new(["surname", "customer_id"]));
+        ds.push_record("a", ["schmidt", "C-100"]);
+        ds.push_record("b", ["schmitt", "C-999"]);
+        ds.push_record("c", ["weber", "C-100"]);
+        ds.push_record_opt("d", vec![None, Some("C-100".into())]);
+        ds
+    }
+
+    fn surname_rule() -> Rule {
+        Rule::new(
+            "similar surname",
+            [Condition::SimilarityAtLeast {
+                attribute: "surname".into(),
+                measure: Measure::JaroWinkler,
+                min: 0.9,
+            }],
+            2.0,
+        )
+    }
+
+    #[test]
+    fn conditions() {
+        let ds = dataset();
+        let p_ab = RecordPair::from((0u32, 1u32));
+        let p_ac = RecordPair::from((0u32, 2u32));
+        let p_ad = RecordPair::from((0u32, 3u32));
+        assert!(surname_rule().fires(&ds, p_ab));
+        assert!(!surname_rule().fires(&ds, p_ac));
+        // Missing value fails similarity and equality conditions.
+        assert!(!surname_rule().fires(&ds, p_ad));
+        assert!(!Condition::Equal {
+            attribute: "surname".into()
+        }
+        .holds(&ds, p_ad));
+        assert!(Condition::Equal {
+            attribute: "customer_id".into()
+        }
+        .holds(&ds, p_ac));
+        assert!(!Condition::BothPresent {
+            attribute: "surname".into()
+        }
+        .holds(&ds, p_ad));
+        assert!(Condition::Not(Box::new(Condition::Equal {
+            attribute: "customer_id".into()
+        }))
+        .holds(&ds, p_ab));
+    }
+
+    #[test]
+    fn weighted_score_is_fraction_of_fired_weight() {
+        let ds = dataset();
+        // The paper's example: surname similarity indicates duplicates,
+        // customer-id equality does not (weight it *against* by pairing
+        // with Not).
+        let rs = RuleSet::new(
+            [
+                surname_rule(),
+                Rule::new(
+                    "distinct ids",
+                    [Condition::Not(Box::new(Condition::Equal {
+                        attribute: "customer_id".into(),
+                    }))],
+                    1.0,
+                ),
+            ],
+            0.6,
+        );
+        let p_ab = RecordPair::from((0u32, 1u32)); // both rules fire → 1.0
+        let p_ac = RecordPair::from((0u32, 2u32)); // neither fires (ids equal)
+        assert_eq!(rs.score(&ds, p_ab), 1.0);
+        assert_eq!(rs.score(&ds, p_ac), 0.0);
+        assert!(rs.is_match(&ds, p_ab));
+        assert!(!rs.is_match(&ds, p_ac));
+        // Only the id rule fires for (b, c): 1/3 of the weight.
+        let p_bc = RecordPair::from((1u32, 2u32));
+        assert!((rs.score(&ds, p_bc) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rule_influence_counts_firings() {
+        let ds = dataset();
+        let rs = RuleSet::new([surname_rule()], 0.5);
+        let candidates: Vec<RecordPair> = vec![
+            RecordPair::from((0u32, 1u32)),
+            RecordPair::from((0u32, 2u32)),
+            RecordPair::from((1u32, 2u32)),
+        ];
+        let influence = rs.rule_influence(&ds, &candidates);
+        assert_eq!(influence, vec![("similar surname".to_string(), 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rule")]
+    fn empty_rule_set_panics() {
+        RuleSet::new([], 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_weight_panics() {
+        Rule::new("bad", [], 0.0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Weighted-average similarity decision model.
+//!
+//! The simplest score-producing model: a weighted mean of per-comparator
+//! similarities, matched against a threshold. This is the model whose
+//! threshold the metric/metric diagrams (§4.5.1) are designed to tune.
+
+use super::DecisionModel;
+use crate::features::Comparator;
+use frost_core::dataset::{Dataset, RecordPair};
+use serde::{Deserialize, Serialize};
+
+/// A weighted mean of attribute similarities with a match threshold.
+///
+/// Comparators whose attribute is missing on either record are excluded
+/// from the mean (their weight is redistributed); a pair with no usable
+/// comparator scores 0.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WeightedAverage {
+    /// `(comparator, weight)` terms; weights must be positive.
+    pub terms: Vec<(Comparator, f64)>,
+    /// Match threshold on the weighted mean.
+    pub match_threshold: f64,
+}
+
+impl WeightedAverage {
+    /// Creates the model.
+    ///
+    /// # Panics
+    /// Panics when `terms` is empty or a weight is not positive.
+    pub fn new(terms: impl IntoIterator<Item = (Comparator, f64)>, match_threshold: f64) -> Self {
+        let terms: Vec<(Comparator, f64)> = terms.into_iter().collect();
+        assert!(!terms.is_empty(), "need at least one comparator");
+        assert!(
+            terms.iter().all(|(_, w)| *w > 0.0),
+            "weights must be positive"
+        );
+        Self {
+            terms,
+            match_threshold,
+        }
+    }
+
+    /// Uniform weights over the given comparators.
+    pub fn uniform(
+        comparators: impl IntoIterator<Item = Comparator>,
+        match_threshold: f64,
+    ) -> Self {
+        Self::new(
+            comparators.into_iter().map(|c| (c, 1.0)),
+            match_threshold,
+        )
+    }
+
+    /// Replaces the threshold (used heavily by the tuning loop).
+    pub fn with_threshold(mut self, t: f64) -> Self {
+        self.match_threshold = t;
+        self
+    }
+}
+
+impl DecisionModel for WeightedAverage {
+    fn score(&self, ds: &Dataset, pair: RecordPair) -> f64 {
+        let a = ds.record(pair.lo());
+        let b = ds.record(pair.hi());
+        let mut sum = 0.0;
+        let mut weight = 0.0;
+        for (comp, w) in &self.terms {
+            if let Some(col) = ds.schema().index_of(&comp.attribute) {
+                if let (Some(x), Some(y)) = (a.value(col), b.value(col)) {
+                    sum += w * comp.measure.compute(x, y);
+                    weight += w;
+                }
+            }
+        }
+        if weight == 0.0 {
+            0.0
+        } else {
+            sum / weight
+        }
+    }
+
+    fn threshold(&self) -> f64 {
+        self.match_threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::similarity::Measure;
+    use frost_core::dataset::Schema;
+
+    fn dataset() -> Dataset {
+        let mut ds = Dataset::new("d", Schema::new(["name", "year"]));
+        ds.push_record("a", ["anna", "1999"]);
+        ds.push_record("b", ["anna", "1999"]);
+        ds.push_record("c", ["bert", "1999"]);
+        ds.push_record_opt("d", vec![Some("anna".into()), None]);
+        ds
+    }
+
+    #[test]
+    fn weighted_mean() {
+        let ds = dataset();
+        let model = WeightedAverage::new(
+            [
+                (Comparator::new("name", Measure::Exact), 3.0),
+                (Comparator::new("year", Measure::Exact), 1.0),
+            ],
+            0.7,
+        );
+        // (a, b): both equal → 1.0.
+        assert_eq!(model.score(&ds, RecordPair::from((0u32, 1u32))), 1.0);
+        // (a, c): name differs, year equal → 1/4.
+        assert!((model.score(&ds, RecordPair::from((0u32, 2u32))) - 0.25).abs() < 1e-12);
+        assert!(model.is_match(&ds, RecordPair::from((0u32, 1u32))));
+        assert!(!model.is_match(&ds, RecordPair::from((0u32, 2u32))));
+    }
+
+    #[test]
+    fn missing_values_redistribute_weight() {
+        let ds = dataset();
+        let model = WeightedAverage::uniform(
+            [
+                Comparator::new("name", Measure::Exact),
+                Comparator::new("year", Measure::Exact),
+            ],
+            0.5,
+        );
+        // (a, d): year missing → score over name only = 1.0.
+        assert_eq!(model.score(&ds, RecordPair::from((0u32, 3u32))), 1.0);
+    }
+
+    #[test]
+    fn with_threshold_builder() {
+        let model = WeightedAverage::uniform([Comparator::new("name", Measure::Exact)], 0.5)
+            .with_threshold(0.9);
+        assert_eq!(model.threshold(), 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_terms_panic() {
+        WeightedAverage::new([], 0.5);
+    }
+}

@@ -1,0 +1,206 @@
+//! Feature extraction: turning a record pair into a similarity vector.
+//!
+//! The decision models (step 4 of the pipeline) consume, per candidate
+//! pair, one similarity value per configured `(attribute, measure)`
+//! comparator plus a missing-value indicator — the standard feature
+//! representation of learning-based entity matchers.
+
+use crate::similarity::Measure;
+use frost_core::dataset::{Dataset, RecordPair};
+use serde::{Deserialize, Serialize};
+
+/// One comparator: an attribute compared under a similarity measure.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Comparator {
+    /// Attribute name.
+    pub attribute: String,
+    /// Similarity measure.
+    pub measure: Measure,
+}
+
+impl Comparator {
+    /// Creates a comparator.
+    pub fn new(attribute: impl Into<String>, measure: Measure) -> Self {
+        Self {
+            attribute: attribute.into(),
+            measure,
+        }
+    }
+}
+
+/// A feature-extraction schema: an ordered list of comparators.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureConfig {
+    /// Comparators in feature order.
+    pub comparators: Vec<Comparator>,
+    /// When `true`, each comparator contributes an extra 0/1 feature
+    /// flagging that *either* value was missing (similarity is then 0).
+    pub missing_indicators: bool,
+}
+
+impl FeatureConfig {
+    /// Builds a config from comparators, without missing indicators.
+    pub fn new(comparators: impl IntoIterator<Item = Comparator>) -> Self {
+        Self {
+            comparators: comparators.into_iter().collect(),
+            missing_indicators: false,
+        }
+    }
+
+    /// Enables per-comparator missing-value indicator features.
+    pub fn with_missing_indicators(mut self) -> Self {
+        self.missing_indicators = true;
+        self
+    }
+
+    /// A default config comparing every schema attribute with
+    /// Jaro-Winkler and token Jaccard.
+    pub fn default_for(ds: &Dataset) -> Self {
+        let comparators = ds
+            .schema()
+            .attributes()
+            .iter()
+            .flat_map(|a| {
+                [
+                    Comparator::new(a.clone(), Measure::JaroWinkler),
+                    Comparator::new(a.clone(), Measure::TokenJaccard),
+                ]
+            })
+            .collect();
+        Self {
+            comparators,
+            missing_indicators: true,
+        }
+    }
+
+    /// Number of features produced per pair.
+    pub fn width(&self) -> usize {
+        self.comparators.len() * if self.missing_indicators { 2 } else { 1 }
+    }
+
+    /// Extracts the feature vector of one pair.
+    pub fn features(&self, ds: &Dataset, pair: RecordPair) -> Vec<f64> {
+        let a = ds.record(pair.lo());
+        let b = ds.record(pair.hi());
+        let mut out = Vec::with_capacity(self.width());
+        for comp in &self.comparators {
+            let col = ds.schema().index_of(&comp.attribute);
+            let (va, vb) = match col {
+                Some(c) => (a.value(c), b.value(c)),
+                None => (None, None),
+            };
+            match (va, vb) {
+                (Some(x), Some(y)) => {
+                    out.push(comp.measure.compute(x, y));
+                    if self.missing_indicators {
+                        out.push(0.0);
+                    }
+                }
+                _ => {
+                    out.push(0.0);
+                    if self.missing_indicators {
+                        out.push(1.0);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The mean similarity across comparators, ignoring missing-value
+    /// slots — the aggregate score used by the weighted-threshold model.
+    pub fn mean_similarity(&self, ds: &Dataset, pair: RecordPair) -> f64 {
+        if self.comparators.is_empty() {
+            return 0.0;
+        }
+        let a = ds.record(pair.lo());
+        let b = ds.record(pair.hi());
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for comp in &self.comparators {
+            if let Some(c) = ds.schema().index_of(&comp.attribute) {
+                if let (Some(x), Some(y)) = (a.value(c), b.value(c)) {
+                    sum += comp.measure.compute(x, y);
+                    count += 1;
+                }
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            sum / count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frost_core::dataset::Schema;
+
+    fn dataset() -> Dataset {
+        let mut ds = Dataset::new("d", Schema::new(["name", "year"]));
+        ds.push_record("a", ["anna", "1999"]);
+        ds.push_record("b", ["anna", "2001"]);
+        ds.push_record_opt("c", vec![None, Some("1999".into())]);
+        ds
+    }
+
+    #[test]
+    fn feature_vector_layout() {
+        let ds = dataset();
+        let cfg = FeatureConfig::new([
+            Comparator::new("name", Measure::Exact),
+            Comparator::new("year", Measure::Numeric),
+        ]);
+        assert_eq!(cfg.width(), 2);
+        let f = cfg.features(&ds, RecordPair::from((0u32, 1u32)));
+        assert_eq!(f.len(), 2);
+        assert_eq!(f[0], 1.0); // names equal
+        assert!(f[1] > 0.99 && f[1] < 1.0); // 1999 vs 2001
+    }
+
+    #[test]
+    fn missing_indicators() {
+        let ds = dataset();
+        let cfg = FeatureConfig::new([Comparator::new("name", Measure::Exact)])
+            .with_missing_indicators();
+        assert_eq!(cfg.width(), 2);
+        let present = cfg.features(&ds, RecordPair::from((0u32, 1u32)));
+        assert_eq!(present, vec![1.0, 0.0]);
+        let missing = cfg.features(&ds, RecordPair::from((0u32, 2u32)));
+        assert_eq!(missing, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn unknown_attribute_counts_as_missing() {
+        let ds = dataset();
+        let cfg =
+            FeatureConfig::new([Comparator::new("nope", Measure::Exact)]).with_missing_indicators();
+        assert_eq!(cfg.features(&ds, RecordPair::from((0u32, 1u32))), vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn mean_similarity_skips_missing() {
+        let ds = dataset();
+        let cfg = FeatureConfig::new([
+            Comparator::new("name", Measure::Exact),
+            Comparator::new("year", Measure::Exact),
+        ]);
+        // Pair (a, c): name missing on c → mean over year only.
+        let m = cfg.mean_similarity(&ds, RecordPair::from((0u32, 2u32)));
+        assert_eq!(m, 1.0);
+        // All missing → 0.
+        let empty_cfg = FeatureConfig::new([Comparator::new("nope", Measure::Exact)]);
+        assert_eq!(empty_cfg.mean_similarity(&ds, RecordPair::from((0u32, 1u32))), 0.0);
+    }
+
+    #[test]
+    fn default_config_covers_schema() {
+        let ds = dataset();
+        let cfg = FeatureConfig::default_for(&ds);
+        assert_eq!(cfg.comparators.len(), 4); // 2 attrs × 2 measures
+        assert!(cfg.missing_indicators);
+        assert_eq!(cfg.width(), 8);
+    }
+}

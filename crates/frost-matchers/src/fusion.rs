@@ -1,0 +1,224 @@
+//! Duplicate merging / record fusion (pipeline step 6, §1.2).
+//!
+//! Once duplicates are clustered, each cluster is merged into a single
+//! record. Conflict resolution is configurable per attribute, following
+//! the standard data-fusion strategies (Bleiholder/Naumann).
+
+use frost_core::clustering::Clustering;
+use frost_core::dataset::{Dataset, RecordId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// How conflicting attribute values within a cluster are resolved.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FusionStrategy {
+    /// The first present value in record-id order.
+    First,
+    /// The longest present value (most information).
+    Longest,
+    /// The most frequent present value (ties: first in record-id order).
+    MostFrequent,
+    /// All distinct present values joined by a separator.
+    Concat {
+        /// Separator between values.
+        separator: String,
+    },
+}
+
+impl FusionStrategy {
+    fn resolve(&self, values: &[&str]) -> Option<String> {
+        if values.is_empty() {
+            return None;
+        }
+        match self {
+            FusionStrategy::First => Some(values[0].to_string()),
+            FusionStrategy::Longest => values
+                .iter()
+                .max_by_key(|v| v.chars().count())
+                .map(|v| v.to_string()),
+            FusionStrategy::MostFrequent => {
+                let mut counts: Vec<(&str, usize)> = Vec::new();
+                for &v in values {
+                    match counts.iter_mut().find(|(k, _)| *k == v) {
+                        Some((_, c)) => *c += 1,
+                        None => counts.push((v, 1)),
+                    }
+                }
+                counts
+                    .into_iter()
+                    .max_by_key(|&(_, c)| c)
+                    .map(|(v, _)| v.to_string())
+            }
+            FusionStrategy::Concat { separator } => {
+                let mut distinct: Vec<&str> = Vec::new();
+                for &v in values {
+                    if !distinct.contains(&v) {
+                        distinct.push(v);
+                    }
+                }
+                Some(distinct.join(separator))
+            }
+        }
+    }
+}
+
+/// Per-attribute fusion configuration with a default strategy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FusionConfig {
+    /// Fallback strategy for attributes without an override.
+    pub default: FusionStrategy,
+    /// Attribute-specific overrides.
+    pub per_attribute: HashMap<String, FusionStrategy>,
+}
+
+impl Default for FusionConfig {
+    fn default() -> Self {
+        Self {
+            default: FusionStrategy::Longest,
+            per_attribute: HashMap::new(),
+        }
+    }
+}
+
+impl FusionConfig {
+    /// Adds an attribute-specific strategy (builder style).
+    pub fn with(mut self, attribute: impl Into<String>, strategy: FusionStrategy) -> Self {
+        self.per_attribute.insert(attribute.into(), strategy);
+        self
+    }
+}
+
+/// Fuses every cluster of the clustering into one record. The fused
+/// record's native id joins the member native ids with `+`; singleton
+/// clusters pass through unchanged.
+pub fn fuse(ds: &Dataset, clustering: &Clustering, config: &FusionConfig) -> Dataset {
+    assert_eq!(
+        clustering.num_records(),
+        ds.len(),
+        "clustering covers a different dataset"
+    );
+    let mut out = Dataset::with_capacity(
+        format!("{}-fused", ds.name()),
+        ds.schema().clone(),
+        clustering.num_clusters(),
+    );
+    for members in clustering.clusters() {
+        let native_id = members
+            .iter()
+            .map(|&m| ds.native_id(m))
+            .collect::<Vec<&str>>()
+            .join("+");
+        let values: Vec<Option<String>> = (0..ds.schema().len())
+            .map(|col| {
+                let strategy = config
+                    .per_attribute
+                    .get(ds.schema().name(col))
+                    .unwrap_or(&config.default);
+                let present: Vec<&str> = members
+                    .iter()
+                    .filter_map(|&m| ds.record(m).value(col))
+                    .collect();
+                strategy.resolve(&present)
+            })
+            .collect();
+        out.push_record_opt(native_id, values);
+    }
+    out
+}
+
+/// Convenience: the fused record for a single cluster, given member ids.
+pub fn fuse_cluster(ds: &Dataset, members: &[RecordId], config: &FusionConfig) -> Vec<Option<String>> {
+    (0..ds.schema().len())
+        .map(|col| {
+            let strategy = config
+                .per_attribute
+                .get(ds.schema().name(col))
+                .unwrap_or(&config.default);
+            let present: Vec<&str> = members
+                .iter()
+                .filter_map(|&m| ds.record(m).value(col))
+                .collect();
+            strategy.resolve(&present)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frost_core::dataset::Schema;
+
+    fn dataset() -> Dataset {
+        let mut ds = Dataset::new("d", Schema::new(["name", "phone"]));
+        ds.push_record_opt("a", vec![Some("Anna S.".into()), Some("030-1".into())]);
+        ds.push_record_opt("b", vec![Some("Anna Schmidt".into()), None]);
+        ds.push_record_opt("c", vec![Some("Anna S.".into()), Some("030-2".into())]);
+        ds.push_record_opt("d", vec![Some("Bert".into()), None]);
+        ds
+    }
+
+    #[test]
+    fn strategies_resolve() {
+        assert_eq!(
+            FusionStrategy::First.resolve(&["x", "yy"]),
+            Some("x".into())
+        );
+        assert_eq!(
+            FusionStrategy::Longest.resolve(&["x", "yy"]),
+            Some("yy".into())
+        );
+        assert_eq!(
+            FusionStrategy::MostFrequent.resolve(&["a", "b", "a"]),
+            Some("a".into())
+        );
+        assert_eq!(
+            FusionStrategy::Concat {
+                separator: "; ".into()
+            }
+            .resolve(&["a", "b", "a"]),
+            Some("a; b".into())
+        );
+        assert_eq!(FusionStrategy::First.resolve(&[]), None);
+    }
+
+    #[test]
+    fn fuse_merges_clusters() {
+        let ds = dataset();
+        let clustering = Clustering::from_assignment(&[0, 0, 0, 1]);
+        let config = FusionConfig::default().with(
+            "phone",
+            FusionStrategy::Concat {
+                separator: ", ".into(),
+            },
+        );
+        let fused = fuse(&ds, &clustering, &config);
+        assert_eq!(fused.len(), 2);
+        let merged = fused.resolve_native("a+b+c").unwrap();
+        // Longest name wins; phones concatenated, nulls skipped.
+        assert_eq!(fused.value(merged, "name"), Some("Anna Schmidt"));
+        assert_eq!(fused.value(merged, "phone"), Some("030-1, 030-2"));
+        // Singleton passes through.
+        let bert = fused.resolve_native("d").unwrap();
+        assert_eq!(fused.value(bert, "name"), Some("Bert"));
+        assert_eq!(fused.value(bert, "phone"), None);
+    }
+
+    #[test]
+    fn fuse_cluster_matches_full_fusion() {
+        let ds = dataset();
+        let config = FusionConfig::default();
+        let values = fuse_cluster(
+            &ds,
+            &[RecordId(0), RecordId(1), RecordId(2)],
+            &config,
+        );
+        assert_eq!(values[0].as_deref(), Some("Anna Schmidt"));
+    }
+
+    #[test]
+    #[should_panic(expected = "different dataset")]
+    fn size_mismatch_panics() {
+        let ds = dataset();
+        fuse(&ds, &Clustering::singletons(2), &FusionConfig::default());
+    }
+}

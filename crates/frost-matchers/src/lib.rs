@@ -1,0 +1,34 @@
+//! # frost-matchers
+//!
+//! The matching-solution substrate for the Frost benchmark platform.
+//!
+//! Frost itself never executes matching solutions — it evaluates their
+//! *results*. To regenerate the paper's evaluation (SIGMOD-contest-style
+//! matchers, rule-based vs machine-learning approaches, effort studies),
+//! this crate implements real matching solutions from scratch, following
+//! the canonical six-step pipeline of §1.2:
+//!
+//! 1. [`prepare`] — segmentation, standardization, cleaning.
+//! 2. [`blocking`] — candidate generation (standard blocking, sorted
+//!    neighborhood, token blocking).
+//! 3. [`similarity`] — attribute-value similarity measures (edit-,
+//!    token-, and n-gram-based).
+//! 4. [`decision`] — decision models: hand-crafted rules, weighted
+//!    thresholds, and a trained logistic-regression classifier.
+//! 5. Duplicate clustering — via `frost_core::clustering::algorithms`.
+//! 6. [`fusion`] — merging duplicate clusters into single records.
+//!
+//! [`pipeline`] wires the steps into a [`pipeline::MatchingPipeline`]
+//! whose intermediate outputs stay observable ("measuring the
+//! performance between these steps … can provide useful insights",
+//! §1.2). [`tuning`] adds the effort-tracked optimization loop behind
+//! the paper's Figures 6 and 7.
+
+pub mod blocking;
+pub mod decision;
+pub mod features;
+pub mod fusion;
+pub mod pipeline;
+pub mod prepare;
+pub mod similarity;
+pub mod tuning;

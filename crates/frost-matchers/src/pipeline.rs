@@ -1,0 +1,269 @@
+//! The end-to-end matching pipeline (§1.2).
+//!
+//! Wires preparation → blocking → similarity → decision → clustering into
+//! one runnable matching solution whose intermediate products remain
+//! observable: Frost explicitly supports "measuring the performance
+//! between these steps", e.g. the pair completeness of the candidate
+//! set, so every stage's output is kept on the [`PipelineRun`].
+
+use crate::blocking::Blocker;
+use crate::decision::DecisionModel;
+use crate::prepare::Preparer;
+use frost_core::clustering::{algorithms, Clustering};
+use frost_core::dataset::{Dataset, Experiment, PairOrigin, RecordPair, ScoredPair};
+use serde::{Deserialize, Serialize};
+
+/// Which duplicate-clustering algorithm closes the match set (step 5).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ClusteringMethod {
+    /// Plain transitive closure (connected components).
+    TransitiveClosure,
+    /// Center clustering.
+    Center,
+    /// Merge-center clustering.
+    MergeCenter,
+    /// Greedy maximum-clique approximation.
+    GreedyClique,
+    /// Markov clustering with the given inflation (components capped at
+    /// 512 records).
+    Markov {
+        /// MCL inflation parameter (> 1).
+        inflation: f64,
+    },
+    /// Randomized-pivot correlation clustering (deterministic per seed).
+    Pivot {
+        /// Pivot-order seed.
+        seed: u64,
+    },
+    /// Star clustering around degree-ordered hubs.
+    Star,
+}
+
+impl ClusteringMethod {
+    /// Applies the method to a set of scored matches.
+    pub fn cluster(self, n: usize, matches: &[ScoredPair]) -> Clustering {
+        match self {
+            ClusteringMethod::TransitiveClosure => algorithms::connected_components(n, matches),
+            ClusteringMethod::Center => algorithms::center_clustering(n, matches),
+            ClusteringMethod::MergeCenter => algorithms::merge_center_clustering(n, matches),
+            ClusteringMethod::GreedyClique => algorithms::greedy_clique_clustering(n, matches),
+            ClusteringMethod::Markov { inflation } => {
+                algorithms::markov_clustering(n, matches, inflation, 512)
+            }
+            ClusteringMethod::Pivot { seed } => algorithms::pivot_clustering(n, matches, seed),
+            ClusteringMethod::Star => algorithms::star_clustering(n, matches),
+        }
+    }
+}
+
+/// A complete matching solution: the composition of the pipeline steps.
+pub struct MatchingPipeline {
+    /// Solution name (becomes the experiment name).
+    pub name: String,
+    /// Optional data-preparation step.
+    pub preparer: Option<Preparer>,
+    /// Candidate generation.
+    pub blocker: Box<dyn Blocker>,
+    /// Decision model.
+    pub model: Box<dyn DecisionModel>,
+    /// Duplicate clustering.
+    pub clustering: ClusteringMethod,
+}
+
+/// Everything one pipeline run produced, stage by stage.
+pub struct PipelineRun {
+    /// The (possibly prepared) dataset the stages actually saw.
+    pub prepared: Dataset,
+    /// Step 2 output: candidate pairs.
+    pub candidates: Vec<RecordPair>,
+    /// Steps 3–4 output: every candidate with its decision-model score.
+    pub scored_candidates: Vec<(RecordPair, f64)>,
+    /// The model's threshold at run time.
+    pub threshold: f64,
+    /// Step 5 output: the final duplicate clustering.
+    pub clustering: Clustering,
+    /// The experiment: matcher-emitted matches (scored) plus pairs the
+    /// clustering step added, tagged [`PairOrigin::Closure`].
+    pub experiment: Experiment,
+}
+
+impl PipelineRun {
+    /// An experiment over *all* scored candidates (including
+    /// sub-threshold ones) — the input metric/metric diagrams sweep.
+    /// §4.5.1 notes diagrams "heavily depend on how many pairs have a
+    /// similarity score assigned"; exporting every scored candidate
+    /// maximizes their range.
+    pub fn scored_experiment(&self, name_suffix: &str) -> Experiment {
+        Experiment::new(
+            format!("{}{name_suffix}", self.experiment.name()),
+            self.scored_candidates
+                .iter()
+                .map(|&(pair, s)| ScoredPair::scored(pair, s)),
+        )
+    }
+}
+
+impl MatchingPipeline {
+    /// Runs all pipeline steps on a dataset.
+    pub fn run(&self, ds: &Dataset) -> PipelineRun {
+        // Step 1: preparation.
+        let prepared = match &self.preparer {
+            Some(p) => p.prepare(ds),
+            None => ds.clone(),
+        };
+        // Step 2: candidate generation.
+        let candidates = self.blocker.candidates(&prepared);
+        // Steps 3–4: similarity + decision.
+        let scored_candidates: Vec<(RecordPair, f64)> = candidates
+            .iter()
+            .map(|&p| (p, self.model.score(&prepared, p)))
+            .collect();
+        let threshold = self.model.threshold();
+        let matches: Vec<ScoredPair> = scored_candidates
+            .iter()
+            .filter(|&&(_, s)| s >= threshold)
+            .map(|&(p, s)| ScoredPair::scored(p, s))
+            .collect();
+        // Step 5: duplicate clustering.
+        let clustering = self.clustering.cluster(prepared.len(), &matches);
+        // Assemble the experiment: matcher pairs + clustering additions.
+        let match_set: std::collections::HashSet<RecordPair> =
+            matches.iter().map(|sp| sp.pair).collect();
+        let mut pairs = matches.clone();
+        for pair in clustering.intra_pairs() {
+            if !match_set.contains(&pair) {
+                pairs.push(ScoredPair {
+                    pair,
+                    similarity: None,
+                    origin: PairOrigin::Closure,
+                });
+            }
+        }
+        // Center-style clusterings may *drop* matcher pairs; the
+        // experiment keeps them (they are the solution's raw output).
+        let experiment = Experiment::new(self.name.clone(), pairs);
+        PipelineRun {
+            prepared,
+            candidates,
+            scored_candidates,
+            threshold,
+            clustering,
+            experiment,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocking::FullPairs;
+    use crate::decision::threshold::WeightedAverage;
+    use crate::features::Comparator;
+    use crate::similarity::Measure;
+    use frost_core::dataset::Schema;
+
+    fn dataset() -> Dataset {
+        let mut ds = Dataset::new("people", Schema::new(["name"]));
+        ds.push_record("a", ["Anna Schmidt!"]);
+        ds.push_record("b", ["anna schmidt"]);
+        ds.push_record("c", ["Bert Weber"]);
+        ds.push_record("d", ["bert weber"]);
+        ds.push_record("e", ["Carla Diaz"]);
+        ds
+    }
+
+    fn pipeline() -> MatchingPipeline {
+        MatchingPipeline {
+            name: "test-run".into(),
+            preparer: Some(Preparer::standard()),
+            blocker: Box::new(FullPairs),
+            model: Box::new(WeightedAverage::uniform(
+                [Comparator::new("name", Measure::JaroWinkler)],
+                0.95,
+            )),
+            clustering: ClusteringMethod::TransitiveClosure,
+        }
+    }
+
+    #[test]
+    fn pipeline_end_to_end() {
+        let ds = dataset();
+        let run = pipeline().run(&ds);
+        assert_eq!(run.candidates.len() as u64, ds.pair_count());
+        assert_eq!(run.scored_candidates.len(), run.candidates.len());
+        // Preparation makes a≡b and c≡d exact matches.
+        let pairs = run.experiment.pair_set();
+        assert!(pairs.contains(&RecordPair::from((0u32, 1u32))));
+        assert!(pairs.contains(&RecordPair::from((2u32, 3u32))));
+        assert!(!pairs.iter().any(|p| p.contains(frost_core::dataset::RecordId(4))));
+        assert_eq!(run.clustering.num_clusters(), 3);
+        assert_eq!(run.experiment.name(), "test-run");
+        assert!(run.experiment.fully_scored());
+    }
+
+    #[test]
+    fn scored_experiment_includes_subthreshold() {
+        let ds = dataset();
+        let run = pipeline().run(&ds);
+        let all = run.scored_experiment("-all");
+        assert_eq!(all.len(), run.scored_candidates.len());
+        assert!(all.len() > run.experiment.len());
+    }
+
+    #[test]
+    fn closure_pairs_are_tagged() {
+        // Force a chain: lower threshold so a–b, b–c match but a–c does
+        // not; transitive closure must add a–c with Closure origin.
+        let mut ds = Dataset::new("d", Schema::new(["name"]));
+        ds.push_record("a", ["anna maria schmidt x"]);
+        ds.push_record("b", ["anna maria schmidt"]);
+        ds.push_record("c", ["anna maria schmitt"]);
+        let pipeline = MatchingPipeline {
+            name: "chain".into(),
+            preparer: None,
+            blocker: Box::new(FullPairs),
+            model: Box::new(WeightedAverage::uniform(
+                [Comparator::new("name", Measure::TokenJaccard)],
+                0.5,
+            )),
+            clustering: ClusteringMethod::TransitiveClosure,
+        };
+        let run = pipeline.run(&ds);
+        let closure_pairs: Vec<&ScoredPair> = run
+            .experiment
+            .pairs()
+            .iter()
+            .filter(|sp| sp.origin == PairOrigin::Closure)
+            .collect();
+        assert!(
+            !closure_pairs.is_empty(),
+            "expected closure-added pairs in {:?}",
+            run.scored_candidates
+        );
+        assert!(closure_pairs.iter().all(|sp| sp.similarity.is_none()));
+    }
+
+    #[test]
+    fn clustering_method_dispatch() {
+        let matches = [
+            ScoredPair::scored((0u32, 1u32), 0.9),
+            ScoredPair::scored((1u32, 2u32), 0.6),
+        ];
+        for method in [
+            ClusteringMethod::TransitiveClosure,
+            ClusteringMethod::Center,
+            ClusteringMethod::MergeCenter,
+            ClusteringMethod::GreedyClique,
+            ClusteringMethod::Markov { inflation: 2.0 },
+            ClusteringMethod::Pivot { seed: 1 },
+            ClusteringMethod::Star,
+        ] {
+            let c = method.cluster(4, &matches);
+            assert_eq!(c.num_records(), 4);
+            assert!(c.same_cluster(
+                frost_core::dataset::RecordId(0),
+                frost_core::dataset::RecordId(1)
+            ));
+        }
+    }
+}

@@ -1,0 +1,412 @@
+//! Similarity-based attribute value matching (pipeline step 3, §1.2).
+//!
+//! All measures return values in `[0, 1]`, 1 meaning identical. They are
+//! implemented from scratch (no ER library exists in the allowed
+//! dependency set) and cover the three standard families: edit-based
+//! (Levenshtein, Jaro, Jaro-Winkler), token-based (Jaccard, Dice,
+//! overlap, Monge-Elkan) and n-gram-based (trigram), plus exact and
+//! numeric comparison.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Levenshtein edit distance (dynamic programming, two rows).
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Levenshtein similarity: `1 − distance / max(len)`; 1.0 for two empty
+/// strings.
+pub fn levenshtein_similarity(a: &str, b: &str) -> f64 {
+    let max = a.chars().count().max(b.chars().count());
+    if max == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / max as f64
+}
+
+/// Jaro similarity.
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_taken = vec![false; b.len()];
+    let mut matches = 0usize;
+    let mut a_matched = Vec::with_capacity(a.len());
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_taken[j] && b[j] == ca {
+                b_taken[j] = true;
+                a_matched.push(ca);
+                matches += 1;
+                break;
+            }
+        }
+    }
+    if matches == 0 {
+        return 0.0;
+    }
+    // Transpositions: matched characters of b in order.
+    let b_matched: Vec<char> = b
+        .iter()
+        .zip(&b_taken)
+        .filter(|(_, &taken)| taken)
+        .map(|(&c, _)| c)
+        .collect();
+    let transpositions = a_matched
+        .iter()
+        .zip(&b_matched)
+        .filter(|(x, y)| x != y)
+        .count()
+        / 2;
+    let m = matches as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - transpositions as f64) / m) / 3.0
+}
+
+/// Jaro-Winkler similarity with the standard prefix scale 0.1 and prefix
+/// cap 4.
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    let j = jaro(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count();
+    j + prefix as f64 * 0.1 * (1.0 - j)
+}
+
+/// Whitespace-token Jaccard similarity; 1.0 for two token-less strings.
+pub fn token_jaccard(a: &str, b: &str) -> f64 {
+    let sa: HashSet<&str> = a.split_whitespace().collect();
+    let sb: HashSet<&str> = b.split_whitespace().collect();
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    let inter = sa.intersection(&sb).count() as f64;
+    let union = (sa.len() + sb.len()) as f64 - inter;
+    inter / union
+}
+
+/// Sørensen–Dice coefficient on whitespace tokens.
+pub fn token_dice(a: &str, b: &str) -> f64 {
+    let sa: HashSet<&str> = a.split_whitespace().collect();
+    let sb: HashSet<&str> = b.split_whitespace().collect();
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    if sa.is_empty() || sb.is_empty() {
+        return 0.0;
+    }
+    let inter = sa.intersection(&sb).count() as f64;
+    2.0 * inter / (sa.len() + sb.len()) as f64
+}
+
+/// Overlap coefficient on whitespace tokens: `|A∩B| / min(|A|,|B|)`.
+pub fn token_overlap(a: &str, b: &str) -> f64 {
+    let sa: HashSet<&str> = a.split_whitespace().collect();
+    let sb: HashSet<&str> = b.split_whitespace().collect();
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    if sa.is_empty() || sb.is_empty() {
+        return 0.0;
+    }
+    let inter = sa.intersection(&sb).count() as f64;
+    inter / sa.len().min(sb.len()) as f64
+}
+
+/// Monge-Elkan: the mean, over tokens of `a`, of the best inner
+/// similarity against any token of `b`. Asymmetric by definition; use
+/// [`monge_elkan_symmetric`] for a symmetric variant.
+pub fn monge_elkan(a: &str, b: &str, inner: impl Fn(&str, &str) -> f64) -> f64 {
+    let ta: Vec<&str> = a.split_whitespace().collect();
+    let tb: Vec<&str> = b.split_whitespace().collect();
+    if ta.is_empty() && tb.is_empty() {
+        return 1.0;
+    }
+    if ta.is_empty() || tb.is_empty() {
+        return 0.0;
+    }
+    ta.iter()
+        .map(|x| {
+            tb.iter()
+                .map(|y| inner(x, y))
+                .fold(f64::NEG_INFINITY, f64::max)
+        })
+        .sum::<f64>()
+        / ta.len() as f64
+}
+
+/// Mean of both Monge-Elkan directions.
+pub fn monge_elkan_symmetric(a: &str, b: &str, inner: impl Fn(&str, &str) -> f64 + Copy) -> f64 {
+    (monge_elkan(a, b, inner) + monge_elkan(b, a, inner)) / 2.0
+}
+
+/// Character n-gram (default trigram) Jaccard similarity, with
+/// padding (`#` at both ends) so short strings still produce grams.
+pub fn ngram_similarity(a: &str, b: &str, n: usize) -> f64 {
+    assert!(n >= 1, "n-gram size must be at least 1");
+    fn grams(s: &str, n: usize) -> HashSet<String> {
+        let padded: Vec<char> = std::iter::repeat_n('#', n - 1)
+            .chain(s.chars())
+            .chain(std::iter::repeat_n('#', n - 1))
+            .collect();
+        padded.windows(n).map(|w| w.iter().collect()).collect()
+    }
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let ga = grams(a, n);
+    let gb = grams(b, n);
+    let inter = ga.intersection(&gb).count() as f64;
+    let union = (ga.len() + gb.len()) as f64 - inter;
+    inter / union
+}
+
+/// Trigram similarity — the common n-gram special case.
+pub fn trigram_similarity(a: &str, b: &str) -> f64 {
+    ngram_similarity(a, b, 3)
+}
+
+/// Exact string equality as a 0/1 similarity.
+pub fn exact(a: &str, b: &str) -> f64 {
+    if a == b {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// Numeric similarity: parses both strings as floats and returns
+/// `1 − |a−b| / max(|a|,|b|)` (1.0 when both are 0); non-numeric input
+/// falls back to [`exact`].
+pub fn numeric_similarity(a: &str, b: &str) -> f64 {
+    match (a.trim().parse::<f64>(), b.trim().parse::<f64>()) {
+        (Ok(x), Ok(y)) => {
+            let max = x.abs().max(y.abs());
+            if max == 0.0 {
+                1.0
+            } else {
+                (1.0 - (x - y).abs() / max).max(0.0)
+            }
+        }
+        _ => exact(a, b),
+    }
+}
+
+/// The similarity measures available to rule sets and feature
+/// extraction, as a serializable enum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Measure {
+    /// Normalized Levenshtein.
+    Levenshtein,
+    /// Jaro.
+    Jaro,
+    /// Jaro-Winkler.
+    JaroWinkler,
+    /// Whitespace-token Jaccard.
+    TokenJaccard,
+    /// Sørensen–Dice on tokens.
+    TokenDice,
+    /// Overlap coefficient on tokens.
+    TokenOverlap,
+    /// Monge-Elkan with Jaro-Winkler inner similarity (symmetric).
+    MongeElkan,
+    /// Character trigram Jaccard.
+    Trigram,
+    /// Exact equality.
+    Exact,
+    /// Numeric relative similarity.
+    Numeric,
+}
+
+impl Measure {
+    /// Evaluates the measure on two attribute values.
+    pub fn compute(self, a: &str, b: &str) -> f64 {
+        match self {
+            Measure::Levenshtein => levenshtein_similarity(a, b),
+            Measure::Jaro => jaro(a, b),
+            Measure::JaroWinkler => jaro_winkler(a, b),
+            Measure::TokenJaccard => token_jaccard(a, b),
+            Measure::TokenDice => token_dice(a, b),
+            Measure::TokenOverlap => token_overlap(a, b),
+            Measure::MongeElkan => monge_elkan_symmetric(a, b, jaro_winkler),
+            Measure::Trigram => trigram_similarity(a, b),
+            Measure::Exact => exact(a, b),
+            Measure::Numeric => numeric_similarity(a, b),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levenshtein_distances() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("same", "same"), 0);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+    }
+
+    #[test]
+    fn levenshtein_similarity_bounds() {
+        assert_eq!(levenshtein_similarity("", ""), 1.0);
+        assert_eq!(levenshtein_similarity("abc", "abc"), 1.0);
+        assert_eq!(levenshtein_similarity("abc", "xyz"), 0.0);
+        let s = levenshtein_similarity("kitten", "sitting");
+        assert!((s - (1.0 - 3.0 / 7.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaro_known_values() {
+        // Classic MARTHA/MARHTA example: 0.944….
+        assert!((jaro("MARTHA", "MARHTA") - 0.944_444_444).abs() < 1e-6);
+        // DWAYNE/DUANE: 0.822….
+        assert!((jaro("DWAYNE", "DUANE") - 0.822_222_222).abs() < 1e-6);
+        assert_eq!(jaro("", ""), 1.0);
+        assert_eq!(jaro("a", ""), 0.0);
+        assert_eq!(jaro("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn jaro_winkler_known_values() {
+        // MARTHA/MARHTA with 3-char prefix: 0.961….
+        assert!((jaro_winkler("MARTHA", "MARHTA") - 0.961_111_111).abs() < 1e-6);
+        assert!(jaro_winkler("prefix_same", "prefix_diff") > jaro("prefix_same", "prefix_diff"));
+        assert_eq!(jaro_winkler("same", "same"), 1.0);
+    }
+
+    #[test]
+    fn token_measures() {
+        assert!((token_jaccard("a b c", "b c d") - 0.5).abs() < 1e-12);
+        assert!((token_dice("a b", "b c") - 0.5).abs() < 1e-12);
+        assert!((token_overlap("a b", "a b c d") - 1.0).abs() < 1e-12);
+        assert_eq!(token_jaccard("", ""), 1.0);
+        assert_eq!(token_dice("a", ""), 0.0);
+        assert_eq!(token_overlap("", "x"), 0.0);
+    }
+
+    #[test]
+    fn monge_elkan_behaviour() {
+        // Every token of a has an exact partner in b.
+        let me = monge_elkan("john smith", "smith john", exact);
+        assert_eq!(me, 1.0);
+        // Asymmetry: extra tokens in a lower the score in that direction.
+        let asym1 = monge_elkan("john smith extra", "john smith", exact);
+        let asym2 = monge_elkan("john smith", "john smith extra", exact);
+        assert!(asym1 < asym2);
+        let sym = monge_elkan_symmetric("john smith extra", "john smith", exact);
+        assert!((sym - (asym1 + asym2) / 2.0).abs() < 1e-12);
+        assert_eq!(monge_elkan("", "", exact), 1.0);
+        assert_eq!(monge_elkan("a", "", exact), 0.0);
+    }
+
+    #[test]
+    fn trigram_similarity_behaviour() {
+        assert_eq!(trigram_similarity("abc", "abc"), 1.0);
+        assert_eq!(trigram_similarity("", ""), 1.0);
+        assert_eq!(trigram_similarity("", "x"), 0.0);
+        let close = trigram_similarity("hello", "helo");
+        let far = trigram_similarity("hello", "world");
+        assert!(close > far);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn ngram_rejects_zero() {
+        ngram_similarity("a", "b", 0);
+    }
+
+    #[test]
+    fn numeric_similarity_behaviour() {
+        assert_eq!(numeric_similarity("100", "100"), 1.0);
+        assert!((numeric_similarity("100", "90") - 0.9).abs() < 1e-12);
+        assert_eq!(numeric_similarity("0", "0.0"), 1.0);
+        // Opposite signs saturate at 0.
+        assert_eq!(numeric_similarity("-5", "5"), 0.0);
+        // Non-numeric falls back to exact.
+        assert_eq!(numeric_similarity("abc", "abc"), 1.0);
+        assert_eq!(numeric_similarity("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn all_measures_in_unit_interval() {
+        let samples = [
+            ("", ""),
+            ("a", ""),
+            ("hello world", "hello"),
+            ("Ann Smith", "Anne Smyth"),
+            ("12.5", "13"),
+            ("identical", "identical"),
+        ];
+        let measures = [
+            Measure::Levenshtein,
+            Measure::Jaro,
+            Measure::JaroWinkler,
+            Measure::TokenJaccard,
+            Measure::TokenDice,
+            Measure::TokenOverlap,
+            Measure::MongeElkan,
+            Measure::Trigram,
+            Measure::Exact,
+            Measure::Numeric,
+        ];
+        for m in measures {
+            for (a, b) in samples {
+                let v = m.compute(a, b);
+                assert!((0.0..=1.0 + 1e-12).contains(&v), "{m:?}({a:?},{b:?}) = {v}");
+                // Symmetry check (Monge-Elkan is symmetrized).
+                let w = m.compute(b, a);
+                assert!((v - w).abs() < 1e-9, "{m:?} asymmetric: {v} vs {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn identical_strings_score_one() {
+        for m in [
+            Measure::Levenshtein,
+            Measure::Jaro,
+            Measure::JaroWinkler,
+            Measure::TokenJaccard,
+            Measure::Trigram,
+            Measure::Exact,
+            Measure::Numeric,
+        ] {
+            assert_eq!(m.compute("same value", "same value"), 1.0, "{m:?}");
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based tests of the similarity measures and blockers.
+
+use frost_matchers::blocking::{Blocker, FullPairs, SortedNeighborhood, StandardBlocking};
+use frost_matchers::similarity::{self, Measure};
+use proptest::prelude::*;
+
+fn word() -> impl Strategy<Value = String> {
+    "[a-z]{0,8}"
+}
+
+fn phrase() -> impl Strategy<Value = String> {
+    prop::collection::vec(word(), 0..4).prop_map(|w| w.join(" "))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every measure is symmetric, bounded to [0,1], and gives identical
+    /// strings similarity 1.
+    #[test]
+    fn measure_axioms(a in phrase(), b in phrase()) {
+        for m in [
+            Measure::Levenshtein,
+            Measure::Jaro,
+            Measure::JaroWinkler,
+            Measure::TokenJaccard,
+            Measure::TokenDice,
+            Measure::TokenOverlap,
+            Measure::MongeElkan,
+            Measure::Trigram,
+            Measure::Exact,
+            Measure::Numeric,
+        ] {
+            let ab = m.compute(&a, &b);
+            let ba = m.compute(&b, &a);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&ab), "{m:?}({a:?},{b:?}) = {ab}");
+            prop_assert!((ab - ba).abs() < 1e-9, "{m:?} asymmetric");
+            let aa = m.compute(&a, &a);
+            prop_assert!((aa - 1.0).abs() < 1e-9, "{m:?}({a:?},{a:?}) = {aa}");
+        }
+    }
+
+    /// Levenshtein distance is a metric: triangle inequality and
+    /// identity of indiscernibles.
+    #[test]
+    fn levenshtein_is_a_metric(a in word(), b in word(), c in word()) {
+        let ab = similarity::levenshtein(&a, &b);
+        let bc = similarity::levenshtein(&b, &c);
+        let ac = similarity::levenshtein(&a, &c);
+        prop_assert!(ac <= ab + bc);
+        prop_assert_eq!(ab == 0, a == b);
+        // Distance is bounded by the longer string.
+        prop_assert!(ab <= a.chars().count().max(b.chars().count()));
+    }
+
+    /// Jaro-Winkler never scores below plain Jaro (the prefix bonus is
+    /// non-negative).
+    #[test]
+    fn jaro_winkler_dominates_jaro(a in word(), b in word()) {
+        prop_assert!(similarity::jaro_winkler(&a, &b) >= similarity::jaro(&a, &b) - 1e-12);
+    }
+
+    /// Token Dice and Jaccard relate by D = 2J/(1+J).
+    #[test]
+    fn dice_jaccard_relation(a in phrase(), b in phrase()) {
+        let j = similarity::token_jaccard(&a, &b);
+        let d = similarity::token_dice(&a, &b);
+        // Both empty → both 1 by convention; otherwise the identity holds.
+        if a.split_whitespace().next().is_some() || b.split_whitespace().next().is_some() {
+            prop_assert!((d - 2.0 * j / (1.0 + j)).abs() < 1e-9, "J {j} D {d}");
+        }
+    }
+
+    /// Every blocker produces normalized, deduplicated pairs that are a
+    /// subset of the full pair space.
+    #[test]
+    fn blockers_produce_valid_subsets(
+        names in prop::collection::vec("[a-c]{1,3}( [a-c]{1,3})?", 2..12),
+    ) {
+        use frost_core::dataset::{Dataset, Schema};
+        let mut ds = Dataset::new("p", Schema::new(["name"]));
+        for (i, n) in names.iter().enumerate() {
+            ds.push_record(format!("r{i}"), [n.clone()]);
+        }
+        let full = FullPairs.candidates(&ds);
+        prop_assert_eq!(full.len() as u64, ds.pair_count());
+        let blockers: Vec<Box<dyn Blocker>> = vec![
+            Box::new(StandardBlocking::new(
+                frost_matchers::blocking::BlockingKey::FirstToken("name".into()),
+            )),
+            Box::new(SortedNeighborhood {
+                key: frost_matchers::blocking::BlockingKey::Attribute("name".into()),
+                window: 3,
+            }),
+        ];
+        let full_set: std::collections::HashSet<_> = full.iter().copied().collect();
+        for blocker in &blockers {
+            let candidates = blocker.candidates(&ds);
+            let mut sorted = candidates.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), candidates.len(), "duplicates in candidates");
+            for p in &candidates {
+                prop_assert!(full_set.contains(p));
+            }
+        }
+    }
+
+    /// The weighted-average model's score is always within the convex
+    /// hull of its comparator similarities.
+    #[test]
+    fn weighted_average_is_convex(
+        a in phrase(), b in phrase(),
+        w1 in 0.1f64..5.0, w2 in 0.1f64..5.0,
+    ) {
+        use frost_core::dataset::{Dataset, RecordPair, Schema};
+        use frost_matchers::decision::threshold::WeightedAverage;
+        use frost_matchers::decision::DecisionModel;
+        use frost_matchers::features::Comparator;
+        let mut ds = Dataset::new("p", Schema::new(["x"]));
+        ds.push_record("a", [a.clone()]);
+        ds.push_record("b", [b.clone()]);
+        let s1 = Measure::JaroWinkler.compute(&a, &b);
+        let s2 = Measure::TokenJaccard.compute(&a, &b);
+        let model = WeightedAverage::new(
+            [
+                (Comparator::new("x", Measure::JaroWinkler), w1),
+                (Comparator::new("x", Measure::TokenJaccard), w2),
+            ],
+            0.5,
+        );
+        let score = model.score(&ds, RecordPair::from((0u32, 1u32)));
+        let lo = s1.min(s2) - 1e-9;
+        let hi = s1.max(s2) + 1e-9;
+        prop_assert!((lo..=hi).contains(&score), "{score} outside [{lo}, {hi}]");
+    }
+}

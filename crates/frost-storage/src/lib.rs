@@ -1,0 +1,29 @@
+//! # frost-storage
+//!
+//! The benchmark store: Frost's counterpart of the Snowman back-end.
+//!
+//! Snowman bundles a NodeJS back-end with a SQLite database and
+//! optimizes experiments *at import time*: native record IDs are
+//! interned to dense numeric IDs (constant-time record access) and a
+//! clustering of every experiment is pre-computed, because "nearly all
+//! calculations in Snowman are performed using transitively closed
+//! clusters instead of pairs" (§5.3). This crate reproduces that layer
+//! as an embeddable library:
+//!
+//! * [`import`] — CSV importers for datasets, gold standards (pair-list
+//!   and cluster-attribute formats, §3.1.1) and experiments; custom
+//!   formats are "as simple as defining the separator, quote, escape
+//!   symbols and a mapping for rows" (§5.1).
+//! * [`store`] — the in-memory [`store::BenchmarkStore`] with
+//!   import-time optimization and a result cache ("subsequent
+//!   evaluations make use of caching", Appendix A.6).
+//! * [`api`] — a request/response facade mirroring the REST API surface
+//!   (Appendix A.4): everything the front-end can do is available
+//!   programmatically.
+
+pub mod api;
+pub mod import;
+pub mod persist;
+pub mod store;
+
+pub use store::{BenchmarkStore, StoreError};

@@ -1,0 +1,376 @@
+//! File-based persistence for the benchmark store.
+//!
+//! Snowman persists everything in a single portable application-data
+//! directory (SQLite under the hood) so that installing, upgrading and
+//! removing the tool is "as simple as … apps on a smartphone" (Appendix
+//! A). This module persists a [`BenchmarkStore`] as a plain directory of
+//! CSV files — even more portable, diffable, and importable by any other
+//! tool:
+//!
+//! ```text
+//! <root>/datasets/<name>.csv      id + attribute columns
+//! <root>/golds/<name>.csv         id1,id2 pair list (§3.1.1)
+//! <root>/experiments/<name>.csv   dataset,id1,id2,similarity,origin
+//! ```
+
+use crate::import::{import_gold_pairs, DatasetImporter, ImportError};
+use crate::store::{BenchmarkStore, StoreError};
+use frost_core::dataset::{
+    parse_csv, write_csv, CsvOptions, Dataset, Experiment, PairOrigin, ScoredPair,
+};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Errors raised while saving or loading a store directory.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// CSV/import failure.
+    Import(ImportError),
+    /// Store-level failure (duplicate names, unknown datasets …).
+    Store(StoreError),
+    /// A file's content was structurally invalid.
+    Malformed {
+        /// Offending file.
+        path: PathBuf,
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "io: {e}"),
+            PersistError::Import(e) => write!(f, "import: {e}"),
+            PersistError::Store(e) => write!(f, "store: {e}"),
+            PersistError::Malformed { path, reason } => {
+                write!(f, "malformed {}: {reason}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+impl From<ImportError> for PersistError {
+    fn from(e: ImportError) -> Self {
+        PersistError::Import(e)
+    }
+}
+impl From<StoreError> for PersistError {
+    fn from(e: StoreError) -> Self {
+        PersistError::Store(e)
+    }
+}
+
+/// Serializes a dataset to CSV with a leading `id` column.
+pub fn dataset_to_csv(ds: &Dataset) -> String {
+    let header = std::iter::once("id".to_string())
+        .chain(ds.schema().attributes().iter().cloned())
+        .collect::<Vec<String>>();
+    let rows = std::iter::once(header).chain(ds.records().iter().map(|r| {
+        std::iter::once(r.native_id().to_string())
+            .chain(
+                r.values()
+                    .iter()
+                    .map(|v| v.clone().unwrap_or_default()),
+            )
+            .collect()
+    }));
+    write_csv(rows, CsvOptions::comma())
+}
+
+fn experiment_to_csv(ds: &Dataset, dataset_name: &str, e: &Experiment) -> String {
+    let rows = std::iter::once(vec![
+        "dataset".to_string(),
+        "id1".to_string(),
+        "id2".to_string(),
+        "similarity".to_string(),
+        "origin".to_string(),
+    ])
+    .chain(e.pairs().iter().map(|sp| {
+        vec![
+            dataset_name.to_string(),
+            ds.native_id(sp.pair.lo()).to_string(),
+            ds.native_id(sp.pair.hi()).to_string(),
+            sp.similarity.map(|s| s.to_string()).unwrap_or_default(),
+            match sp.origin {
+                PairOrigin::Matcher => "matcher".to_string(),
+                PairOrigin::Closure => "closure".to_string(),
+            },
+        ]
+    }));
+    write_csv(rows, CsvOptions::comma())
+}
+
+/// Writes the store to a directory (created if missing, contents
+/// overwritten).
+pub fn save(store: &BenchmarkStore, root: impl AsRef<Path>) -> Result<(), PersistError> {
+    let root = root.as_ref();
+    for sub in ["datasets", "golds", "experiments"] {
+        std::fs::create_dir_all(root.join(sub))?;
+    }
+    for name in store.dataset_names() {
+        let ds = store.dataset(&name)?;
+        std::fs::write(
+            root.join("datasets").join(format!("{name}.csv")),
+            dataset_to_csv(ds),
+        )?;
+        if let Ok(truth) = store.gold_standard(&name) {
+            let rows = std::iter::once(vec!["id1".to_string(), "id2".to_string()]).chain(
+                truth.intra_pairs().map(|p| {
+                    vec![
+                        ds.native_id(p.lo()).to_string(),
+                        ds.native_id(p.hi()).to_string(),
+                    ]
+                }),
+            );
+            std::fs::write(
+                root.join("golds").join(format!("{name}.csv")),
+                write_csv(rows, CsvOptions::comma()),
+            )?;
+        }
+    }
+    for name in store.experiment_names(None) {
+        let stored = store.experiment(&name)?;
+        let ds = store.dataset(&stored.dataset)?;
+        std::fs::write(
+            root.join("experiments").join(format!("{name}.csv")),
+            experiment_to_csv(ds, &stored.dataset, &stored.experiment),
+        )?;
+    }
+    Ok(())
+}
+
+fn file_stem(path: &Path) -> Result<String, PersistError> {
+    path.file_stem()
+        .and_then(|s| s.to_str())
+        .map(str::to_string)
+        .ok_or_else(|| PersistError::Malformed {
+            path: path.to_path_buf(),
+            reason: "file name is not valid UTF-8".into(),
+        })
+}
+
+fn csv_files(dir: &Path) -> Result<Vec<PathBuf>, PersistError> {
+    if !dir.exists() {
+        return Ok(Vec::new());
+    }
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().and_then(|x| x.to_str()) == Some("csv"))
+        .collect();
+    files.sort();
+    Ok(files)
+}
+
+/// Loads a store directory written by [`save`].
+pub fn load(root: impl AsRef<Path>) -> Result<BenchmarkStore, PersistError> {
+    let root = root.as_ref();
+    let mut store = BenchmarkStore::new();
+    let importer = DatasetImporter::standard();
+    for path in csv_files(&root.join("datasets"))? {
+        let name = file_stem(&path)?;
+        let text = std::fs::read_to_string(&path)?;
+        store.add_dataset(importer.import(&name, &text)?)?;
+    }
+    for path in csv_files(&root.join("golds"))? {
+        let name = file_stem(&path)?;
+        let ds = store.dataset(&name)?;
+        let truth = import_gold_pairs(ds, &std::fs::read_to_string(&path)?, CsvOptions::comma())?;
+        store.set_gold_standard(&name, truth)?;
+    }
+    for path in csv_files(&root.join("experiments"))? {
+        let name = file_stem(&path)?;
+        let text = std::fs::read_to_string(&path)?;
+        let rows = parse_csv(&text, CsvOptions::comma()).map_err(ImportError::from)?;
+        let mut iter = rows.into_iter();
+        let header = iter.next().ok_or_else(|| PersistError::Malformed {
+            path: path.clone(),
+            reason: "missing header".into(),
+        })?;
+        if header.len() != 5 {
+            return Err(PersistError::Malformed {
+                path,
+                reason: format!("expected 5 columns, found {}", header.len()),
+            });
+        }
+        let mut dataset_name: Option<String> = None;
+        let mut pairs: Vec<ScoredPair> = Vec::new();
+        for row in iter {
+            let ds_name = dataset_name.get_or_insert_with(|| row[0].clone());
+            if &row[0] != ds_name {
+                return Err(PersistError::Malformed {
+                    path,
+                    reason: "experiment spans multiple datasets".into(),
+                });
+            }
+            let ds = store.dataset(ds_name)?;
+            let a = ds
+                .resolve_native(&row[1])
+                .ok_or_else(|| ImportError::UnknownRecord(row[1].clone()))?;
+            let b = ds
+                .resolve_native(&row[2])
+                .ok_or_else(|| ImportError::UnknownRecord(row[2].clone()))?;
+            let similarity = if row[3].is_empty() {
+                None
+            } else {
+                Some(row[3].parse::<f64>().map_err(|_| PersistError::Malformed {
+                    path: path.clone(),
+                    reason: format!("bad similarity {:?}", row[3]),
+                })?)
+            };
+            let origin = match row[4].as_str() {
+                "matcher" => PairOrigin::Matcher,
+                "closure" => PairOrigin::Closure,
+                other => {
+                    return Err(PersistError::Malformed {
+                        path,
+                        reason: format!("bad origin {other:?}"),
+                    })
+                }
+            };
+            pairs.push(ScoredPair {
+                pair: frost_core::dataset::RecordPair::new(a, b),
+                similarity,
+                origin,
+            });
+        }
+        if let Some(ds_name) = dataset_name {
+            store.add_experiment(&ds_name, Experiment::new(name, pairs), None)?;
+        }
+        // An experiment file with only a header is silently skipped.
+    }
+    Ok(store)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frost_core::clustering::Clustering;
+    use frost_core::dataset::Schema;
+
+    fn unique_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "frost-persist-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_store() -> BenchmarkStore {
+        let mut ds = Dataset::new("people", Schema::new(["name", "city"]));
+        ds.push_record("a", ["Ann, the first", "Berlin"]);
+        ds.push_record_opt("b", vec![Some("Anne \"II\"".into()), None]);
+        ds.push_record("c", ["Bob\nNewline", "Potsdam"]);
+        ds.push_record("d", ["Dora", "Kiel"]);
+        let mut store = BenchmarkStore::new();
+        store.add_dataset(ds).unwrap();
+        store
+            .set_gold_standard("people", Clustering::from_assignment(&[0, 0, 1, 2]))
+            .unwrap();
+        store
+            .add_experiment(
+                "people",
+                Experiment::new(
+                    "run-1",
+                    [
+                        ScoredPair::scored((0u32, 1u32), 0.93),
+                        ScoredPair::closure((0u32, 2u32)),
+                        ScoredPair::unscored((2u32, 3u32)),
+                    ],
+                ),
+                None,
+            )
+            .unwrap();
+        store
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let dir = unique_dir("roundtrip");
+        let store = sample_store();
+        save(&store, &dir).unwrap();
+        let loaded = load(&dir).unwrap();
+
+        assert_eq!(loaded.dataset_names(), store.dataset_names());
+        let ds = loaded.dataset("people").unwrap();
+        assert_eq!(ds.len(), 4);
+        // Tricky values (commas, quotes, newlines, nulls) survive.
+        let b = ds.resolve_native("b").unwrap();
+        assert_eq!(ds.value(b, "name"), Some("Anne \"II\""));
+        assert_eq!(ds.value(b, "city"), None);
+        let c = ds.resolve_native("c").unwrap();
+        assert_eq!(ds.value(c, "name"), Some("Bob\nNewline"));
+
+        // Gold standard round-trips as the same clustering.
+        let truth = loaded.gold_standard("people").unwrap();
+        assert_eq!(truth, store.gold_standard("people").unwrap());
+
+        // Experiment pairs, scores and origins survive.
+        let exp = loaded.experiment("run-1").unwrap();
+        let orig = store.experiment("run-1").unwrap();
+        assert_eq!(exp.experiment.pairs(), orig.experiment.pairs());
+        assert_eq!(exp.dataset, "people");
+
+        // Evaluations agree between original and reloaded store.
+        assert_eq!(
+            loaded.confusion_matrix("run-1").unwrap(),
+            store.confusion_matrix("run-1").unwrap()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_of_missing_directory_is_empty_store() {
+        let dir = unique_dir("missing");
+        let store = load(&dir).unwrap();
+        assert!(store.dataset_names().is_empty());
+    }
+
+    #[test]
+    fn malformed_experiment_is_rejected() {
+        let dir = unique_dir("malformed");
+        save(&sample_store(), &dir).unwrap();
+        std::fs::write(
+            dir.join("experiments").join("bad.csv"),
+            "dataset,id1,id2,similarity,origin\npeople,a,b,0.5,teleport\n",
+        )
+        .unwrap();
+        let err = load(&dir).unwrap_err();
+        assert!(matches!(err, PersistError::Malformed { .. }));
+        assert!(err.to_string().contains("bad origin"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unknown_record_in_experiment_is_import_error() {
+        let dir = unique_dir("unknown");
+        save(&sample_store(), &dir).unwrap();
+        std::fs::write(
+            dir.join("experiments").join("ghost.csv"),
+            "dataset,id1,id2,similarity,origin\npeople,a,zz,0.5,matcher\n",
+        )
+        .unwrap();
+        assert!(matches!(
+            load(&dir).unwrap_err(),
+            PersistError::Import(ImportError::UnknownRecord(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dataset_csv_has_id_header() {
+        let store = sample_store();
+        let text = dataset_to_csv(store.dataset("people").unwrap());
+        assert!(text.starts_with("id,name,city\n"));
+    }
+}

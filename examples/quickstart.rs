@@ -1,0 +1,131 @@
+//! Quickstart: import a dataset and two matching results, evaluate them
+//! against a gold standard, and explore where they disagree.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use frost::core::clustering::Clustering;
+use frost::core::diagram::{DiagramEngine, MetricDiagram};
+use frost::core::explore::setops::SetExpression;
+use frost::core::metrics::pair::PairMetric;
+use frost::core::metrics::ConfusionMatrix;
+use frost::storage::api::{handle, Request, Response};
+use frost::storage::import::{import_experiment, import_gold_pairs, DatasetImporter};
+use frost::storage::BenchmarkStore;
+
+fn main() {
+    // 1. Import a small customer dataset from CSV. Frost assigns dense
+    //    numeric ids at import time (Snowman's §5.3 optimization).
+    let csv = "\
+id,name,city
+c1,Anna Schmidt,Berlin
+c2,Anna Schmit,Berlin
+c3,Bert Weber,Potsdam
+c4,B. Weber,Potsdam
+c5,Carla Diaz,Hamburg
+c6,Karla Diaz,Hamburg
+c7,Dieter Braun,Munich
+";
+    let dataset = DatasetImporter::standard().import("customers", csv).unwrap();
+
+    // 2. Import the gold standard as a pair list (§3.1.1).
+    let truth: Clustering = import_gold_pairs(
+        &dataset,
+        "id1,id2\nc1,c2\nc3,c4\nc5,c6\n",
+        frost::core::dataset::CsvOptions::comma(),
+    )
+    .unwrap();
+
+    // 3. Import two matching results (Frost never runs matchers itself;
+    //    it evaluates their output).
+    let run1 = import_experiment(
+        "run-1",
+        &dataset,
+        "id1,id2,similarity\nc1,c2,0.96\nc3,c4,0.71\nc1,c5,0.55\n",
+        frost::core::dataset::CsvOptions::comma(),
+    )
+    .unwrap();
+    let run2 = import_experiment(
+        "run-2",
+        &dataset,
+        "id1,id2,similarity\nc1,c2,0.93\nc5,c6,0.88\n",
+        frost::core::dataset::CsvOptions::comma(),
+    )
+    .unwrap();
+
+    // 4. Put everything into a benchmark store and evaluate through the
+    //    API facade (everything the UI can do, the API can do).
+    let mut store = BenchmarkStore::new();
+    store.add_dataset(dataset.clone()).unwrap();
+    store.set_gold_standard("customers", truth.clone()).unwrap();
+    store.add_experiment("customers", run1.clone(), None).unwrap();
+    store.add_experiment("customers", run2.clone(), None).unwrap();
+
+    for name in ["run-1", "run-2"] {
+        let Response::Metrics(metrics) = handle(
+            &store,
+            Request::GetMetrics {
+                experiment: name.into(),
+            },
+        )
+        .unwrap() else {
+            unreachable!()
+        };
+        let get = |k: &str| metrics.iter().find(|(n, _)| n == k).unwrap().1;
+        println!(
+            "{name}: precision {:.2}, recall {:.2}, f1 {:.2}",
+            get("precision"),
+            get("recall"),
+            get("f1")
+        );
+    }
+
+    // 5. Where do the runs disagree? Ground-truth matches run-1 found
+    //    that run-2 missed (the Figure 1 exploration).
+    let universe = vec![
+        run1.pair_set(),
+        run2.pair_set(),
+        truth.intra_pairs().collect(),
+    ];
+    let found_only_by_1 = SetExpression::set(2)
+        .intersection(SetExpression::set(0))
+        .difference(SetExpression::set(1))
+        .evaluate(&universe);
+    println!("\ntrue matches run-1 found and run-2 did not:");
+    for pair in &found_only_by_1 {
+        println!(
+            "  {} / {}",
+            dataset.value(pair.lo(), "name").unwrap_or("?"),
+            dataset.value(pair.hi(), "name").unwrap_or("?"),
+        );
+    }
+
+    // 6. Sweep run-1's similarity threshold (§4.5.1) to find the best f1.
+    let points = MetricDiagram::precision_recall().compute(
+        DiagramEngine::Optimized,
+        dataset.len(),
+        &truth,
+        &run1,
+        4,
+    );
+    println!("\nrun-1 precision/recall sweep:");
+    for (t, recall, precision) in points {
+        println!("  threshold {t:>5.2}: recall {recall:.2}, precision {precision:.2}");
+    }
+    let (best_t, best_f1) = MetricDiagram::best_threshold(
+        DiagramEngine::Optimized,
+        PairMetric::F1,
+        dataset.len(),
+        &truth,
+        &run1,
+        4,
+    );
+    println!("best f1 {best_f1:.2} at threshold {best_t:.2}");
+
+    // Sanity: direct confusion matrix of run-1.
+    let matrix = ConfusionMatrix::from_experiment(&run1, &truth, dataset.len());
+    assert_eq!(matrix.true_positives, 2);
+    assert_eq!(matrix.false_positives, 1);
+    assert_eq!(matrix.false_negatives, 1);
+}

@@ -1,0 +1,169 @@
+//! The §5.4 workflow end to end: run several real matching pipelines on
+//! a SIGMOD-contest-like dataset, load their results into the store,
+//! compare quality, find the optimal thresholds, and drill into the
+//! pairs (almost) everyone missed.
+//!
+//! ```text
+//! cargo run --release --example sigmod_contest
+//! ```
+
+use frost::core::dataset::Experiment;
+use frost::core::explore::setops::hard_pairs;
+use frost::core::explore::{attribute_stats, judge_experiment};
+use frost::core::metrics::pair;
+use frost::core::metrics::ConfusionMatrix;
+use frost::datagen::presets::altosight_x4;
+use frost::matchers::blocking::TokenBlocking;
+use frost::matchers::decision::rules::{Condition, Rule, RuleSet};
+use frost::matchers::decision::threshold::WeightedAverage;
+use frost::matchers::features::Comparator;
+use frost::matchers::pipeline::{ClusteringMethod, MatchingPipeline};
+use frost::matchers::prepare::Preparer;
+use frost::matchers::similarity::Measure;
+use frost::storage::BenchmarkStore;
+use std::collections::HashSet;
+
+fn main() {
+    // A contest-like product dataset with large duplicate clusters.
+    let generated = frost::datagen::generator::generate(&altosight_x4(0.4).config);
+    let n = generated.dataset.len();
+    println!("dataset: {} records, {} true duplicate pairs", n, generated.truth.pair_count());
+
+    let blocker = || TokenBlocking {
+        attributes: vec!["name".into(), "brand".into()],
+        max_token_frequency: 80,
+    };
+
+    // Three matching solutions, echoing the contest mix: one rule-based,
+    // one similarity/threshold ("ML-style" scores), one hybrid.
+    let pipelines = vec![
+        MatchingPipeline {
+            name: "rule-based".into(),
+            preparer: Some(Preparer::standard()),
+            blocker: Box::new(blocker()),
+            model: Box::new(RuleSet::new(
+                [
+                    Rule::new(
+                        "very similar name",
+                        [Condition::SimilarityAtLeast {
+                            attribute: "name".into(),
+                            measure: Measure::TokenJaccard,
+                            min: 0.55,
+                        }],
+                        3.0,
+                    ),
+                    Rule::new(
+                        "same brand",
+                        [Condition::Equal {
+                            attribute: "brand".into(),
+                        }],
+                        1.0,
+                    ),
+                ],
+                0.7,
+            )),
+            clustering: ClusteringMethod::TransitiveClosure,
+        },
+        MatchingPipeline {
+            name: "ml-style".into(),
+            preparer: Some(Preparer::standard()),
+            blocker: Box::new(blocker()),
+            model: Box::new(WeightedAverage::new(
+                [
+                    (Comparator::new("name", Measure::TokenJaccard), 3.0),
+                    (Comparator::new("name", Measure::TokenOverlap), 1.0),
+                    (Comparator::new("brand", Measure::JaroWinkler), 1.0),
+                ],
+                0.62,
+            )),
+            clustering: ClusteringMethod::TransitiveClosure,
+        },
+        MatchingPipeline {
+            name: "hybrid".into(),
+            preparer: Some(Preparer::standard()),
+            blocker: Box::new(blocker()),
+            model: Box::new(WeightedAverage::new(
+                [
+                    (Comparator::new("name", Measure::MongeElkan), 2.0),
+                    (Comparator::new("size", Measure::Exact), 1.0),
+                ],
+                0.75,
+            )),
+            clustering: ClusteringMethod::Center,
+        },
+    ];
+
+    let mut store = BenchmarkStore::new();
+    store.add_dataset(generated.dataset.clone()).unwrap();
+    store
+        .set_gold_standard(generated.dataset.name(), generated.truth.clone())
+        .unwrap();
+
+    let mut experiments: Vec<Experiment> = Vec::new();
+    println!("\nN-Metrics view (pair completeness of blocking shown too):");
+    for pipeline in &pipelines {
+        let run = pipeline.run(&generated.dataset);
+        let completeness =
+            frost::matchers::blocking::pair_completeness(&run.candidates, &generated.truth);
+        let matrix = store
+            .add_experiment(generated.dataset.name(), run.experiment.clone(), None)
+            .map(|_| store.confusion_matrix(run.experiment.name()).unwrap())
+            .unwrap();
+        println!(
+            "  {:<11} candidates {:>6} (completeness {:.2}) | precision {:.3} recall {:.3} f1 {:.3}",
+            run.experiment.name(),
+            run.candidates.len(),
+            completeness,
+            pair::precision(&matrix),
+            pair::recall(&matrix),
+            pair::f1(&matrix),
+        );
+        experiments.push(run.experiment);
+    }
+
+    // §5.4: duplicates almost nobody finds — and the hardest record.
+    let truth_pairs: HashSet<_> = generated.truth.intra_pairs().collect();
+    let refs: Vec<&Experiment> = experiments.iter().collect();
+    let missed = hard_pairs(&truth_pairs, &refs, 0);
+    println!("\ntrue duplicates no solution found: {}", missed.len());
+    if let Some(&(pair, _)) = missed.first() {
+        println!(
+            "  example: {:?} vs {:?}",
+            generated.dataset.value(pair.lo(), "name"),
+            generated.dataset.value(pair.hi(), "name"),
+        );
+    }
+
+    // §4.5.2: which attributes' nulls co-occur with the ml-style
+    // solution's errors?
+    let judged = judge_experiment(&experiments[1], &generated.truth);
+    println!("\nnullRatio per attribute (ml-style solution):");
+    for ratio in attribute_stats::null_ratio(&generated.dataset, &judged) {
+        match ratio.ratio {
+            Some(r) => println!(
+                "  {:<8} {:>5} null-touched pairs, ratio {r:.3}",
+                ratio.attribute, ratio.count
+            ),
+            None => println!("  {:<8} never null among matches", ratio.attribute),
+        }
+    }
+
+    // Consensus quality estimation without ground truth (§3.2.3).
+    let deviations = frost::core::quality::consensus_deviation(&refs);
+    println!("\ndeviation from the majority vote (lower usually means better):");
+    for (name, dev) in deviations {
+        println!("  {name:<11} {dev}");
+    }
+
+    // Verify the winner is genuinely decent.
+    let best = experiments
+        .iter()
+        .map(|e| {
+            let m = ConfusionMatrix::from_experiment(e, &generated.truth, n);
+            (e.name().to_string(), pair::f1(&m))
+        })
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .unwrap();
+    println!("\nbest solution: {} (f1 {:.3})", best.0, best.1);
+    assert!(best.1 > 0.3, "expected a usable matcher, got f1 {}", best.1);
+}

@@ -1,0 +1,138 @@
+//! Exploration deep dive: threshold sweeps (§4.5.1), pair-selection
+//! strategies (§4.2), interestingness sorting (§4.3) and error analysis
+//! (§4.4) on one scored matching result.
+//!
+//! ```text
+//! cargo run --release --example threshold_tuning
+//! ```
+
+use frost::core::diagram::{DiagramEngine, MetricDiagram};
+use frost::core::explore::error_analysis::nearest_correct_pair;
+use frost::core::explore::selection::{
+    around_threshold, misclassification_ratio_above, misclassified_outliers,
+    percentile_partitions, SamplingStrategy,
+};
+use frost::core::explore::sorting::ColumnEntropy;
+use frost::core::explore::{judge_candidates, JudgedPair};
+use frost::core::metrics::pair::PairMetric;
+use frost::datagen::generator::{generate, GeneratorConfig};
+use frost::matchers::blocking::{Blocker, FullPairs};
+use frost::matchers::decision::threshold::WeightedAverage;
+use frost::matchers::decision::DecisionModel;
+use frost::matchers::features::Comparator;
+use frost::matchers::similarity::Measure;
+
+fn main() {
+    let generated = generate(&GeneratorConfig::small("tuning-demo", 300, 42));
+    let ds = &generated.dataset;
+    let truth = &generated.truth;
+
+    // Score every pair with a weighted-average matcher.
+    let model = WeightedAverage::new(
+        [
+            (Comparator::new("name", Measure::JaroWinkler), 2.0),
+            (Comparator::new("description", Measure::TokenJaccard), 1.0),
+            (Comparator::new("category", Measure::Exact), 0.5),
+        ],
+        0.75,
+    );
+    let scored: Vec<(frost::core::dataset::RecordPair, f64)> = FullPairs
+        .candidates(ds)
+        .into_iter()
+        .map(|p| (p, model.score(ds, p)))
+        .collect();
+
+    // §4.5.1 — the metric/metric diagram across thresholds.
+    let experiment = frost::core::dataset::Experiment::new(
+        "sweep",
+        scored
+            .iter()
+            .map(|&(p, s)| frost::core::dataset::ScoredPair::scored(p, s)),
+    );
+    let (best_t, best_f1) = MetricDiagram::best_threshold(
+        DiagramEngine::Optimized,
+        PairMetric::F1,
+        ds.len(),
+        truth,
+        &experiment,
+        40,
+    );
+    println!("f1-optimal threshold: {best_t:.3} (f1 {best_f1:.3}); configured: {}", model.threshold());
+
+    // Judge all candidates at the configured threshold.
+    let judged: Vec<JudgedPair> = judge_candidates(&scored, model.threshold(), truth);
+    let errors = judged.iter().filter(|p| !p.correct()).count();
+    println!("{} candidates judged, {errors} misclassified", judged.len());
+
+    // §4.2.1 — border cases around the threshold, proportioned by where
+    // the errors sit.
+    let ratio = misclassification_ratio_above(&judged, model.threshold());
+    println!("\nfraction of errors above the threshold: {ratio:.2}");
+    println!("pairs closest to the threshold:");
+    for p in around_threshold(&judged, model.threshold(), 6) {
+        println!(
+            "  [{}] sim {:.3}  {} / {}",
+            p.quadrant(),
+            p.similarity.unwrap(),
+            ds.value(p.pair.lo(), "name").unwrap_or("∅"),
+            ds.value(p.pair.hi(), "name").unwrap_or("∅"),
+        );
+    }
+
+    // §4.2.2 — confident mistakes.
+    println!("\nmisclassified outliers (furthest from the threshold):");
+    for p in misclassified_outliers(&judged, model.threshold(), 3) {
+        println!(
+            "  [{}] sim {:.3}  {} / {}",
+            p.quadrant(),
+            p.similarity.unwrap(),
+            ds.value(p.pair.lo(), "name").unwrap_or("∅"),
+            ds.value(p.pair.hi(), "name").unwrap_or("∅"),
+        );
+    }
+
+    // §4.2.3 — percentile partitions with class-based representatives.
+    println!("\nscore percentiles (5 partitions, 2 representatives each):");
+    for part in percentile_partitions(&judged, 5, 2, SamplingStrategy::ClassBased { seed: 1 }) {
+        println!(
+            "  partition {} [{:.3}, {:.3}] errors {} {}",
+            part.index,
+            part.score_range.0,
+            part.score_range.1,
+            part.matrix.errors(),
+            if part.is_confident() { "(confident)" } else { "" },
+        );
+    }
+
+    // §4.3.2 — entropy ordering: erroneous pairs with many rare tokens
+    // first (they *should* have been easy).
+    let entropy = ColumnEntropy::from_dataset(ds);
+    let mut wrong: Vec<JudgedPair> = judged.iter().filter(|p| !p.correct()).copied().collect();
+    entropy.sort_by_entropy(ds, &mut wrong);
+    if let Some(top) = wrong.first() {
+        println!(
+            "\nhighest-entropy misclassified pair: {} / {} (entropy {:.2})",
+            ds.value(top.pair.lo(), "name").unwrap_or("∅"),
+            ds.value(top.pair.hi(), "name").unwrap_or("∅"),
+            entropy.pair_entropy(ds, top.pair),
+        );
+
+        // §4.4 — explain it through the nearest correctly classified pair.
+        let correct_pairs: Vec<frost::core::dataset::RecordPair> = judged
+            .iter()
+            .filter(|p| p.correct() && p.predicted_match)
+            .map(|p| p.pair)
+            .collect();
+        let sim = |a: frost::core::dataset::RecordId, b: frost::core::dataset::RecordId| {
+            model.score(ds, frost::core::dataset::RecordPair::new(a, b))
+        };
+        if let Some(nearest) = nearest_correct_pair(top.pair, &correct_pairs, sim, 2.0) {
+            println!(
+                "nearest correctly classified pair (score {:.3}): {} / {}",
+                nearest.score,
+                ds.value(nearest.pair.lo(), "name").unwrap_or("∅"),
+                ds.value(nearest.pair.hi(), "name").unwrap_or("∅"),
+            );
+        }
+    }
+}

@@ -1,0 +1,400 @@
+//! The Frost command-line interface.
+//!
+//! Snowman exposes its full feature set through GUI, REST API and CLI;
+//! this binary is the CLI of the Rust reproduction, working directly on
+//! CSV files:
+//!
+//! ```text
+//! frost profile  <dataset.csv>
+//! frost evaluate <dataset.csv> <gold-pairs.csv> <experiment.csv>
+//! frost diagram  <dataset.csv> <gold-pairs.csv> <experiment.csv> [samples]
+//! frost compare  <dataset.csv> <gold-pairs.csv> <experiment.csv>...
+//! frost match    <dataset.csv> [threshold]
+//! ```
+//!
+//! Datasets are CSV with an `id` column; gold standards and experiments
+//! are `id1,id2[,similarity]` pair lists (§3.1.1, §5.1).
+
+use frost::core::dataset::CsvOptions;
+use frost::core::diagram::{DiagramEngine, MetricDiagram};
+use frost::core::metrics::confusion::ConfusionMatrix;
+use frost::core::metrics::pair::PairMetric;
+use frost::core::profiling::DatasetProfile;
+use frost::storage::import::{
+    export_experiment, import_experiment, import_gold_pairs, DatasetImporter,
+};
+use std::process::ExitCode;
+
+/// A parsed CLI invocation.
+#[derive(Debug, PartialEq)]
+enum Command {
+    Profile {
+        dataset: String,
+    },
+    Evaluate {
+        dataset: String,
+        gold: String,
+        experiment: String,
+    },
+    Diagram {
+        dataset: String,
+        gold: String,
+        experiment: String,
+        samples: usize,
+    },
+    Compare {
+        dataset: String,
+        gold: String,
+        experiments: Vec<String>,
+    },
+    Match {
+        dataset: String,
+        threshold: f64,
+    },
+}
+
+const USAGE: &str = "\
+usage:
+  frost profile  <dataset.csv>
+  frost evaluate <dataset.csv> <gold-pairs.csv> <experiment.csv>
+  frost diagram  <dataset.csv> <gold-pairs.csv> <experiment.csv> [samples]
+  frost compare  <dataset.csv> <gold-pairs.csv> <experiment.csv>...
+  frost match    <dataset.csv> [threshold]
+";
+
+fn parse_args(args: &[String]) -> Result<Command, String> {
+    let cmd = args.first().ok_or_else(|| USAGE.to_string())?;
+    match (cmd.as_str(), &args[1..]) {
+        ("profile", [dataset]) => Ok(Command::Profile {
+            dataset: dataset.clone(),
+        }),
+        ("evaluate", [dataset, gold, experiment]) => Ok(Command::Evaluate {
+            dataset: dataset.clone(),
+            gold: gold.clone(),
+            experiment: experiment.clone(),
+        }),
+        ("diagram", [dataset, gold, experiment, rest @ ..]) if rest.len() <= 1 => {
+            let samples = match rest.first() {
+                Some(s) => s
+                    .parse::<usize>()
+                    .map_err(|_| format!("bad sample count {s:?}"))?,
+                None => 20,
+            };
+            if samples < 2 {
+                return Err("samples must be at least 2".into());
+            }
+            Ok(Command::Diagram {
+                dataset: dataset.clone(),
+                gold: gold.clone(),
+                experiment: experiment.clone(),
+                samples,
+            })
+        }
+        ("compare", [dataset, gold, experiments @ ..]) if !experiments.is_empty() => {
+            Ok(Command::Compare {
+                dataset: dataset.clone(),
+                gold: gold.clone(),
+                experiments: experiments.to_vec(),
+            })
+        }
+        ("match", [dataset, rest @ ..]) if rest.len() <= 1 => {
+            let threshold = match rest.first() {
+                Some(t) => t
+                    .parse::<f64>()
+                    .map_err(|_| format!("bad threshold {t:?}"))?,
+                None => 0.8,
+            };
+            Ok(Command::Match {
+                dataset: dataset.clone(),
+                threshold,
+            })
+        }
+        _ => Err(USAGE.to_string()),
+    }
+}
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn run(command: Command) -> Result<(), String> {
+    let importer = DatasetImporter::standard();
+    match command {
+        Command::Profile { dataset } => {
+            let ds = importer
+                .import("dataset", &read(&dataset)?)
+                .map_err(|e| e.to_string())?;
+            let p = DatasetProfile::without_truth(&ds);
+            println!("records:           {}", p.tuple_count);
+            println!("attributes:        {}", p.schema_complexity);
+            println!("sparsity:          {:.4}", p.sparsity);
+            println!("textuality:        {:.4}", p.textuality);
+            for (name, sp) in ds.schema().attributes().iter().zip(&p.attribute_sparsity) {
+                println!("  sparsity[{name}] = {sp:.4}");
+            }
+        }
+        Command::Evaluate {
+            dataset,
+            gold,
+            experiment,
+        } => {
+            let ds = importer
+                .import("dataset", &read(&dataset)?)
+                .map_err(|e| e.to_string())?;
+            let truth = import_gold_pairs(&ds, &read(&gold)?, CsvOptions::comma())
+                .map_err(|e| e.to_string())?;
+            let exp = import_experiment("experiment", &ds, &read(&experiment)?, CsvOptions::comma())
+                .map_err(|e| e.to_string())?;
+            let matrix = ConfusionMatrix::from_experiment(&exp, &truth, ds.len());
+            println!(
+                "TP {}  FP {}  FN {}  TN {}",
+                matrix.true_positives,
+                matrix.false_positives,
+                matrix.false_negatives,
+                matrix.true_negatives
+            );
+            for metric in PairMetric::ALL {
+                println!("{metric}: {:.4}", metric.compute(&matrix));
+            }
+        }
+        Command::Diagram {
+            dataset,
+            gold,
+            experiment,
+            samples,
+        } => {
+            let ds = importer
+                .import("dataset", &read(&dataset)?)
+                .map_err(|e| e.to_string())?;
+            let truth = import_gold_pairs(&ds, &read(&gold)?, CsvOptions::comma())
+                .map_err(|e| e.to_string())?;
+            let exp = import_experiment("experiment", &ds, &read(&experiment)?, CsvOptions::comma())
+                .map_err(|e| e.to_string())?;
+            println!("threshold,recall,precision");
+            for (t, r, p) in MetricDiagram::precision_recall().compute(
+                DiagramEngine::Optimized,
+                ds.len(),
+                &truth,
+                &exp,
+                samples,
+            ) {
+                println!("{t},{r:.4},{p:.4}");
+            }
+        }
+        Command::Compare {
+            dataset,
+            gold,
+            experiments,
+        } => {
+            let ds = importer
+                .import("dataset", &read(&dataset)?)
+                .map_err(|e| e.to_string())?;
+            let truth = import_gold_pairs(&ds, &read(&gold)?, CsvOptions::comma())
+                .map_err(|e| e.to_string())?;
+            let mut sets = Vec::new();
+            let mut names = Vec::new();
+            for (i, path) in experiments.iter().enumerate() {
+                let e = import_experiment(
+                    &format!("exp-{i}"),
+                    &ds,
+                    &read(path)?,
+                    CsvOptions::comma(),
+                )
+                .map_err(|e| e.to_string())?;
+                names.push(path.clone());
+                sets.push(e.pair_set());
+            }
+            names.push("<gold>".into());
+            sets.push(truth.intra_pairs().collect());
+            for region in frost::core::explore::setops::venn_regions(&sets) {
+                let members: Vec<&str> = names
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| region.contains_set(i))
+                    .map(|(_, n)| n.as_str())
+                    .collect();
+                println!("{:>7} pairs exactly in: {}", region.pairs.len(), members.join(" ∩ "));
+            }
+        }
+        Command::Match { dataset, threshold } => {
+            let ds = importer
+                .import("dataset", &read(&dataset)?)
+                .map_err(|e| e.to_string())?;
+            // A generic matcher over every attribute, token blocking on
+            // all attributes.
+            let pipeline = frost::matchers::pipeline::MatchingPipeline {
+                name: "frost-cli".into(),
+                preparer: Some(frost::matchers::prepare::Preparer::standard()),
+                blocker: Box::new(frost::matchers::blocking::TokenBlocking {
+                    attributes: ds.schema().attributes().to_vec(),
+                    max_token_frequency: 100,
+                }),
+                model: Box::new(frost::matchers::decision::threshold::WeightedAverage::uniform(
+                    ds.schema().attributes().iter().map(|a| {
+                        frost::matchers::features::Comparator::new(
+                            a.clone(),
+                            frost::matchers::similarity::Measure::TokenJaccard,
+                        )
+                    }),
+                    threshold,
+                )),
+                clustering:
+                    frost::matchers::pipeline::ClusteringMethod::TransitiveClosure,
+            };
+            let run = pipeline.run(&ds);
+            print!(
+                "{}",
+                export_experiment(&ds, &run.experiment, CsvOptions::comma())
+            );
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args).and_then(run) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_profile() {
+        assert_eq!(
+            parse_args(&s(&["profile", "d.csv"])).unwrap(),
+            Command::Profile {
+                dataset: "d.csv".into()
+            }
+        );
+    }
+
+    #[test]
+    fn parse_evaluate_and_diagram() {
+        assert!(matches!(
+            parse_args(&s(&["evaluate", "d.csv", "g.csv", "e.csv"])).unwrap(),
+            Command::Evaluate { .. }
+        ));
+        let d = parse_args(&s(&["diagram", "d.csv", "g.csv", "e.csv", "50"])).unwrap();
+        assert_eq!(
+            d,
+            Command::Diagram {
+                dataset: "d.csv".into(),
+                gold: "g.csv".into(),
+                experiment: "e.csv".into(),
+                samples: 50
+            }
+        );
+        // Default sample count.
+        assert!(matches!(
+            parse_args(&s(&["diagram", "d.csv", "g.csv", "e.csv"])).unwrap(),
+            Command::Diagram { samples: 20, .. }
+        ));
+        assert!(parse_args(&s(&["diagram", "d.csv", "g.csv", "e.csv", "1"])).is_err());
+        assert!(parse_args(&s(&["diagram", "d.csv", "g.csv", "e.csv", "x"])).is_err());
+    }
+
+    #[test]
+    fn parse_compare_and_match() {
+        let c = parse_args(&s(&["compare", "d.csv", "g.csv", "a.csv", "b.csv"])).unwrap();
+        assert!(matches!(c, Command::Compare { experiments, .. } if experiments.len() == 2));
+        assert!(parse_args(&s(&["compare", "d.csv", "g.csv"])).is_err());
+        assert!(matches!(
+            parse_args(&s(&["match", "d.csv"])).unwrap(),
+            Command::Match { threshold, .. } if (threshold - 0.8).abs() < 1e-12
+        ));
+        assert!(parse_args(&s(&["match", "d.csv", "abc"])).is_err());
+    }
+
+    #[test]
+    fn parse_garbage_is_usage() {
+        assert!(parse_args(&s(&[])).is_err());
+        assert!(parse_args(&s(&["bogus"])).is_err());
+        assert!(parse_args(&s(&["profile"])).is_err());
+    }
+
+    /// Writes the fixture files once per test into a unique directory.
+    fn fixture(tag: &str) -> (std::path::PathBuf, String, String, String) {
+        let dir = std::env::temp_dir().join(format!("frost-cli-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ds = dir.join("ds.csv");
+        let gold = dir.join("gold.csv");
+        let exp = dir.join("exp.csv");
+        std::fs::write(
+            &ds,
+            "id,name,city\na,Ann Smith,Berlin\nb,Anne Smith,Berlin\nc,Bob Jones,Potsdam\nd,Bobby Jones,Potsdam\n",
+        )
+        .unwrap();
+        std::fs::write(&gold, "id1,id2\na,b\nc,d\n").unwrap();
+        std::fs::write(&exp, "id1,id2,similarity\na,b,0.9\na,c,0.4\n").unwrap();
+        (
+            dir.clone(),
+            ds.to_string_lossy().into_owned(),
+            gold.to_string_lossy().into_owned(),
+            exp.to_string_lossy().into_owned(),
+        )
+    }
+
+    #[test]
+    fn run_profile_evaluate_diagram_compare() {
+        let (dir, ds, gold, exp) = fixture("run");
+        run(Command::Profile { dataset: ds.clone() }).unwrap();
+        run(Command::Evaluate {
+            dataset: ds.clone(),
+            gold: gold.clone(),
+            experiment: exp.clone(),
+        })
+        .unwrap();
+        run(Command::Diagram {
+            dataset: ds.clone(),
+            gold: gold.clone(),
+            experiment: exp.clone(),
+            samples: 3,
+        })
+        .unwrap();
+        run(Command::Compare {
+            dataset: ds.clone(),
+            gold,
+            experiments: vec![exp],
+        })
+        .unwrap();
+        run(Command::Match {
+            dataset: ds,
+            threshold: 0.4,
+        })
+        .unwrap();
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn run_reports_missing_files_and_bad_content() {
+        let err = run(Command::Profile {
+            dataset: "/nonexistent/x.csv".into(),
+        })
+        .unwrap_err();
+        assert!(err.contains("cannot read"));
+
+        let (dir, ds, _, _) = fixture("bad");
+        let bad_gold = dir.join("bad_gold.csv");
+        std::fs::write(&bad_gold, "id1,id2\na,zzz\n").unwrap();
+        let err = run(Command::Evaluate {
+            dataset: ds,
+            gold: bad_gold.to_string_lossy().into_owned(),
+            experiment: "/nonexistent/e.csv".into(),
+        })
+        .unwrap_err();
+        assert!(err.contains("unknown record"), "{err}");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,69 @@
+//! # frost
+//!
+//! Facade crate for the Frost data-matching benchmark platform — a Rust
+//! reproduction of Graf et al., *"Frost: A Platform for Benchmarking and
+//! Exploring Data Matching Results"*, PVLDB 15(12), 2022.
+//!
+//! Re-exports the workspace crates:
+//!
+//! * [`core`] — metrics, diagrams, soft KPIs, exploration, profiling.
+//! * [`matchers`] — the matching-solution substrate (similarity
+//!   functions, blocking, decision models, the 6-step pipeline).
+//! * [`datagen`] — synthetic benchmark datasets with gold standards.
+//! * [`storage`] — the benchmark store (Snowman back-end substrate).
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour.
+
+pub use frost_core as core;
+pub use frost_datagen as datagen;
+pub use frost_matchers as matchers;
+pub use frost_storage as storage;
+
+/// One-stop imports for examples and downstream users.
+pub mod prelude {
+    pub use frost_core::prelude::*;
+}
+
+/// A [`BenchmarkStore`](frost_storage::BenchmarkStore) preloaded with
+/// small synthetic stand-ins for the popular benchmark datasets Snowman
+/// ships ("a range of preinstalled benchmark datasets (including ground
+/// truth annotations)", §5.1): Cora-like, FreeDB-CDs-like and a
+/// SIGMOD-contest-like product dataset, each with its gold standard.
+///
+/// `scale` sizes the datasets relative to the originals (e.g. `0.1` ≈
+/// 188-record Cora). Generation is deterministic.
+pub fn preinstalled_store(scale: f64) -> frost_storage::BenchmarkStore {
+    let mut store = frost_storage::BenchmarkStore::new();
+    for preset in [
+        frost_datagen::presets::cora(scale),
+        frost_datagen::presets::freedb_cds(scale),
+        frost_datagen::presets::altosight_x4(scale),
+    ] {
+        let generated = frost_datagen::generator::generate(&preset.config);
+        let name = generated.dataset.name().to_string();
+        store
+            .add_dataset(generated.dataset)
+            .expect("preset names are distinct");
+        store
+            .set_gold_standard(&name, generated.truth)
+            .expect("dataset was just added");
+    }
+    store
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn preinstalled_store_has_datasets_and_gold() {
+        let store = super::preinstalled_store(0.1);
+        let names = store.dataset_names();
+        assert_eq!(names.len(), 3);
+        for name in &names {
+            let ds = store.dataset(name).unwrap();
+            assert!(!ds.is_empty());
+            let truth = store.gold_standard(name).unwrap();
+            assert_eq!(truth.num_records(), ds.len());
+        }
+        assert!(names.contains(&"cora".to_string()));
+    }
+}

@@ -1,0 +1,85 @@
+//! Integration test: the preinstalled benchmark store, a real matcher
+//! run, CSV-directory persistence, and API parity after reload.
+
+use frost::core::diagram::DiagramEngine;
+use frost::matchers::blocking::TokenBlocking;
+use frost::matchers::decision::threshold::WeightedAverage;
+use frost::matchers::features::Comparator;
+use frost::matchers::pipeline::{ClusteringMethod, MatchingPipeline};
+use frost::matchers::similarity::Measure;
+use frost::storage::api::{handle, Request, Response};
+use frost::storage::persist::{load, save};
+
+#[test]
+fn preinstalled_match_save_load_evaluate() {
+    let mut store = frost::preinstalled_store(0.05);
+
+    // Run a matcher on the preinstalled Cora-like dataset and store the
+    // result with its scores.
+    let cora = store.dataset("cora").unwrap().clone();
+    let pipeline = MatchingPipeline {
+        name: "cora-run".into(),
+        preparer: None,
+        blocker: Box::new(TokenBlocking {
+            attributes: vec!["author".into(), "title".into()],
+            max_token_frequency: 60,
+        }),
+        model: Box::new(WeightedAverage::uniform(
+            [
+                Comparator::new("author", Measure::TokenJaccard),
+                Comparator::new("title", Measure::TokenJaccard),
+            ],
+            0.6,
+        )),
+        clustering: ClusteringMethod::TransitiveClosure,
+    };
+    let run = pipeline.run(&cora);
+    store.add_experiment("cora", run.experiment.clone(), None).unwrap();
+
+    // Persist and reload.
+    let dir = std::env::temp_dir().join(format!("frost-e2e-persist-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    save(&store, &dir).unwrap();
+    let reloaded = load(&dir).unwrap();
+
+    // Same datasets, same experiments.
+    assert_eq!(reloaded.dataset_names(), store.dataset_names());
+    assert_eq!(reloaded.experiment_names(None), store.experiment_names(None));
+
+    // Evaluations agree exactly between original and reloaded stores.
+    let before = store.confusion_matrix("cora-run").unwrap();
+    let after = reloaded.confusion_matrix("cora-run").unwrap();
+    assert_eq!(before, after);
+
+    let d_before = store
+        .diagram_series("cora-run", DiagramEngine::Optimized, 8)
+        .unwrap();
+    let d_after = reloaded
+        .diagram_series("cora-run", DiagramEngine::Optimized, 8)
+        .unwrap();
+    assert_eq!(d_before, d_after);
+
+    // The extended API endpoints work against the reloaded store.
+    let Response::Metrics(cluster_metrics) = handle(
+        &reloaded,
+        Request::GetClusterMetrics {
+            experiment: "cora-run".into(),
+        },
+    )
+    .unwrap() else {
+        panic!("wrong response")
+    };
+    assert!(cluster_metrics.iter().any(|(n, _)| n == "purity f1"));
+    let Response::Metrics(signals) = handle(
+        &reloaded,
+        Request::GetQualitySignals {
+            experiment: "cora-run".into(),
+        },
+    )
+    .unwrap() else {
+        panic!("wrong response")
+    };
+    assert!(signals.iter().any(|(n, _)| n == "link redundancy"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
