@@ -100,5 +100,10 @@ fn bench_blocking(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_clustering_algorithms, bench_similarity_measures, bench_blocking);
+criterion_group!(
+    benches,
+    bench_clustering_algorithms,
+    bench_similarity_measures,
+    bench_blocking
+);
 criterion_main!(benches);

@@ -37,20 +37,19 @@ fn bench_engines(c: &mut Criterion) {
         );
         let matches = experiment.len();
         group.bench_with_input(
-            BenchmarkId::new("optimized", format!("{}-n{n}-m{matches}", preset.config.name)),
+            BenchmarkId::new(
+                "optimized",
+                format!("{}-n{n}-m{matches}", preset.config.name),
+            ),
             &(),
             |b, _| {
-                b.iter(|| {
-                    DiagramEngine::Optimized.confusion_series(n, &gen.truth, &experiment, s)
-                })
+                b.iter(|| DiagramEngine::Optimized.confusion_series(n, &gen.truth, &experiment, s))
             },
         );
         group.bench_with_input(
             BenchmarkId::new("naive", format!("{}-n{n}-m{matches}", preset.config.name)),
             &(),
-            |b, _| {
-                b.iter(|| DiagramEngine::Naive.confusion_series(n, &gen.truth, &experiment, s))
-            },
+            |b, _| b.iter(|| DiagramEngine::Naive.confusion_series(n, &gen.truth, &experiment, s)),
         );
     }
     group.finish();

@@ -1,0 +1,311 @@
+//! `PairSet` engine vs the `HashSet<RecordPair>` baseline, plus
+//! rayon-pipeline core scaling — the measurements behind this repo's
+//! `BENCH_pairset.json`.
+//!
+//! ```text
+//! cargo bench -p frost-bench --bench pairset
+//! ```
+//!
+//! Sections:
+//!
+//! 1. **Set operations** at ≥100k candidate pairs: union, intersection,
+//!    difference, 3-set Venn regions, and confusion-matrix TP counting,
+//!    each implemented on packed sorted `PairSet`s and on the seed's
+//!    hash-set representation (kept here as the baseline).
+//! 2. **Pipeline scaling**: one full matching pipeline
+//!    (token blocking → weighted similarity → threshold → closure) on a
+//!    frost-datagen workload at 1, 2 and all cores.
+
+use criterion::{black_box, Criterion};
+use frost_core::dataset::{Experiment, PairSet, RecordPair};
+use frost_core::explore::setops::venn_regions;
+use frost_core::metrics::confusion::{total_pairs, ConfusionMatrix};
+use frost_datagen::experiments::synthetic_experiment;
+use frost_datagen::generator::{generate, GeneratorConfig};
+use frost_matchers::blocking::TokenBlocking;
+use frost_matchers::decision::threshold::WeightedAverage;
+use frost_matchers::features::Comparator;
+use frost_matchers::pipeline::{ClusteringMethod, MatchingPipeline};
+use frost_matchers::similarity::Measure;
+use serde_json::Value;
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+/// Reference (seed) implementations on `HashSet<RecordPair>`.
+mod hash_baseline {
+    use super::*;
+
+    pub fn venn(sets: &[HashSet<RecordPair>]) -> Vec<(u32, usize)> {
+        let mut membership_of: HashMap<RecordPair, u32> = HashMap::new();
+        for (i, set) in sets.iter().enumerate() {
+            for &p in set {
+                *membership_of.entry(p).or_insert(0) |= 1 << i;
+            }
+        }
+        let mut by_mask: HashMap<u32, usize> = HashMap::new();
+        for (_, mask) in membership_of {
+            *by_mask.entry(mask).or_insert(0) += 1;
+        }
+        let mut out: Vec<(u32, usize)> = by_mask.into_iter().collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// The seed's `SetExpression::evaluate` for `S0 ∩ S1`: leaf sets
+    /// are cloned, then intersected — replicated verbatim as the
+    /// baseline for the expression-level benchmark.
+    pub fn expression_tp(universe: &[HashSet<RecordPair>]) -> HashSet<RecordPair> {
+        let sa = universe[0].clone();
+        let sb = universe[1].clone();
+        sa.intersection(&sb).copied().collect()
+    }
+
+    pub fn confusion(
+        e: &HashSet<RecordPair>,
+        g: &HashSet<RecordPair>,
+        total: u64,
+    ) -> ConfusionMatrix {
+        let tp = e.intersection(g).count() as u64;
+        ConfusionMatrix::new(
+            tp,
+            e.len() as u64 - tp,
+            g.len() as u64 - tp,
+            total - e.len() as u64 - (g.len() as u64 - tp),
+        )
+    }
+}
+
+fn mean_of(c: &Criterion, id: &str) -> f64 {
+    c.results
+        .iter()
+        .find(|r| r.id == id)
+        .unwrap_or_else(|| panic!("missing bench result {id}"))
+        .mean_ns
+}
+
+fn main() {
+    let scale: f64 = std::env::var("FROST_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0);
+    let n_records = ((60_000f64) * scale).max(2_000.0) as usize;
+    let n_pairs = ((250_000f64) * scale).max(10_000.0) as usize;
+
+    println!("generating workload: {n_records} records, ~{n_pairs} candidate pairs per set");
+    let generated = generate(&GeneratorConfig::small("pairset-bench", n_records, 17));
+    let truth = &generated.truth;
+    let exp_a = synthetic_experiment("a", truth, n_pairs, 0.6, 1);
+    let exp_b = synthetic_experiment("b", truth, n_pairs, 0.6, 2);
+
+    let packed_a = exp_a.pair_set();
+    let packed_b = exp_b.pair_set();
+    let packed_truth: PairSet = truth.intra_pairs().collect();
+    let hash_a: HashSet<RecordPair> = exp_a.pairs().iter().map(|sp| sp.pair).collect();
+    let hash_b: HashSet<RecordPair> = exp_b.pairs().iter().map(|sp| sp.pair).collect();
+    let hash_truth: HashSet<RecordPair> = truth.intra_pairs().collect();
+    println!(
+        "set sizes: |A| = {}, |B| = {}, |truth| = {}",
+        packed_a.len(),
+        packed_b.len(),
+        packed_truth.len()
+    );
+    let total = total_pairs(truth.num_records());
+
+    let mut c = Criterion::default().measurement_time(std::time::Duration::from_millis(700));
+    {
+        let mut g = c.benchmark_group("setops");
+        g.bench_function("union/packed", |b| {
+            b.iter(|| black_box(packed_a.union(&packed_b)))
+        });
+        g.bench_function("union/hash", |b| {
+            b.iter(|| black_box(hash_a.union(&hash_b).copied().collect::<HashSet<_>>()))
+        });
+        g.bench_function("intersection/packed", |b| {
+            b.iter(|| black_box(packed_a.intersection(&packed_b)))
+        });
+        g.bench_function("intersection/hash", |b| {
+            b.iter(|| {
+                black_box(
+                    hash_a
+                        .intersection(&hash_b)
+                        .copied()
+                        .collect::<HashSet<_>>(),
+                )
+            })
+        });
+        g.bench_function("difference/packed", |b| {
+            b.iter(|| black_box(packed_a.difference(&packed_b)))
+        });
+        g.bench_function("difference/hash", |b| {
+            b.iter(|| black_box(hash_a.difference(&hash_b).copied().collect::<HashSet<_>>()))
+        });
+        let packed_sets = [packed_a.clone(), packed_b.clone(), packed_truth.clone()];
+        let hash_sets = [hash_a.clone(), hash_b.clone(), hash_truth.clone()];
+        g.bench_function("venn3/packed", |b| {
+            b.iter(|| black_box(venn_regions(&packed_sets)))
+        });
+        g.bench_function("venn3/hash", |b| {
+            b.iter(|| black_box(hash_baseline::venn(&hash_sets)))
+        });
+        // The §4.1 exploration API as the seed shipped it: expression
+        // trees whose leaves clone their input sets.
+        let expr = frost_core::explore::setops::SetExpression::set(0)
+            .intersection(frost_core::explore::setops::SetExpression::set(1));
+        let packed_universe = vec![packed_a.clone(), packed_b.clone()];
+        let hash_universe = vec![hash_a.clone(), hash_b.clone()];
+        g.bench_function("expression_tp/packed", |b| {
+            b.iter(|| black_box(expr.evaluate(&packed_universe)))
+        });
+        g.bench_function("expression_tp/hash", |b| {
+            b.iter(|| black_box(hash_baseline::expression_tp(&hash_universe)))
+        });
+        g.bench_function("confusion/packed", |b| {
+            b.iter(|| {
+                black_box(ConfusionMatrix::from_pair_sets(
+                    &packed_a,
+                    &packed_truth,
+                    total,
+                ))
+            })
+        });
+        g.bench_function("confusion/hash", |b| {
+            b.iter(|| black_box(hash_baseline::confusion(&hash_a, &hash_truth, total)))
+        });
+        g.finish();
+    }
+
+    // Cross-check: identical results on both representations.
+    {
+        let pv: Vec<(u32, usize)> =
+            venn_regions(&[packed_a.clone(), packed_b.clone(), packed_truth.clone()])
+                .iter()
+                .map(|r| (r.membership, r.pairs.len()))
+                .collect();
+        let hv = hash_baseline::venn(&[hash_a.clone(), hash_b.clone(), hash_truth.clone()]);
+        assert_eq!(pv, hv, "venn mismatch between engines");
+        assert_eq!(
+            ConfusionMatrix::from_pair_sets(&packed_a, &packed_truth, total),
+            hash_baseline::confusion(&hash_a, &hash_truth, total),
+        );
+    }
+
+    // Section 2: pipeline scaling across cores.
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let pipe_records = ((12_000f64) * scale).max(1_000.0) as usize;
+    let pipe_gen = generate(&GeneratorConfig::small("pipe-bench", pipe_records, 23));
+    let pipeline = MatchingPipeline {
+        name: "scaling".into(),
+        preparer: None,
+        blocker: Box::new(TokenBlocking {
+            attributes: vec!["name".into(), "description".into()],
+            max_token_frequency: 80,
+        }),
+        model: Box::new(WeightedAverage::uniform(
+            [
+                Comparator::new("name", Measure::JaroWinkler),
+                Comparator::new("description", Measure::TokenJaccard),
+                Comparator::new("category", Measure::Exact),
+            ],
+            0.75,
+        )),
+        clustering: ClusteringMethod::TransitiveClosure,
+    };
+    // Always exercise the 2-thread path (on a 1-core box it
+    // demonstrates correctness under oversubscription; speedups only
+    // appear with real cores), plus all hardware threads when more
+    // exist.
+    let mut thread_counts = vec![1usize, 2];
+    if hw > 2 {
+        thread_counts.push(hw);
+    }
+    let mut pipeline_times: Vec<(usize, f64, usize)> = Vec::new();
+    let mut reference: Option<Experiment> = None;
+    for threads in thread_counts {
+        std::env::set_var("RAYON_NUM_THREADS", threads.to_string());
+        let start = Instant::now();
+        let run = pipeline.run(&pipe_gen.dataset);
+        let secs = start.elapsed().as_secs_f64();
+        println!(
+            "pipeline.run {threads:>2} thread(s): {secs:.3}s  ({} candidates, {} matches)",
+            run.candidates.len(),
+            run.experiment.len()
+        );
+        pipeline_times.push((threads, secs, run.candidates.len()));
+        match &reference {
+            None => reference = Some(run.experiment),
+            Some(r) => assert_eq!(
+                r.pair_set(),
+                run.experiment.pair_set(),
+                "thread count changed the result"
+            ),
+        }
+    }
+    std::env::remove_var("RAYON_NUM_THREADS");
+
+    // Summarize + emit BENCH_pairset.json at the workspace root.
+    let ops = [
+        "union",
+        "intersection",
+        "difference",
+        "venn3",
+        "expression_tp",
+        "confusion",
+    ];
+    let mut op_entries = Vec::new();
+    let mut geomean_log = 0.0f64;
+    println!("\nspeedups (hash baseline / packed PairSet):");
+    for op in ops {
+        let hash_ns = mean_of(&c, &format!("setops/{op}/hash"));
+        let packed_ns = mean_of(&c, &format!("setops/{op}/packed"));
+        let speedup = hash_ns / packed_ns;
+        geomean_log += speedup.ln();
+        println!("  {op:<14} {speedup:>6.2}×");
+        op_entries.push(Value::object([
+            ("op".to_string(), Value::from(op)),
+            ("hash_ns".to_string(), Value::from(hash_ns)),
+            ("pairset_ns".to_string(), Value::from(packed_ns)),
+            ("speedup".to_string(), Value::from(speedup)),
+        ]));
+    }
+    let geomean = (geomean_log / ops.len() as f64).exp();
+    println!("  {:<14} {geomean:>6.2}×", "geomean");
+    let base_secs = pipeline_times.first().map(|&(_, s, _)| s).unwrap_or(0.0);
+    let scaling_entries: Vec<Value> = pipeline_times
+        .iter()
+        .map(|&(threads, secs, candidates)| {
+            Value::object([
+                ("threads".to_string(), Value::from(threads)),
+                ("seconds".to_string(), Value::from(secs)),
+                ("candidates".to_string(), Value::from(candidates)),
+                (
+                    "speedup_vs_1_thread".to_string(),
+                    Value::from(if secs > 0.0 { base_secs / secs } else { 0.0 }),
+                ),
+            ])
+        })
+        .collect();
+    let doc = Value::object([
+        (
+            "workload".to_string(),
+            Value::object([
+                ("records".to_string(), Value::from(n_records)),
+                ("pairs_per_set".to_string(), Value::from(packed_a.len())),
+                ("truth_pairs".to_string(), Value::from(packed_truth.len())),
+                ("scale".to_string(), Value::from(scale)),
+            ]),
+        ),
+        ("set_operations".to_string(), Value::Array(op_entries)),
+        ("set_ops_geomean_speedup".to_string(), Value::from(geomean)),
+        (
+            "pipeline_scaling".to_string(),
+            Value::Array(scaling_entries),
+        ),
+        ("hardware_threads".to_string(), Value::from(hw)),
+    ]);
+    let out = serde_json::to_string_pretty(&doc);
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_pairset.json");
+    std::fs::write(&path, out).expect("write BENCH_pairset.json");
+    println!("\nwrote {}", path.display());
+}

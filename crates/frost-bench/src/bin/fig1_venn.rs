@@ -9,13 +9,12 @@
 //! ```
 
 use frost_bench::materialize;
-use frost_core::dataset::{Experiment, RecordPair};
+use frost_core::dataset::{Experiment, PairSet};
 use frost_core::explore::setops::{hard_pairs, venn_regions, SetExpression};
 use frost_core::metrics::confusion::ConfusionMatrix;
 use frost_core::metrics::pair;
 use frost_datagen::experiments::synthetic_experiment;
 use frost_datagen::presets::altosight_x4;
-use std::collections::HashSet;
 
 fn main() {
     let gen = materialize(&altosight_x4(0.3));
@@ -66,7 +65,7 @@ fn main() {
     );
 
     // Figure 1 proper: ground-truth pairs found by run-1 but not run-2.
-    let truth_pairs: HashSet<RecordPair> = gen.truth.intra_pairs().collect();
+    let truth_pairs: PairSet = gen.truth.intra_pairs().collect();
     let universe = vec![
         experiments[0].pair_set(),
         experiments[1].pair_set(),

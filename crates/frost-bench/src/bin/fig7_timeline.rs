@@ -35,7 +35,10 @@ fn main() {
         })
         .collect();
 
-    let outcomes: Vec<_> = teams.iter().map(|t| t.run(&gen.dataset, &gen.truth)).collect();
+    let outcomes: Vec<_> = teams
+        .iter()
+        .map(|t| t.run(&gen.dataset, &gen.truth))
+        .collect();
     println!(
         "{:>5} {:>10} {:>10} {:>10}",
         "day", outcomes[0].solution, outcomes[1].solution, outcomes[2].solution
@@ -62,8 +65,7 @@ fn main() {
         }
         println!(
             "{}: final best f1 {:.3}, {declines} submissions below the running best",
-            o.solution,
-            best
+            o.solution, best
         );
     }
     println!("\nPaper shape: quality increases overall, with occasional significant declines.");

@@ -45,7 +45,11 @@ fn main() {
         let naive = DiagramEngine::Naive.confusion_series(n, &gen.truth, &experiment, s);
         let naive_time = t1.elapsed();
 
-        assert_eq!(optimized, naive, "engines disagree on {}", preset.config.name);
+        assert_eq!(
+            optimized, naive,
+            "engines disagree on {}",
+            preset.config.name
+        );
         let speedup = naive_time.as_secs_f64() / custom_time.as_secs_f64().max(1e-9);
         println!(
             "{:<16} {:>10} {:>14} {:>12} {:>12} {:>8.0}x",

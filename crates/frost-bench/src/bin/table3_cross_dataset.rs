@@ -29,8 +29,7 @@ fn main() {
     let z2 = materialize(&sigmod_z2(scale));
     let x3 = materialize(&sigmod_x3(scale));
     let z3 = materialize(&sigmod_z3(scale));
-    let splits: [(&str, &Generated); 4] =
-        [("X2", &x2), ("Z2", &z2), ("X3", &x3), ("Z3", &z3)];
+    let splits: [(&str, &Generated); 4] = [("X2", &x2), ("Z2", &z2), ("X3", &x3), ("Z3", &z3)];
 
     // The D2 team never saw sparse data (no missing-value features);
     // the D3 team did (indicator features) — see DESIGN.md. Each team

@@ -103,7 +103,11 @@ pub fn evaluate_model(
     let experiment = frost_core::dataset::Experiment::from_scored_pairs("eval", matches);
     let closed = frost_core::clustering::closure::close_experiment(ds.len(), &experiment);
     let matrix = ConfusionMatrix::from_experiment(&closed, truth, ds.len());
-    (pair::precision(&matrix), pair::recall(&matrix), pair::f1(&matrix))
+    (
+        pair::precision(&matrix),
+        pair::recall(&matrix),
+        pair::f1(&matrix),
+    )
 }
 
 /// Tunes the similarity threshold of a model on its development split:

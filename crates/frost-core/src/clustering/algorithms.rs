@@ -125,8 +125,12 @@ pub fn merge_center_clustering(n: usize, pairs: &[ScoredPair]) -> Clustering {
 pub fn greedy_clique_clustering(n: usize, pairs: &[ScoredPair]) -> Clustering {
     let mut adj: HashMap<u32, HashSet<u32>> = HashMap::new();
     for sp in pairs {
-        adj.entry(sp.pair.lo().0).or_default().insert(sp.pair.hi().0);
-        adj.entry(sp.pair.hi().0).or_default().insert(sp.pair.lo().0);
+        adj.entry(sp.pair.lo().0)
+            .or_default()
+            .insert(sp.pair.hi().0);
+        adj.entry(sp.pair.hi().0)
+            .or_default()
+            .insert(sp.pair.lo().0);
     }
     let mut labels: Vec<u32> = (0..n as u32).collect();
     let mut assigned = vec![false; n];
@@ -148,7 +152,13 @@ pub fn greedy_clique_clustering(n: usize, pairs: &[ScoredPair]) -> Clustering {
         // endpoints share none and are considered last, keeping weakly
         // connected cliques apart.
         let common = |v: u32| adj[&seed].intersection(&adj[&v]).count();
-        candidates.sort_by_key(|&v| (std::cmp::Reverse(common(v)), std::cmp::Reverse(adj[&v].len()), v));
+        candidates.sort_by_key(|&v| {
+            (
+                std::cmp::Reverse(common(v)),
+                std::cmp::Reverse(adj[&v].len()),
+                v,
+            )
+        });
         for cand in candidates {
             if assigned[cand as usize] {
                 continue;
@@ -342,8 +352,12 @@ pub fn star_clustering(n: usize, pairs: &[ScoredPair]) -> Clustering {
         let w = sp.similarity.unwrap_or(1.0);
         *degree.entry(sp.pair.lo().0).or_insert(0.0) += w;
         *degree.entry(sp.pair.hi().0).or_insert(0.0) += w;
-        adj.entry(sp.pair.lo().0).or_default().push((sp.pair.hi().0, w));
-        adj.entry(sp.pair.hi().0).or_default().push((sp.pair.lo().0, w));
+        adj.entry(sp.pair.lo().0)
+            .or_default()
+            .push((sp.pair.hi().0, w));
+        adj.entry(sp.pair.hi().0)
+            .or_default()
+            .push((sp.pair.lo().0, w));
     }
     let mut order: Vec<u32> = degree.keys().copied().collect();
     order.sort_by(|a, b| {
@@ -577,10 +591,7 @@ mod tests {
             sp(3, 4, 0.95),
         ];
         let reference = connected_components(5, &pairs);
-        for c in [
-            pivot_clustering(5, &pairs, 1),
-            star_clustering(5, &pairs),
-        ] {
+        for c in [pivot_clustering(5, &pairs, 1), star_clustering(5, &pairs)] {
             let agreement = clustering_agreement(&reference, &c);
             assert!(agreement > 0.6, "agreement {agreement}");
         }

@@ -65,10 +65,7 @@ mod tests {
         assert_eq!(added[0].pair, RecordPair::from((0u32, 2u32)));
         assert_eq!(added[0].similarity, None);
         // Original scores survive.
-        assert!(closed
-            .pairs()
-            .iter()
-            .any(|sp| sp.similarity == Some(0.9)));
+        assert!(closed.pairs().iter().any(|sp| sp.similarity == Some(0.9)));
     }
 
     #[test]

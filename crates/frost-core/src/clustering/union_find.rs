@@ -195,7 +195,10 @@ impl UnionFind {
     /// returning the merged cluster's id (Algorithm 2 `unionAll`). With
     /// fewer than two distinct clusters, returns the single cluster's id.
     pub fn union_all(&mut self, reps: &[RecordId]) -> ClusterId {
-        assert!(!reps.is_empty(), "union_all requires at least one representative");
+        assert!(
+            !reps.is_empty(),
+            "union_all requires at least one representative"
+        );
         let first = reps[0];
         for &r in &reps[1..] {
             self.union(first, r);

@@ -83,10 +83,7 @@ impl fmt::Display for CsvError {
                 row,
                 found,
                 expected,
-            } => write!(
-                f,
-                "row {row} has {found} fields, expected {expected}"
-            ),
+            } => write!(f, "row {row} has {found} fields, expected {expected}"),
         }
     }
 }

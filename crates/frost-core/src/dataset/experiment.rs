@@ -1,6 +1,6 @@
 //! Experiments: the output of one matching-solution run.
 
-use super::{RecordId, RecordPair};
+use super::{PairSet, RecordId, RecordPair};
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
@@ -108,10 +108,7 @@ impl Experiment {
     }
 
     /// Builds an unscored experiment from `(a, b)` id pairs.
-    pub fn from_pairs<P>(
-        name: impl Into<String>,
-        pairs: impl IntoIterator<Item = (P, P)>,
-    ) -> Self
+    pub fn from_pairs<P>(name: impl Into<String>, pairs: impl IntoIterator<Item = (P, P)>) -> Self
     where
         P: Into<RecordId>,
     {
@@ -143,8 +140,9 @@ impl Experiment {
         &self.pairs
     }
 
-    /// The set of matched [`RecordPair`]s (dropping scores and origins).
-    pub fn pair_set(&self) -> HashSet<RecordPair> {
+    /// The set of matched [`RecordPair`]s (dropping scores and origins)
+    /// as a packed, sorted [`PairSet`].
+    pub fn pair_set(&self) -> PairSet {
         self.pairs.iter().map(|sp| sp.pair).collect()
     }
 

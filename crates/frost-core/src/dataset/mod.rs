@@ -9,12 +9,14 @@
 mod csv;
 mod experiment;
 mod pair;
+pub mod pairset;
 mod record;
 mod schema;
 
 pub use csv::{parse_csv, write_csv, CsvError, CsvOptions};
 pub use experiment::{Experiment, PairOrigin, ScoredPair};
 pub use pair::RecordPair;
+pub use pairset::PairSet;
 pub use record::{Record, RecordId};
 pub use schema::Schema;
 

@@ -1,0 +1,543 @@
+//! Packed, sorted pair sets — the columnar set-processing engine behind
+//! Frost's pair-level evaluations.
+//!
+//! Every set-based view of the paper — confusion matrices (Fig. 2),
+//! n-way Venn regions (§4.1), set-algebra expressions over experiments
+//! — reduces to set operations over `{r1, r2} ⊆ [D]²`. The seed
+//! implemented those on `HashSet<RecordPair>`; [`PairSet`] replaces it
+//! with a *packed* representation: each normalized pair `(lo, hi)`
+//! losslessly packs into one `u64` (`lo << 32 | hi`), and a set is a
+//! sorted, deduplicated `Vec<u64>`. Because the packed integer order
+//! equals the lexicographic `(lo, hi)` order, every set operation
+//! becomes a linear merge over contiguous memory — the list-based,
+//! columnar processing model of Gupta et al. applied to pair sets.
+//!
+//! Complexity guarantees (n = `self.len()`, m = `other.len()`):
+//!
+//! | operation                  | cost                                   |
+//! |----------------------------|----------------------------------------|
+//! | [`PairSet::contains`]      | `O(log n)` binary search               |
+//! | [`PairSet::union`]         | `O(n + m)` merge                       |
+//! | [`PairSet::difference`]    | `O(n + m)` merge                       |
+//! | [`PairSet::intersection`]  | `O(n + m)` merge, or `O(min·log(max))` galloping when sizes are skewed |
+//! | [`PairSet::intersection_len`] | same, allocation-free               |
+//! | [`venn_regions`](crate::explore::setops::venn_regions) | `O(k · Σnᵢ)` k-way merge, no hashing |
+//! | construction from unsorted pairs | `O(n log n)` sort + dedup        |
+//!
+//! Memory is 8 bytes per pair in one contiguous allocation (a
+//! `HashSet<RecordPair>` spends ~2–4× that, scattered), which is what
+//! makes the merge loops memory-bandwidth-bound rather than
+//! cache-miss-bound.
+
+use super::{RecordId, RecordPair};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// When `larger / smaller` exceeds this, intersections switch from a
+/// linear merge to galloping (exponential probe + binary search) over
+/// the larger side.
+const GALLOP_RATIO: usize = 8;
+
+#[inline]
+fn pack(p: RecordPair) -> u64 {
+    ((p.lo().0 as u64) << 32) | p.hi().0 as u64
+}
+
+#[inline]
+fn unpack(x: u64) -> RecordPair {
+    RecordPair::new(RecordId((x >> 32) as u32), RecordId(x as u32))
+}
+
+/// A set of [`RecordPair`]s as a sorted, deduplicated packed `Vec<u64>`.
+///
+/// See the [module docs](self) for representation and complexity notes.
+///
+/// The `Deserialize` derive is currently a vendored marker impl (no
+/// real decoding exists in this workspace). When `vendor/serde` is
+/// replaced by the registry crate, give `PairSet` a validating
+/// `Deserialize` (sort + dedup or reject) — every algorithm here
+/// assumes the sorted/deduplicated invariant, and a hand-edited
+/// serialized form must not be able to break it silently.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PairSet {
+    packed: Vec<u64>,
+}
+
+impl PairSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty set with room for `capacity` pairs.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            packed: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Builds a set from packed values that are already sorted and
+    /// deduplicated (checked only in debug builds).
+    pub(crate) fn from_sorted_packed(packed: Vec<u64>) -> Self {
+        debug_assert!(packed.windows(2).all(|w| w[0] < w[1]), "not sorted/deduped");
+        Self { packed }
+    }
+
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        self.packed.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.packed.is_empty()
+    }
+
+    /// Membership test in `O(log n)`.
+    pub fn contains(&self, pair: &RecordPair) -> bool {
+        self.packed.binary_search(&pack(*pair)).is_ok()
+    }
+
+    /// Iterates the pairs in ascending `(lo, hi)` order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = RecordPair> + '_ {
+        self.packed.iter().map(|&x| unpack(x))
+    }
+
+    /// The packed representation (sorted, deduplicated).
+    pub fn as_packed(&self) -> &[u64] {
+        &self.packed
+    }
+
+    /// Inserts a pair; returns `true` if it was new. `O(n)` worst case —
+    /// bulk construction via [`FromIterator`] is preferred.
+    pub fn insert(&mut self, pair: RecordPair) -> bool {
+        let key = pack(pair);
+        match self.packed.binary_search(&key) {
+            Ok(_) => false,
+            Err(at) => {
+                self.packed.insert(at, key);
+                true
+            }
+        }
+    }
+
+    /// `self ∪ other` by linear merge.
+    pub fn union(&self, other: &PairSet) -> PairSet {
+        let (a, b) = (&self.packed, &other.packed);
+        let mut out = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(a[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(b[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&a[i..]);
+        out.extend_from_slice(&b[j..]);
+        PairSet::from_sorted_packed(out)
+    }
+
+    /// `self ∩ other`: bidirectional linear merge, or galloping from
+    /// the smaller side when the sizes differ by more than
+    /// [`GALLOP_RATIO`]×.
+    pub fn intersection(&self, other: &PairSet) -> PairSet {
+        let mut fwd = Vec::with_capacity(self.len().min(other.len()));
+        let mut back = Vec::new();
+        intersect_into(
+            &self.packed,
+            &other.packed,
+            |x| fwd.push(x),
+            |x| back.push(x),
+        );
+        // The backward lane emitted in descending order, all above the
+        // forward lane's values.
+        fwd.extend(back.into_iter().rev());
+        PairSet::from_sorted_packed(fwd)
+    }
+
+    /// `|self ∩ other|` without materializing the intersection — the
+    /// hot path of confusion-matrix construction, where only the TP
+    /// *count* matters.
+    pub fn intersection_len(&self, other: &PairSet) -> usize {
+        let mut fwd = 0usize;
+        let mut back = 0usize;
+        intersect_into(&self.packed, &other.packed, |_| fwd += 1, |_| back += 1);
+        fwd + back
+    }
+
+    /// `self \ other` by linear merge.
+    pub fn difference(&self, other: &PairSet) -> PairSet {
+        let (a, b) = (&self.packed, &other.packed);
+        let mut out = Vec::with_capacity(a.len());
+        let mut j = 0usize;
+        for &x in a {
+            while j < b.len() && b[j] < x {
+                j += 1;
+            }
+            if j >= b.len() || b[j] != x {
+                out.push(x);
+            }
+        }
+        PairSet::from_sorted_packed(out)
+    }
+
+    /// `|self \ other|` without materializing the difference.
+    pub fn difference_len(&self, other: &PairSet) -> usize {
+        self.len() - self.intersection_len(other)
+    }
+
+    /// Whether every pair of `self` is in `other`.
+    pub fn is_subset(&self, other: &PairSet) -> bool {
+        self.len() <= other.len() && self.intersection_len(other) == self.len()
+    }
+
+    /// Whether the sets share no pair.
+    pub fn is_disjoint(&self, other: &PairSet) -> bool {
+        self.intersection_len(other) == 0
+    }
+}
+
+/// Streams `a ∩ b` (both sorted + deduped): ascending values into
+/// `emit_fwd` and, on the bidirectional merge path, descending values —
+/// all larger than anything the forward lane emits — into `emit_back`.
+/// Gallops from the smaller side when the size ratio warrants it (then
+/// only `emit_fwd` fires).
+fn intersect_into(
+    a: &[u64],
+    b: &[u64],
+    mut emit_fwd: impl FnMut(u64),
+    mut emit_back: impl FnMut(u64),
+) {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if small.is_empty() {
+        return;
+    }
+    if large.len() / small.len() >= GALLOP_RATIO {
+        // Galloping: for each needle, exponentially probe forward in the
+        // large side, then binary-search the bracketed window. Total
+        // cost O(small · log(large / small)) amortized.
+        let mut base = 0usize;
+        for &x in small {
+            if base >= large.len() {
+                break;
+            }
+            // Probe base, base+1, base+3, base+7, … until a value ≥ x
+            // (or the end). Everything before the last sub-x probe is
+            // < x, so the binary-search window is [win_lo, hi] with hi
+            // included (large[hi] may equal x).
+            let mut step = 1usize;
+            let mut win_lo = base;
+            let mut hi = base;
+            while hi < large.len() && large[hi] < x {
+                win_lo = hi + 1;
+                hi += step;
+                step <<= 1;
+            }
+            let win_hi = if hi < large.len() {
+                hi + 1
+            } else {
+                large.len()
+            };
+            match large[win_lo..win_hi].binary_search(&x) {
+                Ok(at) => {
+                    emit_fwd(x);
+                    base = win_lo + at + 1;
+                }
+                Err(at) => base = win_lo + at,
+            }
+        }
+    } else {
+        // Bidirectional branchless merge: a forward lane walks both
+        // sets from the front, a backward lane from the back, meeting
+        // in the middle. The two lanes form independent dependency
+        // chains, hiding the load→compare→advance latency that limits
+        // a single two-pointer merge. Branchless advancement (flag
+        // increments instead of a three-way branch) applies per lane.
+        //
+        // Correctness: strictly sorted inputs mean each matching value
+        // has unique positions (ia, jb). A lane that moves a cursor
+        // past a partner position without emitting is impossible by the
+        // standard merge invariant, and once one lane processes a
+        // position the loop guards (`i < p`, `j < q`) keep the other
+        // lane from revisiting it — so every match is emitted exactly
+        // once (see `bidirectional_merge_agrees` in the tests and the
+        // cross-model property suite).
+        let (mut i, mut j) = (0usize, 0usize);
+        let (mut p, mut q) = (small.len(), large.len());
+        while i < p && j < q {
+            // SAFETY: loop guards bound all four cursors; lanes move
+            // each cursor by at most one per step, toward each other.
+            let (x, y) = unsafe { (*small.get_unchecked(i), *large.get_unchecked(j)) };
+            if x == y {
+                emit_fwd(x);
+            }
+            i += usize::from(x <= y);
+            j += usize::from(y <= x);
+            if i >= p || j >= q {
+                break;
+            }
+            let (u, v) = unsafe { (*small.get_unchecked(p - 1), *large.get_unchecked(q - 1)) };
+            if u == v {
+                emit_back(u);
+            }
+            p -= usize::from(u >= v);
+            q -= usize::from(v >= u);
+        }
+    }
+}
+
+/// Streams the k-way merge of `sets` (each sorted + deduped): for every
+/// distinct pair, in ascending order, calls `emit(packed, mask)` where
+/// bit `i` of `mask` is set iff `sets[i]` contains the pair. The engine
+/// under `venn_regions` — one pass, no hashing.
+pub(crate) fn kway_merge_masks(sets: &[PairSet], mut emit: impl FnMut(u64, u32)) {
+    assert!(sets.len() <= 32, "at most 32 sets supported");
+    let mut cursors = vec![0usize; sets.len()];
+    loop {
+        // Minimum current value across all unfinished sets.
+        let mut min: Option<u64> = None;
+        for (s, &c) in sets.iter().zip(&cursors) {
+            if let Some(&v) = s.packed.get(c) {
+                min = Some(min.map_or(v, |m: u64| m.min(v)));
+            }
+        }
+        let Some(v) = min else { break };
+        let mut mask = 0u32;
+        for (i, (s, c)) in sets.iter().zip(&mut cursors).enumerate() {
+            if s.packed.get(*c) == Some(&v) {
+                mask |= 1 << i;
+                *c += 1;
+            }
+        }
+        emit(v, mask);
+    }
+}
+
+impl FromIterator<RecordPair> for PairSet {
+    fn from_iter<I: IntoIterator<Item = RecordPair>>(iter: I) -> Self {
+        let mut packed: Vec<u64> = iter.into_iter().map(pack).collect();
+        packed.sort_unstable();
+        packed.dedup();
+        PairSet { packed }
+    }
+}
+
+impl<'a> FromIterator<&'a RecordPair> for PairSet {
+    fn from_iter<I: IntoIterator<Item = &'a RecordPair>>(iter: I) -> Self {
+        iter.into_iter().copied().collect()
+    }
+}
+
+impl From<&[RecordPair]> for PairSet {
+    fn from(pairs: &[RecordPair]) -> Self {
+        pairs.iter().copied().collect()
+    }
+}
+
+impl Extend<RecordPair> for PairSet {
+    fn extend<I: IntoIterator<Item = RecordPair>>(&mut self, iter: I) {
+        let old = self.packed.len();
+        self.packed.extend(iter.into_iter().map(pack));
+        if self.packed.len() > old {
+            self.packed.sort_unstable();
+            self.packed.dedup();
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a PairSet {
+    type Item = RecordPair;
+    type IntoIter = std::iter::Map<std::slice::Iter<'a, u64>, fn(&u64) -> RecordPair>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.packed.iter().map(|&x| unpack(x))
+    }
+}
+
+impl IntoIterator for PairSet {
+    type Item = RecordPair;
+    type IntoIter = std::iter::Map<std::vec::IntoIter<u64>, fn(u64) -> RecordPair>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.packed.into_iter().map(unpack)
+    }
+}
+
+impl fmt::Display for PairSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, p) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(pairs: &[(u32, u32)]) -> PairSet {
+        pairs
+            .iter()
+            .map(|&(a, b)| RecordPair::from((a, b)))
+            .collect()
+    }
+
+    #[test]
+    fn pack_roundtrip_preserves_order() {
+        let pairs = [(0u32, 1u32), (0, 2), (1, 2), (1, u32::MAX), (5, 9)];
+        let mut rp: Vec<RecordPair> = pairs.iter().map(|&p| RecordPair::from(p)).collect();
+        rp.sort();
+        let mut packed: Vec<u64> = rp.iter().map(|&p| pack(p)).collect();
+        let mut sorted = packed.clone();
+        sorted.sort_unstable();
+        assert_eq!(packed, sorted, "packed order must equal RecordPair order");
+        packed.dedup();
+        for (&x, &p) in packed.iter().zip(&rp) {
+            assert_eq!(unpack(x), p);
+        }
+    }
+
+    #[test]
+    fn construction_dedups_and_sorts() {
+        let s = set(&[(3, 1), (0, 1), (1, 3), (0, 1)]);
+        assert_eq!(s.len(), 2);
+        let collected: Vec<RecordPair> = s.iter().collect();
+        assert_eq!(
+            collected,
+            vec![
+                RecordPair::from((0u32, 1u32)),
+                RecordPair::from((1u32, 3u32))
+            ]
+        );
+    }
+
+    #[test]
+    fn membership_and_insert() {
+        let mut s = set(&[(0, 1), (2, 3)]);
+        assert!(s.contains(&RecordPair::from((1u32, 0u32))));
+        assert!(!s.contains(&RecordPair::from((0u32, 2u32))));
+        assert!(s.insert(RecordPair::from((0u32, 2u32))));
+        assert!(!s.insert(RecordPair::from((0u32, 2u32))));
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(&RecordPair::from((0u32, 2u32))));
+    }
+
+    #[test]
+    fn set_algebra_small() {
+        let a = set(&[(0, 1), (0, 2), (4, 5)]);
+        let b = set(&[(0, 1), (2, 3)]);
+        assert_eq!(a.union(&b), set(&[(0, 1), (0, 2), (2, 3), (4, 5)]));
+        assert_eq!(a.intersection(&b), set(&[(0, 1)]));
+        assert_eq!(a.difference(&b), set(&[(0, 2), (4, 5)]));
+        assert_eq!(b.difference(&a), set(&[(2, 3)]));
+        assert_eq!(a.intersection_len(&b), 1);
+        assert_eq!(a.difference_len(&b), 2);
+        assert!(set(&[(0, 1)]).is_subset(&a));
+        assert!(!a.is_subset(&b));
+        assert!(a.is_disjoint(&set(&[(7, 8)])));
+    }
+
+    #[test]
+    fn empty_edge_cases() {
+        let e = PairSet::new();
+        let a = set(&[(0, 1)]);
+        assert!(e.is_empty());
+        assert_eq!(e.union(&a), a);
+        assert_eq!(a.union(&e), a);
+        assert_eq!(e.intersection(&a), e);
+        assert_eq!(a.difference(&e), a);
+        assert_eq!(e.difference(&a), e);
+        assert!(e.is_subset(&a));
+        assert!(e.is_disjoint(&a));
+    }
+
+    #[test]
+    fn galloping_agrees_with_merge() {
+        // Small side of 4 vs large side of 1000 → galloping path.
+        let large: PairSet = (0u32..1000).map(|i| RecordPair::from((i, i + 1))).collect();
+        let small = set(&[(0, 1), (500, 501), (999, 1000), (2000, 2001)]);
+        let inter = small.intersection(&large);
+        assert_eq!(inter, set(&[(0, 1), (500, 501), (999, 1000)]));
+        assert_eq!(large.intersection(&small), inter);
+        assert_eq!(small.intersection_len(&large), 3);
+        // Needle past the end of the large side.
+        let past = set(&[(5000, 5001)]);
+        assert!(past.intersection(&large).is_empty());
+    }
+
+    #[test]
+    fn bidirectional_merge_agrees() {
+        // Deterministic pseudo-random sets of many sizes/overlaps; the
+        // two-lane merge must match a reference filter, sorted, for
+        // both the materialized and the counted intersection.
+        let mut state = 0x243F_6A88_85A3_08D3u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for (na, nb) in [(0, 5), (1, 1), (7, 7), (100, 101), (257, 40), (999, 1000)] {
+            let mk = |n: usize, next: &mut dyn FnMut() -> u64| -> PairSet {
+                (0..n)
+                    .map(|_| {
+                        let a = (next() % 512) as u32;
+                        RecordPair::from((a, a + 1 + (next() % 64) as u32))
+                    })
+                    .collect()
+            };
+            let a = mk(na, &mut next);
+            let b = mk(nb, &mut next);
+            let expected: Vec<RecordPair> = a.iter().filter(|p| b.contains(p)).collect();
+            let got: Vec<RecordPair> = a.intersection(&b).iter().collect();
+            assert_eq!(got, expected, "sizes {na}/{nb}");
+            assert_eq!(a.intersection_len(&b), expected.len(), "sizes {na}/{nb}");
+            assert_eq!(b.intersection(&a).iter().collect::<Vec<_>>(), expected);
+        }
+    }
+
+    #[test]
+    fn kway_masks_enumerate_memberships() {
+        let sets = vec![set(&[(0, 1), (0, 2)]), set(&[(0, 1), (2, 3)])];
+        let mut seen = Vec::new();
+        kway_merge_masks(&sets, |x, mask| seen.push((unpack(x), mask)));
+        assert_eq!(
+            seen,
+            vec![
+                (RecordPair::from((0u32, 1u32)), 0b11),
+                (RecordPair::from((0u32, 2u32)), 0b01),
+                (RecordPair::from((2u32, 3u32)), 0b10),
+            ]
+        );
+    }
+
+    #[test]
+    fn extend_and_iterators() {
+        let mut s = set(&[(0, 1)]);
+        s.extend([
+            RecordPair::from((2u32, 3u32)),
+            RecordPair::from((0u32, 1u32)),
+        ]);
+        assert_eq!(s.len(), 2);
+        let byref: Vec<RecordPair> = (&s).into_iter().collect();
+        let owned: Vec<RecordPair> = s.clone().into_iter().collect();
+        assert_eq!(byref, owned);
+        assert_eq!(s.to_string(), "{{#0, #1}, {#2, #3}}");
+    }
+}

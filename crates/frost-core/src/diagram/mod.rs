@@ -275,7 +275,9 @@ mod tests {
 
     #[test]
     fn threshold_at_unscored_is_neg_infinity() {
-        let m = [crate::dataset::ScoredPair::unscored(RecordPair::from((0u32, 1u32)))];
+        let m = [crate::dataset::ScoredPair::unscored(RecordPair::from((
+            0u32, 1u32,
+        )))];
         assert_eq!(threshold_at(&m, 1), f64::NEG_INFINITY);
         assert_eq!(threshold_at(&m, 0), f64::INFINITY);
     }
@@ -284,10 +286,7 @@ mod tests {
     fn precision_recall_diagram_shape() {
         // A well-behaved matcher: high-score matches correct, low-score wrong.
         let truth = Clustering::from_assignment(&[0, 0, 1, 1, 2, 3]);
-        let e = Experiment::from_scored_pairs(
-            "e",
-            [(0u32, 1u32, 0.9), (2, 3, 0.8), (4, 5, 0.2)],
-        );
+        let e = Experiment::from_scored_pairs("e", [(0u32, 1u32, 0.9), (2, 3, 0.8), (4, 5, 0.2)]);
         let pts =
             MetricDiagram::precision_recall().compute(DiagramEngine::Optimized, 6, &truth, &e, 4);
         // Recall grows monotonically as the threshold drops.
@@ -303,10 +302,7 @@ mod tests {
     #[test]
     fn best_threshold_finds_f1_peak() {
         let truth = Clustering::from_assignment(&[0, 0, 1, 1, 2, 3]);
-        let e = Experiment::from_scored_pairs(
-            "e",
-            [(0u32, 1u32, 0.9), (2, 3, 0.8), (4, 5, 0.2)],
-        );
+        let e = Experiment::from_scored_pairs("e", [(0u32, 1u32, 0.9), (2, 3, 0.8), (4, 5, 0.2)]);
         let (thr, f1) = MetricDiagram::best_threshold(
             DiagramEngine::Optimized,
             PairMetric::F1,

@@ -217,7 +217,10 @@ mod tests {
         // One batch.
         let mut exp2 = UnionFind::new(5);
         let mut int2 = DynamicIntersection::new(5, &truth);
-        let m = exp2.tracked_union(seq.iter().map(|&(a, b)| crate::dataset::RecordPair::from((a, b))));
+        let m = exp2.tracked_union(
+            seq.iter()
+                .map(|&(a, b)| crate::dataset::RecordPair::from((a, b))),
+        );
         int2.apply_merges(&m, &truth);
         assert_eq!(int1.true_positives(), int2.true_positives());
         assert_eq!(exp1.total_pairs(), exp2.total_pairs());

@@ -103,7 +103,11 @@ impl DiagramTimeline {
         self.checkpoints.len()
     }
 
-    fn matrix_of(&self, experiment: &UnionFind, intersection: &DynamicIntersection) -> ConfusionMatrix {
+    fn matrix_of(
+        &self,
+        experiment: &UnionFind,
+        intersection: &DynamicIntersection,
+    ) -> ConfusionMatrix {
         let tp = intersection.true_positives();
         let e = experiment.total_pairs();
         let fn_ = self.truth_pairs - tp;
@@ -135,8 +139,11 @@ impl DiagramTimeline {
         // Replay up to the range start.
         let start_match = self.boundaries[checkpoint.point];
         let from_match = self.boundaries[from_point];
-        let merges =
-            experiment.tracked_union(self.matches[start_match..from_match].iter().map(|sp| sp.pair));
+        let merges = experiment.tracked_union(
+            self.matches[start_match..from_match]
+                .iter()
+                .map(|sp| sp.pair),
+        );
         intersection.apply_merges(&merges, &self.truth);
 
         let mut out = Vec::with_capacity(to_point - from_point + 1);
@@ -163,7 +170,10 @@ impl DiagramTimeline {
     /// and false positives between two similarity thresholds are shown"
     /// (Appendix D.5). Returns `(new_tp, new_fp)`.
     pub fn delta(&self, point: usize) -> (u64, u64) {
-        assert!(point + 1 < self.boundaries.len(), "no next point after {point}");
+        assert!(
+            point + 1 < self.boundaries.len(),
+            "no next point after {point}"
+        );
         let pts = self.range(point, point + 1);
         let a = pts[0].matrix;
         let b = pts[1].matrix;

@@ -136,8 +136,20 @@ mod tests {
         // cross  = (sim(0,10), sim(9,9)) = (0.0, 1.0) → max picks cross (1.0 < 0.906? no).
         let cand = pair(9, 10);
         let s = pair_distance_score(p_f, cand, &toy_sim, 2.0);
-        let direct = minkowski_distance((toy_sim(RecordId(0), RecordId(9)), toy_sim(RecordId(9), RecordId(10))), 2.0);
-        let cross = minkowski_distance((toy_sim(RecordId(0), RecordId(10)), toy_sim(RecordId(9), RecordId(9))), 2.0);
+        let direct = minkowski_distance(
+            (
+                toy_sim(RecordId(0), RecordId(9)),
+                toy_sim(RecordId(9), RecordId(10)),
+            ),
+            2.0,
+        );
+        let cross = minkowski_distance(
+            (
+                toy_sim(RecordId(0), RecordId(10)),
+                toy_sim(RecordId(9), RecordId(9)),
+            ),
+            2.0,
+        );
         assert!((s - direct.max(cross)).abs() < 1e-12);
     }
 

@@ -282,12 +282,18 @@ mod tests {
             [Some("anna maria schmidt"), Some("1999")],
             [Some("anna schmidt extra thing"), Some("1999")],
         ]);
-        assert_eq!(categorize(&partial, pair(0, 1)), ErrorCategory::PartialTokens);
+        assert_eq!(
+            categorize(&partial, pair(0, 1)),
+            ErrorCategory::PartialTokens
+        );
         let conflict = ds(&[
             [Some("anna schmidt"), Some("1999")],
             [Some("totally different"), Some("1999")],
         ]);
-        assert_eq!(categorize(&conflict, pair(0, 1)), ErrorCategory::ValueConflict);
+        assert_eq!(
+            categorize(&conflict, pair(0, 1)),
+            ErrorCategory::ValueConflict
+        );
         // Identical records (an FP on exact duplicates) → ValueConflict.
         let same = ds(&[[Some("x"), Some("1")], [Some("x"), Some("1")]]);
         assert_eq!(categorize(&same, pair(0, 1)), ErrorCategory::ValueConflict);
@@ -303,10 +309,10 @@ mod tests {
     #[test]
     fn profile_histogram() {
         let d = ds(&[
-            [Some("anna schmidt"), Some("1999")],  // 0
-            [Some("anna schmitd"), Some("1999")],  // 1: typo of 0
-            [Some("bert weber"), None],            // 2: missing year
-            [Some("bert weber"), Some("2001")],    // 3
+            [Some("anna schmidt"), Some("1999")], // 0
+            [Some("anna schmitd"), Some("1999")], // 1: typo of 0
+            [Some("bert weber"), None],           // 2: missing year
+            [Some("bert weber"), Some("2001")],   // 3
         ]);
         let judged = vec![
             JudgedPair {

@@ -98,11 +98,7 @@ pub fn misclassification_ratio_above(judged: &[JudgedPair], threshold: f64) -> f
 /// Selects the `k` misclassified pairs *furthest* from the threshold —
 /// confident mistakes worth investigating for a common misleading
 /// feature (§4.2.2).
-pub fn misclassified_outliers(
-    judged: &[JudgedPair],
-    threshold: f64,
-    k: usize,
-) -> Vec<JudgedPair> {
+pub fn misclassified_outliers(judged: &[JudgedPair], threshold: f64, k: usize) -> Vec<JudgedPair> {
     let dist = distance_to(threshold);
     let mut wrong: Vec<JudgedPair> = judged
         .iter()
@@ -225,22 +221,19 @@ fn sample(slice: &[JudgedPair], b: usize, strategy: SamplingStrategy) -> Vec<Jud
     match strategy {
         SamplingStrategy::Random { seed } => {
             let mut rng = StdRng::seed_from_u64(seed);
-            let mut out: Vec<JudgedPair> =
-                slice.choose_multiple(&mut rng, b).copied().collect();
+            let mut out: Vec<JudgedPair> = slice.choose_multiple(&mut rng, b).copied().collect();
             out.sort_by(|a, b| a.similarity.partial_cmp(&b.similarity).unwrap());
             out
         }
         SamplingStrategy::ClassBased { seed } => {
             let mut rng = StdRng::seed_from_u64(seed);
-            let correct: Vec<JudgedPair> =
-                slice.iter().filter(|p| p.correct()).copied().collect();
+            let correct: Vec<JudgedPair> = slice.iter().filter(|p| p.correct()).copied().collect();
             let incorrect: Vec<JudgedPair> =
                 slice.iter().filter(|p| !p.correct()).copied().collect();
             let kt = correct.len();
             let kf = incorrect.len();
             // b·kT/(kT+kF) correct and b·kF/(kT+kF) incorrect pairs.
-            let want_correct =
-                ((b as f64 * kt as f64 / (kt + kf) as f64).round() as usize).min(kt);
+            let want_correct = ((b as f64 * kt as f64 / (kt + kf) as f64).round() as usize).min(kt);
             let want_incorrect = (b - want_correct.min(b)).min(kf);
             let mut out: Vec<JudgedPair> = correct
                 .choose_multiple(&mut rng, want_correct)
@@ -318,9 +311,7 @@ mod tests {
     fn proportional_selection_respects_ratio() {
         let judged = ladder();
         let sel = around_threshold_proportional(&judged, 0.55, 4, 1.0);
-        assert!(sel
-            .iter()
-            .all(|p| p.similarity.unwrap() >= 0.55));
+        assert!(sel.iter().all(|p| p.similarity.unwrap() >= 0.55));
     }
 
     #[test]
@@ -376,8 +367,7 @@ mod tests {
         let judged: Vec<JudgedPair> = (0..10)
             .map(|i| jp(2 * i, 2 * i + 1, 0.5, true, i % 2 == 0))
             .collect();
-        let parts =
-            percentile_partitions(&judged, 1, 4, SamplingStrategy::ClassBased { seed: 3 });
+        let parts = percentile_partitions(&judged, 1, 4, SamplingStrategy::ClassBased { seed: 3 });
         let reps = &parts[0].representatives;
         assert_eq!(reps.len(), 4);
         assert_eq!(reps.iter().filter(|p| p.correct()).count(), 2);

@@ -6,9 +6,15 @@
 //! the programmatic counterpart of clicking regions of Snowman's
 //! interactive Venn diagram; [`venn_regions`] enumerates every region at
 //! once.
+//!
+//! All operations run on packed, sorted [`PairSet`]s: expression
+//! evaluation is a tree of linear merges, and [`venn_regions`] is a
+//! single k-way merge over the input sets — no hashing anywhere on the
+//! hot path (see the [`pairset`](crate::dataset::pairset) module docs
+//! for the complexity table).
 
-use crate::dataset::{Dataset, Experiment, Record, RecordPair};
-use std::collections::{HashMap, HashSet};
+use crate::dataset::pairset::kway_merge_masks;
+use crate::dataset::{Dataset, Experiment, PairSet, Record, RecordPair};
 
 /// A set-algebra expression over a universe of named result sets.
 ///
@@ -53,35 +59,43 @@ impl SetExpression {
         SetExpression::Difference(Box::new(self), Box::new(other))
     }
 
-    /// Evaluates the expression over pair sets.
+    /// Evaluates the expression over packed pair sets.
+    ///
+    /// Leaves borrow from the universe — an expression only copies data
+    /// while merging, so `S0 ∩ S1` costs exactly one merge and zero
+    /// clones (the seed cloned every leaf set).
     ///
     /// # Panics
     /// Panics if a leaf index is out of range.
-    pub fn evaluate(&self, universe: &[HashSet<RecordPair>]) -> HashSet<RecordPair> {
+    pub fn evaluate(&self, universe: &[PairSet]) -> PairSet {
+        self.eval_borrowed(universe).into_owned()
+    }
+
+    fn eval_borrowed<'u>(&self, universe: &'u [PairSet]) -> std::borrow::Cow<'u, PairSet> {
+        use std::borrow::Cow;
         match self {
-            SetExpression::Set(i) => universe
-                .get(*i)
-                .unwrap_or_else(|| panic!("set index {i} out of range ({} sets)", universe.len()))
-                .clone(),
-            SetExpression::Intersection(a, b) => {
-                let (sa, sb) = (a.evaluate(universe), b.evaluate(universe));
-                sa.intersection(&sb).copied().collect()
+            SetExpression::Set(i) => {
+                Cow::Borrowed(universe.get(*i).unwrap_or_else(|| {
+                    panic!("set index {i} out of range ({} sets)", universe.len())
+                }))
             }
+            SetExpression::Intersection(a, b) => Cow::Owned(
+                a.eval_borrowed(universe)
+                    .intersection(&b.eval_borrowed(universe)),
+            ),
             SetExpression::Union(a, b) => {
-                let (sa, sb) = (a.evaluate(universe), b.evaluate(universe));
-                sa.union(&sb).copied().collect()
+                Cow::Owned(a.eval_borrowed(universe).union(&b.eval_borrowed(universe)))
             }
-            SetExpression::Difference(a, b) => {
-                let (sa, sb) = (a.evaluate(universe), b.evaluate(universe));
-                sa.difference(&sb).copied().collect()
-            }
+            SetExpression::Difference(a, b) => Cow::Owned(
+                a.eval_borrowed(universe)
+                    .difference(&b.eval_borrowed(universe)),
+            ),
         }
     }
 
     /// Evaluates over experiments directly.
-    pub fn evaluate_experiments(&self, experiments: &[&Experiment]) -> HashSet<RecordPair> {
-        let universe: Vec<HashSet<RecordPair>> =
-            experiments.iter().map(|e| e.pair_set()).collect();
+    pub fn evaluate_experiments(&self, experiments: &[&Experiment]) -> PairSet {
+        let universe: Vec<PairSet> = experiments.iter().map(|e| e.pair_set()).collect();
         self.evaluate(&universe)
     }
 }
@@ -93,7 +107,7 @@ pub struct VennRegion {
     /// belong to set `i`.
     pub membership: u32,
     /// The pairs exactly in the member sets and no others.
-    pub pairs: HashSet<RecordPair>,
+    pub pairs: PairSet,
 }
 
 impl VennRegion {
@@ -109,23 +123,42 @@ impl VennRegion {
 }
 
 /// Enumerates all non-empty exclusive regions of the n-set Venn diagram
-/// in one pass over the pairs (supports up to 32 sets; the UI caps at 3,
-/// "Venn diagrams of more than three sets need … advanced shapes").
-pub fn venn_regions(sets: &[HashSet<RecordPair>]) -> Vec<VennRegion> {
-    assert!(sets.len() <= 32, "at most 32 sets supported");
-    let mut by_mask: HashMap<u32, HashSet<RecordPair>> = HashMap::new();
-    let mut membership_of: HashMap<RecordPair, u32> = HashMap::new();
-    for (i, set) in sets.iter().enumerate() {
-        for &p in set {
-            *membership_of.entry(p).or_insert(0) |= 1 << i;
-        }
-    }
-    for (p, mask) in membership_of {
-        by_mask.entry(mask).or_default().insert(p);
+/// in one k-way merge over the sorted sets (supports up to 32 sets; the
+/// UI caps at 3, "Venn diagrams of more than three sets need … advanced
+/// shapes"). Each pair is visited exactly once and lands in exactly one
+/// region, in ascending order — so the per-region sets are built by
+/// appending, never sorting.
+pub fn venn_regions(sets: &[PairSet]) -> Vec<VennRegion> {
+    let mut by_mask: Vec<(u32, Vec<u64>)> = Vec::new();
+    // Up to 2^k masks can materialize. For few sets a linear scan over
+    // the live masks beats hashing every pair; beyond that, keep an
+    // index so a mask-rich workload (many experiments with varied
+    // overlap) stays O(pairs), not O(pairs · regions).
+    if sets.len() <= 4 {
+        kway_merge_masks(sets, |packed, mask| {
+            match by_mask.iter_mut().find(|(m, _)| *m == mask) {
+                Some((_, v)) => v.push(packed),
+                None => by_mask.push((mask, vec![packed])),
+            }
+        });
+    } else {
+        let mut index: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+        kway_merge_masks(sets, |packed, mask| {
+            let at = *index.entry(mask).or_insert_with(|| {
+                by_mask.push((mask, Vec::new()));
+                by_mask.len() - 1
+            });
+            by_mask[at].1.push(packed);
+        });
     }
     let mut regions: Vec<VennRegion> = by_mask
         .into_iter()
-        .map(|(membership, pairs)| VennRegion { membership, pairs })
+        .map(|(membership, packed)| VennRegion {
+            membership,
+            // Values arrive in ascending global order, so each region's
+            // vector is already sorted and deduplicated.
+            pairs: PairSet::from_sorted_packed(packed),
+        })
         .collect();
     regions.sort_by_key(|r| r.membership);
     regions
@@ -137,14 +170,14 @@ pub fn venn_regions(sets: &[HashSet<RecordPair>]) -> Vec<VennRegion> {
 /// here expressed directly: ground-truth pairs detected by at most
 /// `max_finders` experiments.
 pub fn hard_pairs(
-    truth_pairs: &HashSet<RecordPair>,
+    truth_pairs: &PairSet,
     experiments: &[&Experiment],
     max_finders: usize,
 ) -> Vec<(RecordPair, usize)> {
-    let sets: Vec<HashSet<RecordPair>> = experiments.iter().map(|e| e.pair_set()).collect();
+    let sets: Vec<PairSet> = experiments.iter().map(|e| e.pair_set()).collect();
     let mut out: Vec<(RecordPair, usize)> = truth_pairs
         .iter()
-        .map(|&p| (p, sets.iter().filter(|s| s.contains(&p)).count()))
+        .map(|p| (p, sets.iter().filter(|s| s.contains(&p)).count()))
         .filter(|&(_, finders)| finders <= max_finders)
         .collect();
     out.sort_by_key(|&(p, finders)| (finders, p));
@@ -167,12 +200,13 @@ pub fn enrich(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashMap;
 
     fn pair(a: u32, b: u32) -> RecordPair {
         RecordPair::from((a, b))
     }
 
-    fn setof(pairs: &[(u32, u32)]) -> HashSet<RecordPair> {
+    fn setof(pairs: &[(u32, u32)]) -> PairSet {
         pairs.iter().map(|&(a, b)| pair(a, b)).collect()
     }
 
@@ -206,10 +240,7 @@ mod tests {
 
     #[test]
     fn venn_regions_partition_everything() {
-        let sets = vec![
-            setof(&[(0, 1), (0, 2), (4, 5)]),
-            setof(&[(0, 1), (2, 3)]),
-        ];
+        let sets = vec![setof(&[(0, 1), (0, 2), (4, 5)]), setof(&[(0, 1), (2, 3)])];
         let regions = venn_regions(&sets);
         // Regions: only-A {(0,2),(4,5)}, only-B {(2,3)}, both {(0,1)}.
         assert_eq!(regions.len(), 3);

@@ -87,12 +87,8 @@ impl ColumnEntropy {
             .into_iter()
             .map(|(t, cnt)| {
                 let prob_t = cnt as f64 / cell_total;
-                let column_prob = self
-                    .column_counts[col]
-                    .get(t)
-                    .copied()
-                    .unwrap_or(1) as f64
-                    / column_total;
+                let column_prob =
+                    self.column_counts[col].get(t).copied().unwrap_or(1) as f64 / column_total;
                 prob_t * -column_prob.ln()
             })
             .sum()
@@ -115,11 +111,8 @@ impl ColumnEntropy {
     pub fn sort_by_entropy(&self, ds: &Dataset, judged: &mut [JudgedPair]) {
         // Cache record entropies: pairs share records.
         let mut cache: HashMap<RecordId, f64> = HashMap::new();
-        let mut entropy_of = |r: RecordId| -> f64 {
-            *cache
-                .entry(r)
-                .or_insert_with(|| self.record_entropy(ds, r))
-        };
+        let mut entropy_of =
+            |r: RecordId| -> f64 { *cache.entry(r).or_insert_with(|| self.record_entropy(ds, r)) };
         let keyed: HashMap<RecordPair, f64> = judged
             .iter()
             .map(|p| {

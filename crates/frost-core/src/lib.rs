@@ -9,7 +9,12 @@
 //! clusterings) as input and evaluates them against gold standards and
 //! against each other. This crate provides:
 //!
-//! * [`dataset`] — records, datasets, schemas, record pairs, CSV I/O.
+//! * [`dataset`] — records, datasets, schemas, record pairs, CSV I/O,
+//!   and the packed [`dataset::PairSet`] engine: every set-based
+//!   evaluation (confusion matrices, Venn regions, set algebra) runs on
+//!   sorted packed `u64` pair sets via linear merges, galloping
+//!   intersections and k-way merges instead of hash sets — see the
+//!   [`dataset::pairset`] module docs for the complexity table.
 //! * [`clustering`] — union-find with pair counting and tracked unions,
 //!   duplicate clusterings, transitive closure, clustering algorithms.
 //! * [`metrics`] — the confusion matrix (Fig. 2 of the paper), pair-based
@@ -68,7 +73,9 @@ pub mod softkpi;
 /// Convenient re-exports of the most commonly used types.
 pub mod prelude {
     pub use crate::clustering::{Clustering, UnionFind};
-    pub use crate::dataset::{Dataset, Experiment, Record, RecordId, RecordPair, Schema, ScoredPair};
+    pub use crate::dataset::{
+        Dataset, Experiment, PairSet, Record, RecordId, RecordPair, Schema, ScoredPair,
+    };
     pub use crate::diagram::{DiagramEngine, DiagramPoint, MetricDiagram};
     pub use crate::explore::setops::SetExpression;
     pub use crate::metrics::confusion::ConfusionMatrix;

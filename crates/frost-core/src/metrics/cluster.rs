@@ -20,7 +20,9 @@ fn contingency(a: &Clustering, b: &Clustering) -> HashMap<(u32, u32), u64> {
     let mut counts: HashMap<(u32, u32), u64> = HashMap::new();
     for i in 0..a.num_records() {
         let r = crate::dataset::RecordId(i as u32);
-        *counts.entry((a.cluster_of(r), b.cluster_of(r))).or_insert(0) += 1;
+        *counts
+            .entry((a.cluster_of(r), b.cluster_of(r)))
+            .or_insert(0) += 1;
     }
     counts
 }
@@ -147,12 +149,7 @@ pub fn basic_merge_distance(from: &Clustering, to: &Clustering) -> f64 {
 /// Pairwise precision derived from the GMD (Menestrina et al.):
 /// splits with cost `x·y` measure wrongly-merged pairs.
 pub fn gmd_pairwise_precision(experiment: &Clustering, truth: &Clustering) -> f64 {
-    let wrong = generalized_merge_distance(
-        experiment,
-        truth,
-        |x, y| (x * y) as f64,
-        |_, _| 0.0,
-    );
+    let wrong = generalized_merge_distance(experiment, truth, |x, y| (x * y) as f64, |_, _| 0.0);
     let total = experiment.pair_count() as f64;
     if total == 0.0 {
         0.0
@@ -164,12 +161,7 @@ pub fn gmd_pairwise_precision(experiment: &Clustering, truth: &Clustering) -> f6
 /// Pairwise recall derived from the GMD: merges with cost `x·y` measure
 /// missed pairs.
 pub fn gmd_pairwise_recall(experiment: &Clustering, truth: &Clustering) -> f64 {
-    let missed = generalized_merge_distance(
-        experiment,
-        truth,
-        |_, _| 0.0,
-        |x, y| (x * y) as f64,
-    );
+    let missed = generalized_merge_distance(experiment, truth, |_, _| 0.0, |x, y| (x * y) as f64);
     let total = truth.pair_count() as f64;
     if total == 0.0 {
         0.0
@@ -305,9 +297,7 @@ mod tests {
         let vi = variation_of_information(&together, &apart);
         assert!((vi - std::f64::consts::LN_2).abs() < 1e-12);
         // Symmetry.
-        assert!(
-            (vi - variation_of_information(&apart, &together)).abs() < 1e-12
-        );
+        assert!((vi - variation_of_information(&apart, &together)).abs() < 1e-12);
     }
 
     #[test]

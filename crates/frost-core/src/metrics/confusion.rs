@@ -9,9 +9,8 @@
 //! | Predicted negative | `G \ E` (FN)    | `([D]² \ E) \ G` (TN) |
 
 use crate::clustering::Clustering;
-use crate::dataset::{Experiment, RecordPair};
+use crate::dataset::{Experiment, PairSet};
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
 
 /// Pair counts for one experiment/ground-truth comparison.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -44,18 +43,22 @@ impl ConfusionMatrix {
     /// pipeline stages such as candidate generation, where the match set
     /// need not be closed.
     pub fn from_experiment(experiment: &Experiment, truth: &Clustering, n: usize) -> Self {
-        assert_eq!(truth.num_records(), n, "ground truth covers {} records, dataset has {n}", truth.num_records());
+        assert_eq!(
+            truth.num_records(),
+            n,
+            "ground truth covers {} records, dataset has {n}",
+            truth.num_records()
+        );
+        // Deduplicate defensively via the packed set (experiments built
+        // through `Experiment::new` are already pair-distinct).
+        let distinct = experiment.pair_set();
         let mut tp = 0u64;
-        let mut seen: HashSet<RecordPair> = HashSet::with_capacity(experiment.len());
-        for sp in experiment.pairs() {
-            if !seen.insert(sp.pair) {
-                continue;
-            }
-            if truth.same_cluster(sp.pair.lo(), sp.pair.hi()) {
+        for pair in distinct.iter() {
+            if truth.same_cluster(pair.lo(), pair.hi()) {
                 tp += 1;
             }
         }
-        let e = seen.len() as u64;
+        let e = distinct.len() as u64;
         let g = truth.pair_count();
         let total = total_pairs(n);
         let fp = e - tp;
@@ -65,12 +68,12 @@ impl ConfusionMatrix {
     }
 
     /// Compares two pair sets directly. `total` must be `|[D]²|`.
-    pub fn from_pair_sets(
-        experiment: &HashSet<RecordPair>,
-        truth: &HashSet<RecordPair>,
-        total: u64,
-    ) -> Self {
-        let tp = experiment.intersection(truth).count() as u64;
+    ///
+    /// TP is an allocation-free merge count
+    /// ([`PairSet::intersection_len`]), so the whole matrix costs one
+    /// linear pass over the two packed sets.
+    pub fn from_pair_sets(experiment: &PairSet, truth: &PairSet, total: u64) -> Self {
+        let tp = experiment.intersection_len(truth) as u64;
         let fp = experiment.len() as u64 - tp;
         let fn_ = truth.len() as u64 - tp;
         let tn = total - tp - fp - fn_;
@@ -83,7 +86,11 @@ impl ConfusionMatrix {
     /// intersection clustering.
     pub fn from_clusterings(experiment: &Clustering, truth: &Clustering) -> Self {
         let n = experiment.num_records();
-        assert_eq!(n, truth.num_records(), "clusterings cover different datasets");
+        assert_eq!(
+            n,
+            truth.num_records(),
+            "clusterings cover different datasets"
+        );
         let inter = experiment.intersect(truth);
         let tp = inter.pair_count();
         let e = experiment.pair_count();
@@ -122,6 +129,7 @@ pub fn total_pairs(n: usize) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dataset::RecordPair;
 
     #[test]
     fn from_experiment_counts() {
@@ -138,10 +146,14 @@ mod tests {
 
     #[test]
     fn from_pair_sets_matches_definitions() {
-        let e: HashSet<RecordPair> =
-            [(0u32, 1u32), (0, 2)].into_iter().map(Into::into).collect();
-        let g: HashSet<RecordPair> =
-            [(0u32, 1u32), (2, 3)].into_iter().map(Into::into).collect();
+        let e: PairSet = [(0u32, 1u32), (0, 2)]
+            .into_iter()
+            .map(RecordPair::from)
+            .collect();
+        let g: PairSet = [(0u32, 1u32), (2, 3)]
+            .into_iter()
+            .map(RecordPair::from)
+            .collect();
         let m = ConfusionMatrix::from_pair_sets(&e, &g, total_pairs(4));
         assert_eq!(m, ConfusionMatrix::new(1, 1, 1, 3));
     }

@@ -285,7 +285,11 @@ pub fn decision_matrix(
             }
         })
         .collect();
-    rows.sort_by(|a, b| a.score.partial_cmp(&b.score).unwrap_or(std::cmp::Ordering::Equal));
+    rows.sort_by(|a, b| {
+        a.score
+            .partial_cmp(&b.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     rows
 }
 
@@ -377,7 +381,10 @@ mod tests {
 
     #[test]
     fn textuality_counts_words() {
-        let d = ds("d", &[[Some("one two three"), Some("one")], [None, Some("a b")]]);
+        let d = ds(
+            "d",
+            &[[Some("one two three"), Some("one")], [None, Some("a b")]],
+        );
         // values: 3 present, words 3+1+2 = 6 → 2.0
         assert!((textuality(&d) - 2.0).abs() < 1e-12);
     }
@@ -396,7 +403,12 @@ mod tests {
     fn positive_ratio_basic() {
         let d = ds(
             "d",
-            &[[Some("x"), None], [Some("x"), None], [Some("y"), None], [Some("z"), None]],
+            &[
+                [Some("x"), None],
+                [Some("x"), None],
+                [Some("y"), None],
+                [Some("z"), None],
+            ],
         );
         let truth = Clustering::from_assignment(&[0, 0, 1, 2]);
         // 1 duplicate pair out of C(4,2)=6.
@@ -437,8 +449,14 @@ mod tests {
 
     #[test]
     fn decision_matrix_prefers_similar_dataset() {
-        let use_case = ds("uc", &[[Some("alpha beta"), Some("gamma")], [Some("alpha"), None]]);
-        let similar = ds("sim", &[[Some("alpha beta"), Some("delta")], [Some("beta"), None]]);
+        let use_case = ds(
+            "uc",
+            &[[Some("alpha beta"), Some("gamma")], [Some("alpha"), None]],
+        );
+        let similar = ds(
+            "sim",
+            &[[Some("alpha beta"), Some("delta")], [Some("beta"), None]],
+        );
         let dissimilar = ds(
             "dis",
             &[

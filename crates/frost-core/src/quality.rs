@@ -19,8 +19,8 @@ use crate::clustering::algorithms::{
     center_clustering, clustering_agreement, connected_components, greedy_clique_clustering,
 };
 use crate::clustering::{closure, Clustering};
-use crate::dataset::{Experiment, RecordPair};
-use std::collections::{HashMap, HashSet};
+use crate::dataset::{Experiment, PairSet, RecordPair};
+use std::collections::HashMap;
 
 /// The number of pairs that must be added for the experiment's match set
 /// to be transitively closed; 0 means fully consistent.
@@ -103,10 +103,7 @@ pub fn compactness(experiment: &Experiment) -> Option<f64> {
 /// close non-matches. Positive values mean clusters sit in locally
 /// sparse neighborhoods (Chaudhuri et al.); `None` when no cluster has
 /// both kinds of evidence.
-pub fn separation(
-    clustering: &Clustering,
-    scored_candidates: &[(RecordPair, f64)],
-) -> Option<f64> {
+pub fn separation(clustering: &Clustering, scored_candidates: &[(RecordPair, f64)]) -> Option<f64> {
     let mut intra: HashMap<u32, (f64, u64)> = HashMap::new();
     let mut inter_max: HashMap<u32, f64> = HashMap::new();
     for &(pair, sim) in scored_candidates {
@@ -238,19 +235,31 @@ pub fn bridge_ratio(n: usize, experiment: &Experiment) -> f64 {
 /// a consensus match iff strictly more than half of the solutions
 /// emitted it. Usable as an "experimental ground truth" (§4.1, citing
 /// Vogel et al.'s annealing standard).
-pub fn majority_vote(experiments: &[&Experiment]) -> HashSet<RecordPair> {
-    let mut votes: HashMap<RecordPair, usize> = HashMap::new();
+///
+/// Computed as one sort + run-length count over the concatenated packed
+/// pair sets — no hashing.
+pub fn majority_vote(experiments: &[&Experiment]) -> PairSet {
+    let mut all: Vec<RecordPair> = Vec::new();
     for e in experiments {
-        for sp in e.pairs() {
-            *votes.entry(sp.pair).or_insert(0) += 1;
-        }
+        // `pair_set()` dedups within one experiment, so each experiment
+        // contributes at most one vote per pair.
+        all.extend(e.pair_set());
     }
+    all.sort_unstable();
     let quorum = experiments.len() / 2;
-    votes
-        .into_iter()
-        .filter(|&(_, v)| v > quorum)
-        .map(|(p, _)| p)
-        .collect()
+    let mut out = PairSet::new();
+    let mut i = 0;
+    while i < all.len() {
+        let mut j = i + 1;
+        while j < all.len() && all[j] == all[i] {
+            j += 1;
+        }
+        if j - i > quorum {
+            out.insert(all[i]);
+        }
+        i = j;
+    }
+    out
 }
 
 /// Per-experiment deviation from the majority vote: the number of pairs
@@ -264,8 +273,8 @@ pub fn consensus_deviation(experiments: &[&Experiment]) -> Vec<(String, u64)> {
         .iter()
         .map(|e| {
             let own = e.pair_set();
-            let false_extra = own.difference(&consensus).count() as u64;
-            let missed = consensus.difference(&own).count() as u64;
+            let false_extra = own.difference_len(&consensus) as u64;
+            let missed = consensus.difference_len(&own) as u64;
             (e.name().to_string(), false_extra + missed)
         })
         .collect()
@@ -317,17 +326,9 @@ mod tests {
     fn separation_rewards_sparse_neighborhoods() {
         let clustering = Clustering::from_assignment(&[0, 0, 1, 1]);
         // Dense intra (0.9), far neighbors (0.2): good separation.
-        let good = [
-            (pair(0, 1), 0.9),
-            (pair(2, 3), 0.9),
-            (pair(1, 2), 0.2),
-        ];
+        let good = [(pair(0, 1), 0.9), (pair(2, 3), 0.9), (pair(1, 2), 0.2)];
         // Near neighbors (0.85): poor separation.
-        let bad = [
-            (pair(0, 1), 0.9),
-            (pair(2, 3), 0.9),
-            (pair(1, 2), 0.85),
-        ];
+        let bad = [(pair(0, 1), 0.9), (pair(2, 3), 0.9), (pair(1, 2), 0.85)];
         let sg = separation(&clustering, &good).unwrap();
         let sb = separation(&clustering, &bad).unwrap();
         assert!(sg > sb);
@@ -339,10 +340,8 @@ mod tests {
     #[test]
     fn consensus_higher_for_consistent_matches() {
         // A clean clique agrees across algorithms...
-        let clean = Experiment::from_scored_pairs(
-            "clean",
-            [(0u32, 1u32, 0.9), (1, 2, 0.9), (0, 2, 0.9)],
-        );
+        let clean =
+            Experiment::from_scored_pairs("clean", [(0u32, 1u32, 0.9), (1, 2, 0.9), (0, 2, 0.9)]);
         let c_clean = algorithm_consensus(5, &clean);
         // ...a straggly chain does not.
         let chain = Experiment::from_scored_pairs(
@@ -385,8 +384,7 @@ mod tests {
         let cycle = Experiment::from_pairs("k", [(0u32, 1u32), (1, 2), (2, 0)]);
         assert_eq!(bridge_ratio(3, &cycle), 0.0);
         // Triangle plus a pendant edge: 1 bridge of 4 links.
-        let mixed =
-            Experiment::from_pairs("m", [(0u32, 1u32), (1, 2), (2, 0), (2, 3)]);
+        let mixed = Experiment::from_pairs("m", [(0u32, 1u32), (1, 2), (2, 0), (2, 3)]);
         assert!((bridge_ratio(4, &mixed) - 0.25).abs() < 1e-12);
         // No links at all.
         let none = Experiment::from_pairs::<u32>("n", []);

@@ -105,7 +105,10 @@ pub fn attribute_ratio_chart(title: &str, ratios: &[AttributeRatio]) -> String {
                     r.attribute, v, r.false_count, r.count
                 ));
             }
-            None => out.push_str(&format!("  {:<16}      - (no qualifying pairs)\n", r.attribute)),
+            None => out.push_str(&format!(
+                "  {:<16}      - (no qualifying pairs)\n",
+                r.attribute
+            )),
         }
     }
     out
@@ -113,7 +116,10 @@ pub fn attribute_ratio_chart(title: &str, ratios: &[AttributeRatio]) -> String {
 
 /// Renders an error profile, FP and FN side by side per category.
 pub fn error_profile_report(profile: &ErrorProfile) -> String {
-    let mut out = format!("{:<16} {:>6} {:>6} {:>6}\n", "category", "FP", "FN", "total");
+    let mut out = format!(
+        "{:<16} {:>6} {:>6} {:>6}\n",
+        "category", "FP", "FN", "total"
+    );
     for cat in ErrorCategory::ALL {
         let fp = profile.false_positives.get(&cat).copied().unwrap_or(0);
         let fn_ = profile.false_negatives.get(&cat).copied().unwrap_or(0);
@@ -127,8 +133,7 @@ pub fn error_profile_report(profile: &ErrorProfile) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::dataset::RecordPair;
-    use std::collections::HashSet;
+    use crate::dataset::{PairSet, RecordPair};
 
     #[test]
     fn metrics_table_layout() {
@@ -136,7 +141,10 @@ mod tests {
             ("run-1".to_string(), ConfusionMatrix::new(8, 2, 2, 88)),
             ("run-2".to_string(), ConfusionMatrix::new(9, 5, 1, 85)),
         ];
-        let table = metrics_table(&rows, &[PairMetric::Precision, PairMetric::Recall, PairMetric::F1]);
+        let table = metrics_table(
+            &rows,
+            &[PairMetric::Precision, PairMetric::Recall, PairMetric::F1],
+        );
         assert!(table.contains("run-1"));
         assert!(table.contains("precision"));
         assert!(table.contains("0.8000")); // run-1 precision
@@ -145,10 +153,10 @@ mod tests {
 
     #[test]
     fn venn_table_orders_by_size() {
-        let big: HashSet<RecordPair> = (0u32..5)
+        let big: PairSet = (0u32..5)
             .map(|i| RecordPair::from((2 * i, 2 * i + 1)))
             .collect();
-        let small: HashSet<RecordPair> = [RecordPair::from((100u32, 101u32))].into();
+        let small: PairSet = [RecordPair::from((100u32, 101u32))].into_iter().collect();
         let regions = vec![
             VennRegion {
                 membership: 0b01,

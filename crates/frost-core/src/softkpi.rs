@@ -213,7 +213,10 @@ impl SoftKpiSheet {
             "total effort (h)".to_string(),
             kpis.lifecycle.total_effort().hours,
         );
-        row.insert("total cost".to_string(), kpis.lifecycle.total_cost(cost_model));
+        row.insert(
+            "total cost".to_string(),
+            kpis.lifecycle.total_cost(cost_model),
+        );
         row.insert("general costs".to_string(), kpis.lifecycle.general_costs);
         self.rows.insert(kpis.name.clone(), row);
         self.solutions.insert(kpis.name.clone(), kpis);
@@ -246,11 +249,7 @@ impl SoftKpiSheet {
 
     /// All KPI column names present in any row (sorted).
     pub fn columns(&self) -> Vec<String> {
-        let mut cols: Vec<String> = self
-            .rows
-            .values()
-            .flat_map(|r| r.keys().cloned())
-            .collect();
+        let mut cols: Vec<String> = self.rows.values().flat_map(|r| r.keys().cloned()).collect();
         cols.sort();
         cols.dedup();
         cols
@@ -332,7 +331,11 @@ impl EffortCurve {
             .into_iter()
             .map(|(hours, metric)| EffortPoint { hours, metric })
             .collect();
-        points.sort_by(|a, b| a.hours.partial_cmp(&b.hours).unwrap_or(std::cmp::Ordering::Equal));
+        points.sort_by(|a, b| {
+            a.hours
+                .partial_cmp(&b.hours)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         Self {
             solution: solution.into(),
             points,
@@ -384,7 +387,9 @@ impl EffortCurve {
     pub fn plateau_start(&self, epsilon: f64) -> Option<f64> {
         let rm = self.running_max();
         let last = rm.last()?.metric;
-        rm.iter().find(|p| last - p.metric <= epsilon).map(|p| p.hours)
+        rm.iter()
+            .find(|p| last - p.metric <= epsilon)
+            .map(|p| p.hours)
     }
 }
 
@@ -459,7 +464,9 @@ mod tests {
         sheet.set("alpha", "f1", 0.85);
         sheet.set("beta", "f1", 0.92);
         assert_eq!(sheet.get("alpha", "f1"), Some(0.85));
-        assert!(sheet.get("alpha", "total cost").unwrap() < sheet.get("beta", "total cost").unwrap());
+        assert!(
+            sheet.get("alpha", "total cost").unwrap() < sheet.get("beta", "total cost").unwrap()
+        );
         assert_eq!(sheet.solutions().count(), 2);
         assert!(sheet.columns().contains(&"f1".to_string()));
         assert_eq!(

@@ -1,0 +1,129 @@
+//! Property tests: the packed [`PairSet`] engine agrees with a plain
+//! `HashSet<RecordPair>` reference model on every operation, for random
+//! inputs — including the skewed-size shapes that trigger the galloping
+//! intersection path.
+
+use frost_core::dataset::{PairSet, RecordPair};
+use frost_core::explore::setops::venn_regions;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Random raw id pairs; self-pairs are filtered during set-building.
+fn raw_pairs(universe: u32, max: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec((0..universe, 0..universe), 0..max)
+}
+
+fn both(raw: Vec<(u32, u32)>) -> (PairSet, HashSet<RecordPair>) {
+    let reference: HashSet<RecordPair> = raw
+        .into_iter()
+        .filter(|(a, b)| a != b)
+        .map(RecordPair::from)
+        .collect();
+    let packed: PairSet = reference.iter().copied().collect();
+    (packed, reference)
+}
+
+fn as_hash(set: &PairSet) -> HashSet<RecordPair> {
+    set.iter().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Construction: size, membership and iteration order.
+    #[test]
+    fn construction_agrees(raw in raw_pairs(24, 60)) {
+        let (packed, reference) = both(raw);
+        prop_assert_eq!(packed.len(), reference.len());
+        prop_assert_eq!(packed.is_empty(), reference.is_empty());
+        for p in &reference {
+            prop_assert!(packed.contains(p));
+        }
+        let iterated: Vec<RecordPair> = packed.iter().collect();
+        let mut expected: Vec<RecordPair> = reference.iter().copied().collect();
+        expected.sort();
+        prop_assert_eq!(iterated, expected, "iteration must be sorted");
+        prop_assert!(!packed.contains(&RecordPair::from((1000u32, 1001u32))));
+    }
+
+    /// Union / intersection / difference against the reference model.
+    #[test]
+    fn set_algebra_agrees(a_raw in raw_pairs(24, 60), b_raw in raw_pairs(24, 60)) {
+        let (a, ra) = both(a_raw);
+        let (b, rb) = both(b_raw);
+        prop_assert_eq!(as_hash(&a.union(&b)), ra.union(&rb).copied().collect::<HashSet<_>>());
+        prop_assert_eq!(
+            as_hash(&a.intersection(&b)),
+            ra.intersection(&rb).copied().collect::<HashSet<_>>()
+        );
+        prop_assert_eq!(
+            as_hash(&a.difference(&b)),
+            ra.difference(&rb).copied().collect::<HashSet<_>>()
+        );
+        prop_assert_eq!(a.intersection_len(&b), ra.intersection(&rb).count());
+        prop_assert_eq!(a.difference_len(&b), ra.difference(&rb).count());
+        prop_assert_eq!(a.is_subset(&b), ra.is_subset(&rb));
+        prop_assert_eq!(a.is_disjoint(&b), ra.is_disjoint(&rb));
+    }
+
+    /// Skewed sizes exercise the galloping intersection; results must
+    /// be identical to the merge path and the reference model.
+    #[test]
+    fn galloping_intersection_agrees(
+        small_raw in raw_pairs(2000, 8),
+        big_raw in raw_pairs(2000, 600),
+    ) {
+        let (small, rs) = both(small_raw);
+        let (big, rb) = both(big_raw);
+        let expected: HashSet<RecordPair> = rs.intersection(&rb).copied().collect();
+        prop_assert_eq!(as_hash(&small.intersection(&big)), expected.clone());
+        prop_assert_eq!(as_hash(&big.intersection(&small)), expected.clone());
+        prop_assert_eq!(small.intersection_len(&big), expected.len());
+        prop_assert_eq!(big.intersection_len(&small), expected.len());
+    }
+
+    /// Venn regions over PairSets against a per-pair reference count.
+    /// 1–6 sets covers both region-binning paths (linear scan ≤ 4
+    /// sets, hash index above).
+    #[test]
+    fn venn_regions_agree_with_reference(
+        raw in prop::collection::vec(raw_pairs(16, 30), 1..7),
+    ) {
+        let built: Vec<(PairSet, HashSet<RecordPair>)> =
+            raw.into_iter().map(both).collect();
+        let sets: Vec<PairSet> = built.iter().map(|(p, _)| p.clone()).collect();
+        let reference: Vec<&HashSet<RecordPair>> = built.iter().map(|(_, r)| r).collect();
+        let regions = venn_regions(&sets);
+        // Every pair of the union appears in exactly one region, with
+        // the truthful membership mask.
+        let mut seen: HashSet<RecordPair> = HashSet::new();
+        for region in &regions {
+            prop_assert!(region.membership != 0);
+            prop_assert!(!region.pairs.is_empty(), "no empty regions");
+            for p in &region.pairs {
+                prop_assert!(seen.insert(p), "pair in two regions");
+                for (i, r) in reference.iter().enumerate() {
+                    prop_assert_eq!(region.contains_set(i), r.contains(&p));
+                }
+            }
+        }
+        let union: HashSet<RecordPair> = reference.iter().flat_map(|r| r.iter().copied()).collect();
+        prop_assert_eq!(seen, union);
+    }
+
+    /// Insert/extend keep the packed invariant (sorted, deduplicated).
+    #[test]
+    fn incremental_updates_agree(base in raw_pairs(20, 30), extra in raw_pairs(20, 30)) {
+        let (mut packed, mut reference) = both(base);
+        for (a, b) in extra {
+            if a == b {
+                continue;
+            }
+            let p = RecordPair::from((a, b));
+            prop_assert_eq!(packed.insert(p), reference.insert(p));
+        }
+        prop_assert_eq!(as_hash(&packed), reference.clone());
+        let sorted: Vec<RecordPair> = packed.iter().collect();
+        prop_assert!(sorted.windows(2).all(|w| w[0] < w[1]), "packed invariant broken");
+    }
+}

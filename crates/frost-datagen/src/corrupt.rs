@@ -215,8 +215,7 @@ mod tests {
             // Token overlap must remain substantial after 2 corruptions.
             let orig_tokens: std::collections::HashSet<&str> =
                 original.split_whitespace().collect();
-            let dirty_tokens: std::collections::HashSet<&str> =
-                dirty.split_whitespace().collect();
+            let dirty_tokens: std::collections::HashSet<&str> = dirty.split_whitespace().collect();
             let inter = orig_tokens.intersection(&dirty_tokens).count();
             assert!(inter >= 3, "too much damage: {dirty:?}");
         }

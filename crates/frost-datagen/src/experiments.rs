@@ -120,8 +120,8 @@ pub fn labeled_candidates(
         "positive_ratio must be in [0,1]"
     );
     let mut rng = StdRng::seed_from_u64(seed);
-    let want_pos = ((num_pairs as f64 * positive_ratio).round() as usize)
-        .min(truth.pair_count() as usize);
+    let want_pos =
+        ((num_pairs as f64 * positive_ratio).round() as usize).min(truth.pair_count() as usize);
     let mut seen = std::collections::HashSet::with_capacity(num_pairs);
     let mut out = Vec::with_capacity(num_pairs);
     let mut attempts = 0usize;

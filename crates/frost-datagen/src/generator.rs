@@ -68,7 +68,10 @@ pub struct AttributeSpec {
 impl AttributeSpec {
     /// Creates an attribute spec.
     pub fn new(name: impl Into<String>, min_words: usize, max_words: usize) -> Self {
-        assert!(min_words >= 1 && max_words >= min_words, "invalid word range");
+        assert!(
+            min_words >= 1 && max_words >= min_words,
+            "invalid word range"
+        );
         Self {
             name: name.into(),
             min_words,
@@ -282,7 +285,10 @@ mod tests {
             // value each), so allow substantial but not total drift.
             let inter = ta.intersection(&tb).count() as f64;
             let union = (ta.len() + tb.len()) as f64 - inter;
-            assert!(inter / union > 0.15, "cluster too dissimilar: {ta:?} vs {tb:?}");
+            assert!(
+                inter / union > 0.15,
+                "cluster too dissimilar: {ta:?} vs {tb:?}"
+            );
             checked += 1;
         }
         assert!(checked > 0);

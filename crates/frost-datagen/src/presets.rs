@@ -108,7 +108,8 @@ pub fn sigmod_x3(scale: f64) -> Preset {
 /// SIGMOD D3 test split Z3: TC 35 778, SP 42.6 %, TX ≈ 15.35, PR 12.1 %.
 pub fn sigmod_z3(scale: f64) -> Preset {
     // Same corruption compensation as in `sigmod_z2`.
-    let offset = 2 * VOCAB_SIZE + Vocabulary::offset_for_jaccard(VOCAB_SIZE, (0.377f64 / 0.84).min(1.0));
+    let offset =
+        2 * VOCAB_SIZE + Vocabulary::offset_for_jaccard(VOCAB_SIZE, (0.377f64 / 0.84).min(1.0));
     Preset {
         config: GeneratorConfig {
             name: "sigmod-z3".into(),

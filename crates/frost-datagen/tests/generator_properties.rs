@@ -17,10 +17,7 @@ fn config_strategy() -> impl Strategy<Value = GeneratorConfig> {
         .prop_map(|(n, dup, sparsity, corruptions, seed)| GeneratorConfig {
             name: "prop".into(),
             num_records: n,
-            attributes: vec![
-                AttributeSpec::new("a", 1, 3),
-                AttributeSpec::new("b", 2, 5),
-            ],
+            attributes: vec![AttributeSpec::new("a", 1, 3), AttributeSpec::new("b", 2, 5)],
             duplicate_fraction: dup,
             cluster_sizes: ClusterSizeModel::Geometric { p: 0.5, max: 6 },
             sparsity,

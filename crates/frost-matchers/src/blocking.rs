@@ -8,11 +8,16 @@
 //! datasets.
 
 use frost_core::dataset::{Dataset, RecordId, RecordPair};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 use std::collections::{HashMap, HashSet};
 
 /// Anything that generates candidate pairs from a dataset.
-pub trait Blocker {
+///
+/// Blockers must be `Send + Sync` so pipelines can run concurrently
+/// (all implementations are plain configuration data).
+pub trait Blocker: Send + Sync {
     /// Generates the deduplicated candidate pairs, sorted ascending.
     fn candidates(&self, ds: &Dataset) -> Vec<RecordPair>;
 }
@@ -34,25 +39,86 @@ pub enum BlockingKey {
 }
 
 impl BlockingKey {
-    /// The key of one record; `None` when the attribute is missing.
-    pub fn key_of(&self, ds: &Dataset, id: RecordId) -> Option<String> {
+    /// The key of one record without allocating; `None` when the
+    /// attribute is missing.
+    ///
+    /// All three key kinds borrow from the dataset: full attribute
+    /// values and first tokens are subslices, and prefixes slice at a
+    /// character boundary. Blockers key their hash maps on these
+    /// `Cow`s, so candidate generation allocates no key `String`s at
+    /// all (the seed allocated one per record per key).
+    pub fn key_of_ref<'d>(&self, ds: &'d Dataset, id: RecordId) -> Option<Cow<'d, str>> {
         match self {
-            BlockingKey::Attribute(attr) => ds.value(id, attr).map(str::to_string),
-            BlockingKey::Prefix { attribute, len } => ds
-                .value(id, attribute)
-                .map(|v| v.chars().take(*len).collect()),
+            BlockingKey::Attribute(attr) => ds.value(id, attr).map(Cow::Borrowed),
+            BlockingKey::Prefix { attribute, len } => {
+                ds.value(id, attribute)
+                    .map(|v| match v.char_indices().nth(*len) {
+                        Some((cut, _)) => Cow::Borrowed(&v[..cut]),
+                        None => Cow::Borrowed(v),
+                    })
+            }
             BlockingKey::FirstToken(attr) => ds
                 .value(id, attr)
                 .and_then(|v| v.split_whitespace().next())
-                .map(str::to_string),
+                .map(Cow::Borrowed),
         }
+    }
+
+    /// The key of one record as an owned `String`; `None` when the
+    /// attribute is missing. Prefer [`BlockingKey::key_of_ref`] on hot
+    /// paths.
+    pub fn key_of(&self, ds: &Dataset, id: RecordId) -> Option<String> {
+        self.key_of_ref(ds, id).map(Cow::into_owned)
     }
 }
 
+/// Sorts (in parallel for large inputs) and deduplicates a candidate
+/// list.
 fn dedup_sorted(mut pairs: Vec<RecordPair>) -> Vec<RecordPair> {
-    pairs.sort_unstable();
+    pairs.par_sort_unstable();
     pairs.dedup();
     pairs
+}
+
+/// Total pairs below which block expansion stays on one thread.
+const PARALLEL_EXPAND_CUTOFF: usize = 8_192;
+
+/// Expands blocks to intra-block candidate pairs, skipping blocks
+/// larger than `cap`. Expansion runs one parallel task per block when
+/// the total pair count is worth it (per-block work is quadratic, so
+/// block count alone is a poor threshold).
+fn expand_blocks(blocks: Vec<Vec<RecordId>>, cap: Option<usize>) -> Vec<RecordPair> {
+    let pairs_of = |members: &Vec<RecordId>| {
+        if cap.is_some_and(|c| members.len() > c) {
+            return 0;
+        }
+        members.len() * members.len().saturating_sub(1) / 2
+    };
+    let total: usize = blocks.iter().map(pairs_of).sum();
+    let expand = |members: &Vec<RecordId>| {
+        let mut out = Vec::with_capacity(pairs_of(members));
+        if cap.is_some_and(|c| members.len() > c) {
+            return out;
+        }
+        for (i, &a) in members.iter().enumerate() {
+            for &b in &members[i + 1..] {
+                out.push(RecordPair::new(a, b));
+            }
+        }
+        out
+    };
+    if total < PARALLEL_EXPAND_CUTOFF {
+        let mut out = Vec::with_capacity(total);
+        for members in &blocks {
+            out.extend(expand(members));
+        }
+        return out;
+    }
+    blocks
+        .par_iter()
+        .with_min_len(1)
+        .flat_map_iter(expand)
+        .collect()
 }
 
 /// Standard blocking: records sharing a key form a block; all
@@ -80,26 +146,17 @@ impl StandardBlocking {
 
 impl Blocker for StandardBlocking {
     fn candidates(&self, ds: &Dataset) -> Vec<RecordPair> {
-        let mut blocks: HashMap<String, Vec<RecordId>> = HashMap::new();
+        // Keys borrow from the dataset — no `String` per record.
+        let mut blocks: HashMap<Cow<'_, str>, Vec<RecordId>> = HashMap::new();
         for (id, _) in ds.iter() {
-            if let Some(key) = self.key.key_of(ds, id) {
+            if let Some(key) = self.key.key_of_ref(ds, id) {
                 blocks.entry(key).or_default().push(id);
             }
         }
-        let mut pairs = Vec::new();
-        for members in blocks.values() {
-            if let Some(cap) = self.max_block_size {
-                if members.len() > cap {
-                    continue;
-                }
-            }
-            for (i, &a) in members.iter().enumerate() {
-                for &b in &members[i + 1..] {
-                    pairs.push(RecordPair::new(a, b));
-                }
-            }
-        }
-        dedup_sorted(pairs)
+        dedup_sorted(expand_blocks(
+            blocks.into_values().collect(),
+            self.max_block_size,
+        ))
     }
 }
 
@@ -118,17 +175,26 @@ pub struct SortedNeighborhood {
 impl Blocker for SortedNeighborhood {
     fn candidates(&self, ds: &Dataset) -> Vec<RecordPair> {
         assert!(self.window >= 2, "window must span at least two records");
-        let mut keyed: Vec<(Option<String>, RecordId)> =
-            ds.iter().map(|(id, _)| (self.key.key_of(ds, id), id)).collect();
+        // Keys borrow from the dataset — no `String` per record.
+        let mut keyed: Vec<(Option<Cow<'_, str>>, RecordId)> = ds
+            .iter()
+            .map(|(id, _)| (self.key.key_of_ref(ds, id), id))
+            .collect();
         keyed.sort_by(|a, b| match (&a.0, &b.0) {
             (Some(x), Some(y)) => x.cmp(y).then(a.1.cmp(&b.1)),
             (Some(_), None) => std::cmp::Ordering::Less,
             (None, Some(_)) => std::cmp::Ordering::Greater,
             (None, None) => a.1.cmp(&b.1),
         });
-        let mut pairs = Vec::new();
-        for i in 0..keyed.len() {
-            for j in i + 1..(i + self.window).min(keyed.len()) {
+        let n = keyed.len();
+        // n·(window−1) overshoots for windows near/above the dataset
+        // size; never reserve beyond the true |[D]²| bound.
+        let cap = n
+            .saturating_mul(self.window - 1)
+            .min(n.saturating_mul(n.saturating_sub(1)) / 2);
+        let mut pairs = Vec::with_capacity(cap);
+        for i in 0..n {
+            for j in i + 1..(i + self.window).min(n) {
                 pairs.push(RecordPair::new(keyed[i].1, keyed[j].1));
             }
         }
@@ -162,18 +228,10 @@ impl Blocker for TokenBlocking {
                 }
             }
         }
-        let mut pairs = Vec::new();
-        for members in index.values() {
-            if members.len() > self.max_token_frequency {
-                continue;
-            }
-            for (i, &a) in members.iter().enumerate() {
-                for &b in &members[i + 1..] {
-                    pairs.push(RecordPair::new(a, b));
-                }
-            }
-        }
-        dedup_sorted(pairs)
+        dedup_sorted(expand_blocks(
+            index.into_values().collect(),
+            Some(self.max_token_frequency),
+        ))
     }
 }
 

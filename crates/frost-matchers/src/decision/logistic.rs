@@ -12,6 +12,7 @@
 use super::DecisionModel;
 use crate::features::FeatureConfig;
 use frost_core::dataset::{Dataset, RecordPair};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Training hyperparameters.
@@ -65,8 +66,11 @@ impl LogisticRegression {
     ) -> Self {
         assert!(!labeled.is_empty(), "training requires labelled pairs");
         let width = feature_config.width();
+        // Feature extraction dominates training cost (one similarity
+        // computation per comparator per labelled pair) and is
+        // embarrassingly parallel.
         let features: Vec<Vec<f64>> = labeled
-            .iter()
+            .par_iter()
             .map(|&(p, _)| feature_config.features(ds, p))
             .collect();
         let mut weights = vec![0.0f64; width];

@@ -17,7 +17,11 @@ pub mod threshold;
 use frost_core::dataset::{Dataset, RecordPair};
 
 /// A decision model: scores candidate pairs and owns a match threshold.
-pub trait DecisionModel {
+///
+/// Models must be `Send + Sync`: the pipeline scores candidate pairs
+/// from multiple threads (all implementations are plain data, so this
+/// costs nothing).
+pub trait DecisionModel: Send + Sync {
     /// Similarity/confidence for a candidate pair, in `[0, 1]`.
     fn score(&self, ds: &Dataset, pair: RecordPair) -> f64;
 

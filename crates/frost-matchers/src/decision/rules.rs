@@ -48,12 +48,18 @@ impl Condition {
                 attribute,
                 measure,
                 min,
-            } => match (value(ds, pair, attribute, true), value(ds, pair, attribute, false)) {
-                (Some(a), Some(b)) => measure.compute(a, b) >= *min,
+            } => match (
+                value(ds, pair, attribute, true),
+                value(ds, pair, attribute, false),
+            ) {
+                (Some(a), Some(b)) => measure.at_least(a, b, *min),
                 _ => false,
             },
             Condition::Equal { attribute } => {
-                match (value(ds, pair, attribute, true), value(ds, pair, attribute, false)) {
+                match (
+                    value(ds, pair, attribute, true),
+                    value(ds, pair, attribute, false),
+                ) {
                     (Some(a), Some(b)) => a == b,
                     _ => false,
                 }
@@ -134,11 +140,7 @@ impl RuleSet {
 
     /// Per-rule firing counts over a candidate set — "the influence of
     /// each individual rule on the result".
-    pub fn rule_influence(
-        &self,
-        ds: &Dataset,
-        candidates: &[RecordPair],
-    ) -> Vec<(String, usize)> {
+    pub fn rule_influence(&self, ds: &Dataset, candidates: &[RecordPair]) -> Vec<(String, usize)> {
         self.rules
             .iter()
             .map(|r| {

@@ -45,10 +45,7 @@ impl WeightedAverage {
         comparators: impl IntoIterator<Item = Comparator>,
         match_threshold: f64,
     ) -> Self {
-        Self::new(
-            comparators.into_iter().map(|c| (c, 1.0)),
-            match_threshold,
-        )
+        Self::new(comparators.into_iter().map(|c| (c, 1.0)), match_threshold)
     }
 
     /// Replaces the threshold (used heavily by the tuning loop).

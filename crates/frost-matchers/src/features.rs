@@ -163,8 +163,8 @@ mod tests {
     #[test]
     fn missing_indicators() {
         let ds = dataset();
-        let cfg = FeatureConfig::new([Comparator::new("name", Measure::Exact)])
-            .with_missing_indicators();
+        let cfg =
+            FeatureConfig::new([Comparator::new("name", Measure::Exact)]).with_missing_indicators();
         assert_eq!(cfg.width(), 2);
         let present = cfg.features(&ds, RecordPair::from((0u32, 1u32)));
         assert_eq!(present, vec![1.0, 0.0]);
@@ -177,7 +177,10 @@ mod tests {
         let ds = dataset();
         let cfg =
             FeatureConfig::new([Comparator::new("nope", Measure::Exact)]).with_missing_indicators();
-        assert_eq!(cfg.features(&ds, RecordPair::from((0u32, 1u32))), vec![0.0, 1.0]);
+        assert_eq!(
+            cfg.features(&ds, RecordPair::from((0u32, 1u32))),
+            vec![0.0, 1.0]
+        );
     }
 
     #[test]
@@ -192,7 +195,10 @@ mod tests {
         assert_eq!(m, 1.0);
         // All missing → 0.
         let empty_cfg = FeatureConfig::new([Comparator::new("nope", Measure::Exact)]);
-        assert_eq!(empty_cfg.mean_similarity(&ds, RecordPair::from((0u32, 1u32))), 0.0);
+        assert_eq!(
+            empty_cfg.mean_similarity(&ds, RecordPair::from((0u32, 1u32))),
+            0.0
+        );
     }
 
     #[test]

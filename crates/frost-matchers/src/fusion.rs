@@ -127,7 +127,11 @@ pub fn fuse(ds: &Dataset, clustering: &Clustering, config: &FusionConfig) -> Dat
 }
 
 /// Convenience: the fused record for a single cluster, given member ids.
-pub fn fuse_cluster(ds: &Dataset, members: &[RecordId], config: &FusionConfig) -> Vec<Option<String>> {
+pub fn fuse_cluster(
+    ds: &Dataset,
+    members: &[RecordId],
+    config: &FusionConfig,
+) -> Vec<Option<String>> {
     (0..ds.schema().len())
         .map(|col| {
             let strategy = config
@@ -207,11 +211,7 @@ mod tests {
     fn fuse_cluster_matches_full_fusion() {
         let ds = dataset();
         let config = FusionConfig::default();
-        let values = fuse_cluster(
-            &ds,
-            &[RecordId(0), RecordId(1), RecordId(2)],
-            &config,
-        );
+        let values = fuse_cluster(&ds, &[RecordId(0), RecordId(1), RecordId(2)], &config);
         assert_eq!(values[0].as_deref(), Some("Anna Schmidt"));
     }
 

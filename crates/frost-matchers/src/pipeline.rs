@@ -10,7 +10,8 @@ use crate::blocking::Blocker;
 use crate::decision::DecisionModel;
 use crate::prepare::Preparer;
 use frost_core::clustering::{algorithms, Clustering};
-use frost_core::dataset::{Dataset, Experiment, PairOrigin, RecordPair, ScoredPair};
+use frost_core::dataset::{Dataset, Experiment, PairOrigin, PairSet, RecordPair, ScoredPair};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Which duplicate-clustering algorithm closes the match set (step 5).
@@ -113,9 +114,11 @@ impl MatchingPipeline {
         };
         // Step 2: candidate generation.
         let candidates = self.blocker.candidates(&prepared);
-        // Steps 3–4: similarity + decision.
+        // Steps 3–4: similarity + decision, scored in parallel — the
+        // pipeline's hot path (one similarity computation per
+        // comparator per candidate pair).
         let scored_candidates: Vec<(RecordPair, f64)> = candidates
-            .iter()
+            .par_iter()
             .map(|&p| (p, self.model.score(&prepared, p)))
             .collect();
         let threshold = self.model.threshold();
@@ -127,8 +130,7 @@ impl MatchingPipeline {
         // Step 5: duplicate clustering.
         let clustering = self.clustering.cluster(prepared.len(), &matches);
         // Assemble the experiment: matcher pairs + clustering additions.
-        let match_set: std::collections::HashSet<RecordPair> =
-            matches.iter().map(|sp| sp.pair).collect();
+        let match_set: PairSet = matches.iter().map(|sp| sp.pair).collect();
         let mut pairs = matches.clone();
         for pair in clustering.intra_pairs() {
             if !match_set.contains(&pair) {
@@ -195,7 +197,9 @@ mod tests {
         let pairs = run.experiment.pair_set();
         assert!(pairs.contains(&RecordPair::from((0u32, 1u32))));
         assert!(pairs.contains(&RecordPair::from((2u32, 3u32))));
-        assert!(!pairs.iter().any(|p| p.contains(frost_core::dataset::RecordId(4))));
+        assert!(!pairs
+            .iter()
+            .any(|p| p.contains(frost_core::dataset::RecordId(4))));
         assert_eq!(run.clustering.num_clusters(), 3);
         assert_eq!(run.experiment.name(), "test-run");
         assert!(run.experiment.fully_scored());

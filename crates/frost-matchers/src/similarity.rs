@@ -10,10 +10,9 @@
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
-/// Levenshtein edit distance (dynamic programming, two rows).
-pub fn levenshtein(a: &str, b: &str) -> usize {
-    let a: Vec<char> = a.chars().collect();
-    let b: Vec<char> = b.chars().collect();
+/// Two-row Levenshtein DP over any equatable symbol slice. Inputs are
+/// assumed non-empty of common prefix/suffix (callers trim first).
+fn levenshtein_core<T: PartialEq>(a: &[T], b: &[T]) -> usize {
     if a.is_empty() {
         return b.len();
     }
@@ -22,9 +21,9 @@ pub fn levenshtein(a: &str, b: &str) -> usize {
     }
     let mut prev: Vec<usize> = (0..=b.len()).collect();
     let mut cur = vec![0usize; b.len() + 1];
-    for (i, &ca) in a.iter().enumerate() {
+    for (i, ca) in a.iter().enumerate() {
         cur[0] = i + 1;
-        for (j, &cb) in b.iter().enumerate() {
+        for (j, cb) in b.iter().enumerate() {
             let sub = prev[j] + usize::from(ca != cb);
             cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
         }
@@ -33,9 +32,97 @@ pub fn levenshtein(a: &str, b: &str) -> usize {
     prev[b.len()]
 }
 
+/// Strips the common prefix and suffix (free edits) of two symbol
+/// slices before the quadratic DP.
+fn trim_common<'x, T: PartialEq>(mut a: &'x [T], mut b: &'x [T]) -> (&'x [T], &'x [T]) {
+    let prefix = a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count();
+    a = &a[prefix..];
+    b = &b[prefix..];
+    let suffix = a
+        .iter()
+        .rev()
+        .zip(b.iter().rev())
+        .take_while(|(x, y)| x == y)
+        .count();
+    (&a[..a.len() - suffix], &b[..b.len() - suffix])
+}
+
+/// Levenshtein edit distance (dynamic programming, two rows).
+///
+/// Fast paths: equal strings return 0 immediately; common prefixes and
+/// suffixes are trimmed before the quadratic DP; and pure-ASCII inputs
+/// run over the raw bytes, skipping the per-call `Vec<char>` collects
+/// entirely.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    if a == b {
+        return 0;
+    }
+    if a.is_ascii() && b.is_ascii() {
+        let (ta, tb) = trim_common(a.as_bytes(), b.as_bytes());
+        levenshtein_core(ta, tb)
+    } else {
+        let ca: Vec<char> = a.chars().collect();
+        let cb: Vec<char> = b.chars().collect();
+        let (ta, tb) = trim_common(&ca, &cb);
+        levenshtein_core(ta, tb)
+    }
+}
+
+/// Levenshtein distance if it is at most `cap`, else `None`.
+///
+/// Exits before any DP work when the length difference alone exceeds
+/// `cap` (every length difference costs at least one edit), and abandons
+/// the DP as soon as a full row's minimum exceeds the cap. Useful for
+/// match/no-match decisions where distances beyond a small cap are all
+/// equivalent.
+pub fn levenshtein_bounded(a: &str, b: &str, cap: usize) -> Option<usize> {
+    fn bounded_core<T: PartialEq>(a: &[T], b: &[T], cap: usize) -> Option<usize> {
+        if a.len().abs_diff(b.len()) > cap {
+            return None;
+        }
+        if a.is_empty() || b.is_empty() {
+            let d = a.len().max(b.len());
+            return (d <= cap).then_some(d);
+        }
+        let mut prev: Vec<usize> = (0..=b.len()).collect();
+        let mut cur = vec![0usize; b.len() + 1];
+        for (i, ca) in a.iter().enumerate() {
+            cur[0] = i + 1;
+            let mut row_min = cur[0];
+            for (j, cb) in b.iter().enumerate() {
+                let sub = prev[j] + usize::from(ca != cb);
+                cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+                row_min = row_min.min(cur[j + 1]);
+            }
+            // Distances never decrease down the DP table: once every
+            // cell of a row exceeds the cap, the result must too.
+            if row_min > cap {
+                return None;
+            }
+            std::mem::swap(&mut prev, &mut cur);
+        }
+        (prev[b.len()] <= cap).then_some(prev[b.len()])
+    }
+    if a == b {
+        return Some(0);
+    }
+    if a.is_ascii() && b.is_ascii() {
+        let (ta, tb) = trim_common(a.as_bytes(), b.as_bytes());
+        bounded_core(ta, tb, cap)
+    } else {
+        let ca: Vec<char> = a.chars().collect();
+        let cb: Vec<char> = b.chars().collect();
+        let (ta, tb) = trim_common(&ca, &cb);
+        bounded_core(ta, tb, cap)
+    }
+}
+
 /// Levenshtein similarity: `1 − distance / max(len)`; 1.0 for two empty
-/// strings.
+/// strings (and an `a == b` early exit without any length scan).
 pub fn levenshtein_similarity(a: &str, b: &str) -> f64 {
+    if a == b {
+        return 1.0;
+    }
     let max = a.chars().count().max(b.chars().count());
     if max == 0 {
         return 1.0;
@@ -251,6 +338,28 @@ pub enum Measure {
 }
 
 impl Measure {
+    /// Whether `compute(a, b) >= min`, with a fast path: for
+    /// [`Measure::Levenshtein`] the threshold converts to an edit-
+    /// distance cap (`sim ≥ min ⇔ d ≤ (1−min)·maxlen`), so
+    /// [`levenshtein_bounded`] can abandon the DP early on clearly
+    /// dissimilar values — the common case in rule-based matchers.
+    pub fn at_least(self, a: &str, b: &str, min: f64) -> bool {
+        match self {
+            Measure::Levenshtein if min > 0.0 => {
+                let max = a.chars().count().max(b.chars().count());
+                if max == 0 {
+                    return 1.0 >= min;
+                }
+                let cap = ((1.0 - min) * max as f64).floor().max(0.0) as usize;
+                match levenshtein_bounded(a, b, cap) {
+                    Some(d) => 1.0 - d as f64 / max as f64 >= min,
+                    None => false,
+                }
+            }
+            _ => self.compute(a, b) >= min,
+        }
+    }
+
     /// Evaluates the measure on two attribute values.
     pub fn compute(self, a: &str, b: &str) -> f64 {
         match self {
@@ -279,6 +388,69 @@ mod tests {
         assert_eq!(levenshtein("abc", ""), 3);
         assert_eq!(levenshtein("same", "same"), 0);
         assert_eq!(levenshtein("flaw", "lawn"), 2);
+    }
+
+    #[test]
+    fn levenshtein_unicode_matches_ascii_semantics() {
+        // Non-ASCII inputs take the char-vector path; distances are in
+        // characters, not bytes.
+        assert_eq!(levenshtein("müller", "mueller"), 2);
+        assert_eq!(levenshtein("żółć", "zolc"), 4);
+        assert_eq!(levenshtein("añ", "añx"), 1);
+        // Mixed ASCII/Unicode comparisons agree with naive DP.
+        assert_eq!(levenshtein("abc", "äbc"), 1);
+        // Prefix/suffix trimming must not change results.
+        assert_eq!(
+            levenshtein("prefix-kitten-suffix", "prefix-sitting-suffix"),
+            3
+        );
+    }
+
+    #[test]
+    fn levenshtein_bounded_agrees_and_exits() {
+        for (a, b) in [
+            ("kitten", "sitting"),
+            ("", "abc"),
+            ("same", "same"),
+            ("flaw", "lawn"),
+            ("müller", "mueller"),
+        ] {
+            let d = levenshtein(a, b);
+            for cap in 0..6 {
+                let expect = (d <= cap).then_some(d);
+                assert_eq!(
+                    levenshtein_bounded(a, b, cap),
+                    expect,
+                    "{a:?} vs {b:?} cap {cap}"
+                );
+            }
+        }
+        // Length-difference early exit.
+        assert_eq!(levenshtein_bounded("ab", "abcdefgh", 3), None);
+    }
+
+    #[test]
+    fn at_least_agrees_with_compute() {
+        let samples = [
+            ("", ""),
+            ("a", ""),
+            ("kitten", "sitting"),
+            ("anna schmidt", "anna schmid"),
+            ("müller", "mueller"),
+            ("same", "same"),
+            ("completely", "different!"),
+        ];
+        for m in [Measure::Levenshtein, Measure::Jaro, Measure::TokenJaccard] {
+            for (a, b) in samples {
+                for min in [-0.5, 0.0, 0.3, 0.5, 0.8, 1.0, 1.2] {
+                    assert_eq!(
+                        m.at_least(a, b, min),
+                        m.compute(a, b) >= min,
+                        "{m:?}({a:?},{b:?}) at {min}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -201,7 +201,7 @@ mod tests {
             steps: 30,
             hours_per_step: 0.5,
             breakthrough_step: 10,
-            seed: 42,
+            seed: 1,
             initial_threshold: 0.8,
         }
     }
@@ -209,16 +209,11 @@ mod tests {
     #[test]
     fn evaluate_f1_perfect_and_zero() {
         let (ds, truth) = training_data();
-        let perfect = WeightedAverage::uniform(
-            [Comparator::new("name", Measure::JaroWinkler)],
-            0.85,
-        );
+        let perfect =
+            WeightedAverage::uniform([Comparator::new("name", Measure::JaroWinkler)], 0.85);
         let f1 = evaluate_f1(&ds, &truth, &FullPairs, &perfect);
         assert!(f1 > 0.6, "expected decent f1, got {f1}");
-        let hopeless = WeightedAverage::uniform(
-            [Comparator::new("name", Measure::Exact)],
-            0.99,
-        );
+        let hopeless = WeightedAverage::uniform([Comparator::new("name", Measure::Exact)], 0.99);
         assert_eq!(evaluate_f1(&ds, &truth, &FullPairs, &hopeless), 0.0);
     }
 
@@ -236,7 +231,10 @@ mod tests {
         // fuzzy comparators and the score jumps.
         let before = outcome.best_trace[9].1;
         let after = outcome.best_trace[12].1;
-        assert!(after > before, "breakthrough must raise f1: {before} → {after}");
+        assert!(
+            after > before,
+            "breakthrough must raise f1: {before} → {after}"
+        );
         assert!(outcome.best_trace.last().unwrap().1 > 0.5);
         // Hours accumulate linearly.
         assert!((outcome.raw_trace[1].0 - 1.0).abs() < 1e-12);

@@ -16,7 +16,6 @@ use frost_core::metrics::confusion::ConfusionMatrix;
 use frost_core::metrics::pair::PairMetric;
 use frost_core::profiling::DatasetProfile;
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
 
 /// An API request.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -127,9 +126,9 @@ pub enum Response {
 pub fn handle(store: &BenchmarkStore, request: Request) -> Result<Response, StoreError> {
     match request {
         Request::ListDatasets => Ok(Response::Names(store.dataset_names())),
-        Request::ListExperiments { dataset } => Ok(Response::Names(
-            store.experiment_names(dataset.as_deref()),
-        )),
+        Request::ListExperiments { dataset } => {
+            Ok(Response::Names(store.experiment_names(dataset.as_deref())))
+        }
         Request::ProfileDataset { dataset } => {
             let ds = store.dataset(&dataset)?;
             let profile = match store.gold_standard(&dataset) {
@@ -169,7 +168,7 @@ pub fn handle(store: &BenchmarkStore, request: Request) -> Result<Response, Stor
             experiments,
             include_gold,
         } => {
-            let mut sets: Vec<HashSet<frost_core::dataset::RecordPair>> = Vec::new();
+            let mut sets: Vec<frost_core::dataset::PairSet> = Vec::new();
             let mut first_dataset: Option<String> = None;
             for name in &experiments {
                 let stored = store.experiment(name)?;
@@ -177,8 +176,8 @@ pub fn handle(store: &BenchmarkStore, request: Request) -> Result<Response, Stor
                 sets.push(stored.experiment.pair_set());
             }
             if include_gold {
-                let dataset = first_dataset
-                    .ok_or_else(|| StoreError::UnknownExperiment("<none>".into()))?;
+                let dataset =
+                    first_dataset.ok_or_else(|| StoreError::UnknownExperiment("<none>".into()))?;
                 let truth = store.gold_standard(&dataset)?;
                 sets.push(truth.intra_pairs().collect());
             }
@@ -196,13 +195,22 @@ pub fn handle(store: &BenchmarkStore, request: Request) -> Result<Response, Stor
             let truth = store.gold_standard(&stored.dataset)?;
             let c = &stored.clustering;
             Ok(Response::Metrics(vec![
-                ("closest-cluster f1".into(), cm::closest_cluster_f1(c, truth)),
+                (
+                    "closest-cluster f1".into(),
+                    cm::closest_cluster_f1(c, truth),
+                ),
                 (
                     "variation of information".into(),
                     cm::variation_of_information(c, truth),
                 ),
-                ("basic merge distance".into(), cm::basic_merge_distance(c, truth)),
-                ("adjusted Rand index".into(), cm::adjusted_rand_index(c, truth)),
+                (
+                    "basic merge distance".into(),
+                    cm::basic_merge_distance(c, truth),
+                ),
+                (
+                    "adjusted Rand index".into(),
+                    cm::adjusted_rand_index(c, truth),
+                ),
                 ("purity".into(), cm::purity(c, truth)),
                 ("inverse purity".into(), cm::inverse_purity(c, truth)),
                 ("purity f1".into(), cm::purity_f1(c, truth)),
@@ -230,7 +238,9 @@ pub fn handle(store: &BenchmarkStore, request: Request) -> Result<Response, Stor
             let ds = store.dataset(&stored.dataset)?;
             let truth = store.gold_standard(&stored.dataset)?;
             let judged = judge_experiment(&stored.experiment, truth);
-            Ok(Response::ErrorProfile(ErrorProfile::from_judged(ds, &judged)))
+            Ok(Response::ErrorProfile(ErrorProfile::from_judged(
+                ds, &judged,
+            )))
         }
         Request::GetQualitySignals { experiment } => {
             use frost_core::quality;
@@ -247,7 +257,10 @@ pub fn handle(store: &BenchmarkStore, request: Request) -> Result<Response, Stor
                     "normalized closure inconsistency".to_string(),
                     quality::normalized_closure_inconsistency(n, e),
                 ),
-                ("link redundancy".to_string(), quality::link_redundancy(n, e)),
+                (
+                    "link redundancy".to_string(),
+                    quality::link_redundancy(n, e),
+                ),
                 ("bridge ratio".to_string(), quality::bridge_ratio(n, e)),
                 (
                     "algorithm consensus".to_string(),

@@ -207,10 +207,7 @@ pub fn import_experiment(
     Ok(Experiment::new(name, pairs))
 }
 
-fn resolve(
-    ds: &Dataset,
-    native: &str,
-) -> Result<frost_core::dataset::RecordId, ImportError> {
+fn resolve(ds: &Dataset, native: &str) -> Result<frost_core::dataset::RecordId, ImportError> {
     ds.resolve_native(native)
         .ok_or_else(|| ImportError::UnknownRecord(native.into()))
 }
@@ -240,7 +237,9 @@ mod tests {
     const DATASET_CSV: &str = "id,name,year\nr1,ann,1999\nr2,anne,\nr3,bob,2001\n";
 
     fn dataset() -> Dataset {
-        DatasetImporter::standard().import("d", DATASET_CSV).unwrap()
+        DatasetImporter::standard()
+            .import("d", DATASET_CSV)
+            .unwrap()
     }
 
     #[test]
@@ -284,8 +283,7 @@ mod tests {
     #[test]
     fn gold_pairs_import_closes_transitively() {
         let ds = dataset();
-        let truth =
-            import_gold_pairs(&ds, "id1,id2\nr1,r2\nr2,r1\n", CsvOptions::comma()).unwrap();
+        let truth = import_gold_pairs(&ds, "id1,id2\nr1,r2\nr2,r1\n", CsvOptions::comma()).unwrap();
         assert_eq!(truth.num_clusters(), 2);
         assert!(truth.same_cluster(
             ds.resolve_native("r1").unwrap(),
@@ -323,8 +321,7 @@ mod tests {
         assert_eq!(e.pairs()[0].similarity, Some(0.93));
         assert_eq!(e.pairs()[1].similarity, None);
         // Two-column format: all unscored.
-        let e2 =
-            import_experiment("run2", &ds, "id1,id2\nr1,r2\n", CsvOptions::comma()).unwrap();
+        let e2 = import_experiment("run2", &ds, "id1,id2\nr1,r2\n", CsvOptions::comma()).unwrap();
         assert!(!e2.pairs().is_empty());
         assert_eq!(e2.pairs()[0].similarity, None);
     }

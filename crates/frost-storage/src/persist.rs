@@ -77,11 +77,7 @@ pub fn dataset_to_csv(ds: &Dataset) -> String {
         .collect::<Vec<String>>();
     let rows = std::iter::once(header).chain(ds.records().iter().map(|r| {
         std::iter::once(r.native_id().to_string())
-            .chain(
-                r.values()
-                    .iter()
-                    .map(|v| v.clone().unwrap_or_default()),
-            )
+            .chain(r.values().iter().map(|v| v.clone().unwrap_or_default()))
             .collect()
     }));
     write_csv(rows, CsvOptions::comma())
@@ -258,10 +254,7 @@ mod tests {
     use frost_core::dataset::Schema;
 
     fn unique_dir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "frost-persist-{tag}-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("frost-persist-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
     }

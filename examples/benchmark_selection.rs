@@ -51,7 +51,12 @@ fn main() {
             .iter()
             .map(|(k, v)| format!("{k} {v:.2}"))
             .collect();
-        println!("  {:<14} score {:.3}  ({})", row.candidate, row.score, detail.join(", "));
+        println!(
+            "  {:<14} score {:.3}  ({})",
+            row.candidate,
+            row.score,
+            detail.join(", ")
+        );
     }
 
     // Soft-KPI comparison of three hypothetical solutions (§3.3).

@@ -21,7 +21,10 @@ use frost::matchers::features::Comparator;
 use frost::matchers::pipeline::{ClusteringMethod, MatchingPipeline};
 use frost::matchers::similarity::Measure;
 
-fn run_matcher(ds: &frost::core::dataset::Dataset, threshold: f64) -> frost::matchers::pipeline::PipelineRun {
+fn run_matcher(
+    ds: &frost::core::dataset::Dataset,
+    threshold: f64,
+) -> frost::matchers::pipeline::PipelineRun {
     MatchingPipeline {
         name: format!("study@{threshold}"),
         preparer: None,
@@ -119,5 +122,8 @@ fn main() {
             row.candidate, row.score, behavior, score
         );
     }
-    assert_eq!(rows[0].candidate, "bench-close", "the similar benchmark should rank first");
+    assert_eq!(
+        rows[0].candidate, "bench-close",
+        "the similar benchmark should rank first"
+    );
 }

@@ -27,7 +27,9 @@ c5,Carla Diaz,Hamburg
 c6,Karla Diaz,Hamburg
 c7,Dieter Braun,Munich
 ";
-    let dataset = DatasetImporter::standard().import("customers", csv).unwrap();
+    let dataset = DatasetImporter::standard()
+        .import("customers", csv)
+        .unwrap();
 
     // 2. Import the gold standard as a pair list (§3.1.1).
     let truth: Clustering = import_gold_pairs(
@@ -59,8 +61,12 @@ c7,Dieter Braun,Munich
     let mut store = BenchmarkStore::new();
     store.add_dataset(dataset.clone()).unwrap();
     store.set_gold_standard("customers", truth.clone()).unwrap();
-    store.add_experiment("customers", run1.clone(), None).unwrap();
-    store.add_experiment("customers", run2.clone(), None).unwrap();
+    store
+        .add_experiment("customers", run1.clone(), None)
+        .unwrap();
+    store
+        .add_experiment("customers", run2.clone(), None)
+        .unwrap();
 
     for name in ["run-1", "run-2"] {
         let Response::Metrics(metrics) = handle(

@@ -21,13 +21,16 @@ use frost::matchers::pipeline::{ClusteringMethod, MatchingPipeline};
 use frost::matchers::prepare::Preparer;
 use frost::matchers::similarity::Measure;
 use frost::storage::BenchmarkStore;
-use std::collections::HashSet;
 
 fn main() {
     // A contest-like product dataset with large duplicate clusters.
     let generated = frost::datagen::generator::generate(&altosight_x4(0.4).config);
     let n = generated.dataset.len();
-    println!("dataset: {} records, {} true duplicate pairs", n, generated.truth.pair_count());
+    println!(
+        "dataset: {} records, {} true duplicate pairs",
+        n,
+        generated.truth.pair_count()
+    );
 
     let blocker = || TokenBlocking {
         attributes: vec!["name".into(), "brand".into()],
@@ -122,7 +125,7 @@ fn main() {
     }
 
     // §5.4: duplicates almost nobody finds — and the hardest record.
-    let truth_pairs: HashSet<_> = generated.truth.intra_pairs().collect();
+    let truth_pairs: frost::core::dataset::PairSet = generated.truth.intra_pairs().collect();
     let refs: Vec<&Experiment> = experiments.iter().collect();
     let missed = hard_pairs(&truth_pairs, &refs, 0);
     println!("\ntrue duplicates no solution found: {}", missed.len());

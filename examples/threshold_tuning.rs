@@ -9,8 +9,8 @@
 use frost::core::diagram::{DiagramEngine, MetricDiagram};
 use frost::core::explore::error_analysis::nearest_correct_pair;
 use frost::core::explore::selection::{
-    around_threshold, misclassification_ratio_above, misclassified_outliers,
-    percentile_partitions, SamplingStrategy,
+    around_threshold, misclassification_ratio_above, misclassified_outliers, percentile_partitions,
+    SamplingStrategy,
 };
 use frost::core::explore::sorting::ColumnEntropy;
 use frost::core::explore::{judge_candidates, JudgedPair};
@@ -57,7 +57,10 @@ fn main() {
         &experiment,
         40,
     );
-    println!("f1-optimal threshold: {best_t:.3} (f1 {best_f1:.3}); configured: {}", model.threshold());
+    println!(
+        "f1-optimal threshold: {best_t:.3} (f1 {best_f1:.3}); configured: {}",
+        model.threshold()
+    );
 
     // Judge all candidates at the configured threshold.
     let judged: Vec<JudgedPair> = judge_candidates(&scored, model.threshold(), truth);
@@ -100,7 +103,11 @@ fn main() {
             part.score_range.0,
             part.score_range.1,
             part.matrix.errors(),
-            if part.is_confident() { "(confident)" } else { "" },
+            if part.is_confident() {
+                "(confident)"
+            } else {
+                ""
+            },
         );
     }
 

@@ -143,8 +143,9 @@ fn run(command: Command) -> Result<(), String> {
                 .map_err(|e| e.to_string())?;
             let truth = import_gold_pairs(&ds, &read(&gold)?, CsvOptions::comma())
                 .map_err(|e| e.to_string())?;
-            let exp = import_experiment("experiment", &ds, &read(&experiment)?, CsvOptions::comma())
-                .map_err(|e| e.to_string())?;
+            let exp =
+                import_experiment("experiment", &ds, &read(&experiment)?, CsvOptions::comma())
+                    .map_err(|e| e.to_string())?;
             let matrix = ConfusionMatrix::from_experiment(&exp, &truth, ds.len());
             println!(
                 "TP {}  FP {}  FN {}  TN {}",
@@ -168,8 +169,9 @@ fn run(command: Command) -> Result<(), String> {
                 .map_err(|e| e.to_string())?;
             let truth = import_gold_pairs(&ds, &read(&gold)?, CsvOptions::comma())
                 .map_err(|e| e.to_string())?;
-            let exp = import_experiment("experiment", &ds, &read(&experiment)?, CsvOptions::comma())
-                .map_err(|e| e.to_string())?;
+            let exp =
+                import_experiment("experiment", &ds, &read(&experiment)?, CsvOptions::comma())
+                    .map_err(|e| e.to_string())?;
             println!("threshold,recall,precision");
             for (t, r, p) in MetricDiagram::precision_recall().compute(
                 DiagramEngine::Optimized,
@@ -194,13 +196,9 @@ fn run(command: Command) -> Result<(), String> {
             let mut sets = Vec::new();
             let mut names = Vec::new();
             for (i, path) in experiments.iter().enumerate() {
-                let e = import_experiment(
-                    &format!("exp-{i}"),
-                    &ds,
-                    &read(path)?,
-                    CsvOptions::comma(),
-                )
-                .map_err(|e| e.to_string())?;
+                let e =
+                    import_experiment(&format!("exp-{i}"), &ds, &read(path)?, CsvOptions::comma())
+                        .map_err(|e| e.to_string())?;
                 names.push(path.clone());
                 sets.push(e.pair_set());
             }
@@ -213,7 +211,11 @@ fn run(command: Command) -> Result<(), String> {
                     .filter(|&(i, _)| region.contains_set(i))
                     .map(|(_, n)| n.as_str())
                     .collect();
-                println!("{:>7} pairs exactly in: {}", region.pairs.len(), members.join(" ∩ "));
+                println!(
+                    "{:>7} pairs exactly in: {}",
+                    region.pairs.len(),
+                    members.join(" ∩ ")
+                );
             }
         }
         Command::Match { dataset, threshold } => {
@@ -229,17 +231,18 @@ fn run(command: Command) -> Result<(), String> {
                     attributes: ds.schema().attributes().to_vec(),
                     max_token_frequency: 100,
                 }),
-                model: Box::new(frost::matchers::decision::threshold::WeightedAverage::uniform(
-                    ds.schema().attributes().iter().map(|a| {
-                        frost::matchers::features::Comparator::new(
-                            a.clone(),
-                            frost::matchers::similarity::Measure::TokenJaccard,
-                        )
-                    }),
-                    threshold,
-                )),
-                clustering:
-                    frost::matchers::pipeline::ClusteringMethod::TransitiveClosure,
+                model: Box::new(
+                    frost::matchers::decision::threshold::WeightedAverage::uniform(
+                        ds.schema().attributes().iter().map(|a| {
+                            frost::matchers::features::Comparator::new(
+                                a.clone(),
+                                frost::matchers::similarity::Measure::TokenJaccard,
+                            )
+                        }),
+                        threshold,
+                    ),
+                ),
+                clustering: frost::matchers::pipeline::ClusteringMethod::TransitiveClosure,
             };
             let run = pipeline.run(&ds);
             print!(
@@ -349,7 +352,10 @@ mod tests {
     #[test]
     fn run_profile_evaluate_diagram_compare() {
         let (dir, ds, gold, exp) = fixture("run");
-        run(Command::Profile { dataset: ds.clone() }).unwrap();
+        run(Command::Profile {
+            dataset: ds.clone(),
+        })
+        .unwrap();
         run(Command::Evaluate {
             dataset: ds.clone(),
             gold: gold.clone(),

@@ -63,7 +63,10 @@ fn full_platform_round_trip() {
 
     // Blocking quality is measurable on its own (§3.2.1).
     let completeness = pair_completeness(&token_run.candidates, truth);
-    assert!(completeness > 0.5, "token blocking completeness {completeness}");
+    assert!(
+        completeness > 0.5,
+        "token blocking completeness {completeness}"
+    );
 
     // Store everything, with per-experiment soft KPIs.
     let mut store = BenchmarkStore::new();
@@ -176,7 +179,7 @@ fn full_platform_round_trip() {
     assert!(profile.positive_ratio.is_some());
 
     // Hard pairs: every truth pair missed by both runs.
-    let truth_pairs: std::collections::HashSet<_> = truth.intra_pairs().collect();
+    let truth_pairs: frost::core::dataset::PairSet = truth.intra_pairs().collect();
     let hard = setops::hard_pairs(
         &truth_pairs,
         &[&token_run.experiment, &snm_run.experiment],

@@ -34,7 +34,9 @@ fn preinstalled_match_save_load_evaluate() {
         clustering: ClusteringMethod::TransitiveClosure,
     };
     let run = pipeline.run(&cora);
-    store.add_experiment("cora", run.experiment.clone(), None).unwrap();
+    store
+        .add_experiment("cora", run.experiment.clone(), None)
+        .unwrap();
 
     // Persist and reload.
     let dir = std::env::temp_dir().join(format!("frost-e2e-persist-{}", std::process::id()));
@@ -44,7 +46,10 @@ fn preinstalled_match_save_load_evaluate() {
 
     // Same datasets, same experiments.
     assert_eq!(reloaded.dataset_names(), store.dataset_names());
-    assert_eq!(reloaded.experiment_names(None), store.experiment_names(None));
+    assert_eq!(
+        reloaded.experiment_names(None),
+        store.experiment_names(None)
+    );
 
     // Evaluations agree exactly between original and reloaded stores.
     let before = store.confusion_matrix("cora-run").unwrap();

@@ -1,7 +1,9 @@
 //! Property-based tests on the platform's core invariants.
 
 use frost::core::clustering::{closure, Clustering, UnionFind};
-use frost::core::dataset::{parse_csv, write_csv, CsvOptions, Experiment, RecordId, RecordPair};
+use frost::core::dataset::{
+    parse_csv, write_csv, CsvOptions, Experiment, PairSet, RecordId, RecordPair,
+};
 use frost::core::diagram::DiagramEngine;
 use frost::core::explore::setops::venn_regions;
 use frost::core::metrics::cluster as cm;
@@ -167,7 +169,8 @@ proptest! {
             1..4
         ),
     ) {
-        let sets: Vec<std::collections::HashSet<RecordPair>> = raw
+        // Reference model: plain hash sets; engine under test: PairSet.
+        let reference: Vec<std::collections::HashSet<RecordPair>> = raw
             .into_iter()
             .map(|pairs| {
                 pairs
@@ -177,20 +180,24 @@ proptest! {
                     .collect()
             })
             .collect();
+        let sets: Vec<PairSet> = reference
+            .iter()
+            .map(|s| s.iter().copied().collect())
+            .collect();
         let regions = venn_regions(&sets);
         let mut seen = std::collections::HashSet::new();
         for r in &regions {
             prop_assert!(r.membership != 0);
             for p in &r.pairs {
-                prop_assert!(seen.insert(*p), "pair in two regions");
-                // Membership mask is truthful.
-                for (i, s) in sets.iter().enumerate() {
-                    prop_assert_eq!(r.contains_set(i), s.contains(p));
+                prop_assert!(seen.insert(p), "pair in two regions");
+                // Membership mask is truthful against the reference.
+                for (i, s) in reference.iter().enumerate() {
+                    prop_assert_eq!(r.contains_set(i), s.contains(&p));
                 }
             }
         }
         let union: std::collections::HashSet<RecordPair> =
-            sets.iter().flatten().copied().collect();
+            reference.iter().flatten().copied().collect();
         prop_assert_eq!(seen, union);
     }
 

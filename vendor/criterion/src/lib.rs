@@ -1,0 +1,279 @@
+//! Vendored minimal stand-in for `criterion`.
+//!
+//! Mirrors the API subset Frost's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros — with a simple fixed-budget timing loop
+//! instead of criterion's statistical machinery: after a warm-up, each
+//! benchmark runs for ~`measurement_millis` (default 300 ms) or
+//! `sample_size` batches, whichever is larger, and reports the mean
+//! iteration time. Results are kept on the [`Criterion`] instance so
+//! callers can post-process them (e.g. dump JSON).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full benchmark id (`group/function/parameter`).
+    pub id: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Total iterations measured.
+    pub iterations: u64,
+}
+
+/// Benchmark identifier: function name plus parameter label.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+
+    /// A bare parameter id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    /// Completed measurements, in execution order.
+    pub results: Vec<BenchResult>,
+    measurement_millis: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            results: Vec::new(),
+            measurement_millis: std::env::var("CRITERION_MEASUREMENT_MS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility (no CLI parsing in the shim).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Sets the measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_millis = d.as_millis() as u64;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let result = run_bench(id, self.measurement_millis, &mut f);
+        self.results.push(result);
+        self
+    }
+
+    /// Opens a named group; ids become `group/...`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A benchmark group (name-prefixing wrapper).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes by time budget.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement budget for the whole driver.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_millis = d.as_millis() as u64;
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{id}", self.name);
+        let result = run_bench(&full, self.criterion.measurement_millis, &mut f);
+        self.criterion.results.push(result);
+        self
+    }
+
+    /// Runs one parameterized benchmark inside the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{id}", self.name);
+        let result = run_bench(&full, self.criterion.measurement_millis, &mut |b| {
+            f(b, input)
+        });
+        self.criterion.results.push(result);
+        self
+    }
+
+    /// Ends the group (no-op; results live on the `Criterion`).
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure; call [`Bencher::iter`] with the body to time.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `body` for the configured number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(body());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F>(id: &str, budget_millis: u64, f: &mut F) -> BenchResult
+where
+    F: FnMut(&mut Bencher),
+{
+    // Warm-up + calibration: one iteration to estimate cost.
+    let mut bencher = Bencher {
+        iterations: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let once = bencher.elapsed.max(Duration::from_nanos(1));
+    let budget = Duration::from_millis(budget_millis);
+    // Aim for ~20 batches within the budget.
+    let per_batch = ((budget.as_nanos() / 20 / once.as_nanos()).max(1)) as u64;
+    let mut total_iters = 1u64;
+    let mut total_time = once;
+    let deadline = Instant::now() + budget;
+    let mut batches = 0;
+    while Instant::now() < deadline || batches < 2 {
+        bencher.iterations = per_batch;
+        f(&mut bencher);
+        total_iters += per_batch;
+        total_time += bencher.elapsed;
+        batches += 1;
+        if batches >= 1_000 {
+            break;
+        }
+    }
+    let mean_ns = total_time.as_nanos() as f64 / total_iters as f64;
+    println!("{id:<60} time: {}", fmt_ns(mean_ns));
+    BenchResult {
+        id: id.to_string(),
+        mean_ns,
+        iterations: total_iters,
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() -> $crate::Criterion {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+            criterion
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() -> $crate::Criterion {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+            criterion
+        }
+    };
+}
+
+/// Declares `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( let _ = $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(10));
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        assert_eq!(c.results.len(), 1);
+        assert!(c.results[0].mean_ns > 0.0);
+        assert!(c.results[0].iterations > 1);
+    }
+
+    #[test]
+    fn group_prefixes_ids() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(5));
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(10);
+            g.bench_function("f", |b| b.iter(|| black_box(2 * 2)));
+            g.bench_with_input(BenchmarkId::new("p", 42), &3, |b, &x| {
+                b.iter(|| black_box(x * 2))
+            });
+            g.finish();
+        }
+        assert_eq!(c.results[0].id, "g/f");
+        assert_eq!(c.results[1].id, "g/p/42");
+    }
+}

@@ -1,0 +1,482 @@
+//! Vendored minimal stand-in for `proptest`.
+//!
+//! Implements the subset Frost's property tests use: the [`Strategy`]
+//! trait with `prop_map` / `prop_filter`, range and tuple strategies,
+//! `prop::collection::vec`, string strategies from a small regex subset
+//! (`[a-z]{0,8}`-style classes, literals, groups, `?`), the
+//! `proptest!` macro, and panic-based `prop_assert*` macros.
+//!
+//! No shrinking: a failing case panics with the generated inputs in the
+//! message (cases are deterministic per `PROPTEST_SEED`, default 0, so
+//! failures reproduce exactly).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+use std::ops::Range;
+
+/// The RNG handed to strategies.
+pub type TestRng = StdRng;
+
+/// Run configuration (`cases` only).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Base seed for the deterministic case stream.
+pub fn base_seed() -> u64 {
+    std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// The deterministic RNG for one (property, case) pair — used by the
+/// `proptest!` macro so user crates need no direct `rand` dependency.
+pub fn case_rng(case: u64, salt: u64) -> TestRng {
+    TestRng::seed_from_u64(base_seed() ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (salt << 32))
+}
+
+/// A generator of random values (no shrinking in the shim).
+pub trait Strategy {
+    /// The generated type.
+    type Value: fmt::Debug;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values.
+    fn prop_map<O: fmt::Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Filters generated values (retries up to 1 000 times).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            whence,
+            f,
+        }
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + fmt::Debug>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: fmt::Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1_000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter {:?} rejected 1000 consecutive values",
+            self.whence
+        )
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),* $(,)?) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*
+    };
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+/// String strategies: a `&str` pattern is a regex-subset generator.
+///
+/// Supported: literal characters, character classes `[a-z0-9_]` (with
+/// ranges), groups `( … )`, the `?` quantifier on classes/groups, and
+/// `{m,n}` / `{n}` repetition. This covers the patterns used in Frost's
+/// tests (e.g. `"[a-z]{0,8}"`, `"[ -~]{0,12}"`,
+/// `"[a-c]{1,3}( [a-c]{1,3})?"`).
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let nodes = parse_pattern(&mut self.chars().peekable());
+        let mut out = String::new();
+        for node in &nodes {
+            node.generate_into(rng, &mut out);
+        }
+        out
+    }
+}
+
+enum PatternNode {
+    Literal(char),
+    Class(Vec<(char, char)>),
+    Group(Vec<PatternNode>),
+    Repeat(Box<PatternNode>, usize, usize),
+}
+
+impl PatternNode {
+    fn generate_into(&self, rng: &mut TestRng, out: &mut String) {
+        match self {
+            PatternNode::Literal(c) => out.push(*c),
+            PatternNode::Class(ranges) => {
+                let total: u32 = ranges
+                    .iter()
+                    .map(|&(lo, hi)| hi as u32 - lo as u32 + 1)
+                    .sum();
+                let mut pick = rng.gen_range(0..total);
+                for &(lo, hi) in ranges {
+                    let span = hi as u32 - lo as u32 + 1;
+                    if pick < span {
+                        out.push(char::from_u32(lo as u32 + pick).expect("class range"));
+                        return;
+                    }
+                    pick -= span;
+                }
+            }
+            PatternNode::Group(nodes) => {
+                for n in nodes {
+                    n.generate_into(rng, out);
+                }
+            }
+            PatternNode::Repeat(node, min, max) => {
+                let count = rng.gen_range(*min..=*max);
+                for _ in 0..count {
+                    node.generate_into(rng, out);
+                }
+            }
+        }
+    }
+}
+
+fn parse_pattern(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<PatternNode> {
+    let mut nodes = Vec::new();
+    while let Some(&c) = chars.peek() {
+        if c == ')' {
+            break;
+        }
+        chars.next();
+        let node = match c {
+            '[' => {
+                let mut ranges = Vec::new();
+                while let Some(cc) = chars.next() {
+                    if cc == ']' {
+                        break;
+                    }
+                    if chars.peek() == Some(&'-') {
+                        chars.next();
+                        let hi = chars.next().expect("class range end");
+                        if hi == ']' {
+                            ranges.push((cc, cc));
+                            ranges.push(('-', '-'));
+                            break;
+                        }
+                        ranges.push((cc, hi));
+                    } else {
+                        ranges.push((cc, cc));
+                    }
+                }
+                PatternNode::Class(ranges)
+            }
+            '(' => {
+                let inner = parse_pattern(chars);
+                assert_eq!(chars.next(), Some(')'), "unterminated group");
+                PatternNode::Group(inner)
+            }
+            '\\' => PatternNode::Literal(chars.next().expect("escape")),
+            other => PatternNode::Literal(other),
+        };
+        // Quantifiers.
+        let node = match chars.peek() {
+            Some('?') => {
+                chars.next();
+                PatternNode::Repeat(Box::new(node), 0, 1)
+            }
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for cc in chars.by_ref() {
+                    if cc == '}' {
+                        break;
+                    }
+                    spec.push(cc);
+                }
+                let (min, max) = match spec.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse().expect("repeat min"),
+                        n.trim().parse().expect("repeat max"),
+                    ),
+                    None => {
+                        let n = spec.trim().parse().expect("repeat count");
+                        (n, n)
+                    }
+                };
+                PatternNode::Repeat(Box::new(node), min, max)
+            }
+            _ => node,
+        };
+        nodes.push(node);
+    }
+    nodes
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::fmt;
+    use std::ops::Range;
+
+    /// Size argument of [`vec`]: an exact count or a range.
+    pub trait IntoSizeRange {
+        /// `(min, max)` inclusive bounds.
+        fn bounds(self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(self) -> (usize, usize) {
+            (self, self)
+        }
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn bounds(self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    /// Strategy for a `Vec` of `inner`-generated values.
+    pub struct VecStrategy<S> {
+        inner: S,
+        min: usize,
+        max: usize,
+    }
+
+    /// `Vec` strategy with the given element strategy and size.
+    pub fn vec<S: Strategy>(inner: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max) = size.bounds();
+        VecStrategy { inner, min, max }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: fmt::Debug,
+    {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.min..=self.max);
+            (0..len).map(|_| self.inner.generate(rng)).collect()
+        }
+    }
+}
+
+/// The glob-import surface (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{Just, ProptestConfig, Strategy};
+
+    /// Mirror of `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Defines `#[test]` functions that run `cases` random cases each.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                for case in 0..config.cases as u64 {
+                    let mut rng = $crate::case_rng(case, line!() as u64);
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),*) $body
+            )*
+        }
+    };
+}
+
+/// Counterpart of proptest's `prop_assume!`: skips the current case.
+///
+/// Expands to a `continue` of the enclosing case loop, so it must be
+/// used at the top level of a `proptest!` body (not inside user loops)
+/// — which is how Frost's tests use it.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            continue;
+        }
+    };
+}
+
+/// Panic-based counterpart of proptest's `prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Panic-based counterpart of proptest's `prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Panic-based counterpart of proptest's `prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::TestRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn string_patterns_match_shape() {
+        let mut rng = TestRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-z]{0,8}", &mut rng);
+            assert!(s.len() <= 8 && s.chars().all(|c| c.is_ascii_lowercase()));
+            let p = Strategy::generate(&"[a-c]{1,3}( [a-c]{1,3})?", &mut rng);
+            assert!(!p.is_empty());
+            for token in p.split(' ') {
+                assert!((1..=3).contains(&token.len()), "{p:?}");
+                assert!(token.chars().all(|c| ('a'..='c').contains(&c)), "{p:?}");
+            }
+            let printable = Strategy::generate(&"[ -~]{0,12}", &mut rng);
+            assert!(printable.len() <= 12);
+            assert!(printable.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let mut rng = TestRng::seed_from_u64(9);
+        let strat = prop::collection::vec(0u32..10, 3usize)
+            .prop_map(|v| v.len())
+            .prop_filter("never empty", |&n| n == 3);
+        for _ in 0..10 {
+            assert_eq!(Strategy::generate(&strat, &mut rng), 3);
+        }
+        let pair = (0u32..5, 0.0f64..1.0);
+        let (a, b) = Strategy::generate(&pair, &mut rng);
+        assert!(a < 5 && (0.0..1.0).contains(&b));
+        assert_eq!(Strategy::generate(&Just(7u8), &mut rng), 7);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_roundtrip(v in prop::collection::vec(0u32..100, 0..20usize), x in 1u32..50) {
+            prop_assert!(v.len() < 20);
+            prop_assert!((1..50).contains(&x));
+            prop_assert_eq!(x, x);
+            prop_assert_ne!(x, x + 1);
+        }
+    }
+}

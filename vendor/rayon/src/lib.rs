@@ -1,0 +1,397 @@
+//! Vendored minimal stand-in for `rayon`.
+//!
+//! Implements the slice-parallel subset Frost's matching pipeline uses —
+//! `par_iter().map(f).collect()`, `into_par_iter()` over owned `Vec`s,
+//! and `par_sort_unstable` — with *real* parallelism via
+//! `std::thread::scope` and contiguous chunking (no work stealing).
+//! Results preserve input order.
+//!
+//! Small inputs (below [`SEQUENTIAL_CUTOFF`] items) run sequentially so
+//! thread spawn overhead never penalizes the tiny datasets the unit
+//! tests exercise. `RAYON_NUM_THREADS` caps the thread count like the
+//! real crate.
+
+/// Inputs shorter than this are processed on the calling thread.
+pub const SEQUENTIAL_CUTOFF: usize = 2_048;
+
+/// Number of worker threads used for parallel operations.
+///
+/// Re-reads `RAYON_NUM_THREADS` on every call (unlike the real crate's
+/// fixed pool) so benchmarks can vary the thread count in-process. An
+/// explicit setting may exceed the hardware thread count
+/// (oversubscription), matching the real crate.
+pub fn current_num_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Maps `f` over `items` on up to [`current_num_threads`] scoped
+/// threads, preserving order. `cutoff` is the minimum item count worth
+/// parallelizing.
+fn par_map_slice<'a, T, R, F>(items: &'a [T], f: &F, cutoff: usize) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads().min(n.max(1));
+    if threads <= 1 || n < cutoff {
+        return items.iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut out: Vec<R> = Vec::with_capacity(n);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|c| s.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("rayon shim worker panicked"));
+        }
+    });
+    out
+}
+
+/// Collection targets of [`collect`](ParMap::collect).
+pub trait FromParallelIterator<T> {
+    /// Builds the collection from the (ordered) mapped results.
+    fn from_par_vec(v: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_par_vec(v: Vec<T>) -> Self {
+        v
+    }
+}
+
+impl<T: Ord> FromParallelIterator<T> for std::collections::BTreeSet<T> {
+    fn from_par_vec(v: Vec<T>) -> Self {
+        v.into_iter().collect()
+    }
+}
+
+/// Borrowed parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+    cutoff: usize,
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Parallel map.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+            cutoff: self.cutoff,
+        }
+    }
+
+    /// Sets the minimum item count worth parallelizing (items below it
+    /// run on the calling thread). Rayon treats this as a splitting
+    /// hint; the shim uses it as its sequential cutoff, so heavy
+    /// per-item workloads can pass `with_min_len(1)` to force threads.
+    pub fn with_min_len(mut self, min: usize) -> Self {
+        self.cutoff = min.max(1);
+        self
+    }
+
+    /// Parallel flat-map over per-item sequential iterators —
+    /// rayon's `flat_map_iter`.
+    pub fn flat_map_iter<I, F>(self, f: F) -> ParFlatMapIter<'a, T, F>
+    where
+        I: IntoIterator,
+        I::Item: Send,
+        F: Fn(&'a T) -> I + Sync,
+    {
+        ParFlatMapIter {
+            items: self.items,
+            f,
+            cutoff: self.cutoff,
+        }
+    }
+}
+
+/// A pending parallel flat-map (see [`ParIter::flat_map_iter`]).
+pub struct ParFlatMapIter<'a, T, F> {
+    items: &'a [T],
+    f: F,
+    cutoff: usize,
+}
+
+impl<'a, T: Sync, F> ParFlatMapIter<'a, T, F> {
+    /// Executes the flat-map and collects results in item order.
+    pub fn collect<C, R, I>(self) -> C
+    where
+        I: IntoIterator<Item = R> + Send,
+        R: Send,
+        F: Fn(&'a T) -> I + Sync,
+        C: FromParallelIterator<R>,
+    {
+        let nested = par_map_slice(self.items, &self.f, self.cutoff);
+        let mut flat = Vec::new();
+        for group in nested {
+            flat.extend(group);
+        }
+        C::from_par_vec(flat)
+    }
+}
+
+/// A pending parallel map over a slice.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+    cutoff: usize,
+}
+
+impl<'a, T: Sync, F> ParMap<'a, T, F> {
+    /// Executes the map and collects the ordered results.
+    pub fn collect<C, R>(self) -> C
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+        C: FromParallelIterator<R>,
+    {
+        C::from_par_vec(par_map_slice(self.items, &self.f, self.cutoff))
+    }
+
+    /// Executes the map and sums the results.
+    pub fn sum<R>(self) -> R
+    where
+        R: Send + std::iter::Sum<R>,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        par_map_slice(self.items, &self.f, self.cutoff)
+            .into_iter()
+            .sum()
+    }
+}
+
+/// `.par_iter()` on slices and `Vec`s.
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed element type.
+    type Item: Sync + 'a;
+
+    /// A parallel iterator borrowing the collection.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter {
+            items: self,
+            cutoff: SEQUENTIAL_CUTOFF,
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter {
+            items: self,
+            cutoff: SEQUENTIAL_CUTOFF,
+        }
+    }
+}
+
+/// Owned parallel iterator over a `Vec`.
+pub struct IntoParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> IntoParIter<T> {
+    /// Parallel map over owned items, preserving order.
+    pub fn map<R, F>(self, f: F) -> IntoParMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        IntoParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// A pending parallel map over owned items.
+pub struct IntoParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, F> IntoParMap<T, F> {
+    /// Executes the map and collects the ordered results.
+    pub fn collect<C, R>(self) -> C
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+        C: FromParallelIterator<R>,
+    {
+        let n = self.items.len();
+        let threads = current_num_threads().min(n.max(1));
+        if threads <= 1 || n < SEQUENTIAL_CUTOFF {
+            return C::from_par_vec(self.items.into_iter().map(&self.f).collect());
+        }
+        let chunk = n.div_ceil(threads);
+        let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+        let mut items = self.items;
+        while !items.is_empty() {
+            let rest = items.split_off(items.len().min(chunk));
+            chunks.push(std::mem::replace(&mut items, rest));
+        }
+        let f = &self.f;
+        let mut out: Vec<R> = Vec::with_capacity(n);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            for h in handles {
+                out.extend(h.join().expect("rayon shim worker panicked"));
+            }
+        });
+        C::from_par_vec(out)
+    }
+}
+
+/// `.into_par_iter()` on owned `Vec`s.
+pub trait IntoParallelIterator {
+    /// Owned element type.
+    type Item: Send;
+
+    /// A parallel iterator consuming the collection.
+    fn into_par_iter(self) -> IntoParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> IntoParIter<T> {
+        IntoParIter { items: self }
+    }
+}
+
+/// Parallel in-place sorting for `Copy` element slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Sorts the slice: parallel chunk sort + pairwise run merging.
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord + Copy;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord + Copy,
+    {
+        let n = self.len();
+        let threads = current_num_threads().min(n.max(1));
+        if threads <= 1 || n < SEQUENTIAL_CUTOFF * 4 {
+            self.sort_unstable();
+            return;
+        }
+        let chunk = n.div_ceil(threads);
+        std::thread::scope(|s| {
+            for c in self.chunks_mut(chunk) {
+                s.spawn(move || c.sort_unstable());
+            }
+        });
+        // Pairwise-merge the sorted runs through a scratch buffer.
+        let mut runs: Vec<(usize, usize)> = (0..n)
+            .step_by(chunk)
+            .map(|start| (start, (start + chunk).min(n)))
+            .collect();
+        let mut scratch: Vec<T> = Vec::with_capacity(n);
+        while runs.len() > 1 {
+            let mut next_runs = Vec::with_capacity(runs.len().div_ceil(2));
+            for pair in runs.chunks(2) {
+                if pair.len() == 1 {
+                    next_runs.push(pair[0]);
+                    continue;
+                }
+                let (a0, a1) = pair[0];
+                let (b0, b1) = pair[1];
+                debug_assert_eq!(a1, b0);
+                scratch.clear();
+                {
+                    let (mut i, mut j) = (a0, b0);
+                    while i < a1 && j < b1 {
+                        if self[i] <= self[j] {
+                            scratch.push(self[i]);
+                            i += 1;
+                        } else {
+                            scratch.push(self[j]);
+                            j += 1;
+                        }
+                    }
+                    scratch.extend_from_slice(&self[i..a1]);
+                    scratch.extend_from_slice(&self[j..b1]);
+                }
+                self[a0..b1].copy_from_slice(&scratch);
+                next_runs.push((a0, b1));
+            }
+            runs = next_runs;
+        }
+    }
+}
+
+/// Glob import target mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let input: Vec<u64> = (0..100_000).collect();
+        let out: Vec<u64> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out.len(), input.len());
+        assert!(out.iter().enumerate().all(|(i, &v)| v == 2 * i as u64));
+    }
+
+    #[test]
+    fn into_par_map_preserves_order() {
+        let input: Vec<String> = (0..10_000).map(|i| i.to_string()).collect();
+        let out: Vec<usize> = input.into_par_iter().map(|s| s.len()).collect();
+        assert_eq!(out[9], 1);
+        assert_eq!(out[9_999], 4);
+    }
+
+    #[test]
+    fn par_sort_matches_std_sort() {
+        let mut v: Vec<u64> = (0..200_000u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17))
+            .collect();
+        let mut expected = v.clone();
+        expected.sort_unstable();
+        v.par_sort_unstable();
+        assert_eq!(v, expected);
+    }
+
+    #[test]
+    fn small_inputs_run_sequentially() {
+        let input = vec![3u32, 1, 2];
+        let out: Vec<u32> = input.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![4, 2, 3]);
+        let mut v = vec![3u32, 1, 2];
+        v.par_sort_unstable();
+        assert_eq!(v, vec![1, 2, 3]);
+    }
+}

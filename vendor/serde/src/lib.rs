@@ -1,0 +1,50 @@
+//! Vendored minimal stand-in for `serde`.
+//!
+//! The build environment has no registry access, so this crate provides
+//! the *trait and derive surface* Frost relies on — `Serialize` /
+//! `Deserialize` markers plus their derive macros — without any actual
+//! serialization machinery. Frost persists data as CSV (see
+//! `frost-storage::persist`), so nothing in the workspace calls
+//! serialization methods; the derives only need to compile.
+//!
+//! Replace the `vendor/serde` path dependency with the registry crate to
+//! regain real serialization.
+
+/// Marker counterpart of `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker counterpart of `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker counterpart of `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+macro_rules! impl_primitives {
+    ($($t:ty),* $(,)?) => {
+        $(
+            impl Serialize for $t {}
+            impl<'de> Deserialize<'de> for $t {}
+        )*
+    };
+}
+
+impl_primitives!(
+    bool, char, u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, String
+);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {}
+impl<K: Serialize, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {}
+impl<'de, K: Deserialize<'de>, V: Deserialize<'de>, S: Default> Deserialize<'de>
+    for std::collections::HashMap<K, V, S>
+{
+}
+impl<T: Serialize, S> Serialize for std::collections::HashSet<T, S> {}
+impl<'de, T: Deserialize<'de>, S: Default> Deserialize<'de> for std::collections::HashSet<T, S> {}

@@ -1,0 +1,56 @@
+//! Vendored minimal serde derive macros.
+//!
+//! Emits empty marker-trait impls (`impl serde::Serialize for T {}`),
+//! which is all the workspace needs — no field is ever serialized
+//! through serde here. `#[serde(...)]` helper attributes are accepted
+//! and ignored. Generic types are not supported (none exist in the
+//! workspace); the macro panics with a clear message if one appears.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name from a `struct`/`enum` item token stream.
+fn type_name(input: TokenStream) -> String {
+    let mut iter = input.into_iter();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                for tt2 in iter.by_ref() {
+                    match tt2 {
+                        TokenTree::Ident(name) => {
+                            let name = name.to_string();
+                            // Reject generic items: the stub cannot emit
+                            // correct impl generics without a full parser.
+                            if let Some(TokenTree::Punct(p)) = iter.next() {
+                                if p.as_char() == '<' {
+                                    panic!(
+                                        "vendored serde_derive does not support generic type `{name}`"
+                                    );
+                                }
+                            }
+                            return name;
+                        }
+                        _ => continue,
+                    }
+                }
+            }
+        }
+    }
+    panic!("vendored serde_derive: could not find a struct/enum name")
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .unwrap()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .unwrap()
+}
