@@ -1,24 +1,42 @@
-//! `PairSet` engine vs the `HashSet<RecordPair>` baseline, plus
-//! rayon-pipeline core scaling — the measurements behind this repo's
-//! `BENCH_pairset.json`.
+//! Pair-set engine benchmarks: roaring-style `ChunkedPairSet` vs
+//! packed `PairSet` vs the seed's `HashSet<RecordPair>` baseline, plus
+//! galloping-threshold tuning, memory footprints, the rayon-sharded
+//! diagram sweep, and matching-pipeline core scaling — the
+//! measurements behind this repo's `BENCH_pairset.json`.
 //!
 //! ```text
-//! cargo bench -p frost-bench --bench pairset
+//! cargo bench -p frost-bench --bench pairset            # smoke scale
+//! FROST_SCALE=1 cargo bench -p frost-bench --bench pairset   # full sizes
 //! ```
 //!
 //! Sections:
 //!
-//! 1. **Set operations** at ≥100k candidate pairs: union, intersection,
-//!    difference, 3-set Venn regions, and confusion-matrix TP counting,
-//!    each implemented on packed sorted `PairSet`s and on the seed's
-//!    hash-set representation (kept here as the baseline).
-//! 2. **Pipeline scaling**: one full matching pipeline
-//!    (token blocking → weighted similarity → threshold → closure) on a
-//!    frost-datagen workload at 1, 2 and all cores.
+//! 1. **Set operations** on three workloads × three engines: union,
+//!    intersection, difference, 3-set Venn regions, expression-tree TP
+//!    and confusion-matrix TP counting. Workloads: `uniform-250k` and
+//!    `uniform-2.5m` (uniformly sparse chunks — the packed engine's
+//!    home turf) and `dense-2.5m` (few `lo` ids with thousands of
+//!    partners each — bitmap containers dominate at full scale).
+//! 2. **Galloping-ratio tuning**: scalar merge vs galloping
+//!    intersection head-to-head across size ratios; the crossover
+//!    backs the `GALLOP_RATIO` constant both engines share.
+//! 3. **Memory footprint**: bytes/pair for each engine and workload
+//!    (hash estimated from hashbrown's bucket layout).
+//! 4. **Diagram sweep scaling**: `confusion_series_multi` over six
+//!    experiments at 1/2/4 rayon threads.
+//! 5. **Pipeline scaling**: one full matching pipeline at 1, 2 and all
+//!    hardware threads.
+//!
+//! Regression gate: when `FROST_BENCH_BASELINE=<path>` is set, the run
+//! compares its packed-vs-hash geomean (uniform-250k) against the
+//! recorded one and exits nonzero on a >25% regression.
+//! `FROST_BENCH_OUT=<path>` redirects the JSON (default:
+//! `BENCH_pairset.json` at the workspace root).
 
 use criterion::{black_box, Criterion};
-use frost_core::dataset::{Experiment, PairSet, RecordPair};
-use frost_core::explore::setops::venn_regions;
+use frost_core::dataset::{ChunkedPairSet, Experiment, PairSet, RecordPair};
+use frost_core::diagram::DiagramEngine;
+use frost_core::explore::setops::{venn_regions, SetExpression};
 use frost_core::metrics::confusion::{total_pairs, ConfusionMatrix};
 use frost_datagen::experiments::synthetic_experiment;
 use frost_datagen::generator::{generate, GeneratorConfig};
@@ -73,6 +91,77 @@ mod hash_baseline {
             total - e.len() as u64 - (g.len() as u64 - tp),
         )
     }
+
+    /// Estimated heap bytes of a `HashSet<RecordPair>`: hashbrown
+    /// allocates `buckets × (payload + 1 control byte)` with a 7/8
+    /// load factor and power-of-two bucket counts.
+    pub fn estimated_heap_bytes(len: usize) -> usize {
+        if len == 0 {
+            return 0;
+        }
+        let buckets = (len * 8 / 7).next_power_of_two().max(8);
+        buckets * (std::mem::size_of::<RecordPair>() + 1)
+    }
+}
+
+/// One benchmark workload: the same three pair sets in all three
+/// representations.
+struct Workload {
+    name: &'static str,
+    records: usize,
+    packed: [PairSet; 3],
+    chunked: [ChunkedPairSet; 3],
+    hash: [HashSet<RecordPair>; 3],
+}
+
+impl Workload {
+    fn from_packed(name: &'static str, records: usize, sets: [Vec<u64>; 3]) -> Self {
+        let chunked = [
+            ChunkedPairSet::from_sorted_packed(sets[0].clone()),
+            ChunkedPairSet::from_sorted_packed(sets[1].clone()),
+            ChunkedPairSet::from_sorted_packed(sets[2].clone()),
+        ];
+        let hash = sets.each_ref().map(|v| {
+            v.iter()
+                .map(|&x| RecordPair::from(((x >> 32) as u32, x as u32)))
+                .collect::<HashSet<RecordPair>>()
+        });
+        let packed = sets.map(PairSet::from_sorted_packed);
+        Self {
+            name,
+            records,
+            packed,
+            chunked,
+            hash,
+        }
+    }
+}
+
+/// xoshiro-ish deterministic stream for workload construction.
+fn next_rand(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+/// A dense, chunk-skewed set: `lo_count` chunks over `records` records,
+/// each with ~`per_lo` partners — above the 4096 container threshold at
+/// full scale, so bitmap kernels carry the set operations.
+fn dense_set(records: u32, lo_count: u32, per_lo: usize, seed: u64) -> Vec<u64> {
+    let mut state = seed | 1;
+    let mut packed = Vec::with_capacity(lo_count as usize * per_lo);
+    for lo in 0..lo_count {
+        let span = records - lo - 1;
+        let mut his: Vec<u32> = (0..per_lo * 5 / 4)
+            .map(|_| lo + 1 + (next_rand(&mut state) % span as u64) as u32)
+            .collect();
+        his.sort_unstable();
+        his.dedup();
+        his.truncate(per_lo);
+        packed.extend(his.into_iter().map(|hi| ((lo as u64) << 32) | hi as u64));
+    }
+    packed
 }
 
 fn mean_of(c: &Criterion, id: &str) -> f64 {
@@ -83,6 +172,174 @@ fn mean_of(c: &Criterion, id: &str) -> f64 {
         .mean_ns
 }
 
+/// Ops measured per workload and engine.
+const OPS: [&str; 6] = [
+    "union",
+    "intersection",
+    "difference",
+    "venn3",
+    "expression_tp",
+    "confusion",
+];
+
+fn bench_workload(c: &mut Criterion, w: &Workload) {
+    let total = total_pairs(w.records);
+    let mut g = c.benchmark_group(format!("setops-{}", w.name));
+    let (pa, pb, pt) = (&w.packed[0], &w.packed[1], &w.packed[2]);
+    let (ca, cb, ct) = (&w.chunked[0], &w.chunked[1], &w.chunked[2]);
+    let (ha, hb, ht) = (&w.hash[0], &w.hash[1], &w.hash[2]);
+
+    g.bench_function("union/packed", |b| b.iter(|| black_box(pa.union(pb))));
+    g.bench_function("union/chunked", |b| b.iter(|| black_box(ca.union(cb))));
+    g.bench_function("union/hash", |b| {
+        b.iter(|| black_box(ha.union(hb).copied().collect::<HashSet<_>>()))
+    });
+
+    g.bench_function("intersection/packed", |b| {
+        b.iter(|| black_box(pa.intersection(pb)))
+    });
+    g.bench_function("intersection/chunked", |b| {
+        b.iter(|| black_box(ca.intersection(cb)))
+    });
+    g.bench_function("intersection/hash", |b| {
+        b.iter(|| black_box(ha.intersection(hb).copied().collect::<HashSet<_>>()))
+    });
+
+    g.bench_function("difference/packed", |b| {
+        b.iter(|| black_box(pa.difference(pb)))
+    });
+    g.bench_function("difference/chunked", |b| {
+        b.iter(|| black_box(ca.difference(cb)))
+    });
+    g.bench_function("difference/hash", |b| {
+        b.iter(|| black_box(ha.difference(hb).copied().collect::<HashSet<_>>()))
+    });
+
+    let packed_sets = [pa.clone(), pb.clone(), pt.clone()];
+    let chunked_sets = [ca.clone(), cb.clone(), ct.clone()];
+    let hash_sets = [ha.clone(), hb.clone(), ht.clone()];
+    g.bench_function("venn3/packed", |b| {
+        b.iter(|| black_box(venn_regions(&packed_sets)))
+    });
+    g.bench_function("venn3/chunked", |b| {
+        b.iter(|| black_box(venn_regions(&chunked_sets)))
+    });
+    g.bench_function("venn3/hash", |b| {
+        b.iter(|| black_box(hash_baseline::venn(&hash_sets)))
+    });
+
+    // The §4.1 exploration API as the seed shipped it: expression trees
+    // whose leaves clone their input sets (the packed/chunked engines
+    // borrow leaves instead).
+    let expr = SetExpression::set(0).intersection(SetExpression::set(1));
+    let packed_universe = vec![pa.clone(), pb.clone()];
+    let chunked_universe = vec![ca.clone(), cb.clone()];
+    let hash_universe = vec![ha.clone(), hb.clone()];
+    g.bench_function("expression_tp/packed", |b| {
+        b.iter(|| black_box(expr.evaluate(&packed_universe)))
+    });
+    g.bench_function("expression_tp/chunked", |b| {
+        b.iter(|| black_box(expr.evaluate(&chunked_universe)))
+    });
+    g.bench_function("expression_tp/hash", |b| {
+        b.iter(|| black_box(hash_baseline::expression_tp(&hash_universe)))
+    });
+
+    g.bench_function("confusion/packed", |b| {
+        b.iter(|| black_box(ConfusionMatrix::from_pair_sets(pa, pt, total)))
+    });
+    g.bench_function("confusion/chunked", |b| {
+        b.iter(|| black_box(ConfusionMatrix::from_pair_sets(ca, ct, total)))
+    });
+    g.bench_function("confusion/hash", |b| {
+        b.iter(|| black_box(hash_baseline::confusion(ha, ht, total)))
+    });
+    g.finish();
+
+    // Cross-check: identical results on all three representations.
+    let pv: Vec<(u32, usize)> = venn_regions(&packed_sets)
+        .iter()
+        .map(|r| (r.membership, r.pairs.len()))
+        .collect();
+    let cv: Vec<(u32, usize)> = venn_regions(&chunked_sets)
+        .iter()
+        .map(|r| (r.membership, r.pairs.len()))
+        .collect();
+    let hv = hash_baseline::venn(&hash_sets);
+    assert_eq!(pv, hv, "venn mismatch packed vs hash on {}", w.name);
+    assert_eq!(pv, cv, "venn mismatch packed vs chunked on {}", w.name);
+    assert_eq!(
+        ConfusionMatrix::from_pair_sets(pa, pt, total),
+        hash_baseline::confusion(ha, ht, total),
+    );
+    assert_eq!(
+        ConfusionMatrix::from_pair_sets(pa, pt, total),
+        ConfusionMatrix::from_pair_sets(ca, ct, total),
+    );
+    assert_eq!(ca.union(cb).to_pair_set(), pa.union(pb));
+    assert_eq!(ca.intersection(cb).to_pair_set(), pa.intersection(pb));
+    assert_eq!(ca.difference(cb).to_pair_set(), pa.difference(pb));
+}
+
+/// Local copies of the two intersection kernels, so the crossover can
+/// be measured on *both* sides of the production `GALLOP_RATIO` switch
+/// (the library always picks one path per ratio). The merge side is
+/// the production engine's bidirectional two-lane merge, not a plain
+/// two-pointer loop — comparing galloping against a weaker merge would
+/// bias the crossover downward.
+mod gallop_lab {
+    pub fn merge_count(small: &[u64], large: &[u64]) -> usize {
+        let (mut fwd, mut back) = (0usize, 0usize);
+        let (mut i, mut j) = (0usize, 0usize);
+        let (mut p, mut q) = (small.len(), large.len());
+        while i < p && j < q {
+            let (x, y) = (small[i], large[j]);
+            fwd += usize::from(x == y);
+            i += usize::from(x <= y);
+            j += usize::from(y <= x);
+            if i >= p || j >= q {
+                break;
+            }
+            let (u, v) = (small[p - 1], large[q - 1]);
+            back += usize::from(u == v);
+            p -= usize::from(u >= v);
+            q -= usize::from(v >= u);
+        }
+        fwd + back
+    }
+
+    pub fn gallop_count(small: &[u64], large: &[u64]) -> usize {
+        let mut n = 0usize;
+        let mut base = 0usize;
+        for &x in small {
+            if base >= large.len() {
+                break;
+            }
+            let mut step = 1usize;
+            let mut win_lo = base;
+            let mut hi = base;
+            while hi < large.len() && large[hi] < x {
+                win_lo = hi + 1;
+                hi += step;
+                step <<= 1;
+            }
+            let win_hi = if hi < large.len() {
+                hi + 1
+            } else {
+                large.len()
+            };
+            match large[win_lo..win_hi].binary_search(&x) {
+                Ok(at) => {
+                    n += 1;
+                    base = win_lo + at + 1;
+                }
+                Err(at) => base = win_lo + at,
+            }
+        }
+        n
+    }
+}
+
 fn main() {
     let scale: f64 = std::env::var("FROST_SCALE")
         .ok()
@@ -90,106 +347,146 @@ fn main() {
         .unwrap_or(1.0);
     let n_records = ((60_000f64) * scale).max(2_000.0) as usize;
     let n_pairs = ((250_000f64) * scale).max(10_000.0) as usize;
+    let n_pairs_big = ((2_500_000f64) * scale).max(50_000.0) as usize;
 
-    println!("generating workload: {n_records} records, ~{n_pairs} candidate pairs per set");
+    // Workloads 1+2: uniformly sparse synthetic matcher output.
+    println!("generating workloads (scale {scale}) ...");
     let generated = generate(&GeneratorConfig::small("pairset-bench", n_records, 17));
     let truth = &generated.truth;
-    let exp_a = synthetic_experiment("a", truth, n_pairs, 0.6, 1);
-    let exp_b = synthetic_experiment("b", truth, n_pairs, 0.6, 2);
+    let truth_packed: Vec<u64> = {
+        let t: PairSet = truth.intra_pairs().collect();
+        t.as_packed().to_vec()
+    };
+    let mk_uniform = |name: &'static str, pairs: usize| -> Workload {
+        let a = synthetic_experiment("a", truth, pairs, 0.6, 1);
+        let b = synthetic_experiment("b", truth, pairs, 0.6, 2);
+        Workload::from_packed(
+            name,
+            n_records,
+            [
+                a.pair_set().as_packed().to_vec(),
+                b.pair_set().as_packed().to_vec(),
+                truth_packed.clone(),
+            ],
+        )
+    };
+    let uniform_small = mk_uniform("uniform-250k", n_pairs);
+    let uniform_big = mk_uniform("uniform-2.5m", n_pairs_big);
 
-    let packed_a = exp_a.pair_set();
-    let packed_b = exp_b.pair_set();
-    let packed_truth: PairSet = truth.intra_pairs().collect();
-    let hash_a: HashSet<RecordPair> = exp_a.pairs().iter().map(|sp| sp.pair).collect();
-    let hash_b: HashSet<RecordPair> = exp_b.pairs().iter().map(|sp| sp.pair).collect();
-    let hash_truth: HashSet<RecordPair> = truth.intra_pairs().collect();
-    println!(
-        "set sizes: |A| = {}, |B| = {}, |truth| = {}",
-        packed_a.len(),
-        packed_b.len(),
-        packed_truth.len()
+    // Workload 3: dense chunk-skewed sets. At full scale each chunk
+    // holds ~5000 partners — above the 4096 threshold, so both
+    // operand sides are bitmap containers.
+    let dense_records = ((20_000f64) * scale.max(0.25)) as u32;
+    let dense_lo = 500u32.min(dense_records / 4);
+    let per_lo = ((5_000f64) * scale).max(256.0) as usize;
+    let dense = Workload::from_packed(
+        "dense-2.5m",
+        dense_records as usize,
+        [
+            dense_set(dense_records, dense_lo, per_lo, 0xD5A1),
+            dense_set(dense_records, dense_lo, per_lo, 0xB0B2),
+            dense_set(dense_records, dense_lo, per_lo, 0x7EE3),
+        ],
     );
-    let total = total_pairs(truth.num_records());
-
-    let mut c = Criterion::default().measurement_time(std::time::Duration::from_millis(700));
-    {
-        let mut g = c.benchmark_group("setops");
-        g.bench_function("union/packed", |b| {
-            b.iter(|| black_box(packed_a.union(&packed_b)))
-        });
-        g.bench_function("union/hash", |b| {
-            b.iter(|| black_box(hash_a.union(&hash_b).copied().collect::<HashSet<_>>()))
-        });
-        g.bench_function("intersection/packed", |b| {
-            b.iter(|| black_box(packed_a.intersection(&packed_b)))
-        });
-        g.bench_function("intersection/hash", |b| {
-            b.iter(|| {
-                black_box(
-                    hash_a
-                        .intersection(&hash_b)
-                        .copied()
-                        .collect::<HashSet<_>>(),
-                )
-            })
-        });
-        g.bench_function("difference/packed", |b| {
-            b.iter(|| black_box(packed_a.difference(&packed_b)))
-        });
-        g.bench_function("difference/hash", |b| {
-            b.iter(|| black_box(hash_a.difference(&hash_b).copied().collect::<HashSet<_>>()))
-        });
-        let packed_sets = [packed_a.clone(), packed_b.clone(), packed_truth.clone()];
-        let hash_sets = [hash_a.clone(), hash_b.clone(), hash_truth.clone()];
-        g.bench_function("venn3/packed", |b| {
-            b.iter(|| black_box(venn_regions(&packed_sets)))
-        });
-        g.bench_function("venn3/hash", |b| {
-            b.iter(|| black_box(hash_baseline::venn(&hash_sets)))
-        });
-        // The §4.1 exploration API as the seed shipped it: expression
-        // trees whose leaves clone their input sets.
-        let expr = frost_core::explore::setops::SetExpression::set(0)
-            .intersection(frost_core::explore::setops::SetExpression::set(1));
-        let packed_universe = vec![packed_a.clone(), packed_b.clone()];
-        let hash_universe = vec![hash_a.clone(), hash_b.clone()];
-        g.bench_function("expression_tp/packed", |b| {
-            b.iter(|| black_box(expr.evaluate(&packed_universe)))
-        });
-        g.bench_function("expression_tp/hash", |b| {
-            b.iter(|| black_box(hash_baseline::expression_tp(&hash_universe)))
-        });
-        g.bench_function("confusion/packed", |b| {
-            b.iter(|| {
-                black_box(ConfusionMatrix::from_pair_sets(
-                    &packed_a,
-                    &packed_truth,
-                    total,
-                ))
-            })
-        });
-        g.bench_function("confusion/hash", |b| {
-            b.iter(|| black_box(hash_baseline::confusion(&hash_a, &hash_truth, total)))
-        });
-        g.finish();
-    }
-
-    // Cross-check: identical results on both representations.
-    {
-        let pv: Vec<(u32, usize)> =
-            venn_regions(&[packed_a.clone(), packed_b.clone(), packed_truth.clone()])
-                .iter()
-                .map(|r| (r.membership, r.pairs.len()))
-                .collect();
-        let hv = hash_baseline::venn(&[hash_a.clone(), hash_b.clone(), hash_truth.clone()]);
-        assert_eq!(pv, hv, "venn mismatch between engines");
-        assert_eq!(
-            ConfusionMatrix::from_pair_sets(&packed_a, &packed_truth, total),
-            hash_baseline::confusion(&hash_a, &hash_truth, total),
+    for w in [&uniform_small, &uniform_big, &dense] {
+        println!(
+            "  {:<13} |A| = {}, |B| = {}, |C| = {}  (bitmap chunks in A: {}/{})",
+            w.name,
+            w.packed[0].len(),
+            w.packed[1].len(),
+            w.packed[2].len(),
+            w.chunked[0].bitmap_chunk_count(),
+            w.chunked[0].chunk_count(),
         );
     }
 
-    // Section 2: pipeline scaling across cores.
+    let mut c = Criterion::default().measurement_time(std::time::Duration::from_millis(700));
+    for w in [&uniform_small, &uniform_big, &dense] {
+        bench_workload(&mut c, w);
+    }
+
+    // Section 2: galloping-ratio tuning. Fixed 4096-needle small side
+    // against larger sides at increasing ratios; both kernels timed on
+    // the same data. Half the needles are present in the large side,
+    // half absent — a skewed intersection's realistic hit mix.
+    let gallop_ratios = [2usize, 4, 8, 16, 32, 64];
+    {
+        let mut g = c.benchmark_group("gallop_tuning");
+        let small_n = 4_096usize;
+        for &ratio in &gallop_ratios {
+            let mut state = 0x5EEDu64;
+            let large_n = small_n * ratio;
+            let mut large: Vec<u64> = (0..large_n)
+                .map(|_| (next_rand(&mut state) % (large_n as u64 * 16)) | 1)
+                .collect();
+            large.sort_unstable();
+            large.dedup();
+            let mut small: Vec<u64> = large
+                .iter()
+                .step_by(ratio * 2)
+                .copied()
+                // Even values never occur in `large`: guaranteed misses.
+                .flat_map(|x| [x, x + 1])
+                .collect();
+            small.sort_unstable();
+            small.dedup();
+            g.bench_function(format!("merge/r{ratio}").as_str(), |b| {
+                b.iter(|| black_box(gallop_lab::merge_count(&small, &large)))
+            });
+            g.bench_function(format!("gallop/r{ratio}").as_str(), |b| {
+                b.iter(|| black_box(gallop_lab::gallop_count(&small, &large)))
+            });
+        }
+        g.finish();
+    }
+
+    // Section 4: diagram sweep scaling — six independent experiments
+    // on one dataset, swept via confusion_series_multi at 1/2/4 rayon
+    // threads (the vendored rayon re-reads RAYON_NUM_THREADS per
+    // call). On a single-CPU host the extra threads are
+    // oversubscribed and the speedup stays ≈ 1.
+    let sweep_records = ((12_000f64) * scale).max(2_000.0) as usize;
+    let sweep_gen = generate(&GeneratorConfig::small("sweep-bench", sweep_records, 29));
+    let sweep_pairs = ((40_000f64) * scale).max(5_000.0) as usize;
+    let sweep_exps: Vec<Experiment> = (0..6)
+        .map(|i| synthetic_experiment(format!("s{i}"), &sweep_gen.truth, sweep_pairs, 0.7, 40 + i))
+        .collect();
+    let sweep_refs: Vec<&Experiment> = sweep_exps.iter().collect();
+    let sweep_s = 100;
+    let mut sweep_times: Vec<(usize, f64)> = Vec::new();
+    let mut sweep_reference: Option<Vec<Vec<frost_core::diagram::DiagramPoint>>> = None;
+    for threads in [1usize, 2, 4] {
+        std::env::set_var("RAYON_NUM_THREADS", threads.to_string());
+        // Warm-up, then best-of-3 wall clock.
+        let _ = DiagramEngine::Optimized.confusion_series_multi(
+            sweep_records,
+            &sweep_gen.truth,
+            &sweep_refs,
+            sweep_s,
+        );
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let t = Instant::now();
+            let out = DiagramEngine::Optimized.confusion_series_multi(
+                sweep_records,
+                &sweep_gen.truth,
+                &sweep_refs,
+                sweep_s,
+            );
+            best = best.min(t.elapsed().as_secs_f64());
+            match &sweep_reference {
+                None => sweep_reference = Some(out),
+                Some(r) => assert_eq!(r, &out, "thread count changed sweep results"),
+            }
+        }
+        println!(
+            "diagram sweep (6 experiments × {sweep_s} samples) {threads:>2} thread(s): {best:.3}s"
+        );
+        sweep_times.push((threads, best));
+    }
+    std::env::remove_var("RAYON_NUM_THREADS");
+
+    // Section 5: pipeline scaling across cores.
     let hw = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -212,12 +509,11 @@ fn main() {
         )),
         clustering: ClusteringMethod::TransitiveClosure,
     };
-    // Always exercise the 2-thread path (on a 1-core box it
-    // demonstrates correctness under oversubscription; speedups only
-    // appear with real cores), plus all hardware threads when more
-    // exist.
-    let mut thread_counts = vec![1usize, 2];
-    if hw > 2 {
+    // Always exercise 1/2/4 threads (oversubscribed on small hosts;
+    // speedups only appear with real cores), plus all hardware threads
+    // when more exist.
+    let mut thread_counts = vec![1usize, 2, 4];
+    if hw > 4 {
         thread_counts.push(hw);
     }
     let mut pipeline_times: Vec<(usize, f64, usize)> = Vec::new();
@@ -244,33 +540,127 @@ fn main() {
     }
     std::env::remove_var("RAYON_NUM_THREADS");
 
-    // Summarize + emit BENCH_pairset.json at the workspace root.
-    let ops = [
-        "union",
-        "intersection",
-        "difference",
-        "venn3",
-        "expression_tp",
-        "confusion",
-    ];
+    // ---- Summaries + BENCH_pairset.json ----
+    let mut workload_entries = Vec::new();
     let mut op_entries = Vec::new();
-    let mut geomean_log = 0.0f64;
-    println!("\nspeedups (hash baseline / packed PairSet):");
-    for op in ops {
-        let hash_ns = mean_of(&c, &format!("setops/{op}/hash"));
-        let packed_ns = mean_of(&c, &format!("setops/{op}/packed"));
-        let speedup = hash_ns / packed_ns;
-        geomean_log += speedup.ln();
-        println!("  {op:<14} {speedup:>6.2}×");
-        op_entries.push(Value::object([
-            ("op".to_string(), Value::from(op)),
-            ("hash_ns".to_string(), Value::from(hash_ns)),
-            ("pairset_ns".to_string(), Value::from(packed_ns)),
-            ("speedup".to_string(), Value::from(speedup)),
+    let mut memory_entries = Vec::new();
+    let mut geomean_250k_log = 0.0f64; // packed vs hash, uniform-250k (CI gate)
+    let mut dense_chunked_vs_packed_log = 0.0f64;
+    let mut dense_core_ops = 0usize;
+    for w in [&uniform_small, &uniform_big, &dense] {
+        workload_entries.push(Value::object([
+            ("name".to_string(), Value::from(w.name)),
+            ("records".to_string(), Value::from(w.records)),
+            ("pairs_per_set".to_string(), Value::from(w.packed[0].len())),
+            (
+                "bitmap_chunks".to_string(),
+                Value::from(w.chunked[0].bitmap_chunk_count()),
+            ),
+            (
+                "chunks".to_string(),
+                Value::from(w.chunked[0].chunk_count()),
+            ),
+        ]));
+        println!("\n[{}] speedups vs hash baseline:", w.name);
+        for op in OPS {
+            let hash_ns = mean_of(&c, &format!("setops-{}/{op}/hash", w.name));
+            let packed_ns = mean_of(&c, &format!("setops-{}/{op}/packed", w.name));
+            let chunked_ns = mean_of(&c, &format!("setops-{}/{op}/chunked", w.name));
+            let packed_speedup = hash_ns / packed_ns;
+            let chunked_speedup = hash_ns / chunked_ns;
+            let chunked_vs_packed = packed_ns / chunked_ns;
+            if w.name == "uniform-250k" {
+                geomean_250k_log += packed_speedup.ln();
+            }
+            if w.name == "dense-2.5m" && matches!(op, "intersection" | "venn3" | "confusion") {
+                dense_chunked_vs_packed_log += chunked_vs_packed.ln();
+                dense_core_ops += 1;
+            }
+            println!(
+                "  {op:<14} packed {packed_speedup:>6.2}×  chunked {chunked_speedup:>6.2}×  (chunked/packed {chunked_vs_packed:>5.2}×)"
+            );
+            op_entries.push(Value::object([
+                ("workload".to_string(), Value::from(w.name)),
+                ("op".to_string(), Value::from(op)),
+                ("hash_ns".to_string(), Value::from(hash_ns)),
+                ("pairset_ns".to_string(), Value::from(packed_ns)),
+                ("chunked_ns".to_string(), Value::from(chunked_ns)),
+                ("speedup".to_string(), Value::from(packed_speedup)),
+                ("chunked_speedup".to_string(), Value::from(chunked_speedup)),
+                (
+                    "chunked_vs_packed".to_string(),
+                    Value::from(chunked_vs_packed),
+                ),
+            ]));
+        }
+        // Memory footprint.
+        let pairs = w.packed[0].len().max(1) as f64;
+        let packed_bpp = w.packed[0].heap_bytes() as f64 / pairs;
+        let chunked_bpp = w.chunked[0].heap_bytes() as f64 / pairs;
+        let hash_bpp = hash_baseline::estimated_heap_bytes(w.hash[0].len()) as f64 / pairs;
+        println!(
+            "  bytes/pair     packed {packed_bpp:>6.2}  chunked {chunked_bpp:>6.2}  hash ~{hash_bpp:>6.2}"
+        );
+        memory_entries.push(Value::object([
+            ("workload".to_string(), Value::from(w.name)),
+            ("packed_bytes_per_pair".to_string(), Value::from(packed_bpp)),
+            (
+                "chunked_bytes_per_pair".to_string(),
+                Value::from(chunked_bpp),
+            ),
+            (
+                "hash_bytes_per_pair_estimated".to_string(),
+                Value::from(hash_bpp),
+            ),
+            (
+                "chunked_vs_packed_ratio".to_string(),
+                Value::from(chunked_bpp / packed_bpp),
+            ),
         ]));
     }
-    let geomean = (geomean_log / ops.len() as f64).exp();
-    println!("  {:<14} {geomean:>6.2}×", "geomean");
+    let geomean = (geomean_250k_log / OPS.len() as f64).exp();
+    let dense_geomean = (dense_chunked_vs_packed_log / dense_core_ops.max(1) as f64).exp();
+    println!("\nuniform-250k packed-vs-hash geomean: {geomean:.2}×");
+    println!(
+        "dense-2.5m chunked-vs-packed geomean (intersection/venn3/confusion): {dense_geomean:.2}×"
+    );
+
+    // Gallop tuning summary.
+    let mut gallop_entries = Vec::new();
+    let mut crossover: Option<usize> = None;
+    for &ratio in &gallop_ratios {
+        let merge_ns = mean_of(&c, &format!("gallop_tuning/merge/r{ratio}"));
+        let gallop_ns = mean_of(&c, &format!("gallop_tuning/gallop/r{ratio}"));
+        if gallop_ns < merge_ns && crossover.is_none() {
+            crossover = Some(ratio);
+        }
+        gallop_entries.push(Value::object([
+            ("ratio".to_string(), Value::from(ratio)),
+            ("merge_ns".to_string(), Value::from(merge_ns)),
+            ("gallop_ns".to_string(), Value::from(gallop_ns)),
+        ]));
+    }
+    println!(
+        "gallop crossover: galloping first wins at ratio {} (shared GALLOP_RATIO = {})",
+        crossover.map_or("none".to_string(), |r| r.to_string()),
+        frost_core::dataset::pairset::GALLOP_RATIO
+    );
+
+    let sweep_base = sweep_times.first().map(|&(_, s)| s).unwrap_or(0.0);
+    let sweep_entries: Vec<Value> = sweep_times
+        .iter()
+        .map(|&(threads, secs)| {
+            Value::object([
+                ("threads".to_string(), Value::from(threads)),
+                ("seconds".to_string(), Value::from(secs)),
+                (
+                    "speedup_vs_1_thread".to_string(),
+                    Value::from(if secs > 0.0 { sweep_base / secs } else { 0.0 }),
+                ),
+            ])
+        })
+        .collect();
+
     let base_secs = pipeline_times.first().map(|&(_, s, _)| s).unwrap_or(0.0);
     let scaling_entries: Vec<Value> = pipeline_times
         .iter()
@@ -286,18 +676,41 @@ fn main() {
             ])
         })
         .collect();
+
     let doc = Value::object([
-        (
-            "workload".to_string(),
-            Value::object([
-                ("records".to_string(), Value::from(n_records)),
-                ("pairs_per_set".to_string(), Value::from(packed_a.len())),
-                ("truth_pairs".to_string(), Value::from(packed_truth.len())),
-                ("scale".to_string(), Value::from(scale)),
-            ]),
-        ),
+        ("workloads".to_string(), Value::Array(workload_entries)),
+        ("scale".to_string(), Value::from(scale)),
         ("set_operations".to_string(), Value::Array(op_entries)),
         ("set_ops_geomean_speedup".to_string(), Value::from(geomean)),
+        (
+            "dense_chunked_vs_packed_geomean".to_string(),
+            Value::from(dense_geomean),
+        ),
+        ("memory".to_string(), Value::Array(memory_entries)),
+        (
+            "gallop_tuning".to_string(),
+            Value::object([
+                ("ratios".to_string(), Value::Array(gallop_entries)),
+                (
+                    "crossover_ratio".to_string(),
+                    Value::from(crossover.unwrap_or(0)),
+                ),
+                (
+                    "shared_constant".to_string(),
+                    Value::from(frost_core::dataset::pairset::GALLOP_RATIO),
+                ),
+            ]),
+        ),
+        (
+            "diagram_sweep".to_string(),
+            Value::object([
+                ("experiments".to_string(), Value::from(sweep_exps.len())),
+                ("samples".to_string(), Value::from(sweep_s)),
+                ("records".to_string(), Value::from(sweep_records)),
+                ("pairs_per_experiment".to_string(), Value::from(sweep_pairs)),
+                ("scaling".to_string(), Value::Array(sweep_entries)),
+            ]),
+        ),
         (
             "pipeline_scaling".to_string(),
             Value::Array(scaling_entries),
@@ -305,7 +718,55 @@ fn main() {
         ("hardware_threads".to_string(), Value::from(hw)),
     ]);
     let out = serde_json::to_string_pretty(&doc);
-    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_pairset.json");
+    // Relative FROST_BENCH_OUT paths resolve against the workspace
+    // root (cargo bench runs with the package directory as cwd).
+    let workspace_root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let path = match std::env::var("FROST_BENCH_OUT") {
+        Ok(p) if std::path::Path::new(&p).is_absolute() => std::path::PathBuf::from(p),
+        Ok(p) => workspace_root.join(p),
+        Err(_) => workspace_root.join("BENCH_pairset.json"),
+    };
     std::fs::write(&path, out).expect("write BENCH_pairset.json");
     println!("\nwrote {}", path.display());
+
+    // Regression gate against a recorded baseline (CI smoke step).
+    // Geomeans depend on the workload scale, so the gate only fires
+    // when the baseline was recorded at a comparable FROST_SCALE —
+    // compare smoke runs against a smoke baseline
+    // (BENCH_pairset_smoke.json), full runs against the full one.
+    if let Ok(baseline_env) = std::env::var("FROST_BENCH_BASELINE") {
+        // Relative paths resolve against the workspace root (cargo
+        // bench runs with the package directory as cwd).
+        let mut baseline_path = std::path::PathBuf::from(&baseline_env);
+        if !baseline_path.exists() {
+            baseline_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join(&baseline_env);
+        }
+        let baseline: Value = serde_json::from_str(
+            &std::fs::read_to_string(&baseline_path).expect("read baseline json"),
+        )
+        .expect("parse baseline json");
+        let recorded_scale = baseline.get("scale").and_then(Value::as_f64).unwrap_or(1.0);
+        let recorded = baseline
+            .get("set_ops_geomean_speedup")
+            .and_then(Value::as_f64)
+            .expect("baseline missing set_ops_geomean_speedup");
+        if !(recorded_scale / 1.5..=recorded_scale * 1.5).contains(&scale) {
+            println!(
+                "baseline gate skipped: baseline recorded at scale {recorded_scale}, this run at {scale}"
+            );
+        } else {
+            let floor = recorded * 0.75;
+            println!(
+                "baseline gate: geomean {geomean:.2}× vs recorded {recorded:.2}× (floor {floor:.2}×)"
+            );
+            if geomean < floor {
+                eprintln!(
+                    "REGRESSION: packed-vs-hash geomean {geomean:.2}× fell more than 25% below the recorded {recorded:.2}×"
+                );
+                std::process::exit(1);
+            }
+        }
+    }
 }

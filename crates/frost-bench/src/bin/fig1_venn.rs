@@ -9,12 +9,13 @@
 //! ```
 
 use frost_bench::materialize;
-use frost_core::dataset::{Experiment, PairSet};
+use frost_core::dataset::{ChunkedPairSet, Experiment};
 use frost_core::explore::setops::{hard_pairs, venn_regions, SetExpression};
-use frost_core::metrics::confusion::ConfusionMatrix;
+use frost_core::metrics::confusion::{total_pairs, ConfusionMatrix};
 use frost_core::metrics::pair;
 use frost_datagen::experiments::synthetic_experiment;
 use frost_datagen::presets::altosight_x4;
+use rayon::prelude::*;
 
 fn main() {
     let gen = materialize(&altosight_x4(0.3));
@@ -41,18 +42,27 @@ fn main() {
         })
         .collect();
 
-    // N-Metrics viewer: the per-run f1 overview.
+    // N-Metrics viewer: the per-run f1 overview. The runs are
+    // independent, so their confusion matrices are computed in
+    // parallel, each on the chunked set engine.
     println!("\nN-Metrics view:");
+    let truth_chunked: ChunkedPairSet = gen.truth.intra_pairs().collect();
+    let matrices: Vec<ConfusionMatrix> = experiments
+        .par_iter()
+        .with_min_len(1)
+        .map(|e| {
+            ConfusionMatrix::from_pair_sets(&e.chunked_pair_set(), &truth_chunked, total_pairs(n))
+        })
+        .collect();
     let mut f1s = Vec::new();
-    for e in &experiments {
-        let m = ConfusionMatrix::from_experiment(e, &gen.truth, n);
-        let f1 = pair::f1(&m);
+    for (e, m) in experiments.iter().zip(&matrices) {
+        let f1 = pair::f1(m);
         f1s.push(f1);
         println!(
             "  {:<7} precision {:.3}  recall {:.3}  f1 {:.3}",
             e.name(),
-            pair::precision(&m),
-            pair::recall(&m),
+            pair::precision(m),
+            pair::recall(m),
             f1
         );
     }
@@ -64,12 +74,12 @@ fn main() {
         f1s.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
     );
 
-    // Figure 1 proper: ground-truth pairs found by run-1 but not run-2.
-    let truth_pairs: PairSet = gen.truth.intra_pairs().collect();
+    // Figure 1 proper: ground-truth pairs found by run-1 but not run-2,
+    // evaluated on the roaring-style chunked engine.
     let universe = vec![
-        experiments[0].pair_set(),
-        experiments[1].pair_set(),
-        truth_pairs.clone(),
+        experiments[0].chunked_pair_set(),
+        experiments[1].chunked_pair_set(),
+        truth_chunked.clone(),
     ];
     let found_by_1_not_2 = SetExpression::set(2)
         .intersection(SetExpression::set(0))
@@ -98,7 +108,7 @@ fn main() {
     // §5.4: duplicates missed by at least 4 of the 5 solutions, i.e.
     // found by at most 1.
     let refs: Vec<&Experiment> = experiments.iter().collect();
-    let hard = hard_pairs(&truth_pairs, &refs, 1);
+    let hard = hard_pairs(&truth_chunked, &refs, 1);
     println!(
         "\nTrue duplicates found by at most one of the five solutions: {}",
         hard.len()

@@ -11,6 +11,7 @@ use frost_datagen::presets::altosight_x4;
 use frost_matchers::features::Comparator;
 use frost_matchers::similarity::Measure;
 use frost_matchers::tuning::Tuner;
+use rayon::prelude::*;
 
 fn main() {
     let gen = materialize(&altosight_x4(0.25));
@@ -35,8 +36,12 @@ fn main() {
         })
         .collect();
 
+    // Each team's 36-step tuning timeline is an independent diagram
+    // sweep — shard them across rayon tasks (min_len 1: three heavy
+    // items must not collapse into one chunk).
     let outcomes: Vec<_> = teams
-        .iter()
+        .par_iter()
+        .with_min_len(1)
         .map(|t| t.run(&gen.dataset, &gen.truth))
         .collect();
     println!(

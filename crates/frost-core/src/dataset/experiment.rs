@@ -146,6 +146,19 @@ impl Experiment {
         self.pairs.iter().map(|sp| sp.pair).collect()
     }
 
+    /// The set of matched [`RecordPair`]s as a roaring-style
+    /// [`ChunkedPairSet`](super::ChunkedPairSet) — the compressed
+    /// engine for memory-bound or dense workloads.
+    pub fn chunked_pair_set(&self) -> super::ChunkedPairSet {
+        self.pairs.iter().map(|sp| sp.pair).collect()
+    }
+
+    /// The set of matched [`RecordPair`]s in any
+    /// [`PairAlgebra`](super::PairAlgebra) representation.
+    pub fn pair_set_as<S: super::PairAlgebra>(&self) -> S {
+        S::from_pairs(self.pairs.iter().map(|sp| sp.pair))
+    }
+
     /// Only the pairs the matcher itself emitted (§4.2.4 "plain result pairs").
     pub fn matcher_pairs(&self) -> impl Iterator<Item = &ScoredPair> {
         self.pairs

@@ -6,6 +6,7 @@
 //! A *matching solution* outputs a set of matches `E ⊆ [D]²` — an
 //! [`Experiment`] in Frost terminology.
 
+pub mod chunked;
 mod csv;
 mod experiment;
 mod pair;
@@ -13,6 +14,7 @@ pub mod pairset;
 mod record;
 mod schema;
 
+pub use chunked::ChunkedPairSet;
 pub use csv::{parse_csv, write_csv, CsvError, CsvOptions};
 pub use experiment::{Experiment, PairOrigin, ScoredPair};
 pub use pair::RecordPair;
@@ -21,6 +23,162 @@ pub use record::{Record, RecordId};
 pub use schema::Schema;
 
 use std::collections::HashMap;
+
+/// The set-algebra interface shared by Frost's two pair-set engines:
+/// the packed sorted-`Vec<u64>` [`PairSet`] and the roaring-style
+/// [`ChunkedPairSet`].
+///
+/// Every evaluation layer — confusion matrices, Venn regions,
+/// set-algebra expressions, consensus metrics — is generic over this
+/// trait, so callers pick the representation per workload: packed for
+/// one-shot streaming merges of uniformly sparse sets, chunked when
+/// memory or dense/skewed chunks dominate (see the
+/// [`chunked`] module docs for the trade-off).
+///
+/// All implementations operate on the same packed key space:
+/// a normalized pair `(lo, hi)` is the `u64` `(lo << 32) | hi`, and
+/// iteration order is ascending packed order.
+pub trait PairAlgebra: Clone + PartialEq + std::fmt::Debug + Send + Sync + Sized {
+    /// Builds a set from packed values that are already sorted and
+    /// deduplicated; callers must uphold that invariant.
+    fn from_sorted_packed(packed: Vec<u64>) -> Self;
+
+    /// Builds a set from arbitrary pairs (sorted and deduplicated
+    /// internally).
+    fn from_pairs(pairs: impl IntoIterator<Item = RecordPair>) -> Self;
+
+    /// Number of pairs.
+    fn len(&self) -> usize;
+
+    /// Whether the set is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Membership test.
+    fn contains(&self, pair: &RecordPair) -> bool;
+
+    /// `self ∪ other`.
+    fn union(&self, other: &Self) -> Self;
+
+    /// `self ∩ other`.
+    fn intersection(&self, other: &Self) -> Self;
+
+    /// `self \ other`.
+    fn difference(&self, other: &Self) -> Self;
+
+    /// `|self ∩ other|` without materializing the intersection.
+    fn intersection_len(&self, other: &Self) -> usize;
+
+    /// `|self \ other|` without materializing the difference.
+    fn difference_len(&self, other: &Self) -> usize {
+        self.len() - self.intersection_len(other)
+    }
+
+    /// Calls `f` with every packed pair value in ascending order.
+    fn for_each_packed(&self, f: impl FnMut(u64));
+
+    /// Streams the k-way merge of `sets`: for every distinct pair in
+    /// ascending packed order, `emit(packed, mask)` with bit `i` of
+    /// `mask` set iff `sets[i]` contains the pair. The engine under
+    /// [`venn_regions`](crate::explore::setops::venn_regions).
+    fn kway_merge_masks(sets: &[Self], emit: impl FnMut(u64, u32));
+
+    /// Bytes of heap memory held by the representation.
+    fn heap_bytes(&self) -> usize;
+
+    /// The pairs in ascending order (allocates; prefer
+    /// [`for_each_packed`](PairAlgebra::for_each_packed) on hot paths).
+    fn to_pairs(&self) -> Vec<RecordPair> {
+        let mut out = Vec::with_capacity(self.len());
+        self.for_each_packed(|x| {
+            out.push(RecordPair::new(
+                RecordId((x >> 32) as u32),
+                RecordId(x as u32),
+            ))
+        });
+        out
+    }
+}
+
+impl PairAlgebra for PairSet {
+    fn from_sorted_packed(packed: Vec<u64>) -> Self {
+        PairSet::from_sorted_packed(packed)
+    }
+    fn from_pairs(pairs: impl IntoIterator<Item = RecordPair>) -> Self {
+        pairs.into_iter().collect()
+    }
+    fn len(&self) -> usize {
+        PairSet::len(self)
+    }
+    fn contains(&self, pair: &RecordPair) -> bool {
+        PairSet::contains(self, pair)
+    }
+    fn union(&self, other: &Self) -> Self {
+        PairSet::union(self, other)
+    }
+    fn intersection(&self, other: &Self) -> Self {
+        PairSet::intersection(self, other)
+    }
+    fn difference(&self, other: &Self) -> Self {
+        PairSet::difference(self, other)
+    }
+    fn intersection_len(&self, other: &Self) -> usize {
+        PairSet::intersection_len(self, other)
+    }
+    fn for_each_packed(&self, mut f: impl FnMut(u64)) {
+        for &x in self.as_packed() {
+            f(x);
+        }
+    }
+    fn kway_merge_masks(sets: &[Self], emit: impl FnMut(u64, u32)) {
+        pairset::kway_merge_masks(sets, emit)
+    }
+    fn heap_bytes(&self) -> usize {
+        PairSet::heap_bytes(self)
+    }
+}
+
+impl PairAlgebra for ChunkedPairSet {
+    fn from_sorted_packed(packed: Vec<u64>) -> Self {
+        ChunkedPairSet::from_sorted_packed(packed)
+    }
+    fn from_pairs(pairs: impl IntoIterator<Item = RecordPair>) -> Self {
+        pairs.into_iter().collect()
+    }
+    fn len(&self) -> usize {
+        ChunkedPairSet::len(self)
+    }
+    // Override the `len() == 0` default: the inherent check is O(1)
+    // while `len()` popcounts every bitmap word.
+    fn is_empty(&self) -> bool {
+        ChunkedPairSet::is_empty(self)
+    }
+    fn contains(&self, pair: &RecordPair) -> bool {
+        ChunkedPairSet::contains(self, pair)
+    }
+    fn union(&self, other: &Self) -> Self {
+        ChunkedPairSet::union(self, other)
+    }
+    fn intersection(&self, other: &Self) -> Self {
+        ChunkedPairSet::intersection(self, other)
+    }
+    fn difference(&self, other: &Self) -> Self {
+        ChunkedPairSet::difference(self, other)
+    }
+    fn intersection_len(&self, other: &Self) -> usize {
+        ChunkedPairSet::intersection_len(self, other)
+    }
+    fn for_each_packed(&self, f: impl FnMut(u64)) {
+        ChunkedPairSet::for_each_packed(self, f)
+    }
+    fn kway_merge_masks(sets: &[Self], emit: impl FnMut(u64, u32)) {
+        chunked::kway_merge_masks_chunked(sets, emit)
+    }
+    fn heap_bytes(&self) -> usize {
+        ChunkedPairSet::heap_bytes(self)
+    }
+}
 
 /// A named collection of records sharing a [`Schema`].
 ///

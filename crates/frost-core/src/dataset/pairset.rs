@@ -33,10 +33,42 @@ use super::{RecordId, RecordPair};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
-/// When `larger / smaller` exceeds this, intersections switch from a
+/// When `larger / smaller` reaches this, intersections switch from a
 /// linear merge to galloping (exponential probe + binary search) over
 /// the larger side.
-const GALLOP_RATIO: usize = 8;
+///
+/// Shared by both set engines ([`PairSet`] and
+/// [`ChunkedPairSet`](super::chunked::ChunkedPairSet) array
+/// containers). Bench-derived (was a guessed 8): the `gallop_tuning`
+/// section of `cargo bench -p frost-bench --bench pairset` times
+/// galloping against the production bidirectional merge on identical
+/// data (4096 needles, 50% hit rate) across size ratios 2–64. Measured
+/// on x86-64: merge wins at ratio 2 (1.15×), galloping wins from ratio
+/// 4 (1.16×), 1.7× at 8, 3.8× at 32 (see `BENCH_pairset.json`,
+/// `gallop_tuning`).
+pub const GALLOP_RATIO: usize = 4;
+
+/// Shrink policy for merge outputs: results are pre-sized to their
+/// exact upper bound (`n + m` for union, `n` for difference,
+/// `min(n, m)` for intersection), which can overshoot the true size —
+/// by up to 2× for a union of identical sets. When the slack exceeds
+/// both this fraction of the final length and one 4 KiB page of
+/// packed values, the allocation is returned to the size actually
+/// used; smaller slack is kept, since reallocating to save a few
+/// cache lines costs more than it frees.
+const SHRINK_SLACK_DENOM: usize = 8;
+
+/// Minimum wasted elements before [`shrink_merge_output`] reallocates
+/// (512 packed `u64`s = one 4 KiB page).
+const SHRINK_MIN_SLACK: usize = 512;
+
+/// Applies the shrink policy described at [`SHRINK_SLACK_DENOM`].
+pub(crate) fn shrink_merge_output<T>(v: &mut Vec<T>) {
+    let slack = v.capacity() - v.len();
+    if slack > SHRINK_MIN_SLACK && slack > v.len() / SHRINK_SLACK_DENOM {
+        v.shrink_to_fit();
+    }
+}
 
 #[inline]
 fn pack(p: RecordPair) -> u64 {
@@ -77,10 +109,16 @@ impl PairSet {
     }
 
     /// Builds a set from packed values that are already sorted and
-    /// deduplicated (checked only in debug builds).
-    pub(crate) fn from_sorted_packed(packed: Vec<u64>) -> Self {
+    /// deduplicated (checked only in debug builds). Every algorithm in
+    /// this module assumes that invariant — callers must uphold it.
+    pub fn from_sorted_packed(packed: Vec<u64>) -> Self {
         debug_assert!(packed.windows(2).all(|w| w[0] < w[1]), "not sorted/deduped");
         Self { packed }
+    }
+
+    /// Bytes of heap memory held by the packed representation.
+    pub fn heap_bytes(&self) -> usize {
+        self.packed.capacity() * std::mem::size_of::<u64>()
     }
 
     /// Number of pairs.
@@ -121,7 +159,9 @@ impl PairSet {
         }
     }
 
-    /// `self ∪ other` by linear merge.
+    /// `self ∪ other` by linear merge. The output is pre-sized to the
+    /// exact upper bound `n + m` and shrunk afterwards per the
+    /// [module shrink policy](SHRINK_SLACK_DENOM).
     pub fn union(&self, other: &PairSet) -> PairSet {
         let (a, b) = (&self.packed, &other.packed);
         let mut out = Vec::with_capacity(a.len() + b.len());
@@ -145,15 +185,26 @@ impl PairSet {
         }
         out.extend_from_slice(&a[i..]);
         out.extend_from_slice(&b[j..]);
+        shrink_merge_output(&mut out);
         PairSet::from_sorted_packed(out)
     }
 
     /// `self ∩ other`: bidirectional linear merge, or galloping from
-    /// the smaller side when the sizes differ by more than
+    /// the smaller side when the sizes differ by at least
     /// [`GALLOP_RATIO`]×.
     pub fn intersection(&self, other: &PairSet) -> PairSet {
-        let mut fwd = Vec::with_capacity(self.len().min(other.len()));
-        let mut back = Vec::new();
+        let min = self.len().min(other.len());
+        let max = self.len().max(other.len());
+        // Either lane alone can emit every match when the overlap is
+        // skewed toward one end, so both are sized to the exact upper
+        // bound `min` — the final `extend` below then never
+        // reallocates, and the shrink policy trims the slack. On the
+        // galloping path (same ratio test as `intersect_into`) only
+        // the forward lane ever fires, so the backward lane stays
+        // unallocated.
+        let gallops = min > 0 && max / min >= GALLOP_RATIO;
+        let mut fwd = Vec::with_capacity(min);
+        let mut back = Vec::with_capacity(if gallops { 0 } else { min });
         intersect_into(
             &self.packed,
             &other.packed,
@@ -163,6 +214,7 @@ impl PairSet {
         // The backward lane emitted in descending order, all above the
         // forward lane's values.
         fwd.extend(back.into_iter().rev());
+        shrink_merge_output(&mut fwd);
         PairSet::from_sorted_packed(fwd)
     }
 
@@ -176,7 +228,9 @@ impl PairSet {
         fwd + back
     }
 
-    /// `self \ other` by linear merge.
+    /// `self \ other` by linear merge. Pre-sized to the exact upper
+    /// bound `n`, shrunk afterwards per the
+    /// [module shrink policy](SHRINK_SLACK_DENOM).
     pub fn difference(&self, other: &PairSet) -> PairSet {
         let (a, b) = (&self.packed, &other.packed);
         let mut out = Vec::with_capacity(a.len());
@@ -189,6 +243,7 @@ impl PairSet {
                 out.push(x);
             }
         }
+        shrink_merge_output(&mut out);
         PairSet::from_sorted_packed(out)
     }
 
@@ -224,39 +279,7 @@ fn intersect_into(
         return;
     }
     if large.len() / small.len() >= GALLOP_RATIO {
-        // Galloping: for each needle, exponentially probe forward in the
-        // large side, then binary-search the bracketed window. Total
-        // cost O(small · log(large / small)) amortized.
-        let mut base = 0usize;
-        for &x in small {
-            if base >= large.len() {
-                break;
-            }
-            // Probe base, base+1, base+3, base+7, … until a value ≥ x
-            // (or the end). Everything before the last sub-x probe is
-            // < x, so the binary-search window is [win_lo, hi] with hi
-            // included (large[hi] may equal x).
-            let mut step = 1usize;
-            let mut win_lo = base;
-            let mut hi = base;
-            while hi < large.len() && large[hi] < x {
-                win_lo = hi + 1;
-                hi += step;
-                step <<= 1;
-            }
-            let win_hi = if hi < large.len() {
-                hi + 1
-            } else {
-                large.len()
-            };
-            match large[win_lo..win_hi].binary_search(&x) {
-                Ok(at) => {
-                    emit_fwd(x);
-                    base = win_lo + at + 1;
-                }
-                Err(at) => base = win_lo + at,
-            }
-        }
+        gallop_intersect(small, large, emit_fwd);
     } else {
         // Bidirectional branchless merge: a forward lane walks both
         // sets from the front, a backward lane from the back, meeting
@@ -293,6 +316,46 @@ fn intersect_into(
             }
             p -= usize::from(u >= v);
             q -= usize::from(v >= u);
+        }
+    }
+}
+
+/// Galloping intersection of two sorted, deduplicated slices, emitting
+/// matches (values of `small` present in `large`) in ascending order:
+/// for each needle, exponentially probe forward in the large side, then
+/// binary-search the bracketed window. Total cost
+/// `O(small · log(large / small))` amortized. Shared by the packed and
+/// chunked engines (chunked array containers gallop on `u32`
+/// elements).
+pub(crate) fn gallop_intersect<T: Ord + Copy>(small: &[T], large: &[T], mut emit: impl FnMut(T)) {
+    let mut base = 0usize;
+    for &x in small {
+        if base >= large.len() {
+            break;
+        }
+        // Probe base, base+1, base+3, base+7, … until a value ≥ x
+        // (or the end). Everything before the last sub-x probe is
+        // < x, so the binary-search window is [win_lo, hi] with hi
+        // included (large[hi] may equal x).
+        let mut step = 1usize;
+        let mut win_lo = base;
+        let mut hi = base;
+        while hi < large.len() && large[hi] < x {
+            win_lo = hi + 1;
+            hi += step;
+            step <<= 1;
+        }
+        let win_hi = if hi < large.len() {
+            hi + 1
+        } else {
+            large.len()
+        };
+        match large[win_lo..win_hi].binary_search(&x) {
+            Ok(at) => {
+                emit(x);
+                base = win_lo + at + 1;
+            }
+            Err(at) => base = win_lo + at,
         }
     }
 }

@@ -88,7 +88,51 @@ impl DiagramEngine {
             DiagramEngine::Optimized => optimized::confusion_series(n, truth, &matches, s),
         }
     }
+
+    /// Computes the confusion-matrix series of several experiments
+    /// against the same ground truth — the multi-experiment sweep
+    /// behind the N-Metrics view, Table 1 and the timeline figures.
+    ///
+    /// Experiments are independent, so they are sharded across rayon
+    /// tasks (one scoped thread per experiment, capped at the thread
+    /// count). Sweeps whose total work falls below
+    /// [`PARALLEL_SWEEP_MIN_MATCHES`] run on the calling thread —
+    /// spawning costs more than it saves on tiny diagrams.
+    ///
+    /// Returns one series per experiment, in input order.
+    ///
+    /// # Panics
+    /// As [`confusion_series`](Self::confusion_series), for any input.
+    pub fn confusion_series_multi(
+        self,
+        n: usize,
+        truth: &Clustering,
+        experiments: &[&Experiment],
+        s: usize,
+    ) -> Vec<Vec<DiagramPoint>> {
+        use rayon::prelude::*;
+        // Per-sweep work is O(n + matches·…) for both engines, so the
+        // gate counts both terms.
+        let total_work: usize = experiments.iter().map(|e| e.len() + n).sum();
+        if total_work < PARALLEL_SWEEP_MIN_MATCHES || experiments.len() < 2 {
+            return experiments
+                .iter()
+                .map(|e| self.confusion_series(n, truth, e, s))
+                .collect();
+        }
+        experiments
+            .par_iter()
+            .with_min_len(1)
+            .map(|e| self.confusion_series(n, truth, e, s))
+            .collect()
+    }
 }
+
+/// Minimum summed per-sweep work (`records + matches`, over all
+/// experiments) before [`DiagramEngine::confusion_series_multi`] fans
+/// out to threads. Below this, one sweep is microseconds of work and
+/// thread spawning dominates end to end.
+pub const PARALLEL_SWEEP_MIN_MATCHES: usize = 4_096;
 
 /// Prefix boundaries for `s` sample points over `m` matches:
 /// `k_i = ⌊i·m/(s−1)⌋` for `i = 0..s`.
@@ -319,5 +363,46 @@ mod tests {
     #[should_panic(expected = "at least two")]
     fn s_must_be_at_least_two() {
         DiagramEngine::Optimized.confusion_series(4, &truth_ab_cd(), &paper_experiment(), 1);
+    }
+
+    /// The sharded multi-experiment sweep returns exactly the
+    /// per-experiment series, in input order — on both the sequential
+    /// small-work path and the rayon path.
+    #[test]
+    fn multi_sweep_equals_individual_sweeps() {
+        // Tiny: below the parallel gate.
+        let truth = truth_ab_cd();
+        let small = [paper_experiment(), paper_experiment()];
+        let refs: Vec<&Experiment> = small.iter().collect();
+        let multi = DiagramEngine::Optimized.confusion_series_multi(4, &truth, &refs, 3);
+        for (series, e) in multi.iter().zip(&refs) {
+            assert_eq!(
+                series,
+                &DiagramEngine::Optimized.confusion_series(4, &truth, e, 3)
+            );
+        }
+        // Large enough to cross PARALLEL_SWEEP_MIN_MATCHES.
+        let n = 6_000usize;
+        let assignment: Vec<u32> = (0..n as u32).map(|i| i / 3).collect();
+        let big_truth = Clustering::from_assignment(&assignment);
+        let mk = |seed: u32| {
+            Experiment::from_scored_pairs(
+                format!("e{seed}"),
+                (0..n as u32 - 1).map(|i| {
+                    let s =
+                        ((i.wrapping_mul(2654435761).wrapping_add(seed)) % 1000) as f64 / 1000.0;
+                    (i, i + 1, s)
+                }),
+            )
+        };
+        let big = [mk(1), mk(2), mk(3)];
+        let refs: Vec<&Experiment> = big.iter().collect();
+        for engine in [DiagramEngine::Naive, DiagramEngine::Optimized] {
+            let multi = engine.confusion_series_multi(n, &big_truth, &refs, 5);
+            assert_eq!(multi.len(), 3);
+            for (series, e) in multi.iter().zip(&refs) {
+                assert_eq!(series, &engine.confusion_series(n, &big_truth, e, 5));
+            }
+        }
     }
 }

@@ -7,14 +7,17 @@
 //! interactive Venn diagram; [`venn_regions`] enumerates every region at
 //! once.
 //!
-//! All operations run on packed, sorted [`PairSet`]s: expression
-//! evaluation is a tree of linear merges, and [`venn_regions`] is a
-//! single k-way merge over the input sets — no hashing anywhere on the
-//! hot path (see the [`pairset`](crate::dataset::pairset) module docs
-//! for the complexity table).
+//! All operations are generic over the set engine
+//! ([`PairAlgebra`]): on packed, sorted [`PairSet`]s expression
+//! evaluation is a tree of linear merges and [`venn_regions`] is a
+//! single k-way merge — no hashing anywhere on the hot path (see the
+//! [`pairset`](crate::dataset::pairset) module docs for the complexity
+//! table); on [`ChunkedPairSet`](crate::dataset::ChunkedPairSet)s the
+//! same operations run on roaring-style containers with word-at-a-time
+//! kernels over dense chunks (see the
+//! [`chunked`](crate::dataset::chunked) module docs).
 
-use crate::dataset::pairset::kway_merge_masks;
-use crate::dataset::{Dataset, Experiment, PairSet, Record, RecordPair};
+use crate::dataset::{Dataset, Experiment, PairAlgebra, PairSet, Record, RecordPair};
 
 /// A set-algebra expression over a universe of named result sets.
 ///
@@ -59,7 +62,7 @@ impl SetExpression {
         SetExpression::Difference(Box::new(self), Box::new(other))
     }
 
-    /// Evaluates the expression over packed pair sets.
+    /// Evaluates the expression over pair sets of either engine.
     ///
     /// Leaves borrow from the universe — an expression only copies data
     /// while merging, so `S0 ∩ S1` costs exactly one merge and zero
@@ -67,11 +70,11 @@ impl SetExpression {
     ///
     /// # Panics
     /// Panics if a leaf index is out of range.
-    pub fn evaluate(&self, universe: &[PairSet]) -> PairSet {
+    pub fn evaluate<S: PairAlgebra>(&self, universe: &[S]) -> S {
         self.eval_borrowed(universe).into_owned()
     }
 
-    fn eval_borrowed<'u>(&self, universe: &'u [PairSet]) -> std::borrow::Cow<'u, PairSet> {
+    fn eval_borrowed<'u, S: PairAlgebra>(&self, universe: &'u [S]) -> std::borrow::Cow<'u, S> {
         use std::borrow::Cow;
         match self {
             SetExpression::Set(i) => {
@@ -93,24 +96,25 @@ impl SetExpression {
         }
     }
 
-    /// Evaluates over experiments directly.
-    pub fn evaluate_experiments(&self, experiments: &[&Experiment]) -> PairSet {
-        let universe: Vec<PairSet> = experiments.iter().map(|e| e.pair_set()).collect();
+    /// Evaluates over experiments directly (in any engine `S`).
+    pub fn evaluate_experiments<S: PairAlgebra>(&self, experiments: &[&Experiment]) -> S {
+        let universe: Vec<S> = experiments.iter().map(|e| e.pair_set_as()).collect();
         self.evaluate(&universe)
     }
 }
 
-/// One region of an n-set Venn diagram.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct VennRegion {
+/// One region of an n-set Venn diagram, in either set engine
+/// (defaults to the packed [`PairSet`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VennRegion<S: PairAlgebra = PairSet> {
     /// Bitmask over the input sets: bit `i` set ⇔ pairs of this region
     /// belong to set `i`.
     pub membership: u32,
     /// The pairs exactly in the member sets and no others.
-    pub pairs: PairSet,
+    pub pairs: S,
 }
 
-impl VennRegion {
+impl<S: PairAlgebra> VennRegion<S> {
     /// Whether the region includes set `i`.
     pub fn contains_set(&self, i: usize) -> bool {
         self.membership & (1 << i) != 0
@@ -127,15 +131,16 @@ impl VennRegion {
 /// UI caps at 3, "Venn diagrams of more than three sets need … advanced
 /// shapes"). Each pair is visited exactly once and lands in exactly one
 /// region, in ascending order — so the per-region sets are built by
-/// appending, never sorting.
-pub fn venn_regions(sets: &[PairSet]) -> Vec<VennRegion> {
+/// appending, never sorting. Generic over the engine: chunked sets run
+/// the merge word-at-a-time over dense chunks.
+pub fn venn_regions<S: PairAlgebra>(sets: &[S]) -> Vec<VennRegion<S>> {
     let mut by_mask: Vec<(u32, Vec<u64>)> = Vec::new();
     // Up to 2^k masks can materialize. For few sets a linear scan over
     // the live masks beats hashing every pair; beyond that, keep an
     // index so a mask-rich workload (many experiments with varied
     // overlap) stays O(pairs), not O(pairs · regions).
     if sets.len() <= 4 {
-        kway_merge_masks(sets, |packed, mask| {
+        S::kway_merge_masks(sets, |packed, mask| {
             match by_mask.iter_mut().find(|(m, _)| *m == mask) {
                 Some((_, v)) => v.push(packed),
                 None => by_mask.push((mask, vec![packed])),
@@ -143,7 +148,7 @@ pub fn venn_regions(sets: &[PairSet]) -> Vec<VennRegion> {
         });
     } else {
         let mut index: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
-        kway_merge_masks(sets, |packed, mask| {
+        S::kway_merge_masks(sets, |packed, mask| {
             let at = *index.entry(mask).or_insert_with(|| {
                 by_mask.push((mask, Vec::new()));
                 by_mask.len() - 1
@@ -151,13 +156,13 @@ pub fn venn_regions(sets: &[PairSet]) -> Vec<VennRegion> {
             by_mask[at].1.push(packed);
         });
     }
-    let mut regions: Vec<VennRegion> = by_mask
+    let mut regions: Vec<VennRegion<S>> = by_mask
         .into_iter()
         .map(|(membership, packed)| VennRegion {
             membership,
             // Values arrive in ascending global order, so each region's
             // vector is already sorted and deduplicated.
-            pairs: PairSet::from_sorted_packed(packed),
+            pairs: S::from_sorted_packed(packed),
         })
         .collect();
     regions.sort_by_key(|r| r.membership);
@@ -169,17 +174,25 @@ pub fn venn_regions(sets: &[PairSet]) -> Vec<VennRegion> {
 /// least four solutions" is `found_by_at_most(&truth_minus_each, …)`;
 /// here expressed directly: ground-truth pairs detected by at most
 /// `max_finders` experiments.
-pub fn hard_pairs(
-    truth_pairs: &PairSet,
+pub fn hard_pairs<S: PairAlgebra>(
+    truth_pairs: &S,
     experiments: &[&Experiment],
     max_finders: usize,
 ) -> Vec<(RecordPair, usize)> {
-    let sets: Vec<PairSet> = experiments.iter().map(|e| e.pair_set()).collect();
-    let mut out: Vec<(RecordPair, usize)> = truth_pairs
-        .iter()
-        .map(|p| (p, sets.iter().filter(|s| s.contains(&p)).count()))
-        .filter(|&(_, finders)| finders <= max_finders)
-        .collect();
+    let sets: Vec<S> = experiments.iter().map(|e| e.pair_set_as()).collect();
+    // Stream the (potentially huge) ground truth instead of
+    // materializing it; only the qualifying hard pairs are kept.
+    let mut out: Vec<(RecordPair, usize)> = Vec::new();
+    truth_pairs.for_each_packed(|x| {
+        let p = RecordPair::new(
+            crate::dataset::RecordId((x >> 32) as u32),
+            crate::dataset::RecordId(x as u32),
+        );
+        let finders = sets.iter().filter(|s| s.contains(&p)).count();
+        if finders <= max_finders {
+            out.push((p, finders));
+        }
+    });
     out.sort_by_key(|&(p, finders)| (finders, p));
     out
 }
@@ -235,7 +248,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of range")]
     fn out_of_range_leaf_panics() {
-        SetExpression::set(5).evaluate(&[]);
+        SetExpression::set(5).evaluate::<PairSet>(&[]);
     }
 
     #[test]
@@ -287,6 +300,32 @@ mod tests {
         assert_eq!(hard2.len(), 2);
         assert_eq!(hard2[0].0, pair(4, 5));
         assert_eq!(hard2[1], (pair(2, 3), 2));
+    }
+
+    #[test]
+    fn engines_agree_on_expressions_and_venn() {
+        use crate::dataset::ChunkedPairSet;
+        let packed = vec![
+            setof(&[(0, 1), (0, 2), (4, 5)]),
+            setof(&[(0, 1), (2, 3)]),
+            setof(&[(2, 3), (4, 5), (6, 7)]),
+        ];
+        let chunked: Vec<ChunkedPairSet> =
+            packed.iter().map(ChunkedPairSet::from_pair_set).collect();
+        let expr = SetExpression::set(0)
+            .union(SetExpression::set(1))
+            .difference(SetExpression::set(2));
+        assert_eq!(
+            expr.evaluate(&chunked).to_pair_set(),
+            expr.evaluate(&packed)
+        );
+        let rp = venn_regions(&packed);
+        let rc = venn_regions(&chunked);
+        assert_eq!(rp.len(), rc.len());
+        for (p, c) in rp.iter().zip(&rc) {
+            assert_eq!(p.membership, c.membership);
+            assert_eq!(c.pairs.to_pair_set(), p.pairs);
+        }
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! | Predicted negative | `G \ E` (FN)    | `([D]² \ E) \ G` (TN) |
 
 use crate::clustering::Clustering;
-use crate::dataset::{Experiment, PairSet};
+use crate::dataset::{Experiment, PairAlgebra};
 use serde::{Deserialize, Serialize};
 
 /// Pair counts for one experiment/ground-truth comparison.
@@ -68,11 +68,14 @@ impl ConfusionMatrix {
     }
 
     /// Compares two pair sets directly. `total` must be `|[D]²|`.
+    /// Generic over the set engine ([`PairAlgebra`]): packed sets pay
+    /// one linear merge, chunked sets use popcount kernels on their
+    /// bitmap chunks.
     ///
     /// TP is an allocation-free merge count
-    /// ([`PairSet::intersection_len`]), so the whole matrix costs one
-    /// linear pass over the two packed sets.
-    pub fn from_pair_sets(experiment: &PairSet, truth: &PairSet, total: u64) -> Self {
+    /// ([`PairAlgebra::intersection_len`]), so the whole matrix costs
+    /// one pass over the two sets.
+    pub fn from_pair_sets<S: PairAlgebra>(experiment: &S, truth: &S, total: u64) -> Self {
         let tp = experiment.intersection_len(truth) as u64;
         let fp = experiment.len() as u64 - tp;
         let fn_ = truth.len() as u64 - tp;
@@ -129,7 +132,7 @@ pub fn total_pairs(n: usize) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::dataset::RecordPair;
+    use crate::dataset::{PairSet, RecordPair};
 
     #[test]
     fn from_experiment_counts() {
@@ -156,6 +159,10 @@ mod tests {
             .collect();
         let m = ConfusionMatrix::from_pair_sets(&e, &g, total_pairs(4));
         assert_eq!(m, ConfusionMatrix::new(1, 1, 1, 3));
+        // The chunked engine computes the same matrix.
+        let ec = crate::dataset::ChunkedPairSet::from_pair_set(&e);
+        let gc = crate::dataset::ChunkedPairSet::from_pair_set(&g);
+        assert_eq!(ConfusionMatrix::from_pair_sets(&ec, &gc, total_pairs(4)), m);
     }
 
     #[test]

@@ -19,7 +19,7 @@ use crate::clustering::algorithms::{
     center_clustering, clustering_agreement, connected_components, greedy_clique_clustering,
 };
 use crate::clustering::{closure, Clustering};
-use crate::dataset::{Experiment, PairSet, RecordPair};
+use crate::dataset::{ChunkedPairSet, Experiment, PairAlgebra, PairSet, RecordPair};
 use std::collections::HashMap;
 
 /// The number of pairs that must be added for the experiment's match set
@@ -237,17 +237,26 @@ pub fn bridge_ratio(n: usize, experiment: &Experiment) -> f64 {
 /// Vogel et al.'s annealing standard).
 ///
 /// Computed as one sort + run-length count over the concatenated packed
-/// pair sets — no hashing.
+/// pair sets — no hashing. Returns the packed engine; use
+/// [`majority_vote_as`] to build the consensus in another
+/// [`PairAlgebra`] representation.
 pub fn majority_vote(experiments: &[&Experiment]) -> PairSet {
-    let mut all: Vec<RecordPair> = Vec::new();
+    majority_vote_as(experiments)
+}
+
+/// [`majority_vote`], generic over the output set engine.
+pub fn majority_vote_as<S: PairAlgebra>(experiments: &[&Experiment]) -> S {
+    let mut all: Vec<u64> = Vec::new();
     for e in experiments {
         // `pair_set()` dedups within one experiment, so each experiment
         // contributes at most one vote per pair.
-        all.extend(e.pair_set());
+        all.extend(e.pair_set().as_packed());
     }
     all.sort_unstable();
     let quorum = experiments.len() / 2;
-    let mut out = PairSet::new();
+    // Qualifying pairs fall out of the run-length scan in ascending
+    // order — exactly the `from_sorted_packed` contract.
+    let mut consensus: Vec<u64> = Vec::new();
     let mut i = 0;
     while i < all.len() {
         let mut j = i + 1;
@@ -255,11 +264,11 @@ pub fn majority_vote(experiments: &[&Experiment]) -> PairSet {
             j += 1;
         }
         if j - i > quorum {
-            out.insert(all[i]);
+            consensus.push(all[i]);
         }
         i = j;
     }
-    out
+    S::from_sorted_packed(consensus)
 }
 
 /// Per-experiment deviation from the majority vote: the number of pairs
@@ -267,12 +276,16 @@ pub fn majority_vote(experiments: &[&Experiment]) -> PairSet {
 /// non-consensus pair, or missed a consensus pair). "The total number of
 /// deviations from the majority votes can be used to estimate the
 /// quality of the whole matching result."
+///
+/// Runs on the chunked engine: with many experiments the consensus and
+/// the per-experiment sets are held simultaneously, so the compressed
+/// representation bounds the working set.
 pub fn consensus_deviation(experiments: &[&Experiment]) -> Vec<(String, u64)> {
-    let consensus = majority_vote(experiments);
+    let consensus: ChunkedPairSet = majority_vote_as(experiments);
     experiments
         .iter()
         .map(|e| {
-            let own = e.pair_set();
+            let own = e.chunked_pair_set();
             let false_extra = own.difference_len(&consensus) as u64;
             let missed = consensus.difference_len(&own) as u64;
             (e.name().to_string(), false_extra + missed)

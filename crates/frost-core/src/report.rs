@@ -7,6 +7,7 @@
 //! (§4.5.2–4.5.3) and error profiles. All renderers are pure
 //! `data → String` so they are trivially testable and embeddable.
 
+use crate::dataset::PairAlgebra;
 use crate::explore::attribute_stats::AttributeRatio;
 use crate::explore::error_categories::{ErrorCategory, ErrorProfile};
 use crate::explore::selection::Partition;
@@ -36,9 +37,10 @@ pub fn metrics_table(rows: &[(String, ConfusionMatrix)], metrics: &[PairMetric])
     out
 }
 
-/// Renders Venn regions with set names, largest region first.
-pub fn venn_table(regions: &[VennRegion], set_names: &[&str]) -> String {
-    let mut sorted: Vec<&VennRegion> = regions.iter().collect();
+/// Renders Venn regions with set names, largest region first. Works
+/// for regions of either set engine.
+pub fn venn_table<S: PairAlgebra>(regions: &[VennRegion<S>], set_names: &[&str]) -> String {
+    let mut sorted: Vec<&VennRegion<S>> = regions.iter().collect();
     sorted.sort_by_key(|r| std::cmp::Reverse(r.pairs.len()));
     let mut out = String::new();
     for region in sorted {

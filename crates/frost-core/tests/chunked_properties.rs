@@ -1,0 +1,268 @@
+//! Property tests: the roaring-style [`ChunkedPairSet`] engine agrees
+//! with *two* reference models on every operation — the packed
+//! [`PairSet`] (the other production engine) and a plain
+//! `HashSet<RecordPair>` — for random inputs spanning both container
+//! kinds, plus exact pinning of the array↔bitmap promotion boundary at
+//! 4095/4096/4097 elements.
+
+use frost_core::dataset::chunked::ARRAY_MAX;
+use frost_core::dataset::{ChunkedPairSet, PairAlgebra, PairSet, RecordPair};
+use frost_core::explore::setops::venn_regions;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Random raw id pairs; self-pairs are filtered during set-building.
+fn raw_pairs(universe: u32, max: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec((0..universe, 0..universe), 0..max)
+}
+
+/// A chunk-shape strategy: pairs concentrated on few `lo` ids so runs
+/// regularly cross the container boundary (dense chunks), with `hi`
+/// drawn from a window around the boundary sizes.
+fn dense_chunks(
+    lo_ids: u32,
+    hi_universe: u32,
+    max: usize,
+) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec((0..lo_ids, 0..hi_universe), 0..max).prop_map(|v| {
+        v.into_iter()
+            .map(|(lo, hi)| (lo, lo + 1 + hi)) // keep lo < hi: chunk key is lo
+            .collect()
+    })
+}
+
+fn models(raw: Vec<(u32, u32)>) -> (ChunkedPairSet, PairSet, HashSet<RecordPair>) {
+    let reference: HashSet<RecordPair> = raw
+        .into_iter()
+        .filter(|(a, b)| a != b)
+        .map(RecordPair::from)
+        .collect();
+    let packed: PairSet = reference.iter().copied().collect();
+    let chunked: ChunkedPairSet = reference.iter().copied().collect();
+    (chunked, packed, reference)
+}
+
+fn as_hash(set: &ChunkedPairSet) -> HashSet<RecordPair> {
+    set.iter().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Construction: size, membership, iteration order, and round-trip
+    /// through the packed engine.
+    #[test]
+    fn construction_agrees(raw in raw_pairs(24, 60)) {
+        let (chunked, packed, reference) = models(raw);
+        prop_assert_eq!(chunked.len(), reference.len());
+        prop_assert_eq!(chunked.is_empty(), reference.is_empty());
+        for p in &reference {
+            prop_assert!(chunked.contains(p));
+        }
+        let iterated: Vec<RecordPair> = chunked.iter().collect();
+        let via_packed: Vec<RecordPair> = packed.iter().collect();
+        prop_assert_eq!(iterated, via_packed, "iteration must match packed order");
+        prop_assert!(!chunked.contains(&RecordPair::from((1000u32, 1001u32))));
+        prop_assert_eq!(chunked.to_pair_set(), packed.clone());
+        prop_assert_eq!(ChunkedPairSet::from_pair_set(&packed), chunked);
+    }
+
+    /// Union / intersection / difference against both models, on
+    /// sparse (array-only) shapes.
+    #[test]
+    fn set_algebra_agrees(a_raw in raw_pairs(24, 60), b_raw in raw_pairs(24, 60)) {
+        let (a, pa, ra) = models(a_raw);
+        let (b, pb, rb) = models(b_raw);
+        prop_assert_eq!(as_hash(&a.union(&b)), ra.union(&rb).copied().collect::<HashSet<_>>());
+        prop_assert_eq!(a.union(&b).to_pair_set(), pa.union(&pb));
+        prop_assert_eq!(
+            as_hash(&a.intersection(&b)),
+            ra.intersection(&rb).copied().collect::<HashSet<_>>()
+        );
+        prop_assert_eq!(a.intersection(&b).to_pair_set(), pa.intersection(&pb));
+        prop_assert_eq!(
+            as_hash(&a.difference(&b)),
+            ra.difference(&rb).copied().collect::<HashSet<_>>()
+        );
+        prop_assert_eq!(a.difference(&b).to_pair_set(), pa.difference(&pb));
+        prop_assert_eq!(a.intersection_len(&b), ra.intersection(&rb).count());
+        prop_assert_eq!(a.difference_len(&b), ra.difference(&rb).count());
+        prop_assert_eq!(a.is_subset(&b), ra.is_subset(&rb));
+        prop_assert_eq!(a.is_disjoint(&b), ra.is_disjoint(&rb));
+    }
+
+    /// Dense chunk shapes cross the bitmap threshold; all kernel
+    /// pairings (bitmap×bitmap, array×bitmap, array×array) must agree
+    /// with both models. `hi` windows overlap so intersections are
+    /// non-trivial.
+    #[test]
+    fn dense_chunk_algebra_agrees(
+        a_raw in dense_chunks(2, 6000, 9000),
+        b_raw in dense_chunks(2, 6000, 700),
+    ) {
+        let (a, pa, ra) = models(a_raw);
+        let (b, pb, rb) = models(b_raw);
+        prop_assert_eq!(a.union(&b).to_pair_set(), pa.union(&pb));
+        prop_assert_eq!(a.intersection(&b).to_pair_set(), pa.intersection(&pb));
+        prop_assert_eq!(b.intersection(&a).to_pair_set(), pb.intersection(&pa));
+        prop_assert_eq!(a.difference(&b).to_pair_set(), pa.difference(&pb));
+        prop_assert_eq!(b.difference(&a).to_pair_set(), pb.difference(&pa));
+        prop_assert_eq!(a.intersection_len(&b), ra.intersection(&rb).count());
+        prop_assert_eq!(b.intersection_len(&a), ra.intersection(&rb).count());
+    }
+
+    /// Venn regions on the chunked engine: the same exclusive
+    /// partition as the packed engine and the per-pair reference.
+    #[test]
+    fn venn_regions_agree_with_both_models(
+        raw in prop::collection::vec(raw_pairs(16, 30), 1..7),
+    ) {
+        let built: Vec<(ChunkedPairSet, PairSet, HashSet<RecordPair>)> =
+            raw.into_iter().map(models).collect();
+        let chunked: Vec<ChunkedPairSet> = built.iter().map(|(c, _, _)| c.clone()).collect();
+        let packed: Vec<PairSet> = built.iter().map(|(_, p, _)| p.clone()).collect();
+        let reference: Vec<&HashSet<RecordPair>> = built.iter().map(|(_, _, r)| r).collect();
+        let rc = venn_regions(&chunked);
+        let rp = venn_regions(&packed);
+        prop_assert_eq!(rc.len(), rp.len());
+        let mut seen: HashSet<RecordPair> = HashSet::new();
+        for (c, p) in rc.iter().zip(&rp) {
+            prop_assert_eq!(c.membership, p.membership);
+            prop_assert_eq!(c.pairs.to_pair_set(), p.pairs.clone());
+            for pair in c.pairs.iter() {
+                prop_assert!(seen.insert(pair), "pair in two regions");
+                for (i, r) in reference.iter().enumerate() {
+                    prop_assert_eq!(c.contains_set(i), r.contains(&pair));
+                }
+            }
+        }
+        let union: HashSet<RecordPair> = reference.iter().flat_map(|r| r.iter().copied()).collect();
+        prop_assert_eq!(seen, union);
+    }
+
+    /// Venn with a guaranteed bitmap participant (the word-sweep path)
+    /// still partitions exactly like the packed engine.
+    #[test]
+    fn venn_with_bitmap_chunks_agrees(extra in raw_pairs(32, 40)) {
+        let big: Vec<(u32, u32)> = (1..=(ARRAY_MAX as u32 + 200)).map(|hi| (0u32, hi)).collect();
+        let (a, pa, _) = models(big);
+        prop_assert!(a.bitmap_chunk_count() >= 1, "setup must include a bitmap chunk");
+        let (b, pb, _) = models(extra);
+        let rc = venn_regions(&[a, b]);
+        let rp = venn_regions(&[pa, pb]);
+        prop_assert_eq!(rc.len(), rp.len());
+        for (c, p) in rc.iter().zip(&rp) {
+            prop_assert_eq!(c.membership, p.membership);
+            prop_assert_eq!(c.pairs.to_pair_set(), p.pairs.clone());
+        }
+    }
+
+    /// Incremental insert keeps all three models in sync, across the
+    /// promotion boundary as well.
+    #[test]
+    fn incremental_updates_agree(base in raw_pairs(20, 30), extra in raw_pairs(20, 30)) {
+        let (mut chunked, _, mut reference) = models(base);
+        for (a, b) in extra {
+            if a == b {
+                continue;
+            }
+            let p = RecordPair::from((a, b));
+            prop_assert_eq!(chunked.insert(p), reference.insert(p));
+        }
+        prop_assert_eq!(as_hash(&chunked), reference);
+    }
+}
+
+/// The array↔bitmap boundary, pinned exactly: 4095 and 4096 elements
+/// stay arrays, 4097 promotes — and operation results demote when they
+/// shrink back to ≤ 4096.
+#[test]
+fn promotion_boundary_exact() {
+    let chunk = |count: u32| -> ChunkedPairSet {
+        (1..=count).map(|hi| RecordPair::from((0u32, hi))).collect()
+    };
+    for (count, bitmaps) in [
+        (ARRAY_MAX as u32 - 1, 0usize), // 4095 → array
+        (ARRAY_MAX as u32, 0),          // 4096 → array (inclusive max)
+        (ARRAY_MAX as u32 + 1, 1),      // 4097 → bitmap
+    ] {
+        let s = chunk(count);
+        assert_eq!(s.len(), count as usize);
+        assert_eq!(
+            s.bitmap_chunk_count(),
+            bitmaps,
+            "container kind at {count} elements"
+        );
+        // The representation stays faithful either way.
+        assert_eq!(s.to_pair_set().len(), count as usize);
+    }
+
+    // Demotion: shrinking a bitmap chunk back to ≤ 4096 elements via
+    // set operations yields an array container again (canonical form).
+    let big = chunk(ARRAY_MAX as u32 + 1);
+    let first = chunk(ARRAY_MAX as u32);
+    let inter = big.intersection(&first);
+    assert_eq!(inter.len(), ARRAY_MAX);
+    assert_eq!(
+        inter.bitmap_chunk_count(),
+        0,
+        "4096-element result must demote"
+    );
+    let boundary_diff = big.difference(&chunk(1));
+    assert_eq!(boundary_diff.len(), ARRAY_MAX);
+    assert_eq!(boundary_diff.bitmap_chunk_count(), 0);
+    // And a union pushing an array across the boundary promotes.
+    let at_max = chunk(ARRAY_MAX as u32);
+    let one_more: ChunkedPairSet = [RecordPair::from((0u32, ARRAY_MAX as u32 + 1))]
+        .into_iter()
+        .collect();
+    let promoted = at_max.union(&one_more);
+    assert_eq!(promoted.len(), ARRAY_MAX + 1);
+    assert_eq!(
+        promoted.bitmap_chunk_count(),
+        1,
+        "4097-element union must promote"
+    );
+}
+
+/// Insert promotes exactly at the 4097th element of a chunk.
+#[test]
+fn insert_promotes_at_boundary() {
+    let mut s: ChunkedPairSet = (1..=ARRAY_MAX as u32)
+        .map(|hi| RecordPair::from((0u32, hi)))
+        .collect();
+    assert_eq!(s.bitmap_chunk_count(), 0);
+    assert!(s.insert(RecordPair::from((0u32, ARRAY_MAX as u32 + 1))));
+    assert_eq!(s.bitmap_chunk_count(), 1);
+    assert_eq!(s.len(), ARRAY_MAX + 1);
+    // Re-inserting an existing element reports false and keeps size.
+    assert!(!s.insert(RecordPair::from((0u32, 7u32))));
+    assert_eq!(s.len(), ARRAY_MAX + 1);
+}
+
+/// The chunked representation is never larger than ~half the packed
+/// one on chunk-dense workloads, and bitmap chunks compress far below
+/// that.
+#[test]
+fn memory_stays_below_packed() {
+    // Dense: one 60k-element chunk → bitmap.
+    let dense: ChunkedPairSet = (1..=60_000u32)
+        .map(|hi| RecordPair::from((0u32, hi)))
+        .collect();
+    let packed_dense: PairSet = (1..=60_000u32)
+        .map(|hi| RecordPair::from((0u32, hi)))
+        .collect();
+    assert!(PairAlgebra::heap_bytes(&dense) * 10 < packed_dense.heap_bytes());
+    // Sparse arrays: ~4 bytes/pair + 28 bytes/chunk of directory vs a
+    // flat 8 bytes/pair — a win once chunks average ≥ ~8 elements.
+    let sparse: ChunkedPairSet = (0..2_000u32)
+        .flat_map(|lo| (1..=16u32).map(move |d| RecordPair::from((lo, lo + d))))
+        .collect();
+    let packed_sparse: PairSet = sparse.iter().collect();
+    assert!(
+        PairAlgebra::heap_bytes(&sparse) < packed_sparse.heap_bytes() * 3 / 4,
+        "chunked {} vs packed {}",
+        PairAlgebra::heap_bytes(&sparse),
+        packed_sparse.heap_bytes()
+    );
+}

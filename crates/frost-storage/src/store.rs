@@ -255,6 +255,64 @@ impl BenchmarkStore {
         Ok(points)
     }
 
+    /// Diagram series for several experiments at once — the
+    /// multi-experiment N-Metrics sweep. Cached series are reused;
+    /// the uncached remainder is sharded across rayon tasks
+    /// ([`DiagramEngine::confusion_series_multi`]), then inserted into
+    /// the cache under one write lock. Results are in input order.
+    pub fn diagram_series_multi(
+        &self,
+        experiments: &[&str],
+        engine: DiagramEngine,
+        s: usize,
+    ) -> Result<Vec<Vec<DiagramPoint>>, StoreError> {
+        let mut out: Vec<Option<Vec<DiagramPoint>>> = vec![None; experiments.len()];
+        let mut missing: Vec<usize> = Vec::new();
+        {
+            let cache = self.diagram_cache.read();
+            for (i, name) in experiments.iter().enumerate() {
+                match cache.get(&(name.to_string(), engine, s)) {
+                    Some(points) => out[i] = Some(points.clone()),
+                    None => missing.push(i),
+                }
+            }
+        }
+        if !missing.is_empty() {
+            // Resolve all store lookups up front (borrow checks + the
+            // per-experiment dataset sizes), then sweep in parallel.
+            // The parallel engine requires one shared ground truth, so
+            // group the misses by dataset.
+            let mut by_dataset: HashMap<String, Vec<usize>> = HashMap::new();
+            for &i in &missing {
+                let stored = self.experiment(experiments[i])?;
+                by_dataset
+                    .entry(stored.dataset.clone())
+                    .or_default()
+                    .push(i);
+            }
+            let mut computed: Vec<(usize, Vec<DiagramPoint>)> = Vec::with_capacity(missing.len());
+            for (dataset, indices) in by_dataset {
+                let ds = self.dataset(&dataset)?;
+                let truth = self.gold_standard(&dataset)?;
+                let exps: Vec<&Experiment> = indices
+                    .iter()
+                    .map(|&i| Ok(&self.experiment(experiments[i])?.experiment))
+                    .collect::<Result<_, StoreError>>()?;
+                let series = engine.confusion_series_multi(ds.len(), truth, &exps, s);
+                computed.extend(indices.into_iter().zip(series));
+            }
+            let mut cache = self.diagram_cache.write();
+            for (i, points) in computed {
+                cache.insert((experiments[i].to_string(), engine, s), points.clone());
+                out[i] = Some(points);
+            }
+        }
+        Ok(out
+            .into_iter()
+            .map(|o| o.expect("every slot filled"))
+            .collect())
+    }
+
     /// Whether a diagram series is already cached (test/metrics hook).
     pub fn diagram_cached(&self, experiment: &str, engine: DiagramEngine, s: usize) -> bool {
         self.diagram_cache
@@ -365,6 +423,38 @@ mod tests {
             .diagram_series("run-1", DiagramEngine::Naive, 3)
             .unwrap();
         assert_eq!(a, naive);
+    }
+
+    #[test]
+    fn multi_series_matches_single_and_fills_cache() {
+        let mut store = store_with_data();
+        store
+            .add_experiment(
+                "people",
+                Experiment::from_scored_pairs("run-2", [(2u32, 3u32, 0.8)]),
+                None,
+            )
+            .unwrap();
+        // Warm one of the two so the multi call mixes cached + fresh.
+        let single = store
+            .diagram_series("run-1", DiagramEngine::Optimized, 3)
+            .unwrap();
+        let multi = store
+            .diagram_series_multi(&["run-1", "run-2"], DiagramEngine::Optimized, 3)
+            .unwrap();
+        assert_eq!(multi.len(), 2);
+        assert_eq!(multi[0], single);
+        assert_eq!(
+            multi[1],
+            store
+                .diagram_series("run-2", DiagramEngine::Optimized, 3)
+                .unwrap()
+        );
+        assert!(store.diagram_cached("run-2", DiagramEngine::Optimized, 3));
+        assert!(matches!(
+            store.diagram_series_multi(&["nope"], DiagramEngine::Optimized, 3),
+            Err(StoreError::UnknownExperiment(_))
+        ));
     }
 
     #[test]

@@ -200,7 +200,9 @@ fn run(command: Command) -> Result<(), String> {
                     import_experiment(&format!("exp-{i}"), &ds, &read(path)?, CsvOptions::comma())
                         .map_err(|e| e.to_string())?;
                 names.push(path.clone());
-                sets.push(e.pair_set());
+                // Chunked sets: the venn view holds every experiment at
+                // once, so use the compressed engine (as storage::api does).
+                sets.push(e.chunked_pair_set());
             }
             names.push("<gold>".into());
             sets.push(truth.intra_pairs().collect());

@@ -6,13 +6,30 @@
 //! `std::thread::scope` and contiguous chunking (no work stealing).
 //! Results preserve input order.
 //!
-//! Small inputs (below [`SEQUENTIAL_CUTOFF`] items) run sequentially so
-//! thread spawn overhead never penalizes the tiny datasets the unit
-//! tests exercise. `RAYON_NUM_THREADS` caps the thread count like the
-//! real crate.
+//! Chunking follows a *minimum chunk size* discipline: the number of
+//! chunks is capped at `n / min_len` (default `min_len` =
+//! [`SEQUENTIAL_CUTOFF`]), so a tiny input — e.g. a diagram sweep over
+//! three small experiments with default settings — collapses to a
+//! single chunk and runs on the calling thread instead of paying one
+//! thread spawn per item. Heavy per-item workloads opt into finer
+//! sharding with [`ParIter::with_min_len`]. `RAYON_NUM_THREADS` caps
+//! the thread count like the real crate.
 
-/// Inputs shorter than this are processed on the calling thread.
+/// Default minimum items per spawned chunk; inputs no longer than this
+/// are processed on the calling thread.
 pub const SEQUENTIAL_CUTOFF: usize = 2_048;
+
+/// Chunk size for `n` items on `threads` workers with a `min_len`
+/// floor. The chunk *count* is capped at `n / min_len`, then items are
+/// split evenly, so no spawned chunk runs more than a rounding step
+/// below `min_len` (a naive `div_ceil(threads).max(min_len)` would
+/// leave a tiny remainder chunk — e.g. 2049 items at `min_len` 2048
+/// must not spawn a 1-item thread) and an input of at most `min_len`
+/// items stays on the calling thread entirely.
+fn chunk_size(n: usize, threads: usize, min_len: usize) -> usize {
+    let chunks = (n / min_len.max(1)).clamp(1, threads.max(1));
+    n.div_ceil(chunks)
+}
 
 /// Number of worker threads used for parallel operations.
 ///
@@ -33,9 +50,10 @@ pub fn current_num_threads() -> usize {
 }
 
 /// Maps `f` over `items` on up to [`current_num_threads`] scoped
-/// threads, preserving order. `cutoff` is the minimum item count worth
-/// parallelizing.
-fn par_map_slice<'a, T, R, F>(items: &'a [T], f: &F, cutoff: usize) -> Vec<R>
+/// threads, preserving order. `min_len` is the minimum chunk size: no
+/// spawned chunk holds fewer items, and when one chunk would cover
+/// everything the map runs on the calling thread.
+fn par_map_slice<'a, T, R, F>(items: &'a [T], f: &F, min_len: usize) -> Vec<R>
 where
     T: Sync,
     R: Send,
@@ -43,10 +61,10 @@ where
 {
     let n = items.len();
     let threads = current_num_threads().min(n.max(1));
-    if threads <= 1 || n < cutoff {
+    let chunk = chunk_size(n, threads, min_len);
+    if threads <= 1 || chunk >= n {
         return items.iter().map(f).collect();
     }
-    let chunk = n.div_ceil(threads);
     let mut out: Vec<R> = Vec::with_capacity(n);
     std::thread::scope(|s| {
         let handles: Vec<_> = items
@@ -98,10 +116,11 @@ impl<'a, T: Sync> ParIter<'a, T> {
         }
     }
 
-    /// Sets the minimum item count worth parallelizing (items below it
-    /// run on the calling thread). Rayon treats this as a splitting
-    /// hint; the shim uses it as its sequential cutoff, so heavy
-    /// per-item workloads can pass `with_min_len(1)` to force threads.
+    /// Sets the minimum chunk size: no spawned chunk holds fewer than
+    /// `min` items, and an input of at most `min` items runs on the
+    /// calling thread. Matches rayon's splitting-hint semantics; heavy
+    /// per-item workloads pass `with_min_len(1)` to shard down to
+    /// single items.
     pub fn with_min_len(mut self, min: usize) -> Self {
         self.cutoff = min.max(1);
         self
@@ -242,10 +261,10 @@ impl<T: Send, F> IntoParMap<T, F> {
     {
         let n = self.items.len();
         let threads = current_num_threads().min(n.max(1));
-        if threads <= 1 || n < SEQUENTIAL_CUTOFF {
+        let chunk = chunk_size(n, threads, SEQUENTIAL_CUTOFF);
+        if threads <= 1 || chunk >= n {
             return C::from_par_vec(self.items.into_iter().map(&self.f).collect());
         }
-        let chunk = n.div_ceil(threads);
         let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
         let mut items = self.items;
         while !items.is_empty() {
@@ -383,6 +402,36 @@ mod tests {
         expected.sort_unstable();
         v.par_sort_unstable();
         assert_eq!(v, expected);
+    }
+
+    #[test]
+    fn chunk_size_enforces_minimum() {
+        // Even splitting when the input is large.
+        assert_eq!(super::chunk_size(8_192, 4, 1), 2_048);
+        // The min_len floor wins over even splitting: 3 items on 8
+        // threads with the default floor stay in one chunk.
+        assert_eq!(super::chunk_size(3, 8, super::SEQUENTIAL_CUTOFF), 3);
+        // min_len 1 allows per-item chunks for heavy work.
+        assert_eq!(super::chunk_size(3, 8, 1), 1);
+        // One item over the floor must not spawn a 1-item remainder
+        // chunk: the whole input stays in one chunk.
+        assert_eq!(super::chunk_size(2_049, 8, 2_048), 2_049);
+        // Twice the floor plus one splits evenly, not [4096, 1].
+        assert_eq!(super::chunk_size(4_097, 8, 2_048), 2_049);
+        // Degenerate parameters clamp instead of dividing by zero.
+        assert_eq!(super::chunk_size(10, 0, 0), 10);
+    }
+
+    #[test]
+    fn min_len_keeps_tiny_inputs_on_calling_thread() {
+        // 3 items with the default floor: one chunk ⇒ sequential path,
+        // order preserved, no spawn per item.
+        let input = vec![10u32, 20, 30];
+        let out: Vec<u32> = input.par_iter().map(|&x| x / 10).collect();
+        assert_eq!(out, vec![1, 2, 3]);
+        // Forcing min_len(1) still yields correct ordered results.
+        let out: Vec<u32> = input.par_iter().with_min_len(1).map(|&x| x / 10).collect();
+        assert_eq!(out, vec![1, 2, 3]);
     }
 
     #[test]
