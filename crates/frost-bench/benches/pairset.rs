@@ -1,8 +1,9 @@
-//! Pair-set engine benchmarks: roaring-style `ChunkedPairSet` vs
-//! packed `PairSet` vs the seed's `HashSet<RecordPair>` baseline, plus
-//! galloping-threshold tuning, memory footprints, the rayon-sharded
-//! diagram sweep, and matching-pipeline core scaling — the
-//! measurements behind this repo's `BENCH_pairset.json`.
+//! Pair-set engine benchmarks: the two-level `RoaringPairSet` vs the
+//! single-level `ChunkedPairSet` vs packed `PairSet` vs the seed's
+//! `HashSet<RecordPair>` baseline, plus galloping-threshold tuning,
+//! memory footprints, the rayon-sharded diagram sweep, and
+//! matching-pipeline core scaling — the measurements behind this
+//! repo's `BENCH_pairset.json`.
 //!
 //! ```text
 //! cargo bench -p frost-bench --bench pairset            # smoke scale
@@ -11,30 +12,36 @@
 //!
 //! Sections:
 //!
-//! 1. **Set operations** on three workloads × three engines: union,
+//! 1. **Set operations** on three workloads × four engines: union,
 //!    intersection, difference, 3-set Venn regions, expression-tree TP
 //!    and confusion-matrix TP counting. Workloads: `uniform-250k` and
-//!    `uniform-2.5m` (uniformly sparse chunks — the packed engine's
-//!    home turf) and `dense-2.5m` (few `lo` ids with thousands of
-//!    partners each — bitmap containers dominate at full scale).
+//!    `uniform-2.5m` (uniformly sparse chunks — packed's home turf and
+//!    the roaring engine's target shape) and `dense-2.5m` (few `lo`
+//!    ids with thousands of partners each — bitmap containers dominate
+//!    at full scale).
 //! 2. **Galloping-ratio tuning**: scalar merge vs galloping
 //!    intersection head-to-head across size ratios; the crossover
-//!    backs the `GALLOP_RATIO` constant both engines share.
+//!    backs the `GALLOP_RATIO` constant all engines share.
 //! 3. **Memory footprint**: bytes/pair for each engine and workload
 //!    (hash estimated from hashbrown's bucket layout).
-//! 4. **Diagram sweep scaling**: `confusion_series_multi` over six
+//! 4. **Sparse-workload verdict** (`sparse_roaring` in the JSON): on
+//!    the uniform-2.5m shape the two-level engine must hold ≤ 2.4
+//!    bytes/pair *and* an intersection/union/venn3 geomean ≥ 1× vs
+//!    packed — the claim that motivated the second chunk level.
+//! 5. **Diagram sweep scaling**: `confusion_series_multi` over six
 //!    experiments at 1/2/4 rayon threads.
-//! 5. **Pipeline scaling**: one full matching pipeline at 1, 2 and all
+//! 6. **Pipeline scaling**: one full matching pipeline at 1, 2 and all
 //!    hardware threads.
 //!
 //! Regression gate: when `FROST_BENCH_BASELINE=<path>` is set, the run
-//! compares its packed-vs-hash geomean (uniform-250k) against the
-//! recorded one and exits nonzero on a >25% regression.
+//! compares its packed-vs-hash geomean (uniform-250k) and its sparse
+//! roaring-vs-packed geomean (uniform-2.5m) against the recorded ones
+//! and exits nonzero on a >25% regression of either.
 //! `FROST_BENCH_OUT=<path>` redirects the JSON (default:
 //! `BENCH_pairset.json` at the workspace root).
 
 use criterion::{black_box, Criterion};
-use frost_core::dataset::{ChunkedPairSet, Experiment, PairSet, RecordPair};
+use frost_core::dataset::{ChunkedPairSet, Experiment, PairSet, RecordPair, RoaringPairSet};
 use frost_core::diagram::DiagramEngine;
 use frost_core::explore::setops::{venn_regions, SetExpression};
 use frost_core::metrics::confusion::{total_pairs, ConfusionMatrix};
@@ -104,13 +111,14 @@ mod hash_baseline {
     }
 }
 
-/// One benchmark workload: the same three pair sets in all three
+/// One benchmark workload: the same three pair sets in all four
 /// representations.
 struct Workload {
     name: &'static str,
     records: usize,
     packed: [PairSet; 3],
     chunked: [ChunkedPairSet; 3],
+    roaring: [RoaringPairSet; 3],
     hash: [HashSet<RecordPair>; 3],
 }
 
@@ -120,6 +128,11 @@ impl Workload {
             ChunkedPairSet::from_sorted_packed(sets[0].clone()),
             ChunkedPairSet::from_sorted_packed(sets[1].clone()),
             ChunkedPairSet::from_sorted_packed(sets[2].clone()),
+        ];
+        let roaring = [
+            RoaringPairSet::from_sorted_packed(sets[0].clone()),
+            RoaringPairSet::from_sorted_packed(sets[1].clone()),
+            RoaringPairSet::from_sorted_packed(sets[2].clone()),
         ];
         let hash = sets.each_ref().map(|v| {
             v.iter()
@@ -132,6 +145,7 @@ impl Workload {
             records,
             packed,
             chunked,
+            roaring,
             hash,
         }
     }
@@ -187,10 +201,12 @@ fn bench_workload(c: &mut Criterion, w: &Workload) {
     let mut g = c.benchmark_group(format!("setops-{}", w.name));
     let (pa, pb, pt) = (&w.packed[0], &w.packed[1], &w.packed[2]);
     let (ca, cb, ct) = (&w.chunked[0], &w.chunked[1], &w.chunked[2]);
+    let (ra, rb, rt) = (&w.roaring[0], &w.roaring[1], &w.roaring[2]);
     let (ha, hb, ht) = (&w.hash[0], &w.hash[1], &w.hash[2]);
 
     g.bench_function("union/packed", |b| b.iter(|| black_box(pa.union(pb))));
     g.bench_function("union/chunked", |b| b.iter(|| black_box(ca.union(cb))));
+    g.bench_function("union/roaring", |b| b.iter(|| black_box(ra.union(rb))));
     g.bench_function("union/hash", |b| {
         b.iter(|| black_box(ha.union(hb).copied().collect::<HashSet<_>>()))
     });
@@ -200,6 +216,9 @@ fn bench_workload(c: &mut Criterion, w: &Workload) {
     });
     g.bench_function("intersection/chunked", |b| {
         b.iter(|| black_box(ca.intersection(cb)))
+    });
+    g.bench_function("intersection/roaring", |b| {
+        b.iter(|| black_box(ra.intersection(rb)))
     });
     g.bench_function("intersection/hash", |b| {
         b.iter(|| black_box(ha.intersection(hb).copied().collect::<HashSet<_>>()))
@@ -211,12 +230,16 @@ fn bench_workload(c: &mut Criterion, w: &Workload) {
     g.bench_function("difference/chunked", |b| {
         b.iter(|| black_box(ca.difference(cb)))
     });
+    g.bench_function("difference/roaring", |b| {
+        b.iter(|| black_box(ra.difference(rb)))
+    });
     g.bench_function("difference/hash", |b| {
         b.iter(|| black_box(ha.difference(hb).copied().collect::<HashSet<_>>()))
     });
 
     let packed_sets = [pa.clone(), pb.clone(), pt.clone()];
     let chunked_sets = [ca.clone(), cb.clone(), ct.clone()];
+    let roaring_sets = [ra.clone(), rb.clone(), rt.clone()];
     let hash_sets = [ha.clone(), hb.clone(), ht.clone()];
     g.bench_function("venn3/packed", |b| {
         b.iter(|| black_box(venn_regions(&packed_sets)))
@@ -224,22 +247,29 @@ fn bench_workload(c: &mut Criterion, w: &Workload) {
     g.bench_function("venn3/chunked", |b| {
         b.iter(|| black_box(venn_regions(&chunked_sets)))
     });
+    g.bench_function("venn3/roaring", |b| {
+        b.iter(|| black_box(venn_regions(&roaring_sets)))
+    });
     g.bench_function("venn3/hash", |b| {
         b.iter(|| black_box(hash_baseline::venn(&hash_sets)))
     });
 
     // The §4.1 exploration API as the seed shipped it: expression trees
-    // whose leaves clone their input sets (the packed/chunked engines
-    // borrow leaves instead).
+    // whose leaves clone their input sets (the packed/chunked/roaring
+    // engines borrow leaves instead).
     let expr = SetExpression::set(0).intersection(SetExpression::set(1));
     let packed_universe = vec![pa.clone(), pb.clone()];
     let chunked_universe = vec![ca.clone(), cb.clone()];
+    let roaring_universe = vec![ra.clone(), rb.clone()];
     let hash_universe = vec![ha.clone(), hb.clone()];
     g.bench_function("expression_tp/packed", |b| {
         b.iter(|| black_box(expr.evaluate(&packed_universe)))
     });
     g.bench_function("expression_tp/chunked", |b| {
         b.iter(|| black_box(expr.evaluate(&chunked_universe)))
+    });
+    g.bench_function("expression_tp/roaring", |b| {
+        b.iter(|| black_box(expr.evaluate(&roaring_universe)))
     });
     g.bench_function("expression_tp/hash", |b| {
         b.iter(|| black_box(hash_baseline::expression_tp(&hash_universe)))
@@ -251,12 +281,15 @@ fn bench_workload(c: &mut Criterion, w: &Workload) {
     g.bench_function("confusion/chunked", |b| {
         b.iter(|| black_box(ConfusionMatrix::from_pair_sets(ca, ct, total)))
     });
+    g.bench_function("confusion/roaring", |b| {
+        b.iter(|| black_box(ConfusionMatrix::from_pair_sets(ra, rt, total)))
+    });
     g.bench_function("confusion/hash", |b| {
         b.iter(|| black_box(hash_baseline::confusion(ha, ht, total)))
     });
     g.finish();
 
-    // Cross-check: identical results on all three representations.
+    // Cross-check: identical results on all four representations.
     let pv: Vec<(u32, usize)> = venn_regions(&packed_sets)
         .iter()
         .map(|r| (r.membership, r.pairs.len()))
@@ -265,9 +298,14 @@ fn bench_workload(c: &mut Criterion, w: &Workload) {
         .iter()
         .map(|r| (r.membership, r.pairs.len()))
         .collect();
+    let rv: Vec<(u32, usize)> = venn_regions(&roaring_sets)
+        .iter()
+        .map(|r| (r.membership, r.pairs.len()))
+        .collect();
     let hv = hash_baseline::venn(&hash_sets);
     assert_eq!(pv, hv, "venn mismatch packed vs hash on {}", w.name);
     assert_eq!(pv, cv, "venn mismatch packed vs chunked on {}", w.name);
+    assert_eq!(pv, rv, "venn mismatch packed vs roaring on {}", w.name);
     assert_eq!(
         ConfusionMatrix::from_pair_sets(pa, pt, total),
         hash_baseline::confusion(ha, ht, total),
@@ -276,9 +314,16 @@ fn bench_workload(c: &mut Criterion, w: &Workload) {
         ConfusionMatrix::from_pair_sets(pa, pt, total),
         ConfusionMatrix::from_pair_sets(ca, ct, total),
     );
+    assert_eq!(
+        ConfusionMatrix::from_pair_sets(pa, pt, total),
+        ConfusionMatrix::from_pair_sets(ra, rt, total),
+    );
     assert_eq!(ca.union(cb).to_pair_set(), pa.union(pb));
     assert_eq!(ca.intersection(cb).to_pair_set(), pa.intersection(pb));
     assert_eq!(ca.difference(cb).to_pair_set(), pa.difference(pb));
+    assert_eq!(ra.union(rb).to_pair_set(), pa.union(pb));
+    assert_eq!(ra.intersection(rb).to_pair_set(), pa.intersection(pb));
+    assert_eq!(ra.difference(rb).to_pair_set(), pa.difference(pb));
 }
 
 /// Local copies of the two intersection kernels, so the crossover can
@@ -390,13 +435,15 @@ fn main() {
     );
     for w in [&uniform_small, &uniform_big, &dense] {
         println!(
-            "  {:<13} |A| = {}, |B| = {}, |C| = {}  (bitmap chunks in A: {}/{})",
+            "  {:<13} |A| = {}, |B| = {}, |C| = {}  (bitmap chunks in A: chunked {}/{}, roaring {}/{})",
             w.name,
             w.packed[0].len(),
             w.packed[1].len(),
             w.packed[2].len(),
             w.chunked[0].bitmap_chunk_count(),
             w.chunked[0].chunk_count(),
+            w.roaring[0].bitmap_chunk_count(),
+            w.roaring[0].chunk_count(),
         );
     }
 
@@ -547,6 +594,11 @@ fn main() {
     let mut geomean_250k_log = 0.0f64; // packed vs hash, uniform-250k (CI gate)
     let mut dense_chunked_vs_packed_log = 0.0f64;
     let mut dense_core_ops = 0usize;
+    // Sparse verdict: roaring vs packed and vs chunked on the
+    // uniform-2.5m shape, over the ops the ISSUE names.
+    let mut sparse_roaring_vs_packed_log = 0.0f64;
+    let mut sparse_roaring_vs_chunked_log = 0.0f64;
+    let mut sparse_core_ops = 0usize;
     for w in [&uniform_small, &uniform_big, &dense] {
         workload_entries.push(Value::object([
             ("name".to_string(), Value::from(w.name)),
@@ -560,15 +612,26 @@ fn main() {
                 "chunks".to_string(),
                 Value::from(w.chunked[0].chunk_count()),
             ),
+            (
+                "roaring_bitmap_chunks".to_string(),
+                Value::from(w.roaring[0].bitmap_chunk_count()),
+            ),
+            (
+                "roaring_chunks".to_string(),
+                Value::from(w.roaring[0].chunk_count()),
+            ),
         ]));
         println!("\n[{}] speedups vs hash baseline:", w.name);
         for op in OPS {
             let hash_ns = mean_of(&c, &format!("setops-{}/{op}/hash", w.name));
             let packed_ns = mean_of(&c, &format!("setops-{}/{op}/packed", w.name));
             let chunked_ns = mean_of(&c, &format!("setops-{}/{op}/chunked", w.name));
+            let roaring_ns = mean_of(&c, &format!("setops-{}/{op}/roaring", w.name));
             let packed_speedup = hash_ns / packed_ns;
             let chunked_speedup = hash_ns / chunked_ns;
+            let roaring_speedup = hash_ns / roaring_ns;
             let chunked_vs_packed = packed_ns / chunked_ns;
+            let roaring_vs_packed = packed_ns / roaring_ns;
             if w.name == "uniform-250k" {
                 geomean_250k_log += packed_speedup.ln();
             }
@@ -576,8 +639,13 @@ fn main() {
                 dense_chunked_vs_packed_log += chunked_vs_packed.ln();
                 dense_core_ops += 1;
             }
+            if w.name == "uniform-2.5m" && matches!(op, "intersection" | "union" | "venn3") {
+                sparse_roaring_vs_packed_log += roaring_vs_packed.ln();
+                sparse_roaring_vs_chunked_log += (chunked_ns / roaring_ns).ln();
+                sparse_core_ops += 1;
+            }
             println!(
-                "  {op:<14} packed {packed_speedup:>6.2}×  chunked {chunked_speedup:>6.2}×  (chunked/packed {chunked_vs_packed:>5.2}×)"
+                "  {op:<14} packed {packed_speedup:>6.2}×  chunked {chunked_speedup:>6.2}×  roaring {roaring_speedup:>6.2}×  (roaring/packed {roaring_vs_packed:>5.2}×)"
             );
             op_entries.push(Value::object([
                 ("workload".to_string(), Value::from(w.name)),
@@ -585,11 +653,17 @@ fn main() {
                 ("hash_ns".to_string(), Value::from(hash_ns)),
                 ("pairset_ns".to_string(), Value::from(packed_ns)),
                 ("chunked_ns".to_string(), Value::from(chunked_ns)),
+                ("roaring_ns".to_string(), Value::from(roaring_ns)),
                 ("speedup".to_string(), Value::from(packed_speedup)),
                 ("chunked_speedup".to_string(), Value::from(chunked_speedup)),
+                ("roaring_speedup".to_string(), Value::from(roaring_speedup)),
                 (
                     "chunked_vs_packed".to_string(),
                     Value::from(chunked_vs_packed),
+                ),
+                (
+                    "roaring_vs_packed".to_string(),
+                    Value::from(roaring_vs_packed),
                 ),
             ]));
         }
@@ -597,9 +671,10 @@ fn main() {
         let pairs = w.packed[0].len().max(1) as f64;
         let packed_bpp = w.packed[0].heap_bytes() as f64 / pairs;
         let chunked_bpp = w.chunked[0].heap_bytes() as f64 / pairs;
+        let roaring_bpp = w.roaring[0].heap_bytes() as f64 / pairs;
         let hash_bpp = hash_baseline::estimated_heap_bytes(w.hash[0].len()) as f64 / pairs;
         println!(
-            "  bytes/pair     packed {packed_bpp:>6.2}  chunked {chunked_bpp:>6.2}  hash ~{hash_bpp:>6.2}"
+            "  bytes/pair     packed {packed_bpp:>6.2}  chunked {chunked_bpp:>6.2}  roaring {roaring_bpp:>6.2}  hash ~{hash_bpp:>6.2}"
         );
         memory_entries.push(Value::object([
             ("workload".to_string(), Value::from(w.name)),
@@ -609,12 +684,20 @@ fn main() {
                 Value::from(chunked_bpp),
             ),
             (
+                "roaring_bytes_per_pair".to_string(),
+                Value::from(roaring_bpp),
+            ),
+            (
                 "hash_bytes_per_pair_estimated".to_string(),
                 Value::from(hash_bpp),
             ),
             (
                 "chunked_vs_packed_ratio".to_string(),
                 Value::from(chunked_bpp / packed_bpp),
+            ),
+            (
+                "roaring_vs_packed_ratio".to_string(),
+                Value::from(roaring_bpp / packed_bpp),
             ),
         ]));
     }
@@ -624,6 +707,33 @@ fn main() {
     println!(
         "dense-2.5m chunked-vs-packed geomean (intersection/venn3/confusion): {dense_geomean:.2}×"
     );
+
+    // Sparse-workload verdict: the two-level engine's reason to exist.
+    // Bytes/pair is deterministic (exact arenas, scale-invariant chunk
+    // occupancy down to FROST_SCALE=0.05), so it is asserted hard; the
+    // speed geomean is recorded and gated against the baseline below.
+    let sparse = &uniform_big;
+    let sparse_pairs = sparse.packed[0].len().max(1) as f64;
+    let sparse_roaring_bpp = sparse.roaring[0].heap_bytes() as f64 / sparse_pairs;
+    let sparse_chunked_bpp = sparse.chunked[0].heap_bytes() as f64 / sparse_pairs;
+    let sparse_packed_bpp = sparse.packed[0].heap_bytes() as f64 / sparse_pairs;
+    let sparse_vs_packed = (sparse_roaring_vs_packed_log / sparse_core_ops.max(1) as f64).exp();
+    let sparse_vs_chunked = (sparse_roaring_vs_chunked_log / sparse_core_ops.max(1) as f64).exp();
+    println!(
+        "{} roaring: {sparse_roaring_bpp:.2} bytes/pair (chunked {sparse_chunked_bpp:.2}, packed {sparse_packed_bpp:.2}); \
+intersection/union/venn3 geomean vs packed {sparse_vs_packed:.2}×, vs chunked {sparse_vs_chunked:.2}×",
+        sparse.name
+    );
+    if scale >= 0.05 {
+        assert!(
+            sparse_roaring_bpp <= 2.4,
+            "sparse roaring bytes/pair {sparse_roaring_bpp:.2} exceeds the 2.4 bound"
+        );
+        assert!(
+            sparse_roaring_bpp < sparse_chunked_bpp && sparse_roaring_bpp < sparse_packed_bpp,
+            "sparse roaring must be the smallest engine"
+        );
+    }
 
     // Gallop tuning summary.
     let mut gallop_entries = Vec::new();
@@ -685,6 +795,32 @@ fn main() {
         (
             "dense_chunked_vs_packed_geomean".to_string(),
             Value::from(dense_geomean),
+        ),
+        (
+            "sparse_roaring".to_string(),
+            Value::object([
+                ("workload".to_string(), Value::from(sparse.name)),
+                (
+                    "roaring_bytes_per_pair".to_string(),
+                    Value::from(sparse_roaring_bpp),
+                ),
+                (
+                    "chunked_bytes_per_pair".to_string(),
+                    Value::from(sparse_chunked_bpp),
+                ),
+                (
+                    "packed_bytes_per_pair".to_string(),
+                    Value::from(sparse_packed_bpp),
+                ),
+                (
+                    "vs_packed_geomean".to_string(),
+                    Value::from(sparse_vs_packed),
+                ),
+                (
+                    "vs_chunked_geomean".to_string(),
+                    Value::from(sparse_vs_chunked),
+                ),
+            ]),
         ),
         ("memory".to_string(), Value::Array(memory_entries)),
         (
@@ -766,6 +902,25 @@ fn main() {
                     "REGRESSION: packed-vs-hash geomean {geomean:.2}× fell more than 25% below the recorded {recorded:.2}×"
                 );
                 std::process::exit(1);
+            }
+            // Sparse-workload gate: roaring-vs-packed geomean on the
+            // uniform-2.5m shape, same -25% floor. Baselines recorded
+            // before the two-level engine lack the field and skip.
+            if let Some(recorded_sparse) = baseline
+                .get("sparse_roaring")
+                .and_then(|v| v.get("vs_packed_geomean"))
+                .and_then(Value::as_f64)
+            {
+                let sparse_floor = recorded_sparse * 0.75;
+                println!(
+                    "baseline gate (sparse roaring): geomean {sparse_vs_packed:.2}× vs recorded {recorded_sparse:.2}× (floor {sparse_floor:.2}×)"
+                );
+                if sparse_vs_packed < sparse_floor {
+                    eprintln!(
+                        "REGRESSION: sparse roaring-vs-packed geomean {sparse_vs_packed:.2}× fell more than 25% below the recorded {recorded_sparse:.2}×"
+                    );
+                    std::process::exit(1);
+                }
             }
         }
     }

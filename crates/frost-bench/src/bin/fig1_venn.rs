@@ -9,7 +9,7 @@
 //! ```
 
 use frost_bench::materialize;
-use frost_core::dataset::{ChunkedPairSet, Experiment};
+use frost_core::dataset::{Experiment, RoaringPairSet};
 use frost_core::explore::setops::{hard_pairs, venn_regions, SetExpression};
 use frost_core::metrics::confusion::{total_pairs, ConfusionMatrix};
 use frost_core::metrics::pair;
@@ -44,14 +44,15 @@ fn main() {
 
     // N-Metrics viewer: the per-run f1 overview. The runs are
     // independent, so their confusion matrices are computed in
-    // parallel, each on the chunked set engine.
+    // parallel, each on the two-level roaring engine (the runs are
+    // uniformly sparse matcher outputs — its home workload).
     println!("\nN-Metrics view:");
-    let truth_chunked: ChunkedPairSet = gen.truth.intra_pairs().collect();
+    let truth_roaring: RoaringPairSet = gen.truth.intra_pairs().collect();
     let matrices: Vec<ConfusionMatrix> = experiments
         .par_iter()
         .with_min_len(1)
         .map(|e| {
-            ConfusionMatrix::from_pair_sets(&e.chunked_pair_set(), &truth_chunked, total_pairs(n))
+            ConfusionMatrix::from_pair_sets(&e.roaring_pair_set(), &truth_roaring, total_pairs(n))
         })
         .collect();
     let mut f1s = Vec::new();
@@ -75,11 +76,11 @@ fn main() {
     );
 
     // Figure 1 proper: ground-truth pairs found by run-1 but not run-2,
-    // evaluated on the roaring-style chunked engine.
+    // evaluated on the two-level roaring engine.
     let universe = vec![
-        experiments[0].chunked_pair_set(),
-        experiments[1].chunked_pair_set(),
-        truth_chunked.clone(),
+        experiments[0].roaring_pair_set(),
+        experiments[1].roaring_pair_set(),
+        truth_roaring.clone(),
     ];
     let found_by_1_not_2 = SetExpression::set(2)
         .intersection(SetExpression::set(0))
@@ -108,7 +109,7 @@ fn main() {
     // §5.4: duplicates missed by at least 4 of the 5 solutions, i.e.
     // found by at most 1.
     let refs: Vec<&Experiment> = experiments.iter().collect();
-    let hard = hard_pairs(&truth_chunked, &refs, 1);
+    let hard = hard_pairs(&truth_roaring, &refs, 1);
     println!(
         "\nTrue duplicates found by at most one of the five solutions: {}",
         hard.len()

@@ -63,8 +63,17 @@
 //! or (b) chunks are dense enough that bitmap kernels replace 64 scalar
 //! comparisons with one word op, or (c) sets are skewed so whole chunks
 //! are skipped by the directory merge without touching their elements.
+//!
+//! The ~28-byte per-chunk directory still makes this engine a wash on
+//! *uniformly sparse* workloads (a handful of pairs per `lo`). The
+//! two-level [`RoaringPairSet`](super::roaring::RoaringPairSet) —
+//! chunk key = packed `u64 >> 16`, `u16` low halves, 12-byte arena
+//! directory — exists for exactly that shape and shares this module's
+//! [`words`] kernels and promotion constant; see the
+//! [`roaring`](super::roaring) module docs for the trade-off between
+//! all three engines.
 
-use super::pairset::{gallop_intersect, GALLOP_RATIO};
+use super::pairset::intersect_into;
 use super::{PairSet, RecordId, RecordPair};
 use std::fmt;
 
@@ -201,7 +210,11 @@ fn canonicalize_array(v: Vec<u32>) -> Option<Container> {
 /// 8-word unrolled strides. Each loop body is branch-free over
 /// contiguous memory, so LLVM vectorizes it; the tail handles the
 /// non-multiple-of-8 remainder and length mismatch.
-mod words {
+///
+/// Shared with the two-level [`roaring`](super::roaring) engine, whose
+/// fixed 1024-word containers are a multiple of the unroll width, so
+/// its kernels run tail-free.
+pub(crate) mod words {
     /// `out[i] = a[i] OP b[i]` over the common prefix, in strides of 8.
     macro_rules! zip_kernel {
         ($name:ident, $op:tt) => {
@@ -276,8 +289,11 @@ fn or_with_overhang(a: &[u64], b: &[u64], out: &mut Vec<u64>) {
     }
 }
 
-/// Container-level intersection. `None` when empty.
-fn inter_containers(a: &Container, b: &Container) -> Option<Container> {
+/// Container-level intersection. `None` when empty. `back` is the
+/// backward-lane scratch of the two-lane merge, hoisted into the
+/// caller's chunk loop so sparse sets (thousands of small array
+/// chunks) don't pay a second allocation per chunk.
+fn inter_containers(a: &Container, b: &Container, back: &mut Vec<u32>) -> Option<Container> {
     use Container::*;
     match (a, b) {
         (Bitmap(wa), Bitmap(wb)) => {
@@ -294,26 +310,14 @@ fn inter_containers(a: &Container, b: &Container) -> Option<Container> {
             canonicalize_array(kept)
         }
         (Array(va), Array(vb)) => {
-            let (small, large) = if va.len() <= vb.len() {
-                (va, vb)
-            } else {
-                (vb, va)
-            };
-            let mut out = Vec::with_capacity(small.len());
-            if large.len() / small.len().max(1) >= GALLOP_RATIO {
-                gallop_intersect(small, large, |x| out.push(x));
-            } else {
-                let (mut i, mut j) = (0usize, 0usize);
-                while i < small.len() && j < large.len() {
-                    let (x, y) = (small[i], large[j]);
-                    if x == y {
-                        out.push(x);
-                    }
-                    i += usize::from(x <= y);
-                    j += usize::from(y <= x);
-                }
-            }
-            canonicalize_array(out)
+            // The shared bidirectional two-lane merge (galloping
+            // internally on skewed sizes): forward lane ascending,
+            // backward lane descending above it.
+            let mut fwd = Vec::with_capacity(va.len().min(vb.len()));
+            back.clear();
+            intersect_into(va, vb, |x| fwd.push(x), |x| back.push(x));
+            fwd.extend(back.iter().rev());
+            canonicalize_array(fwd)
         }
     }
 }
@@ -328,24 +332,13 @@ fn inter_len_containers(a: &Container, b: &Container) -> usize {
             v.iter().filter(|&&hi| bitmap_contains(w, hi)).count()
         }
         (Array(va), Array(vb)) => {
-            let (small, large) = if va.len() <= vb.len() {
-                (va, vb)
-            } else {
-                (vb, va)
-            };
-            let mut n = 0usize;
-            if large.len() / small.len().max(1) >= GALLOP_RATIO {
-                gallop_intersect(small, large, |_| n += 1);
-            } else {
-                let (mut i, mut j) = (0usize, 0usize);
-                while i < small.len() && j < large.len() {
-                    let (x, y) = (small[i], large[j]);
-                    n += usize::from(x == y);
-                    i += usize::from(x <= y);
-                    j += usize::from(y <= x);
-                }
-            }
-            n
+            // ROADMAP follow-up: reuse the shared two-lane merge with
+            // counters instead of a single-lane scalar count — the two
+            // lanes hide the load→compare latency here exactly as they
+            // do for the packed engine, and stay allocation-free.
+            let (mut fwd, mut back) = (0usize, 0usize);
+            intersect_into(va, vb, |_| fwd += 1, |_| back += 1);
+            fwd + back
         }
     }
 }
@@ -597,9 +590,10 @@ impl ChunkedPairSet {
     /// elements.
     pub fn intersection(&self, other: &ChunkedPairSet) -> ChunkedPairSet {
         let mut out = ChunkedPairSet::new();
+        let mut back: Vec<u32> = Vec::new();
         merge_chunks(self, other, |key, a, b| {
             if let (Some(a), Some(b)) = (a, b) {
-                if let Some(c) = inter_containers(a, b) {
+                if let Some(c) = inter_containers(a, b, &mut back) {
                     out.keys.push(key);
                     out.containers.push(c);
                 }

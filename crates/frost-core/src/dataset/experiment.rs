@@ -153,6 +153,14 @@ impl Experiment {
         self.pairs.iter().map(|sp| sp.pair).collect()
     }
 
+    /// The set of matched [`RecordPair`]s as a two-level
+    /// [`RoaringPairSet`](super::RoaringPairSet) — the engine that
+    /// keeps *sparse* working sets small, used wherever many
+    /// experiments are held simultaneously.
+    pub fn roaring_pair_set(&self) -> super::RoaringPairSet {
+        self.pairs.iter().map(|sp| sp.pair).collect()
+    }
+
     /// The set of matched [`RecordPair`]s in any
     /// [`PairAlgebra`](super::PairAlgebra) representation.
     pub fn pair_set_as<S: super::PairAlgebra>(&self) -> S {

@@ -12,6 +12,7 @@ mod experiment;
 mod pair;
 pub mod pairset;
 mod record;
+pub mod roaring;
 mod schema;
 
 pub use chunked::ChunkedPairSet;
@@ -20,20 +21,24 @@ pub use experiment::{Experiment, PairOrigin, ScoredPair};
 pub use pair::RecordPair;
 pub use pairset::PairSet;
 pub use record::{Record, RecordId};
+pub use roaring::RoaringPairSet;
 pub use schema::Schema;
 
 use std::collections::HashMap;
 
-/// The set-algebra interface shared by Frost's two pair-set engines:
-/// the packed sorted-`Vec<u64>` [`PairSet`] and the roaring-style
-/// [`ChunkedPairSet`].
+/// The set-algebra interface shared by Frost's three pair-set engines:
+/// the packed sorted-`Vec<u64>` [`PairSet`], the single-level
+/// [`ChunkedPairSet`] (chunk by `lo`, `u32` containers) and the
+/// two-level [`RoaringPairSet`] (chunk by `packed >> 16`, `u16`
+/// containers).
 ///
 /// Every evaluation layer — confusion matrices, Venn regions,
 /// set-algebra expressions, consensus metrics — is generic over this
 /// trait, so callers pick the representation per workload: packed for
-/// one-shot streaming merges of uniformly sparse sets, chunked when
-/// memory or dense/skewed chunks dominate (see the
-/// [`chunked`] module docs for the trade-off).
+/// one-shot streaming merges when memory is no concern, chunked when
+/// dense or skewed chunks dominate, roaring when sparse working sets
+/// must stay small (see the [`chunked`] and [`roaring`] module docs
+/// for the trade-off).
 ///
 /// All implementations operate on the same packed key space:
 /// a normalized pair `(lo, hi)` is the `u64` `(lo << 32) | hi`, and
@@ -177,6 +182,47 @@ impl PairAlgebra for ChunkedPairSet {
     }
     fn heap_bytes(&self) -> usize {
         ChunkedPairSet::heap_bytes(self)
+    }
+}
+
+impl PairAlgebra for RoaringPairSet {
+    fn from_sorted_packed(packed: Vec<u64>) -> Self {
+        RoaringPairSet::from_sorted_packed(packed)
+    }
+    fn from_pairs(pairs: impl IntoIterator<Item = RecordPair>) -> Self {
+        pairs.into_iter().collect()
+    }
+    fn len(&self) -> usize {
+        RoaringPairSet::len(self)
+    }
+    // Override the `len() == 0` default: the inherent check is O(1)
+    // while `len()` sums every directory entry.
+    fn is_empty(&self) -> bool {
+        RoaringPairSet::is_empty(self)
+    }
+    fn contains(&self, pair: &RecordPair) -> bool {
+        RoaringPairSet::contains(self, pair)
+    }
+    fn union(&self, other: &Self) -> Self {
+        RoaringPairSet::union(self, other)
+    }
+    fn intersection(&self, other: &Self) -> Self {
+        RoaringPairSet::intersection(self, other)
+    }
+    fn difference(&self, other: &Self) -> Self {
+        RoaringPairSet::difference(self, other)
+    }
+    fn intersection_len(&self, other: &Self) -> usize {
+        RoaringPairSet::intersection_len(self, other)
+    }
+    fn for_each_packed(&self, f: impl FnMut(u64)) {
+        RoaringPairSet::for_each_packed(self, f)
+    }
+    fn kway_merge_masks(sets: &[Self], emit: impl FnMut(u64, u32)) {
+        roaring::kway_merge_masks_roaring(sets, emit)
+    }
+    fn heap_bytes(&self) -> usize {
+        RoaringPairSet::heap_bytes(self)
     }
 }
 

@@ -268,11 +268,16 @@ impl PairSet {
 /// all larger than anything the forward lane emits — into `emit_back`.
 /// Gallops from the smaller side when the size ratio warrants it (then
 /// only `emit_fwd` fires).
-fn intersect_into(
-    a: &[u64],
-    b: &[u64],
-    mut emit_fwd: impl FnMut(u64),
-    mut emit_back: impl FnMut(u64),
+///
+/// Generic over the element width so all three set engines share the
+/// one kernel: packed `u64`s here, `u32` chunk arrays in
+/// [`ChunkedPairSet`](super::chunked::ChunkedPairSet), `u16` container
+/// arrays in [`RoaringPairSet`](super::roaring::RoaringPairSet).
+pub(crate) fn intersect_into<T: Ord + Copy>(
+    a: &[T],
+    b: &[T],
+    mut emit_fwd: impl FnMut(T),
+    mut emit_back: impl FnMut(T),
 ) {
     let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
     if small.is_empty() {

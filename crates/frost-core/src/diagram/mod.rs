@@ -68,12 +68,52 @@ impl DiagramEngine {
     ///
     /// # Panics
     /// Panics if `s < 2` or the ground truth does not cover `n` records.
+    ///
+    /// One *huge* series is itself sharded across rayon tasks: when
+    /// the sweep's work (`records + matches`) reaches
+    /// [`PARALLEL_SWEEP_MIN_MATCHES`], contiguous ranges of sample
+    /// points are computed in parallel (the naive engine recomputes
+    /// each point anyway; the optimized engine replays the match
+    /// prefix per range in one batch). Results are identical to the
+    /// sequential sweep — every matrix is a pure function of the
+    /// applied prefix.
     pub fn confusion_series(
         self,
         n: usize,
         truth: &Clustering,
         experiment: &Experiment,
         s: usize,
+    ) -> Vec<DiagramPoint> {
+        self.series_one(n, truth, experiment, s, true)
+    }
+
+    /// [`confusion_series`](Self::confusion_series) without the
+    /// point-level sharding: the whole sweep runs on the calling
+    /// thread. For callers that manage their own parallelism around
+    /// independent sweeps (nesting scoped-thread fan-outs
+    /// oversubscribes) or that time the underlying algorithms
+    /// apples-to-apples.
+    pub fn confusion_series_sequential(
+        self,
+        n: usize,
+        truth: &Clustering,
+        experiment: &Experiment,
+        s: usize,
+    ) -> Vec<DiagramPoint> {
+        self.series_one(n, truth, experiment, s, false)
+    }
+
+    /// [`confusion_series`](Self::confusion_series) with point-level
+    /// sharding opt-in — the multi-experiment sweep disables it inside
+    /// its own rayon tasks (the vendored rayon spawns scoped threads
+    /// per call, so nesting would oversubscribe).
+    fn series_one(
+        self,
+        n: usize,
+        truth: &Clustering,
+        experiment: &Experiment,
+        s: usize,
+        shard_points: bool,
     ) -> Vec<DiagramPoint> {
         assert!(s >= 2, "a diagram needs at least two sample points");
         assert_eq!(
@@ -83,9 +123,20 @@ impl DiagramEngine {
             truth.num_records()
         );
         let matches = experiment.pairs_by_similarity_desc();
-        match self {
-            DiagramEngine::Naive => naive::confusion_series(n, truth, &matches, s),
-            DiagramEngine::Optimized => optimized::confusion_series(n, truth, &matches, s),
+        let shards = if shard_points && n + matches.len() >= PARALLEL_SWEEP_MIN_MATCHES {
+            rayon::current_num_threads()
+        } else {
+            1
+        };
+        match (self, shards) {
+            (DiagramEngine::Naive, 0..=1) => naive::confusion_series(n, truth, &matches, s),
+            (DiagramEngine::Naive, _) => {
+                naive::confusion_series_sharded(n, truth, &matches, s, shards)
+            }
+            (DiagramEngine::Optimized, 0..=1) => optimized::confusion_series(n, truth, &matches, s),
+            (DiagramEngine::Optimized, _) => {
+                optimized::confusion_series_sharded(n, truth, &matches, s, shards)
+            }
         }
     }
 
@@ -115,23 +166,27 @@ impl DiagramEngine {
         // gate counts both terms.
         let total_work: usize = experiments.iter().map(|e| e.len() + n).sum();
         if total_work < PARALLEL_SWEEP_MIN_MATCHES || experiments.len() < 2 {
+            // Sequential over experiments — a single huge series still
+            // shards its own sample points.
             return experiments
                 .iter()
-                .map(|e| self.confusion_series(n, truth, e, s))
+                .map(|e| self.series_one(n, truth, e, s, true))
                 .collect();
         }
         experiments
             .par_iter()
             .with_min_len(1)
-            .map(|e| self.confusion_series(n, truth, e, s))
+            .map(|e| self.series_one(n, truth, e, s, false))
             .collect()
     }
 }
 
-/// Minimum summed per-sweep work (`records + matches`, over all
-/// experiments) before [`DiagramEngine::confusion_series_multi`] fans
-/// out to threads. Below this, one sweep is microseconds of work and
-/// thread spawning dominates end to end.
+/// Minimum sweep work (`records + matches`) before a diagram sweep
+/// fans out to threads — summed over all experiments for
+/// [`DiagramEngine::confusion_series_multi`], per series for the
+/// point-sharded [`DiagramEngine::confusion_series`]. Below this, one
+/// sweep is microseconds of work and thread spawning dominates end to
+/// end.
 pub const PARALLEL_SWEEP_MIN_MATCHES: usize = 4_096;
 
 /// Prefix boundaries for `s` sample points over `m` matches:
@@ -403,6 +458,50 @@ mod tests {
             for (series, e) in multi.iter().zip(&refs) {
                 assert_eq!(series, &engine.confusion_series(n, &big_truth, e, 5));
             }
+        }
+    }
+
+    /// Point-level sharding of one series returns exactly the
+    /// sequential sweep, for both engines, across shard counts that
+    /// divide the points unevenly (including more shards than points).
+    #[test]
+    fn sharded_series_equals_sequential() {
+        let n = 5_000usize;
+        let assignment: Vec<u32> = (0..n as u32).map(|i| i / 4).collect();
+        let truth = Clustering::from_assignment(&assignment);
+        let e = Experiment::from_scored_pairs(
+            "sharded",
+            (0..n as u32 - 1).map(|i| {
+                let s = ((i.wrapping_mul(2654435761).wrapping_add(7)) % 1000) as f64 / 1000.0;
+                (i, i + 1, s)
+            }),
+        );
+        let matches = e.pairs_by_similarity_desc();
+        for s in [2usize, 3, 7, 100] {
+            let seq_opt = optimized::confusion_series(n, &truth, &matches, s);
+            let seq_naive = naive::confusion_series(n, &truth, &matches, s);
+            for shards in [1usize, 2, 3, 5, s + 3] {
+                assert_eq!(
+                    optimized::confusion_series_sharded(n, &truth, &matches, s, shards),
+                    seq_opt,
+                    "optimized s={s} shards={shards}"
+                );
+                assert_eq!(
+                    naive::confusion_series_sharded(n, &truth, &matches, s, shards),
+                    seq_naive,
+                    "naive s={s} shards={shards}"
+                );
+            }
+        }
+        // The public entry point (which gates on work and thread
+        // count) agrees too.
+        for engine in [DiagramEngine::Naive, DiagramEngine::Optimized] {
+            let via_public = engine.confusion_series(n, &truth, &e, 9);
+            let direct = match engine {
+                DiagramEngine::Naive => naive::confusion_series(n, &truth, &matches, 9),
+                DiagramEngine::Optimized => optimized::confusion_series(n, &truth, &matches, 9),
+            };
+            assert_eq!(via_public, direct);
         }
     }
 }

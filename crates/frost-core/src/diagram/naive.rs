@@ -24,21 +24,44 @@ pub fn confusion_series(
     let boundaries = sample_boundaries(matches.len(), s);
     boundaries
         .into_iter()
-        .map(|k| {
-            // Fresh clustering of the first k matches.
-            let mut uf = UnionFind::new(n);
-            for sp in &matches[..k] {
-                uf.union(sp.pair.lo(), sp.pair.hi());
-            }
-            let experiment = Clustering::from_union_find(&mut uf);
-            let matrix = ConfusionMatrix::from_clusterings(&experiment, truth);
-            DiagramPoint {
-                threshold: threshold_at(matches, k),
-                matches_applied: k,
-                matrix,
-            }
-        })
+        .map(|k| point_at(n, truth, matches, k))
         .collect()
+}
+
+/// [`confusion_series`] with the sample points sharded across rayon
+/// tasks. Every point is recomputed from scratch anyway, so the points
+/// are embarrassingly parallel and the output is trivially identical
+/// to the sequential sweep.
+pub fn confusion_series_sharded(
+    n: usize,
+    truth: &Clustering,
+    matches: &[ScoredPair],
+    s: usize,
+    shards: usize,
+) -> Vec<DiagramPoint> {
+    use rayon::prelude::*;
+    let boundaries = sample_boundaries(matches.len(), s);
+    let min_len = boundaries.len().div_ceil(shards.max(1)).max(1);
+    boundaries
+        .par_iter()
+        .with_min_len(min_len)
+        .map(|&k| point_at(n, truth, matches, k))
+        .collect()
+}
+
+/// One sample point: fresh clustering of the first `k` matches.
+fn point_at(n: usize, truth: &Clustering, matches: &[ScoredPair], k: usize) -> DiagramPoint {
+    let mut uf = UnionFind::new(n);
+    for sp in &matches[..k] {
+        uf.union(sp.pair.lo(), sp.pair.hi());
+    }
+    let experiment = Clustering::from_union_find(&mut uf);
+    let matrix = ConfusionMatrix::from_clusterings(&experiment, truth);
+    DiagramPoint {
+        threshold: threshold_at(matches, k),
+        matches_applied: k,
+        matrix,
+    }
 }
 
 #[cfg(test)]

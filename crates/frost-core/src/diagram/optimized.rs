@@ -107,6 +107,61 @@ pub fn confusion_series(
     matches: &[ScoredPair],
     s: usize,
 ) -> Vec<DiagramPoint> {
+    let boundaries = sample_boundaries(matches.len(), s);
+    points_for_range(n, truth, matches, &boundaries, 0, s)
+}
+
+/// [`confusion_series`] with the sample points sharded across rayon
+/// tasks — the single-huge-series counterpart of the per-experiment
+/// sharding in
+/// [`confusion_series_multi`](super::DiagramEngine::confusion_series_multi).
+///
+/// The `s` points are split into at most `shards` contiguous ranges;
+/// each task replays the match prefix up to its range start in *one*
+/// `tracked_union` batch (no per-point matrices) and then sweeps its
+/// own windows incrementally. Every matrix is a pure function of the
+/// applied prefix (batching merges does not change the union-find pair
+/// counts — see `batched_merges_equal_single_steps`), so the output is
+/// identical to the sequential sweep, point for point. The replay
+/// makes total work `O(shards · (n + m·α))` in exchange for
+/// `O((n + m·α + s·cost)/shards)` wall clock.
+pub fn confusion_series_sharded(
+    n: usize,
+    truth: &Clustering,
+    matches: &[ScoredPair],
+    s: usize,
+    shards: usize,
+) -> Vec<DiagramPoint> {
+    use rayon::prelude::*;
+    // At least one point per shard; one shard is just the plain sweep.
+    let shards = shards.max(1).min(s);
+    if shards == 1 {
+        return confusion_series(n, truth, matches, s);
+    }
+    let boundaries = sample_boundaries(matches.len(), s);
+    let ranges: Vec<(usize, usize)> = (0..shards)
+        .map(|t| (t * s / shards, (t + 1) * s / shards))
+        .collect();
+    let chunks: Vec<Vec<DiagramPoint>> = ranges
+        .par_iter()
+        .with_min_len(1)
+        .map(|&(a, b)| points_for_range(n, truth, matches, &boundaries, a, b))
+        .collect();
+    chunks.into_iter().flatten().collect()
+}
+
+/// Computes points `a..b` of the sweep defined by `boundaries`
+/// (`boundaries[i]` = matches applied at point `i`): replays the
+/// prefix `0..boundaries[a]` as one batch, then steps window by
+/// window.
+fn points_for_range(
+    n: usize,
+    truth: &Clustering,
+    matches: &[ScoredPair],
+    boundaries: &[usize],
+    a: usize,
+    b: usize,
+) -> Vec<DiagramPoint> {
     let mut experiment = UnionFind::new(n);
     let mut intersection = DynamicIntersection::new(n, truth);
     let g = truth.pair_count();
@@ -119,17 +174,25 @@ pub fn confusion_series(
         ConfusionMatrix::new(tp, e - tp, fn_, all - e - fn_)
     };
 
-    let boundaries = sample_boundaries(matches.len(), s);
-    let mut points = Vec::with_capacity(s);
-    points.push(DiagramPoint {
-        threshold: f64::INFINITY,
-        matches_applied: 0,
-        matrix: matrix_of(&experiment, &intersection),
-    });
-    for window in boundaries.windows(2) {
-        let (start, stop) = (window[0], window[1]);
+    let apply = |experiment: &mut UnionFind,
+                 intersection: &mut DynamicIntersection,
+                 start: usize,
+                 stop: usize| {
         let merges = experiment.tracked_union(matches[start..stop].iter().map(|sp| sp.pair));
         intersection.apply_merges(&merges, truth);
+    };
+
+    let k0 = boundaries[a];
+    apply(&mut experiment, &mut intersection, 0, k0);
+    let mut points = Vec::with_capacity(b - a);
+    points.push(DiagramPoint {
+        threshold: threshold_at(matches, k0),
+        matches_applied: k0,
+        matrix: matrix_of(&experiment, &intersection),
+    });
+    for window in boundaries[a..b].windows(2) {
+        let (start, stop) = (window[0], window[1]);
+        apply(&mut experiment, &mut intersection, start, stop);
         points.push(DiagramPoint {
             threshold: threshold_at(matches, stop),
             matches_applied: stop,

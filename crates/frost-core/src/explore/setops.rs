@@ -304,7 +304,7 @@ mod tests {
 
     #[test]
     fn engines_agree_on_expressions_and_venn() {
-        use crate::dataset::ChunkedPairSet;
+        use crate::dataset::{ChunkedPairSet, RoaringPairSet};
         let packed = vec![
             setof(&[(0, 1), (0, 2), (4, 5)]),
             setof(&[(0, 1), (2, 3)]),
@@ -312,6 +312,8 @@ mod tests {
         ];
         let chunked: Vec<ChunkedPairSet> =
             packed.iter().map(ChunkedPairSet::from_pair_set).collect();
+        let roaring: Vec<RoaringPairSet> =
+            packed.iter().map(RoaringPairSet::from_pair_set).collect();
         let expr = SetExpression::set(0)
             .union(SetExpression::set(1))
             .difference(SetExpression::set(2));
@@ -319,12 +321,20 @@ mod tests {
             expr.evaluate(&chunked).to_pair_set(),
             expr.evaluate(&packed)
         );
+        assert_eq!(
+            expr.evaluate(&roaring).to_pair_set(),
+            expr.evaluate(&packed)
+        );
         let rp = venn_regions(&packed);
         let rc = venn_regions(&chunked);
+        let rr = venn_regions(&roaring);
         assert_eq!(rp.len(), rc.len());
-        for (p, c) in rp.iter().zip(&rc) {
+        assert_eq!(rp.len(), rr.len());
+        for ((p, c), r) in rp.iter().zip(&rc).zip(&rr) {
             assert_eq!(p.membership, c.membership);
             assert_eq!(c.pairs.to_pair_set(), p.pairs);
+            assert_eq!(p.membership, r.membership);
+            assert_eq!(r.pairs.to_pair_set(), p.pairs);
         }
     }
 

@@ -159,10 +159,13 @@ mod tests {
             .collect();
         let m = ConfusionMatrix::from_pair_sets(&e, &g, total_pairs(4));
         assert_eq!(m, ConfusionMatrix::new(1, 1, 1, 3));
-        // The chunked engine computes the same matrix.
+        // The chunked and roaring engines compute the same matrix.
         let ec = crate::dataset::ChunkedPairSet::from_pair_set(&e);
         let gc = crate::dataset::ChunkedPairSet::from_pair_set(&g);
         assert_eq!(ConfusionMatrix::from_pair_sets(&ec, &gc, total_pairs(4)), m);
+        let er = crate::dataset::RoaringPairSet::from_pair_set(&e);
+        let gr = crate::dataset::RoaringPairSet::from_pair_set(&g);
+        assert_eq!(ConfusionMatrix::from_pair_sets(&er, &gr, total_pairs(4)), m);
     }
 
     #[test]

@@ -19,7 +19,7 @@ use crate::clustering::algorithms::{
     center_clustering, clustering_agreement, connected_components, greedy_clique_clustering,
 };
 use crate::clustering::{closure, Clustering};
-use crate::dataset::{ChunkedPairSet, Experiment, PairAlgebra, PairSet, RecordPair};
+use crate::dataset::{Experiment, PairAlgebra, PairSet, RecordPair, RoaringPairSet};
 use std::collections::HashMap;
 
 /// The number of pairs that must be added for the experiment's match set
@@ -277,15 +277,16 @@ pub fn majority_vote_as<S: PairAlgebra>(experiments: &[&Experiment]) -> S {
 /// deviations from the majority votes can be used to estimate the
 /// quality of the whole matching result."
 ///
-/// Runs on the chunked engine: with many experiments the consensus and
-/// the per-experiment sets are held simultaneously, so the compressed
-/// representation bounds the working set.
+/// Runs on the two-level roaring engine: with many experiments the
+/// consensus and the per-experiment sets are held simultaneously, and
+/// matcher outputs are uniformly sparse — exactly the shape whose
+/// working set the roaring layout bounds (~2.3 bytes/pair).
 pub fn consensus_deviation(experiments: &[&Experiment]) -> Vec<(String, u64)> {
-    let consensus: ChunkedPairSet = majority_vote_as(experiments);
+    let consensus: RoaringPairSet = majority_vote_as(experiments);
     experiments
         .iter()
         .map(|e| {
-            let own = e.chunked_pair_set();
+            let own = e.roaring_pair_set();
             let false_extra = own.difference_len(&consensus) as u64;
             let missed = consensus.difference_len(&own) as u64;
             (e.name().to_string(), false_extra + missed)

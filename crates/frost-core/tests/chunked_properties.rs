@@ -1,12 +1,14 @@
-//! Property tests: the roaring-style [`ChunkedPairSet`] engine agrees
-//! with *two* reference models on every operation — the packed
-//! [`PairSet`] (the other production engine) and a plain
-//! `HashSet<RecordPair>` — for random inputs spanning both container
-//! kinds, plus exact pinning of the array↔bitmap promotion boundary at
-//! 4095/4096/4097 elements.
+//! Property tests: Frost's *three* pair-set engines agree on every
+//! operation. The single-level [`ChunkedPairSet`] and the two-level
+//! [`RoaringPairSet`] are each pinned against two reference models —
+//! the packed [`PairSet`] and a plain `HashSet<RecordPair>` — for
+//! random inputs spanning both container kinds, plus exact pinning of
+//! the array↔bitmap promotion boundary at 4095/4096/4097 elements (in
+//! both compressed engines) and of the roaring engine's `u16`
+//! key-split boundaries at `hi` = 65535/65536/65537.
 
 use frost_core::dataset::chunked::ARRAY_MAX;
-use frost_core::dataset::{ChunkedPairSet, PairAlgebra, PairSet, RecordPair};
+use frost_core::dataset::{ChunkedPairSet, PairAlgebra, PairSet, RecordPair, RoaringPairSet};
 use frost_core::explore::setops::venn_regions;
 use proptest::prelude::*;
 use std::collections::HashSet;
@@ -31,64 +33,121 @@ fn dense_chunks(
     })
 }
 
-fn models(raw: Vec<(u32, u32)>) -> (ChunkedPairSet, PairSet, HashSet<RecordPair>) {
+/// A shape straddling the roaring engine's container split: `hi`
+/// values drawn from a window around 65536 so the same `lo` regularly
+/// spans two `u16` containers.
+fn key_split_pairs(max: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec((0u32..4, 65_400u32..65_700), 0..max)
+}
+
+/// All the set views under test, built from one raw pair list.
+struct Models {
+    chunked: ChunkedPairSet,
+    roaring: RoaringPairSet,
+    packed: PairSet,
+    reference: HashSet<RecordPair>,
+}
+
+fn models(raw: Vec<(u32, u32)>) -> Models {
     let reference: HashSet<RecordPair> = raw
         .into_iter()
         .filter(|(a, b)| a != b)
         .map(RecordPair::from)
         .collect();
-    let packed: PairSet = reference.iter().copied().collect();
-    let chunked: ChunkedPairSet = reference.iter().copied().collect();
-    (chunked, packed, reference)
+    Models {
+        chunked: reference.iter().copied().collect(),
+        roaring: reference.iter().copied().collect(),
+        packed: reference.iter().copied().collect(),
+        reference,
+    }
 }
 
-fn as_hash(set: &ChunkedPairSet) -> HashSet<RecordPair> {
-    set.iter().collect()
+fn as_hash<S: PairAlgebra>(set: &S) -> HashSet<RecordPair> {
+    set.to_pairs().into_iter().collect()
+}
+
+/// Asserts every `PairAlgebra` operation of `S` against both the
+/// packed engine and the hash reference — the one body shared by all
+/// engine/workload combinations below.
+fn assert_algebra_agrees<S: PairAlgebra>(
+    a: &S,
+    b: &S,
+    pa: &PairSet,
+    pb: &PairSet,
+    ra: &HashSet<RecordPair>,
+    rb: &HashSet<RecordPair>,
+) {
+    assert_eq!(
+        as_hash(&a.union(b)),
+        ra.union(rb).copied().collect::<HashSet<_>>()
+    );
+    assert_eq!(
+        a.union(b).to_pairs(),
+        pa.union(pb).iter().collect::<Vec<_>>()
+    );
+    assert_eq!(
+        as_hash(&a.intersection(b)),
+        ra.intersection(rb).copied().collect::<HashSet<_>>()
+    );
+    assert_eq!(
+        a.intersection(b).to_pairs(),
+        pa.intersection(pb).iter().collect::<Vec<_>>()
+    );
+    assert_eq!(
+        as_hash(&a.difference(b)),
+        ra.difference(rb).copied().collect::<HashSet<_>>()
+    );
+    assert_eq!(
+        a.difference(b).to_pairs(),
+        pa.difference(pb).iter().collect::<Vec<_>>()
+    );
+    assert_eq!(a.intersection_len(b), ra.intersection(rb).count());
+    assert_eq!(b.intersection_len(a), ra.intersection(rb).count());
+    assert_eq!(a.difference_len(b), ra.difference(rb).count());
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
     /// Construction: size, membership, iteration order, and round-trip
-    /// through the packed engine.
+    /// through the packed engine — for both compressed engines.
     #[test]
     fn construction_agrees(raw in raw_pairs(24, 60)) {
-        let (chunked, packed, reference) = models(raw);
-        prop_assert_eq!(chunked.len(), reference.len());
-        prop_assert_eq!(chunked.is_empty(), reference.is_empty());
-        for p in &reference {
-            prop_assert!(chunked.contains(p));
+        let m = models(raw);
+        let via_packed: Vec<RecordPair> = m.packed.iter().collect();
+        prop_assert_eq!(m.chunked.len(), m.reference.len());
+        prop_assert_eq!(m.roaring.len(), m.reference.len());
+        prop_assert_eq!(m.chunked.is_empty(), m.reference.is_empty());
+        prop_assert_eq!(m.roaring.is_empty(), m.reference.is_empty());
+        for p in &m.reference {
+            prop_assert!(m.chunked.contains(p));
+            prop_assert!(m.roaring.contains(p));
         }
-        let iterated: Vec<RecordPair> = chunked.iter().collect();
-        let via_packed: Vec<RecordPair> = packed.iter().collect();
-        prop_assert_eq!(iterated, via_packed, "iteration must match packed order");
-        prop_assert!(!chunked.contains(&RecordPair::from((1000u32, 1001u32))));
-        prop_assert_eq!(chunked.to_pair_set(), packed.clone());
-        prop_assert_eq!(ChunkedPairSet::from_pair_set(&packed), chunked);
+        let far = RecordPair::from((1000u32, 1001u32));
+        prop_assert!(!m.chunked.contains(&far));
+        prop_assert!(!m.roaring.contains(&far));
+        let iterated: Vec<RecordPair> = m.chunked.iter().collect();
+        prop_assert_eq!(iterated, via_packed.clone(), "chunked iteration order");
+        let iterated: Vec<RecordPair> = m.roaring.iter().collect();
+        prop_assert_eq!(iterated, via_packed, "roaring iteration order");
+        prop_assert_eq!(m.chunked.to_pair_set(), m.packed.clone());
+        prop_assert_eq!(m.roaring.to_pair_set(), m.packed.clone());
+        prop_assert_eq!(ChunkedPairSet::from_pair_set(&m.packed), m.chunked);
+        prop_assert_eq!(RoaringPairSet::from_pair_set(&m.packed), m.roaring);
     }
 
     /// Union / intersection / difference against both models, on
-    /// sparse (array-only) shapes.
+    /// sparse (array-only) shapes, for both compressed engines.
     #[test]
     fn set_algebra_agrees(a_raw in raw_pairs(24, 60), b_raw in raw_pairs(24, 60)) {
-        let (a, pa, ra) = models(a_raw);
-        let (b, pb, rb) = models(b_raw);
-        prop_assert_eq!(as_hash(&a.union(&b)), ra.union(&rb).copied().collect::<HashSet<_>>());
-        prop_assert_eq!(a.union(&b).to_pair_set(), pa.union(&pb));
-        prop_assert_eq!(
-            as_hash(&a.intersection(&b)),
-            ra.intersection(&rb).copied().collect::<HashSet<_>>()
-        );
-        prop_assert_eq!(a.intersection(&b).to_pair_set(), pa.intersection(&pb));
-        prop_assert_eq!(
-            as_hash(&a.difference(&b)),
-            ra.difference(&rb).copied().collect::<HashSet<_>>()
-        );
-        prop_assert_eq!(a.difference(&b).to_pair_set(), pa.difference(&pb));
-        prop_assert_eq!(a.intersection_len(&b), ra.intersection(&rb).count());
-        prop_assert_eq!(a.difference_len(&b), ra.difference(&rb).count());
-        prop_assert_eq!(a.is_subset(&b), ra.is_subset(&rb));
-        prop_assert_eq!(a.is_disjoint(&b), ra.is_disjoint(&rb));
+        let a = models(a_raw);
+        let b = models(b_raw);
+        assert_algebra_agrees(&a.chunked, &b.chunked, &a.packed, &b.packed, &a.reference, &b.reference);
+        assert_algebra_agrees(&a.roaring, &b.roaring, &a.packed, &b.packed, &a.reference, &b.reference);
+        prop_assert_eq!(a.chunked.is_subset(&b.chunked), a.reference.is_subset(&b.reference));
+        prop_assert_eq!(a.roaring.is_subset(&b.roaring), a.reference.is_subset(&b.reference));
+        prop_assert_eq!(a.chunked.is_disjoint(&b.chunked), a.reference.is_disjoint(&b.reference));
+        prop_assert_eq!(a.roaring.is_disjoint(&b.roaring), a.reference.is_disjoint(&b.reference));
     }
 
     /// Dense chunk shapes cross the bitmap threshold; all kernel
@@ -100,39 +159,53 @@ proptest! {
         a_raw in dense_chunks(2, 6000, 9000),
         b_raw in dense_chunks(2, 6000, 700),
     ) {
-        let (a, pa, ra) = models(a_raw);
-        let (b, pb, rb) = models(b_raw);
-        prop_assert_eq!(a.union(&b).to_pair_set(), pa.union(&pb));
-        prop_assert_eq!(a.intersection(&b).to_pair_set(), pa.intersection(&pb));
-        prop_assert_eq!(b.intersection(&a).to_pair_set(), pb.intersection(&pa));
-        prop_assert_eq!(a.difference(&b).to_pair_set(), pa.difference(&pb));
-        prop_assert_eq!(b.difference(&a).to_pair_set(), pb.difference(&pa));
-        prop_assert_eq!(a.intersection_len(&b), ra.intersection(&rb).count());
-        prop_assert_eq!(b.intersection_len(&a), ra.intersection(&rb).count());
+        let a = models(a_raw);
+        let b = models(b_raw);
+        assert_algebra_agrees(&a.chunked, &b.chunked, &a.packed, &b.packed, &a.reference, &b.reference);
+        assert_algebra_agrees(&a.roaring, &b.roaring, &a.packed, &b.packed, &a.reference, &b.reference);
     }
 
-    /// Venn regions on the chunked engine: the same exclusive
+    /// Pair shapes straddling the `u16` key split at `hi` = 65536:
+    /// the roaring engine splits one `lo` across two containers where
+    /// the single-level engine keeps one chunk — both must still agree
+    /// with both models on everything.
+    #[test]
+    fn key_split_algebra_agrees(
+        a_raw in key_split_pairs(120),
+        b_raw in key_split_pairs(120),
+    ) {
+        let a = models(a_raw);
+        let b = models(b_raw);
+        assert_algebra_agrees(&a.chunked, &b.chunked, &a.packed, &b.packed, &a.reference, &b.reference);
+        assert_algebra_agrees(&a.roaring, &b.roaring, &a.packed, &b.packed, &a.reference, &b.reference);
+    }
+
+    /// Venn regions on both compressed engines: the same exclusive
     /// partition as the packed engine and the per-pair reference.
     #[test]
     fn venn_regions_agree_with_both_models(
         raw in prop::collection::vec(raw_pairs(16, 30), 1..7),
     ) {
-        let built: Vec<(ChunkedPairSet, PairSet, HashSet<RecordPair>)> =
-            raw.into_iter().map(models).collect();
-        let chunked: Vec<ChunkedPairSet> = built.iter().map(|(c, _, _)| c.clone()).collect();
-        let packed: Vec<PairSet> = built.iter().map(|(_, p, _)| p.clone()).collect();
-        let reference: Vec<&HashSet<RecordPair>> = built.iter().map(|(_, _, r)| r).collect();
-        let rc = venn_regions(&chunked);
+        let built: Vec<Models> = raw.into_iter().map(models).collect();
+        let chunked: Vec<ChunkedPairSet> = built.iter().map(|m| m.chunked.clone()).collect();
+        let roaring: Vec<RoaringPairSet> = built.iter().map(|m| m.roaring.clone()).collect();
+        let packed: Vec<PairSet> = built.iter().map(|m| m.packed.clone()).collect();
+        let reference: Vec<&HashSet<RecordPair>> = built.iter().map(|m| &m.reference).collect();
         let rp = venn_regions(&packed);
+        let rc = venn_regions(&chunked);
+        let rr = venn_regions(&roaring);
         prop_assert_eq!(rc.len(), rp.len());
+        prop_assert_eq!(rr.len(), rp.len());
         let mut seen: HashSet<RecordPair> = HashSet::new();
-        for (c, p) in rc.iter().zip(&rp) {
+        for ((c, r), p) in rc.iter().zip(&rr).zip(&rp) {
             prop_assert_eq!(c.membership, p.membership);
+            prop_assert_eq!(r.membership, p.membership);
             prop_assert_eq!(c.pairs.to_pair_set(), p.pairs.clone());
+            prop_assert_eq!(r.pairs.to_pair_set(), p.pairs.clone());
             for pair in c.pairs.iter() {
                 prop_assert!(seen.insert(pair), "pair in two regions");
-                for (i, r) in reference.iter().enumerate() {
-                    prop_assert_eq!(c.contains_set(i), r.contains(&pair));
+                for (i, reference_set) in reference.iter().enumerate() {
+                    prop_assert_eq!(c.contains_set(i), reference_set.contains(&pair));
                 }
             }
         }
@@ -140,129 +213,229 @@ proptest! {
         prop_assert_eq!(seen, union);
     }
 
-    /// Venn with a guaranteed bitmap participant (the word-sweep path)
-    /// still partitions exactly like the packed engine.
+    /// Venn with a guaranteed bitmap participant (the word-sweep path
+    /// of both compressed engines) still partitions exactly like the
+    /// packed engine.
     #[test]
     fn venn_with_bitmap_chunks_agrees(extra in raw_pairs(32, 40)) {
         let big: Vec<(u32, u32)> = (1..=(ARRAY_MAX as u32 + 200)).map(|hi| (0u32, hi)).collect();
-        let (a, pa, _) = models(big);
-        prop_assert!(a.bitmap_chunk_count() >= 1, "setup must include a bitmap chunk");
-        let (b, pb, _) = models(extra);
-        let rc = venn_regions(&[a, b]);
-        let rp = venn_regions(&[pa, pb]);
+        let a = models(big);
+        prop_assert!(a.chunked.bitmap_chunk_count() >= 1, "setup must include a bitmap chunk");
+        prop_assert!(a.roaring.bitmap_chunk_count() >= 1, "setup must include a bitmap container");
+        let b = models(extra);
+        let rp = venn_regions(&[a.packed, b.packed]);
+        let rc = venn_regions(&[a.chunked, b.chunked]);
+        let rr = venn_regions(&[a.roaring, b.roaring]);
         prop_assert_eq!(rc.len(), rp.len());
-        for (c, p) in rc.iter().zip(&rp) {
+        prop_assert_eq!(rr.len(), rp.len());
+        for ((c, r), p) in rc.iter().zip(&rr).zip(&rp) {
             prop_assert_eq!(c.membership, p.membership);
             prop_assert_eq!(c.pairs.to_pair_set(), p.pairs.clone());
+            prop_assert_eq!(r.membership, p.membership);
+            prop_assert_eq!(r.pairs.to_pair_set(), p.pairs.clone());
         }
     }
 
-    /// Incremental insert keeps all three models in sync, across the
-    /// promotion boundary as well.
+    /// Incremental insert keeps all engines in sync with the hash
+    /// model, across the promotion boundary as well.
     #[test]
     fn incremental_updates_agree(base in raw_pairs(20, 30), extra in raw_pairs(20, 30)) {
-        let (mut chunked, _, mut reference) = models(base);
+        let Models { mut chunked, mut roaring, mut reference, .. } = models(base);
         for (a, b) in extra {
             if a == b {
                 continue;
             }
             let p = RecordPair::from((a, b));
-            prop_assert_eq!(chunked.insert(p), reference.insert(p));
+            let fresh = reference.insert(p);
+            prop_assert_eq!(chunked.insert(p), fresh);
+            prop_assert_eq!(roaring.insert(p), fresh);
         }
-        prop_assert_eq!(as_hash(&chunked), reference);
+        prop_assert_eq!(as_hash(&chunked), reference.clone());
+        prop_assert_eq!(as_hash(&roaring), reference);
     }
 }
 
-/// The array↔bitmap boundary, pinned exactly: 4095 and 4096 elements
-/// stay arrays, 4097 promotes — and operation results demote when they
-/// shrink back to ≤ 4096.
+/// The array↔bitmap boundary of *both* compressed engines, pinned
+/// exactly: 4095 and 4096 elements stay arrays, 4097 promotes — and
+/// operation results demote when they shrink back to ≤ 4096.
 #[test]
 fn promotion_boundary_exact() {
-    let chunk = |count: u32| -> ChunkedPairSet {
-        (1..=count).map(|hi| RecordPair::from((0u32, hi))).collect()
+    let chunk = |count: u32| -> (ChunkedPairSet, RoaringPairSet) {
+        let pairs: Vec<RecordPair> = (1..=count).map(|hi| RecordPair::from((0u32, hi))).collect();
+        (pairs.iter().collect(), pairs.iter().collect())
     };
     for (count, bitmaps) in [
         (ARRAY_MAX as u32 - 1, 0usize), // 4095 → array
         (ARRAY_MAX as u32, 0),          // 4096 → array (inclusive max)
         (ARRAY_MAX as u32 + 1, 1),      // 4097 → bitmap
     ] {
-        let s = chunk(count);
-        assert_eq!(s.len(), count as usize);
+        let (c, r) = chunk(count);
+        assert_eq!(c.len(), count as usize);
+        assert_eq!(r.len(), count as usize);
         assert_eq!(
-            s.bitmap_chunk_count(),
+            c.bitmap_chunk_count(),
             bitmaps,
-            "container kind at {count} elements"
+            "chunked container kind at {count} elements"
+        );
+        assert_eq!(
+            r.bitmap_chunk_count(),
+            bitmaps,
+            "roaring container kind at {count} elements"
         );
         // The representation stays faithful either way.
-        assert_eq!(s.to_pair_set().len(), count as usize);
+        assert_eq!(c.to_pair_set().len(), count as usize);
+        assert_eq!(r.to_pair_set().len(), count as usize);
     }
 
     // Demotion: shrinking a bitmap chunk back to ≤ 4096 elements via
     // set operations yields an array container again (canonical form).
-    let big = chunk(ARRAY_MAX as u32 + 1);
-    let first = chunk(ARRAY_MAX as u32);
-    let inter = big.intersection(&first);
-    assert_eq!(inter.len(), ARRAY_MAX);
-    assert_eq!(
-        inter.bitmap_chunk_count(),
-        0,
-        "4096-element result must demote"
-    );
-    let boundary_diff = big.difference(&chunk(1));
-    assert_eq!(boundary_diff.len(), ARRAY_MAX);
-    assert_eq!(boundary_diff.bitmap_chunk_count(), 0);
+    let (cbig, rbig) = chunk(ARRAY_MAX as u32 + 1);
+    let (cfirst, rfirst) = chunk(ARRAY_MAX as u32);
+    for (inter, tag) in [
+        (cbig.intersection(&cfirst).bitmap_chunk_count(), "chunked"),
+        (rbig.intersection(&rfirst).bitmap_chunk_count(), "roaring"),
+    ] {
+        assert_eq!(inter, 0, "{tag}: 4096-element result must demote");
+    }
+    assert_eq!(cbig.intersection(&cfirst).len(), ARRAY_MAX);
+    assert_eq!(rbig.intersection(&rfirst).len(), ARRAY_MAX);
+    let (cone, rone) = chunk(1);
+    assert_eq!(cbig.difference(&cone).bitmap_chunk_count(), 0);
+    assert_eq!(rbig.difference(&rone).bitmap_chunk_count(), 0);
     // And a union pushing an array across the boundary promotes.
-    let at_max = chunk(ARRAY_MAX as u32);
-    let one_more: ChunkedPairSet = [RecordPair::from((0u32, ARRAY_MAX as u32 + 1))]
-        .into_iter()
-        .collect();
-    let promoted = at_max.union(&one_more);
-    assert_eq!(promoted.len(), ARRAY_MAX + 1);
+    let (cmax, rmax) = chunk(ARRAY_MAX as u32);
+    let one_more: Vec<RecordPair> = vec![RecordPair::from((0u32, ARRAY_MAX as u32 + 1))];
+    let cpromoted = cmax.union(&one_more.iter().collect());
+    let rpromoted = rmax.union(&one_more.iter().collect());
+    assert_eq!(cpromoted.len(), ARRAY_MAX + 1);
     assert_eq!(
-        promoted.bitmap_chunk_count(),
+        cpromoted.bitmap_chunk_count(),
+        1,
+        "4097-element union must promote"
+    );
+    assert_eq!(rpromoted.len(), ARRAY_MAX + 1);
+    assert_eq!(
+        rpromoted.bitmap_chunk_count(),
         1,
         "4097-element union must promote"
     );
 }
 
-/// Insert promotes exactly at the 4097th element of a chunk.
+/// Insert promotes exactly at the 4097th element of a chunk, in both
+/// compressed engines.
 #[test]
 fn insert_promotes_at_boundary() {
-    let mut s: ChunkedPairSet = (1..=ARRAY_MAX as u32)
+    let pairs: Vec<RecordPair> = (1..=ARRAY_MAX as u32)
         .map(|hi| RecordPair::from((0u32, hi)))
         .collect();
-    assert_eq!(s.bitmap_chunk_count(), 0);
-    assert!(s.insert(RecordPair::from((0u32, ARRAY_MAX as u32 + 1))));
-    assert_eq!(s.bitmap_chunk_count(), 1);
-    assert_eq!(s.len(), ARRAY_MAX + 1);
+    let mut c: ChunkedPairSet = pairs.iter().collect();
+    let mut r: RoaringPairSet = pairs.iter().collect();
+    assert_eq!(c.bitmap_chunk_count(), 0);
+    assert_eq!(r.bitmap_chunk_count(), 0);
+    let next = RecordPair::from((0u32, ARRAY_MAX as u32 + 1));
+    assert!(c.insert(next));
+    assert!(r.insert(next));
+    assert_eq!(c.bitmap_chunk_count(), 1);
+    assert_eq!(r.bitmap_chunk_count(), 1);
+    assert_eq!(c.len(), ARRAY_MAX + 1);
+    assert_eq!(r.len(), ARRAY_MAX + 1);
     // Re-inserting an existing element reports false and keeps size.
-    assert!(!s.insert(RecordPair::from((0u32, 7u32))));
-    assert_eq!(s.len(), ARRAY_MAX + 1);
+    assert!(!c.insert(RecordPair::from((0u32, 7u32))));
+    assert!(!r.insert(RecordPair::from((0u32, 7u32))));
+    assert_eq!(c.len(), ARRAY_MAX + 1);
+    assert_eq!(r.len(), ARRAY_MAX + 1);
 }
 
-/// The chunked representation is never larger than ~half the packed
-/// one on chunk-dense workloads, and bitmap chunks compress far below
-/// that.
+/// The roaring engine's `u16` key split, pinned exactly: for one `lo`,
+/// `hi` = 65535 is the last value of the first container and 65536
+/// opens the second — chunk counts, membership and round-trips all
+/// reflect the boundary.
+#[test]
+fn key_split_boundary_exact() {
+    let below: RoaringPairSet = [(0u32, 65_535u32)].map(RecordPair::from).iter().collect();
+    assert_eq!(below.chunk_count(), 1);
+    let split: RoaringPairSet = [(0u32, 65_535u32), (0, 65_536), (0, 65_537)]
+        .map(RecordPair::from)
+        .iter()
+        .collect();
+    // 65535 → chunk key 0; 65536 and 65537 → chunk key 1.
+    assert_eq!(split.chunk_count(), 2);
+    assert_eq!(split.len(), 3);
+    for hi in [65_535u32, 65_536, 65_537] {
+        assert!(split.contains(&RecordPair::from((0u32, hi))), "hi = {hi}");
+    }
+    assert!(!split.contains(&RecordPair::from((0u32, 65_538u32))));
+    // The same pairs in one single-level chunk: the engines agree on
+    // the set while disagreeing on the chunking.
+    let chunked: ChunkedPairSet = [(0u32, 65_535u32), (0, 65_536), (0, 65_537)]
+        .map(RecordPair::from)
+        .iter()
+        .collect();
+    assert_eq!(chunked.chunk_count(), 1);
+    assert_eq!(split.to_pair_set(), chunked.to_pair_set());
+    // Operations across the split keep both containers aligned.
+    let left: RoaringPairSet = [(0u32, 65_535u32), (0, 65_536)]
+        .map(RecordPair::from)
+        .iter()
+        .collect();
+    assert_eq!(split.intersection(&left).len(), 2);
+    assert_eq!(
+        split.difference(&left).to_pairs(),
+        vec![RecordPair::from((0u32, 65_537u32))]
+    );
+    assert_eq!(split.union(&left), split);
+    // A dense run crossing the split promotes each side independently:
+    // 65536 values on each side of the boundary → two full bitmaps.
+    let wide: RoaringPairSet = (1..=131_072u32)
+        .map(|hi| RecordPair::from((0u32, hi)))
+        .collect();
+    assert_eq!(wide.chunk_count(), 3); // [1, 65535], [65536, 131071], [131072]
+    assert_eq!(wide.bitmap_chunk_count(), 2);
+    assert_eq!(wide.len(), 131_072);
+}
+
+/// The compressed representations beat packed where they should:
+/// bitmap chunks by an order of magnitude, sparse roaring by ~3× (the
+/// 12-byte directory + 2-byte elements against flat 8-byte pairs).
 #[test]
 fn memory_stays_below_packed() {
-    // Dense: one 60k-element chunk → bitmap.
-    let dense: ChunkedPairSet = (1..=60_000u32)
+    // Dense: one 60k-element chunk → bitmap in both engines.
+    let pairs: Vec<RecordPair> = (1..=60_000u32)
         .map(|hi| RecordPair::from((0u32, hi)))
         .collect();
-    let packed_dense: PairSet = (1..=60_000u32)
-        .map(|hi| RecordPair::from((0u32, hi)))
+    let dense_chunked: ChunkedPairSet = pairs.iter().collect();
+    let dense_roaring: RoaringPairSet = pairs.iter().collect();
+    let packed_dense: PairSet = pairs.iter().collect();
+    assert!(PairAlgebra::heap_bytes(&dense_chunked) * 10 < packed_dense.heap_bytes());
+    assert!(PairAlgebra::heap_bytes(&dense_roaring) * 10 < packed_dense.heap_bytes());
+    // Sparse uniform: ~40 pairs per chunk, the shape of the bench's
+    // uniform-2.5m workload. Chunked: 4 B/pair + 28 B/chunk directory;
+    // roaring: 2 B/pair + 12 B/chunk — the two-level layout must cut
+    // the chunked bytes in half and stay under 2.4 B/pair (the bench
+    // gate's bound) at this shape.
+    let sparse_pairs: Vec<RecordPair> = (0..2_000u32)
+        .flat_map(|lo| (1..=40u32).map(move |d| RecordPair::from((lo, lo + d))))
         .collect();
-    assert!(PairAlgebra::heap_bytes(&dense) * 10 < packed_dense.heap_bytes());
-    // Sparse arrays: ~4 bytes/pair + 28 bytes/chunk of directory vs a
-    // flat 8 bytes/pair — a win once chunks average ≥ ~8 elements.
-    let sparse: ChunkedPairSet = (0..2_000u32)
-        .flat_map(|lo| (1..=16u32).map(move |d| RecordPair::from((lo, lo + d))))
-        .collect();
-    let packed_sparse: PairSet = sparse.iter().collect();
+    let sparse_chunked: ChunkedPairSet = sparse_pairs.iter().collect();
+    let sparse_roaring: RoaringPairSet = sparse_pairs.iter().collect();
+    let packed_sparse: PairSet = sparse_pairs.iter().collect();
     assert!(
-        PairAlgebra::heap_bytes(&sparse) < packed_sparse.heap_bytes() * 3 / 4,
+        PairAlgebra::heap_bytes(&sparse_chunked) < packed_sparse.heap_bytes() * 3 / 4,
         "chunked {} vs packed {}",
-        PairAlgebra::heap_bytes(&sparse),
+        PairAlgebra::heap_bytes(&sparse_chunked),
         packed_sparse.heap_bytes()
+    );
+    assert!(
+        PairAlgebra::heap_bytes(&sparse_roaring) * 2 < PairAlgebra::heap_bytes(&sparse_chunked),
+        "roaring {} must halve chunked {}",
+        PairAlgebra::heap_bytes(&sparse_roaring),
+        PairAlgebra::heap_bytes(&sparse_chunked)
+    );
+    let bytes_per_pair_x10 = PairAlgebra::heap_bytes(&sparse_roaring) * 10 / sparse_pairs.len();
+    assert!(
+        bytes_per_pair_x10 <= 24,
+        "roaring sparse bytes/pair = {}.{}",
+        bytes_per_pair_x10 / 10,
+        bytes_per_pair_x10 % 10
     );
 }

@@ -168,16 +168,17 @@ pub fn handle(store: &BenchmarkStore, request: Request) -> Result<Response, Stor
             experiments,
             include_gold,
         } => {
-            // Chunked sets: the N-Intersection viewer holds every
-            // compared experiment in memory at once, so the compressed
-            // roaring-style engine bounds the working set and its
+            // Roaring sets: the N-Intersection viewer holds every
+            // compared experiment in memory at once, and experiment
+            // outputs are uniformly sparse — the two-level engine
+            // bounds the working set (~2.3 bytes/pair) and its
             // word-at-a-time kernels drive the k-way region merge.
-            let mut sets: Vec<frost_core::dataset::ChunkedPairSet> = Vec::new();
+            let mut sets: Vec<frost_core::dataset::RoaringPairSet> = Vec::new();
             let mut first_dataset: Option<String> = None;
             for name in &experiments {
                 let stored = store.experiment(name)?;
                 first_dataset.get_or_insert_with(|| stored.dataset.clone());
-                sets.push(stored.experiment.chunked_pair_set());
+                sets.push(stored.experiment.roaring_pair_set());
             }
             if include_gold {
                 let dataset =

@@ -9,6 +9,7 @@
 //! frost evaluate <dataset.csv> <gold-pairs.csv> <experiment.csv>
 //! frost diagram  <dataset.csv> <gold-pairs.csv> <experiment.csv> [samples]
 //! frost compare  <dataset.csv> <gold-pairs.csv> <experiment.csv>...
+//! frost venn     <dataset.csv> <gold-pairs.csv> <experiment.csv>...
 //! frost match    <dataset.csv> [threshold]
 //! ```
 //!
@@ -47,6 +48,11 @@ enum Command {
         gold: String,
         experiments: Vec<String>,
     },
+    Venn {
+        dataset: String,
+        gold: String,
+        experiments: Vec<String>,
+    },
     Match {
         dataset: String,
         threshold: f64,
@@ -59,6 +65,7 @@ usage:
   frost evaluate <dataset.csv> <gold-pairs.csv> <experiment.csv>
   frost diagram  <dataset.csv> <gold-pairs.csv> <experiment.csv> [samples]
   frost compare  <dataset.csv> <gold-pairs.csv> <experiment.csv>...
+  frost venn     <dataset.csv> <gold-pairs.csv> <experiment.csv>...
   frost match    <dataset.csv> [threshold]
 ";
 
@@ -97,6 +104,13 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                 experiments: experiments.to_vec(),
             })
         }
+        ("venn", [dataset, gold, experiments @ ..]) if !experiments.is_empty() => {
+            Ok(Command::Venn {
+                dataset: dataset.clone(),
+                gold: gold.clone(),
+                experiments: experiments.to_vec(),
+            })
+        }
         ("match", [dataset, rest @ ..]) if rest.len() <= 1 => {
             let threshold = match rest.first() {
                 Some(t) => t
@@ -115,6 +129,62 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
 
 fn read(path: &str) -> Result<String, String> {
     std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+/// Display labels for the experiment files: the file name, so output
+/// is stable regardless of where the fixtures live — except when two
+/// arguments share a file name (`runA/exp.csv runB/exp.csv`), which
+/// falls back to the full path for the colliding entries so every
+/// Venn-region label stays unambiguous.
+fn labels_of(paths: &[String]) -> Vec<String> {
+    let file_names: Vec<String> = paths
+        .iter()
+        .map(|path| {
+            std::path::Path::new(path)
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_else(|| path.clone())
+        })
+        .collect();
+    file_names
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            if file_names.iter().filter(|other| *other == name).count() > 1 {
+                paths[i].clone()
+            } else {
+                name.clone()
+            }
+        })
+        .collect()
+}
+
+/// Imports a dataset, gold standard and experiment list as roaring
+/// pair sets (the set-heavy `compare`/`venn` views hold every
+/// experiment at once; sparse matcher outputs are the two-level
+/// engine's home turf). The gold set rides last under the `<gold>`
+/// label.
+fn load_venn_sets(
+    importer: &DatasetImporter,
+    dataset: &str,
+    gold: &str,
+    experiments: &[String],
+) -> Result<(Vec<String>, Vec<frost::core::dataset::RoaringPairSet>), String> {
+    let ds = importer
+        .import("dataset", &read(dataset)?)
+        .map_err(|e| e.to_string())?;
+    let truth =
+        import_gold_pairs(&ds, &read(gold)?, CsvOptions::comma()).map_err(|e| e.to_string())?;
+    let mut sets = Vec::new();
+    let mut names = labels_of(experiments);
+    for (i, path) in experiments.iter().enumerate() {
+        let e = import_experiment(&format!("exp-{i}"), &ds, &read(path)?, CsvOptions::comma())
+            .map_err(|e| e.to_string())?;
+        sets.push(e.roaring_pair_set());
+    }
+    names.push("<gold>".into());
+    sets.push(truth.intra_pairs().collect());
+    Ok((names, sets))
 }
 
 fn run(command: Command) -> Result<(), String> {
@@ -188,24 +258,7 @@ fn run(command: Command) -> Result<(), String> {
             gold,
             experiments,
         } => {
-            let ds = importer
-                .import("dataset", &read(&dataset)?)
-                .map_err(|e| e.to_string())?;
-            let truth = import_gold_pairs(&ds, &read(&gold)?, CsvOptions::comma())
-                .map_err(|e| e.to_string())?;
-            let mut sets = Vec::new();
-            let mut names = Vec::new();
-            for (i, path) in experiments.iter().enumerate() {
-                let e =
-                    import_experiment(&format!("exp-{i}"), &ds, &read(path)?, CsvOptions::comma())
-                        .map_err(|e| e.to_string())?;
-                names.push(path.clone());
-                // Chunked sets: the venn view holds every experiment at
-                // once, so use the compressed engine (as storage::api does).
-                sets.push(e.chunked_pair_set());
-            }
-            names.push("<gold>".into());
-            sets.push(truth.intra_pairs().collect());
+            let (names, sets) = load_venn_sets(&importer, &dataset, &gold, &experiments)?;
             for region in frost::core::explore::setops::venn_regions(&sets) {
                 let members: Vec<&str> = names
                     .iter()
@@ -219,6 +272,16 @@ fn run(command: Command) -> Result<(), String> {
                     members.join(" ∩ ")
                 );
             }
+        }
+        Command::Venn {
+            dataset,
+            gold,
+            experiments,
+        } => {
+            let (names, sets) = load_venn_sets(&importer, &dataset, &gold, &experiments)?;
+            let regions = frost::core::explore::setops::venn_regions(&sets);
+            let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+            print!("{}", frost::core::report::venn_table(&regions, &name_refs));
         }
         Command::Match { dataset, threshold } => {
             let ds = importer
@@ -315,11 +378,25 @@ mod tests {
         let c = parse_args(&s(&["compare", "d.csv", "g.csv", "a.csv", "b.csv"])).unwrap();
         assert!(matches!(c, Command::Compare { experiments, .. } if experiments.len() == 2));
         assert!(parse_args(&s(&["compare", "d.csv", "g.csv"])).is_err());
+        let v = parse_args(&s(&["venn", "d.csv", "g.csv", "a.csv"])).unwrap();
+        assert!(matches!(v, Command::Venn { experiments, .. } if experiments.len() == 1));
+        assert!(parse_args(&s(&["venn", "d.csv", "g.csv"])).is_err());
         assert!(matches!(
             parse_args(&s(&["match", "d.csv"])).unwrap(),
             Command::Match { threshold, .. } if (threshold - 0.8).abs() < 1e-12
         ));
         assert!(parse_args(&s(&["match", "d.csv", "abc"])).is_err());
+    }
+
+    #[test]
+    fn labels_shorten_unique_names_and_keep_colliding_paths() {
+        let paths = s(&["runA/exp.csv", "runB/exp.csv", "other.csv"]);
+        assert_eq!(
+            labels_of(&paths),
+            s(&["runA/exp.csv", "runB/exp.csv", "other.csv"])
+        );
+        let distinct = s(&["runA/e1.csv", "runB/e2.csv"]);
+        assert_eq!(labels_of(&distinct), s(&["e1.csv", "e2.csv"]));
     }
 
     #[test]
@@ -372,6 +449,12 @@ mod tests {
         })
         .unwrap();
         run(Command::Compare {
+            dataset: ds.clone(),
+            gold: gold.clone(),
+            experiments: vec![exp.clone()],
+        })
+        .unwrap();
+        run(Command::Venn {
             dataset: ds.clone(),
             gold,
             experiments: vec![exp],

@@ -1,0 +1,122 @@
+//! Golden-output tests for the `frost` CLI's set-comparison commands.
+//!
+//! `compare` and `venn` sit on top of the pair-set engines, so an
+//! engine swap (packed → chunked → roaring) that silently changed
+//! region contents or ordering would surface here as a table diff —
+//! the byte-for-byte stdout of both commands is pinned against small,
+//! fully deterministic fixtures.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Writes the shared fixture into a unique temp directory: 8 records,
+/// a 4-pair gold standard and two experiments of different quality.
+///
+/// With record ids a..h ↦ 0..7 and set order [e1, e2, <gold>], the
+/// pair memberships are:
+///   {a,b} → e1 ∩ e2 ∩ gold     {c,d} → e1 ∩ gold
+///   {a,c} → e1 only            {b,c} → e2 only
+///   {e,f}, {g,h} → gold only
+fn fixture(tag: &str) -> (PathBuf, String, String, String, String) {
+    let dir = std::env::temp_dir().join(format!("frost-golden-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let ds = dir.join("people.csv");
+    let gold = dir.join("gold.csv");
+    let e1 = dir.join("e1.csv");
+    let e2 = dir.join("e2.csv");
+    std::fs::write(
+        &ds,
+        "id,name\na,Ann\nb,Anne\nc,Bob\nd,Bobby\ne,Carl\nf,Carlo\ng,Dora\nh,Dora B\n",
+    )
+    .unwrap();
+    std::fs::write(&gold, "id1,id2\na,b\nc,d\ne,f\ng,h\n").unwrap();
+    std::fs::write(&e1, "id1,id2,similarity\na,b,0.95\nc,d,0.9\na,c,0.4\n").unwrap();
+    std::fs::write(&e2, "id1,id2,similarity\na,b,0.9\nb,c,0.5\n").unwrap();
+    (
+        dir.clone(),
+        ds.to_string_lossy().into_owned(),
+        gold.to_string_lossy().into_owned(),
+        e1.to_string_lossy().into_owned(),
+        e2.to_string_lossy().into_owned(),
+    )
+}
+
+fn run_frost(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_frost"))
+        .args(args)
+        .output()
+        .expect("frost binary runs");
+    (
+        String::from_utf8(out.stdout).unwrap(),
+        String::from_utf8(out.stderr).unwrap(),
+        out.status.success(),
+    )
+}
+
+/// `compare` lists every non-empty Venn region in ascending membership
+/// order with file-name labels.
+#[test]
+fn compare_golden_output() {
+    let (dir, ds, gold, e1, e2) = fixture("compare");
+    let (stdout, stderr, ok) = run_frost(&["compare", &ds, &gold, &e1, &e2]);
+    assert!(ok, "compare failed: {stderr}");
+    let expected = concat!(
+        "      1 pairs exactly in: e1.csv\n",
+        "      1 pairs exactly in: e2.csv\n",
+        "      2 pairs exactly in: <gold>\n",
+        "      1 pairs exactly in: e1.csv ∩ <gold>\n",
+        "      1 pairs exactly in: e1.csv ∩ e2.csv ∩ <gold>\n",
+    );
+    assert_eq!(stdout, expected);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// `venn` renders the aligned region table, largest region first.
+#[test]
+fn venn_golden_output() {
+    let (dir, ds, gold, e1, e2) = fixture("venn");
+    let (stdout, stderr, ok) = run_frost(&["venn", &ds, &gold, &e1, &e2]);
+    assert!(ok, "venn failed: {stderr}");
+    let expected = concat!(
+        "       2 pairs  exactly in <gold>\n",
+        "       1 pairs  exactly in e1.csv\n",
+        "       1 pairs  exactly in e2.csv\n",
+        "       1 pairs  exactly in e1.csv ∩ <gold>\n",
+        "       1 pairs  exactly in e1.csv ∩ e2.csv ∩ <gold>\n",
+    );
+    assert_eq!(stdout, expected);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// A single-experiment `venn` against the gold standard — the smallest
+/// real use; also pins the two-set rendering.
+#[test]
+fn venn_single_experiment_golden_output() {
+    let (dir, ds, gold, e1, _) = fixture("venn-single");
+    let (stdout, stderr, ok) = run_frost(&["venn", &ds, &gold, &e1]);
+    assert!(ok, "venn failed: {stderr}");
+    let expected = concat!(
+        "       2 pairs  exactly in <gold>\n",
+        "       2 pairs  exactly in e1.csv ∩ <gold>\n",
+        "       1 pairs  exactly in e1.csv\n",
+    );
+    assert_eq!(stdout, expected);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// Both commands exit 1 with a one-line message on unknown record ids
+/// (no partial table is printed).
+#[test]
+fn venn_and_compare_report_bad_input() {
+    let (dir, ds, _, e1, _) = fixture("bad");
+    let bad_gold = dir.join("bad_gold.csv");
+    std::fs::write(&bad_gold, "id1,id2\na,zzz\n").unwrap();
+    let bad = bad_gold.to_string_lossy().into_owned();
+    for cmd in ["compare", "venn"] {
+        let (stdout, stderr, ok) = run_frost(&[cmd, &ds, &bad, &e1]);
+        assert!(!ok, "{cmd} must fail");
+        assert!(stdout.is_empty(), "{cmd} printed a partial table");
+        assert!(stderr.contains("unknown record"), "{cmd}: {stderr}");
+    }
+    let _ = std::fs::remove_dir_all(dir);
+}

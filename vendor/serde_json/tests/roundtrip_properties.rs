@@ -1,0 +1,122 @@
+//! Round-trip property tests for the vendored JSON shim: for randomly
+//! generated `Value` trees, parse(write(v)) must reproduce `v`
+//! exactly, and write(parse(write(v))) must reproduce the first
+//! rendering byte for byte (a fixpoint after one round) — for both the
+//! compact and the pretty writer. The CI smoke-bench regression gate
+//! reads its recorded baselines through this parser, so a silent
+//! write/parse asymmetry would corrupt the gate.
+
+use proptest::prelude::*;
+use proptest::TestRng;
+use rand::Rng;
+use serde_json::{from_str, to_string, to_string_pretty, Value};
+
+/// Characters the string generator draws from: every escape class the
+/// writer emits (quotes, backslashes, named escapes, raw control
+/// characters that render as `\u00XX`), multi-byte UTF-8, and plain
+/// ASCII filler.
+const CHAR_POOL: &[char] = &[
+    'a', 'b', 'z', '0', ' ', '"', '\\', '/', '\n', '\r', '\t', '\u{8}', '\u{c}', '\u{1}', '\u{1f}',
+    'é', 'ß', '→', '❄', '🦀', '\u{7f}', '\u{fffd}',
+];
+
+fn gen_string(rng: &mut TestRng) -> String {
+    let len = rng.gen_range(0usize..12);
+    (0..len)
+        .map(|_| CHAR_POOL[rng.gen_range(0usize..CHAR_POOL.len())])
+        .collect()
+}
+
+/// A finite `f64` spanning the writer's formatting classes: integral
+/// values below the `1e15` integer-rendering cutoff, short decimals,
+/// and large/tiny magnitudes that exercise shortest-float `Display`.
+fn gen_number(rng: &mut TestRng) -> f64 {
+    match rng.gen_range(0u32..4) {
+        0 => rng.gen_range(-1_000_000i64..1_000_000) as f64,
+        1 => rng.gen_range(-1_000_000i64..1_000_000) as f64 / 256.0,
+        2 => (rng.gen::<f64>() - 0.5) * 1e18,
+        _ => rng.gen::<f64>() * 1e-9,
+    }
+}
+
+fn gen_value(rng: &mut TestRng, depth: usize) -> Value {
+    // Leaves dominate; containers only below the depth cap.
+    let pick = if depth == 0 {
+        rng.gen_range(0u32..4)
+    } else {
+        rng.gen_range(0u32..6)
+    };
+    match pick {
+        0 => Value::Null,
+        1 => Value::Bool(rng.gen_range(0u32..2) == 0),
+        2 => Value::Number(gen_number(rng)),
+        3 => Value::String(gen_string(rng)),
+        4 => {
+            let n = rng.gen_range(0usize..4);
+            Value::Array((0..n).map(|_| gen_value(rng, depth - 1)).collect())
+        }
+        _ => {
+            let n = rng.gen_range(0usize..4);
+            Value::object((0..n).map(|_| (gen_string(rng), gen_value(rng, depth - 1))))
+        }
+    }
+}
+
+/// Strategy wrapper: generates one `Value` tree up to `max_depth`.
+#[derive(Debug)]
+struct JsonValue {
+    max_depth: usize,
+}
+
+impl Strategy for JsonValue {
+    type Value = Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Value {
+        gen_value(rng, self.max_depth)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// parse ∘ write = identity, and write ∘ parse ∘ write = write —
+    /// for the compact writer.
+    #[test]
+    fn compact_roundtrip_fixpoint(v in JsonValue { max_depth: 4 }) {
+        let s1 = to_string(&v);
+        let v2 = from_str(&s1).expect("writer output must parse");
+        prop_assert_eq!(&v2, &v, "parse(write(v)) != v for {}", s1);
+        let s2 = to_string(&v2);
+        prop_assert_eq!(&s2, &s1, "write is not a fixpoint");
+    }
+
+    /// The same fixpoint through the pretty writer, plus cross-form
+    /// agreement: pretty and compact renderings parse to the same
+    /// value.
+    #[test]
+    fn pretty_roundtrip_fixpoint(v in JsonValue { max_depth: 4 }) {
+        let p1 = to_string_pretty(&v);
+        let v2 = from_str(&p1).expect("pretty output must parse");
+        prop_assert_eq!(&v2, &v, "parse(pretty(v)) != v for {}", p1);
+        prop_assert_eq!(to_string_pretty(&v2), p1, "pretty write is not a fixpoint");
+        prop_assert_eq!(from_str(&to_string(&v)).unwrap(), v2, "compact and pretty disagree");
+    }
+
+    /// Numbers specifically: every generated finite double survives
+    /// write → parse bit-exactly (integers take the `i64` fast path,
+    /// the rest shortest-float `Display`).
+    #[test]
+    fn numbers_roundtrip_exactly(seed in 0u64..u64::MAX) {
+        let mut rng = proptest::case_rng(seed, 0x5EED);
+        for _ in 0..32 {
+            let n = gen_number(&mut rng);
+            let v = Value::Number(n);
+            let parsed = from_str(&to_string(&v)).expect("number must parse");
+            let back = parsed.as_f64().expect("number did not parse as a number");
+            prop_assert!(
+                back == n || (back == 0.0 && n == 0.0),
+                "number {n} reparsed as {back}"
+            );
+        }
+    }
+}
