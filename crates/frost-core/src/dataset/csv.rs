@@ -99,7 +99,11 @@ impl std::error::Error for CsvError {}
 /// * An empty input yields no rows; a trailing newline does not produce an
 ///   empty final row.
 pub fn parse_csv(input: &str, opts: CsvOptions) -> Result<Vec<Vec<String>>, CsvError> {
-    let mut rows: Vec<Vec<String>> = Vec::new();
+    // First pass: a newline count upper-bounds the row count (quoted
+    // embedded newlines only overshoot), so the row vector never
+    // reallocates during the parse.
+    let line_count = input.bytes().filter(|&b| b == b'\n').count() + 1;
+    let mut rows: Vec<Vec<String>> = Vec::with_capacity(line_count);
     let mut row: Vec<String> = Vec::new();
     let mut field = String::new();
     let mut chars = input.chars().peekable();
@@ -151,7 +155,8 @@ pub fn parse_csv(input: &str, opts: CsvOptions) -> Result<Vec<Vec<String>>, CsvE
             line += 1;
             if row_started || !field.is_empty() {
                 row.push(std::mem::take(&mut field));
-                rows.push(std::mem::take(&mut row));
+                let width = row.len();
+                rows.push(std::mem::replace(&mut row, Vec::with_capacity(width)));
             }
             row_started = false;
         } else {

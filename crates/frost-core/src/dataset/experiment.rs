@@ -91,6 +91,26 @@ impl Experiment {
         }
     }
 
+    /// Creates an experiment from pairs that are already deduplicated —
+    /// the trusted fast path of the `FROSTB` snapshot loader, which
+    /// round-trips pair lists that [`Experiment::new`] deduplicated
+    /// before they were written. Skips the `HashSet` pass; callers
+    /// must uphold the no-duplicates invariant (checked in debug
+    /// builds).
+    pub fn from_deduplicated_pairs(name: impl Into<String>, pairs: Vec<ScoredPair>) -> Self {
+        debug_assert!(
+            {
+                let mut seen = HashSet::with_capacity(pairs.len());
+                pairs.iter().all(|sp| seen.insert(sp.pair))
+            },
+            "from_deduplicated_pairs called with duplicate pairs"
+        );
+        Self {
+            name: name.into(),
+            pairs,
+        }
+    }
+
     /// Builds an experiment from `(a, b, similarity)` triples.
     pub fn from_scored_pairs<P>(
         name: impl Into<String>,
@@ -165,6 +185,25 @@ impl Experiment {
     /// [`PairAlgebra`](super::PairAlgebra) representation.
     pub fn pair_set_as<S: super::PairAlgebra>(&self) -> S {
         S::from_pairs(self.pairs.iter().map(|sp| sp.pair))
+    }
+
+    /// Which pair-set engine the cost model
+    /// ([`choose_pair_engine`](super::choose_pair_engine)) picks for
+    /// this experiment's shape: one pass over the pairs counting
+    /// distinct 2¹⁶-value chunks.
+    pub fn pair_engine_hint(&self) -> super::PairEngine {
+        super::pair_engine_for(self.pairs.iter().map(|sp| sp.pair))
+    }
+
+    /// The set of matched [`RecordPair`]s in the engine the cost model
+    /// picks for this input — packed for small one-shots, chunked when
+    /// dense chunks dominate, roaring for large sparse sets.
+    pub fn pair_set_auto(&self) -> super::AnyPairSet {
+        match self.pair_engine_hint() {
+            super::PairEngine::Packed => super::AnyPairSet::Packed(self.pair_set()),
+            super::PairEngine::Chunked => super::AnyPairSet::Chunked(self.chunked_pair_set()),
+            super::PairEngine::Roaring => super::AnyPairSet::Roaring(self.roaring_pair_set()),
+        }
     }
 
     /// Only the pairs the matcher itself emitted (§4.2.4 "plain result pairs").
@@ -268,6 +307,47 @@ mod tests {
         assert_eq!(e.matcher_pairs().count(), 1);
         assert!(!e.fully_scored());
         assert_eq!(e.len(), 2);
+    }
+
+    #[test]
+    fn from_deduplicated_pairs_preserves_order() {
+        let pairs = vec![
+            ScoredPair::scored((4u32, 5u32), 0.9),
+            ScoredPair::unscored((0u32, 1u32)),
+        ];
+        let e = Experiment::from_deduplicated_pairs("e", pairs.clone());
+        assert_eq!(e.pairs(), &pairs[..]);
+    }
+
+    #[test]
+    fn engine_auto_selection() {
+        use crate::dataset::{AnyPairSet, PairEngine};
+        // Small → packed, whatever the shape.
+        let small = Experiment::from_pairs("s", [(0u32, 1u32), (2, 3)]);
+        assert_eq!(small.pair_engine_hint(), PairEngine::Packed);
+        assert!(matches!(small.pair_set_auto(), AnyPairSet::Packed(_)));
+        // Large and dense (one lo with 10k partners → occupancy ≫ 256).
+        let dense = Experiment::from_pairs("d", (1..=10_000u32).map(|hi| (0u32, hi)));
+        assert_eq!(dense.pair_engine_hint(), PairEngine::Chunked);
+        // Large and sparse (one pair per chunk).
+        let sparse = Experiment::from_pairs("r", (0..10_000u32).map(|lo| (lo, lo + 1)));
+        assert_eq!(sparse.pair_engine_hint(), PairEngine::Roaring);
+        let auto = sparse.pair_set_auto();
+        assert_eq!(auto.engine(), PairEngine::Roaring);
+        assert_eq!(auto.len(), 10_000);
+        assert!(!auto.is_empty());
+        assert!(auto.contains(&RecordPair::from((17u32, 18u32))));
+        assert!(auto.heap_bytes() > 0);
+    }
+
+    #[test]
+    fn engine_combination_rules() {
+        use crate::dataset::PairEngine::{self, Chunked, Packed, Roaring};
+        assert_eq!(PairEngine::combined([Packed, Packed]), Packed);
+        assert_eq!(PairEngine::combined([Packed, Roaring]), Roaring);
+        assert_eq!(PairEngine::combined([Roaring, Chunked, Packed]), Chunked);
+        assert_eq!(PairEngine::combined([]), Roaring);
+        assert_eq!(Chunked.to_string(), "chunked");
     }
 
     #[test]

@@ -26,6 +26,164 @@ pub use schema::Schema;
 
 use std::collections::HashMap;
 
+/// Pair-set engine identities, for cost-model-driven selection.
+///
+/// Call sites used to pick an engine statically (packed for streaming
+/// one-shots, roaring for sparse set-heavy views, chunked for
+/// dense/skewed chunks). [`choose_pair_engine`] encodes that folk
+/// knowledge as a small cost model over pair count and chunk
+/// occupancy, so the choice can be made per input instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PairEngine {
+    /// Packed sorted-`Vec<u64>` [`PairSet`].
+    Packed,
+    /// Single-level [`ChunkedPairSet`] (chunk by `lo`, `u32` containers).
+    Chunked,
+    /// Two-level [`RoaringPairSet`] (chunk by `packed >> 16`, `u16`
+    /// containers).
+    Roaring,
+}
+
+impl PairEngine {
+    /// Combines per-set hints into one engine for an operation that
+    /// needs homogeneous operands (a Venn sweep, a comparison view):
+    /// any dense participant pulls the whole group onto the chunked
+    /// engine (its bitmap kernels dominate the merge cost), otherwise
+    /// any large sparse participant picks roaring, and all-small
+    /// groups stay packed. Empty input defaults to roaring, the
+    /// engine with the smallest idle footprint.
+    pub fn combined(hints: impl IntoIterator<Item = PairEngine>) -> PairEngine {
+        let mut seen_any = false;
+        let mut seen_roaring = false;
+        for hint in hints {
+            match hint {
+                PairEngine::Chunked => return PairEngine::Chunked,
+                PairEngine::Roaring => seen_roaring = true,
+                PairEngine::Packed => {}
+            }
+            seen_any = true;
+        }
+        if seen_roaring || !seen_any {
+            PairEngine::Roaring
+        } else {
+            PairEngine::Packed
+        }
+    }
+}
+
+impl std::fmt::Display for PairEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            PairEngine::Packed => "packed",
+            PairEngine::Chunked => "chunked",
+            PairEngine::Roaring => "roaring",
+        })
+    }
+}
+
+/// Below this many pairs the packed engine wins regardless of shape:
+/// one sorted `Vec<u64>` merge has no per-chunk dispatch and the
+/// whole set fits comfortably in cache (`BENCH_pairset.json`,
+/// uniform-250k: packed beats hash 5×; compressed engines only pay
+/// off once working sets outgrow cache).
+pub const AUTO_PACKED_MAX: usize = chunked::ARRAY_MAX;
+
+/// Mean pairs per 2¹⁶-value chunk above which chunks count as dense:
+/// bitmap containers dominate and the single-level chunked engine's
+/// word-at-a-time kernels win (`BENCH_pairset.json`, dense-2.5m:
+/// occupancy ≈ 2900, chunked-vs-packed geomean 5.8×; uniform-2.5m:
+/// occupancy ≈ 40, roaring wins). 256 sits between the two regimes,
+/// at 1/16 of the ARRAY_MAX promotion threshold.
+pub const AUTO_DENSE_OCCUPANCY: f64 = 256.0;
+
+/// The cost model behind [`Experiment::pair_engine_hint`]: picks an
+/// engine from the pair count and the number of distinct 2¹⁶-value
+/// chunks (the [`roaring`] chunking of the packed key space).
+pub fn choose_pair_engine(pairs: usize, chunks: usize) -> PairEngine {
+    if pairs <= AUTO_PACKED_MAX {
+        return PairEngine::Packed;
+    }
+    let occupancy = pairs as f64 / chunks.max(1) as f64;
+    if occupancy >= AUTO_DENSE_OCCUPANCY {
+        PairEngine::Chunked
+    } else {
+        PairEngine::Roaring
+    }
+}
+
+/// Applies [`choose_pair_engine`] to a stream of pairs (one pass; the
+/// distinct-chunk count is exact).
+pub fn pair_engine_for(pairs: impl IntoIterator<Item = RecordPair>) -> PairEngine {
+    let mut chunks = std::collections::HashSet::new();
+    let mut n = 0usize;
+    for p in pairs {
+        n += 1;
+        chunks.insert((((p.lo().0 as u64) << 32) | p.hi().0 as u64) >> 16);
+    }
+    choose_pair_engine(n, chunks.len())
+}
+
+/// A pair set in whichever engine the cost model picked — the return
+/// type of [`Experiment::pair_set_auto`]. Set algebra stays on the
+/// homogeneous [`PairAlgebra`] engines; this wrapper carries a single
+/// set whose representation was chosen per input.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnyPairSet {
+    /// Packed representation.
+    Packed(PairSet),
+    /// Single-level chunked representation.
+    Chunked(ChunkedPairSet),
+    /// Two-level roaring representation.
+    Roaring(RoaringPairSet),
+}
+
+impl AnyPairSet {
+    /// Which engine holds the set.
+    pub fn engine(&self) -> PairEngine {
+        match self {
+            AnyPairSet::Packed(_) => PairEngine::Packed,
+            AnyPairSet::Chunked(_) => PairEngine::Chunked,
+            AnyPairSet::Roaring(_) => PairEngine::Roaring,
+        }
+    }
+
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        match self {
+            AnyPairSet::Packed(s) => s.len(),
+            AnyPairSet::Chunked(s) => s.len(),
+            AnyPairSet::Roaring(s) => s.len(),
+        }
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        match self {
+            AnyPairSet::Packed(s) => s.is_empty(),
+            AnyPairSet::Chunked(s) => s.is_empty(),
+            AnyPairSet::Roaring(s) => s.is_empty(),
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, pair: &RecordPair) -> bool {
+        match self {
+            AnyPairSet::Packed(s) => s.contains(pair),
+            AnyPairSet::Chunked(s) => s.contains(pair),
+            AnyPairSet::Roaring(s) => s.contains(pair),
+        }
+    }
+
+    /// Bytes of heap memory held by the representation.
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            AnyPairSet::Packed(s) => s.heap_bytes(),
+            AnyPairSet::Chunked(s) => s.heap_bytes(),
+            AnyPairSet::Roaring(s) => s.heap_bytes(),
+        }
+    }
+}
+
 /// The set-algebra interface shared by Frost's three pair-set engines:
 /// the packed sorted-`Vec<u64>` [`PairSet`], the single-level
 /// [`ChunkedPairSet`] (chunk by `lo`, `u32` containers) and the

@@ -605,6 +605,86 @@ impl RoaringPairSet {
         self.intersection_len(other) == 0
     }
 
+    /// The four raw arenas — `(index, offsets, elems, words)` — in the
+    /// layout described in the [module docs](self). This is the
+    /// serialization hook of the `FROSTB` snapshot format: the
+    /// directory and both storage arenas are written out
+    /// varint/delta-encoded and reloaded through
+    /// [`from_arenas`](Self::from_arenas) with no re-packing.
+    pub fn arenas(&self) -> (&[u64], &[u32], &[u16], &[u64]) {
+        (&self.index, &self.offsets, &self.elems, &self.words)
+    }
+
+    /// Rebuilds a set from raw arenas (the deserialization hook paired
+    /// with [`arenas`](Self::arenas)), validating every structural
+    /// invariant the kernels rely on: strictly ascending chunk keys,
+    /// tightly packed offsets in chunk order, strictly ascending array
+    /// containers, canonical container kinds and bitmap cardinalities
+    /// that match their popcount. One linear pass over the arenas —
+    /// cheap next to the I/O that produced them.
+    pub fn from_arenas(
+        index: Vec<u64>,
+        offsets: Vec<u32>,
+        elems: Vec<u16>,
+        words: Vec<u64>,
+    ) -> Result<Self, String> {
+        if offsets.len() != index.len() {
+            return Err(format!(
+                "directory mismatch: {} index entries, {} offsets",
+                index.len(),
+                offsets.len()
+            ));
+        }
+        let (mut elems_run, mut words_run) = (0usize, 0usize);
+        for (i, &entry) in index.iter().enumerate() {
+            let key = entry >> LOW_BITS;
+            if i > 0 && index[i - 1] >> LOW_BITS >= key {
+                return Err(format!("chunk keys not strictly ascending at chunk {i}"));
+            }
+            let card = (entry & CARD_MASK) as usize + 1;
+            let off = offsets[i] as usize;
+            if card > ARRAY_MAX {
+                if off != words_run {
+                    return Err(format!("bitmap chunk {i} not tightly packed"));
+                }
+                let end = words_run + BITMAP_WORDS;
+                if end > words.len() {
+                    return Err(format!("bitmap chunk {i} exceeds the words arena"));
+                }
+                if popcount(&words[words_run..end]) != card {
+                    return Err(format!("bitmap chunk {i} cardinality mismatch"));
+                }
+                words_run = end;
+            } else {
+                if off != elems_run {
+                    return Err(format!("array chunk {i} not tightly packed"));
+                }
+                let end = elems_run + card;
+                if end > elems.len() {
+                    return Err(format!("array chunk {i} exceeds the elems arena"));
+                }
+                let vals = &elems[elems_run..end];
+                if vals.windows(2).any(|w| w[0] >= w[1]) {
+                    return Err(format!("array chunk {i} not strictly ascending"));
+                }
+                elems_run = end;
+            }
+        }
+        if elems_run != elems.len() || words_run != words.len() {
+            return Err(format!(
+                "trailing arena bytes: {} elems, {} words unused",
+                elems.len() - elems_run,
+                words.len() - words_run
+            ));
+        }
+        Ok(Self {
+            index,
+            offsets,
+            elems,
+            words,
+        })
+    }
+
     /// Inserts a pair; returns `true` if it was new.
     ///
     /// The arena layout has no slack to absorb point updates, so a
@@ -1041,6 +1121,67 @@ mod tests {
         assert_eq!(got.first(), Some(&(2u64, 0b1)));
         assert_eq!(got[1], (u32::MAX as u64, 0b1));
         assert_eq!(far.to_pair_set().iter().count(), 3);
+    }
+
+    #[test]
+    fn arena_roundtrip_and_validation() {
+        let s = {
+            let mut all: Vec<RecordPair> = (1..=5000u32).map(|hi| (0u32, hi).into()).collect();
+            all.extend([
+                RecordPair::from((0u32, 70_000u32)),
+                RecordPair::from((0u32, 70_001u32)),
+                RecordPair::from((3u32, 4u32)),
+            ]);
+            all.into_iter().collect::<RoaringPairSet>()
+        };
+        let (index, offsets, elems, words) = s.arenas();
+        let rebuilt = RoaringPairSet::from_arenas(
+            index.to_vec(),
+            offsets.to_vec(),
+            elems.to_vec(),
+            words.to_vec(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt, s);
+
+        // Each invariant violation is rejected.
+        let (i0, o0, e0, w0) = (
+            index.to_vec(),
+            offsets.to_vec(),
+            elems.to_vec(),
+            words.to_vec(),
+        );
+        let mut bad = i0.clone();
+        bad.swap(0, 1);
+        assert!(
+            RoaringPairSet::from_arenas(bad, o0.clone(), e0.clone(), w0.clone())
+                .unwrap_err()
+                .contains("ascending")
+        );
+        let mut bad = w0.clone();
+        bad[0] ^= 1;
+        assert!(
+            RoaringPairSet::from_arenas(i0.clone(), o0.clone(), e0.clone(), bad)
+                .unwrap_err()
+                .contains("cardinality")
+        );
+        let mut bad = e0.clone();
+        bad.push(9);
+        assert!(
+            RoaringPairSet::from_arenas(i0.clone(), o0.clone(), bad, w0.clone())
+                .unwrap_err()
+                .contains("trailing")
+        );
+        assert!(
+            RoaringPairSet::from_arenas(i0.clone(), o0[..1].to_vec(), e0.clone(), w0.clone())
+                .unwrap_err()
+                .contains("directory mismatch")
+        );
+        let mut bad = e0.clone();
+        if bad.len() >= 2 {
+            bad.swap(0, 1);
+        }
+        assert!(RoaringPairSet::from_arenas(i0, o0, bad, w0).is_err());
     }
 
     #[test]

@@ -7,17 +7,21 @@
 //! Variation of information and the Generalized merge distance".
 
 use crate::clustering::Clustering;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Contingency counts between two clusterings: `counts[(i, j)]` is the
 /// number of records in cluster `i` of `a` and cluster `j` of `b`.
-fn contingency(a: &Clustering, b: &Clustering) -> HashMap<(u32, u32), u64> {
+/// Sorted keys, so float accumulations over the contingency table run
+/// in a fixed order — metric values are bit-identical across
+/// processes (the `frostd` golden tests pin served bodies against
+/// in-process evaluation).
+fn contingency(a: &Clustering, b: &Clustering) -> BTreeMap<(u32, u32), u64> {
     assert_eq!(
         a.num_records(),
         b.num_records(),
         "clusterings cover different datasets"
     );
-    let mut counts: HashMap<(u32, u32), u64> = HashMap::new();
+    let mut counts: BTreeMap<(u32, u32), u64> = BTreeMap::new();
     for i in 0..a.num_records() {
         let r = crate::dataset::RecordId(i as u32);
         *counts

@@ -1,0 +1,75 @@
+//! `frostd` — the Frost benchmark query daemon.
+//!
+//! ```text
+//! frostd <store> [--port N] [--addr HOST] [--workers N]
+//! ```
+//!
+//! `<store>` is either a `FROSTB` snapshot file (the fast path: one
+//! sequential read) or a CSV store directory written by
+//! `frost_storage::persist::save`. Port 0 binds an ephemeral port; the
+//! bound address is printed on the first line so scripts can scrape
+//! it.
+
+use frost_server::run_daemon;
+use std::process::ExitCode;
+
+const USAGE: &str =
+    "usage: frostd <store.frostb | store-dir> [--port N] [--addr HOST] [--workers N]";
+
+struct Args {
+    store: String,
+    addr: String,
+    port: u16,
+    workers: usize,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut store = None;
+    let mut addr = "127.0.0.1".to_string();
+    let mut port = 7878u16;
+    let mut workers = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--port" => {
+                let v = it.next().ok_or("--port needs a value")?;
+                port = v.parse().map_err(|_| format!("bad port {v:?}"))?;
+            }
+            "--addr" => {
+                addr = it.next().ok_or("--addr needs a value")?.clone();
+            }
+            "--workers" => {
+                let v = it.next().ok_or("--workers needs a value")?;
+                workers = v.parse().map_err(|_| format!("bad worker count {v:?}"))?;
+                if workers == 0 {
+                    return Err("worker count must be positive".into());
+                }
+            }
+            other if store.is_none() && !other.starts_with("--") => {
+                store = Some(other.to_string());
+            }
+            other => return Err(format!("unexpected argument {other:?}\n{USAGE}")),
+        }
+    }
+    Ok(Args {
+        store: store.ok_or(USAGE.to_string())?,
+        addr,
+        port,
+        workers,
+    })
+}
+
+fn run(args: Args) -> Result<(), String> {
+    match run_daemon(&args.store, &args.addr, args.port, args.workers)? {}
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&argv).and_then(run) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! A minimal blocking HTTP/1.1 client — enough to talk to `frostd`
+//! from the `frost get` subcommand, the loopback tests and CI scripts.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Fetches `url` (plain `http://host:port/path` only) and returns
+/// `(status, body)`.
+pub fn http_get(url: &str) -> Result<(u16, String), String> {
+    let rest = url
+        .strip_prefix("http://")
+        .ok_or_else(|| format!("unsupported url {url:?} (http:// only)"))?;
+    let (authority, target) = match rest.find('/') {
+        Some(i) => (&rest[..i], &rest[i..]),
+        None => (rest, "/"),
+    };
+    let mut stream =
+        TcpStream::connect(authority).map_err(|e| format!("connect {authority}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .map_err(|e| e.to_string())?;
+    let request =
+        format!("GET {target} HTTP/1.1\r\nHost: {authority}\r\nConnection: close\r\n\r\n");
+    stream
+        .write_all(request.as_bytes())
+        .map_err(|e| format!("send: {e}"))?;
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .map_err(|e| format!("receive: {e}"))?;
+    let text = String::from_utf8_lossy(&raw);
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| "malformed response (no header terminator)".to_string())?;
+    let status = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| format!("malformed status line {head:?}"))?;
+    Ok((status, body.to_string()))
+}

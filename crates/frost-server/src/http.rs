@@ -1,0 +1,551 @@
+//! The std-only HTTP/1.1 server: `TcpListener` + a fixed worker
+//! thread pool, one request per connection, JSON in and out.
+//!
+//! # Endpoints (all `GET`)
+//!
+//! | path               | request variant          | cached |
+//! |--------------------|--------------------------|--------|
+//! | `/datasets`        | `ListDatasets`           | no     |
+//! | `/experiments`     | `ListExperiments`        | no     |
+//! | `/profile`         | `ProfileDataset`         | yes    |
+//! | `/matrix`          | `GetConfusionMatrix`     | yes    |
+//! | `/metrics`         | `GetMetrics`             | yes    |
+//! | `/diagram`         | `GetDiagram`             | yes    |
+//! | `/compare`         | `CompareExperiments`     | yes    |
+//! | `/venn`            | `CompareExperiments` (gold appended) | yes |
+//! | `/cluster-metrics` | `GetClusterMetrics`      | yes    |
+//! | `/ratios`          | `GetAttributeRatios`     | yes    |
+//! | `/errors`          | `GetErrorProfile`        | yes    |
+//! | `/quality`         | `GetQualitySignals`      | yes    |
+//! | `/stats`           | cache counters           | no     |
+//!
+//! Derived artifacts are memoized in a sharded, generation-stamped
+//! [`ShardedCache`]: a repeated query returns the rendered body
+//! without touching the store, and any mutation through
+//! [`ServerState::with_store_mut`] bumps the generation, which
+//! logically evicts every cached entry at once. Listings stay
+//! uncached — they are cheaper than the cache probe.
+//!
+//! Bodies are rendered by [`json::response_to_json`], so an HTTP
+//! response is byte-identical to rendering the in-process
+//! [`api::handle`] result — the invariant the loopback golden tests
+//! pin.
+
+use crate::json::{self, response_to_json};
+use frost_storage::api::{self, Request};
+use frost_storage::cache::ShardedCache;
+use frost_storage::store::StoreError;
+use frost_storage::BenchmarkStore;
+use parking_lot::RwLock;
+use serde_json::Value;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+/// Shards in the result cache; 16 spreads a small thread pool's keys
+/// with negligible memory overhead.
+const CACHE_SHARDS: usize = 16;
+
+/// Request head size cap (we only serve `GET`, so no bodies).
+const MAX_REQUEST_BYTES: usize = 16 * 1024;
+
+/// The shared server state: the store behind a [`RwLock`] and the
+/// result cache in front of it.
+pub struct ServerState {
+    store: RwLock<BenchmarkStore>,
+    cache: ShardedCache,
+}
+
+impl ServerState {
+    /// Wraps a loaded store.
+    pub fn new(store: BenchmarkStore) -> Self {
+        Self {
+            store: RwLock::new(store),
+            cache: ShardedCache::new(CACHE_SHARDS),
+        }
+    }
+
+    /// Runs a read-only closure against the store (shared lock).
+    pub fn with_store<R>(&self, f: impl FnOnce(&BenchmarkStore) -> R) -> R {
+        f(&self.store.read())
+    }
+
+    /// Runs a mutating closure against the store (exclusive lock) and
+    /// bumps the cache generation afterwards — the invalidation rule:
+    /// *every* derived artifact is stamped with the store generation
+    /// it was computed under, and a mutation makes all older stamps
+    /// stale at once.
+    pub fn with_store_mut<R>(&self, f: impl FnOnce(&mut BenchmarkStore) -> R) -> R {
+        let out = f(&mut self.store.write());
+        self.cache.invalidate();
+        out
+    }
+
+    /// The result cache (hit counters, generation).
+    pub fn cache(&self) -> &ShardedCache {
+        &self.cache
+    }
+}
+
+/// A running server: its bound address, shared state, and shutdown
+/// control.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound socket address (resolves ephemeral port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared state (store + cache).
+    pub fn state(&self) -> &Arc<ServerState> {
+        &self.state
+    }
+
+    /// Stops accepting, drains the workers and joins the accept
+    /// thread (the drop glue does the work, so forgetting to call
+    /// this leaks nothing).
+    pub fn shutdown(self) {}
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            self.shutdown.store(true, Ordering::Release);
+            // Wake the blocking accept with a throwaway connection.
+            let _ = TcpStream::connect(self.addr);
+            let _ = t.join();
+        }
+    }
+}
+
+/// Binds `addr` (use port 0 for an ephemeral port) and serves requests
+/// on `workers` pool threads until the handle is shut down or dropped.
+pub fn serve(addr: &str, state: Arc<ServerState>, workers: usize) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let (tx, rx) = mpsc::channel::<TcpStream>();
+    let rx = Arc::new(Mutex::new(rx));
+    let mut pool = Vec::with_capacity(workers.max(1));
+    for _ in 0..workers.max(1) {
+        let rx = Arc::clone(&rx);
+        let state = Arc::clone(&state);
+        pool.push(std::thread::spawn(move || loop {
+            // Holding the lock only for the recv keeps the pool fair.
+            let next = rx.lock().expect("worker queue lock").recv();
+            match next {
+                Ok(stream) => handle_connection(stream, &state),
+                Err(_) => break, // accept loop gone → drain done
+            }
+        }));
+    }
+    let accept_shutdown = Arc::clone(&shutdown);
+    let accept_thread = std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            if accept_shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            if let Ok(stream) = stream {
+                // A send can only fail if every worker panicked.
+                if tx.send(stream).is_err() {
+                    break;
+                }
+            }
+        }
+        drop(tx);
+        for t in pool {
+            let _ = t.join();
+        }
+    });
+    Ok(ServerHandle {
+        addr: local,
+        state,
+        shutdown,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+/// The shared `frostd` / `frost serve` bootstrap: loads a store from
+/// either on-disk representation ([`persist::load_auto`]), binds
+/// `addr:port`, prints the scrapeable `frostd listening on http://…`
+/// line (the CI golden gate greps it) and serves until killed.
+///
+/// [`persist::load_auto`]: frost_storage::persist::load_auto
+pub fn run_daemon(
+    store_path: &str,
+    addr: &str,
+    port: u16,
+    workers: usize,
+) -> Result<std::convert::Infallible, String> {
+    let store = frost_storage::persist::load_auto(store_path)
+        .map_err(|e| format!("cannot load store {store_path:?}: {e}"))?;
+    let datasets = store.dataset_names().len();
+    let experiments = store.experiment_names(None).len();
+    let state = Arc::new(ServerState::new(store));
+    let handle = serve(&format!("{addr}:{port}"), state, workers)
+        .map_err(|e| format!("cannot bind {addr}:{port}: {e}"))?;
+    println!("frostd listening on http://{}", handle.addr());
+    println!("serving {datasets} dataset(s), {experiments} experiment(s) with {workers} worker(s)");
+    loop {
+        std::thread::park();
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, state: &ServerState) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let mut buf = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    // Read the request head (terminated by a blank line).
+    while !head_complete(&buf) {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(_) => return,
+        }
+        if buf.len() > MAX_REQUEST_BYTES {
+            respond(&mut stream, 400, &error_body("request head too large"));
+            return;
+        }
+    }
+    // A connection cut before the blank-line terminator must not be
+    // routed — the prefix could name a different resource.
+    if !head_complete(&buf) {
+        return;
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let Some(request_line) = head.lines().next() else {
+        return;
+    };
+    let mut parts = request_line.split(' ');
+    let (method, target) = match (parts.next(), parts.next()) {
+        (Some(m), Some(t)) => (m, t),
+        _ => {
+            respond(&mut stream, 400, &error_body("malformed request line"));
+            return;
+        }
+    };
+    if method != "GET" {
+        respond(&mut stream, 405, &error_body("only GET is supported"));
+        return;
+    }
+    let (status, body) = route(target, state);
+    respond(&mut stream, status, &body);
+}
+
+fn head_complete(buf: &[u8]) -> bool {
+    buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.windows(2).any(|w| w == b"\n\n")
+}
+
+fn respond(stream: &mut TcpStream, status: u16, body: &str) {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Internal Server Error",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+fn error_body(message: &str) -> String {
+    serde_json::to_string(&Value::object([(
+        "error".to_string(),
+        Value::from(message),
+    )]))
+}
+
+/// Splits a request target into path + decoded query pairs.
+fn parse_target(target: &str) -> (String, Vec<(String, String)>) {
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let params = query
+        .split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(kv), String::new()),
+        })
+        .collect();
+    (percent_decode(path), params)
+}
+
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => out.push(b' '),
+            b'%' => {
+                let hex = bytes
+                    .get(i + 1..i + 3)
+                    .and_then(|h| u8::from_str_radix(std::str::from_utf8(h).ok()?, 16).ok());
+                match hex {
+                    Some(b) => {
+                        out.push(b);
+                        i += 2;
+                    }
+                    None => out.push(b'%'),
+                }
+            }
+            b => out.push(b),
+        }
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+struct Params(Vec<(String, String)>);
+
+impl Params {
+    fn get(&self, key: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn required(&self, key: &str) -> Result<&str, (u16, String)> {
+        self.get(key)
+            .filter(|v| !v.is_empty())
+            .ok_or_else(|| (400, error_body(&format!("missing query parameter {key:?}"))))
+    }
+}
+
+/// Routes a request target to a response `(status, JSON body)`.
+fn route(target: &str, state: &ServerState) -> (u16, String) {
+    let (path, params) = parse_target(target);
+    let params = Params(params);
+    match build_request(&path, &params, state) {
+        Ok(Routed::Api { request, cache_key }) => {
+            if let Some(key) = cache_key {
+                if let Some(hit) = state.cache.get(&key) {
+                    return (200, hit.to_string());
+                }
+                let observed = state.cache.begin();
+                match state.with_store(|s| api::handle(s, request)) {
+                    Ok(response) => {
+                        let body = serde_json::to_string(&response_to_json(&response));
+                        state.cache.insert(key, Arc::from(body.as_str()), observed);
+                        (200, body)
+                    }
+                    Err(e) => store_error(e),
+                }
+            } else {
+                match state.with_store(|s| api::handle(s, request)) {
+                    Ok(response) => (200, serde_json::to_string(&response_to_json(&response))),
+                    Err(e) => store_error(e),
+                }
+            }
+        }
+        Ok(Routed::Stats) => {
+            let cache = state.cache();
+            let body = serde_json::to_string(&Value::object([
+                ("generation".to_string(), Value::from(cache.generation())),
+                ("hits".to_string(), Value::from(cache.hits())),
+                ("misses".to_string(), Value::from(cache.misses())),
+                ("entries".to_string(), Value::from(cache.len())),
+            ]));
+            (200, body)
+        }
+        Err(status_body) => status_body,
+    }
+}
+
+enum Routed {
+    Api {
+        request: Request,
+        cache_key: Option<String>,
+    },
+    Stats,
+}
+
+fn build_request(
+    path: &str,
+    params: &Params,
+    _state: &ServerState,
+) -> Result<Routed, (u16, String)> {
+    let api = |request, cache_key| Ok(Routed::Api { request, cache_key });
+    match path {
+        "/datasets" => api(Request::ListDatasets, None),
+        "/experiments" => api(
+            Request::ListExperiments {
+                dataset: params.get("dataset").map(str::to_string),
+            },
+            None,
+        ),
+        "/profile" => {
+            let dataset = params.required("dataset")?.to_string();
+            let key = cache_key("profile", &[&dataset]);
+            api(Request::ProfileDataset { dataset }, Some(key))
+        }
+        "/matrix" => {
+            let experiment = params.required("experiment")?.to_string();
+            let key = cache_key("matrix", &[&experiment]);
+            api(Request::GetConfusionMatrix { experiment }, Some(key))
+        }
+        "/metrics" => {
+            let experiment = params.required("experiment")?.to_string();
+            let key = cache_key("metrics", &[&experiment]);
+            api(Request::GetMetrics { experiment }, Some(key))
+        }
+        "/diagram" => {
+            let experiment = params.required("experiment")?.to_string();
+            let x = parse_param(params, "x", "recall", json::parse_metric)?;
+            let y = parse_param(params, "y", "precision", json::parse_metric)?;
+            let engine = parse_param(params, "engine", "optimized", json::parse_engine)?;
+            let samples = parse_param(params, "samples", "20", |s| s.parse::<usize>().ok())?;
+            if samples < 2 {
+                return Err((400, error_body("samples must be at least 2")));
+            }
+            let key = cache_key(
+                "diagram",
+                &[
+                    &experiment,
+                    &x.to_string(),
+                    &y.to_string(),
+                    &format!("{engine:?}"),
+                    &samples.to_string(),
+                ],
+            );
+            api(
+                Request::GetDiagram {
+                    experiment,
+                    x,
+                    y,
+                    engine,
+                    samples,
+                },
+                Some(key),
+            )
+        }
+        "/compare" | "/venn" => {
+            let list = params.required("experiments")?;
+            let experiments: Vec<String> = list
+                .split(',')
+                .filter(|s| !s.is_empty())
+                .map(str::to_string)
+                .collect();
+            if experiments.is_empty() {
+                return Err((400, error_body("experiments list is empty")));
+            }
+            // /venn is the N-Intersection view including the ground
+            // truth; /compare defaults to experiments only.
+            let default_gold = path == "/venn";
+            let include_gold = match params.get("gold") {
+                None => default_gold,
+                Some("true") => true,
+                Some("false") => false,
+                Some(other) => return Err((400, error_body(&format!("bad gold flag {other:?}")))),
+            };
+            let mut key_parts: Vec<&str> = experiments.iter().map(String::as_str).collect();
+            let gold_part = include_gold.to_string();
+            key_parts.push(&gold_part);
+            let key = cache_key("venn", &key_parts);
+            api(
+                Request::CompareExperiments {
+                    experiments,
+                    include_gold,
+                },
+                Some(key),
+            )
+        }
+        "/cluster-metrics" => {
+            let experiment = params.required("experiment")?.to_string();
+            let key = cache_key("cluster-metrics", &[&experiment]);
+            api(Request::GetClusterMetrics { experiment }, Some(key))
+        }
+        "/ratios" => {
+            let experiment = params.required("experiment")?.to_string();
+            let kind = parse_param(params, "kind", "null", json::parse_ratio_kind)?;
+            let key = cache_key("ratios", &[&experiment, &format!("{kind:?}")]);
+            api(Request::GetAttributeRatios { experiment, kind }, Some(key))
+        }
+        "/errors" => {
+            let experiment = params.required("experiment")?.to_string();
+            let key = cache_key("errors", &[&experiment]);
+            api(Request::GetErrorProfile { experiment }, Some(key))
+        }
+        "/quality" => {
+            let experiment = params.required("experiment")?.to_string();
+            let key = cache_key("quality", &[&experiment]);
+            api(Request::GetQualitySignals { experiment }, Some(key))
+        }
+        "/stats" => Ok(Routed::Stats),
+        other => Err((404, error_body(&format!("no such endpoint {other:?}")))),
+    }
+}
+
+/// Builds an unambiguous cache key: every component is
+/// length-prefixed, so user-controlled names (which may contain any
+/// byte, including the separators) cannot alias another request's
+/// key.
+fn cache_key(kind: &str, parts: &[&str]) -> String {
+    let mut key =
+        String::with_capacity(kind.len() + parts.iter().map(|p| p.len() + 8).sum::<usize>());
+    key.push_str(kind);
+    for p in parts {
+        key.push('\u{1}');
+        key.push_str(&p.len().to_string());
+        key.push(':');
+        key.push_str(p);
+    }
+    key
+}
+
+fn parse_param<T>(
+    params: &Params,
+    key: &str,
+    default: &str,
+    parse: impl Fn(&str) -> Option<T>,
+) -> Result<T, (u16, String)> {
+    let raw = params.get(key).unwrap_or(default);
+    parse(raw).ok_or_else(|| (400, error_body(&format!("bad {key} value {raw:?}"))))
+}
+
+fn store_error(e: StoreError) -> (u16, String) {
+    let status = match &e {
+        StoreError::UnknownDataset(_)
+        | StoreError::UnknownExperiment(_)
+        | StoreError::NoGoldStandard(_) => 404,
+        _ => 400,
+    };
+    (status, error_body(&e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn target_parsing_decodes_queries() {
+        let (path, params) = parse_target("/diagram?experiment=run%201&samples=5&flag");
+        assert_eq!(path, "/diagram");
+        assert_eq!(
+            params,
+            vec![
+                ("experiment".to_string(), "run 1".to_string()),
+                ("samples".to_string(), "5".to_string()),
+                ("flag".to_string(), String::new()),
+            ]
+        );
+        assert_eq!(percent_decode("a+b%2Cc%"), "a b,c%");
+        assert_eq!(percent_decode("%zz"), "%zz");
+    }
+}

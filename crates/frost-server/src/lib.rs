@@ -1,0 +1,32 @@
+//! # frost-server
+//!
+//! The serving layer of the Frost reproduction: a long-lived,
+//! concurrent HTTP/1.1 query server (`frostd`) over the
+//! [`BenchmarkStore`](frost_storage::BenchmarkStore).
+//!
+//! Snowman's front-end speaks a REST API that exposes the back-end's
+//! full feature set (Appendix A.4); `frost_storage::api` reproduces
+//! that surface as a library. This crate puts it on the wire:
+//!
+//! * [`http`] — a std-only server (`TcpListener` + a fixed thread
+//!   pool, no async runtime, no external dependencies) exposing every
+//!   [`Request`](frost_storage::api::Request) variant as a JSON `GET`
+//!   endpoint, with a sharded, generation-stamped result cache
+//!   ([`frost_storage::cache`]) in front of the derived artifacts —
+//!   diagram series, Venn tables, comparisons, metric sheets.
+//! * [`json`] — the canonical JSON rendering of
+//!   [`Response`](frost_storage::api::Response) values. Tests pin the
+//!   HTTP bodies byte-for-byte against this in-process rendering.
+//! * [`client`] — a minimal blocking HTTP client (the `frost get`
+//!   subcommand and the loopback tests).
+//!
+//! Start-up pairs with the `FROSTB` snapshot format
+//! ([`frost_storage::snapshot`]): `frostd` accepts either a CSV store
+//! directory or a snapshot file and serves either; snapshots load in
+//! one sequential read.
+
+pub mod client;
+pub mod http;
+pub mod json;
+
+pub use http::{run_daemon, serve, ServerHandle, ServerState};

@@ -168,31 +168,66 @@ pub fn handle(store: &BenchmarkStore, request: Request) -> Result<Response, Stor
             experiments,
             include_gold,
         } => {
-            // Roaring sets: the N-Intersection viewer holds every
-            // compared experiment in memory at once, and experiment
-            // outputs are uniformly sparse — the two-level engine
-            // bounds the working set (~2.3 bytes/pair) and its
-            // word-at-a-time kernels drive the k-way region merge.
-            let mut sets: Vec<frost_core::dataset::RoaringPairSet> = Vec::new();
+            // Engine auto-selection: the N-Intersection viewer holds
+            // every compared set in memory at once, so the cost model
+            // (pair count × chunk occupancy, `pair_engine_hint`)
+            // combines the participants' hints into one engine. The
+            // common sparse case lands on roaring and reuses each
+            // experiment's prebuilt arenas; dense participants pull
+            // the group onto chunked; all-small groups run packed.
+            let mut stored = Vec::with_capacity(experiments.len());
             let mut first_dataset: Option<String> = None;
             for name in &experiments {
-                let stored = store.experiment(name)?;
-                first_dataset.get_or_insert_with(|| stored.dataset.clone());
-                sets.push(stored.experiment.roaring_pair_set());
+                let s = store.experiment(name)?;
+                first_dataset.get_or_insert_with(|| s.dataset.clone());
+                stored.push(s);
             }
-            if include_gold {
+            let truth = if include_gold {
                 let dataset =
                     first_dataset.ok_or_else(|| StoreError::UnknownExperiment("<none>".into()))?;
-                let truth = store.gold_standard(&dataset)?;
-                sets.push(truth.intra_pairs().collect());
-            }
-            let regions = venn_regions(&sets);
-            Ok(Response::Venn(
-                regions
+                Some(store.gold_standard(&dataset)?)
+            } else {
+                None
+            };
+            use frost_core::clustering::Clustering;
+            use frost_core::dataset::{choose_pair_engine, PairAlgebra, PairEngine};
+            fn venn_counts<S: PairAlgebra>(
+                mut sets: Vec<S>,
+                truth: Option<&Clustering>,
+            ) -> Vec<(u32, usize)> {
+                if let Some(truth) = truth {
+                    sets.push(S::from_pairs(truth.intra_pairs()));
+                }
+                venn_regions(&sets)
                     .into_iter()
                     .map(|r| (r.membership, r.pairs.len()))
-                    .collect(),
-            ))
+                    .collect()
+            }
+            // The cost model's inputs (pair count, distinct 2¹⁶
+            // chunks) are read off each prebuilt roaring directory —
+            // O(chunks) per request, no pass over the raw pair list.
+            let engine = PairEngine::combined(
+                stored
+                    .iter()
+                    .map(|s| choose_pair_engine(s.pair_set.len(), s.pair_set.chunk_count())),
+            );
+            let regions = match engine {
+                // The sparse case reuses the prebuilt arenas (a clone,
+                // not a re-pack); the other engines rebuild from the
+                // pair list in their own layout.
+                PairEngine::Roaring => {
+                    venn_counts(stored.iter().map(|s| s.pair_set.clone()).collect(), truth)
+                }
+                PairEngine::Chunked => venn_counts::<frost_core::dataset::ChunkedPairSet>(
+                    stored.iter().map(|s| s.experiment.pair_set_as()).collect(),
+                    truth,
+                ),
+                PairEngine::Packed => venn_counts::<frost_core::dataset::PairSet>(
+                    stored.iter().map(|s| s.experiment.pair_set_as()).collect(),
+                    truth,
+                ),
+            };
+            Ok(Response::Venn(regions))
         }
         Request::GetClusterMetrics { experiment } => {
             use frost_core::metrics::cluster as cm;

@@ -1,0 +1,264 @@
+//! A sharded, generation-stamped concurrent cache for derived
+//! artifacts.
+//!
+//! The long-lived `frostd` server memoizes rendered results — diagram
+//! series, Venn tables, comparison views — keyed by the canonical
+//! request. Two properties matter for a shared deployment (§5.2 allows
+//! both local and hosted instances):
+//!
+//! * **Sharded locking** — keys hash onto independent mutex-guarded
+//!   shards, so concurrent readers of different requests never contend
+//!   on one lock.
+//! * **Generation stamping** — every entry records the store
+//!   generation it was computed under. A mutation bumps the generation
+//!   ([`ShardedCache::invalidate`]), which logically evicts every
+//!   older entry at once: a stale entry is treated as a miss and
+//!   dropped lazily on the next lookup. A compute that *straddles* a
+//!   mutation is also safe, because the writer stamps the entry with
+//!   the generation it observed **before** computing
+//!   ([`ShardedCache::begin`]) and [`ShardedCache::insert`] refuses
+//!   the entry when that stamp is no longer current.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Entries per shard before insertion evicts (stale first, then an
+/// arbitrary victim).
+const MAX_SHARD_ENTRIES: usize = 512;
+
+struct Entry {
+    generation: u64,
+    value: Arc<str>,
+}
+
+/// The cache. See the [module docs](self) for the invalidation rule.
+pub struct ShardedCache {
+    shards: Box<[Mutex<HashMap<String, Entry>>]>,
+    /// Current store generation; entries stamped with an older value
+    /// are stale.
+    generation: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ShardedCache {
+    /// Creates a cache with `shards` independent lock domains (rounded
+    /// up to a power of two, minimum 1).
+    pub fn new(shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        Self {
+            shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            generation: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &str) -> &Mutex<HashMap<String, Entry>> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) & (self.shards.len() - 1)]
+    }
+
+    /// The current generation.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Observes the generation a compute is about to run under; pass
+    /// the returned stamp to [`insert`](Self::insert) afterwards.
+    pub fn begin(&self) -> u64 {
+        self.generation()
+    }
+
+    /// Bumps the generation, logically evicting every cached entry,
+    /// and frees the shard maps eagerly — a long-lived server must
+    /// not keep stale bodies alive waiting for their exact keys to be
+    /// looked up again. Call after any store mutation.
+    pub fn invalidate(&self) {
+        self.generation.fetch_add(1, Ordering::AcqRel);
+        for shard in self.shards.iter() {
+            shard.lock().clear();
+        }
+    }
+
+    /// Looks up a key, counting a hit or miss. Entries from an older
+    /// generation are dropped and reported as misses.
+    pub fn get(&self, key: &str) -> Option<Arc<str>> {
+        let mut shard = self.shard(key).lock();
+        // Read under the shard lock: a racing invalidate + re-insert
+        // must not make a freshly stamped entry look stale.
+        let current = self.generation();
+        match shard.get(key) {
+            Some(e) if e.generation == current => {
+                let value = Arc::clone(&e.value);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(value)
+            }
+            Some(_) => {
+                shard.remove(key);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts a value computed under `observed` (from
+    /// [`begin`](Self::begin)). Dropped silently when a mutation
+    /// intervened — the result may already be stale.
+    pub fn insert(&self, key: impl Into<String>, value: Arc<str>, observed: u64) {
+        if observed != self.generation() {
+            return;
+        }
+        let key = key.into();
+        let mut shard = self.shard(&key).lock();
+        // Re-check under the shard lock: an invalidation racing the
+        // first check must not let a stale value land.
+        if observed != self.generation() {
+            return;
+        }
+        // Bound each shard: distinct request shapes are unbounded
+        // (e.g. every `samples` value is its own key), so a full
+        // shard first drops stale entries, then an arbitrary live one
+        // — memory stays O(shards · MAX_SHARD_ENTRIES).
+        if shard.len() >= MAX_SHARD_ENTRIES && !shard.contains_key(&key) {
+            shard.retain(|_, e| e.generation == observed);
+            if shard.len() >= MAX_SHARD_ENTRIES {
+                if let Some(evict) = shard.keys().next().cloned() {
+                    shard.remove(&evict);
+                }
+            }
+        }
+        shard.insert(
+            key,
+            Entry {
+                generation: observed,
+                value,
+            },
+        );
+    }
+
+    /// Cache hits since construction.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses since construction.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Live entries across all shards (stale entries not yet evicted
+    /// count too).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Whether no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arc(s: &str) -> Arc<str> {
+        Arc::from(s)
+    }
+
+    #[test]
+    fn hit_miss_accounting() {
+        let cache = ShardedCache::new(4);
+        assert!(cache.get("a").is_none());
+        let g = cache.begin();
+        cache.insert("a", arc("1"), g);
+        assert_eq!(cache.get("a").as_deref(), Some("1"));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn generation_invalidates_all_entries() {
+        let cache = ShardedCache::new(1);
+        let g = cache.begin();
+        cache.insert("a", arc("1"), g);
+        cache.insert("b", arc("2"), g);
+        cache.invalidate();
+        assert!(cache.get("a").is_none(), "stale entries must miss");
+        // Invalidation frees the shard maps eagerly.
+        assert_eq!(cache.len(), 0);
+        let g2 = cache.begin();
+        assert_eq!(g2, g + 1);
+        cache.insert("a", arc("3"), g2);
+        assert_eq!(cache.get("a").as_deref(), Some("3"));
+    }
+
+    #[test]
+    fn stale_compute_does_not_land() {
+        let cache = ShardedCache::new(2);
+        let observed = cache.begin();
+        // A mutation intervenes while the value is being computed.
+        cache.invalidate();
+        cache.insert("k", arc("stale"), observed);
+        assert!(cache.get("k").is_none());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn shard_size_is_bounded() {
+        let cache = ShardedCache::new(1);
+        let g = cache.begin();
+        for i in 0..(MAX_SHARD_ENTRIES * 3) {
+            cache.insert(format!("k{i}"), arc("v"), g);
+        }
+        assert!(cache.len() <= MAX_SHARD_ENTRIES, "cache must stay bounded");
+        // Re-inserting an existing key does not evict anything.
+        let before = cache.len();
+        cache.insert("k0", arc("v2"), g);
+        assert!(cache.len() <= before.max(MAX_SHARD_ENTRIES));
+    }
+
+    #[test]
+    fn concurrent_readers_and_invalidation() {
+        let cache = Arc::new(ShardedCache::new(8));
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    for i in 0..200 {
+                        let key = format!("k{}", i % 10);
+                        let g = cache.begin();
+                        if cache.get(&key).is_none() {
+                            cache.insert(key, Arc::from(format!("v{g}").as_str()), g);
+                        }
+                        if t == 0 && i % 50 == 0 {
+                            cache.invalidate();
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        // Every surviving entry must be stamped with the final
+        // generation once re-read.
+        let g = cache.generation();
+        for i in 0..10 {
+            if let Some(v) = cache.get(&format!("k{i}")) {
+                assert_eq!(v.as_ref(), format!("v{g}"));
+            }
+        }
+    }
+}

@@ -104,20 +104,28 @@ impl DatasetImporter {
                 .collect(),
         };
         let schema = Schema::new(attr_indices.iter().map(|(_, n)| n.clone()));
-        let mut ds = Dataset::new(name, schema);
-        for row in iter {
-            let values: Vec<Option<String>> = attr_indices
-                .iter()
-                .map(|&(i, _)| {
-                    let v = &row[i];
-                    if v.is_empty() {
-                        None
-                    } else {
-                        Some(v.clone())
-                    }
-                })
-                .collect();
-            ds.push_record_opt(row[id_idx].clone(), values);
+        // Pre-size the record table (and its id index) from the parsed
+        // row count, and move field strings out of each row instead of
+        // cloning them — the importer allocates nothing per row beyond
+        // the one values vector that becomes the record.
+        let mut ds = Dataset::with_capacity(name, schema, iter.len());
+        for mut row in iter {
+            let mut values: Vec<Option<String>> = Vec::with_capacity(attr_indices.len());
+            for &(i, _) in &attr_indices {
+                // The id column may double as an attribute under an
+                // explicit selection — clone it; every other column is
+                // referenced exactly once (`Schema::new` asserts
+                // attribute names are unique, so a repeated selection
+                // never reaches this loop) and its field is moved out
+                // of the row.
+                let v = if i == id_idx {
+                    row[i].clone()
+                } else {
+                    std::mem::take(&mut row[i])
+                };
+                values.push(if v.is_empty() { None } else { Some(v) });
+            }
+            ds.push_record_opt(std::mem::take(&mut row[id_idx]), values);
         }
         Ok(ds)
     }
@@ -135,7 +143,7 @@ pub fn import_gold_pairs(
     let rows = parse_csv(text, csv)?;
     let mut iter = rows.into_iter();
     iter.next().ok_or(ImportError::MissingHeader)?;
-    let mut pairs = Vec::new();
+    let mut pairs = Vec::with_capacity(iter.len());
     for row in iter {
         let a = resolve(ds, &row[0])?;
         let b = resolve(ds, &row[1])?;
@@ -180,7 +188,7 @@ pub fn import_experiment(
     let mut iter = rows.into_iter();
     let header = iter.next().ok_or(ImportError::MissingHeader)?;
     let has_similarity = header.len() >= 3;
-    let mut pairs = Vec::new();
+    let mut pairs = Vec::with_capacity(iter.len());
     for (i, row) in iter.enumerate() {
         let a = resolve(ds, &row[0])?;
         let b = resolve(ds, &row[1])?;
@@ -261,6 +269,23 @@ mod tests {
         };
         let ds = importer.import("d", DATASET_CSV).unwrap();
         assert_eq!(ds.schema().attributes(), &["year"]);
+    }
+
+    #[test]
+    fn dataset_import_with_id_column_as_attribute() {
+        // A selection may reuse the id column as an attribute; both
+        // uses must keep their value (the move-out-of-the-row
+        // optimization only applies to uniquely referenced columns).
+        let importer = DatasetImporter {
+            csv: CsvOptions::comma(),
+            id_column: "id".into(),
+            attribute_columns: Some(vec!["name".into(), "id".into()]),
+        };
+        let ds = importer.import("d", DATASET_CSV).unwrap();
+        let r1 = ds.resolve_native("r1").unwrap();
+        assert_eq!(ds.record(r1).values()[0].as_deref(), Some("ann"));
+        assert_eq!(ds.record(r1).values()[1].as_deref(), Some("r1"));
+        assert_eq!(ds.native_id(r1), "r1");
     }
 
     #[test]

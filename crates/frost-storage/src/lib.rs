@@ -20,10 +20,22 @@
 //! * [`api`] — a request/response facade mirroring the REST API surface
 //!   (Appendix A.4): everything the front-end can do is available
 //!   programmatically.
+//! * [`snapshot`] — the `FROSTB` binary at-rest format: a versioned,
+//!   checksummed single-file snapshot of the whole store *including*
+//!   the import-time artifacts (clusterings, roaring pair-set
+//!   arenas), so server start-up is one sequential read instead of
+//!   parse-and-rebuild. CSV ([`persist`]) remains the interchange
+//!   format.
+//! * [`cache`] — a sharded, generation-stamped concurrent cache for
+//!   derived artifacts (diagram series, Venn tables, comparisons),
+//!   used by the `frost-server` crate's HTTP layer.
 
 pub mod api;
+pub mod cache;
 pub mod import;
 pub mod persist;
+pub mod snapshot;
 pub mod store;
 
+pub use cache::ShardedCache;
 pub use store::{BenchmarkStore, StoreError};

@@ -167,6 +167,27 @@ fn csv_files(dir: &Path) -> Result<Vec<PathBuf>, PersistError> {
     Ok(files)
 }
 
+/// Loads a store from either on-disk representation: a `FROSTB`
+/// snapshot file ([`crate::snapshot`], the at-rest fast path) or a CSV
+/// store directory ([`load`], the interchange format). The `frost
+/// serve` / `frostd` entry points accept both through this function.
+pub fn load_auto(path: impl AsRef<Path>) -> Result<BenchmarkStore, PersistError> {
+    let path = path.as_ref();
+    if path.is_file() {
+        if !crate::snapshot::is_snapshot(path) {
+            return Err(PersistError::Malformed {
+                path: path.to_path_buf(),
+                reason: "not a FROSTB snapshot (store directories must be directories)".into(),
+            });
+        }
+        return crate::snapshot::load(path).map_err(|e| PersistError::Malformed {
+            path: path.to_path_buf(),
+            reason: e.to_string(),
+        });
+    }
+    load(path)
+}
+
 /// Loads a store directory written by [`save`].
 pub fn load(root: impl AsRef<Path>) -> Result<BenchmarkStore, PersistError> {
     let root = root.as_ref();
@@ -199,7 +220,7 @@ pub fn load(root: impl AsRef<Path>) -> Result<BenchmarkStore, PersistError> {
             });
         }
         let mut dataset_name: Option<String> = None;
-        let mut pairs: Vec<ScoredPair> = Vec::new();
+        let mut pairs: Vec<ScoredPair> = Vec::with_capacity(iter.len());
         for row in iter {
             let ds_name = dataset_name.get_or_insert_with(|| row[0].clone());
             if &row[0] != ds_name {

@@ -1,7 +1,7 @@
 //! The in-memory benchmark store with import-time optimization.
 
 use frost_core::clustering::Clustering;
-use frost_core::dataset::{Dataset, Experiment};
+use frost_core::dataset::{Dataset, Experiment, RoaringPairSet};
 use frost_core::diagram::{DiagramEngine, DiagramPoint};
 use frost_core::metrics::confusion::ConfusionMatrix;
 use frost_core::softkpi::ExperimentKpis;
@@ -59,6 +59,11 @@ pub struct StoredExperiment {
     pub experiment: Experiment,
     /// Pre-computed transitive-closure clustering.
     pub clustering: Clustering,
+    /// The experiment's match pairs as a prebuilt two-level roaring
+    /// set: the set-heavy views (N-Intersection comparisons, consensus
+    /// signals) reuse these arenas instead of re-packing the pair list
+    /// per request, and `FROSTB` snapshots persist them verbatim.
+    pub pair_set: RoaringPairSet,
     /// Optional per-experiment soft KPIs (§3.3).
     pub kpis: Option<ExperimentKpis>,
 }
@@ -156,15 +161,56 @@ impl BenchmarkStore {
             });
         }
         let clustering = Clustering::from_experiment(n, &experiment);
+        let pair_set = experiment.roaring_pair_set();
         self.experiments.insert(
             name,
             StoredExperiment {
                 dataset: dataset.into(),
                 experiment,
                 clustering,
+                pair_set,
                 kpis,
             },
         );
+        Ok(())
+    }
+
+    /// Inserts an experiment whose import-time artifacts (clustering,
+    /// roaring pair set) are already built — the `FROSTB` snapshot
+    /// loader's fast path, which skips the union-find and arena
+    /// construction that [`add_experiment`](Self::add_experiment)
+    /// performs. The caller vouches that the artifacts belong to the
+    /// experiment; the cheap structural checks (record range, sizes)
+    /// still run so a malformed source cannot plant ids that panic
+    /// record lookups later.
+    pub fn insert_stored(&mut self, stored: StoredExperiment) -> Result<(), StoreError> {
+        let ds = self
+            .datasets
+            .get(&stored.dataset)
+            .ok_or_else(|| StoreError::UnknownDataset(stored.dataset.clone()))?;
+        let name = stored.experiment.name().to_string();
+        if self.experiments.contains_key(&name) {
+            return Err(StoreError::AlreadyExists(name));
+        }
+        let n = ds.len();
+        // The prebuilt set must describe the same pair list: the pair
+        // list is deduplicated, so the counts must agree (full
+        // containment would cost a sort; the count catches a set that
+        // was paired with the wrong experiment).
+        if stored.clustering.num_records() != n
+            || stored.pair_set.len() != stored.experiment.len()
+            || stored
+                .experiment
+                .pairs()
+                .iter()
+                .any(|sp| sp.pair.hi().index() >= n)
+        {
+            return Err(StoreError::RecordOutOfRange {
+                experiment: name,
+                dataset_len: n,
+            });
+        }
+        self.experiments.insert(name, stored);
         Ok(())
     }
 
@@ -372,6 +418,57 @@ mod tests {
             )
             .unwrap_err();
         assert!(matches!(err, StoreError::AlreadyExists(_)));
+    }
+
+    #[test]
+    fn insert_stored_validates_ranges_and_names() {
+        let mut store = store_with_data();
+        let make = |name: &str, hi: u32| {
+            // Clustering built directly (not via union-find) so even
+            // out-of-range pairs reach insert_stored's own checks.
+            let experiment = Experiment::from_pairs(name, [(0u32, hi)]);
+            StoredExperiment {
+                dataset: "people".into(),
+                clustering: Clustering::from_assignment(&[0, 0, 1, 1]),
+                pair_set: experiment.roaring_pair_set(),
+                experiment,
+                kpis: None,
+            }
+        };
+        // Out-of-range pair ids must be rejected even on the trusted
+        // path — they would panic record lookups later.
+        assert!(matches!(
+            store.insert_stored(make("evil", 99)),
+            Err(StoreError::RecordOutOfRange { .. })
+        ));
+        // Clustering size mismatch likewise.
+        let mut mismatched = make("off", 1);
+        mismatched.clustering = Clustering::from_assignment(&[0, 0]);
+        assert!(matches!(
+            store.insert_stored(mismatched),
+            Err(StoreError::RecordOutOfRange { .. })
+        ));
+        // A prebuilt set that does not match the pair list (wrong
+        // cardinality) is rejected too.
+        let mut wrong_set = make("swapped", 1);
+        wrong_set.pair_set =
+            Experiment::from_pairs("other", [(0u32, 1u32), (2, 3)]).roaring_pair_set();
+        assert!(matches!(
+            store.insert_stored(wrong_set),
+            Err(StoreError::RecordOutOfRange { .. })
+        ));
+        let mut unknown = make("ghost", 1);
+        unknown.dataset = "nope".into();
+        assert!(matches!(
+            store.insert_stored(unknown),
+            Err(StoreError::UnknownDataset(_))
+        ));
+        store.insert_stored(make("ok", 1)).unwrap();
+        assert!(matches!(
+            store.insert_stored(make("ok", 1)),
+            Err(StoreError::AlreadyExists(_))
+        ));
+        assert_eq!(store.experiment("ok").unwrap().experiment.len(), 1);
     }
 
     #[test]

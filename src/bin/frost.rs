@@ -11,10 +11,19 @@
 //! frost compare  <dataset.csv> <gold-pairs.csv> <experiment.csv>...
 //! frost venn     <dataset.csv> <gold-pairs.csv> <experiment.csv>...
 //! frost match    <dataset.csv> [threshold]
+//! frost sample   <store-dir> [scale]
+//! frost snapshot save <store-dir> <file.frostb>
+//! frost snapshot load <file.frostb> [export-dir]
+//! frost serve    <store.frostb | store-dir> [port]
+//! frost get      <url>
 //! ```
 //!
 //! Datasets are CSV with an `id` column; gold standards and experiments
-//! are `id1,id2[,similarity]` pair lists (§3.1.1, §5.1).
+//! are `id1,id2[,similarity]` pair lists (§3.1.1, §5.1). Store
+//! directories are the CSV layout of `frost_storage::persist`;
+//! `snapshot save/load` convert between that interchange format and
+//! the binary `FROSTB` at-rest format, and `serve` starts the `frostd`
+//! HTTP server on either.
 
 use frost::core::dataset::CsvOptions;
 use frost::core::diagram::{DiagramEngine, MetricDiagram};
@@ -57,6 +66,25 @@ enum Command {
         dataset: String,
         threshold: f64,
     },
+    Sample {
+        dir: String,
+        scale: f64,
+    },
+    SnapshotSave {
+        store_dir: String,
+        file: String,
+    },
+    SnapshotLoad {
+        file: String,
+        export: Option<String>,
+    },
+    Serve {
+        store: String,
+        port: u16,
+    },
+    Get {
+        url: String,
+    },
 }
 
 const USAGE: &str = "\
@@ -67,6 +95,11 @@ usage:
   frost compare  <dataset.csv> <gold-pairs.csv> <experiment.csv>...
   frost venn     <dataset.csv> <gold-pairs.csv> <experiment.csv>...
   frost match    <dataset.csv> [threshold]
+  frost sample   <store-dir> [scale]
+  frost snapshot save <store-dir> <file.frostb>
+  frost snapshot load <file.frostb> [export-dir]
+  frost serve    <store.frostb | store-dir> [port]
+  frost get      <url>
 ";
 
 fn parse_args(args: &[String]) -> Result<Command, String> {
@@ -123,6 +156,43 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                 threshold,
             })
         }
+        ("sample", [dir, rest @ ..]) if rest.len() <= 1 => {
+            let scale = match rest.first() {
+                Some(s) => {
+                    let v = s.parse::<f64>().map_err(|_| format!("bad scale {s:?}"))?;
+                    if !v.is_finite() || v <= 0.0 {
+                        return Err("scale must be positive".into());
+                    }
+                    v
+                }
+                None => 0.1,
+            };
+            Ok(Command::Sample {
+                dir: dir.clone(),
+                scale,
+            })
+        }
+        ("snapshot", [sub, store_dir, file]) if sub == "save" => Ok(Command::SnapshotSave {
+            store_dir: store_dir.clone(),
+            file: file.clone(),
+        }),
+        ("snapshot", [sub, file, rest @ ..]) if sub == "load" && rest.len() <= 1 => {
+            Ok(Command::SnapshotLoad {
+                file: file.clone(),
+                export: rest.first().map(|s| s.to_string()),
+            })
+        }
+        ("serve", [store, rest @ ..]) if rest.len() <= 1 => {
+            let port = match rest.first() {
+                Some(p) => p.parse::<u16>().map_err(|_| format!("bad port {p:?}"))?,
+                None => 7878,
+            };
+            Ok(Command::Serve {
+                store: store.clone(),
+                port,
+            })
+        }
+        ("get", [url]) => Ok(Command::Get { url: url.clone() }),
         _ => Err(USAGE.to_string()),
     }
 }
@@ -159,32 +229,72 @@ fn labels_of(paths: &[String]) -> Vec<String> {
         .collect()
 }
 
-/// Imports a dataset, gold standard and experiment list as roaring
-/// pair sets (the set-heavy `compare`/`venn` views hold every
-/// experiment at once; sparse matcher outputs are the two-level
-/// engine's home turf). The gold set rides last under the `<gold>`
-/// label.
-fn load_venn_sets(
+/// Imports a dataset, gold standard and experiment list, then renders
+/// either the `compare` region listing or the `venn` table. The
+/// set-heavy views hold every experiment at once, so the pair-set
+/// engine is chosen per input by the cost model
+/// ([`Experiment::pair_engine_hint`](frost::core::dataset::Experiment::pair_engine_hint)
+/// combined over all participants) instead of statically. The gold
+/// set rides last under the `<gold>` label.
+fn run_venn_view(
     importer: &DatasetImporter,
     dataset: &str,
     gold: &str,
     experiments: &[String],
-) -> Result<(Vec<String>, Vec<frost::core::dataset::RoaringPairSet>), String> {
+    table: bool,
+) -> Result<(), String> {
+    use frost::core::dataset::{ChunkedPairSet, PairAlgebra, PairEngine, PairSet, RoaringPairSet};
+
     let ds = importer
         .import("dataset", &read(dataset)?)
         .map_err(|e| e.to_string())?;
     let truth =
         import_gold_pairs(&ds, &read(gold)?, CsvOptions::comma()).map_err(|e| e.to_string())?;
-    let mut sets = Vec::new();
-    let mut names = labels_of(experiments);
+    let mut exps = Vec::with_capacity(experiments.len());
     for (i, path) in experiments.iter().enumerate() {
-        let e = import_experiment(&format!("exp-{i}"), &ds, &read(path)?, CsvOptions::comma())
-            .map_err(|e| e.to_string())?;
-        sets.push(e.roaring_pair_set());
+        exps.push(
+            import_experiment(&format!("exp-{i}"), &ds, &read(path)?, CsvOptions::comma())
+                .map_err(|e| e.to_string())?,
+        );
     }
+    let mut names = labels_of(experiments);
     names.push("<gold>".into());
-    sets.push(truth.intra_pairs().collect());
-    Ok((names, sets))
+
+    fn render<S: PairAlgebra>(
+        exps: &[frost::core::dataset::Experiment],
+        truth: &frost::core::clustering::Clustering,
+        names: &[String],
+        table: bool,
+    ) {
+        let mut sets: Vec<S> = exps.iter().map(|e| e.pair_set_as::<S>()).collect();
+        sets.push(S::from_pairs(truth.intra_pairs()));
+        let regions = frost::core::explore::setops::venn_regions(&sets);
+        if table {
+            let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+            print!("{}", frost::core::report::venn_table(&regions, &name_refs));
+        } else {
+            for region in regions {
+                let members: Vec<&str> = names
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| region.contains_set(i))
+                    .map(|(_, n)| n.as_str())
+                    .collect();
+                println!(
+                    "{:>7} pairs exactly in: {}",
+                    region.pairs.len(),
+                    members.join(" ∩ ")
+                );
+            }
+        }
+    }
+
+    match PairEngine::combined(exps.iter().map(|e| e.pair_engine_hint())) {
+        PairEngine::Packed => render::<PairSet>(&exps, &truth, &names, table),
+        PairEngine::Chunked => render::<ChunkedPairSet>(&exps, &truth, &names, table),
+        PairEngine::Roaring => render::<RoaringPairSet>(&exps, &truth, &names, table),
+    }
+    Ok(())
 }
 
 fn run(command: Command) -> Result<(), String> {
@@ -257,32 +367,12 @@ fn run(command: Command) -> Result<(), String> {
             dataset,
             gold,
             experiments,
-        } => {
-            let (names, sets) = load_venn_sets(&importer, &dataset, &gold, &experiments)?;
-            for region in frost::core::explore::setops::venn_regions(&sets) {
-                let members: Vec<&str> = names
-                    .iter()
-                    .enumerate()
-                    .filter(|&(i, _)| region.contains_set(i))
-                    .map(|(_, n)| n.as_str())
-                    .collect();
-                println!(
-                    "{:>7} pairs exactly in: {}",
-                    region.pairs.len(),
-                    members.join(" ∩ ")
-                );
-            }
-        }
+        } => run_venn_view(&importer, &dataset, &gold, &experiments, false)?,
         Command::Venn {
             dataset,
             gold,
             experiments,
-        } => {
-            let (names, sets) = load_venn_sets(&importer, &dataset, &gold, &experiments)?;
-            let regions = frost::core::explore::setops::venn_regions(&sets);
-            let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
-            print!("{}", frost::core::report::venn_table(&regions, &name_refs));
-        }
+        } => run_venn_view(&importer, &dataset, &gold, &experiments, true)?,
         Command::Match { dataset, threshold } => {
             let ds = importer
                 .import("dataset", &read(&dataset)?)
@@ -314,6 +404,84 @@ fn run(command: Command) -> Result<(), String> {
                 "{}",
                 export_experiment(&ds, &run.experiment, CsvOptions::comma())
             );
+        }
+        Command::Sample { dir, scale } => {
+            // The preinstalled datasets + two synthetic experiments
+            // each, written as a CSV store directory — the sample
+            // store the snapshot and serving docs/CI work against.
+            let mut store = frost::preinstalled_store(scale);
+            for name in store.dataset_names() {
+                let truth = store
+                    .gold_standard(&name)
+                    .map_err(|e| e.to_string())?
+                    .clone();
+                let records = store.dataset(&name).map_err(|e| e.to_string())?.len();
+                let matches = (records / 2).max(4);
+                for (i, fraction) in [(1usize, 0.9), (2usize, 0.6)] {
+                    let exp = frost::datagen::experiments::synthetic_experiment(
+                        format!("{name}-run{i}"),
+                        &truth,
+                        matches,
+                        fraction,
+                        42 + i as u64,
+                    );
+                    store
+                        .add_experiment(&name, exp, None)
+                        .map_err(|e| e.to_string())?;
+                }
+            }
+            frost::storage::persist::save(&store, &dir).map_err(|e| e.to_string())?;
+            println!(
+                "wrote sample store to {dir}: {} dataset(s), {} experiment(s)",
+                store.dataset_names().len(),
+                store.experiment_names(None).len()
+            );
+        }
+        Command::SnapshotSave { store_dir, file } => {
+            let store = frost::storage::persist::load(&store_dir).map_err(|e| e.to_string())?;
+            frost::storage::snapshot::save(&store, &file).map_err(|e| e.to_string())?;
+            let bytes = std::fs::metadata(&file).map(|m| m.len()).unwrap_or(0);
+            println!(
+                "wrote {file}: {} dataset(s), {} experiment(s), {bytes} bytes",
+                store.dataset_names().len(),
+                store.experiment_names(None).len()
+            );
+        }
+        Command::SnapshotLoad { file, export } => {
+            let store = frost::storage::snapshot::load(&file).map_err(|e| e.to_string())?;
+            println!("loaded {file}");
+            for name in store.dataset_names() {
+                let ds = store.dataset(&name).map_err(|e| e.to_string())?;
+                let gold = if store.gold_standard(&name).is_ok() {
+                    "with gold"
+                } else {
+                    "no gold"
+                };
+                println!("  dataset {name}: {} record(s), {gold}", ds.len());
+            }
+            for name in store.experiment_names(None) {
+                let stored = store.experiment(&name).map_err(|e| e.to_string())?;
+                println!(
+                    "  experiment {name} on {}: {} pair(s)",
+                    stored.dataset,
+                    stored.experiment.len()
+                );
+            }
+            if let Some(dir) = export {
+                frost::storage::persist::save(&store, &dir).map_err(|e| e.to_string())?;
+                println!("exported CSV store to {dir}");
+            }
+        }
+        Command::Serve { store, port } => {
+            let workers = std::thread::available_parallelism().map_or(4, |n| n.get());
+            match frost_server::run_daemon(&store, "127.0.0.1", port, workers)? {}
+        }
+        Command::Get { url } => {
+            let (status, body) = frost_server::client::http_get(&url)?;
+            println!("{body}");
+            if status >= 400 {
+                return Err(format!("HTTP {status}"));
+            }
         }
     }
     Ok(())

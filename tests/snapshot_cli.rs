@@ -1,0 +1,118 @@
+//! End-to-end CLI test for the snapshot workflow: `frost sample` →
+//! `frost snapshot save` → `frost snapshot load --export` must
+//! round-trip the sample store **exactly** — the exported CSV store
+//! directory is byte-identical to the original, pinning that the
+//! binary at-rest format loses nothing relative to the CSV
+//! interchange format.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn run_frost(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_frost"))
+        .args(args)
+        .output()
+        .expect("frost binary runs");
+    (
+        String::from_utf8(out.stdout).unwrap(),
+        String::from_utf8(out.stderr).unwrap(),
+        out.status.success(),
+    )
+}
+
+/// Recursively collects `relative path → bytes` for a directory.
+fn dir_contents(root: &Path) -> std::collections::BTreeMap<String, Vec<u8>> {
+    fn walk(root: &Path, dir: &Path, out: &mut std::collections::BTreeMap<String, Vec<u8>>) {
+        for entry in std::fs::read_dir(dir).unwrap().flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                walk(root, &path, out);
+            } else {
+                let rel = path
+                    .strip_prefix(root)
+                    .unwrap()
+                    .to_string_lossy()
+                    .into_owned();
+                out.insert(rel, std::fs::read(&path).unwrap());
+            }
+        }
+    }
+    let mut out = std::collections::BTreeMap::new();
+    walk(root, root, &mut out);
+    out
+}
+
+#[test]
+fn snapshot_save_load_round_trips_the_sample_store_exactly() {
+    let dir = std::env::temp_dir().join(format!("frost-snapcli-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let store_dir = dir.join("store");
+    let snap = dir.join("store.frostb");
+    let export_dir = dir.join("export");
+    let p = |p: &PathBuf| p.to_string_lossy().into_owned();
+
+    let (stdout, stderr, ok) = run_frost(&["sample", &p(&store_dir), "0.1"]);
+    assert!(ok, "sample failed: {stderr}");
+    assert!(stdout.contains("3 dataset(s), 6 experiment(s)"), "{stdout}");
+
+    let (stdout, stderr, ok) = run_frost(&["snapshot", "save", &p(&store_dir), &p(&snap)]);
+    assert!(ok, "snapshot save failed: {stderr}");
+    assert!(stdout.contains("3 dataset(s), 6 experiment(s)"), "{stdout}");
+    // The file leads with the FROSTB magic.
+    let head = std::fs::read(&snap).unwrap();
+    assert_eq!(&head[..6], b"FROSTB");
+
+    let (stdout, stderr, ok) = run_frost(&["snapshot", "load", &p(&snap), &p(&export_dir)]);
+    assert!(ok, "snapshot load failed: {stderr}");
+    assert!(stdout.contains("dataset cora"), "{stdout}");
+    assert!(stdout.contains("exported CSV store"), "{stdout}");
+
+    // Byte-exact round trip through the binary format.
+    let original = dir_contents(&store_dir);
+    let exported = dir_contents(&export_dir);
+    assert!(!original.is_empty());
+    assert_eq!(
+        original.keys().collect::<Vec<_>>(),
+        exported.keys().collect::<Vec<_>>(),
+        "file sets differ"
+    );
+    for (name, bytes) in &original {
+        assert_eq!(
+            Some(bytes),
+            exported.get(name),
+            "{name} drifted through the snapshot round trip"
+        );
+    }
+
+    // Corrupted snapshots are rejected with a useful message.
+    let mut corrupt = std::fs::read(&snap).unwrap();
+    let mid = corrupt.len() / 2;
+    corrupt[mid] ^= 0xFF;
+    let bad = dir.join("bad.frostb");
+    std::fs::write(&bad, &corrupt).unwrap();
+    let (_, stderr, ok) = run_frost(&["snapshot", "load", &p(&bad)]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("corrupted") || stderr.contains("checksum"),
+        "unexpected error: {stderr}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn snapshot_usage_errors() {
+    let (_, stderr, ok) = run_frost(&["snapshot"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage"));
+    let (_, stderr, ok) = run_frost(&["snapshot", "load", "/nonexistent/x.frostb"]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("io") || stderr.contains("No such file"),
+        "{stderr}"
+    );
+    let (_, stderr, ok) = run_frost(&["get", "ftp://nope"]);
+    assert!(!ok);
+    assert!(stderr.contains("http://"), "{stderr}");
+}
