@@ -21,7 +21,11 @@
 //!    at full scale).
 //! 2. **Galloping-ratio tuning**: scalar merge vs galloping
 //!    intersection head-to-head across size ratios; the crossover
-//!    backs the `GALLOP_RATIO` constant all engines share.
+//!    backs the `GALLOP_RATIO` constant all engines share. The
+//!    **equal-merge** subsection adds the four-lane column: the
+//!    production unrolled 4-lane equal-size intersection
+//!    (`PairSet::intersection_len`) against the two-lane bidirectional
+//!    merge on identical equal-size data.
 //! 3. **Memory footprint**: bytes/pair for each engine and workload
 //!    (hash estimated from hashbrown's bucket layout).
 //! 4. **Sparse-workload verdict** (`sparse_roaring` in the JSON): on
@@ -487,6 +491,56 @@ fn main() {
         g.finish();
     }
 
+    // Section 2b: equal-size merge — the two-lane bidirectional merge
+    // vs the production four-lane merge (PairSet::intersection_len
+    // dispatches to it at near-equal sizes) on identical data with a
+    // ~50% hit rate. Sizes are fixed (the kernel is data-shape
+    // independent); CRITERION_MEASUREMENT_MS keeps smoke runs quick.
+    let equal_sizes = [4_096usize, 32_768, 262_144];
+    {
+        let mut g = c.benchmark_group("equal_merge");
+        for &n in &equal_sizes {
+            let mut state = 0xEAA1u64 ^ n as u64;
+            let mut draw = |exclude_parity: u64| -> Vec<u64> {
+                let mut v: Vec<u64> = (0..n * 5 / 4)
+                    .map(|_| (next_rand(&mut state) % (n as u64 * 8)) * 2 + exclude_parity)
+                    .collect();
+                v.sort_unstable();
+                v.dedup();
+                v.truncate(n);
+                v
+            };
+            // ~half the elements shared, half odd-parity (guaranteed
+            // misses) — an equal-size intersection's realistic mix.
+            let shared = draw(0);
+            let mk = |state: &mut u64, shared: &[u64]| -> Vec<u64> {
+                let mut v: Vec<u64> = shared[..n / 2].to_vec();
+                v.extend((0..n / 2).map(|_| (next_rand(state) % (n as u64 * 8)) * 2 + 1));
+                v.sort_unstable();
+                v.dedup();
+                v
+            };
+            let a = mk(&mut state, &shared);
+            let b = mk(&mut state, &shared);
+            let (pa, pb) = (
+                PairSet::from_sorted_packed(a.clone()),
+                PairSet::from_sorted_packed(b.clone()),
+            );
+            assert_eq!(
+                pa.intersection_len(&pb),
+                gallop_lab::merge_count(&a, &b),
+                "four-lane and two-lane counts must agree"
+            );
+            g.bench_function(format!("two_lane/n{n}").as_str(), |bch| {
+                bch.iter(|| black_box(gallop_lab::merge_count(&a, &b)))
+            });
+            g.bench_function(format!("four_lane/n{n}").as_str(), |bch| {
+                bch.iter(|| black_box(pa.intersection_len(&pb)))
+            });
+        }
+        g.finish();
+    }
+
     // Section 4: diagram sweep scaling — six independent experiments
     // on one dataset, swept via confusion_series_multi at 1/2/4 rayon
     // threads (the vendored rayon re-reads RAYON_NUM_THREADS per
@@ -756,6 +810,24 @@ intersection/union/venn3 geomean vs packed {sparse_vs_packed:.2}×, vs chunked {
         frost_core::dataset::pairset::GALLOP_RATIO
     );
 
+    // Equal-size merge summary: the four-lane column vs the two-lane
+    // bidirectional merge.
+    let mut equal_entries = Vec::new();
+    for &n in &equal_sizes {
+        let two_ns = mean_of(&c, &format!("equal_merge/two_lane/n{n}"));
+        let four_ns = mean_of(&c, &format!("equal_merge/four_lane/n{n}"));
+        println!(
+            "equal merge n={n:<7} two-lane {two_ns:>10.0}ns  four-lane {four_ns:>10.0}ns  ({:.2}×)",
+            two_ns / four_ns
+        );
+        equal_entries.push(Value::object([
+            ("n".to_string(), Value::from(n)),
+            ("two_lane_ns".to_string(), Value::from(two_ns)),
+            ("four_lane_ns".to_string(), Value::from(four_ns)),
+            ("speedup".to_string(), Value::from(two_ns / four_ns)),
+        ]));
+    }
+
     let sweep_base = sweep_times.first().map(|&(_, s)| s).unwrap_or(0.0);
     let sweep_entries: Vec<Value> = sweep_times
         .iter()
@@ -823,6 +895,7 @@ intersection/union/venn3 geomean vs packed {sparse_vs_packed:.2}×, vs chunked {
             ]),
         ),
         ("memory".to_string(), Value::Array(memory_entries)),
+        ("equal_merge".to_string(), Value::Array(equal_entries)),
         (
             "gallop_tuning".to_string(),
             Value::object([

@@ -145,7 +145,7 @@ fn main() {
     }
 
     // ---- Section 2: cache hit vs recompute ----
-    let cache = ShardedCache::new(16);
+    let cache: ShardedCache = ShardedCache::new(16);
     let diagram_exp = &experiments[0];
     let samples = 20;
     let render = |store: &BenchmarkStore| {

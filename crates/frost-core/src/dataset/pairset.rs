@@ -48,6 +48,18 @@ use std::fmt;
 /// `gallop_tuning`).
 pub const GALLOP_RATIO: usize = 4;
 
+/// Minimum small-side length before a near-equal-size intersection
+/// switches from the two-lane bidirectional merge to the four-lane
+/// split merge ([`four_lane_intersect`]): below this, the split's
+/// binary search costs more than the extra dependency chains recover.
+pub const FOUR_LANE_MIN: usize = 32;
+
+/// Size ratio bound for the four-lane path: it targets the
+/// *equal-size* case (both merge cursors advance ~every step, so the
+/// loop is latency-bound); at larger skews the galloping switch is
+/// close anyway and the half-split degenerates.
+const FOUR_LANE_MAX_RATIO: usize = 2;
+
 /// Shrink policy for merge outputs: results are pre-sized to their
 /// exact upper bound (`n + m` for union, `n` for difference,
 /// `min(n, m)` for intersection), which can overshoot the true size —
@@ -189,42 +201,96 @@ impl PairSet {
         PairSet::from_sorted_packed(out)
     }
 
-    /// `self ∩ other`: bidirectional linear merge, or galloping from
-    /// the smaller side when the sizes differ by at least
-    /// [`GALLOP_RATIO`]×.
+    /// `self ∩ other`: bidirectional linear merge, the unrolled
+    /// four-lane merge ([`four_lane_intersect`]) when the sizes are
+    /// near-equal, or galloping from the smaller side when the sizes
+    /// differ by at least [`GALLOP_RATIO`]×.
     pub fn intersection(&self, other: &PairSet) -> PairSet {
-        let min = self.len().min(other.len());
-        let max = self.len().max(other.len());
-        // Either lane alone can emit every match when the overlap is
-        // skewed toward one end, so both are sized to the exact upper
-        // bound `min` — the final `extend` below then never
-        // reallocates, and the shrink policy trims the slack. On the
-        // galloping path (same ratio test as `intersect_into`) only
-        // the forward lane ever fires, so the backward lane stays
-        // unallocated.
-        let gallops = min > 0 && max / min >= GALLOP_RATIO;
-        let mut fwd = Vec::with_capacity(min);
-        let mut back = Vec::with_capacity(if gallops { 0 } else { min });
-        intersect_into(
-            &self.packed,
-            &other.packed,
-            |x| fwd.push(x),
-            |x| back.push(x),
-        );
-        // The backward lane emitted in descending order, all above the
-        // forward lane's values.
-        fwd.extend(back.into_iter().rev());
-        shrink_merge_output(&mut fwd);
-        PairSet::from_sorted_packed(fwd)
+        let (small, large) = if self.len() <= other.len() {
+            (&self.packed, &other.packed)
+        } else {
+            (&other.packed, &self.packed)
+        };
+        let (min, max) = (small.len(), large.len());
+        if min == 0 {
+            return PairSet::new();
+        }
+        // Any single lane can emit every match when the overlap is
+        // skewed toward its end, so the output is sized to the exact
+        // upper bound `min` up front — the final `extend`s below then
+        // never reallocate, and the shrink policy trims the slack.
+        let mut out = Vec::with_capacity(min);
+        if max / min >= GALLOP_RATIO {
+            gallop_intersect(small, large, |x| out.push(x));
+        } else if four_lane_applies(min, max) {
+            // The low half's forward lane is already in final position
+            // (everything it emits precedes all other lanes); the
+            // remaining lanes land in scratch. Each lane alone can
+            // emit at most its half's width.
+            let half = min / 2 + 1;
+            let mut a_back = Vec::with_capacity(half);
+            let mut b_fwd = Vec::with_capacity(half);
+            let mut b_back = Vec::with_capacity(half);
+            four_lane_intersect(
+                small,
+                large,
+                |x| out.push(x),
+                |x| a_back.push(x),
+                |x| b_fwd.push(x),
+                |x| b_back.push(x),
+            );
+            out.extend(a_back.into_iter().rev());
+            out.extend(b_fwd);
+            out.extend(b_back.into_iter().rev());
+        } else {
+            // The backward lane emits in descending order, all above
+            // the forward lane's values.
+            let mut back = Vec::with_capacity(min);
+            bidi_merge(
+                small,
+                large,
+                0,
+                0,
+                min,
+                max,
+                |x| out.push(x),
+                |x| back.push(x),
+            );
+            out.extend(back.into_iter().rev());
+        }
+        shrink_merge_output(&mut out);
+        PairSet::from_sorted_packed(out)
     }
 
     /// `|self ∩ other|` without materializing the intersection — the
     /// hot path of confusion-matrix construction, where only the TP
-    /// *count* matters.
+    /// *count* matters. Allocation-free on every path, including the
+    /// four-lane equal-size merge (four counters).
     pub fn intersection_len(&self, other: &PairSet) -> usize {
+        let (small, large) = if self.len() <= other.len() {
+            (&self.packed, &other.packed)
+        } else {
+            (&other.packed, &self.packed)
+        };
+        let (min, max) = (small.len(), large.len());
+        if min == 0 {
+            return 0;
+        }
+        if four_lane_applies(min, max) {
+            let (mut a_fwd, mut a_back, mut b_fwd, mut b_back) = (0usize, 0usize, 0usize, 0usize);
+            four_lane_intersect(
+                small,
+                large,
+                |_| a_fwd += 1,
+                |_| a_back += 1,
+                |_| b_fwd += 1,
+                |_| b_back += 1,
+            );
+            return a_fwd + a_back + b_fwd + b_back;
+        }
         let mut fwd = 0usize;
         let mut back = 0usize;
-        intersect_into(&self.packed, &other.packed, |_| fwd += 1, |_| back += 1);
+        intersect_into(small, large, |_| fwd += 1, |_| back += 1);
         fwd + back
     }
 
@@ -276,8 +342,8 @@ impl PairSet {
 pub(crate) fn intersect_into<T: Ord + Copy>(
     a: &[T],
     b: &[T],
-    mut emit_fwd: impl FnMut(T),
-    mut emit_back: impl FnMut(T),
+    emit_fwd: impl FnMut(T),
+    emit_back: impl FnMut(T),
 ) {
     let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
     if small.is_empty() {
@@ -286,43 +352,150 @@ pub(crate) fn intersect_into<T: Ord + Copy>(
     if large.len() / small.len() >= GALLOP_RATIO {
         gallop_intersect(small, large, emit_fwd);
     } else {
-        // Bidirectional branchless merge: a forward lane walks both
-        // sets from the front, a backward lane from the back, meeting
-        // in the middle. The two lanes form independent dependency
-        // chains, hiding the load→compare→advance latency that limits
-        // a single two-pointer merge. Branchless advancement (flag
-        // increments instead of a three-way branch) applies per lane.
-        //
-        // Correctness: strictly sorted inputs mean each matching value
-        // has unique positions (ia, jb). A lane that moves a cursor
-        // past a partner position without emitting is impossible by the
-        // standard merge invariant, and once one lane processes a
-        // position the loop guards (`i < p`, `j < q`) keep the other
-        // lane from revisiting it — so every match is emitted exactly
-        // once (see `bidirectional_merge_agrees` in the tests and the
-        // cross-model property suite).
-        let (mut i, mut j) = (0usize, 0usize);
-        let (mut p, mut q) = (small.len(), large.len());
-        while i < p && j < q {
-            // SAFETY: loop guards bound all four cursors; lanes move
-            // each cursor by at most one per step, toward each other.
-            let (x, y) = unsafe { (*small.get_unchecked(i), *large.get_unchecked(j)) };
-            if x == y {
-                emit_fwd(x);
-            }
-            i += usize::from(x <= y);
-            j += usize::from(y <= x);
-            if i >= p || j >= q {
-                break;
-            }
-            let (u, v) = unsafe { (*small.get_unchecked(p - 1), *large.get_unchecked(q - 1)) };
+        bidi_merge(
+            small,
+            large,
+            0,
+            0,
+            small.len(),
+            large.len(),
+            emit_fwd,
+            emit_back,
+        );
+    }
+}
+
+/// Bidirectional branchless merge over the windows `a[i..p]` /
+/// `b[j..q]`: a forward lane walks both sets from the front, a
+/// backward lane from the back, meeting in the middle. The two lanes
+/// form independent dependency chains, hiding the
+/// load→compare→advance latency that limits a single two-pointer
+/// merge. Branchless advancement (flag increments instead of a
+/// three-way branch) applies per lane.
+///
+/// Correctness: strictly sorted inputs mean each matching value has
+/// unique positions (ia, jb). A lane that moves a cursor past a
+/// partner position without emitting is impossible by the standard
+/// merge invariant, and once one lane processes a position the loop
+/// guards (`i < p`, `j < q`) keep the other lane from revisiting it —
+/// so every match is emitted exactly once (see
+/// `bidirectional_merge_agrees` in the tests and the cross-model
+/// property suite). Taking the cursor state as arguments lets the
+/// four-lane merge resume a half it left partially processed.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn bidi_merge<T: Ord + Copy>(
+    a: &[T],
+    b: &[T],
+    mut i: usize,
+    mut j: usize,
+    mut p: usize,
+    mut q: usize,
+    mut emit_fwd: impl FnMut(T),
+    mut emit_back: impl FnMut(T),
+) {
+    debug_assert!(p <= a.len() && q <= b.len());
+    while i < p && j < q {
+        // SAFETY: loop guards bound all four cursors; lanes move
+        // each cursor by at most one per step, toward each other.
+        let (x, y) = unsafe { (*a.get_unchecked(i), *b.get_unchecked(j)) };
+        if x == y {
+            emit_fwd(x);
+        }
+        i += usize::from(x <= y);
+        j += usize::from(y <= x);
+        if i >= p || j >= q {
+            break;
+        }
+        let (u, v) = unsafe { (*a.get_unchecked(p - 1), *b.get_unchecked(q - 1)) };
+        if u == v {
+            emit_back(u);
+        }
+        p -= usize::from(u >= v);
+        q -= usize::from(v >= u);
+    }
+}
+
+/// Four-lane intersection for near-equal-size inputs: `small` is
+/// split at its midpoint value, `large` is partitioned at the same
+/// value (one binary search), and the two independent half-merges run
+/// interleaved in one unrolled loop — four concurrent dependency
+/// chains (each half contributes a forward and a backward lane)
+/// instead of the two a single [`bidi_merge`] sustains. On the
+/// memory-resident equal-size shape the merge is latency-bound, so
+/// doubling the chains overlaps twice the load→compare latency.
+///
+/// Split correctness: both inputs are strictly sorted, so with
+/// `pivot = small[mid]`, every element of `small[..mid]` is `< pivot`
+/// and can only match inside `large[..cut]`
+/// (`cut = partition_point(< pivot)`), and every element of
+/// `small[mid..]` is `≥ pivot` and can only match inside
+/// `large[cut..]` — the halves are independent.
+///
+/// Emission: ascending matches of the low half into `emit_a_fwd`,
+/// descending (all above them, below the pivot) into `emit_a_back`;
+/// same for the high half into `emit_b_fwd` / `emit_b_back`. The full
+/// sorted result is `a_fwd ++ reverse(a_back) ++ b_fwd ++
+/// reverse(b_back)`.
+pub(crate) fn four_lane_intersect<T: Ord + Copy>(
+    small: &[T],
+    large: &[T],
+    mut emit_a_fwd: impl FnMut(T),
+    mut emit_a_back: impl FnMut(T),
+    mut emit_b_fwd: impl FnMut(T),
+    mut emit_b_back: impl FnMut(T),
+) {
+    let mid = small.len() / 2;
+    let pivot = small[mid];
+    let cut = large.partition_point(|&v| v < pivot);
+    let (sa, sb) = small.split_at(mid);
+    let (la, lb) = large.split_at(cut);
+    let (mut i0, mut j0, mut p0, mut q0) = (0usize, 0usize, sa.len(), la.len());
+    let (mut i1, mut j1, mut p1, mut q1) = (0usize, 0usize, sb.len(), lb.len());
+    // Combined loop while both halves have work: one forward and one
+    // backward step per half per iteration, all four independent.
+    while i0 < p0 && j0 < q0 && i1 < p1 && j1 < q1 {
+        // SAFETY: the loop guard bounds all eight cursors; each moves
+        // by at most one per step, toward its partner.
+        let (x0, y0) = unsafe { (*sa.get_unchecked(i0), *la.get_unchecked(j0)) };
+        if x0 == y0 {
+            emit_a_fwd(x0);
+        }
+        i0 += usize::from(x0 <= y0);
+        j0 += usize::from(y0 <= x0);
+        let (x1, y1) = unsafe { (*sb.get_unchecked(i1), *lb.get_unchecked(j1)) };
+        if x1 == y1 {
+            emit_b_fwd(x1);
+        }
+        i1 += usize::from(x1 <= y1);
+        j1 += usize::from(y1 <= x1);
+        if i0 < p0 && j0 < q0 {
+            let (u, v) = unsafe { (*sa.get_unchecked(p0 - 1), *la.get_unchecked(q0 - 1)) };
             if u == v {
-                emit_back(u);
+                emit_a_back(u);
             }
-            p -= usize::from(u >= v);
-            q -= usize::from(v >= u);
+            p0 -= usize::from(u >= v);
+            q0 -= usize::from(v >= u);
+        }
+        if i1 < p1 && j1 < q1 {
+            let (u, v) = unsafe { (*sb.get_unchecked(p1 - 1), *lb.get_unchecked(q1 - 1)) };
+            if u == v {
+                emit_b_back(u);
+            }
+            p1 -= usize::from(u >= v);
+            q1 -= usize::from(v >= u);
         }
     }
+    // Whichever half still has work resumes two-lane.
+    bidi_merge(sa, la, i0, j0, p0, q0, emit_a_fwd, emit_a_back);
+    bidi_merge(sb, lb, i1, j1, p1, q1, emit_b_fwd, emit_b_back);
+}
+
+/// Whether the four-lane path applies: non-galloping, near-equal
+/// sizes, and a small side big enough to amortize the split.
+#[inline]
+fn four_lane_applies(min: usize, max: usize) -> bool {
+    min >= FOUR_LANE_MIN && max / min < FOUR_LANE_MAX_RATIO.min(GALLOP_RATIO)
 }
 
 /// Galloping intersection of two sorted, deduplicated slices, emitting
@@ -578,6 +751,68 @@ mod tests {
             assert_eq!(a.intersection_len(&b), expected.len(), "sizes {na}/{nb}");
             assert_eq!(b.intersection(&a).iter().collect::<Vec<_>>(), expected);
         }
+    }
+
+    #[test]
+    fn four_lane_merge_agrees_across_the_dispatch_boundaries() {
+        // Deterministic stream, sizes straddling FOUR_LANE_MIN and the
+        // equal-size ratio bound: every dispatch (2-lane, 4-lane,
+        // gallop) must agree with the reference filter.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mk = |n: usize, next: &mut dyn FnMut() -> u64| -> PairSet {
+            (0..n)
+                .map(|_| {
+                    let a = (next() % 4096) as u32;
+                    RecordPair::from((a, a + 1 + (next() % 16) as u32))
+                })
+                .collect()
+        };
+        let sizes = [
+            (FOUR_LANE_MIN - 1, FOUR_LANE_MIN - 1), // below the min: 2-lane
+            (FOUR_LANE_MIN, FOUR_LANE_MIN),         // exactly at the min: 4-lane
+            (FOUR_LANE_MIN, FOUR_LANE_MIN * 2 - 1), // ratio just under 2: 4-lane
+            (FOUR_LANE_MIN, FOUR_LANE_MIN * 2),     // ratio 2: back to 2-lane
+            (500, 700),                             // big near-equal: 4-lane
+            (64, 64),
+        ];
+        for (na, nb) in sizes {
+            let a = mk(na, &mut next);
+            let b = mk(nb, &mut next);
+            let expected: Vec<RecordPair> = a.iter().filter(|p| b.contains(p)).collect();
+            assert_eq!(
+                a.intersection(&b).iter().collect::<Vec<_>>(),
+                expected,
+                "sizes {na}/{nb}"
+            );
+            assert_eq!(
+                b.intersection(&a).iter().collect::<Vec<_>>(),
+                expected,
+                "sizes {nb}/{na}"
+            );
+            assert_eq!(a.intersection_len(&b), expected.len(), "sizes {na}/{nb}");
+            assert_eq!(b.intersection_len(&a), expected.len(), "sizes {nb}/{na}");
+        }
+    }
+
+    #[test]
+    fn four_lane_merge_handles_disjoint_and_identical_sets() {
+        let n = FOUR_LANE_MIN * 4;
+        let evens: PairSet = (0..n as u32)
+            .map(|i| RecordPair::from((2 * i, 2 * i + 1)))
+            .collect();
+        let odds: PairSet = (0..n as u32)
+            .map(|i| RecordPair::from((2 * i + 1, 2 * i + 2)))
+            .collect();
+        assert!(evens.intersection(&odds).is_empty());
+        assert_eq!(evens.intersection_len(&odds), 0);
+        assert_eq!(evens.intersection(&evens), evens);
+        assert_eq!(evens.intersection_len(&evens), n);
     }
 
     #[test]

@@ -82,6 +82,25 @@ proptest! {
         prop_assert_eq!(big.intersection_len(&small), expected.len());
     }
 
+    /// Near-equal sizes exercise the unrolled four-lane merge (the
+    /// equal-size intersection path); results must be identical to the
+    /// two-lane merge's and the reference model's.
+    #[test]
+    fn four_lane_intersection_agrees(
+        a_raw in raw_pairs(3000, 900),
+        b_raw in raw_pairs(3000, 900),
+    ) {
+        let (a, ra) = both(a_raw);
+        let (b, rb) = both(b_raw);
+        let expected: HashSet<RecordPair> = ra.intersection(&rb).copied().collect();
+        prop_assert_eq!(as_hash(&a.intersection(&b)), expected.clone());
+        prop_assert_eq!(as_hash(&b.intersection(&a)), expected.clone());
+        prop_assert_eq!(a.intersection_len(&b), expected.len());
+        prop_assert_eq!(b.intersection_len(&a), expected.len());
+        let sorted: Vec<RecordPair> = a.intersection(&b).iter().collect();
+        prop_assert!(sorted.windows(2).all(|w| w[0] < w[1]), "four-lane output must stay sorted");
+    }
+
     /// Venn regions over PairSets against a per-pair reference count.
     /// 1–6 sets covers both region-binning paths (linear scan ≤ 4
     /// sets, hash index above).

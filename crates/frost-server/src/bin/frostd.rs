@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! frostd <store> [--port N] [--addr HOST] [--workers N]
+//!                [--idle-timeout-ms N] [--max-requests N]
 //! ```
 //!
 //! `<store>` is either a `FROSTB` snapshot file (the fast path: one
@@ -9,25 +10,32 @@
 //! `frost_storage::persist::save`. Port 0 binds an ephemeral port; the
 //! bound address is printed on the first line so scripts can scrape
 //! it.
+//!
+//! Connections are HTTP/1.1 keep-alive: `--idle-timeout-ms` bounds how
+//! long an idle connection may hold a pool worker, and
+//! `--max-requests` caps the responses served per connection before
+//! the server closes it (`Connection: close` is advertised on the
+//! final response).
 
-use frost_server::run_daemon;
+use frost_server::{run_daemon, ServeOptions};
 use std::process::ExitCode;
+use std::time::Duration;
 
-const USAGE: &str =
-    "usage: frostd <store.frostb | store-dir> [--port N] [--addr HOST] [--workers N]";
+const USAGE: &str = "usage: frostd <store.frostb | store-dir> [--port N] [--addr HOST] \
+[--workers N] [--idle-timeout-ms N] [--max-requests N]";
 
 struct Args {
     store: String,
     addr: String,
     port: u16,
-    workers: usize,
+    options: ServeOptions,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut store = None;
     let mut addr = "127.0.0.1".to_string();
     let mut port = 7878u16;
-    let mut workers = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let mut options = ServeOptions::default();
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -40,9 +48,26 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
             "--workers" => {
                 let v = it.next().ok_or("--workers needs a value")?;
-                workers = v.parse().map_err(|_| format!("bad worker count {v:?}"))?;
-                if workers == 0 {
+                options.workers = v.parse().map_err(|_| format!("bad worker count {v:?}"))?;
+                if options.workers == 0 {
                     return Err("worker count must be positive".into());
+                }
+            }
+            "--idle-timeout-ms" => {
+                let v = it.next().ok_or("--idle-timeout-ms needs a value")?;
+                let ms: u64 = v.parse().map_err(|_| format!("bad idle timeout {v:?}"))?;
+                if ms == 0 {
+                    return Err("idle timeout must be positive".into());
+                }
+                options.idle_timeout = Duration::from_millis(ms);
+            }
+            "--max-requests" => {
+                let v = it.next().ok_or("--max-requests needs a value")?;
+                options.max_requests = v
+                    .parse()
+                    .map_err(|_| format!("bad max request count {v:?}"))?;
+                if options.max_requests == 0 {
+                    return Err("max request count must be positive".into());
                 }
             }
             other if store.is_none() && !other.starts_with("--") => {
@@ -55,12 +80,12 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         store: store.ok_or(USAGE.to_string())?,
         addr,
         port,
-        workers,
+        options,
     })
 }
 
 fn run(args: Args) -> Result<(), String> {
-    match run_daemon(&args.store, &args.addr, args.port, args.workers)? {}
+    match run_daemon(&args.store, &args.addr, args.port, args.options)? {}
 }
 
 fn main() -> ExitCode {

@@ -1,20 +1,239 @@
 //! A minimal blocking HTTP/1.1 client — enough to talk to `frostd`
-//! from the `frost get` subcommand, the loopback tests and CI scripts.
+//! from the `frost get` subcommand, the loopback tests, the benchmarks
+//! and CI scripts.
+//!
+//! [`Connection`] holds one keep-alive socket and frames responses by
+//! `Content-Length`, so a sequence of requests to the same authority
+//! reuses a single TCP connection (the serving path this crate's
+//! benchmarks measure). [`http_get`] is the one-shot form: it opens a
+//! fresh connection, sends `Connection: close`, and tears everything
+//! down — the per-request cost keep-alive exists to avoid.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
-/// Fetches `url` (plain `http://host:port/path` only) and returns
-/// `(status, body)`.
-pub fn http_get(url: &str) -> Result<(u16, String), String> {
+/// Splits a plain `http://host:port/path` URL into
+/// `(authority, target)`.
+pub fn split_url(url: &str) -> Result<(&str, &str), String> {
     let rest = url
         .strip_prefix("http://")
         .ok_or_else(|| format!("unsupported url {url:?} (http:// only)"))?;
-    let (authority, target) = match rest.find('/') {
+    Ok(match rest.find('/') {
         Some(i) => (&rest[..i], &rest[i..]),
         None => (rest, "/"),
+    })
+}
+
+/// A persistent keep-alive connection to one authority
+/// (`host:port`).
+///
+/// The server may close the connection at any time (idle timeout,
+/// per-connection request cap, `Connection: close` on its final
+/// response); [`get`](Self::get) reconnects transparently — once per
+/// request — so callers see at most one round of that race.
+pub struct Connection {
+    authority: String,
+    stream: Option<TcpStream>,
+    /// Read-ahead spill between responses.
+    buf: Vec<u8>,
+    timeout: Duration,
+}
+
+impl Connection {
+    /// Connects to `authority` (`host:port`).
+    pub fn open(authority: &str) -> Result<Self, String> {
+        let mut conn = Self {
+            authority: authority.to_string(),
+            stream: None,
+            buf: Vec::new(),
+            timeout: Duration::from_secs(30),
+        };
+        conn.connect()?;
+        Ok(conn)
+    }
+
+    fn connect(&mut self) -> Result<(), String> {
+        let stream = TcpStream::connect(&self.authority)
+            .map_err(|e| format!("connect {}: {e}", self.authority))?;
+        stream
+            .set_read_timeout(Some(self.timeout))
+            .map_err(|e| e.to_string())?;
+        self.buf.clear();
+        self.stream = Some(stream);
+        Ok(())
+    }
+
+    /// Whether a socket is currently open (the server may still have
+    /// closed its side — the next request finds out).
+    pub fn is_open(&self) -> bool {
+        self.stream.is_some()
+    }
+
+    /// Sends `GET target` on the kept-alive connection and returns
+    /// `(status, body)`.
+    pub fn get(&mut self, target: &str) -> Result<(u16, String), String> {
+        if self.stream.is_none() {
+            self.connect()?;
+            return self.request(target);
+        }
+        // A reused socket may have been closed server-side since the
+        // last response (idle timeout / request cap): retry once on a
+        // fresh connection before reporting failure.
+        match self.request(target) {
+            Ok(done) => Ok(done),
+            Err(_) => {
+                self.connect()?;
+                self.request(target)
+            }
+        }
+    }
+
+    fn request(&mut self, target: &str) -> Result<(u16, String), String> {
+        let request = format!("GET {target} HTTP/1.1\r\nHost: {}\r\n\r\n", self.authority);
+        let outcome = self.exchange(&request);
+        if outcome.is_err() {
+            // The socket may have unread bytes of a half-received
+            // response: reusing it (or its spill buffer) would pair a
+            // stale response with the next request. Drop both — any
+            // retry must start on a fresh connection.
+            self.stream = None;
+            self.buf.clear();
+        }
+        outcome
+    }
+
+    fn exchange(&mut self, request: &str) -> Result<(u16, String), String> {
+        let stream = self.stream.as_mut().ok_or("connection closed")?;
+        stream
+            .write_all(request.as_bytes())
+            .map_err(|e| format!("send: {e}"))?;
+        let response = read_response(stream, &mut self.buf, false)?;
+        if response.close {
+            self.stream = None;
+            self.buf.clear();
+        }
+        Ok((response.status, response.body))
+    }
+}
+
+struct Response {
+    status: u16,
+    head: String,
+    body: String,
+    close: bool,
+}
+
+/// Reads one `Content-Length`-framed response from a raw socket and
+/// returns `(status, head, body)`, using `buf` as the carry-over read
+/// buffer (leftover bytes of a pipelined successor stay for the next
+/// call). This is the one framing implementation — the keep-alive
+/// client, the loopback tests and the throughput benchmarks all read
+/// responses through it.
+pub fn read_raw_response(
+    stream: &mut TcpStream,
+    buf: &mut Vec<u8>,
+) -> Result<(u16, String, String), String> {
+    let response = read_response(stream, buf, false)?;
+    Ok((response.status, response.head, response.body))
+}
+
+/// See [`read_raw_response`]; additionally derives the `close` flag.
+/// With `eof_body_ok` (the one-shot `Connection: close` path only), a
+/// response without `Content-Length` is read to EOF instead of
+/// rejected — generic servers may close-delimit their bodies; a
+/// keep-alive connection must never guess framing that way.
+fn read_response(
+    stream: &mut TcpStream,
+    buf: &mut Vec<u8>,
+    eof_body_ok: bool,
+) -> Result<Response, String> {
+    let mut chunk = [0u8; 4096];
+    // Head.
+    let head_end = loop {
+        if let Some(end) = find_terminator(buf) {
+            break end;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err("connection closed mid-response".into()),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) => return Err(format!("receive: {e}")),
+        }
     };
+    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+    let status = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| format!("malformed status line {head:?}"))?;
+    let mut content_length: Option<usize> = None;
+    let mut close = false;
+    for line in head.lines().skip(1) {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        match name.trim().to_ascii_lowercase().as_str() {
+            "content-length" => {
+                content_length = Some(
+                    value
+                        .trim()
+                        .parse::<usize>()
+                        .map_err(|_| format!("bad content-length {value:?}"))?,
+                );
+            }
+            "connection" if value.trim().eq_ignore_ascii_case("close") => close = true,
+            _ => {}
+        }
+    }
+    let length = match content_length {
+        Some(length) => length,
+        None if eof_body_ok => {
+            // Close-delimited body: everything until EOF.
+            stream
+                .read_to_end(buf)
+                .map_err(|e| format!("receive: {e}"))?;
+            buf.len() - head_end
+        }
+        None => return Err("response without content-length framing".to_string()),
+    };
+    // Body.
+    while buf.len() < head_end + length {
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err("connection closed mid-body".into()),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) => return Err(format!("receive: {e}")),
+        }
+    }
+    let body = String::from_utf8_lossy(&buf[head_end..head_end + length]).into_owned();
+    buf.drain(..head_end + length);
+    Ok(Response {
+        status,
+        head,
+        body,
+        close,
+    })
+}
+
+/// Index just past the first `\r\n\r\n` (or bare `\n\n`) in `buf`.
+fn find_terminator(buf: &[u8]) -> Option<usize> {
+    for i in 0..buf.len() {
+        if buf[i] != b'\n' {
+            continue;
+        }
+        if i >= 1 && buf[i - 1] == b'\n' {
+            return Some(i + 1);
+        }
+        if i >= 3 && buf[i - 1] == b'\r' && buf[i - 2] == b'\n' && buf[i - 3] == b'\r' {
+            return Some(i + 1);
+        }
+    }
+    None
+}
+
+/// Fetches `url` (plain `http://host:port/path` only) over a one-shot
+/// connection (`Connection: close`) and returns `(status, body)`.
+pub fn http_get(url: &str) -> Result<(u16, String), String> {
+    let (authority, target) = split_url(url)?;
     let mut stream =
         TcpStream::connect(authority).map_err(|e| format!("connect {authority}: {e}"))?;
     stream
@@ -25,18 +244,9 @@ pub fn http_get(url: &str) -> Result<(u16, String), String> {
     stream
         .write_all(request.as_bytes())
         .map_err(|e| format!("send: {e}"))?;
-    let mut raw = Vec::new();
-    stream
-        .read_to_end(&mut raw)
-        .map_err(|e| format!("receive: {e}"))?;
-    let text = String::from_utf8_lossy(&raw);
-    let (head, body) = text
-        .split_once("\r\n\r\n")
-        .ok_or_else(|| "malformed response (no header terminator)".to_string())?;
-    let status = head
-        .split(' ')
-        .nth(1)
-        .and_then(|s| s.parse::<u16>().ok())
-        .ok_or_else(|| format!("malformed status line {head:?}"))?;
-    Ok((status, body.to_string()))
+    let mut buf = Vec::new();
+    // One-shot close semantics: a missing Content-Length falls back to
+    // the close-delimited body generic servers send.
+    let response = read_response(&mut stream, &mut buf, true)?;
+    Ok((response.status, response.body))
 }

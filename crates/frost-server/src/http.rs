@@ -1,5 +1,6 @@
 //! The std-only HTTP/1.1 server: `TcpListener` + a fixed worker
-//! thread pool, one request per connection, JSON in and out.
+//! thread pool, persistent (keep-alive) connections with request
+//! pipelining, JSON in and out.
 //!
 //! # Endpoints (all `GET`)
 //!
@@ -19,17 +20,44 @@
 //! | `/quality`         | `GetQualitySignals`      | yes    |
 //! | `/stats`           | cache counters           | no     |
 //!
-//! Derived artifacts are memoized in a sharded, generation-stamped
-//! [`ShardedCache`]: a repeated query returns the rendered body
-//! without touching the store, and any mutation through
-//! [`ServerState::with_store_mut`] bumps the generation, which
-//! logically evicts every cached entry at once. Listings stay
-//! uncached — they are cheaper than the cache probe.
+//! # Connection model
+//!
+//! A worker owns a connection for its whole lifetime and parses
+//! requests out of a per-connection [`RequestBuffer`]: reads may split
+//! a request head at any byte boundary, and one read may carry several
+//! pipelined requests back-to-back — both are handled by buffering and
+//! re-scanning incrementally. Responses go out in request order (the
+//! worker serves sequentially, so pipelining needs no reordering).
+//! A connection closes when the client asks (`Connection: close`, or
+//! HTTP/1.0), when it has been idle longer than
+//! [`ServeOptions::idle_timeout`], after
+//! [`ServeOptions::max_requests`] responses (so a persistent client
+//! cannot starve the fixed worker pool forever), or after any parse
+//! error (one `400` is sent, then the socket closes).
+//!
+//! # Caching
+//!
+//! Two tiers, both generation-stamped by the same rule — any mutation
+//! through [`ServerState::with_store_mut`] bumps the generation and
+//! logically evicts every entry of both tiers at once:
+//!
+//! 1. rendered JSON **bodies** ([`ShardedCache<Arc<str>>`]) — a hit
+//!    skips the store computation *and* the JSON rendering;
+//! 2. fully serialized HTTP **response bytes**
+//!    ([`ShardedCache<CachedResponse>`]) — a hit is written with one
+//!    buffered `write_all` of a shared `Arc<[u8]>`: no JSON
+//!    re-rendering and no response-building allocation on the hot
+//!    path (the remaining per-request work is parsing the head and
+//!    routing the target).
+//!
+//! [`ServerState::json_renders`] counts actual JSON serializations, so
+//! tests can pin that the hot path performs zero of them. Listings
+//! stay uncached — they are cheaper than the cache probe.
 //!
 //! Bodies are rendered by [`json::response_to_json`], so an HTTP
 //! response is byte-identical to rendering the in-process
 //! [`api::handle`] result — the invariant the loopback golden tests
-//! pin.
+//! pin, including across reused connections and pipelined clients.
 
 use crate::json::{self, response_to_json};
 use frost_storage::api::{self, Request};
@@ -40,22 +68,88 @@ use parking_lot::RwLock;
 use serde_json::Value;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::Duration;
 
-/// Shards in the result cache; 16 spreads a small thread pool's keys
-/// with negligible memory overhead.
+/// Shards in each result-cache tier; 16 spreads a small thread pool's
+/// keys with negligible memory overhead.
 const CACHE_SHARDS: usize = 16;
 
 /// Request head size cap (we only serve `GET`, so no bodies).
-const MAX_REQUEST_BYTES: usize = 16 * 1024;
+pub const MAX_REQUEST_BYTES: usize = 16 * 1024;
 
-/// The shared server state: the store behind a [`RwLock`] and the
-/// result cache in front of it.
+/// Default for [`ServeOptions::idle_timeout`].
+pub const DEFAULT_IDLE_TIMEOUT_MS: u64 = 5_000;
+
+/// Default for [`ServeOptions::max_requests`].
+pub const DEFAULT_MAX_REQUESTS: usize = 10_000;
+
+/// Tunables of the connection path.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Worker (connection) threads in the fixed pool.
+    pub workers: usize,
+    /// How long a keep-alive connection may sit between reads before
+    /// the worker closes it and returns to the pool. The same bound
+    /// applies to writes (a client that stops reading cannot pin a
+    /// worker in `write_all`) and, as a whole-head deadline, to a
+    /// trickled (slow-loris) request head: a head that has not
+    /// completed one `idle_timeout` after its first byte is answered
+    /// `400` and cut, even if every individual read stays fast.
+    pub idle_timeout: Duration,
+    /// Responses served on one connection before the server closes it
+    /// (advertised with `Connection: close` on the last response), so
+    /// the fixed pool cannot be starved by immortal connections.
+    pub max_requests: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            workers: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            idle_timeout: Duration::from_millis(DEFAULT_IDLE_TIMEOUT_MS),
+            max_requests: DEFAULT_MAX_REQUESTS,
+        }
+    }
+}
+
+/// A fully serialized HTTP response: the keep-alive rendering (status
+/// line + headers + body, no `Connection` header — HTTP/1.1 defaults
+/// to persistent) plus the offset where the body starts, so the
+/// closing variant can reuse the body bytes without re-rendering.
+#[derive(Clone)]
+pub struct CachedResponse {
+    status: u16,
+    bytes: Arc<[u8]>,
+    body_start: usize,
+}
+
+impl CachedResponse {
+    /// The HTTP status code.
+    pub fn status(&self) -> u16 {
+        self.status
+    }
+
+    /// The serialized keep-alive response.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// The response body (shared with [`bytes`](Self::bytes)).
+    pub fn body(&self) -> &[u8] {
+        &self.bytes[self.body_start..]
+    }
+}
+
+/// The shared server state: the store behind a [`RwLock`] and the two
+/// result-cache tiers in front of it.
 pub struct ServerState {
     store: RwLock<BenchmarkStore>,
     cache: ShardedCache,
+    responses: ShardedCache<CachedResponse>,
+    json_renders: AtomicU64,
+    connections: AtomicU64,
 }
 
 impl ServerState {
@@ -64,6 +158,9 @@ impl ServerState {
         Self {
             store: RwLock::new(store),
             cache: ShardedCache::new(CACHE_SHARDS),
+            responses: ShardedCache::new(CACHE_SHARDS),
+            json_renders: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
         }
     }
 
@@ -74,18 +171,41 @@ impl ServerState {
 
     /// Runs a mutating closure against the store (exclusive lock) and
     /// bumps the cache generation afterwards — the invalidation rule:
-    /// *every* derived artifact is stamped with the store generation
-    /// it was computed under, and a mutation makes all older stamps
-    /// stale at once.
+    /// *every* derived artifact, in both tiers (rendered bodies and
+    /// serialized response bytes), is stamped with the store
+    /// generation it was computed under, and a mutation makes all
+    /// older stamps stale at once.
     pub fn with_store_mut<R>(&self, f: impl FnOnce(&mut BenchmarkStore) -> R) -> R {
         let out = f(&mut self.store.write());
         self.cache.invalidate();
+        self.responses.invalidate();
         out
     }
 
-    /// The result cache (hit counters, generation).
+    /// The first-tier result cache (rendered JSON bodies).
     pub fn cache(&self) -> &ShardedCache {
         &self.cache
+    }
+
+    /// The second-tier cache (serialized HTTP response bytes).
+    pub fn response_cache(&self) -> &ShardedCache<CachedResponse> {
+        &self.responses
+    }
+
+    /// JSON serializations performed since start-up. A cache-served
+    /// request performs none — the render-counter tests pin that.
+    pub fn json_renders(&self) -> u64 {
+        self.json_renders.load(Ordering::Relaxed)
+    }
+
+    /// Connections accepted since start-up.
+    pub fn connections_accepted(&self) -> u64 {
+        self.connections.load(Ordering::Relaxed)
+    }
+
+    fn rendered(&self, response: &api::Response) -> String {
+        self.json_renders.fetch_add(1, Ordering::Relaxed);
+        serde_json::to_string(&response_to_json(response))
     }
 }
 
@@ -95,6 +215,10 @@ pub struct ServerHandle {
     addr: SocketAddr,
     state: Arc<ServerState>,
     shutdown: Arc<AtomicBool>,
+    /// Each worker's currently served connection (a `try_clone`
+    /// handle), so shutdown can cut persistent connections instead of
+    /// waiting out their idle timeouts.
+    active: Arc<[Mutex<Option<TcpStream>>]>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -104,7 +228,7 @@ impl ServerHandle {
         self.addr
     }
 
-    /// The shared state (store + cache).
+    /// The shared state (store + caches).
     pub fn state(&self) -> &Arc<ServerState> {
         &self.state
     }
@@ -119,6 +243,15 @@ impl Drop for ServerHandle {
     fn drop(&mut self) {
         if let Some(t) = self.accept_thread.take() {
             self.shutdown.store(true, Ordering::Release);
+            // Cut live keep-alive connections: their workers would
+            // otherwise sit out a full idle timeout before draining.
+            for slot in self.active.iter() {
+                if let Ok(guard) = slot.lock() {
+                    if let Some(stream) = guard.as_ref() {
+                        let _ = stream.shutdown(std::net::Shutdown::Both);
+                    }
+                }
+            }
             // Wake the blocking accept with a throwaway connection.
             let _ = TcpStream::connect(self.addr);
             let _ = t.join();
@@ -127,33 +260,65 @@ impl Drop for ServerHandle {
 }
 
 /// Binds `addr` (use port 0 for an ephemeral port) and serves requests
-/// on `workers` pool threads until the handle is shut down or dropped.
+/// on `workers` pool threads with default connection limits. See
+/// [`serve_with`] for the tunable form.
 pub fn serve(addr: &str, state: Arc<ServerState>, workers: usize) -> std::io::Result<ServerHandle> {
+    serve_with(
+        addr,
+        state,
+        ServeOptions {
+            workers,
+            ..ServeOptions::default()
+        },
+    )
+}
+
+/// Binds `addr` and serves keep-alive connections on a fixed pool of
+/// `options.workers` threads until the handle is shut down or dropped.
+pub fn serve_with(
+    addr: &str,
+    state: Arc<ServerState>,
+    options: ServeOptions,
+) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
     let (tx, rx) = mpsc::channel::<TcpStream>();
     let rx = Arc::new(Mutex::new(rx));
-    let mut pool = Vec::with_capacity(workers.max(1));
-    for _ in 0..workers.max(1) {
+    let workers = options.workers.max(1);
+    let active: Arc<[Mutex<Option<TcpStream>>]> = (0..workers).map(|_| Mutex::new(None)).collect();
+    let mut pool = Vec::with_capacity(workers);
+    for id in 0..workers {
         let rx = Arc::clone(&rx);
         let state = Arc::clone(&state);
+        let options = options.clone();
+        let active = Arc::clone(&active);
         pool.push(std::thread::spawn(move || loop {
             // Holding the lock only for the recv keeps the pool fair.
             let next = rx.lock().expect("worker queue lock").recv();
             match next {
-                Ok(stream) => handle_connection(stream, &state),
+                Ok(stream) => {
+                    if let Ok(mut slot) = active[id].lock() {
+                        *slot = stream.try_clone().ok();
+                    }
+                    handle_connection(stream, &state, &options);
+                    if let Ok(mut slot) = active[id].lock() {
+                        *slot = None;
+                    }
+                }
                 Err(_) => break, // accept loop gone → drain done
             }
         }));
     }
     let accept_shutdown = Arc::clone(&shutdown);
+    let accept_state = Arc::clone(&state);
     let accept_thread = std::thread::spawn(move || {
         for stream in listener.incoming() {
             if accept_shutdown.load(Ordering::Acquire) {
                 break;
             }
             if let Ok(stream) = stream {
+                accept_state.connections.fetch_add(1, Ordering::Relaxed);
                 // A send can only fail if every worker panicked.
                 if tx.send(stream).is_err() {
                     break;
@@ -169,6 +334,7 @@ pub fn serve(addr: &str, state: Arc<ServerState>, workers: usize) -> std::io::Re
         addr: local,
         state,
         shutdown,
+        active,
         accept_thread: Some(accept_thread),
     })
 }
@@ -183,14 +349,15 @@ pub fn run_daemon(
     store_path: &str,
     addr: &str,
     port: u16,
-    workers: usize,
+    options: ServeOptions,
 ) -> Result<std::convert::Infallible, String> {
     let store = frost_storage::persist::load_auto(store_path)
         .map_err(|e| format!("cannot load store {store_path:?}: {e}"))?;
     let datasets = store.dataset_names().len();
     let experiments = store.experiment_names(None).len();
+    let workers = options.workers;
     let state = Arc::new(ServerState::new(store));
-    let handle = serve(&format!("{addr}:{port}"), state, workers)
+    let handle = serve_with(&format!("{addr}:{port}"), state, options)
         .map_err(|e| format!("cannot bind {addr}:{port}: {e}"))?;
     println!("frostd listening on http://{}", handle.addr());
     println!("serving {datasets} dataset(s), {experiments} experiment(s) with {workers} worker(s)");
@@ -199,52 +366,259 @@ pub fn run_daemon(
     }
 }
 
-fn handle_connection(mut stream: TcpStream, state: &ServerState) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-    let mut buf = Vec::with_capacity(1024);
-    let mut chunk = [0u8; 1024];
-    // Read the request head (terminated by a blank line).
-    while !head_complete(&buf) {
-        match stream.read(&mut chunk) {
-            Ok(0) => break,
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
-            Err(_) => return,
-        }
-        if buf.len() > MAX_REQUEST_BYTES {
-            respond(&mut stream, 400, &error_body("request head too large"));
-            return;
-        }
-    }
-    // A connection cut before the blank-line terminator must not be
-    // routed — the prefix could name a different resource.
-    if !head_complete(&buf) {
-        return;
-    }
-    let head = String::from_utf8_lossy(&buf);
-    let Some(request_line) = head.lines().next() else {
-        return;
-    };
-    let mut parts = request_line.split(' ');
-    let (method, target) = match (parts.next(), parts.next()) {
-        (Some(m), Some(t)) => (m, t),
-        _ => {
-            respond(&mut stream, 400, &error_body("malformed request line"));
-            return;
-        }
-    };
-    if method != "GET" {
-        respond(&mut stream, 405, &error_body("only GET is supported"));
-        return;
-    }
-    let (status, body) = route(target, state);
-    respond(&mut stream, status, &body);
+// ---------------------------------------------------------------------
+// Request parsing
+// ---------------------------------------------------------------------
+
+/// A parsed request head.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedRequest {
+    /// The request method, verbatim (`GET`, `POST`, …).
+    pub method: String,
+    /// The request target (path + query, undecoded).
+    pub target: String,
+    /// Whether the client wants the connection kept open afterwards:
+    /// HTTP/1.1 unless `Connection: close`; HTTP/1.0 never (we do not
+    /// implement 1.0-style opt-in keep-alive).
+    pub keep_alive: bool,
 }
 
-fn head_complete(buf: &[u8]) -> bool {
-    buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.windows(2).any(|w| w == b"\n\n")
+/// One step of incremental parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Parsed {
+    /// A complete request head was consumed from the buffer.
+    Request(ParsedRequest),
+    /// No complete head is buffered yet — read more bytes.
+    Incomplete,
+    /// The buffered bytes can never become a valid request; respond
+    /// `400` (message attached) and close the connection.
+    Error(&'static str),
 }
 
-fn respond(stream: &mut TcpStream, status: u16, body: &str) {
+/// An incremental HTTP/1.1 request-head buffer: bytes arrive in
+/// arbitrary splits ([`extend`](Self::extend)), complete heads are
+/// consumed in arrival order ([`next_request`](Self::next_request)) —
+/// one read may carry a fraction of a head or several pipelined heads,
+/// and both sides of that spectrum land in the same code path.
+///
+/// The scan for the head terminator resumes where the previous call
+/// stopped, so re-parsing after a tiny read is `O(new bytes)`, not
+/// `O(buffered bytes)`.
+#[derive(Debug, Default)]
+pub struct RequestBuffer {
+    buf: Vec<u8>,
+    /// Bytes before this offset were consumed by earlier requests.
+    consumed: usize,
+    /// Terminator scan position (always ≥ `consumed`).
+    scan: usize,
+}
+
+impl RequestBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends freshly read bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        // Reclaim consumed space before growing: a long-lived
+        // keep-alive connection must not accumulate every head it ever
+        // parsed.
+        if self.consumed > 0 && (self.consumed == self.buf.len() || self.consumed >= 4096) {
+            self.buf.drain(..self.consumed);
+            self.scan -= self.consumed;
+            self.consumed = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Unconsumed bytes currently buffered.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.consumed
+    }
+
+    /// Tries to consume the next complete request head.
+    pub fn next_request(&mut self) -> Parsed {
+        let Some(end) = self.find_head_end() else {
+            if self.pending() > MAX_REQUEST_BYTES {
+                return Parsed::Error("request head too large");
+            }
+            return Parsed::Incomplete;
+        };
+        if end - self.consumed > MAX_REQUEST_BYTES {
+            return Parsed::Error("request head too large");
+        }
+        let head = &self.buf[self.consumed..end];
+        let parsed = parse_head(head);
+        self.consumed = end;
+        self.scan = end;
+        parsed
+    }
+
+    /// Finds the exclusive end offset of the first complete head
+    /// (`\r\n\r\n` or bare `\n\n`), resuming from the previous scan.
+    fn find_head_end(&mut self) -> Option<usize> {
+        // Back up over a possibly split terminator at the old read
+        // boundary, but never into a previously consumed head.
+        let from = self.scan.saturating_sub(3).max(self.consumed);
+        for i in from..self.buf.len() {
+            if self.buf[i] != b'\n' {
+                continue;
+            }
+            if i > self.consumed && self.buf[i - 1] == b'\n' {
+                return Some(i + 1);
+            }
+            if i >= self.consumed + 3
+                && self.buf[i - 1] == b'\r'
+                && self.buf[i - 2] == b'\n'
+                && self.buf[i - 3] == b'\r'
+            {
+                return Some(i + 1);
+            }
+        }
+        self.scan = self.buf.len();
+        None
+    }
+}
+
+/// Parses one complete request head (request line + headers, including
+/// the trailing blank line).
+fn parse_head(head: &[u8]) -> Parsed {
+    let text = String::from_utf8_lossy(head);
+    let mut lines = text.lines();
+    let Some(request_line) = lines.next().filter(|l| !l.trim().is_empty()) else {
+        return Parsed::Error("empty request line");
+    };
+    let mut parts = request_line.split(' ').filter(|p| !p.is_empty());
+    let (Some(method), Some(target)) = (parts.next(), parts.next()) else {
+        return Parsed::Error("malformed request line");
+    };
+    let version = parts.next().unwrap_or("HTTP/1.1");
+    if !version.starts_with("HTTP/1.") {
+        return Parsed::Error("unsupported protocol version");
+    }
+    let http10 = version == "HTTP/1.0";
+    let mut keep_alive = !http10;
+    for line in lines {
+        let line = line.trim_end_matches('\r');
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Parsed::Error("malformed header line");
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "connection" => {
+                // Token list; "close" wins over anything else.
+                let tokens = value.split(',').map(|t| t.trim().to_ascii_lowercase());
+                for token in tokens {
+                    match token.as_str() {
+                        "close" => keep_alive = false,
+                        // 1.0-style opt-in keep-alive is not
+                        // implemented: the response would need an
+                        // explicit Connection: keep-alive echo the
+                        // cached rendering does not carry.
+                        "keep-alive" if http10 => keep_alive = false,
+                        _ => {}
+                    }
+                }
+            }
+            "content-length" if value.parse::<u64>().map_or(true, |n| n > 0) => {
+                return Parsed::Error("request bodies are not supported");
+            }
+            "transfer-encoding" => {
+                return Parsed::Error("request bodies are not supported");
+            }
+            _ => {}
+        }
+    }
+    Parsed::Request(ParsedRequest {
+        method: method.to_string(),
+        target: target.to_string(),
+        keep_alive,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Connection handling
+// ---------------------------------------------------------------------
+
+fn handle_connection(mut stream: TcpStream, state: &ServerState, options: &ServeOptions) {
+    // Responses are written whole (one write_all per response), so
+    // Nagle only adds latency for pipelined bursts. Both directions
+    // carry the timeout: a client that stops *reading* must not pin a
+    // pool worker in write_all any more than a silent one may pin it
+    // in read.
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(options.idle_timeout));
+    let _ = stream.set_write_timeout(Some(options.idle_timeout));
+    let mut parser = RequestBuffer::new();
+    let mut chunk = [0u8; 4096];
+    let mut served = 0usize;
+    // Deadline for completing one request head: each partial read
+    // restarts the per-read idle clock, so without this a client
+    // trickling one byte per idle_timeout would hold the worker
+    // indefinitely. While a head is partial, the socket read timeout
+    // shrinks to the *remaining* deadline, so the worker is pinned
+    // for at most ~idle_timeout total per head.
+    let mut head_started: Option<std::time::Instant> = None;
+    loop {
+        // Drain every already-buffered request (pipelining) before
+        // touching the socket again.
+        match parser.next_request() {
+            Parsed::Request(request) => {
+                if head_started.take().is_some() {
+                    let _ = stream.set_read_timeout(Some(options.idle_timeout));
+                }
+                served += 1;
+                let close = !request.keep_alive || served >= options.max_requests;
+                if request.method != "GET" {
+                    let payload = encode_response(405, error_body("only GET is supported").into());
+                    let _ = write_response(&mut stream, &payload, true);
+                    return;
+                }
+                let payload = route(&request.target, state);
+                if write_response(&mut stream, &payload, close).is_err() || close {
+                    return;
+                }
+            }
+            Parsed::Error(message) => {
+                // One diagnostic, then close: the byte stream is not
+                // trustworthy beyond this point.
+                let payload = encode_response(400, error_body(message).into());
+                let _ = write_response(&mut stream, &payload, true);
+                return;
+            }
+            Parsed::Incomplete => {
+                if parser.pending() > 0 {
+                    let started = *head_started.get_or_insert_with(std::time::Instant::now);
+                    let remaining = options.idle_timeout.saturating_sub(started.elapsed());
+                    if remaining.is_zero() {
+                        let payload =
+                            encode_response(400, error_body("request head timeout").into());
+                        let _ = write_response(&mut stream, &payload, true);
+                        return;
+                    }
+                    let _ = stream.set_read_timeout(Some(remaining));
+                }
+                match stream.read(&mut chunk) {
+                    Ok(0) => return, // client closed
+                    Ok(n) => parser.extend(&chunk[..n]),
+                    // Idle timeout, head deadline, or hard error —
+                    // either way the worker goes back to the pool.
+                    Err(_) => return,
+                }
+            }
+        }
+    }
+}
+
+/// The one response-head rendering both framings share; the closing
+/// variant only adds the `Connection: close` header (HTTP/1.1
+/// defaults to persistent, so the keep-alive form carries none).
+fn response_head(status: u16, content_length: usize, close: bool) -> String {
     let reason = match status {
         200 => "OK",
         400 => "Bad Request",
@@ -252,13 +626,45 @@ fn respond(stream: &mut TcpStream, status: u16, body: &str) {
         405 => "Method Not Allowed",
         _ => "Internal Server Error",
     };
-    let head = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
-    );
-    let _ = stream.write_all(head.as_bytes());
-    let _ = stream.write_all(body.as_bytes());
-    let _ = stream.flush();
+    let connection = if close { "Connection: close\r\n" } else { "" };
+    format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {content_length}\r\n{connection}\r\n"
+    )
+}
+
+/// Serializes a response in its keep-alive form.
+fn encode_response(status: u16, body: Vec<u8>) -> CachedResponse {
+    let head = response_head(status, body.len(), false);
+    let mut bytes = Vec::with_capacity(head.len() + body.len());
+    bytes.extend_from_slice(head.as_bytes());
+    let body_start = bytes.len();
+    bytes.extend_from_slice(&body);
+    CachedResponse {
+        status,
+        bytes: Arc::from(bytes),
+        body_start,
+    }
+}
+
+/// Writes a response. The keep-alive path is one `write_all` of the
+/// cached bytes; the closing variant re-frames the head with
+/// `Connection: close` but shares the body bytes.
+fn write_response(
+    stream: &mut TcpStream,
+    payload: &CachedResponse,
+    close: bool,
+) -> std::io::Result<()> {
+    if !close {
+        stream.write_all(&payload.bytes)?;
+    } else {
+        let body = payload.body();
+        let head = response_head(payload.status, body.len(), true);
+        let mut bytes = Vec::with_capacity(head.len() + body.len());
+        bytes.extend_from_slice(head.as_bytes());
+        bytes.extend_from_slice(body);
+        stream.write_all(&bytes)?;
+    }
+    stream.flush()
 }
 
 fn error_body(message: &str) -> String {
@@ -328,43 +734,78 @@ impl Params {
     }
 }
 
-/// Routes a request target to a response `(status, JSON body)`.
-fn route(target: &str, state: &ServerState) -> (u16, String) {
+/// Routes a request target to its serialized response.
+///
+/// Cacheable endpoints walk the tiers top-down: serialized response
+/// bytes (tier 2, zero-allocation hit), then rendered body (tier 1,
+/// re-frame only), then compute + render + fill both tiers.
+fn route(target: &str, state: &ServerState) -> CachedResponse {
     let (path, params) = parse_target(target);
     let params = Params(params);
-    match build_request(&path, &params, state) {
+    match build_request(&path, &params) {
         Ok(Routed::Api { request, cache_key }) => {
             if let Some(key) = cache_key {
-                if let Some(hit) = state.cache.get(&key) {
-                    return (200, hit.to_string());
+                if let Some(hit) = state.responses.get(&key) {
+                    return hit;
                 }
-                let observed = state.cache.begin();
-                match state.with_store(|s| api::handle(s, request)) {
-                    Ok(response) => {
-                        let body = serde_json::to_string(&response_to_json(&response));
-                        state.cache.insert(key, Arc::from(body.as_str()), observed);
-                        (200, body)
-                    }
-                    Err(e) => store_error(e),
-                }
+                let observed_bytes = state.responses.begin();
+                let observed_body = state.cache.begin();
+                let body: Option<Arc<str>> = state.cache.get(&key);
+                let body = match body {
+                    Some(body) => body,
+                    None => match state.with_store(|s| api::handle(s, request)) {
+                        Ok(response) => {
+                            let rendered: Arc<str> = Arc::from(state.rendered(&response).as_str());
+                            state
+                                .cache
+                                .insert(key.clone(), Arc::clone(&rendered), observed_body);
+                            rendered
+                        }
+                        Err(e) => {
+                            let (status, body) = store_error(e);
+                            return encode_response(status, body.into());
+                        }
+                    },
+                };
+                let payload = encode_response(200, body.as_bytes().to_vec());
+                state.responses.insert(key, payload.clone(), observed_bytes);
+                payload
             } else {
                 match state.with_store(|s| api::handle(s, request)) {
-                    Ok(response) => (200, serde_json::to_string(&response_to_json(&response))),
-                    Err(e) => store_error(e),
+                    Ok(response) => encode_response(200, state.rendered(&response).into()),
+                    Err(e) => {
+                        let (status, body) = store_error(e);
+                        encode_response(status, body.into())
+                    }
                 }
             }
         }
         Ok(Routed::Stats) => {
             let cache = state.cache();
+            let responses = state.response_cache();
             let body = serde_json::to_string(&Value::object([
                 ("generation".to_string(), Value::from(cache.generation())),
                 ("hits".to_string(), Value::from(cache.hits())),
                 ("misses".to_string(), Value::from(cache.misses())),
                 ("entries".to_string(), Value::from(cache.len())),
+                ("response_hits".to_string(), Value::from(responses.hits())),
+                (
+                    "response_misses".to_string(),
+                    Value::from(responses.misses()),
+                ),
+                ("response_entries".to_string(), Value::from(responses.len())),
+                (
+                    "json_renders".to_string(),
+                    Value::from(state.json_renders()),
+                ),
+                (
+                    "connections".to_string(),
+                    Value::from(state.connections_accepted()),
+                ),
             ]));
-            (200, body)
+            encode_response(200, body.into())
         }
-        Err(status_body) => status_body,
+        Err((status, body)) => encode_response(status, body.into()),
     }
 }
 
@@ -376,11 +817,7 @@ enum Routed {
     Stats,
 }
 
-fn build_request(
-    path: &str,
-    params: &Params,
-    _state: &ServerState,
-) -> Result<Routed, (u16, String)> {
+fn build_request(path: &str, params: &Params) -> Result<Routed, (u16, String)> {
     let api = |request, cache_key| Ok(Routed::Api { request, cache_key });
     match path {
         "/datasets" => api(Request::ListDatasets, None),
@@ -547,5 +984,116 @@ mod tests {
         );
         assert_eq!(percent_decode("a+b%2Cc%"), "a b,c%");
         assert_eq!(percent_decode("%zz"), "%zz");
+    }
+
+    fn parse_all(bytes: &[u8]) -> Vec<Parsed> {
+        let mut buffer = RequestBuffer::new();
+        buffer.extend(bytes);
+        let mut out = Vec::new();
+        loop {
+            match buffer.next_request() {
+                Parsed::Incomplete => break,
+                done @ Parsed::Error(_) => {
+                    out.push(done);
+                    break;
+                }
+                request => out.push(request),
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn parses_single_and_pipelined_heads() {
+        let got = parse_all(b"GET /a HTTP/1.1\r\nHost: x\r\n\r\nGET /b HTTP/1.1\r\n\r\n");
+        assert_eq!(
+            got,
+            vec![
+                Parsed::Request(ParsedRequest {
+                    method: "GET".into(),
+                    target: "/a".into(),
+                    keep_alive: true,
+                }),
+                Parsed::Request(ParsedRequest {
+                    method: "GET".into(),
+                    target: "/b".into(),
+                    keep_alive: true,
+                }),
+            ]
+        );
+    }
+
+    #[test]
+    fn connection_close_and_http10_disable_keep_alive() {
+        let close = parse_all(b"GET / HTTP/1.1\r\nConnection: Close\r\n\r\n");
+        assert_eq!(
+            close,
+            vec![Parsed::Request(ParsedRequest {
+                method: "GET".into(),
+                target: "/".into(),
+                keep_alive: false,
+            })]
+        );
+        let old = parse_all(b"GET / HTTP/1.0\r\n\r\n");
+        assert!(matches!(
+            &old[0],
+            Parsed::Request(r) if !r.keep_alive
+        ));
+        let old_ka = parse_all(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n");
+        assert!(
+            matches!(&old_ka[0], Parsed::Request(r) if !r.keep_alive),
+            "1.0 opt-in keep-alive is not implemented and must close"
+        );
+    }
+
+    #[test]
+    fn bare_lf_terminators_parse() {
+        let got = parse_all(b"GET /x HTTP/1.1\nHost: y\n\n");
+        assert!(matches!(&got[0], Parsed::Request(r) if r.target == "/x"));
+    }
+
+    #[test]
+    fn malformed_heads_are_errors() {
+        assert!(matches!(parse_all(b"GARBAGE\r\n\r\n")[0], Parsed::Error(_)));
+        assert!(matches!(parse_all(b"\r\n\r\n")[0], Parsed::Error(_)));
+        assert!(matches!(
+            parse_all(b"GET / SPDY/3\r\n\r\n")[0],
+            Parsed::Error(_)
+        ));
+        assert!(matches!(
+            parse_all(b"GET / HTTP/1.1\r\nContent-Length: 5\r\n\r\n")[0],
+            Parsed::Error(_)
+        ));
+        assert!(matches!(
+            parse_all(b"GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")[0],
+            Parsed::Error(_)
+        ));
+        assert!(matches!(
+            parse_all(b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n")[0],
+            Parsed::Error(_)
+        ));
+    }
+
+    #[test]
+    fn oversized_head_is_rejected_before_completion() {
+        let mut buffer = RequestBuffer::new();
+        buffer.extend(b"GET /");
+        buffer.extend(&vec![b'a'; MAX_REQUEST_BYTES + 1]);
+        assert!(matches!(buffer.next_request(), Parsed::Error(_)));
+    }
+
+    #[test]
+    fn buffer_compacts_consumed_heads() {
+        let mut buffer = RequestBuffer::new();
+        let request = b"GET /loop HTTP/1.1\r\n\r\n";
+        for _ in 0..1_000 {
+            buffer.extend(request);
+            assert!(matches!(buffer.next_request(), Parsed::Request(_)));
+        }
+        assert!(
+            buffer.buf.capacity() < 64 * 1024,
+            "buffer must not grow with served request count (capacity {})",
+            buffer.buf.capacity()
+        );
     }
 }

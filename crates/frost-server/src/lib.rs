@@ -9,16 +9,19 @@
 //! that surface as a library. This crate puts it on the wire:
 //!
 //! * [`http`] — a std-only server (`TcpListener` + a fixed thread
-//!   pool, no async runtime, no external dependencies) exposing every
-//!   [`Request`](frost_storage::api::Request) variant as a JSON `GET`
-//!   endpoint, with a sharded, generation-stamped result cache
-//!   ([`frost_storage::cache`]) in front of the derived artifacts —
-//!   diagram series, Venn tables, comparisons, metric sheets.
+//!   pool, no async runtime, no external dependencies) serving
+//!   persistent HTTP/1.1 connections with request pipelining, exposing
+//!   every [`Request`](frost_storage::api::Request) variant as a JSON
+//!   `GET` endpoint. Two generation-stamped cache tiers
+//!   ([`frost_storage::cache`]) sit in front of the derived artifacts:
+//!   rendered JSON bodies, and fully serialized response bytes served
+//!   by a single `write_all` on the hot path.
 //! * [`json`] — the canonical JSON rendering of
 //!   [`Response`](frost_storage::api::Response) values. Tests pin the
 //!   HTTP bodies byte-for-byte against this in-process rendering.
-//! * [`client`] — a minimal blocking HTTP client (the `frost get`
-//!   subcommand and the loopback tests).
+//! * [`client`] — a minimal blocking HTTP client with keep-alive
+//!   connection reuse (the `frost get` subcommand and the loopback
+//!   tests).
 //!
 //! Start-up pairs with the `FROSTB` snapshot format
 //! ([`frost_storage::snapshot`]): `frostd` accepts either a CSV store
@@ -29,4 +32,4 @@ pub mod client;
 pub mod http;
 pub mod json;
 
-pub use http::{run_daemon, serve, ServerHandle, ServerState};
+pub use http::{run_daemon, serve, serve_with, ServeOptions, ServerHandle, ServerState};

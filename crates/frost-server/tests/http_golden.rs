@@ -176,6 +176,34 @@ fn endpoints_match_in_process_handle_byte_for_byte() {
 }
 
 #[test]
+fn reused_keep_alive_connection_pins_identical_bytes() {
+    let reference = store();
+    let handle = start();
+    let mut conn =
+        frost_server::client::Connection::open(&handle.addr().to_string()).expect("connect");
+    // Two passes over the whole matrix on ONE connection: the second
+    // pass is served from the response-byte cache, and both must stay
+    // byte-identical to the in-process rendering.
+    for round in 0..2 {
+        for (target, request) in endpoint_matrix() {
+            let (status, body) = conn.get(target).unwrap();
+            assert_eq!(status, 200, "{target} failed on round {round}: {body}");
+            assert_eq!(
+                body,
+                reference_body(&reference, request),
+                "{target} drifted across a reused connection (round {round})"
+            );
+        }
+    }
+    assert_eq!(
+        handle.state().connections_accepted(),
+        1,
+        "the whole sequence must ride one keep-alive connection"
+    );
+    handle.shutdown();
+}
+
+#[test]
 fn concurrent_clients_get_identical_bytes() {
     let reference = Arc::new(store());
     let handle = start();
@@ -216,19 +244,27 @@ fn repeated_diagram_hits_the_cache() {
     let base = format!("http://{}", handle.addr());
     let target = format!("{base}/diagram?experiment=e1&samples=7");
     let (_, first) = http_get(&target).unwrap();
-    let hits_before = handle.state().cache().hits();
+    let hits_before = handle.state().response_cache().hits();
+    let renders_before = handle.state().json_renders();
     let (_, second) = http_get(&target).unwrap();
     assert_eq!(first, second);
     assert!(
-        handle.state().cache().hits() > hits_before,
-        "second identical /diagram query must be served from cache"
+        handle.state().response_cache().hits() > hits_before,
+        "second identical /diagram query must be served from the response-byte cache"
     );
-    // The hit counter is also visible over HTTP.
+    assert_eq!(
+        handle.state().json_renders(),
+        renders_before,
+        "a response-cache hit must not re-render JSON"
+    );
+    // The hit counters are also visible over HTTP.
     let (status, stats) = http_get(&format!("{base}/stats")).unwrap();
     assert_eq!(status, 200);
     let stats = serde_json::from_str(&stats).unwrap();
-    assert!(stats.get("hits").and_then(|v| v.as_f64()).unwrap() >= 1.0);
+    assert!(stats.get("response_hits").and_then(|v| v.as_f64()).unwrap() >= 1.0);
+    assert!(stats.get("hits").is_some());
     assert!(stats.get("generation").is_some());
+    assert!(stats.get("json_renders").is_some());
     handle.shutdown();
 }
 

@@ -3,8 +3,13 @@
 //!
 //! The long-lived `frostd` server memoizes rendered results — diagram
 //! series, Venn tables, comparison views — keyed by the canonical
-//! request. Two properties matter for a shared deployment (§5.2 allows
-//! both local and hosted instances):
+//! request. The cache is generic over its value type so the server can
+//! stack *tiers* with one invalidation rule: a first tier of rendered
+//! JSON bodies (`Arc<str>`, the default) and a second tier of fully
+//! serialized HTTP response bytes (`Arc<[u8]>` behind a server-side
+//! wrapper), both stamped with the same store generation. Two
+//! properties matter for a shared deployment (§5.2 allows both local
+//! and hosted instances):
 //!
 //! * **Sharded locking** — keys hash onto independent mutex-guarded
 //!   shards, so concurrent readers of different requests never contend
@@ -29,14 +34,19 @@ use std::sync::Arc;
 /// arbitrary victim).
 const MAX_SHARD_ENTRIES: usize = 512;
 
-struct Entry {
+struct Entry<V> {
     generation: u64,
-    value: Arc<str>,
+    value: V,
 }
 
-/// The cache. See the [module docs](self) for the invalidation rule.
-pub struct ShardedCache {
-    shards: Box<[Mutex<HashMap<String, Entry>>]>,
+/// One lock domain: a mutex-guarded map of generation-stamped entries.
+type Shard<V> = Mutex<HashMap<String, Entry<V>>>;
+
+/// The cache, generic over the cached value (cheaply cloneable —
+/// tiers store `Arc`s). See the [module docs](self) for the
+/// invalidation rule.
+pub struct ShardedCache<V: Clone = Arc<str>> {
+    shards: Box<[Shard<V>]>,
     /// Current store generation; entries stamped with an older value
     /// are stale.
     generation: AtomicU64,
@@ -44,7 +54,7 @@ pub struct ShardedCache {
     misses: AtomicU64,
 }
 
-impl ShardedCache {
+impl<V: Clone> ShardedCache<V> {
     /// Creates a cache with `shards` independent lock domains (rounded
     /// up to a power of two, minimum 1).
     pub fn new(shards: usize) -> Self {
@@ -57,7 +67,7 @@ impl ShardedCache {
         }
     }
 
-    fn shard(&self, key: &str) -> &Mutex<HashMap<String, Entry>> {
+    fn shard(&self, key: &str) -> &Shard<V> {
         let mut h = std::collections::hash_map::DefaultHasher::new();
         key.hash(&mut h);
         &self.shards[(h.finish() as usize) & (self.shards.len() - 1)]
@@ -87,14 +97,14 @@ impl ShardedCache {
 
     /// Looks up a key, counting a hit or miss. Entries from an older
     /// generation are dropped and reported as misses.
-    pub fn get(&self, key: &str) -> Option<Arc<str>> {
+    pub fn get(&self, key: &str) -> Option<V> {
         let mut shard = self.shard(key).lock();
         // Read under the shard lock: a racing invalidate + re-insert
         // must not make a freshly stamped entry look stale.
         let current = self.generation();
         match shard.get(key) {
             Some(e) if e.generation == current => {
-                let value = Arc::clone(&e.value);
+                let value = e.value.clone();
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(value)
             }
@@ -113,7 +123,7 @@ impl ShardedCache {
     /// Inserts a value computed under `observed` (from
     /// [`begin`](Self::begin)). Dropped silently when a mutation
     /// intervened — the result may already be stale.
-    pub fn insert(&self, key: impl Into<String>, value: Arc<str>, observed: u64) {
+    pub fn insert(&self, key: impl Into<String>, value: V, observed: u64) {
         if observed != self.generation() {
             return;
         }
@@ -230,8 +240,22 @@ mod tests {
     }
 
     #[test]
+    fn generic_value_tier_shares_the_invalidation_rule() {
+        // The response-byte tier the server stacks on top: full
+        // serialized responses plus a body offset.
+        let cache: ShardedCache<(Arc<[u8]>, usize)> = ShardedCache::new(2);
+        let g = cache.begin();
+        let bytes: Arc<[u8]> = Arc::from(b"HTTP/1.1 200 OK\r\n\r\n{}".as_slice());
+        cache.insert("k", (Arc::clone(&bytes), 19), g);
+        let (hit, body_start) = cache.get("k").expect("fresh entry");
+        assert_eq!(&hit[body_start..], b"{}");
+        cache.invalidate();
+        assert!(cache.get("k").is_none(), "generation bump clears the tier");
+    }
+
+    #[test]
     fn concurrent_readers_and_invalidation() {
-        let cache = Arc::new(ShardedCache::new(8));
+        let cache: Arc<ShardedCache> = Arc::new(ShardedCache::new(8));
         let threads: Vec<_> = (0..4)
             .map(|t| {
                 let cache = Arc::clone(&cache);

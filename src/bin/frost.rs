@@ -15,7 +15,7 @@
 //! frost snapshot save <store-dir> <file.frostb>
 //! frost snapshot load <file.frostb> [export-dir]
 //! frost serve    <store.frostb | store-dir> [port]
-//! frost get      <url>
+//! frost get      <url>...
 //! ```
 //!
 //! Datasets are CSV with an `id` column; gold standards and experiments
@@ -83,7 +83,7 @@ enum Command {
         port: u16,
     },
     Get {
-        url: String,
+        urls: Vec<String>,
     },
 }
 
@@ -99,7 +99,7 @@ usage:
   frost snapshot save <store-dir> <file.frostb>
   frost snapshot load <file.frostb> [export-dir]
   frost serve    <store.frostb | store-dir> [port]
-  frost get      <url>
+  frost get      <url>...
 ";
 
 fn parse_args(args: &[String]) -> Result<Command, String> {
@@ -192,7 +192,9 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                 port,
             })
         }
-        ("get", [url]) => Ok(Command::Get { url: url.clone() }),
+        ("get", urls) if !urls.is_empty() => Ok(Command::Get {
+            urls: urls.to_vec(),
+        }),
         _ => Err(USAGE.to_string()),
     }
 }
@@ -473,14 +475,33 @@ fn run(command: Command) -> Result<(), String> {
             }
         }
         Command::Serve { store, port } => {
-            let workers = std::thread::available_parallelism().map_or(4, |n| n.get());
-            match frost_server::run_daemon(&store, "127.0.0.1", port, workers)? {}
+            match frost_server::run_daemon(
+                &store,
+                "127.0.0.1",
+                port,
+                frost_server::ServeOptions::default(),
+            )? {}
         }
-        Command::Get { url } => {
-            let (status, body) = frost_server::client::http_get(&url)?;
-            println!("{body}");
-            if status >= 400 {
-                return Err(format!("HTTP {status}"));
+        Command::Get { urls } => {
+            // Consecutive URLs to the same authority share one
+            // keep-alive connection — `frost get url1 url2 …` is a
+            // multi-request sequence, not N cold connections.
+            let mut connection: Option<(String, frost_server::client::Connection)> = None;
+            for url in &urls {
+                let (authority, target) = frost_server::client::split_url(url)?;
+                let reusable = matches!(&connection, Some((a, _)) if a == authority);
+                if !reusable {
+                    connection = Some((
+                        authority.to_string(),
+                        frost_server::client::Connection::open(authority)?,
+                    ));
+                }
+                let conn = &mut connection.as_mut().expect("connection just ensured").1;
+                let (status, body) = conn.get(target)?;
+                println!("{body}");
+                if status >= 400 {
+                    return Err(format!("HTTP {status}"));
+                }
             }
         }
     }
