@@ -204,6 +204,7 @@ fn main() {
         workers: 8,
         idle_timeout: Duration::from_secs(10),
         max_requests: usize::MAX,
+        ..ServeOptions::default()
     };
     let handle = serve_with("127.0.0.1:0", Arc::clone(&state), options).expect("bind");
     println!("frostd state serving on {}", handle.addr());

@@ -3,6 +3,7 @@
 //! ```text
 //! frostd <store> [--port N] [--addr HOST] [--workers N]
 //!                [--idle-timeout-ms N] [--max-requests N]
+//!                [--fsync always|interval:<ms>] [--debug-panic]
 //! ```
 //!
 //! `<store>` is either a `FROSTB` snapshot file (the fast path: one
@@ -11,24 +12,35 @@
 //! bound address is printed on the first line so scripts can scrape
 //! it.
 //!
+//! Serving a `FROSTB` snapshot enables the durable write path: a
+//! `FROSTW` write-ahead log at `<store>.wal` is replayed on boot and
+//! appended on every `POST`/`DELETE`. `--fsync` picks the durability
+//! policy: `always` (default; fsync before acknowledging each write)
+//! or `interval:<ms>` (batch fsyncs, bounding loss to the interval).
+//! CSV store directories serve the same write endpoints in-memory.
+//!
 //! Connections are HTTP/1.1 keep-alive: `--idle-timeout-ms` bounds how
 //! long an idle connection may hold a pool worker, and
 //! `--max-requests` caps the responses served per connection before
 //! the server closes it (`Connection: close` is advertised on the
-//! final response).
+//! final response). `SIGINT`/`SIGTERM` drain in-flight requests and
+//! fsync the WAL before exiting.
 
 use frost_server::{run_daemon, ServeOptions};
+use frost_storage::FsyncPolicy;
 use std::process::ExitCode;
 use std::time::Duration;
 
 const USAGE: &str = "usage: frostd <store.frostb | store-dir> [--port N] [--addr HOST] \
-[--workers N] [--idle-timeout-ms N] [--max-requests N]";
+[--workers N] [--idle-timeout-ms N] [--max-requests N] [--fsync always|interval:<ms>] \
+[--debug-panic]";
 
 struct Args {
     store: String,
     addr: String,
     port: u16,
     options: ServeOptions,
+    fsync: FsyncPolicy,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -36,6 +48,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut addr = "127.0.0.1".to_string();
     let mut port = 7878u16;
     let mut options = ServeOptions::default();
+    let mut fsync = FsyncPolicy::Always;
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -70,6 +83,31 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     return Err("max request count must be positive".into());
                 }
             }
+            "--fsync" => {
+                let v = it.next().ok_or("--fsync needs a value")?;
+                fsync = match v.as_str() {
+                    "always" => FsyncPolicy::Always,
+                    other => match other.strip_prefix("interval:") {
+                        Some(ms) => {
+                            let ms: u64 = ms
+                                .parse()
+                                .map_err(|_| format!("bad fsync interval {other:?}"))?;
+                            if ms == 0 {
+                                return Err("fsync interval must be positive".into());
+                            }
+                            FsyncPolicy::Interval(Duration::from_millis(ms))
+                        }
+                        None => {
+                            return Err(format!(
+                                "bad fsync policy {v:?}; expected always or interval:<ms>"
+                            ))
+                        }
+                    },
+                };
+            }
+            "--debug-panic" => {
+                options.debug_panic = true;
+            }
             other if store.is_none() && !other.starts_with("--") => {
                 store = Some(other.to_string());
             }
@@ -81,11 +119,12 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         addr,
         port,
         options,
+        fsync,
     })
 }
 
 fn run(args: Args) -> Result<(), String> {
-    match run_daemon(&args.store, &args.addr, args.port, args.options)? {}
+    run_daemon(&args.store, &args.addr, args.port, args.options, args.fsync)
 }
 
 fn main() -> ExitCode {

@@ -11,7 +11,82 @@
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
-use std::time::Duration;
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+/// Bounded exponential backoff for connection establishment.
+///
+/// Connecting (and reconnecting after a server-side close) retries up
+/// to `attempts` times, sleeping `base_delay * 2^n` before retry `n`,
+/// capped at `max_delay` and scaled by a random jitter factor in
+/// `[0.5, 1.0)` so a fleet of clients restarting against a rebooting
+/// server does not reconnect in lock-step. Only connection
+/// establishment retries — request retransmission stays the caller's
+/// decision (and [`Connection::get`] retries idempotent `GET`s once).
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total connection attempts (≥ 1; 1 means no retry).
+    pub attempts: u32,
+    /// Sleep before the first retry.
+    pub base_delay: Duration,
+    /// Upper bound on any single sleep.
+    pub max_delay: Duration,
+}
+
+impl RetryPolicy {
+    /// A single attempt: fail fast, no backoff.
+    pub const NONE: RetryPolicy = RetryPolicy {
+        attempts: 1,
+        base_delay: Duration::ZERO,
+        max_delay: Duration::ZERO,
+    };
+
+    /// The sleep before retry number `retry` (0-based), pre-jitter:
+    /// `min(base_delay * 2^retry, max_delay)`.
+    fn backoff(&self, retry: u32) -> Duration {
+        self.base_delay
+            .saturating_mul(1u32 << retry.min(20))
+            .min(self.max_delay)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            attempts: 4,
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_secs(2),
+        }
+    }
+}
+
+/// A tiny xorshift64 generator for backoff jitter — decorrelating
+/// client retries does not warrant a dependency.
+struct Jitter(u64);
+
+impl Jitter {
+    fn new() -> Self {
+        let nanos = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+            .unwrap_or(0x9e37_79b9);
+        Self(nanos | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    /// Scales a delay by a factor in `[0.5, 1.0)`.
+    fn scale(&mut self, delay: Duration) -> Duration {
+        let r = (self.next() % 512) as f64 / 1024.0;
+        delay.mul_f64(0.5 + r)
+    }
+}
 
 /// Splits a plain `http://host:port/path` URL into
 /// `(authority, target)`.
@@ -38,30 +113,55 @@ pub struct Connection {
     /// Read-ahead spill between responses.
     buf: Vec<u8>,
     timeout: Duration,
+    retry: RetryPolicy,
+    jitter: Jitter,
 }
 
 impl Connection {
-    /// Connects to `authority` (`host:port`).
+    /// Connects to `authority` (`host:port`) with the default
+    /// [`RetryPolicy`].
     pub fn open(authority: &str) -> Result<Self, String> {
+        Self::open_with_retry(authority, RetryPolicy::default())
+    }
+
+    /// Connects with an explicit connect/reconnect [`RetryPolicy`].
+    pub fn open_with_retry(authority: &str, retry: RetryPolicy) -> Result<Self, String> {
         let mut conn = Self {
             authority: authority.to_string(),
             stream: None,
             buf: Vec::new(),
             timeout: Duration::from_secs(30),
+            retry,
+            jitter: Jitter::new(),
         };
         conn.connect()?;
         Ok(conn)
     }
 
     fn connect(&mut self) -> Result<(), String> {
-        let stream = TcpStream::connect(&self.authority)
-            .map_err(|e| format!("connect {}: {e}", self.authority))?;
-        stream
-            .set_read_timeout(Some(self.timeout))
-            .map_err(|e| e.to_string())?;
-        self.buf.clear();
-        self.stream = Some(stream);
-        Ok(())
+        let attempts = self.retry.attempts.max(1);
+        let mut last = String::new();
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                let delay = self.jitter.scale(self.retry.backoff(attempt - 1));
+                std::thread::sleep(delay);
+            }
+            match TcpStream::connect(&self.authority) {
+                Ok(stream) => {
+                    stream
+                        .set_read_timeout(Some(self.timeout))
+                        .map_err(|e| e.to_string())?;
+                    self.buf.clear();
+                    self.stream = Some(stream);
+                    return Ok(());
+                }
+                Err(e) => last = e.to_string(),
+            }
+        }
+        Err(format!(
+            "connect {}: {last} (after {attempts} attempt(s))",
+            self.authority
+        ))
     }
 
     /// Whether a socket is currently open (the server may still have
@@ -89,9 +189,50 @@ impl Connection {
         }
     }
 
+    /// Sends `POST target` with `body` and returns `(status, body)`.
+    ///
+    /// POST is not idempotent, so unlike [`get`](Self::get) a failed
+    /// exchange is **not** retried: the server may already have applied
+    /// the write. Connection *establishment* still backs off per the
+    /// [`RetryPolicy`] — no request bytes have been sent at that point.
+    pub fn post(&mut self, target: &str, body: &[u8]) -> Result<(u16, String), String> {
+        self.send_unretried("POST", target, body)
+    }
+
+    /// Sends `DELETE target` and returns `(status, body)`. Not retried,
+    /// for the same reason as [`post`](Self::post): a retried delete
+    /// that raced the first attempt reports a spurious 404.
+    pub fn delete(&mut self, target: &str) -> Result<(u16, String), String> {
+        self.send_unretried("DELETE", target, &[])
+    }
+
+    fn send_unretried(
+        &mut self,
+        method: &str,
+        target: &str,
+        body: &[u8],
+    ) -> Result<(u16, String), String> {
+        if self.stream.is_none() {
+            self.connect()?;
+        }
+        let mut request = format!(
+            "{method} {target} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\n\r\n",
+            self.authority,
+            body.len()
+        )
+        .into_bytes();
+        request.extend_from_slice(body);
+        let outcome = self.exchange(&request);
+        if outcome.is_err() {
+            self.stream = None;
+            self.buf.clear();
+        }
+        outcome
+    }
+
     fn request(&mut self, target: &str) -> Result<(u16, String), String> {
         let request = format!("GET {target} HTTP/1.1\r\nHost: {}\r\n\r\n", self.authority);
-        let outcome = self.exchange(&request);
+        let outcome = self.exchange(request.as_bytes());
         if outcome.is_err() {
             // The socket may have unread bytes of a half-received
             // response: reusing it (or its spill buffer) would pair a
@@ -103,10 +244,10 @@ impl Connection {
         outcome
     }
 
-    fn exchange(&mut self, request: &str) -> Result<(u16, String), String> {
+    fn exchange(&mut self, request: &[u8]) -> Result<(u16, String), String> {
         let stream = self.stream.as_mut().ok_or("connection closed")?;
         stream
-            .write_all(request.as_bytes())
+            .write_all(request)
             .map_err(|e| format!("send: {e}"))?;
         let response = read_response(stream, &mut self.buf, false)?;
         if response.close {
@@ -249,4 +390,47 @@ pub fn http_get(url: &str) -> Result<(u16, String), String> {
     // the close-delimited body generic servers send.
     let response = read_response(&mut stream, &mut buf, true)?;
     Ok((response.status, response.body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let policy = RetryPolicy {
+            attempts: 6,
+            base_delay: Duration::from_millis(100),
+            max_delay: Duration::from_millis(350),
+        };
+        assert_eq!(policy.backoff(0), Duration::from_millis(100));
+        assert_eq!(policy.backoff(1), Duration::from_millis(200));
+        assert_eq!(policy.backoff(2), Duration::from_millis(350), "capped");
+        assert_eq!(
+            policy.backoff(63),
+            Duration::from_millis(350),
+            "no overflow"
+        );
+    }
+
+    #[test]
+    fn jitter_stays_within_half_to_full() {
+        let mut jitter = Jitter(12345);
+        let base = Duration::from_millis(1000);
+        for _ in 0..1000 {
+            let d = jitter.scale(base);
+            assert!(d >= base / 2 && d < base, "jittered delay {d:?}");
+        }
+    }
+
+    #[test]
+    fn failed_connects_report_the_attempt_count() {
+        // Port 1 on localhost is essentially never listening; NONE
+        // keeps the test instant.
+        let err = match Connection::open_with_retry("127.0.0.1:1", RetryPolicy::NONE) {
+            Ok(_) => panic!("port 1 must refuse connections"),
+            Err(e) => e,
+        };
+        assert!(err.contains("after 1 attempt(s)"), "{err}");
+    }
 }

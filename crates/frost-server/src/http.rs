@@ -1,24 +1,47 @@
 //! The std-only HTTP/1.1 server: `TcpListener` + a fixed worker
 //! thread pool, persistent (keep-alive) connections with request
-//! pipelining, JSON in and out.
+//! pipelining, JSON in and out, and a durable write path.
 //!
-//! # Endpoints (all `GET`)
+//! # Endpoints
 //!
-//! | path               | request variant          | cached |
-//! |--------------------|--------------------------|--------|
-//! | `/datasets`        | `ListDatasets`           | no     |
-//! | `/experiments`     | `ListExperiments`        | no     |
-//! | `/profile`         | `ProfileDataset`         | yes    |
-//! | `/matrix`          | `GetConfusionMatrix`     | yes    |
-//! | `/metrics`         | `GetMetrics`             | yes    |
-//! | `/diagram`         | `GetDiagram`             | yes    |
-//! | `/compare`         | `CompareExperiments`     | yes    |
-//! | `/venn`            | `CompareExperiments` (gold appended) | yes |
-//! | `/cluster-metrics` | `GetClusterMetrics`      | yes    |
-//! | `/ratios`          | `GetAttributeRatios`     | yes    |
-//! | `/errors`          | `GetErrorProfile`        | yes    |
-//! | `/quality`         | `GetQualitySignals`      | yes    |
-//! | `/stats`           | cache counters           | no     |
+//! | path               | request variant          | cached (scope) |
+//! |--------------------|--------------------------|----------------|
+//! | `/datasets`        | `ListDatasets`           | yes (`sys:datasets`) |
+//! | `/experiments`     | `ListExperiments`        | yes (`sys:experiments`) |
+//! | `/profile`         | `ProfileDataset`         | yes (`ds:<D>`) |
+//! | `/matrix`          | `GetConfusionMatrix`     | yes (`exp:<E>`) |
+//! | `/metrics`         | `GetMetrics`             | yes (`exp:<E>`) |
+//! | `/diagram`         | `GetDiagram`             | yes (`exp:<E>`) |
+//! | `/compare`         | `CompareExperiments`     | yes (per exp.) |
+//! | `/venn`            | `CompareExperiments` (gold appended) | yes (per exp.) |
+//! | `/cluster-metrics` | `GetClusterMetrics`      | yes (`exp:<E>`) |
+//! | `/ratios`          | `GetAttributeRatios`     | yes (`exp:<E>`) |
+//! | `/errors`          | `GetErrorProfile`        | yes (`exp:<E>`) |
+//! | `/quality`         | `GetQualitySignals`      | yes (`exp:<E>`) |
+//! | `/stats`           | cache counters           | no             |
+//!
+//! Write endpoints (threaded through the same `api::Request` enum):
+//!
+//! * `POST /experiments?dataset=<D>&name=<N>` — import an experiment
+//!   from a CSV request body (`id1,id2[,similarity]`, native ids).
+//! * `DELETE /experiments/<N>` — remove an experiment.
+//! * `POST /snapshot/save` — compact WAL + snapshot (durable stores).
+//!
+//! # Write path and durability
+//!
+//! Writes serialize on one writer lock and follow the WAL protocol
+//! (see [`frost_storage::durable`]): validate and build the
+//! import-time artifacts under a **read** lock (imports stay cheap for
+//! concurrent readers), append + fsync the op to the WAL, then take
+//! the **write** lock only for the cheap in-memory insert. A `frostd`
+//! started from a `FROSTB` file runs durably (WAL at `<store>.wal`,
+//! `--fsync` policy); one started from a CSV directory accepts the
+//! same writes volatile, in memory only. After a write, only the
+//! touched cache *scopes* are invalidated — importing one experiment
+//! does not evict `/datasets` or another experiment's cached bodies.
+//!
+//! Worker threads are panic-isolated: a panicking handler answers
+//! `500` and the worker returns to the pool.
 //!
 //! # Connection model
 //!
@@ -60,9 +83,12 @@
 //! pin, including across reused connections and pipelined clients.
 
 use crate::json::{self, response_to_json};
+use frost_core::clustering::Clustering;
 use frost_storage::api::{self, Request};
 use frost_storage::cache::ShardedCache;
-use frost_storage::store::StoreError;
+use frost_storage::durable::{DurableError, DurableStore};
+use frost_storage::store::{StoreError, StoredExperiment};
+use frost_storage::wal::WalOp;
 use frost_storage::BenchmarkStore;
 use parking_lot::RwLock;
 use serde_json::Value;
@@ -76,8 +102,11 @@ use std::time::Duration;
 /// keys with negligible memory overhead.
 const CACHE_SHARDS: usize = 16;
 
-/// Request head size cap (we only serve `GET`, so no bodies).
+/// Request head size cap.
 pub const MAX_REQUEST_BYTES: usize = 16 * 1024;
+
+/// Request body size cap (CSV imports).
+pub const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
 
 /// Default for [`ServeOptions::idle_timeout`].
 pub const DEFAULT_IDLE_TIMEOUT_MS: u64 = 5_000;
@@ -102,6 +131,10 @@ pub struct ServeOptions {
     /// (advertised with `Connection: close` on the last response), so
     /// the fixed pool cannot be starved by immortal connections.
     pub max_requests: usize,
+    /// Test-only: expose `GET /debug/panic`, which panics inside the
+    /// request handler — the regression hook for worker panic
+    /// isolation. Never enabled by the CLI.
+    pub debug_panic: bool,
 }
 
 impl Default for ServeOptions {
@@ -110,6 +143,7 @@ impl Default for ServeOptions {
             workers: std::thread::available_parallelism().map_or(4, |n| n.get()),
             idle_timeout: Duration::from_millis(DEFAULT_IDLE_TIMEOUT_MS),
             max_requests: DEFAULT_MAX_REQUESTS,
+            debug_panic: false,
         }
     }
 }
@@ -142,25 +176,72 @@ impl CachedResponse {
     }
 }
 
-/// The shared server state: the store behind a [`RwLock`] and the two
-/// result-cache tiers in front of it.
+/// The shared server state: the store behind a [`RwLock`], the two
+/// result-cache tiers in front of it, and the (optional) durable
+/// writer behind one writer lock.
 pub struct ServerState {
     store: RwLock<BenchmarkStore>,
     cache: ShardedCache,
     responses: ShardedCache<CachedResponse>,
+    /// The write path serializes here. `Some` = durable (WAL-backed);
+    /// `None` = volatile in-memory writes (CSV-dir store). Lock order:
+    /// writer lock first, then the store lock — never the reverse.
+    writer: parking_lot::Mutex<Option<DurableStore>>,
+    /// Set during graceful shutdown: responses advertise
+    /// `Connection: close` and queued connections are dropped.
+    draining: AtomicBool,
     json_renders: AtomicU64,
     connections: AtomicU64,
 }
 
 impl ServerState {
-    /// Wraps a loaded store.
+    /// Wraps a loaded store (volatile writes: accepted, in-memory
+    /// only).
     pub fn new(store: BenchmarkStore) -> Self {
+        Self::build(store, None)
+    }
+
+    /// Wraps a store recovered by [`DurableStore::open`]: writes
+    /// append to its WAL before they apply.
+    pub fn with_durable(store: BenchmarkStore, durable: DurableStore) -> Self {
+        Self::build(store, Some(durable))
+    }
+
+    fn build(store: BenchmarkStore, durable: Option<DurableStore>) -> Self {
         Self {
             store: RwLock::new(store),
             cache: ShardedCache::new(CACHE_SHARDS),
             responses: ShardedCache::new(CACHE_SHARDS),
+            writer: parking_lot::Mutex::new(durable),
+            draining: AtomicBool::new(false),
             json_renders: AtomicU64::new(0),
             connections: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether writes are WAL-backed.
+    pub fn is_durable(&self) -> bool {
+        self.writer.lock().is_some()
+    }
+
+    /// Flips the server into drain mode (used by graceful shutdown):
+    /// every response from here on advertises `Connection: close`, and
+    /// workers drop queued connections instead of serving them.
+    pub fn begin_drain(&self) {
+        self.draining.store(true, Ordering::Release);
+    }
+
+    /// Whether the server is draining.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::Acquire)
+    }
+
+    /// Fsyncs any unsynced WAL frames (the shutdown path; a no-op for
+    /// volatile stores).
+    pub fn sync_wal(&self) -> Result<(), String> {
+        match self.writer.lock().as_mut() {
+            Some(d) => d.sync().map_err(|e| e.to_string()),
+            None => Ok(()),
         }
     }
 
@@ -180,6 +261,102 @@ impl ServerState {
         self.cache.invalidate();
         self.responses.invalidate();
         out
+    }
+
+    /// Bumps the named scopes in both cache tiers — the fine-grained
+    /// counterpart of the global bump in
+    /// [`with_store_mut`](Self::with_store_mut).
+    fn invalidate_write_scopes(&self, scopes: &[&str]) {
+        self.cache.invalidate_scopes(scopes.iter().copied());
+        self.responses.invalidate_scopes(scopes.iter().copied());
+    }
+
+    /// The durable import flow: validate + build the import-time
+    /// artifacts under a *read* lock, make the op durable, then take
+    /// the write lock only for the cheap insert. Failing validation or
+    /// a failing WAL append leaves both memory and disk untouched.
+    fn import_experiment(
+        &self,
+        dataset: &str,
+        name: &str,
+        csv: &str,
+    ) -> Result<api::Response, (u16, String)> {
+        let mut writer = self.writer.lock();
+        let stored = {
+            let store = self.store.read();
+            let experiment =
+                api::parse_experiment_csv(&store, dataset, name, csv).map_err(store_error)?;
+            let n = store.dataset(dataset).map_err(store_error)?.len();
+            let clustering = Clustering::from_experiment(n, &experiment);
+            let pair_set = experiment.roaring_pair_set();
+            StoredExperiment {
+                dataset: dataset.to_string(),
+                experiment,
+                clustering,
+                pair_set,
+                kpis: None,
+            }
+        };
+        let pairs = stored.experiment.len();
+        if let Some(d) = writer.as_mut() {
+            let op = WalOp::add_experiment(dataset, &stored.experiment, None);
+            d.append(&op).map_err(durable_error)?;
+        }
+        self.store
+            .write()
+            .insert_stored(stored)
+            .map_err(store_error)?;
+        self.invalidate_write_scopes(&[&format!("exp:{name}"), "sys:experiments"]);
+        Ok(api::Response::Imported {
+            experiment: name.to_string(),
+            pairs,
+        })
+    }
+
+    /// The durable delete flow (same sequencing as import).
+    fn delete_experiment(&self, name: &str) -> Result<api::Response, (u16, String)> {
+        let mut writer = self.writer.lock();
+        self.store
+            .read()
+            .experiment(name)
+            .map(|_| ())
+            .map_err(store_error)?;
+        if let Some(d) = writer.as_mut() {
+            let op = WalOp::DeleteExperiment {
+                name: name.to_string(),
+            };
+            d.append(&op).map_err(durable_error)?;
+        }
+        self.store
+            .write()
+            .remove_experiment(name)
+            .map_err(store_error)?;
+        self.invalidate_write_scopes(&[&format!("exp:{name}"), "sys:experiments"]);
+        Ok(api::Response::Deleted {
+            experiment: name.to_string(),
+        })
+    }
+
+    /// Compacts WAL + snapshot under live traffic: the new `FROSTB`
+    /// is written and atomically renamed while readers keep serving
+    /// (only the writer lock and a read lock are held).
+    fn save_snapshot(&self) -> Result<api::Response, (u16, String)> {
+        let mut writer = self.writer.lock();
+        let Some(d) = writer.as_mut() else {
+            return Err((
+                400,
+                error_body(
+                    "store has no snapshot backing (started from CSV); \
+                     start frostd on a FROSTB file to enable saves",
+                ),
+            ));
+        };
+        let store = self.store.read();
+        d.compact(&store).map_err(durable_error)?;
+        Ok(api::Response::Saved {
+            datasets: store.dataset_names().len(),
+            experiments: store.experiment_names(None).len(),
+        })
     }
 
     /// The first-tier result cache (rendered JSON bodies).
@@ -237,6 +414,29 @@ impl ServerHandle {
     /// thread (the drop glue does the work, so forgetting to call
     /// this leaks nothing).
     pub fn shutdown(self) {}
+
+    /// The graceful variant: stops accepting and lets in-flight
+    /// responses finish. Active sockets are shut down for *reading*
+    /// only — a worker mid-`write_all` completes its response, then
+    /// sees EOF and returns to the pool. Call
+    /// [`ServerState::begin_drain`] first so those final responses
+    /// advertise `Connection: close`.
+    pub fn graceful_shutdown(mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            self.state.begin_drain();
+            self.shutdown.store(true, Ordering::Release);
+            for slot in self.active.iter() {
+                if let Ok(guard) = slot.lock() {
+                    if let Some(stream) = guard.as_ref() {
+                        let _ = stream.shutdown(std::net::Shutdown::Read);
+                    }
+                }
+            }
+            // Wake the blocking accept with a throwaway connection.
+            let _ = TcpStream::connect(self.addr);
+            let _ = t.join();
+        }
+    }
 }
 
 impl Drop for ServerHandle {
@@ -298,10 +498,21 @@ pub fn serve_with(
             let next = rx.lock().expect("worker queue lock").recv();
             match next {
                 Ok(stream) => {
+                    if state.is_draining() {
+                        // Graceful shutdown: connections still queued
+                        // were never served — drop, don't start.
+                        continue;
+                    }
                     if let Ok(mut slot) = active[id].lock() {
                         *slot = stream.try_clone().ok();
                     }
-                    handle_connection(stream, &state, &options);
+                    // Panic isolation, outer layer: whatever escapes
+                    // the per-request guard inside handle_connection
+                    // (parser, socket plumbing) must not shrink the
+                    // pool for the rest of the process lifetime.
+                    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        handle_connection(stream, &state, &options)
+                    }));
                     if let Ok(mut slot) = active[id].lock() {
                         *slot = None;
                     }
@@ -339,38 +550,106 @@ pub fn serve_with(
     })
 }
 
+/// Set by the SIGINT/SIGTERM handler; polled by [`run_daemon`].
+static SHUTDOWN_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn note_shutdown_signal(_signum: i32) {
+    // Only an atomic store — everything else is async-signal-unsafe.
+    SHUTDOWN_REQUESTED.store(true, Ordering::SeqCst);
+}
+
+/// Installs SIGINT/SIGTERM handlers via the raw `signal(2)` C
+/// function (declared directly — the workspace vendors no libc crate).
+#[cfg(unix)]
+fn install_shutdown_handlers() {
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    let handler = note_shutdown_signal as extern "C" fn(i32) as *const () as usize;
+    unsafe {
+        signal(SIGINT, handler);
+        signal(SIGTERM, handler);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_shutdown_handlers() {}
+
 /// The shared `frostd` / `frost serve` bootstrap: loads a store from
-/// either on-disk representation ([`persist::load_auto`]), binds
-/// `addr:port`, prints the scrapeable `frostd listening on http://…`
-/// line (the CI golden gate greps it) and serves until killed.
+/// either on-disk representation, binds `addr:port`, prints the
+/// scrapeable `frostd listening on http://…` line (the CI golden gate
+/// greps it) and serves until SIGTERM/SIGINT, then drains gracefully:
+/// stop accepting, let in-flight requests finish, fsync the WAL, exit.
 ///
-/// [`persist::load_auto`]: frost_storage::persist::load_auto
+/// A `FROSTB` snapshot path runs **durable** — the WAL at
+/// `<path>.wal` is replayed over the snapshot on boot (torn tails
+/// truncated with a warning, mid-log corruption refused) and every
+/// write is logged with the given fsync policy before it applies. A
+/// CSV directory runs volatile: writes are accepted in memory only.
 pub fn run_daemon(
     store_path: &str,
     addr: &str,
     port: u16,
     options: ServeOptions,
-) -> Result<std::convert::Infallible, String> {
-    let store = frost_storage::persist::load_auto(store_path)
-        .map_err(|e| format!("cannot load store {store_path:?}: {e}"))?;
-    let datasets = store.dataset_names().len();
-    let experiments = store.experiment_names(None).len();
+    fsync: frost_storage::FsyncPolicy,
+) -> Result<(), String> {
+    let state = if frost_storage::snapshot::is_snapshot(store_path) {
+        let (store, durable, report) = DurableStore::open(store_path, fsync)
+            .map_err(|e| format!("cannot recover store {store_path:?}: {e}"))?;
+        if let Some(bytes) = report.truncated_tail {
+            eprintln!(
+                "frostd: WARNING: truncated {bytes} byte(s) of torn WAL tail \
+                 (crash during an unsynced append)"
+            );
+        }
+        if report.discarded_stale_wal {
+            eprintln!(
+                "frostd: WARNING: discarded a stale WAL from an interrupted \
+                 compaction (its operations are in the snapshot)"
+            );
+        }
+        if report.replayed > 0 {
+            println!("frostd: replayed {} WAL operation(s)", report.replayed);
+        }
+        Arc::new(ServerState::with_durable(store, durable))
+    } else {
+        let store = frost_storage::persist::load_auto(store_path)
+            .map_err(|e| format!("cannot load store {store_path:?}: {e}"))?;
+        Arc::new(ServerState::new(store))
+    };
+    let (datasets, experiments) =
+        state.with_store(|s| (s.dataset_names().len(), s.experiment_names(None).len()));
     let workers = options.workers;
-    let state = Arc::new(ServerState::new(store));
-    let handle = serve_with(&format!("{addr}:{port}"), state, options)
+    let durability = if state.is_durable() {
+        "durable (WAL-backed)"
+    } else {
+        "volatile (in-memory writes)"
+    };
+    let handle = serve_with(&format!("{addr}:{port}"), Arc::clone(&state), options)
         .map_err(|e| format!("cannot bind {addr}:{port}: {e}"))?;
     println!("frostd listening on http://{}", handle.addr());
     println!("serving {datasets} dataset(s), {experiments} experiment(s) with {workers} worker(s)");
-    loop {
-        std::thread::park();
+    println!("write path: {durability}");
+    install_shutdown_handlers();
+    while !SHUTDOWN_REQUESTED.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(100));
     }
+    println!("frostd: shutdown signal received, draining");
+    handle.graceful_shutdown();
+    state
+        .sync_wal()
+        .map_err(|e| format!("WAL fsync on shutdown failed: {e}"))?;
+    println!("frostd: drained, WAL synced, exiting");
+    Ok(())
 }
 
 // ---------------------------------------------------------------------
 // Request parsing
 // ---------------------------------------------------------------------
 
-/// A parsed request head.
+/// A parsed request: the head plus (for `POST`/`DELETE`) its body.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParsedRequest {
     /// The request method, verbatim (`GET`, `POST`, …).
@@ -381,6 +660,11 @@ pub struct ParsedRequest {
     /// HTTP/1.1 unless `Connection: close`; HTTP/1.0 never (we do not
     /// implement 1.0-style opt-in keep-alive).
     pub keep_alive: bool,
+    /// Declared `Content-Length` (0 when absent).
+    pub content_length: usize,
+    /// The request body (`content_length` bytes, filled in by
+    /// [`RequestBuffer::next_request`] once fully buffered).
+    pub body: Vec<u8>,
 }
 
 /// One step of incremental parsing.
@@ -411,6 +695,10 @@ pub struct RequestBuffer {
     consumed: usize,
     /// Terminator scan position (always ≥ `consumed`).
     scan: usize,
+    /// Head terminator already located for a request whose body has
+    /// not fully arrived yet, so re-parsing after each body read is
+    /// `O(1)`, not a rescan of the head.
+    head_end: Option<usize>,
 }
 
 impl RequestBuffer {
@@ -427,6 +715,9 @@ impl RequestBuffer {
         if self.consumed > 0 && (self.consumed == self.buf.len() || self.consumed >= 4096) {
             self.buf.drain(..self.consumed);
             self.scan -= self.consumed;
+            if let Some(e) = &mut self.head_end {
+                *e -= self.consumed;
+            }
             self.consumed = 0;
         }
         self.buf.extend_from_slice(bytes);
@@ -437,19 +728,44 @@ impl RequestBuffer {
         self.buf.len() - self.consumed
     }
 
-    /// Tries to consume the next complete request head.
+    /// Tries to consume the next complete request (head, plus its body
+    /// when a `Content-Length` is declared).
     pub fn next_request(&mut self) -> Parsed {
-        let Some(end) = self.find_head_end() else {
-            if self.pending() > MAX_REQUEST_BYTES {
-                return Parsed::Error("request head too large");
-            }
-            return Parsed::Incomplete;
+        let end = match self.head_end {
+            Some(e) => e,
+            None => match self.find_head_end() {
+                Some(e) => e,
+                None => {
+                    if self.pending() > MAX_REQUEST_BYTES {
+                        return Parsed::Error("request head too large");
+                    }
+                    return Parsed::Incomplete;
+                }
+            },
         };
         if end - self.consumed > MAX_REQUEST_BYTES {
             return Parsed::Error("request head too large");
         }
         let head = &self.buf[self.consumed..end];
         let parsed = parse_head(head);
+        if let Parsed::Request(mut request) = parsed {
+            if request.content_length > MAX_BODY_BYTES {
+                return Parsed::Error("request body too large");
+            }
+            let body_end = end + request.content_length;
+            if self.buf.len() < body_end {
+                // Remember the located head so the next call (after
+                // more body bytes arrive) skips the terminator scan.
+                self.head_end = Some(end);
+                return Parsed::Incomplete;
+            }
+            request.body = self.buf[end..body_end].to_vec();
+            self.head_end = None;
+            self.consumed = body_end;
+            self.scan = body_end;
+            return Parsed::Request(request);
+        }
+        self.head_end = None;
         self.consumed = end;
         self.scan = end;
         parsed
@@ -499,6 +815,7 @@ fn parse_head(head: &[u8]) -> Parsed {
     }
     let http10 = version == "HTTP/1.0";
     let mut keep_alive = !http10;
+    let mut content_length = 0usize;
     for line in lines {
         let line = line.trim_end_matches('\r');
         if line.is_empty() {
@@ -525,19 +842,27 @@ fn parse_head(head: &[u8]) -> Parsed {
                     }
                 }
             }
-            "content-length" if value.parse::<u64>().map_or(true, |n| n > 0) => {
-                return Parsed::Error("request bodies are not supported");
-            }
+            "content-length" => match value.parse::<usize>() {
+                Ok(n) => content_length = n,
+                Err(_) => return Parsed::Error("bad Content-Length"),
+            },
             "transfer-encoding" => {
-                return Parsed::Error("request bodies are not supported");
+                return Parsed::Error("chunked request bodies are not supported");
             }
             _ => {}
         }
+    }
+    // Bodies belong to the write methods; a GET carrying one is
+    // either a confused client or request smuggling — refuse it.
+    if method == "GET" && content_length > 0 {
+        return Parsed::Error("request bodies are not supported on GET");
     }
     Parsed::Request(ParsedRequest {
         method: method.to_string(),
         target: target.to_string(),
         keep_alive,
+        content_length,
+        body: Vec::new(),
     })
 }
 
@@ -573,15 +898,41 @@ fn handle_connection(mut stream: TcpStream, state: &ServerState, options: &Serve
                     let _ = stream.set_read_timeout(Some(options.idle_timeout));
                 }
                 served += 1;
-                let close = !request.keep_alive || served >= options.max_requests;
-                if request.method != "GET" {
-                    let payload = encode_response(405, error_body("only GET is supported").into());
+                let close =
+                    !request.keep_alive || served >= options.max_requests || state.is_draining();
+                if !matches!(request.method.as_str(), "GET" | "POST" | "DELETE") {
+                    let payload = encode_response(
+                        405,
+                        error_body("only GET, POST and DELETE are supported").into(),
+                    );
                     let _ = write_response(&mut stream, &payload, true);
                     return;
                 }
-                let payload = route(&request.target, state);
-                if write_response(&mut stream, &payload, close).is_err() || close {
-                    return;
+                // Panic isolation, inner layer: a panicking handler
+                // answers 500 and the connection closes, but the
+                // worker survives to serve the next connection. The
+                // store's own locks are parking_lot (no poisoning), so
+                // unwinding cannot wedge them.
+                let routed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    if options.debug_panic && request.target == "/debug/panic" {
+                        panic!("debug panic requested");
+                    }
+                    route(&request, state)
+                }));
+                match routed {
+                    Ok(payload) => {
+                        if write_response(&mut stream, &payload, close).is_err() || close {
+                            return;
+                        }
+                    }
+                    Err(_) => {
+                        let payload = encode_response(
+                            500,
+                            error_body("internal error: request handler panicked").into(),
+                        );
+                        let _ = write_response(&mut stream, &payload, true);
+                        return;
+                    }
                 }
             }
             Parsed::Error(message) => {
@@ -734,31 +1085,48 @@ impl Params {
     }
 }
 
-/// Routes a request target to its serialized response.
+/// Routes one parsed request to its serialized response.
 ///
-/// Cacheable endpoints walk the tiers top-down: serialized response
-/// bytes (tier 2, zero-allocation hit), then rendered body (tier 1,
-/// re-frame only), then compute + render + fill both tiers.
-fn route(target: &str, state: &ServerState) -> CachedResponse {
-    let (path, params) = parse_target(target);
+/// Cacheable GET endpoints walk the tiers top-down: serialized
+/// response bytes (tier 2, zero-allocation hit), then rendered body
+/// (tier 1, re-frame only), then compute + render + fill both tiers —
+/// every entry stamped with the invalidation scopes it read. Write
+/// methods dispatch to the durable write flow and bump only the
+/// scopes they touched.
+fn route(request: &ParsedRequest, state: &ServerState) -> CachedResponse {
+    let (path, params) = parse_target(&request.target);
     let params = Params(params);
+    if request.method != "GET" {
+        let outcome = route_write(&request.method, &path, &params, &request.body, state);
+        return match outcome {
+            Ok(response) => encode_response(200, state.rendered(&response).into()),
+            Err((status, body)) => encode_response(status, body.into()),
+        };
+    }
     match build_request(&path, &params) {
-        Ok(Routed::Api { request, cache_key }) => {
+        Ok(Routed::Api {
+            request,
+            cache_key,
+            scopes,
+        }) => {
             if let Some(key) = cache_key {
                 if let Some(hit) = state.responses.get(&key) {
                     return hit;
                 }
-                let observed_bytes = state.responses.begin();
-                let observed_body = state.cache.begin();
+                let scope_refs: Vec<&str> = scopes.iter().map(String::as_str).collect();
+                let observed_bytes = state.responses.begin_scoped(scope_refs.iter().copied());
+                let observed_body = state.cache.begin_scoped(scope_refs.iter().copied());
                 let body: Option<Arc<str>> = state.cache.get(&key);
                 let body = match body {
                     Some(body) => body,
                     None => match state.with_store(|s| api::handle(s, request)) {
                         Ok(response) => {
                             let rendered: Arc<str> = Arc::from(state.rendered(&response).as_str());
-                            state
-                                .cache
-                                .insert(key.clone(), Arc::clone(&rendered), observed_body);
+                            state.cache.insert_scoped(
+                                key.clone(),
+                                Arc::clone(&rendered),
+                                observed_body,
+                            );
                             rendered
                         }
                         Err(e) => {
@@ -768,7 +1136,9 @@ fn route(target: &str, state: &ServerState) -> CachedResponse {
                     },
                 };
                 let payload = encode_response(200, body.as_bytes().to_vec());
-                state.responses.insert(key, payload.clone(), observed_bytes);
+                state
+                    .responses
+                    .insert_scoped(key, payload.clone(), observed_bytes);
                 payload
             } else {
                 match state.with_store(|s| api::handle(s, request)) {
@@ -809,38 +1179,101 @@ fn route(target: &str, state: &ServerState) -> CachedResponse {
     }
 }
 
+/// The write-method dispatcher: `POST /experiments` (CSV import),
+/// `DELETE /experiments/<name>`, `POST /snapshot/save`. Anything else
+/// reached with a write method is a 405.
+fn route_write(
+    method: &str,
+    path: &str,
+    params: &Params,
+    body: &[u8],
+    state: &ServerState,
+) -> Result<api::Response, (u16, String)> {
+    match (method, path) {
+        ("POST", "/experiments") => {
+            let dataset = params.required("dataset")?;
+            let name = params.required("name")?;
+            let csv = std::str::from_utf8(body)
+                .map_err(|_| (400, error_body("request body is not valid UTF-8")))?;
+            if csv.trim().is_empty() {
+                return Err((400, error_body("request body is empty; expected CSV")));
+            }
+            state.import_experiment(dataset, name, csv)
+        }
+        ("POST", "/snapshot/save") => state.save_snapshot(),
+        ("DELETE", p) => {
+            let Some(name) = p.strip_prefix("/experiments/").filter(|n| !n.is_empty()) else {
+                return Err((
+                    405,
+                    error_body("DELETE is only supported on /experiments/<name>"),
+                ));
+            };
+            state.delete_experiment(name)
+        }
+        _ => Err((405, error_body("only GET is supported on this endpoint"))),
+    }
+}
+
+fn durable_error(e: DurableError) -> (u16, String) {
+    (500, error_body(&format!("write failed: {e}")))
+}
+
 enum Routed {
     Api {
         request: Request,
         cache_key: Option<String>,
+        /// Invalidation scopes the response depends on (see the
+        /// [module docs](self) table); stamped into both cache tiers.
+        scopes: Vec<String>,
     },
     Stats,
 }
 
 fn build_request(path: &str, params: &Params) -> Result<Routed, (u16, String)> {
-    let api = |request, cache_key| Ok(Routed::Api { request, cache_key });
+    let api = |request, cache_key, scopes| {
+        Ok(Routed::Api {
+            request,
+            cache_key,
+            scopes,
+        })
+    };
+    let exp_scope = |e: &str| vec![format!("exp:{e}")];
     match path {
-        "/datasets" => api(Request::ListDatasets, None),
-        "/experiments" => api(
-            Request::ListExperiments {
-                dataset: params.get("dataset").map(str::to_string),
-            },
-            None,
+        "/datasets" => api(
+            Request::ListDatasets,
+            Some(cache_key("datasets", &[])),
+            vec!["sys:datasets".to_string()],
         ),
+        "/experiments" => {
+            let dataset = params.get("dataset").map(str::to_string);
+            let key = cache_key("experiments", &[dataset.as_deref().unwrap_or("")]);
+            api(
+                Request::ListExperiments { dataset },
+                Some(key),
+                vec!["sys:experiments".to_string()],
+            )
+        }
         "/profile" => {
             let dataset = params.required("dataset")?.to_string();
             let key = cache_key("profile", &[&dataset]);
-            api(Request::ProfileDataset { dataset }, Some(key))
+            let scopes = vec![format!("ds:{dataset}")];
+            api(Request::ProfileDataset { dataset }, Some(key), scopes)
         }
         "/matrix" => {
             let experiment = params.required("experiment")?.to_string();
             let key = cache_key("matrix", &[&experiment]);
-            api(Request::GetConfusionMatrix { experiment }, Some(key))
+            let scopes = exp_scope(&experiment);
+            api(
+                Request::GetConfusionMatrix { experiment },
+                Some(key),
+                scopes,
+            )
         }
         "/metrics" => {
             let experiment = params.required("experiment")?.to_string();
             let key = cache_key("metrics", &[&experiment]);
-            api(Request::GetMetrics { experiment }, Some(key))
+            let scopes = exp_scope(&experiment);
+            api(Request::GetMetrics { experiment }, Some(key), scopes)
         }
         "/diagram" => {
             let experiment = params.required("experiment")?.to_string();
@@ -861,6 +1294,7 @@ fn build_request(path: &str, params: &Params) -> Result<Routed, (u16, String)> {
                     &samples.to_string(),
                 ],
             );
+            let scopes = exp_scope(&experiment);
             api(
                 Request::GetDiagram {
                     experiment,
@@ -870,6 +1304,7 @@ fn build_request(path: &str, params: &Params) -> Result<Routed, (u16, String)> {
                     samples,
                 },
                 Some(key),
+                scopes,
             )
         }
         "/compare" | "/venn" => {
@@ -895,34 +1330,44 @@ fn build_request(path: &str, params: &Params) -> Result<Routed, (u16, String)> {
             let gold_part = include_gold.to_string();
             key_parts.push(&gold_part);
             let key = cache_key("venn", &key_parts);
+            let scopes = experiments.iter().map(|e| format!("exp:{e}")).collect();
             api(
                 Request::CompareExperiments {
                     experiments,
                     include_gold,
                 },
                 Some(key),
+                scopes,
             )
         }
         "/cluster-metrics" => {
             let experiment = params.required("experiment")?.to_string();
             let key = cache_key("cluster-metrics", &[&experiment]);
-            api(Request::GetClusterMetrics { experiment }, Some(key))
+            let scopes = exp_scope(&experiment);
+            api(Request::GetClusterMetrics { experiment }, Some(key), scopes)
         }
         "/ratios" => {
             let experiment = params.required("experiment")?.to_string();
             let kind = parse_param(params, "kind", "null", json::parse_ratio_kind)?;
             let key = cache_key("ratios", &[&experiment, &format!("{kind:?}")]);
-            api(Request::GetAttributeRatios { experiment, kind }, Some(key))
+            let scopes = exp_scope(&experiment);
+            api(
+                Request::GetAttributeRatios { experiment, kind },
+                Some(key),
+                scopes,
+            )
         }
         "/errors" => {
             let experiment = params.required("experiment")?.to_string();
             let key = cache_key("errors", &[&experiment]);
-            api(Request::GetErrorProfile { experiment }, Some(key))
+            let scopes = exp_scope(&experiment);
+            api(Request::GetErrorProfile { experiment }, Some(key), scopes)
         }
         "/quality" => {
             let experiment = params.required("experiment")?.to_string();
             let key = cache_key("quality", &[&experiment]);
-            api(Request::GetQualitySignals { experiment }, Some(key))
+            let scopes = exp_scope(&experiment);
+            api(Request::GetQualitySignals { experiment }, Some(key), scopes)
         }
         "/stats" => Ok(Routed::Stats),
         other => Err((404, error_body(&format!("no such endpoint {other:?}")))),
@@ -1003,37 +1448,74 @@ mod tests {
         out
     }
 
+    fn get_request(target: &str, keep_alive: bool) -> ParsedRequest {
+        ParsedRequest {
+            method: "GET".into(),
+            target: target.into(),
+            keep_alive,
+            content_length: 0,
+            body: Vec::new(),
+        }
+    }
+
     #[test]
     fn parses_single_and_pipelined_heads() {
         let got = parse_all(b"GET /a HTTP/1.1\r\nHost: x\r\n\r\nGET /b HTTP/1.1\r\n\r\n");
         assert_eq!(
             got,
             vec![
-                Parsed::Request(ParsedRequest {
-                    method: "GET".into(),
-                    target: "/a".into(),
-                    keep_alive: true,
-                }),
-                Parsed::Request(ParsedRequest {
-                    method: "GET".into(),
-                    target: "/b".into(),
-                    keep_alive: true,
-                }),
+                Parsed::Request(get_request("/a", true)),
+                Parsed::Request(get_request("/b", true)),
             ]
         );
     }
 
     #[test]
+    fn post_bodies_are_consumed_and_split_safely() {
+        let mut buffer = RequestBuffer::new();
+        buffer.extend(
+            b"POST /experiments?dataset=d&name=n HTTP/1.1\r\nContent-Length: 12\r\n\r\nid1,",
+        );
+        // Head complete, body partial: not a request yet.
+        assert_eq!(buffer.next_request(), Parsed::Incomplete);
+        assert_eq!(
+            buffer.next_request(),
+            Parsed::Incomplete,
+            "stable while waiting"
+        );
+        buffer.extend(b"id2\na,");
+        assert_eq!(buffer.next_request(), Parsed::Incomplete);
+        // Final body bytes plus a pipelined GET behind them.
+        buffer.extend(b"b\nGET /datasets HTTP/1.1\r\n\r\n");
+        let Parsed::Request(post) = buffer.next_request() else {
+            panic!("complete POST must parse")
+        };
+        assert_eq!(post.method, "POST");
+        assert_eq!(post.content_length, 12);
+        assert_eq!(post.body, b"id1,id2\na,b\n".to_vec());
+        let Parsed::Request(get) = buffer.next_request() else {
+            panic!("pipelined GET must parse")
+        };
+        assert_eq!(get.target, "/datasets");
+    }
+
+    #[test]
+    fn oversized_body_is_rejected() {
+        let mut buffer = RequestBuffer::new();
+        buffer.extend(
+            format!(
+                "POST /experiments HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+                MAX_BODY_BYTES + 1
+            )
+            .as_bytes(),
+        );
+        assert!(matches!(buffer.next_request(), Parsed::Error(_)));
+    }
+
+    #[test]
     fn connection_close_and_http10_disable_keep_alive() {
         let close = parse_all(b"GET / HTTP/1.1\r\nConnection: Close\r\n\r\n");
-        assert_eq!(
-            close,
-            vec![Parsed::Request(ParsedRequest {
-                method: "GET".into(),
-                target: "/".into(),
-                keep_alive: false,
-            })]
-        );
+        assert_eq!(close, vec![Parsed::Request(get_request("/", false))]);
         let old = parse_all(b"GET / HTTP/1.0\r\n\r\n");
         assert!(matches!(
             &old[0],

@@ -160,6 +160,21 @@ pub fn response_to_json(response: &Response) -> Value {
                 ),
             ])
         }
+        Response::Imported { experiment, pairs } => Value::object([
+            ("imported".to_string(), Value::from(experiment.as_str())),
+            ("pairs".to_string(), Value::from(*pairs)),
+        ]),
+        Response::Deleted { experiment } => {
+            Value::object([("deleted".to_string(), Value::from(experiment.as_str()))])
+        }
+        Response::Saved {
+            datasets,
+            experiments,
+        } => Value::object([
+            ("datasets".to_string(), Value::from(*datasets)),
+            ("experiments".to_string(), Value::from(*experiments)),
+            ("saved".to_string(), Value::Bool(true)),
+        ]),
     }
 }
 

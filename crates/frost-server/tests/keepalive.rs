@@ -301,12 +301,12 @@ fn non_get_methods_are_rejected_and_closed() {
         .set_read_timeout(Some(Duration::from_secs(10)))
         .unwrap();
     stream
-        .write_all(b"POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+        .write_all(b"PUT /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
         .unwrap();
     let mut spill = Vec::new();
     let (status, head, body) = read_raw_response(&mut stream, &mut spill);
     assert_eq!(status, 405);
-    assert!(body.contains("only GET"));
+    assert!(body.contains("only GET, POST and DELETE"));
     assert!(head.to_ascii_lowercase().contains("connection: close"));
     let mut rest = Vec::new();
     stream.read_to_end(&mut rest).unwrap();

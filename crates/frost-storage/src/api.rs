@@ -90,6 +90,28 @@ pub enum Request {
         /// Experiment name.
         experiment: String,
     },
+    /// Imports an experiment from CSV text (`id1,id2[,similarity]`
+    /// rows with a header, native record ids). Mutating — only
+    /// [`handle_mut`] accepts it.
+    ImportExperiment {
+        /// Dataset the experiment ran on.
+        dataset: String,
+        /// Name for the new experiment.
+        name: String,
+        /// The CSV body.
+        csv: String,
+    },
+    /// Deletes an experiment. Mutating — only [`handle_mut`] accepts
+    /// it.
+    DeleteExperiment {
+        /// Experiment name.
+        name: String,
+    },
+    /// Requests a snapshot of the current store. Mutating — only
+    /// [`handle_mut`] accepts it. At the library level this only
+    /// reports what would be persisted; the server owns the snapshot
+    /// file and performs the actual WAL compaction.
+    SaveSnapshot,
 }
 
 /// Which attribute-level ratio [`Request::GetAttributeRatios`] computes.
@@ -120,11 +142,85 @@ pub enum Response {
     AttributeRatios(Vec<frost_core::explore::attribute_stats::AttributeRatio>),
     /// A structural error profile.
     ErrorProfile(frost_core::explore::error_categories::ErrorProfile),
+    /// An experiment was imported: its name and accepted pair count.
+    Imported {
+        /// The new experiment's name.
+        experiment: String,
+        /// Deduplicated pairs accepted.
+        pairs: usize,
+    },
+    /// An experiment was deleted.
+    Deleted {
+        /// The removed experiment's name.
+        experiment: String,
+    },
+    /// A snapshot was saved (or would be): object counts.
+    Saved {
+        /// Datasets in the snapshot.
+        datasets: usize,
+        /// Experiments in the snapshot.
+        experiments: usize,
+    },
 }
 
-/// Handles one request against the store.
+/// Validates and parses an import request against the current store:
+/// the dataset must exist, the name must be free, and the CSV must
+/// resolve (native record ids, optional similarity column). Read-only
+/// and potentially expensive — the server runs it under a read lock
+/// *before* touching the WAL, so a bad request never reaches the log.
+pub fn parse_experiment_csv(
+    store: &BenchmarkStore,
+    dataset: &str,
+    name: &str,
+    csv: &str,
+) -> Result<frost_core::dataset::Experiment, StoreError> {
+    if name.is_empty() {
+        return Err(StoreError::InvalidInput("experiment name is empty".into()));
+    }
+    let ds = store.dataset(dataset)?;
+    if store.experiment(name).is_ok() {
+        return Err(StoreError::AlreadyExists(name.into()));
+    }
+    crate::import::import_experiment(name, ds, csv, frost_core::dataset::CsvOptions::comma())
+        .map_err(|e| StoreError::InvalidInput(e.to_string()))
+}
+
+/// Handles one mutating (or read-only) request against the store.
+/// The write counterpart of [`handle`]; the read-only variants
+/// delegate. Callers that need durability (the server) sequence the
+/// WAL append themselves and use this only for replay-free embedding.
+pub fn handle_mut(store: &mut BenchmarkStore, request: Request) -> Result<Response, StoreError> {
+    match request {
+        Request::ImportExperiment { dataset, name, csv } => {
+            let experiment = parse_experiment_csv(store, &dataset, &name, &csv)?;
+            let pairs = experiment.len();
+            store.add_experiment(&dataset, experiment, None)?;
+            Ok(Response::Imported {
+                experiment: name,
+                pairs,
+            })
+        }
+        Request::DeleteExperiment { name } => {
+            store.remove_experiment(&name)?;
+            Ok(Response::Deleted { experiment: name })
+        }
+        Request::SaveSnapshot => Ok(Response::Saved {
+            datasets: store.dataset_names().len(),
+            experiments: store.experiment_names(None).len(),
+        }),
+        read_only => handle(store, read_only),
+    }
+}
+
+/// Handles one read-only request against the store. Mutating requests
+/// are refused — use [`handle_mut`].
 pub fn handle(store: &BenchmarkStore, request: Request) -> Result<Response, StoreError> {
     match request {
+        Request::ImportExperiment { .. }
+        | Request::DeleteExperiment { .. }
+        | Request::SaveSnapshot => Err(StoreError::InvalidInput(
+            "mutating request sent to the read-only handler".into(),
+        )),
         Request::ListDatasets => Ok(Response::Names(store.dataset_names())),
         Request::ListExperiments { dataset } => {
             Ok(Response::Names(store.experiment_names(dataset.as_deref())))
@@ -523,5 +619,114 @@ mod tests {
             }
         )
         .is_err());
+    }
+
+    #[test]
+    fn import_delete_and_save_round_trip() {
+        let mut s = store();
+        let resp = handle_mut(
+            &mut s,
+            Request::ImportExperiment {
+                dataset: "d".into(),
+                name: "e3".into(),
+                csv: "id1,id2,similarity\na,b,0.9\nc,d,0.7\nb,a,0.9\n".into(),
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            resp,
+            Response::Imported {
+                experiment: "e3".into(),
+                pairs: 2, // the reversed duplicate collapses
+            }
+        );
+        assert_eq!(
+            handle(&s, Request::ListExperiments { dataset: None }).unwrap(),
+            Response::Names(vec!["e1".into(), "e2".into(), "e3".into()])
+        );
+        // The imported experiment is immediately evaluable.
+        assert!(handle(
+            &s,
+            Request::GetMetrics {
+                experiment: "e3".into()
+            }
+        )
+        .is_ok());
+        assert_eq!(
+            handle_mut(&mut s, Request::SaveSnapshot).unwrap(),
+            Response::Saved {
+                datasets: 1,
+                experiments: 3
+            }
+        );
+        assert_eq!(
+            handle_mut(&mut s, Request::DeleteExperiment { name: "e3".into() }).unwrap(),
+            Response::Deleted {
+                experiment: "e3".into()
+            }
+        );
+        assert!(handle(
+            &s,
+            Request::GetMetrics {
+                experiment: "e3".into()
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn bad_imports_are_rejected_before_mutation() {
+        let mut s = store();
+        // Duplicate name.
+        let err = handle_mut(
+            &mut s,
+            Request::ImportExperiment {
+                dataset: "d".into(),
+                name: "e1".into(),
+                csv: "id1,id2\na,b\n".into(),
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, StoreError::AlreadyExists("e1".into()));
+        // Unknown record id.
+        let err = handle_mut(
+            &mut s,
+            Request::ImportExperiment {
+                dataset: "d".into(),
+                name: "e3".into(),
+                csv: "id1,id2\na,zz\n".into(),
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, StoreError::InvalidInput(_)), "{err:?}");
+        // Unknown dataset.
+        let err = handle_mut(
+            &mut s,
+            Request::ImportExperiment {
+                dataset: "nope".into(),
+                name: "e3".into(),
+                csv: "id1,id2\na,b\n".into(),
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, StoreError::UnknownDataset("nope".into()));
+        // Nothing landed.
+        assert_eq!(
+            handle(&s, Request::ListExperiments { dataset: None }).unwrap(),
+            Response::Names(vec!["e1".into(), "e2".into()])
+        );
+    }
+
+    #[test]
+    fn read_only_handler_refuses_mutations() {
+        let s = store();
+        assert!(matches!(
+            handle(&s, Request::SaveSnapshot),
+            Err(StoreError::InvalidInput(_))
+        ));
+        assert!(matches!(
+            handle(&s, Request::DeleteExperiment { name: "e1".into() }),
+            Err(StoreError::InvalidInput(_))
+        ));
     }
 }

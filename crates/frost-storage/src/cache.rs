@@ -23,6 +23,16 @@
 //!   the generation it observed **before** computing
 //!   ([`ShardedCache::begin`]) and [`ShardedCache::insert`] refuses
 //!   the entry when that stamp is no longer current.
+//! * **Scoped invalidation** — with a live write path, bumping the
+//!   global generation on every import would evict *everything* a
+//!   busy server has cached, even entries that never read the
+//!   imported experiment. Entries inserted via
+//!   [`ShardedCache::begin_scoped`] / [`ShardedCache::insert_scoped`]
+//!   are additionally stamped with the named *scopes* they read (an
+//!   experiment, a dataset, the experiment listing). A mutation calls
+//!   [`ShardedCache::invalidate_scopes`] with only the scopes it
+//!   touched; entries stamped with other scopes stay live. The global
+//!   generation remains the big hammer for store-replacement events.
 
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -36,11 +46,25 @@ const MAX_SHARD_ENTRIES: usize = 512;
 
 struct Entry<V> {
     generation: u64,
+    /// The scope generations observed at compute time; the entry is
+    /// stale as soon as any listed scope has been bumped past its
+    /// recorded value. Empty for scope-blind entries.
+    scopes: Box<[(String, u64)]>,
     value: V,
 }
 
 /// One lock domain: a mutex-guarded map of generation-stamped entries.
 type Shard<V> = Mutex<HashMap<String, Entry<V>>>;
+
+/// The stamp for a scoped compute: the global generation plus every
+/// scope generation observed **before** the compute started. Produced
+/// by [`ShardedCache::begin_scoped`], consumed by
+/// [`ShardedCache::insert_scoped`].
+#[derive(Debug, Clone)]
+pub struct ScopedStamp {
+    generation: u64,
+    scopes: Box<[(String, u64)]>,
+}
 
 /// The cache, generic over the cached value (cheaply cloneable —
 /// tiers store `Arc`s). See the [module docs](self) for the
@@ -50,6 +74,9 @@ pub struct ShardedCache<V: Clone = Arc<str>> {
     /// Current store generation; entries stamped with an older value
     /// are stale.
     generation: AtomicU64,
+    /// Per-scope generations (absent scope = 0). Lock order: a shard
+    /// lock may be held when taking this lock, never the reverse.
+    scope_gens: Mutex<HashMap<String, u64>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -62,6 +89,7 @@ impl<V: Clone> ShardedCache<V> {
         Self {
             shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
             generation: AtomicU64::new(0),
+            scope_gens: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -84,6 +112,45 @@ impl<V: Clone> ShardedCache<V> {
         self.generation()
     }
 
+    /// Observes the global generation **and** the named scope
+    /// generations before a scoped compute; pass the stamp to
+    /// [`insert_scoped`](Self::insert_scoped) afterwards.
+    pub fn begin_scoped<'a>(&self, scopes: impl IntoIterator<Item = &'a str>) -> ScopedStamp {
+        let generation = self.generation();
+        let gens = self.scope_gens.lock();
+        ScopedStamp {
+            generation,
+            scopes: scopes
+                .into_iter()
+                .map(|s| (s.to_string(), gens.get(s).copied().unwrap_or(0)))
+                .collect(),
+        }
+    }
+
+    /// Bumps the named scopes, logically evicting every entry stamped
+    /// with any of them. Entries stamped only with other scopes stay
+    /// live — this is the fine-grained counterpart of
+    /// [`invalidate`](Self::invalidate). Eviction is lazy (on lookup):
+    /// scoped writes are frequent and must not pay a full sweep.
+    pub fn invalidate_scopes<'a>(&self, scopes: impl IntoIterator<Item = &'a str>) {
+        let mut gens = self.scope_gens.lock();
+        for scope in scopes {
+            *gens.entry(scope.to_string()).or_insert(0) += 1;
+        }
+    }
+
+    /// Whether every scope stamp in `scopes` is still current. Assumed
+    /// to be called with the entry's shard lock held.
+    fn scopes_current(&self, scopes: &[(String, u64)]) -> bool {
+        if scopes.is_empty() {
+            return true;
+        }
+        let gens = self.scope_gens.lock();
+        scopes
+            .iter()
+            .all(|(name, observed)| gens.get(name).copied().unwrap_or(0) == *observed)
+    }
+
     /// Bumps the generation, logically evicting every cached entry,
     /// and frees the shard maps eagerly — a long-lived server must
     /// not keep stale bodies alive waiting for their exact keys to be
@@ -96,27 +163,28 @@ impl<V: Clone> ShardedCache<V> {
     }
 
     /// Looks up a key, counting a hit or miss. Entries from an older
-    /// generation are dropped and reported as misses.
+    /// generation — global or any stamped scope — are dropped and
+    /// reported as misses.
     pub fn get(&self, key: &str) -> Option<V> {
         let mut shard = self.shard(key).lock();
         // Read under the shard lock: a racing invalidate + re-insert
         // must not make a freshly stamped entry look stale.
         let current = self.generation();
-        match shard.get(key) {
-            Some(e) if e.generation == current => {
-                let value = e.value.clone();
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(value)
-            }
-            Some(_) => {
-                shard.remove(key);
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                None
-            }
+        let fresh = match shard.get(key) {
+            Some(e) => e.generation == current && self.scopes_current(&e.scopes),
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
-                None
+                return None;
             }
+        };
+        if fresh {
+            let value = shard[key].value.clone();
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            Some(value)
+        } else {
+            shard.remove(key);
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            None
         }
     }
 
@@ -124,22 +192,33 @@ impl<V: Clone> ShardedCache<V> {
     /// [`begin`](Self::begin)). Dropped silently when a mutation
     /// intervened — the result may already be stale.
     pub fn insert(&self, key: impl Into<String>, value: V, observed: u64) {
+        self.insert_entry(key.into(), value, observed, Box::from([]));
+    }
+
+    /// Inserts a value computed under a [`ScopedStamp`] (from
+    /// [`begin_scoped`](Self::begin_scoped)). Dropped silently when
+    /// the global generation *or any observed scope* moved while the
+    /// value was being computed.
+    pub fn insert_scoped(&self, key: impl Into<String>, value: V, stamp: ScopedStamp) {
+        self.insert_entry(key.into(), value, stamp.generation, stamp.scopes);
+    }
+
+    fn insert_entry(&self, key: String, value: V, observed: u64, scopes: Box<[(String, u64)]>) {
         if observed != self.generation() {
             return;
         }
-        let key = key.into();
         let mut shard = self.shard(&key).lock();
         // Re-check under the shard lock: an invalidation racing the
         // first check must not let a stale value land.
-        if observed != self.generation() {
+        if observed != self.generation() || !self.scopes_current(&scopes) {
             return;
         }
         // Bound each shard: distinct request shapes are unbounded
         // (e.g. every `samples` value is its own key), so a full
-        // shard first drops stale entries, then an arbitrary live one
+        // shard first drops stale entries, then an arbitrary victim
         // — memory stays O(shards · MAX_SHARD_ENTRIES).
         if shard.len() >= MAX_SHARD_ENTRIES && !shard.contains_key(&key) {
-            shard.retain(|_, e| e.generation == observed);
+            shard.retain(|_, e| e.generation == observed && self.scopes_current(&e.scopes));
             if shard.len() >= MAX_SHARD_ENTRIES {
                 if let Some(evict) = shard.keys().next().cloned() {
                     shard.remove(&evict);
@@ -150,6 +229,7 @@ impl<V: Clone> ShardedCache<V> {
             key,
             Entry {
                 generation: observed,
+                scopes,
                 value,
             },
         );
@@ -251,6 +331,55 @@ mod tests {
         assert_eq!(&hit[body_start..], b"{}");
         cache.invalidate();
         assert!(cache.get("k").is_none(), "generation bump clears the tier");
+    }
+
+    #[test]
+    fn scoped_invalidation_only_evicts_the_named_scopes() {
+        let cache = ShardedCache::new(4);
+        let s1 = cache.begin_scoped(["exp:run-1"]);
+        cache.insert_scoped("metrics?run-1", arc("m1"), s1);
+        let s2 = cache.begin_scoped(["exp:run-2"]);
+        cache.insert_scoped("metrics?run-2", arc("m2"), s2);
+        let listing = cache.begin_scoped(["sys:experiments"]);
+        cache.insert_scoped("experiments", arc("le"), listing);
+        let s3 = cache.begin_scoped(["sys:datasets"]);
+        cache.insert_scoped("datasets", arc("ds"), s3);
+
+        // Importing/touching run-1 bumps its scope and the experiment
+        // listing; run-2's metrics and the dataset listing survive.
+        cache.invalidate_scopes(["exp:run-1", "sys:experiments"]);
+        assert!(cache.get("metrics?run-1").is_none(), "touched scope evicts");
+        assert!(cache.get("experiments").is_none(), "listing changed");
+        assert_eq!(cache.get("metrics?run-2").as_deref(), Some("m2"));
+        assert_eq!(cache.get("datasets").as_deref(), Some("ds"));
+    }
+
+    #[test]
+    fn scoped_compute_straddling_a_scope_bump_does_not_land() {
+        let cache = ShardedCache::new(2);
+        let stamp = cache.begin_scoped(["exp:a"]);
+        cache.invalidate_scopes(["exp:a"]);
+        cache.insert_scoped("k", arc("stale"), stamp);
+        assert!(cache.get("k").is_none());
+    }
+
+    #[test]
+    fn global_invalidation_still_clears_scoped_entries() {
+        let cache = ShardedCache::new(2);
+        let stamp = cache.begin_scoped(["exp:a"]);
+        cache.insert_scoped("k", arc("v"), stamp);
+        cache.invalidate();
+        assert!(cache.get("k").is_none());
+        assert_eq!(cache.len(), 0, "global invalidation stays eager");
+    }
+
+    #[test]
+    fn scope_blind_entries_ignore_scope_bumps() {
+        let cache = ShardedCache::new(2);
+        let g = cache.begin();
+        cache.insert("k", arc("v"), g);
+        cache.invalidate_scopes(["exp:a", "sys:experiments"]);
+        assert_eq!(cache.get("k").as_deref(), Some("v"));
     }
 
     #[test]

@@ -1,0 +1,299 @@
+//! An injectable filesystem layer for the durable write path.
+//!
+//! Every file operation the snapshot + WAL machinery performs goes
+//! through the [`FailFs`] trait, so tests can place a *failpoint* at
+//! any I/O boundary — a clean error, a short write, or a simulated
+//! process crash — and then prove that reopening the store from disk
+//! yields either the pre-write or the post-write state, never a torn
+//! one. Production code uses [`RealFs`], which forwards to `std::fs`.
+//!
+//! The failpoint implementation ([`FailpointFs`]) counts *mutating*
+//! operations (append, sync, write, rename, truncate, remove) and
+//! injects its configured failure when the countdown reaches zero.
+//! Reads never count: recovery code must be free to inspect the
+//! damage. A [`FailMode::Crash`] failpoint additionally *poisons* all
+//! subsequent mutating operations, modelling the process dying at that
+//! instant — a test then reopens the same paths with [`RealFs`] to
+//! simulate the restart.
+
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+
+/// The file operations the durable path performs, abstracted so tests
+/// can inject failures at every boundary.
+pub trait FailFs: Send + Sync {
+    /// Reads a whole file.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Creates/truncates a file and writes `bytes` (no fsync).
+    fn write_file(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+    /// Appends `bytes` to a file, creating it if absent (no fsync).
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+    /// Flushes a file's data and metadata to stable storage.
+    fn sync(&self, path: &Path) -> io::Result<()>;
+    /// Atomically renames `from` over `to`.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Truncates a file to `len` bytes.
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()>;
+    /// Removes a file.
+    fn remove(&self, path: &Path) -> io::Result<()>;
+    /// Whether a file exists.
+    fn exists(&self, path: &Path) -> bool;
+}
+
+/// The production implementation: plain `std::fs`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RealFs;
+
+impl FailFs for RealFs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+
+    fn write_file(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        std::fs::write(path, bytes)
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        f.write_all(bytes)
+    }
+
+    fn sync(&self, path: &Path) -> io::Result<()> {
+        std::fs::File::open(path)?.sync_all()
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        let f = std::fs::OpenOptions::new().write(true).open(path)?;
+        f.set_len(len)
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+}
+
+/// What a triggered failpoint does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailMode {
+    /// Fail cleanly: report an error without touching the file.
+    Error,
+    /// Perform only the first `n` bytes of the write, then report an
+    /// error — a torn write (power loss mid-`write(2)`).
+    ShortWrite(usize),
+    /// Fail without side effects and poison every later mutating
+    /// operation — the process died *before* this operation.
+    Crash,
+    /// Write only the first `n` bytes, then poison — the process died
+    /// *during* this operation.
+    CrashShortWrite(usize),
+}
+
+/// A [`FailFs`] that injects one failure after a configured number of
+/// mutating operations, forwarding everything else to [`RealFs`].
+pub struct FailpointFs {
+    inner: RealFs,
+    /// Mutating operations remaining before the failpoint triggers.
+    countdown: AtomicI64,
+    mode: FailMode,
+    crashed: AtomicBool,
+    ops_seen: AtomicU64,
+}
+
+impl FailpointFs {
+    /// Fails the `(at + 1)`-th mutating operation (so `at = 0` fails
+    /// the first one) with the given mode.
+    pub fn failing_at(at: u64, mode: FailMode) -> Self {
+        Self {
+            inner: RealFs,
+            countdown: AtomicI64::new(at as i64),
+            mode,
+            crashed: AtomicBool::new(false),
+            ops_seen: AtomicU64::new(0),
+        }
+    }
+
+    /// A counting-only instance: never fails, but records how many
+    /// mutating operations ran ([`ops_seen`](Self::ops_seen)) so a
+    /// test can enumerate every failpoint position.
+    pub fn counting() -> Self {
+        Self::failing_at(u64::MAX >> 1, FailMode::Error)
+    }
+
+    /// Mutating operations observed so far.
+    pub fn ops_seen(&self) -> u64 {
+        self.ops_seen.load(Ordering::SeqCst)
+    }
+
+    /// Whether the failpoint has triggered (in a crash mode, whether
+    /// the simulated process is dead).
+    pub fn triggered(&self) -> bool {
+        self.countdown.load(Ordering::SeqCst) < 0 || self.crashed.load(Ordering::SeqCst)
+    }
+
+    fn injected(&self) -> io::Error {
+        io::Error::other(format!("injected fault ({:?})", self.mode))
+    }
+
+    /// Gate for one mutating operation: `Ok(())` lets it run,
+    /// `Err(Some(n))` injects a short write of `n` bytes, `Err(None)`
+    /// injects a clean failure.
+    fn gate(&self) -> Result<(), Option<usize>> {
+        if self.crashed.load(Ordering::SeqCst) {
+            return Err(None);
+        }
+        self.ops_seen.fetch_add(1, Ordering::SeqCst);
+        if self.countdown.fetch_sub(1, Ordering::SeqCst) != 0 {
+            return Ok(());
+        }
+        match self.mode {
+            FailMode::Error => Err(None),
+            FailMode::ShortWrite(n) => Err(Some(n)),
+            FailMode::Crash => {
+                self.crashed.store(true, Ordering::SeqCst);
+                Err(None)
+            }
+            FailMode::CrashShortWrite(n) => {
+                self.crashed.store(true, Ordering::SeqCst);
+                Err(Some(n))
+            }
+        }
+    }
+}
+
+impl FailFs for FailpointFs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.inner.read(path)
+    }
+
+    fn write_file(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        match self.gate() {
+            Ok(()) => self.inner.write_file(path, bytes),
+            Err(Some(n)) => {
+                let _ = self.inner.write_file(path, &bytes[..n.min(bytes.len())]);
+                Err(self.injected())
+            }
+            Err(None) => Err(self.injected()),
+        }
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        match self.gate() {
+            Ok(()) => self.inner.append(path, bytes),
+            Err(Some(n)) => {
+                let _ = self.inner.append(path, &bytes[..n.min(bytes.len())]);
+                Err(self.injected())
+            }
+            Err(None) => Err(self.injected()),
+        }
+    }
+
+    fn sync(&self, path: &Path) -> io::Result<()> {
+        match self.gate() {
+            Ok(()) => self.inner.sync(path),
+            Err(_) => Err(self.injected()),
+        }
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        match self.gate() {
+            Ok(()) => self.inner.rename(from, to),
+            Err(_) => Err(self.injected()),
+        }
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        match self.gate() {
+            Ok(()) => self.inner.truncate(path, len),
+            Err(_) => Err(self.injected()),
+        }
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        match self.gate() {
+            Ok(()) => self.inner.remove(path),
+            Err(_) => Err(self.injected()),
+        }
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.inner.exists(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_fs_round_trips() {
+        let dir = std::env::temp_dir().join(format!("frost-fault-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("a.bin");
+        let fs = RealFs;
+        fs.write_file(&path, b"hello").unwrap();
+        fs.append(&path, b" world").unwrap();
+        fs.sync(&path).unwrap();
+        assert_eq!(fs.read(&path).unwrap(), b"hello world");
+        fs.truncate(&path, 5).unwrap();
+        assert_eq!(fs.read(&path).unwrap(), b"hello");
+        let moved = dir.join("b.bin");
+        fs.rename(&path, &moved).unwrap();
+        assert!(fs.exists(&moved));
+        assert!(!fs.exists(&path));
+        fs.remove(&moved).unwrap();
+        assert!(!fs.exists(&moved));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failpoint_counts_and_triggers() {
+        let dir = std::env::temp_dir().join(format!("frost-fault-fp-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("x.bin");
+        let fs = FailpointFs::failing_at(1, FailMode::Error);
+        fs.write_file(&path, b"one").unwrap(); // op 0: passes
+        assert!(fs.append(&path, b"two").is_err()); // op 1: fails cleanly
+        assert!(fs.triggered());
+        assert_eq!(
+            fs.read(&path).unwrap(),
+            b"one",
+            "clean failure has no side effect"
+        );
+        // Not a crash mode: later operations run again.
+        fs.append(&path, b"three").unwrap();
+        assert_eq!(fs.ops_seen(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crash_poisons_all_later_ops() {
+        let dir = std::env::temp_dir().join(format!("frost-fault-crash-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("x.bin");
+        let fs = FailpointFs::failing_at(1, FailMode::CrashShortWrite(2));
+        fs.write_file(&path, b"start").unwrap();
+        assert!(fs.append(&path, b"abcdef").is_err());
+        assert_eq!(
+            fs.read(&path).unwrap(),
+            b"startab",
+            "short write left 2 bytes"
+        );
+        assert!(fs.sync(&path).is_err(), "dead process performs no I/O");
+        assert!(fs.write_file(&path, b"nope").is_err());
+        assert_eq!(fs.read(&path).unwrap(), b"startab");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -28,14 +28,31 @@
 //!   format.
 //! * [`cache`] — a sharded, generation-stamped concurrent cache for
 //!   derived artifacts (diagram series, Venn tables, comparisons),
-//!   used by the `frost-server` crate's HTTP layer.
+//!   used by the `frost-server` crate's HTTP layer. Entries can be
+//!   stamped with invalidation *scopes* so a write to one experiment
+//!   does not evict unrelated cached work.
+//! * [`wal`] — the `FROSTW` write-ahead log: CRC-framed, length-
+//!   prefixed mutation records bound to the exact snapshot they apply
+//!   over, with torn-tail recovery and loud mid-log corruption
+//!   detection.
+//! * [`durable`] — the [`durable::DurableStore`] writer that sequences
+//!   WAL append → fsync → in-memory apply, replays on boot, and
+//!   compacts the log into a fresh snapshot via atomic rename.
+//! * [`fault`] — the injectable I/O layer ([`fault::FailFs`]) the
+//!   durable path runs on, so tests can force short writes, fsync
+//!   errors and crashes at every boundary.
 
 pub mod api;
 pub mod cache;
+pub mod durable;
+pub mod fault;
 pub mod import;
 pub mod persist;
 pub mod snapshot;
 pub mod store;
+pub mod wal;
 
 pub use cache::ShardedCache;
+pub use durable::{BootReport, DurableError, DurableStore};
 pub use store::{BenchmarkStore, StoreError};
+pub use wal::FsyncPolicy;

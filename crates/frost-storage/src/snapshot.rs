@@ -121,7 +121,8 @@ impl From<StoreError> for SnapshotError {
 // ---------------------------------------------------------------- crc32
 
 /// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), table-driven.
-fn crc32(bytes: &[u8]) -> u32 {
+/// Shared with the WAL frames ([`crate::wal`]).
+pub(crate) fn crc32(bytes: &[u8]) -> u32 {
     static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
     let table = TABLE.get_or_init(|| {
         let mut t = [0u32; 256];
@@ -147,16 +148,16 @@ fn crc32(bytes: &[u8]) -> u32 {
 
 // ------------------------------------------------------------- encoding
 
-struct Writer {
-    buf: Vec<u8>,
+pub(crate) struct Writer {
+    pub(crate) buf: Vec<u8>,
 }
 
 impl Writer {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Self { buf: Vec::new() }
     }
 
-    fn varint(&mut self, mut v: u64) {
+    pub(crate) fn varint(&mut self, mut v: u64) {
         loop {
             let byte = (v & 0x7F) as u8;
             v >>= 7;
@@ -168,28 +169,28 @@ impl Writer {
         }
     }
 
-    fn string(&mut self, s: &str) {
+    pub(crate) fn string(&mut self, s: &str) {
         self.varint(s.len() as u64);
         self.buf.extend_from_slice(s.as_bytes());
     }
 
-    fn f64(&mut self, v: f64) {
+    pub(crate) fn f64(&mut self, v: f64) {
         self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
     }
 
-    fn u8(&mut self, v: u8) {
+    pub(crate) fn u8(&mut self, v: u8) {
         self.buf.push(v);
     }
 }
 
-struct Reader<'a> {
+pub(crate) struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
     section: &'static str,
 }
 
 impl<'a> Reader<'a> {
-    fn new(buf: &'a [u8], section: &'static str) -> Self {
+    pub(crate) fn new(buf: &'a [u8], section: &'static str) -> Self {
         Self {
             buf,
             pos: 0,
@@ -197,14 +198,14 @@ impl<'a> Reader<'a> {
         }
     }
 
-    fn corrupt(&self, reason: impl Into<String>) -> SnapshotError {
+    pub(crate) fn corrupt(&self, reason: impl Into<String>) -> SnapshotError {
         SnapshotError::Corrupted {
             section: self.section,
             reason: reason.into(),
         }
     }
 
-    fn bytes(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+    pub(crate) fn bytes(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
         let end = self
             .pos
             .checked_add(n)
@@ -215,7 +216,7 @@ impl<'a> Reader<'a> {
         Ok(out)
     }
 
-    fn varint(&mut self) -> Result<u64, SnapshotError> {
+    pub(crate) fn varint(&mut self) -> Result<u64, SnapshotError> {
         let mut v = 0u64;
         for shift in (0..64).step_by(7) {
             let byte = *self
@@ -238,7 +239,7 @@ impl<'a> Reader<'a> {
         Err(self.corrupt("varint longer than 10 bytes"))
     }
 
-    fn len_capped(&mut self, what: &str, cap: usize) -> Result<usize, SnapshotError> {
+    pub(crate) fn len_capped(&mut self, what: &str, cap: usize) -> Result<usize, SnapshotError> {
         let v = self.varint()?;
         // Every counted structure occupies at least one byte per unit,
         // so a count beyond the remaining section bytes is corruption —
@@ -249,26 +250,26 @@ impl<'a> Reader<'a> {
         Ok(v as usize)
     }
 
-    fn remaining(&self) -> usize {
+    pub(crate) fn remaining(&self) -> usize {
         self.buf.len() - self.pos
     }
 
-    fn string(&mut self) -> Result<String, SnapshotError> {
+    pub(crate) fn string(&mut self) -> Result<String, SnapshotError> {
         let len = self.len_capped("string byte", self.remaining())?;
         let bytes = self.bytes(len)?;
         String::from_utf8(bytes.to_vec()).map_err(|_| self.corrupt("string is not UTF-8"))
     }
 
-    fn f64(&mut self) -> Result<f64, SnapshotError> {
+    pub(crate) fn f64(&mut self) -> Result<f64, SnapshotError> {
         let b = self.bytes(8)?;
         Ok(f64::from_bits(u64::from_le_bytes(b.try_into().unwrap())))
     }
 
-    fn u8(&mut self) -> Result<u8, SnapshotError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, SnapshotError> {
         Ok(self.bytes(1)?[0])
     }
 
-    fn finished(&self) -> Result<(), SnapshotError> {
+    pub(crate) fn finished(&self) -> Result<(), SnapshotError> {
         if self.pos == self.buf.len() {
             Ok(())
         } else {

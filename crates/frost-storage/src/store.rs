@@ -27,6 +27,9 @@ pub enum StoreError {
         /// Dataset size.
         dataset_len: usize,
     },
+    /// A write request carried an unusable payload (malformed CSV,
+    /// unresolvable record ids, a bad name).
+    InvalidInput(String),
 }
 
 impl fmt::Display for StoreError {
@@ -43,6 +46,7 @@ impl fmt::Display for StoreError {
                 f,
                 "experiment {experiment:?} references records beyond the dataset ({dataset_len} records)"
             ),
+            StoreError::InvalidInput(reason) => write!(f, "invalid input: {reason}"),
         }
     }
 }

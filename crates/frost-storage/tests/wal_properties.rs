@@ -1,0 +1,305 @@
+//! Recovery properties of the `FROSTW` write-ahead log.
+//!
+//! * **Prefix truncation**: cutting the WAL at *any* byte (a torn tail
+//!   from power loss mid-append) recovers exactly the longest valid
+//!   frame prefix — the reopened store is byte-identical (via
+//!   `snapshot::to_bytes`) to a store that applied only those ops.
+//! * **Single-byte corruption**: flipping any byte after the header
+//!   either refuses to boot (mid-log damage) or recovers a clean
+//!   prefix that stops *before* the damaged frame — an acknowledged
+//!   write after the damage is never silently replayed past it, and a
+//!   torn frame never half-applies.
+//! * **Crash matrix**: every mutating file operation in an
+//!   import → append → fsync → compact → append script is failed in
+//!   turn (clean error, short write, simulated crash); reopening from
+//!   disk always yields one of the script's consistent states, never a
+//!   torn one.
+
+use frost_core::clustering::Clustering;
+use frost_core::dataset::{Dataset, Experiment, Schema, ScoredPair};
+use frost_storage::durable::{DurableError, DurableStore};
+use frost_storage::fault::{FailFs, FailMode, FailpointFs, RealFs};
+use frost_storage::snapshot;
+use frost_storage::wal::{encode_frame, WalError, WalOp, WAL_HEADER_LEN};
+use frost_storage::{BenchmarkStore, FsyncPolicy};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+const RECORDS: u32 = 8;
+
+fn seed_store() -> BenchmarkStore {
+    let mut ds = Dataset::new("people", Schema::new(["name"]));
+    for i in 0..RECORDS {
+        ds.push_record(format!("r{i}"), [format!("person {i}")]);
+    }
+    let mut store = BenchmarkStore::new();
+    store.add_dataset(ds).unwrap();
+    store
+        .set_gold_standard(
+            "people",
+            Clustering::from_assignment(&[0, 0, 1, 1, 2, 2, 3, 3]),
+        )
+        .unwrap();
+    store
+        .add_experiment(
+            "people",
+            Experiment::from_pairs("seed", [(0u32, 1u32)]),
+            None,
+        )
+        .unwrap();
+    store
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "frost-walprop-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Normalizes raw proptest material into a valid op sequence: adds
+/// with unique names and folded-into-range pair lists, plus deletes
+/// that each target the immediately preceding (still present) add.
+fn build_ops(raw: &[(u32, u32, u32)], deletes: &[u32]) -> Vec<WalOp> {
+    let mut ops = Vec::new();
+    let mut adds = 0usize;
+    let mut last_alive: Option<String> = None;
+    for (i, chunk) in raw.chunks(2).enumerate() {
+        if deletes.get(i).copied().unwrap_or(0) == 1 {
+            if let Some(name) = last_alive.take() {
+                ops.push(WalOp::DeleteExperiment { name });
+                continue;
+            }
+        }
+        let pairs = chunk.iter().filter_map(|&(a, b, sim)| {
+            let (a, b) = (a % RECORDS, b % RECORDS);
+            if a == b {
+                return None;
+            }
+            Some(if sim % 2 == 0 {
+                ScoredPair::scored((a, b), f64::from(sim % 101) / 100.0)
+            } else {
+                ScoredPair::unscored((a, b))
+            })
+        });
+        let name = format!("run-{adds}");
+        adds += 1;
+        let experiment = Experiment::new(name.clone(), pairs);
+        ops.push(WalOp::add_experiment("people", &experiment, None));
+        last_alive = Some(name);
+    }
+    ops
+}
+
+/// The canonical bytes of the seed store with `ops[..k]` applied.
+fn expected_bytes(ops: &[WalOp], k: usize) -> Vec<u8> {
+    let mut store = seed_store();
+    for op in &ops[..k] {
+        op.apply(&mut store).unwrap();
+    }
+    snapshot::to_bytes(&store).unwrap()
+}
+
+/// Writes seed snapshot + WAL holding `ops`, returns the WAL path.
+fn persist(dir: &std::path::Path, ops: &[WalOp]) -> (PathBuf, PathBuf) {
+    let path = dir.join("store.frostb");
+    snapshot::save(&seed_store(), &path).unwrap();
+    let (_, mut durable, _) = DurableStore::open(&path, FsyncPolicy::Always).unwrap();
+    for op in ops {
+        durable.append(op).unwrap();
+    }
+    let wal = durable.wal_path().to_path_buf();
+    (path, wal)
+}
+
+/// Frame boundaries: byte offset of the end of each frame prefix
+/// (`bounds[k]` = WAL length holding exactly `k` ops).
+fn frame_bounds(ops: &[WalOp]) -> Vec<u64> {
+    let mut bounds = vec![WAL_HEADER_LEN];
+    for op in ops {
+        bounds.push(bounds.last().unwrap() + encode_frame(op).len() as u64);
+    }
+    bounds
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Truncating the WAL at any byte ≥ the header replays exactly the
+    /// longest whole-frame prefix, byte-identical to a store that only
+    /// applied those ops.
+    #[test]
+    fn truncated_wal_replays_the_longest_valid_prefix(
+        raw in prop::collection::vec((0u32..16, 0u32..16, 0u32..200), 2..12),
+        deletes in prop::collection::vec(0u32..2, 0..6),
+        cut_seed in 0u64..1_000_000,
+    ) {
+        let ops = build_ops(&raw, &deletes);
+        prop_assume!(!ops.is_empty());
+        let dir = scratch("truncate");
+        let (path, wal) = persist(&dir, &ops);
+        let bounds = frame_bounds(&ops);
+        let full = *bounds.last().unwrap();
+
+        let cut = WAL_HEADER_LEN + cut_seed % (full - WAL_HEADER_LEN + 1);
+        RealFs.truncate(&wal, cut).unwrap();
+
+        let surviving = bounds.iter().rposition(|&b| b <= cut).unwrap();
+        let (store, durable, report) =
+            DurableStore::open(&path, FsyncPolicy::Always).unwrap();
+        prop_assert_eq!(report.replayed, surviving);
+        prop_assert_eq!(
+            report.truncated_tail,
+            (cut > bounds[surviving]).then_some(cut - bounds[surviving]),
+            "torn bytes past the last whole frame are truncated away"
+        );
+        prop_assert_eq!(durable.wal_len(), bounds[surviving]);
+        prop_assert_eq!(
+            snapshot::to_bytes(&store).unwrap(),
+            expected_bytes(&ops, surviving),
+            "recovered store must be byte-identical to the prefix store"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Flipping any single byte after the header either refuses to
+    /// boot or recovers a prefix that stops before the damaged frame.
+    /// It never replays past damage and never half-applies a frame.
+    #[test]
+    fn corrupted_byte_never_replays_past_the_damage(
+        raw in prop::collection::vec((0u32..16, 0u32..16, 0u32..200), 2..12),
+        deletes in prop::collection::vec(0u32..2, 0..6),
+        flip in (0u64..1_000_000, 1u32..256),
+    ) {
+        let ops = build_ops(&raw, &deletes);
+        prop_assume!(!ops.is_empty());
+        let dir = scratch("corrupt");
+        let (path, wal) = persist(&dir, &ops);
+        let bounds = frame_bounds(&ops);
+        let full = *bounds.last().unwrap();
+
+        let at = WAL_HEADER_LEN + flip.0 % (full - WAL_HEADER_LEN);
+        let mut bytes = std::fs::read(&wal).unwrap();
+        bytes[at as usize] ^= flip.1 as u8;
+        std::fs::write(&wal, &bytes).unwrap();
+
+        // The index of the frame containing the flipped byte.
+        let damaged = bounds.iter().rposition(|&b| b <= at).unwrap();
+        match DurableStore::open(&path, FsyncPolicy::Always) {
+            Err(DurableError::Wal(WalError::Corrupted { .. })) => {
+                prop_assert!(
+                    damaged + 1 < ops.len(),
+                    "only mid-log damage (intact frames follow) may refuse boot"
+                );
+            }
+            Err(e) => prop_assert!(false, "unexpected boot error: {e}"),
+            Ok((store, _, report)) => {
+                prop_assert!(
+                    report.replayed <= damaged,
+                    "replayed {} ops but frame {damaged} is damaged",
+                    report.replayed
+                );
+                prop_assert_eq!(
+                    snapshot::to_bytes(&store).unwrap(),
+                    expected_bytes(&ops, report.replayed),
+                    "recovered store must be an exact prefix store"
+                );
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// The write script the crash matrix drives: two imports, a
+/// compaction, one more import. Mirrors the server's write protocol
+/// (append before apply).
+fn write_script(path: &std::path::Path, fs: Arc<dyn FailFs>) -> Result<(), DurableError> {
+    let (mut store, mut durable, _) = DurableStore::open_with(path, FsyncPolicy::Always, fs)?;
+    for name in ["run-1", "run-2"] {
+        let experiment = Experiment::new(name, [ScoredPair::scored((2u32, 3u32), 0.9)]);
+        let op = WalOp::add_experiment("people", &experiment, None);
+        durable.append(&op)?;
+        op.apply(&mut store).map_err(DurableError::Replay)?;
+    }
+    durable.compact(&store)?;
+    let experiment = Experiment::new("run-3", [ScoredPair::unscored((4u32, 5u32))]);
+    let op = WalOp::add_experiment("people", &experiment, None);
+    durable.append(&op)?;
+    op.apply(&mut store).map_err(DurableError::Replay)?;
+    Ok(())
+}
+
+/// Every injected failure at every mutating file operation of the
+/// script leaves disk in one of its consistent states: recovery after
+/// a "crash" anywhere in import → WAL append → fsync → compaction →
+/// rename serves a pre-write or post-write store, never a torn one.
+#[test]
+fn every_crash_point_recovers_to_a_consistent_state() {
+    // The script's consistent states, as canonical snapshot bytes:
+    // after 0, 1, 2 or 3 applied imports (compaction changes nothing).
+    let candidates: Vec<Vec<u8>> = (0..4)
+        .map(|k| {
+            let mut store = seed_store();
+            let specs: [(&str, ScoredPair); 3] = [
+                ("run-1", ScoredPair::scored((2u32, 3u32), 0.9)),
+                ("run-2", ScoredPair::scored((2u32, 3u32), 0.9)),
+                ("run-3", ScoredPair::unscored((4u32, 5u32))),
+            ];
+            for (name, pair) in &specs[..k] {
+                store
+                    .add_experiment("people", Experiment::new(*name, [*pair]), None)
+                    .unwrap();
+            }
+            snapshot::to_bytes(&store).unwrap()
+        })
+        .collect();
+
+    // Enumerate the failpoint positions with a counting run.
+    let dir = scratch("count");
+    let path = dir.join("store.frostb");
+    snapshot::save(&seed_store(), &path).unwrap();
+    let counter = Arc::new(FailpointFs::counting());
+    write_script(&path, Arc::clone(&counter) as Arc<dyn FailFs>).unwrap();
+    let total = counter.ops_seen();
+    let _ = std::fs::remove_dir_all(&dir);
+    assert!(total >= 10, "script should exercise many I/O boundaries");
+
+    let modes = [
+        FailMode::Error,
+        FailMode::ShortWrite(3),
+        FailMode::Crash,
+        FailMode::CrashShortWrite(1),
+    ];
+    for at in 0..total {
+        for mode in modes {
+            let dir = scratch(&format!("matrix-{at}-{mode:?}"));
+            let path = dir.join("store.frostb");
+            snapshot::save(&seed_store(), &path).unwrap();
+            let fs = Arc::new(FailpointFs::failing_at(at, mode));
+            let outcome = write_script(&path, Arc::clone(&fs) as Arc<dyn FailFs>);
+            assert!(
+                outcome.is_err(),
+                "failpoint {at} ({mode:?}) must surface as a write error"
+            );
+            assert!(fs.triggered());
+
+            // The restart: reopen the same paths with the production
+            // filesystem and demand a consistent state.
+            let (store, _, _) = DurableStore::open(&path, FsyncPolicy::Always)
+                .unwrap_or_else(|e| panic!("recovery after failpoint {at} ({mode:?}): {e}"));
+            let bytes = snapshot::to_bytes(&store).unwrap();
+            assert!(
+                candidates.contains(&bytes),
+                "failpoint {at} ({mode:?}) recovered a torn state \
+                 (experiments: {:?})",
+                store.experiment_names(None)
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}

@@ -16,6 +16,7 @@
 //! frost snapshot load <file.frostb> [export-dir]
 //! frost serve    <store.frostb | store-dir> [port]
 //! frost get      <url>...
+//! frost import   <host:port> <dataset> <name> <experiment.csv>
 //! ```
 //!
 //! Datasets are CSV with an `id` column; gold standards and experiments
@@ -23,7 +24,9 @@
 //! directories are the CSV layout of `frost_storage::persist`;
 //! `snapshot save/load` convert between that interchange format and
 //! the binary `FROSTB` at-rest format, and `serve` starts the `frostd`
-//! HTTP server on either.
+//! HTTP server on either. `import` uploads an experiment pair list to
+//! a running server (`POST /experiments`), which journals it to the
+//! WAL when serving a snapshot.
 
 use frost::core::dataset::CsvOptions;
 use frost::core::diagram::{DiagramEngine, MetricDiagram};
@@ -85,6 +88,12 @@ enum Command {
     Get {
         urls: Vec<String>,
     },
+    Import {
+        authority: String,
+        dataset: String,
+        name: String,
+        file: String,
+    },
 }
 
 const USAGE: &str = "\
@@ -100,6 +109,7 @@ usage:
   frost snapshot load <file.frostb> [export-dir]
   frost serve    <store.frostb | store-dir> [port]
   frost get      <url>...
+  frost import   <host:port> <dataset> <name> <experiment.csv>
 ";
 
 fn parse_args(args: &[String]) -> Result<Command, String> {
@@ -194,6 +204,12 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
         }
         ("get", urls) if !urls.is_empty() => Ok(Command::Get {
             urls: urls.to_vec(),
+        }),
+        ("import", [authority, dataset, name, file]) => Ok(Command::Import {
+            authority: authority.clone(),
+            dataset: dataset.clone(),
+            name: name.clone(),
+            file: file.clone(),
         }),
         _ => Err(USAGE.to_string()),
     }
@@ -475,12 +491,13 @@ fn run(command: Command) -> Result<(), String> {
             }
         }
         Command::Serve { store, port } => {
-            match frost_server::run_daemon(
+            frost_server::run_daemon(
                 &store,
                 "127.0.0.1",
                 port,
                 frost_server::ServeOptions::default(),
-            )? {}
+                frost::storage::FsyncPolicy::Always,
+            )?;
         }
         Command::Get { urls } => {
             // Consecutive URLs to the same authority share one
@@ -502,6 +519,21 @@ fn run(command: Command) -> Result<(), String> {
                 if status >= 400 {
                     return Err(format!("HTTP {status}"));
                 }
+            }
+        }
+        Command::Import {
+            authority,
+            dataset,
+            name,
+            file,
+        } => {
+            let csv = read(&file)?;
+            let mut conn = frost_server::client::Connection::open(&authority)?;
+            let target = format!("/experiments?dataset={dataset}&name={name}");
+            let (status, body) = conn.post(&target, csv.as_bytes())?;
+            println!("{body}");
+            if status >= 400 {
+                return Err(format!("HTTP {status}"));
             }
         }
     }
