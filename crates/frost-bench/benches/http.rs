@@ -27,6 +27,15 @@
 //! `keepalive.hot_speedup_vs_conn_per_request` for the CI gate
 //! (`FROST_BENCH_BASELINE`, −25% floor). Results land in
 //! `BENCH_http.json` (`FROST_BENCH_OUT` overrides).
+//!
+//! A second phase measures **overload behavior** against a
+//! deliberately constrained server (2 workers, bounded admission
+//! queue, 200 ms request deadline): closed-loop capacity first, then
+//! paced open-loop floods at 1× and 2× of that capacity, reporting
+//! goodput (successful responses per second) and p50/p99 latency per
+//! run. `overload.goodput_ratio_2x_vs_1x` — how well goodput holds up
+//! when offered load doubles past capacity — is the shedding
+//! regression gate (same −25% baseline floor).
 
 use frost_datagen::experiments::synthetic_experiment;
 use frost_datagen::generator::{generate, GeneratorConfig};
@@ -192,6 +201,164 @@ fn read_one_response(stream: &mut TcpStream, spill: &mut Vec<u8>) {
     assert_eq!(status, 200, "bad response: {head:?}");
 }
 
+/// The overload phase's request stream: every request is a distinct
+/// response-cache key (samples band × x-metric × y-metric ×
+/// experiment ≈ 10k keys per generation), so each one exercises the
+/// compute class rather than the cached fast path, at a stable
+/// per-request cost — the store-level series cache bounds the heavy
+/// work to the samples band.
+fn overload_target(experiments: &[String], g: usize) -> String {
+    let samples = 16 + g % 211;
+    let x = COLD_METRICS[(g / 211) % COLD_METRICS.len()];
+    let y = COLD_METRICS[(g / (211 * COLD_METRICS.len())) % COLD_METRICS.len()];
+    let len = 211 * COLD_METRICS.len() * COLD_METRICS.len();
+    let experiment = &experiments[(g / len) % experiments.len()];
+    format!("/diagram?experiment={experiment}&x={x}&y={y}&samples={samples}")
+}
+
+/// One conn-per-request exchange; `None` means the connection itself
+/// failed (refused / reset), which the overload runs count separately.
+fn overload_request(addr: &str, target: &str) -> Option<(u16, Duration)> {
+    let started = Instant::now();
+    let mut stream = TcpStream::connect(addr).ok()?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .ok()?;
+    let request = format!("GET {target} HTTP/1.1\r\nHost: b\r\nConnection: close\r\n\r\n");
+    stream.write_all(request.as_bytes()).ok()?;
+    let mut spill = Vec::new();
+    let (status, _, _) = read_raw_response(&mut stream, &mut spill).ok()?;
+    Some((status, started.elapsed()))
+}
+
+/// Pacer threads for the paced floods. Deliberately larger than
+/// `workers + max_queued`: a synchronous pacer stalls while a request
+/// is in flight, so overload (queue-full rejects, deadline sheds) is
+/// only reachable when the client-side concurrency ceiling exceeds
+/// what the server will queue.
+const PACERS: usize = 16;
+
+/// Clients for the closed-loop capacity probe: enough to keep both
+/// workers busy with the queue partly full, few enough (strictly
+/// below `workers + max_queued`) that the probe never floods its own
+/// measurement with reject churn.
+const PROBE_CLIENTS: usize = 6;
+
+/// Closed-loop capacity probe: [`PROBE_CLIENTS`] flat-out
+/// conn-per-request clients against the constrained server;
+/// successful responses per second is the capacity the paced floods
+/// are scaled from.
+fn overload_capacity(addr: &str, experiments: &Arc<Vec<String>>, requests: usize) -> f64 {
+    let counter = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    let start = Instant::now();
+    let clients: Vec<_> = (0..PROBE_CLIENTS)
+        .map(|_| {
+            let addr = addr.to_string();
+            let experiments = Arc::clone(experiments);
+            let counter = Arc::clone(&counter);
+            std::thread::spawn(move || {
+                let mut ok = 0usize;
+                loop {
+                    let g = counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if g >= requests {
+                        return ok;
+                    }
+                    let target = overload_target(&experiments, g);
+                    if matches!(overload_request(&addr, &target), Some((200, _))) {
+                        ok += 1;
+                    }
+                }
+            })
+        })
+        .collect();
+    let ok: usize = clients.into_iter().map(|c| c.join().expect("client")).sum();
+    assert!(ok > 0, "capacity probe served nothing");
+    ok as f64 / start.elapsed().as_secs_f64()
+}
+
+struct OverloadRun {
+    offered_multiple: f64,
+    offered_rps: f64,
+    attempted_rps: f64,
+    goodput_rps: f64,
+    ok: usize,
+    shed: usize,
+    errors: usize,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+fn percentile_ms(sorted: &[Duration], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx].as_secs_f64() * 1e3
+}
+
+/// Paced open-loop flood: eight pacer threads jointly offer
+/// `offered_rps` until `requests` have been attempted. A pacer that
+/// falls behind its schedule (the server stopped answering quickly)
+/// degrades to closed-loop, which the recorded `attempted_rps`
+/// exposes; with shedding working, rejects are fast enough that the
+/// offered rate is actually achieved.
+fn run_overload(
+    addr: &str,
+    experiments: &Arc<Vec<String>>,
+    offered_multiple: f64,
+    offered_rps: f64,
+    requests: usize,
+) -> OverloadRun {
+    let interval = Duration::from_secs_f64(PACERS as f64 / offered_rps);
+    let start = Instant::now();
+    let threads: Vec<_> = (0..PACERS)
+        .map(|t| {
+            let addr = addr.to_string();
+            let experiments = Arc::clone(experiments);
+            std::thread::spawn(move || {
+                let quota = requests / PACERS + usize::from(t < requests % PACERS);
+                let first = start + interval.mul_f64(t as f64 / PACERS as f64);
+                let mut ok: Vec<Duration> = Vec::with_capacity(quota);
+                let (mut shed, mut errors) = (0usize, 0usize);
+                for k in 0..quota {
+                    let tick = first + interval.mul_f64(k as f64);
+                    if let Some(wait) = tick.checked_duration_since(Instant::now()) {
+                        std::thread::sleep(wait);
+                    }
+                    let target = overload_target(&experiments, t + k * PACERS);
+                    match overload_request(&addr, &target) {
+                        Some((200, latency)) => ok.push(latency),
+                        Some((503, _)) => shed += 1,
+                        Some(_) | None => errors += 1,
+                    }
+                }
+                (ok, shed, errors)
+            })
+        })
+        .collect();
+    let mut latencies: Vec<Duration> = Vec::new();
+    let (mut shed, mut errors) = (0usize, 0usize);
+    for thread in threads {
+        let (ok, s, e) = thread.join().expect("pacer thread");
+        latencies.extend(ok);
+        shed += s;
+        errors += e;
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    latencies.sort();
+    OverloadRun {
+        offered_multiple,
+        offered_rps,
+        attempted_rps: requests as f64 / elapsed,
+        goodput_rps: latencies.len() as f64 / elapsed,
+        ok: latencies.len(),
+        shed,
+        errors,
+        p50_ms: percentile_ms(&latencies, 0.50),
+        p99_ms: percentile_ms(&latencies, 0.99),
+    }
+}
+
 fn main() {
     let scale = frost_bench::scale_from_env();
     println!("building store (scale {scale}) ...");
@@ -294,6 +461,67 @@ fn main() {
             "keep-alive must be ≥ 2× conn-per-request on the hot mix (got {hot_speedup:.2}×)"
         );
     }
+    handle.shutdown();
+
+    // ---- Overload phase: constrained server, paced floods. ----
+    const OVERLOAD_WORKERS: usize = 2;
+    const OVERLOAD_MAX_QUEUED: usize = 8;
+    const OVERLOAD_DEADLINE_MS: u64 = 200;
+    let overload_handle = serve_with(
+        "127.0.0.1:0",
+        Arc::clone(&state),
+        ServeOptions {
+            workers: OVERLOAD_WORKERS,
+            max_queued: OVERLOAD_MAX_QUEUED,
+            request_deadline: Some(Duration::from_millis(OVERLOAD_DEADLINE_MS)),
+            idle_timeout: Duration::from_secs(10),
+            max_requests: usize::MAX,
+            ..ServeOptions::default()
+        },
+    )
+    .expect("bind overload server");
+    let overload_addr = overload_handle.addr().to_string();
+    // Fresh caches per phase (same reset idiom as the cold mixes), so
+    // every attempted key is a genuine compute-class request. The key
+    // space per reset (~10k) comfortably covers each run's request
+    // budget.
+    let overload_requests = ((6_000f64) * scale).clamp(600.0, 9_600.0) as usize;
+    let reset =
+        || state.with_store_mut(|s| s.set_gold_standard(&dataset, gold.clone()).expect("reset"));
+    // The probe replays the exact request sequence the paced runs use
+    // (same count, same reset), so its mix of store-level series
+    // computes vs cached renders matches what "1×" will actually see.
+    reset();
+    let capacity = overload_capacity(&overload_addr, &experiments, overload_requests);
+    println!("overload capacity ({OVERLOAD_WORKERS} workers, closed loop): {capacity:>8.0} req/s");
+    let mut overload_runs: Vec<OverloadRun> = Vec::new();
+    for multiple in [1.0f64, 2.0] {
+        reset();
+        let run = run_overload(
+            &overload_addr,
+            &experiments,
+            multiple,
+            capacity * multiple,
+            overload_requests,
+        );
+        println!(
+            "  {multiple:.0}x offered {:>8.0} req/s (attempted {:>8.0}): goodput {:>8.0} req/s, \
+{} ok / {} shed / {} errors, p50 {:.2} ms, p99 {:.2} ms",
+            run.offered_rps,
+            run.attempted_rps,
+            run.goodput_rps,
+            run.ok,
+            run.shed,
+            run.errors,
+            run.p50_ms,
+            run.p99_ms
+        );
+        assert!(run.ok > 0, "an overloaded server must still serve requests");
+        overload_runs.push(run);
+    }
+    let goodput_ratio = overload_runs[1].goodput_rps / overload_runs[0].goodput_rps;
+    println!("overload goodput at 2x vs 1x offered load: {goodput_ratio:.2}x");
+    overload_handle.shutdown();
 
     let mut mode_entries = Vec::new();
     for (mix, mode, rps) in &results {
@@ -333,6 +561,49 @@ fn main() {
                 ),
             ]),
         ),
+        (
+            "overload".to_string(),
+            Value::object([
+                ("workers".to_string(), Value::from(OVERLOAD_WORKERS)),
+                ("max_queued".to_string(), Value::from(OVERLOAD_MAX_QUEUED)),
+                (
+                    "request_deadline_ms".to_string(),
+                    Value::from(OVERLOAD_DEADLINE_MS),
+                ),
+                (
+                    "capacity_requests_per_second".to_string(),
+                    Value::from(capacity),
+                ),
+                (
+                    "runs".to_string(),
+                    Value::Array(
+                        overload_runs
+                            .iter()
+                            .map(|run| {
+                                Value::object([
+                                    (
+                                        "offered_multiple".to_string(),
+                                        Value::from(run.offered_multiple),
+                                    ),
+                                    ("offered_rps".to_string(), Value::from(run.offered_rps)),
+                                    ("attempted_rps".to_string(), Value::from(run.attempted_rps)),
+                                    ("goodput_rps".to_string(), Value::from(run.goodput_rps)),
+                                    ("ok".to_string(), Value::from(run.ok)),
+                                    ("shed".to_string(), Value::from(run.shed)),
+                                    ("errors".to_string(), Value::from(run.errors)),
+                                    ("p50_ms".to_string(), Value::from(run.p50_ms)),
+                                    ("p99_ms".to_string(), Value::from(run.p99_ms)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                (
+                    "goodput_ratio_2x_vs_1x".to_string(),
+                    Value::from(goodput_ratio),
+                ),
+            ]),
+        ),
     ]);
     let workspace_root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     let out_path = match std::env::var("FROST_BENCH_OUT") {
@@ -342,7 +613,6 @@ fn main() {
     };
     std::fs::write(&out_path, serde_json::to_string_pretty(&doc)).expect("write bench json");
     println!("wrote {}", out_path.display());
-    handle.shutdown();
 
     // Regression gate: same shape as the pairset/snapshot gates —
     // scale-matched baseline, −25% floor on the recorded hot-mix
@@ -376,6 +646,32 @@ fn main() {
                     "REGRESSION: keep-alive hot speedup {hot_speedup:.2}× fell more than 25% below the recorded {recorded:.2}×"
                 );
                 std::process::exit(1);
+            }
+            // Second gated metric: goodput retention when offered
+            // load doubles past capacity. Paced loopback ratios are
+            // noisier than the same-run speedup ratios (scheduler
+            // contention moves both runs independently), so this gate
+            // uses a −50% floor: it catches shedding collapse (a
+            // thrashing server lands near 0.2×), not drift. Absent in
+            // pre-overload baselines, so tolerate the missing key.
+            match baseline
+                .get("overload")
+                .and_then(|v| v.get("goodput_ratio_2x_vs_1x"))
+                .and_then(Value::as_f64)
+            {
+                None => println!("overload gate skipped: baseline has no overload entry"),
+                Some(recorded) => {
+                    let floor = recorded * 0.5;
+                    println!(
+                        "baseline gate (overload goodput 2x/1x): {goodput_ratio:.2}x vs recorded {recorded:.2}x (floor {floor:.2}x)"
+                    );
+                    if goodput_ratio < floor {
+                        eprintln!(
+                            "REGRESSION: overload goodput ratio {goodput_ratio:.2}x fell more than 50% below the recorded {recorded:.2}x"
+                        );
+                        std::process::exit(1);
+                    }
+                }
             }
         }
     }

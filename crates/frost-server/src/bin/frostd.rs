@@ -3,6 +3,8 @@
 //! ```text
 //! frostd <store> [--port N] [--addr HOST] [--workers N]
 //!                [--idle-timeout-ms N] [--max-requests N]
+//!                [--max-queued N] [--request-deadline-ms N]
+//!                [--cache-budget-mb N]
 //!                [--fsync always|interval:<ms>] [--debug-panic]
 //! ```
 //!
@@ -25,6 +27,15 @@
 //! the server closes it (`Connection: close` is advertised on the
 //! final response). `SIGINT`/`SIGTERM` drain in-flight requests and
 //! fsync the WAL before exiting.
+//!
+//! Overload controls: `--max-queued` bounds the admission queue
+//! (excess connections are answered `503` + `Retry-After` without
+//! parsing), `--request-deadline-ms` sheds any request that cannot
+//! start evaluating before its deadline (queue wait counts), and
+//! `--cache-budget-mb` caps the total bytes both response-cache tiers
+//! may hold (default 256 MB; stale-first LRU eviction). `/healthz`
+//! reports liveness, `/readyz` readiness, and `/stats` the shed and
+//! queue counters.
 
 use frost_server::{run_daemon, ServeOptions};
 use frost_storage::FsyncPolicy;
@@ -32,8 +43,13 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 const USAGE: &str = "usage: frostd <store.frostb | store-dir> [--port N] [--addr HOST] \
-[--workers N] [--idle-timeout-ms N] [--max-requests N] [--fsync always|interval:<ms>] \
+[--workers N] [--idle-timeout-ms N] [--max-requests N] [--max-queued N] \
+[--request-deadline-ms N] [--cache-budget-mb N] [--fsync always|interval:<ms>] \
 [--debug-panic]";
+
+/// Default `--cache-budget-mb`: generous for a query daemon, small
+/// enough that cache growth can never OOM a modest host.
+const DEFAULT_CACHE_BUDGET_MB: usize = 256;
 
 struct Args {
     store: String,
@@ -47,7 +63,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut store = None;
     let mut addr = "127.0.0.1".to_string();
     let mut port = 7878u16;
-    let mut options = ServeOptions::default();
+    let mut options = ServeOptions {
+        cache_budget: Some(DEFAULT_CACHE_BUDGET_MB * 1024 * 1024),
+        ..ServeOptions::default()
+    };
     let mut fsync = FsyncPolicy::Always;
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -82,6 +101,29 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 if options.max_requests == 0 {
                     return Err("max request count must be positive".into());
                 }
+            }
+            "--max-queued" => {
+                let v = it.next().ok_or("--max-queued needs a value")?;
+                options.max_queued = v.parse().map_err(|_| format!("bad queue bound {v:?}"))?;
+                if options.max_queued == 0 {
+                    return Err("queue bound must be positive".into());
+                }
+            }
+            "--request-deadline-ms" => {
+                let v = it.next().ok_or("--request-deadline-ms needs a value")?;
+                let ms: u64 = v.parse().map_err(|_| format!("bad deadline {v:?}"))?;
+                if ms == 0 {
+                    return Err("request deadline must be positive".into());
+                }
+                options.request_deadline = Some(Duration::from_millis(ms));
+            }
+            "--cache-budget-mb" => {
+                let v = it.next().ok_or("--cache-budget-mb needs a value")?;
+                let mb: usize = v.parse().map_err(|_| format!("bad cache budget {v:?}"))?;
+                if mb == 0 {
+                    return Err("cache budget must be positive".into());
+                }
+                options.cache_budget = Some(mb * 1024 * 1024);
             }
             "--fsync" => {
                 let v = it.next().ok_or("--fsync needs a value")?;

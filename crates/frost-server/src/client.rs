@@ -11,9 +11,10 @@
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
-use std::time::{Duration, SystemTime, UNIX_EPOCH};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
-/// Bounded exponential backoff for connection establishment.
+/// Bounded exponential backoff for connection establishment, plus a
+/// circuit breaker for overloaded servers.
 ///
 /// Connecting (and reconnecting after a server-side close) retries up
 /// to `attempts` times, sleeping `base_delay * 2^n` before retry `n`,
@@ -22,6 +23,15 @@ use std::time::{Duration, SystemTime, UNIX_EPOCH};
 /// server does not reconnect in lock-step. Only connection
 /// establishment retries — request retransmission stays the caller's
 /// decision (and [`Connection::get`] retries idempotent `GET`s once).
+///
+/// The breaker: `breaker_threshold` consecutive failures (a `503`
+/// shed or an exhausted connect) open the circuit for
+/// `breaker_cooldown` — or for the server's `Retry-After`, when the
+/// shed carried one — during which every request fails fast without
+/// touching the network (an overloaded server's best help is absent
+/// clients). After the cooldown, one half-open probe goes through:
+/// success closes the circuit, another failure re-opens it
+/// immediately.
 #[derive(Debug, Clone, Copy)]
 pub struct RetryPolicy {
     /// Total connection attempts (≥ 1; 1 means no retry).
@@ -30,14 +40,22 @@ pub struct RetryPolicy {
     pub base_delay: Duration,
     /// Upper bound on any single sleep.
     pub max_delay: Duration,
+    /// Consecutive `503`/connect failures that open the breaker;
+    /// `0` disables it.
+    pub breaker_threshold: u32,
+    /// How long an open breaker fails fast before its half-open
+    /// probe, unless the server's `Retry-After` asked for longer.
+    pub breaker_cooldown: Duration,
 }
 
 impl RetryPolicy {
-    /// A single attempt: fail fast, no backoff.
+    /// A single attempt: fail fast, no backoff, no breaker.
     pub const NONE: RetryPolicy = RetryPolicy {
         attempts: 1,
         base_delay: Duration::ZERO,
         max_delay: Duration::ZERO,
+        breaker_threshold: 0,
+        breaker_cooldown: Duration::ZERO,
     };
 
     /// The sleep before retry number `retry` (0-based), pre-jitter:
@@ -55,6 +73,8 @@ impl Default for RetryPolicy {
             attempts: 4,
             base_delay: Duration::from_millis(50),
             max_delay: Duration::from_secs(2),
+            breaker_threshold: 5,
+            breaker_cooldown: Duration::from_millis(500),
         }
     }
 }
@@ -115,6 +135,14 @@ pub struct Connection {
     timeout: Duration,
     retry: RetryPolicy,
     jitter: Jitter,
+    /// Consecutive breaker-relevant failures (`503` sheds and
+    /// exhausted connects); any successful response resets it.
+    consecutive_failures: u32,
+    /// `Some(t)` = the circuit is open: requests fail fast until `t`.
+    breaker_open_until: Option<Instant>,
+    /// The request currently going through is the half-open probe: a
+    /// single failure re-opens the circuit immediately.
+    breaker_probing: bool,
 }
 
 impl Connection {
@@ -133,6 +161,9 @@ impl Connection {
             timeout: Duration::from_secs(30),
             retry,
             jitter: Jitter::new(),
+            consecutive_failures: 0,
+            breaker_open_until: None,
+            breaker_probing: false,
         };
         conn.connect()?;
         Ok(conn)
@@ -158,10 +189,70 @@ impl Connection {
                 Err(e) => last = e.to_string(),
             }
         }
+        self.note_failure(None);
         Err(format!(
             "connect {}: {last} (after {attempts} attempt(s))",
             self.authority
         ))
+    }
+
+    /// Fails fast while the circuit is open; when the cooldown has
+    /// elapsed, lets the current request through as the half-open
+    /// probe.
+    fn breaker_check(&mut self) -> Result<(), String> {
+        let Some(until) = self.breaker_open_until else {
+            return Ok(());
+        };
+        let now = Instant::now();
+        if now < until {
+            return Err(format!(
+                "circuit open for {}: cooling down another {:?} after {} consecutive failure(s)",
+                self.authority,
+                until - now,
+                self.consecutive_failures
+            ));
+        }
+        self.breaker_open_until = None;
+        self.breaker_probing = true;
+        Ok(())
+    }
+
+    /// Records a breaker-relevant failure. Opens the circuit when the
+    /// threshold is reached (or instantly if this was the half-open
+    /// probe), honoring the server's `Retry-After` when it asked for
+    /// a longer pause than the configured cooldown.
+    fn note_failure(&mut self, retry_after: Option<Duration>) {
+        if self.retry.breaker_threshold == 0 {
+            return;
+        }
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        if self.breaker_probing || self.consecutive_failures >= self.retry.breaker_threshold {
+            let cooldown = retry_after
+                .unwrap_or(Duration::ZERO)
+                .max(self.retry.breaker_cooldown);
+            self.breaker_open_until = Some(Instant::now() + cooldown);
+            self.breaker_probing = false;
+        }
+    }
+
+    fn note_success(&mut self) {
+        self.consecutive_failures = 0;
+        self.breaker_open_until = None;
+        self.breaker_probing = false;
+    }
+
+    /// Whether the breaker currently fails requests fast.
+    pub fn breaker_is_open(&self) -> bool {
+        self.breaker_open_until
+            .is_some_and(|until| Instant::now() < until)
+    }
+
+    /// Time until the open breaker's half-open probe (`None` when the
+    /// circuit is closed or already probe-ready).
+    pub fn breaker_remaining(&self) -> Option<Duration> {
+        let until = self.breaker_open_until?;
+        let now = Instant::now();
+        (now < until).then(|| until - now)
     }
 
     /// Whether a socket is currently open (the server may still have
@@ -173,6 +264,7 @@ impl Connection {
     /// Sends `GET target` on the kept-alive connection and returns
     /// `(status, body)`.
     pub fn get(&mut self, target: &str) -> Result<(u16, String), String> {
+        self.breaker_check()?;
         if self.stream.is_none() {
             self.connect()?;
             return self.request(target);
@@ -212,6 +304,7 @@ impl Connection {
         target: &str,
         body: &[u8],
     ) -> Result<(u16, String), String> {
+        self.breaker_check()?;
         if self.stream.is_none() {
             self.connect()?;
         }
@@ -254,6 +347,14 @@ impl Connection {
             self.stream = None;
             self.buf.clear();
         }
+        // Breaker bookkeeping: a 503 is the server shedding load —
+        // count it (and honor its Retry-After); anything the server
+        // actually answered counts as success.
+        if response.status == 503 {
+            self.note_failure(response.retry_after.map(Duration::from_secs));
+        } else {
+            self.note_success();
+        }
         Ok((response.status, response.body))
     }
 }
@@ -263,6 +364,8 @@ struct Response {
     head: String,
     body: String,
     close: bool,
+    /// Parsed `Retry-After` seconds, when the server sent one.
+    retry_after: Option<u64>,
 }
 
 /// Reads one `Content-Length`-framed response from a raw socket and
@@ -309,6 +412,7 @@ fn read_response(
         .ok_or_else(|| format!("malformed status line {head:?}"))?;
     let mut content_length: Option<usize> = None;
     let mut close = false;
+    let mut retry_after = None;
     for line in head.lines().skip(1) {
         let Some((name, value)) = line.split_once(':') else {
             continue;
@@ -323,6 +427,8 @@ fn read_response(
                 );
             }
             "connection" if value.trim().eq_ignore_ascii_case("close") => close = true,
+            // Seconds form only (frostd never sends the date form).
+            "retry-after" => retry_after = value.trim().parse::<u64>().ok(),
             _ => {}
         }
     }
@@ -352,6 +458,7 @@ fn read_response(
         head,
         body,
         close,
+        retry_after,
     })
 }
 
@@ -402,6 +509,7 @@ mod tests {
             attempts: 6,
             base_delay: Duration::from_millis(100),
             max_delay: Duration::from_millis(350),
+            ..RetryPolicy::NONE
         };
         assert_eq!(policy.backoff(0), Duration::from_millis(100));
         assert_eq!(policy.backoff(1), Duration::from_millis(200));
@@ -432,5 +540,116 @@ mod tests {
             Err(e) => e,
         };
         assert!(err.contains("after 1 attempt(s)"), "{err}");
+    }
+
+    /// A canned one-response-per-connection server: `plan[i]` is the
+    /// status served to connection `i` (with `Retry-After` on 503s);
+    /// the plan's last entry repeats forever.
+    fn canned_server(plan: Vec<(u16, Option<u64>)>) -> (String, std::thread::JoinHandle<()>) {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let authority = listener.local_addr().unwrap().to_string();
+        let handle = std::thread::spawn(move || {
+            for i in 0.. {
+                let Ok((mut stream, _)) = listener.accept() else {
+                    break;
+                };
+                let (status, retry_after) = plan[i.min(plan.len() - 1)];
+                let mut buf = [0u8; 1024];
+                // One small request per connection; an empty
+                // (throwaway) connection is the shutdown signal.
+                if stream.read(&mut buf).unwrap_or(0) == 0 {
+                    break;
+                }
+                let body = "{}";
+                let reason = if status == 200 {
+                    "OK"
+                } else {
+                    "Service Unavailable"
+                };
+                let retry = match retry_after {
+                    Some(secs) => format!("Retry-After: {secs}\r\n"),
+                    None => String::new(),
+                };
+                let response = format!(
+                    "HTTP/1.1 {status} {reason}\r\nContent-Length: {}\r\n{retry}\
+                     Connection: close\r\n\r\n{body}",
+                    body.len()
+                );
+                let _ = stream.write_all(response.as_bytes());
+                if status == 200 {
+                    break; // plans end on their first success
+                }
+            }
+        });
+        (authority, handle)
+    }
+
+    fn breaker_policy(threshold: u32, cooldown_ms: u64) -> RetryPolicy {
+        RetryPolicy {
+            breaker_threshold: threshold,
+            breaker_cooldown: Duration::from_millis(cooldown_ms),
+            ..RetryPolicy::NONE
+        }
+    }
+
+    #[test]
+    fn breaker_opens_after_consecutive_503s_and_honors_retry_after() {
+        let (authority, server) = canned_server(vec![(503, Some(2)), (503, Some(2)), (200, None)]);
+        let mut conn = Connection::open_with_retry(&authority, breaker_policy(2, 10)).unwrap();
+        for _ in 0..2 {
+            let (status, _) = conn.get("/datasets").unwrap();
+            assert_eq!(status, 503);
+        }
+        assert!(conn.breaker_is_open(), "threshold of 2 reached");
+        // The server's Retry-After (2s) outranks the 10ms cooldown.
+        let remaining = conn.breaker_remaining().expect("cooling down");
+        assert!(
+            remaining > Duration::from_secs(1),
+            "Retry-After must set the cooldown, got {remaining:?}"
+        );
+        // Fast-fail without touching the network.
+        let err = conn.get("/datasets").unwrap_err();
+        assert!(err.contains("circuit open"), "{err}");
+        drop(conn);
+        let _ = TcpStream::connect(&authority); // unblock accept
+        let _ = server.join();
+    }
+
+    #[test]
+    fn breaker_half_open_probe_closes_the_circuit_on_success() {
+        let (authority, server) = canned_server(vec![(503, None), (503, None), (200, None)]);
+        let mut conn = Connection::open_with_retry(&authority, breaker_policy(2, 10)).unwrap();
+        for _ in 0..2 {
+            let (status, _) = conn.get("/datasets").unwrap();
+            assert_eq!(status, 503);
+        }
+        assert!(conn.breaker_is_open());
+        std::thread::sleep(Duration::from_millis(20));
+        // Cooldown over: this is the half-open probe, and it succeeds.
+        let (status, _) = conn.get("/datasets").unwrap();
+        assert_eq!(status, 200);
+        assert!(!conn.breaker_is_open(), "success closes the circuit");
+        assert_eq!(conn.consecutive_failures, 0);
+        let _ = server.join();
+    }
+
+    #[test]
+    fn a_failed_half_open_probe_reopens_immediately() {
+        let (authority, server) = canned_server(vec![(503, None)]);
+        let mut conn = Connection::open_with_retry(&authority, breaker_policy(2, 10)).unwrap();
+        for _ in 0..2 {
+            let (status, _) = conn.get("/datasets").unwrap();
+            assert_eq!(status, 503);
+        }
+        assert!(conn.breaker_is_open());
+        std::thread::sleep(Duration::from_millis(20));
+        // The probe 503s: one failure re-opens the circuit (no need
+        // to accumulate a fresh threshold's worth).
+        let (status, _) = conn.get("/datasets").unwrap();
+        assert_eq!(status, 503);
+        assert!(conn.breaker_is_open(), "failed probe re-opens");
+        drop(conn);
+        let _ = TcpStream::connect(&authority);
+        let _ = server.join();
     }
 }

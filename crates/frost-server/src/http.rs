@@ -85,7 +85,7 @@
 use crate::json::{self, response_to_json};
 use frost_core::clustering::Clustering;
 use frost_storage::api::{self, Request};
-use frost_storage::cache::ShardedCache;
+use frost_storage::cache::{CacheWeight, ShardedCache};
 use frost_storage::durable::{DurableError, DurableStore};
 use frost_storage::store::{StoreError, StoredExperiment};
 use frost_storage::wal::WalOp;
@@ -94,9 +94,10 @@ use parking_lot::RwLock;
 use serde_json::Value;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, TrySendError};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Shards in each result-cache tier; 16 spreads a small thread pool's
 /// keys with negligible memory overhead.
@@ -113,6 +114,20 @@ pub const DEFAULT_IDLE_TIMEOUT_MS: u64 = 5_000;
 
 /// Default for [`ServeOptions::max_requests`].
 pub const DEFAULT_MAX_REQUESTS: usize = 10_000;
+
+/// Default for [`ServeOptions::max_queued`].
+pub const DEFAULT_MAX_QUEUED: usize = 256;
+
+/// `Retry-After` seconds advertised on every shed (`503`) response.
+pub const RETRY_AFTER_SECS: u64 = 1;
+
+/// Sliding-window length for the recent shed rate `/readyz` reports.
+const SHED_WINDOW_SECS: u64 = 8;
+
+/// Minimum admission events in the window before the shed rate can
+/// flip `/readyz` — a single early shed must not mark a quiet server
+/// unready.
+const READY_MIN_WINDOW_EVENTS: u64 = 16;
 
 /// Tunables of the connection path.
 #[derive(Debug, Clone)]
@@ -131,10 +146,48 @@ pub struct ServeOptions {
     /// (advertised with `Connection: close` on the last response), so
     /// the fixed pool cannot be starved by immortal connections.
     pub max_requests: usize,
+    /// Admission queue bound: accepted connections waiting for a pool
+    /// worker. When the queue is full, new connections are answered
+    /// with a canned `503` + `Retry-After` by the accept thread — no
+    /// parsing, no evaluation, no worker time.
+    pub max_queued: usize,
+    /// Per-request deadline. The first request on a connection clocks
+    /// from **admission** (queue wait counts — a request that already
+    /// waited out its deadline in the queue is shed before any work);
+    /// later requests clock from their first buffered byte. A request
+    /// past its deadline is never evaluated: it is shed with `503` +
+    /// `Retry-After`, and the remaining deadline bounds socket reads
+    /// and class-gate waits. `None` disables deadlines.
+    pub request_deadline: Option<Duration>,
+    /// Concurrency limit of the compute-heavy endpoint class
+    /// (`/compare`, `/diagram`, `/venn`): at most this many cache-miss
+    /// computations run at once, so expensive sweeps cannot occupy
+    /// every worker and starve cheap cached GETs. `None` = half the
+    /// worker pool (min 1). Cache *hits* on these endpoints bypass the
+    /// gate — a saturated class degrades to serving cached bodies, not
+    /// to shedding them.
+    pub compute_concurrency: Option<usize>,
+    /// Concurrency limit of the mutating class (`POST`/`DELETE`):
+    /// bounds writers waiting on the serialized write path. `None` =
+    /// a quarter of the worker pool (min 1).
+    pub write_concurrency: Option<usize>,
+    /// `/readyz` flips to not-ready when the recent shed rate
+    /// (sheds / admission events over the last [`SHED_WINDOW_SECS`]
+    /// seconds) exceeds this threshold.
+    pub shed_ready_threshold: f64,
+    /// Total tracked-byte budget across both response-cache tiers
+    /// (split evenly), enforced with stale-first LRU eviction. `None`
+    /// keeps the per-shard entry caps as the only bound.
+    pub cache_budget: Option<usize>,
     /// Test-only: expose `GET /debug/panic`, which panics inside the
     /// request handler — the regression hook for worker panic
     /// isolation. Never enabled by the CLI.
     pub debug_panic: bool,
+    /// Test-only: expose `GET /debug/sleep?ms=N`, a compute-class
+    /// endpoint that holds its worker (and compute permit) for `N`
+    /// milliseconds — the deterministic load generator the overload
+    /// tests saturate the server with. Never enabled by the CLI.
+    pub debug_sleep: bool,
 }
 
 impl Default for ServeOptions {
@@ -143,9 +196,345 @@ impl Default for ServeOptions {
             workers: std::thread::available_parallelism().map_or(4, |n| n.get()),
             idle_timeout: Duration::from_millis(DEFAULT_IDLE_TIMEOUT_MS),
             max_requests: DEFAULT_MAX_REQUESTS,
+            max_queued: DEFAULT_MAX_QUEUED,
+            request_deadline: None,
+            compute_concurrency: None,
+            write_concurrency: None,
+            shed_ready_threshold: 0.9,
+            cache_budget: None,
             debug_panic: false,
+            debug_sleep: false,
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Overload accounting and cost classes
+// ---------------------------------------------------------------------
+
+/// Why a request (or connection) was shed with a `503`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The admission queue was full — rejected by the accept thread
+    /// without parsing anything.
+    QueueFull,
+    /// The request's deadline expired before evaluation could start
+    /// (queue wait, slow arrival, or a saturated class gate).
+    Deadline,
+    /// The request's cost class was at its concurrency limit and no
+    /// permit freed up within the allowed wait.
+    ClassSaturated,
+    /// The server is draining for shutdown; queued-but-unstarted
+    /// connections are answered instead of silently dropped.
+    Draining,
+}
+
+impl ShedReason {
+    fn message(self) -> &'static str {
+        match self {
+            ShedReason::QueueFull => "server overloaded: admission queue full",
+            ShedReason::Deadline => "request deadline exceeded before evaluation",
+            ShedReason::ClassSaturated => "server overloaded: request class saturated",
+            ShedReason::Draining => "server draining: connection not served",
+        }
+    }
+}
+
+/// Endpoint cost classes: each is gated independently so one class
+/// cannot starve another (see [`ServeOptions::compute_concurrency`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Class {
+    /// Cheap GETs (cache probes, listings, health, stats) — never
+    /// gated; bounded by the worker pool itself.
+    Cached,
+    /// Compute-heavy GETs: `/compare`, `/diagram`, `/venn` (and the
+    /// test-only `/debug/sleep`).
+    Compute,
+    /// Mutating requests: `POST`, `DELETE`.
+    Write,
+}
+
+fn classify(method: &str, path: &str) -> Class {
+    if method != "GET" {
+        Class::Write
+    } else if matches!(path, "/compare" | "/diagram" | "/venn" | "/debug/sleep") {
+        Class::Compute
+    } else {
+        Class::Cached
+    }
+}
+
+/// One shed-rate window slot (a one-second bucket, reused modulo the
+/// window length). Counts are heuristically reset when the slot is
+/// reused for a new second; tiny cross-thread races only blur the
+/// readiness heuristic, never correctness.
+#[derive(Default)]
+struct WindowSlot {
+    epoch: AtomicU64,
+    admitted: AtomicU64,
+    shed: AtomicU64,
+}
+
+/// Overload counters surfaced by `/stats` and `/readyz`. All atomics:
+/// the hot path only ever pays relaxed increments.
+#[derive(Default)]
+pub struct OverloadStats {
+    queue_depth: AtomicI64,
+    queue_max_depth: AtomicI64,
+    admitted: AtomicU64,
+    shed_queue_full: AtomicU64,
+    shed_deadline: AtomicU64,
+    shed_class_saturated: AtomicU64,
+    shed_draining: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    inflight_cached: AtomicUsize,
+    inflight_compute: AtomicUsize,
+    inflight_write: AtomicUsize,
+    window: [WindowSlot; SHED_WINDOW_SECS as usize],
+}
+
+impl OverloadStats {
+    fn queue_enqueued(&self) {
+        let depth = self.queue_depth.fetch_add(1, Ordering::AcqRel) + 1;
+        self.queue_max_depth.fetch_max(depth, Ordering::AcqRel);
+    }
+
+    fn queue_dequeued(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Connections currently waiting in the admission queue.
+    pub fn queue_depth(&self) -> u64 {
+        self.queue_depth.load(Ordering::Acquire).max(0) as u64
+    }
+
+    /// High-water mark of [`queue_depth`](Self::queue_depth).
+    pub fn queue_max_depth(&self) -> u64 {
+        self.queue_max_depth.load(Ordering::Acquire).max(0) as u64
+    }
+
+    /// Connections admitted (queued for a worker) since start-up.
+    pub fn admitted(&self) -> u64 {
+        self.admitted.load(Ordering::Relaxed)
+    }
+
+    /// Sheds by reason, in declaration order: queue-full, deadline,
+    /// class-saturated, draining.
+    pub fn sheds(&self) -> [u64; 4] {
+        [
+            self.shed_queue_full.load(Ordering::Relaxed),
+            self.shed_deadline.load(Ordering::Relaxed),
+            self.shed_class_saturated.load(Ordering::Relaxed),
+            self.shed_draining.load(Ordering::Relaxed),
+        ]
+    }
+
+    /// Requests that observed an expired deadline at any point — shed
+    /// before evaluation, or detected late after their (already
+    /// admitted) evaluation finished.
+    pub fn deadline_exceeded(&self) -> u64 {
+        self.deadline_exceeded.load(Ordering::Relaxed)
+    }
+
+    fn slot(&self, secs: u64) -> &WindowSlot {
+        let slot = &self.window[(secs % SHED_WINDOW_SECS) as usize];
+        if slot.epoch.swap(secs, Ordering::Relaxed) != secs {
+            slot.admitted.store(0, Ordering::Relaxed);
+            slot.shed.store(0, Ordering::Relaxed);
+        }
+        slot
+    }
+
+    fn note_admitted(&self, secs: u64) {
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+        self.slot(secs).admitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn note_shed(&self, reason: ShedReason, secs: u64) {
+        let counter = match reason {
+            ShedReason::QueueFull => &self.shed_queue_full,
+            ShedReason::Deadline => &self.shed_deadline,
+            ShedReason::ClassSaturated => &self.shed_class_saturated,
+            ShedReason::Draining => &self.shed_draining,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        if reason == ShedReason::Deadline {
+            self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+        }
+        self.slot(secs).shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A deadline that expired *during* an already-admitted
+    /// evaluation: the response is still served (work is never
+    /// cancelled mid-compute), but the lateness is counted.
+    fn note_deadline_late(&self) {
+        self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `(sheds, total events)` over the trailing window.
+    fn window_counts(&self, now_secs: u64) -> (u64, u64) {
+        let mut shed = 0;
+        let mut total = 0;
+        for slot in &self.window {
+            let epoch = slot.epoch.load(Ordering::Relaxed);
+            if epoch + SHED_WINDOW_SECS > now_secs && epoch <= now_secs {
+                let s = slot.shed.load(Ordering::Relaxed);
+                shed += s;
+                total += s + slot.admitted.load(Ordering::Relaxed);
+            }
+        }
+        (shed, total)
+    }
+
+    fn gauge(&self, class: Class) -> &AtomicUsize {
+        match class {
+            Class::Cached => &self.inflight_cached,
+            Class::Compute => &self.inflight_compute,
+            Class::Write => &self.inflight_write,
+        }
+    }
+
+    /// In-flight gauges `(cached, compute, write)`: requests currently
+    /// being served per class (for compute/write: currently holding a
+    /// class permit, i.e. doing the expensive part).
+    pub fn inflight(&self) -> (usize, usize, usize) {
+        (
+            self.inflight_cached.load(Ordering::Relaxed),
+            self.inflight_compute.load(Ordering::Relaxed),
+            self.inflight_write.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// A counting semaphore: the per-class concurrency gate.
+struct Gate {
+    limit: usize,
+    busy: Mutex<usize>,
+    freed: Condvar,
+}
+
+impl Gate {
+    fn new(limit: usize) -> Self {
+        Self {
+            limit: limit.max(1),
+            busy: Mutex::new(0),
+            freed: Condvar::new(),
+        }
+    }
+
+    /// Acquires a permit, waiting at most `wait`. Returns whether a
+    /// permit was obtained.
+    fn acquire(&self, wait: Duration) -> bool {
+        let deadline = Instant::now() + wait;
+        let mut busy = self.busy.lock().expect("gate lock");
+        while *busy >= self.limit {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return false;
+            }
+            busy = self
+                .freed
+                .wait_timeout(busy, remaining)
+                .expect("gate lock")
+                .0;
+        }
+        *busy += 1;
+        true
+    }
+
+    fn release(&self) {
+        *self.busy.lock().expect("gate lock") -= 1;
+        self.freed.notify_one();
+    }
+}
+
+/// The per-class gates one `serve_with` call shares across its pool.
+struct ClassGates {
+    compute: Gate,
+    write: Gate,
+}
+
+impl ClassGates {
+    fn for_options(options: &ServeOptions) -> Self {
+        let workers = options.workers.max(1);
+        Self {
+            compute: Gate::new(options.compute_concurrency.unwrap_or((workers / 2).max(1))),
+            write: Gate::new(options.write_concurrency.unwrap_or((workers / 4).max(1))),
+        }
+    }
+}
+
+/// An RAII gate permit, released on drop — including on handler
+/// panics (route runs under `catch_unwind`), so an unwinding worker
+/// can never leak a permit and shrink a class forever.
+struct Permit<'a> {
+    gate: &'a Gate,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        self.gate.release();
+    }
+}
+
+/// An RAII in-flight gauge bump (one per routed request, by class).
+struct GaugeGuard<'a>(&'a AtomicUsize);
+
+impl<'a> GaugeGuard<'a> {
+    fn new(gauge: &'a AtomicUsize) -> Self {
+        gauge.fetch_add(1, Ordering::Relaxed);
+        Self(gauge)
+    }
+}
+
+impl Drop for GaugeGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Per-request routing context: the class gates plus the request's
+/// absolute deadline (when configured).
+struct RequestContext<'a> {
+    options: &'a ServeOptions,
+    gates: &'a ClassGates,
+    deadline: Option<Instant>,
+}
+
+impl RequestContext<'_> {
+    fn expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() > d)
+    }
+
+    /// How long a request may wait for a class permit: its remaining
+    /// deadline, or one idle timeout when deadlines are off.
+    fn gate_wait(&self) -> Duration {
+        match self.deadline {
+            Some(d) => d.saturating_duration_since(Instant::now()),
+            None => self.options.idle_timeout,
+        }
+    }
+
+    /// Acquires the class's concurrency permit ([`Class::Cached`] has
+    /// no gate). `Err` = the class stayed saturated for the whole
+    /// allowed wait — the caller sheds.
+    fn gate_for(&self, class: Class) -> Result<Option<Permit<'_>>, ShedReason> {
+        let gate = match class {
+            Class::Cached => return Ok(None),
+            Class::Compute => &self.gates.compute,
+            Class::Write => &self.gates.write,
+        };
+        if !gate.acquire(self.gate_wait()) {
+            return Err(ShedReason::ClassSaturated);
+        }
+        Ok(Some(Permit { gate }))
+    }
+}
+
+/// What routing produced: a response to write, or a shed to report.
+enum RouteOutcome {
+    Response(CachedResponse),
+    Shed(ShedReason),
 }
 
 /// A fully serialized HTTP response: the keep-alive rendering (status
@@ -176,6 +565,12 @@ impl CachedResponse {
     }
 }
 
+impl CacheWeight for CachedResponse {
+    fn weight(&self) -> usize {
+        self.bytes.len()
+    }
+}
+
 /// The shared server state: the store behind a [`RwLock`], the two
 /// result-cache tiers in front of it, and the (optional) durable
 /// writer behind one writer lock.
@@ -188,10 +583,14 @@ pub struct ServerState {
     /// writer lock first, then the store lock — never the reverse.
     writer: parking_lot::Mutex<Option<DurableStore>>,
     /// Set during graceful shutdown: responses advertise
-    /// `Connection: close` and queued connections are dropped.
+    /// `Connection: close` and queued-but-unstarted connections are
+    /// answered with a clean `503` instead of being served.
     draining: AtomicBool,
     json_renders: AtomicU64,
     connections: AtomicU64,
+    overload: OverloadStats,
+    /// The shed-window clock's epoch (server start).
+    started: Instant,
 }
 
 impl ServerState {
@@ -216,6 +615,8 @@ impl ServerState {
             draining: AtomicBool::new(false),
             json_renders: AtomicU64::new(0),
             connections: AtomicU64::new(0),
+            overload: OverloadStats::default(),
+            started: Instant::now(),
         }
     }
 
@@ -226,7 +627,8 @@ impl ServerState {
 
     /// Flips the server into drain mode (used by graceful shutdown):
     /// every response from here on advertises `Connection: close`, and
-    /// workers drop queued connections instead of serving them.
+    /// workers answer queued-but-unstarted connections with a `503`
+    /// instead of serving them.
     pub fn begin_drain(&self) {
         self.draining.store(true, Ordering::Release);
     }
@@ -380,6 +782,51 @@ impl ServerState {
         self.connections.load(Ordering::Relaxed)
     }
 
+    /// The overload counters `/stats` and `/readyz` report.
+    pub fn overload(&self) -> &OverloadStats {
+        &self.overload
+    }
+
+    /// Seconds since start-up: the shed-window clock.
+    fn clock_secs(&self) -> u64 {
+        self.started.elapsed().as_secs()
+    }
+
+    fn note_admitted(&self) {
+        self.overload.note_admitted(self.clock_secs());
+    }
+
+    fn note_shed(&self, reason: ShedReason) {
+        self.overload.note_shed(reason, self.clock_secs());
+    }
+
+    /// Whether the WAL writer refused further appends after an earlier
+    /// disk failure (see `DurableStore::poisoned`). Volatile stores
+    /// report `false`.
+    pub fn wal_poisoned(&self) -> bool {
+        self.writer.lock().as_ref().is_some_and(|d| d.poisoned())
+    }
+
+    /// The shed rate over the trailing window, or `0.0` while the
+    /// window holds too few events to be meaningful.
+    pub fn recent_shed_rate(&self) -> f64 {
+        let (shed, total) = self.overload.window_counts(self.clock_secs());
+        if total < READY_MIN_WINDOW_EVENTS {
+            0.0
+        } else {
+            shed as f64 / total as f64
+        }
+    }
+
+    /// Splits a total byte budget evenly across both cache tiers
+    /// (rendered bodies + serialized responses); eviction is
+    /// stale-first, then least-recently-used.
+    pub fn set_cache_budget(&self, total_bytes: usize) {
+        let half = (total_bytes / 2).max(1);
+        self.cache.set_budget(half);
+        self.responses.set_budget(half);
+    }
+
     fn rendered(&self, response: &api::Response) -> String {
         self.json_renders.fetch_add(1, Ordering::Relaxed);
         serde_json::to_string(&response_to_json(response))
@@ -483,8 +930,16 @@ pub fn serve_with(
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
-    let (tx, rx) = mpsc::channel::<TcpStream>();
+    if let Some(budget) = options.cache_budget {
+        state.set_cache_budget(budget);
+    }
+    // The bounded admission queue: accepted connections wait here for
+    // a pool worker, stamped with their admission instant so queue
+    // wait counts toward the first request's deadline. `try_send` on
+    // a full queue is the cheap-reject signal.
+    let (tx, rx) = mpsc::sync_channel::<(TcpStream, Instant)>(options.max_queued.max(1));
     let rx = Arc::new(Mutex::new(rx));
+    let gates = Arc::new(ClassGates::for_options(&options));
     let workers = options.workers.max(1);
     let active: Arc<[Mutex<Option<TcpStream>>]> = (0..workers).map(|_| Mutex::new(None)).collect();
     let mut pool = Vec::with_capacity(workers);
@@ -493,14 +948,20 @@ pub fn serve_with(
         let state = Arc::clone(&state);
         let options = options.clone();
         let active = Arc::clone(&active);
+        let gates = Arc::clone(&gates);
         pool.push(std::thread::spawn(move || loop {
             // Holding the lock only for the recv keeps the pool fair.
             let next = rx.lock().expect("worker queue lock").recv();
             match next {
-                Ok(stream) => {
+                Ok((mut stream, admitted)) => {
+                    state.overload.queue_dequeued();
                     if state.is_draining() {
                         // Graceful shutdown: connections still queued
-                        // were never served — drop, don't start.
+                        // were never served — answer a clean 503 and
+                        // close instead of silently dropping them.
+                        let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+                        state.note_shed(ShedReason::Draining);
+                        write_shed_unread(&mut stream, ShedReason::Draining);
                         continue;
                     }
                     if let Ok(mut slot) = active[id].lock() {
@@ -511,7 +972,7 @@ pub fn serve_with(
                     // (parser, socket plumbing) must not shrink the
                     // pool for the rest of the process lifetime.
                     let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        handle_connection(stream, &state, &options)
+                        handle_connection(stream, admitted, &state, &options, &gates)
                     }));
                     if let Ok(mut slot) = active[id].lock() {
                         *slot = None;
@@ -530,9 +991,22 @@ pub fn serve_with(
             }
             if let Ok(stream) = stream {
                 accept_state.connections.fetch_add(1, Ordering::Relaxed);
-                // A send can only fail if every worker panicked.
-                if tx.send(stream).is_err() {
-                    break;
+                match tx.try_send((stream, Instant::now())) {
+                    Ok(()) => {
+                        accept_state.overload.queue_enqueued();
+                        accept_state.note_admitted();
+                    }
+                    Err(TrySendError::Full((mut stream, _))) => {
+                        // The cheap reject: the accept thread answers
+                        // the canned 503 itself — no parsing, no
+                        // evaluation, no worker time — and moves on.
+                        accept_state.note_shed(ShedReason::QueueFull);
+                        let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+                        write_shed_unread(&mut stream, ShedReason::QueueFull);
+                    }
+                    // Disconnected can only happen if every worker
+                    // panicked.
+                    Err(TrySendError::Disconnected(_)) => break,
                 }
             }
         }
@@ -870,7 +1344,13 @@ fn parse_head(head: &[u8]) -> Parsed {
 // Connection handling
 // ---------------------------------------------------------------------
 
-fn handle_connection(mut stream: TcpStream, state: &ServerState, options: &ServeOptions) {
+fn handle_connection(
+    mut stream: TcpStream,
+    admitted: Instant,
+    state: &ServerState,
+    options: &ServeOptions,
+    gates: &ClassGates,
+) {
     // Responses are written whole (one write_all per response), so
     // Nagle only adds latency for pipelined bursts. Both directions
     // carry the timeout: a client that stops *reading* must not pin a
@@ -879,6 +1359,16 @@ fn handle_connection(mut stream: TcpStream, state: &ServerState, options: &Serve
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(options.idle_timeout));
     let _ = stream.set_write_timeout(Some(options.idle_timeout));
+    // Queue-wait shed: a connection whose wait in the admission queue
+    // already consumed its whole deadline is answered before any read
+    // or parse — no work for a request the client has given up on.
+    if let Some(limit) = options.request_deadline {
+        if admitted.elapsed() > limit {
+            state.note_shed(ShedReason::Deadline);
+            write_shed_unread(&mut stream, ShedReason::Deadline);
+            return;
+        }
+    }
     let mut parser = RequestBuffer::new();
     let mut chunk = [0u8; 4096];
     let mut served = 0usize;
@@ -888,7 +1378,12 @@ fn handle_connection(mut stream: TcpStream, state: &ServerState, options: &Serve
     // indefinitely. While a head is partial, the socket read timeout
     // shrinks to the *remaining* deadline, so the worker is pinned
     // for at most ~idle_timeout total per head.
-    let mut head_started: Option<std::time::Instant> = None;
+    let mut head_started: Option<Instant> = None;
+    // The current request's deadline clock. The first request clocks
+    // from admission (queue wait counts); after each response the
+    // clock clears and restarts at the next request's first buffered
+    // byte, so idle keep-alive gaps never count against a deadline.
+    let mut request_clock: Option<Instant> = Some(admitted);
     loop {
         // Drain every already-buffered request (pipelining) before
         // touching the socket again.
@@ -908,6 +1403,20 @@ fn handle_connection(mut stream: TcpStream, state: &ServerState, options: &Serve
                     let _ = write_response(&mut stream, &payload, true);
                     return;
                 }
+                let clock = request_clock.take().unwrap_or_else(Instant::now);
+                let deadline = options.request_deadline.map(|d| clock + d);
+                // The admission contract: a request past its deadline
+                // is never evaluated.
+                if deadline.is_some_and(|d| Instant::now() > d) {
+                    state.note_shed(ShedReason::Deadline);
+                    write_shed(&mut stream, ShedReason::Deadline);
+                    return;
+                }
+                let ctx = RequestContext {
+                    options,
+                    gates,
+                    deadline,
+                };
                 // Panic isolation, inner layer: a panicking handler
                 // answers 500 and the connection closes, but the
                 // worker survives to serve the next connection. The
@@ -917,13 +1426,21 @@ fn handle_connection(mut stream: TcpStream, state: &ServerState, options: &Serve
                     if options.debug_panic && request.target == "/debug/panic" {
                         panic!("debug panic requested");
                     }
-                    route(&request, state)
+                    route(&request, state, &ctx)
                 }));
                 match routed {
-                    Ok(payload) => {
+                    Ok(RouteOutcome::Response(payload)) => {
+                        if deadline.is_some_and(|d| Instant::now() > d) {
+                            state.overload.note_deadline_late();
+                        }
                         if write_response(&mut stream, &payload, close).is_err() || close {
                             return;
                         }
+                    }
+                    Ok(RouteOutcome::Shed(reason)) => {
+                        state.note_shed(reason);
+                        write_shed(&mut stream, reason);
+                        return;
                     }
                     Err(_) => {
                         let payload = encode_response(
@@ -944,7 +1461,8 @@ fn handle_connection(mut stream: TcpStream, state: &ServerState, options: &Serve
             }
             Parsed::Incomplete => {
                 if parser.pending() > 0 {
-                    let started = *head_started.get_or_insert_with(std::time::Instant::now);
+                    let started = *head_started.get_or_insert_with(Instant::now);
+                    let clock = *request_clock.get_or_insert(started);
                     let remaining = options.idle_timeout.saturating_sub(started.elapsed());
                     if remaining.is_zero() {
                         let payload =
@@ -952,6 +1470,21 @@ fn handle_connection(mut stream: TcpStream, state: &ServerState, options: &Serve
                         let _ = write_response(&mut stream, &payload, true);
                         return;
                     }
+                    // A partial request races *both* clocks: the head
+                    // deadline (400, a protocol fault) and the request
+                    // deadline (503 shed, an overload signal).
+                    let remaining = match options.request_deadline {
+                        Some(limit) => {
+                            let left = (clock + limit).saturating_duration_since(Instant::now());
+                            if left.is_zero() {
+                                state.note_shed(ShedReason::Deadline);
+                                write_shed_unread(&mut stream, ShedReason::Deadline);
+                                return;
+                            }
+                            remaining.min(left)
+                        }
+                        None => remaining,
+                    };
                     let _ = stream.set_read_timeout(Some(remaining));
                 }
                 match stream.read(&mut chunk) {
@@ -966,6 +1499,64 @@ fn handle_connection(mut stream: TcpStream, state: &ServerState, options: &Serve
     }
 }
 
+/// Writes the canned shed response for `reason`: a `503` with
+/// `Retry-After` and `Connection: close`, pre-serialized so the
+/// reject path allocates and formats nothing.
+fn write_shed(stream: &mut TcpStream, reason: ShedReason) {
+    let _ = stream.write_all(shed_response_bytes(reason));
+    let _ = stream.flush();
+}
+
+/// [`write_shed`] for the sites that answer *before* the request
+/// bytes were read (queue-full and draining rejects, queue-wait and
+/// mid-head deadline sheds). Closing a socket with unread data in its
+/// receive buffer makes the kernel send RST, which can destroy the
+/// in-flight `503` before the client reads it — so after writing,
+/// half-close the send side and drain until the client closes
+/// (bounded: a well-behaved client reads the response and closes
+/// within a round trip; a trickler costs at most ~200 ms).
+fn write_shed_unread(stream: &mut TcpStream, reason: ShedReason) {
+    write_shed(stream, reason);
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let deadline = Instant::now() + Duration::from_millis(150);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut scratch = [0u8; 4096];
+    while Instant::now() < deadline {
+        match stream.read(&mut scratch) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+}
+
+fn shed_response_bytes(reason: ShedReason) -> &'static [u8] {
+    static PAYLOADS: std::sync::OnceLock<[Vec<u8>; 4]> = std::sync::OnceLock::new();
+    let idx = match reason {
+        ShedReason::QueueFull => 0,
+        ShedReason::Deadline => 1,
+        ShedReason::ClassSaturated => 2,
+        ShedReason::Draining => 3,
+    };
+    &PAYLOADS.get_or_init(|| {
+        [
+            ShedReason::QueueFull,
+            ShedReason::Deadline,
+            ShedReason::ClassSaturated,
+            ShedReason::Draining,
+        ]
+        .map(|r| {
+            let body = error_body(r.message());
+            format!(
+                "HTTP/1.1 503 Service Unavailable\r\nContent-Type: application/json\r\n\
+                 Content-Length: {}\r\nRetry-After: {RETRY_AFTER_SECS}\r\n\
+                 Connection: close\r\n\r\n{body}",
+                body.len()
+            )
+            .into_bytes()
+        })
+    })[idx]
+}
+
 /// The one response-head rendering both framings share; the closing
 /// variant only adds the `Connection: close` header (HTTP/1.1
 /// defaults to persistent, so the keep-alive form carries none).
@@ -975,6 +1566,7 @@ fn response_head(status: u16, content_length: usize, close: bool) -> String {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        503 => "Service Unavailable",
         _ => "Internal Server Error",
     };
     let connection = if close { "Connection: close\r\n" } else { "" };
@@ -1085,7 +1677,8 @@ impl Params {
     }
 }
 
-/// Routes one parsed request to its serialized response.
+/// Routes one parsed request to its serialized response — or to a
+/// shed decision.
 ///
 /// Cacheable GET endpoints walk the tiers top-down: serialized
 /// response bytes (tier 2, zero-allocation hit), then rendered body
@@ -1093,17 +1686,36 @@ impl Params {
 /// every entry stamped with the invalidation scopes it read. Write
 /// methods dispatch to the durable write flow and bump only the
 /// scopes they touched.
-fn route(request: &ParsedRequest, state: &ServerState) -> CachedResponse {
+///
+/// Overload discipline: cache probes run *before* the class gate, so
+/// a hot GET on a saturated compute class degrades to its cached body
+/// instead of shedding; only the expensive part (store compute +
+/// render, or a write) needs a permit, and a permit-holder re-checks
+/// its deadline before starting — queue wait and gate wait never leak
+/// into evaluation time.
+fn route(request: &ParsedRequest, state: &ServerState, ctx: &RequestContext) -> RouteOutcome {
     let (path, params) = parse_target(&request.target);
     let params = Params(params);
+    let class = classify(&request.method, &path);
+    let _inflight = GaugeGuard::new(state.overload.gauge(class));
     if request.method != "GET" {
+        let _permit = match ctx.gate_for(class) {
+            Ok(permit) => permit,
+            Err(reason) => return RouteOutcome::Shed(reason),
+        };
+        if ctx.expired() {
+            return RouteOutcome::Shed(ShedReason::Deadline);
+        }
         let outcome = route_write(&request.method, &path, &params, &request.body, state);
-        return match outcome {
+        return RouteOutcome::Response(match outcome {
             Ok(response) => encode_response(200, state.rendered(&response).into()),
             Err((status, body)) => encode_response(status, body.into()),
-        };
+        });
     }
-    match build_request(&path, &params) {
+    if path == "/debug/sleep" && ctx.options.debug_sleep {
+        return debug_sleep(&params, ctx);
+    }
+    RouteOutcome::Response(match build_request(&path, &params) {
         Ok(Routed::Api {
             request,
             cache_key,
@@ -1111,7 +1723,7 @@ fn route(request: &ParsedRequest, state: &ServerState) -> CachedResponse {
         }) => {
             if let Some(key) = cache_key {
                 if let Some(hit) = state.responses.get(&key) {
-                    return hit;
+                    return RouteOutcome::Response(hit);
                 }
                 let scope_refs: Vec<&str> = scopes.iter().map(String::as_str).collect();
                 let observed_bytes = state.responses.begin_scoped(scope_refs.iter().copied());
@@ -1119,21 +1731,35 @@ fn route(request: &ParsedRequest, state: &ServerState) -> CachedResponse {
                 let body: Option<Arc<str>> = state.cache.get(&key);
                 let body = match body {
                     Some(body) => body,
-                    None => match state.with_store(|s| api::handle(s, request)) {
-                        Ok(response) => {
-                            let rendered: Arc<str> = Arc::from(state.rendered(&response).as_str());
-                            state.cache.insert_scoped(
-                                key.clone(),
-                                Arc::clone(&rendered),
-                                observed_body,
-                            );
-                            rendered
+                    None => {
+                        // Only the miss path is expensive — gate it.
+                        let _permit = match ctx.gate_for(class) {
+                            Ok(permit) => permit,
+                            Err(reason) => return RouteOutcome::Shed(reason),
+                        };
+                        if ctx.expired() {
+                            return RouteOutcome::Shed(ShedReason::Deadline);
                         }
-                        Err(e) => {
-                            let (status, body) = store_error(e);
-                            return encode_response(status, body.into());
+                        match state.with_store(|s| api::handle(s, request)) {
+                            Ok(response) => {
+                                let rendered: Arc<str> =
+                                    Arc::from(state.rendered(&response).as_str());
+                                state.cache.insert_scoped(
+                                    key.clone(),
+                                    Arc::clone(&rendered),
+                                    observed_body,
+                                );
+                                rendered
+                            }
+                            Err(e) => {
+                                let (status, body) = store_error(e);
+                                return RouteOutcome::Response(encode_response(
+                                    status,
+                                    body.into(),
+                                ));
+                            }
                         }
-                    },
+                    }
                 };
                 let payload = encode_response(200, body.as_bytes().to_vec());
                 state
@@ -1141,6 +1767,13 @@ fn route(request: &ParsedRequest, state: &ServerState) -> CachedResponse {
                     .insert_scoped(key, payload.clone(), observed_bytes);
                 payload
             } else {
+                let _permit = match ctx.gate_for(class) {
+                    Ok(permit) => permit,
+                    Err(reason) => return RouteOutcome::Shed(reason),
+                };
+                if ctx.expired() {
+                    return RouteOutcome::Shed(ShedReason::Deadline);
+                }
                 match state.with_store(|s| api::handle(s, request)) {
                     Ok(response) => encode_response(200, state.rendered(&response).into()),
                     Err(e) => {
@@ -1150,33 +1783,113 @@ fn route(request: &ParsedRequest, state: &ServerState) -> CachedResponse {
                 }
             }
         }
-        Ok(Routed::Stats) => {
-            let cache = state.cache();
-            let responses = state.response_cache();
-            let body = serde_json::to_string(&Value::object([
-                ("generation".to_string(), Value::from(cache.generation())),
-                ("hits".to_string(), Value::from(cache.hits())),
-                ("misses".to_string(), Value::from(cache.misses())),
-                ("entries".to_string(), Value::from(cache.len())),
-                ("response_hits".to_string(), Value::from(responses.hits())),
-                (
-                    "response_misses".to_string(),
-                    Value::from(responses.misses()),
-                ),
-                ("response_entries".to_string(), Value::from(responses.len())),
-                (
-                    "json_renders".to_string(),
-                    Value::from(state.json_renders()),
-                ),
-                (
-                    "connections".to_string(),
-                    Value::from(state.connections_accepted()),
-                ),
-            ]));
+        Ok(Routed::Stats) => stats_response(state),
+        Ok(Routed::Health) => {
+            // Liveness: the process routes requests. Nothing else.
+            let body =
+                serde_json::to_string(&Value::object([("ok".to_string(), Value::from(true))]));
             encode_response(200, body.into())
         }
+        Ok(Routed::Ready) => readyz_response(state, ctx.options),
         Err((status, body)) => encode_response(status, body.into()),
+    })
+}
+
+/// `GET /debug/sleep?ms=N` (test-only): a compute-class request that
+/// holds its worker and compute permit for `N` ms — the deterministic
+/// load the overload tests saturate the server with.
+fn debug_sleep(params: &Params, ctx: &RequestContext) -> RouteOutcome {
+    let ms = match parse_param(params, "ms", "50", |s| s.parse::<u64>().ok()) {
+        Ok(ms) => ms.min(10_000),
+        Err((status, body)) => return RouteOutcome::Response(encode_response(status, body.into())),
+    };
+    let _permit = match ctx.gate_for(Class::Compute) {
+        Ok(permit) => permit,
+        Err(reason) => return RouteOutcome::Shed(reason),
+    };
+    if ctx.expired() {
+        return RouteOutcome::Shed(ShedReason::Deadline);
     }
+    std::thread::sleep(Duration::from_millis(ms));
+    let body = serde_json::to_string(&Value::object([("slept_ms".to_string(), Value::from(ms))]));
+    RouteOutcome::Response(encode_response(200, body.into()))
+}
+
+/// The `/stats` body: cache counters plus the overload block
+/// (queue gauges, sheds by reason, per-class in-flight, cache bytes).
+fn stats_response(state: &ServerState) -> CachedResponse {
+    let cache = state.cache();
+    let responses = state.response_cache();
+    let ov = state.overload();
+    let [queue_full, deadline, class_saturated, draining] = ov.sheds();
+    let (inflight_cached, inflight_compute, inflight_write) = ov.inflight();
+    let body = serde_json::to_string(&Value::object([
+        ("generation".to_string(), Value::from(cache.generation())),
+        ("hits".to_string(), Value::from(cache.hits())),
+        ("misses".to_string(), Value::from(cache.misses())),
+        ("entries".to_string(), Value::from(cache.len())),
+        ("response_hits".to_string(), Value::from(responses.hits())),
+        (
+            "response_misses".to_string(),
+            Value::from(responses.misses()),
+        ),
+        ("response_entries".to_string(), Value::from(responses.len())),
+        ("cache_bytes".to_string(), Value::from(cache.bytes())),
+        (
+            "response_cache_bytes".to_string(),
+            Value::from(responses.bytes()),
+        ),
+        (
+            "json_renders".to_string(),
+            Value::from(state.json_renders()),
+        ),
+        (
+            "connections".to_string(),
+            Value::from(state.connections_accepted()),
+        ),
+        ("queue_depth".to_string(), Value::from(ov.queue_depth())),
+        (
+            "queue_max_depth".to_string(),
+            Value::from(ov.queue_max_depth()),
+        ),
+        ("admitted".to_string(), Value::from(ov.admitted())),
+        ("shed_queue_full".to_string(), Value::from(queue_full)),
+        ("shed_deadline".to_string(), Value::from(deadline)),
+        (
+            "shed_class_saturated".to_string(),
+            Value::from(class_saturated),
+        ),
+        ("shed_draining".to_string(), Value::from(draining)),
+        (
+            "deadline_exceeded".to_string(),
+            Value::from(ov.deadline_exceeded()),
+        ),
+        ("inflight_cached".to_string(), Value::from(inflight_cached)),
+        (
+            "inflight_compute".to_string(),
+            Value::from(inflight_compute),
+        ),
+        ("inflight_write".to_string(), Value::from(inflight_write)),
+    ]));
+    encode_response(200, body.into())
+}
+
+/// The `/readyz` body + status: ready (200) only while the store is
+/// loaded, the WAL has not been poisoned by a disk failure, and the
+/// recent shed rate is below the configured threshold.
+fn readyz_response(state: &ServerState, options: &ServeOptions) -> CachedResponse {
+    let poisoned = state.wal_poisoned();
+    let shed_rate = state.recent_shed_rate();
+    let draining = state.is_draining();
+    let ready = !poisoned && !draining && shed_rate <= options.shed_ready_threshold;
+    let body = serde_json::to_string(&Value::object([
+        ("ready".to_string(), Value::from(ready)),
+        ("store_loaded".to_string(), Value::from(true)),
+        ("wal_poisoned".to_string(), Value::from(poisoned)),
+        ("draining".to_string(), Value::from(draining)),
+        ("recent_shed_rate".to_string(), Value::from(shed_rate)),
+    ]));
+    encode_response(if ready { 200 } else { 503 }, body.into())
 }
 
 /// The write-method dispatcher: `POST /experiments` (CSV import),
@@ -1227,6 +1940,11 @@ enum Routed {
         scopes: Vec<String>,
     },
     Stats,
+    /// `/healthz`: liveness.
+    Health,
+    /// `/readyz`: readiness (store loaded, WAL healthy, shed rate
+    /// under threshold).
+    Ready,
 }
 
 fn build_request(path: &str, params: &Params) -> Result<Routed, (u16, String)> {
@@ -1370,6 +2088,8 @@ fn build_request(path: &str, params: &Params) -> Result<Routed, (u16, String)> {
             api(Request::GetQualitySignals { experiment }, Some(key), scopes)
         }
         "/stats" => Ok(Routed::Stats),
+        "/healthz" => Ok(Routed::Health),
+        "/readyz" => Ok(Routed::Ready),
         other => Err((404, error_body(&format!("no such endpoint {other:?}")))),
     }
 }

@@ -1,4 +1,4 @@
-//! A sharded, generation-stamped concurrent cache for derived
+//! A sharded, generation-stamped, byte-budgeted LRU cache for derived
 //! artifacts.
 //!
 //! The long-lived `frostd` server memoizes rendered results — diagram
@@ -7,7 +7,7 @@
 //! stack *tiers* with one invalidation rule: a first tier of rendered
 //! JSON bodies (`Arc<str>`, the default) and a second tier of fully
 //! serialized HTTP response bytes (`Arc<[u8]>` behind a server-side
-//! wrapper), both stamped with the same store generation. Two
+//! wrapper), both stamped with the same store generation. Three
 //! properties matter for a shared deployment (§5.2 allows both local
 //! and hosted instances):
 //!
@@ -22,27 +22,62 @@
 //!   mutation is also safe, because the writer stamps the entry with
 //!   the generation it observed **before** computing
 //!   ([`ShardedCache::begin`]) and [`ShardedCache::insert`] refuses
-//!   the entry when that stamp is no longer current.
-//! * **Scoped invalidation** — with a live write path, bumping the
-//!   global generation on every import would evict *everything* a
-//!   busy server has cached, even entries that never read the
-//!   imported experiment. Entries inserted via
-//!   [`ShardedCache::begin_scoped`] / [`ShardedCache::insert_scoped`]
-//!   are additionally stamped with the named *scopes* they read (an
-//!   experiment, a dataset, the experiment listing). A mutation calls
-//!   [`ShardedCache::invalidate_scopes`] with only the scopes it
-//!   touched; entries stamped with other scopes stay live. The global
-//!   generation remains the big hammer for store-replacement events.
+//!   the entry when that stamp is no longer current. Entries inserted
+//!   via [`ShardedCache::begin_scoped`] /
+//!   [`ShardedCache::insert_scoped`] are additionally stamped with the
+//!   named *scopes* they read, so a write invalidates only what it
+//!   touched ([`ShardedCache::invalidate_scopes`]).
+//! * **Bounded memory, deterministic eviction** — every entry carries
+//!   its tracked byte size ([`CacheWeight`]), each shard carries a
+//!   byte budget ([`ShardedCache::set_budget`]) alongside the entry
+//!   cap, and going over either bound evicts **stale entries first**
+//!   (anything an intervening mutation already invalidated), then the
+//!   **least-recently-used** live entry — never an arbitrary
+//!   map-iteration victim. A flood of distinct request shapes
+//!   therefore cannot grow the daemon's resident set past the
+//!   configured budget, and hot entries survive the churn.
 
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-/// Entries per shard before insertion evicts (stale first, then an
-/// arbitrary victim).
+/// Entries per shard before insertion evicts (stale first, then the
+/// least-recently-used) — the shape-count bound that predates the byte
+/// budget and still caps pathological tiny-entry floods.
 const MAX_SHARD_ENTRIES: usize = 512;
+
+/// Recency-queue slack before compaction: the lazy LRU queue may hold
+/// superseded touch records, and is rebuilt once it exceeds twice the
+/// live entry count (plus headroom for small shards).
+const ORDER_SLACK: usize = 16;
+
+/// The tracked byte size of a cached value — the payload bytes an
+/// entry pins (keys are accounted separately). Implemented by both
+/// server tiers so the cache can enforce a byte budget.
+pub trait CacheWeight {
+    /// Approximate heap bytes held by this value.
+    fn weight(&self) -> usize;
+}
+
+impl CacheWeight for Arc<str> {
+    fn weight(&self) -> usize {
+        self.len()
+    }
+}
+
+impl CacheWeight for Arc<[u8]> {
+    fn weight(&self) -> usize {
+        self.len()
+    }
+}
+
+impl CacheWeight for (Arc<[u8]>, usize) {
+    fn weight(&self) -> usize {
+        self.0.len()
+    }
+}
 
 struct Entry<V> {
     generation: u64,
@@ -51,10 +86,69 @@ struct Entry<V> {
     /// recorded value. Empty for scope-blind entries.
     scopes: Box<[(String, u64)]>,
     value: V,
+    /// Tracked size: key bytes + value weight.
+    bytes: usize,
+    /// The recency tick of this entry's latest touch; an older tick
+    /// queued in [`ShardInner::order`] is a superseded record.
+    touched: u64,
 }
 
-/// One lock domain: a mutex-guarded map of generation-stamped entries.
-type Shard<V> = Mutex<HashMap<String, Entry<V>>>;
+/// One lock domain: the entry map plus its LRU bookkeeping.
+struct ShardInner<V> {
+    map: HashMap<Arc<str>, Entry<V>>,
+    /// Lazy recency queue, oldest first. Each touch pushes a
+    /// `(tick, key)` record; a record whose tick no longer matches the
+    /// entry's `touched` is skipped on pop (the entry was used again
+    /// later), so both touches and evictions stay amortized O(1).
+    order: VecDeque<(u64, Arc<str>)>,
+    /// Monotonic touch counter (shard-local).
+    tick: u64,
+    /// Tracked bytes currently held by `map`.
+    bytes: usize,
+}
+
+impl<V> ShardInner<V> {
+    fn new() -> Self {
+        Self {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            tick: 0,
+            bytes: 0,
+        }
+    }
+
+    fn touch(&mut self, key: &Arc<str>) {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(e) = self.map.get_mut(key) {
+            e.touched = tick;
+        }
+        self.order.push_back((tick, Arc::clone(key)));
+        if self.order.len() > self.map.len() * 2 + ORDER_SLACK {
+            let map = &self.map;
+            self.order
+                .retain(|(t, k)| map.get(k).is_some_and(|e| e.touched == *t));
+        }
+    }
+
+    fn remove(&mut self, key: &str) -> bool {
+        match self.map.remove(key) {
+            Some(e) => {
+                self.bytes -= e.bytes;
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+        self.order.clear();
+        self.bytes = 0;
+    }
+}
+
+type Shard<V> = Mutex<ShardInner<V>>;
 
 /// The stamp for a scoped compute: the global generation plus every
 /// scope generation observed **before** the compute started. Produced
@@ -68,8 +162,8 @@ pub struct ScopedStamp {
 
 /// The cache, generic over the cached value (cheaply cloneable —
 /// tiers store `Arc`s). See the [module docs](self) for the
-/// invalidation rule.
-pub struct ShardedCache<V: Clone = Arc<str>> {
+/// invalidation and eviction rules.
+pub struct ShardedCache<V: Clone + CacheWeight = Arc<str>> {
     shards: Box<[Shard<V>]>,
     /// Current store generation; entries stamped with an older value
     /// are stale.
@@ -77,21 +171,48 @@ pub struct ShardedCache<V: Clone = Arc<str>> {
     /// Per-scope generations (absent scope = 0). Lock order: a shard
     /// lock may be held when taking this lock, never the reverse.
     scope_gens: Mutex<HashMap<String, u64>>,
+    /// Total tracked-byte budget across all shards (each shard is
+    /// bounded by its equal split). `usize::MAX` = entry-cap only.
+    budget: AtomicUsize,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
-impl<V: Clone> ShardedCache<V> {
+impl<V: Clone + CacheWeight> ShardedCache<V> {
     /// Creates a cache with `shards` independent lock domains (rounded
-    /// up to a power of two, minimum 1).
+    /// up to a power of two, minimum 1) and no byte budget — the
+    /// per-shard entry cap is the only bound until
+    /// [`set_budget`](Self::set_budget) is called.
     pub fn new(shards: usize) -> Self {
         let n = shards.max(1).next_power_of_two();
         Self {
-            shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..n).map(|_| Mutex::new(ShardInner::new())).collect(),
             generation: AtomicU64::new(0),
             scope_gens: Mutex::new(HashMap::new()),
+            budget: AtomicUsize::new(usize::MAX),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Sets the total tracked-byte budget (split evenly across
+    /// shards). Takes effect on the next insertions; it does not
+    /// proactively sweep already-cached entries.
+    pub fn set_budget(&self, bytes: usize) {
+        self.budget.store(bytes.max(1), Ordering::Relaxed);
+    }
+
+    /// The configured total byte budget (`usize::MAX` = unbudgeted).
+    pub fn budget(&self) -> usize {
+        self.budget.load(Ordering::Relaxed)
+    }
+
+    fn shard_budget(&self) -> usize {
+        let budget = self.budget.load(Ordering::Relaxed);
+        if budget == usize::MAX {
+            usize::MAX
+        } else {
+            (budget / self.shards.len()).max(1)
         }
     }
 
@@ -130,8 +251,9 @@ impl<V: Clone> ShardedCache<V> {
     /// Bumps the named scopes, logically evicting every entry stamped
     /// with any of them. Entries stamped only with other scopes stay
     /// live — this is the fine-grained counterpart of
-    /// [`invalidate`](Self::invalidate). Eviction is lazy (on lookup):
-    /// scoped writes are frequent and must not pay a full sweep.
+    /// [`invalidate`](Self::invalidate). Eviction is lazy (on lookup,
+    /// or stale-first when an insertion goes over budget): scoped
+    /// writes are frequent and must not pay a full sweep.
     pub fn invalidate_scopes<'a>(&self, scopes: impl IntoIterator<Item = &'a str>) {
         let mut gens = self.scope_gens.lock();
         for scope in scopes {
@@ -164,13 +286,13 @@ impl<V: Clone> ShardedCache<V> {
 
     /// Looks up a key, counting a hit or miss. Entries from an older
     /// generation — global or any stamped scope — are dropped and
-    /// reported as misses.
+    /// reported as misses; a hit refreshes the entry's LRU position.
     pub fn get(&self, key: &str) -> Option<V> {
         let mut shard = self.shard(key).lock();
         // Read under the shard lock: a racing invalidate + re-insert
         // must not make a freshly stamped entry look stale.
         let current = self.generation();
-        let fresh = match shard.get(key) {
+        let fresh = match shard.map.get(key) {
             Some(e) => e.generation == current && self.scopes_current(&e.scopes),
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
@@ -178,7 +300,11 @@ impl<V: Clone> ShardedCache<V> {
             }
         };
         if fresh {
-            let value = shard[key].value.clone();
+            let (stored_key, value) = {
+                let (k, e) = shard.map.get_key_value(key).expect("checked above");
+                (Arc::clone(k), e.value.clone())
+            };
+            shard.touch(&stored_key);
             self.hits.fetch_add(1, Ordering::Relaxed);
             Some(value)
         } else {
@@ -207,32 +333,66 @@ impl<V: Clone> ShardedCache<V> {
         if observed != self.generation() {
             return;
         }
+        let bytes = key.len() + value.weight();
+        let key: Arc<str> = Arc::from(key);
         let mut shard = self.shard(&key).lock();
         // Re-check under the shard lock: an invalidation racing the
         // first check must not let a stale value land.
         if observed != self.generation() || !self.scopes_current(&scopes) {
             return;
         }
-        // Bound each shard: distinct request shapes are unbounded
-        // (e.g. every `samples` value is its own key), so a full
-        // shard first drops stale entries, then an arbitrary victim
-        // — memory stays O(shards · MAX_SHARD_ENTRIES).
-        if shard.len() >= MAX_SHARD_ENTRIES && !shard.contains_key(&key) {
-            shard.retain(|_, e| e.generation == observed && self.scopes_current(&e.scopes));
-            if shard.len() >= MAX_SHARD_ENTRIES {
-                if let Some(evict) = shard.keys().next().cloned() {
-                    shard.remove(&evict);
-                }
-            }
-        }
-        shard.insert(
-            key,
+        shard.remove(&key);
+        shard.bytes += bytes;
+        shard.map.insert(
+            Arc::clone(&key),
             Entry {
                 generation: observed,
                 scopes,
                 value,
+                bytes,
+                touched: 0,
             },
         );
+        shard.touch(&key);
+        self.evict_over_bounds(&mut shard, observed);
+    }
+
+    /// Brings a shard back under both bounds (entry cap and byte
+    /// budget): first drops every **stale** entry (older generation or
+    /// bumped scope — already logically evicted, just not yet
+    /// collected), then pops **least-recently-used** live entries
+    /// until the bounds hold. Both phases are deterministic; the most
+    /// recently inserted/touched entry is evicted last, and only if it
+    /// alone exceeds the budget.
+    fn evict_over_bounds(&self, shard: &mut ShardInner<V>, current: u64) {
+        let budget = self.shard_budget();
+        let over = |s: &ShardInner<V>| s.map.len() > MAX_SHARD_ENTRIES || s.bytes > budget;
+        if !over(shard) {
+            return;
+        }
+        // Stale-first: reclaim logically dead entries before touching
+        // any live one.
+        let stale: Vec<Arc<str>> = shard
+            .map
+            .iter()
+            .filter(|(_, e)| e.generation != current || !self.scopes_current(&e.scopes))
+            .map(|(k, _)| Arc::clone(k))
+            .collect();
+        for key in stale {
+            shard.remove(&key);
+        }
+        // Then strict LRU: pop recency records oldest-first, skipping
+        // superseded ones.
+        while over(shard) {
+            match shard.order.pop_front() {
+                Some((tick, key)) => {
+                    if shard.map.get(&key).is_some_and(|e| e.touched == tick) {
+                        shard.remove(&key);
+                    }
+                }
+                None => break, // map must be empty too
+            }
+        }
     }
 
     /// Cache hits since construction.
@@ -248,7 +408,13 @@ impl<V: Clone> ShardedCache<V> {
     /// Live entries across all shards (stale entries not yet evicted
     /// count too).
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().len()).sum()
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
+    }
+
+    /// Tracked bytes across all shards (key bytes + value weights,
+    /// stale-but-uncollected entries included).
+    pub fn bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().bytes).sum()
     }
 
     /// Whether no entries are cached.
@@ -275,6 +441,7 @@ mod tests {
         assert_eq!(cache.hits(), 1);
         assert_eq!(cache.misses(), 1);
         assert_eq!(cache.len(), 1);
+        assert_eq!(cache.bytes(), "a".len() + "1".len());
         assert!(!cache.is_empty());
     }
 
@@ -288,6 +455,7 @@ mod tests {
         assert!(cache.get("a").is_none(), "stale entries must miss");
         // Invalidation frees the shard maps eagerly.
         assert_eq!(cache.len(), 0);
+        assert_eq!(cache.bytes(), 0);
         let g2 = cache.begin();
         assert_eq!(g2, g + 1);
         cache.insert("a", arc("3"), g2);
@@ -317,6 +485,84 @@ mod tests {
         let before = cache.len();
         cache.insert("k0", arc("v2"), g);
         assert!(cache.len() <= before.max(MAX_SHARD_ENTRIES));
+    }
+
+    #[test]
+    fn byte_budget_is_enforced() {
+        let cache = ShardedCache::new(1);
+        // Each entry: 3-byte key + 10-byte value = 13 tracked bytes.
+        cache.set_budget(5 * 13);
+        let g = cache.begin();
+        for i in 10..40 {
+            cache.insert(format!("k{i}"), arc("0123456789"), g);
+        }
+        assert!(
+            cache.bytes() <= cache.budget(),
+            "tracked bytes {} must stay within the budget {}",
+            cache.bytes(),
+            cache.budget()
+        );
+        assert_eq!(cache.len(), 5);
+        // The survivors are exactly the five most recent insertions.
+        for i in 35..40 {
+            assert!(cache.get(&format!("k{i}")).is_some(), "k{i} must survive");
+        }
+    }
+
+    /// The PR-7 regression pin: the eviction victim is chosen by
+    /// recency, not by `HashMap` iteration order — a hot (recently
+    /// read) entry survives insertion pressure that evicts a colder
+    /// sibling inserted after it.
+    #[test]
+    fn eviction_is_lru_not_arbitrary() {
+        let cache = ShardedCache::new(1);
+        cache.set_budget(3 * 12); // three 12-byte entries fit
+        let g = cache.begin();
+        cache.insert("aa", arc("0123456789"), g);
+        cache.insert("bb", arc("0123456789"), g);
+        cache.insert("cc", arc("0123456789"), g);
+        // Touch "aa": it is now the most recently used, "bb" the LRU.
+        assert!(cache.get("aa").is_some());
+        cache.insert("dd", arc("0123456789"), g);
+        assert!(cache.get("bb").is_none(), "LRU victim must be bb");
+        assert!(cache.get("aa").is_some(), "recently read entry survives");
+        assert!(cache.get("cc").is_some());
+        assert!(cache.get("dd").is_some());
+    }
+
+    /// Stale entries are reclaimed before any live entry is evicted,
+    /// even when the stale entry is the most recently used.
+    #[test]
+    fn eviction_prefers_stale_over_live() {
+        let cache = ShardedCache::new(1);
+        cache.set_budget(3 * 12);
+        let g = cache.begin();
+        cache.insert("aa", arc("0123456789"), g);
+        let stamp = cache.begin_scoped(["exp:dead"]);
+        cache.insert_scoped("bb", arc("0123456789"), stamp);
+        cache.insert("cc", arc("0123456789"), g);
+        // "bb" is logically dead but the most recently *inserted live
+        // touch* is "cc"; make "bb" also the most recently used so the
+        // stale-first rule (not recency) must save the live entries.
+        assert!(cache.get("bb").is_some());
+        cache.invalidate_scopes(["exp:dead"]);
+        cache.insert("dd", arc("0123456789"), g);
+        assert!(cache.get("aa").is_some(), "live LRU survives: stale first");
+        assert!(cache.get("cc").is_some());
+        assert!(cache.get("dd").is_some());
+        assert!(cache.get("bb").is_none());
+    }
+
+    #[test]
+    fn oversized_value_does_not_pin_the_cache() {
+        let cache = ShardedCache::new(1);
+        cache.set_budget(16);
+        let g = cache.begin();
+        cache.insert("k", Arc::<str>::from("x".repeat(64).as_str()), g);
+        assert!(
+            cache.bytes() <= 16,
+            "an entry larger than the whole budget must not stick"
+        );
     }
 
     #[test]
@@ -380,6 +626,33 @@ mod tests {
         cache.insert("k", arc("v"), g);
         cache.invalidate_scopes(["exp:a", "sys:experiments"]);
         assert_eq!(cache.get("k").as_deref(), Some("v"));
+    }
+
+    #[test]
+    fn dropped_stale_lookup_releases_its_bytes() {
+        let cache = ShardedCache::new(1);
+        let stamp = cache.begin_scoped(["exp:a"]);
+        cache.insert_scoped("k", arc("0123456789"), stamp);
+        let full = cache.bytes();
+        assert!(full > 0);
+        cache.invalidate_scopes(["exp:a"]);
+        assert!(cache.get("k").is_none());
+        assert_eq!(cache.bytes(), 0, "lazy eviction must release bytes");
+    }
+
+    #[test]
+    fn recency_queue_stays_compact_under_repeated_hits() {
+        let cache = ShardedCache::new(1);
+        let g = cache.begin();
+        cache.insert("k", arc("v"), g);
+        for _ in 0..10_000 {
+            assert!(cache.get("k").is_some());
+        }
+        let order_len = cache.shards[0].lock().order.len();
+        assert!(
+            order_len <= 2 + ORDER_SLACK,
+            "recency queue must not grow with hit count (len {order_len})"
+        );
     }
 
     #[test]
