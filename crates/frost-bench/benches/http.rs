@@ -36,10 +36,18 @@
 //! run. `overload.goodput_ratio_2x_vs_1x` — how well goodput holds up
 //! when offered load doubles past capacity — is the shedding
 //! regression gate (same −25% baseline floor).
+//!
+//! A third phase measures the **high-connection mix**: a herd of
+//! mostly-idle keep-alive connections (8 000 at scale 1) held open
+//! against the event loop while a small active subset keeps issuing
+//! hot requests. Active p50/p99/p999 latency is recorded with and
+//! without the herd; `highconn.p99_penalty_vs_alone` — how much the
+//! idle mass inflates active tail latency — is the C10K regression
+//! gate (3× ceiling vs the recorded baseline ratio).
 
 use frost_datagen::experiments::synthetic_experiment;
 use frost_datagen::generator::{generate, GeneratorConfig};
-use frost_server::client::{http_get, read_raw_response, Connection};
+use frost_server::client::{http_get, read_raw_response, Connection, IdleHerd};
 use frost_server::{serve_with, ServeOptions, ServerHandle, ServerState};
 use frost_storage::BenchmarkStore;
 use serde_json::Value;
@@ -296,6 +304,61 @@ fn percentile_ms(sorted: &[Duration], p: f64) -> f64 {
     sorted[idx].as_secs_f64() * 1e3
 }
 
+/// The active subset of the high-connection phase: `threads`
+/// keep-alive clients each timing `requests` hot requests
+/// individually. Returns throughput plus the sorted latency sample.
+fn run_active_subset(
+    addr: &str,
+    target: &str,
+    threads: usize,
+    requests: usize,
+) -> (f64, Vec<Duration>) {
+    let start = Instant::now();
+    let clients: Vec<_> = (0..threads)
+        .map(|_| {
+            let addr = addr.to_string();
+            let target = target.to_string();
+            std::thread::spawn(move || {
+                let mut conn = Connection::open(&addr).expect("active connect");
+                let mut latencies = Vec::with_capacity(requests);
+                for _ in 0..requests {
+                    let begun = Instant::now();
+                    let (status, _) = conn.get(&target).expect("active request");
+                    assert_eq!(status, 200);
+                    latencies.push(begun.elapsed());
+                }
+                latencies
+            })
+        })
+        .collect();
+    let mut latencies: Vec<Duration> = Vec::new();
+    for client in clients {
+        latencies.extend(client.join().expect("active client"));
+    }
+    let rps = latencies.len() as f64 / start.elapsed().as_secs_f64();
+    latencies.sort();
+    (rps, latencies)
+}
+
+/// The `{rps, p50, p99, p999}` JSON entry for one active-subset run.
+fn active_entry(rps: f64, sorted: &[Duration]) -> Value {
+    Value::object([
+        ("requests_per_second".to_string(), Value::from(rps)),
+        (
+            "p50_ms".to_string(),
+            Value::from(percentile_ms(sorted, 0.50)),
+        ),
+        (
+            "p99_ms".to_string(),
+            Value::from(percentile_ms(sorted, 0.99)),
+        ),
+        (
+            "p999_ms".to_string(),
+            Value::from(percentile_ms(sorted, 0.999)),
+        ),
+    ])
+}
+
 /// Paced open-loop flood: eight pacer threads jointly offer
 /// `offered_rps` until `requests` have been attempted. A pacer that
 /// falls behind its schedule (the server stopped answering quickly)
@@ -523,6 +586,85 @@ fn main() {
     println!("overload goodput at 2x vs 1x offered load: {goodput_ratio:.2}x");
     overload_handle.shutdown();
 
+    // ---- High-connection phase: mostly-idle keep-alive herd. ----
+    const HIGHCONN_WORKERS: usize = 4;
+    const HIGHCONN_EVENT_THREADS: usize = 2;
+    const HIGHCONN_ACTIVE_THREADS: usize = 4;
+    // 8 000 connections at scale 1 (16k fds with the client side —
+    // inside the usual 20k+ descriptor budget), smoke scales down.
+    let herd_size = ((8_000f64) * scale).clamp(400.0, 8_000.0) as usize;
+    let highconn_handle = serve_with(
+        "127.0.0.1:0",
+        Arc::clone(&state),
+        ServeOptions {
+            workers: HIGHCONN_WORKERS,
+            event_threads: HIGHCONN_EVENT_THREADS,
+            // The herd is idle on purpose; reaping it mid-measurement
+            // would quietly shrink what the phase claims to measure.
+            idle_timeout: Duration::from_secs(120),
+            max_requests: usize::MAX,
+            ..ServeOptions::default()
+        },
+    )
+    .expect("bind highconn server");
+    let highconn_addr = highconn_handle.addr().to_string();
+    let hot_target = format!("/metrics?experiment={}", experiments[0]);
+    let (status, _) = http_get(&format!("http://{highconn_addr}{hot_target}")).expect("warm");
+    assert_eq!(status, 200);
+    let active_requests = ((2_000f64) * scale).max(200.0) as usize;
+    // Tail latency of the active subset alone, then under the herd:
+    // the same-host ratio is the portable regression signal.
+    let (alone_rps, alone_lat) = run_active_subset(
+        &highconn_addr,
+        &hot_target,
+        HIGHCONN_ACTIVE_THREADS,
+        active_requests,
+    );
+    let mut herd = IdleHerd::open(&highconn_addr, herd_size).expect("open idle herd");
+    for index in [0, herd_size / 2, herd_size - 1] {
+        let (status, _) = herd.probe(index, &hot_target).expect("herd probe");
+        assert_eq!(status, 200);
+    }
+    let (herd_rps, herd_lat) = run_active_subset(
+        &highconn_addr,
+        &hot_target,
+        HIGHCONN_ACTIVE_THREADS,
+        active_requests,
+    );
+    let p99_penalty = percentile_ms(&herd_lat, 0.99) / percentile_ms(&alone_lat, 0.99).max(1e-3);
+    println!(
+        "highconn ({herd_size} idle connections, {HIGHCONN_EVENT_THREADS} event threads): \
+active alone {alone_rps:>8.0} req/s p50 {:.3} p99 {:.3} p999 {:.3} ms; \
+with herd {herd_rps:>8.0} req/s p50 {:.3} p99 {:.3} p999 {:.3} ms (p99 penalty {p99_penalty:.2}x)",
+        percentile_ms(&alone_lat, 0.50),
+        percentile_ms(&alone_lat, 0.99),
+        percentile_ms(&alone_lat, 0.999),
+        percentile_ms(&herd_lat, 0.50),
+        percentile_ms(&herd_lat, 0.99),
+        percentile_ms(&herd_lat, 0.999),
+    );
+    let highconn_entry = Value::object([
+        ("connections".to_string(), Value::from(herd_size)),
+        ("workers".to_string(), Value::from(HIGHCONN_WORKERS)),
+        (
+            "event_threads".to_string(),
+            Value::from(HIGHCONN_EVENT_THREADS),
+        ),
+        (
+            "active_threads".to_string(),
+            Value::from(HIGHCONN_ACTIVE_THREADS),
+        ),
+        (
+            "active_requests_per_thread".to_string(),
+            Value::from(active_requests),
+        ),
+        ("alone".to_string(), active_entry(alone_rps, &alone_lat)),
+        ("with_herd".to_string(), active_entry(herd_rps, &herd_lat)),
+        ("p99_penalty_vs_alone".to_string(), Value::from(p99_penalty)),
+    ]);
+    drop(herd);
+    highconn_handle.shutdown();
+
     let mut mode_entries = Vec::new();
     for (mix, mode, rps) in &results {
         mode_entries.push(Value::object([
@@ -604,6 +746,7 @@ fn main() {
                 ),
             ]),
         ),
+        ("highconn".to_string(), highconn_entry),
     ]);
     let workspace_root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     let out_path = match std::env::var("FROST_BENCH_OUT") {
@@ -668,6 +811,31 @@ fn main() {
                     if goodput_ratio < floor {
                         eprintln!(
                             "REGRESSION: overload goodput ratio {goodput_ratio:.2}x fell more than 50% below the recorded {recorded:.2}x"
+                        );
+                        std::process::exit(1);
+                    }
+                }
+            }
+            // Third gated metric: how much the idle herd inflates
+            // active p99. Loopback tail latencies are the noisiest of
+            // the gated ratios, so the ceiling is 3× the recorded
+            // penalty: it catches per-request work scaling with
+            // connection count (the C10K failure mode), not jitter.
+            // Absent in pre-event-loop baselines — tolerate that.
+            match baseline
+                .get("highconn")
+                .and_then(|v| v.get("p99_penalty_vs_alone"))
+                .and_then(Value::as_f64)
+            {
+                None => println!("highconn gate skipped: baseline has no highconn entry"),
+                Some(recorded) => {
+                    let ceiling = recorded * 3.0;
+                    println!(
+                        "baseline gate (highconn p99 penalty): {p99_penalty:.2}x vs recorded {recorded:.2}x (ceiling {ceiling:.2}x)"
+                    );
+                    if p99_penalty > ceiling {
+                        eprintln!(
+                            "REGRESSION: idle-herd p99 penalty {p99_penalty:.2}x grew more than 3x past the recorded {recorded:.2}x"
                         );
                         std::process::exit(1);
                     }

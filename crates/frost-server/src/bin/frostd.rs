@@ -2,9 +2,9 @@
 //!
 //! ```text
 //! frostd <store> [--port N] [--addr HOST] [--workers N]
-//!                [--idle-timeout-ms N] [--max-requests N]
-//!                [--max-queued N] [--request-deadline-ms N]
-//!                [--cache-budget-mb N]
+//!                [--event-threads N] [--idle-timeout-ms N]
+//!                [--max-requests N] [--max-queued N]
+//!                [--request-deadline-ms N] [--cache-budget-mb N]
 //!                [--fsync always|interval:<ms>] [--debug-panic]
 //! ```
 //!
@@ -21,12 +21,15 @@
 //! or `interval:<ms>` (batch fsyncs, bounding loss to the interval).
 //! CSV store directories serve the same write endpoints in-memory.
 //!
-//! Connections are HTTP/1.1 keep-alive: `--idle-timeout-ms` bounds how
-//! long an idle connection may hold a pool worker, and
-//! `--max-requests` caps the responses served per connection before
-//! the server closes it (`Connection: close` is advertised on the
-//! final response). `SIGINT`/`SIGTERM` drain in-flight requests and
-//! fsync the WAL before exiting.
+//! Connections are HTTP/1.1 keep-alive, multiplexed by a small set of
+//! readiness-polling event threads (`--event-threads`): idle
+//! connections cost a poll slot, not a thread, so thousands of
+//! keep-alive clients coexist with a worker pool sized for the CPU.
+//! `--idle-timeout-ms` bounds both connection idleness and head
+//! assembly, and `--max-requests` caps the responses served per
+//! connection before the server closes it (`Connection: close` is
+//! advertised on the final response). `SIGINT`/`SIGTERM` drain
+//! in-flight requests and fsync the WAL before exiting.
 //!
 //! Overload controls: `--max-queued` bounds the admission queue
 //! (excess connections are answered `503` + `Retry-After` without
@@ -43,9 +46,9 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 const USAGE: &str = "usage: frostd <store.frostb | store-dir> [--port N] [--addr HOST] \
-[--workers N] [--idle-timeout-ms N] [--max-requests N] [--max-queued N] \
-[--request-deadline-ms N] [--cache-budget-mb N] [--fsync always|interval:<ms>] \
-[--debug-panic]";
+[--workers N] [--event-threads N] [--idle-timeout-ms N] [--max-requests N] \
+[--max-queued N] [--request-deadline-ms N] [--cache-budget-mb N] \
+[--fsync always|interval:<ms>] [--debug-panic]";
 
 /// Default `--cache-budget-mb`: generous for a query daemon, small
 /// enough that cache growth can never OOM a modest host.
@@ -83,6 +86,15 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 options.workers = v.parse().map_err(|_| format!("bad worker count {v:?}"))?;
                 if options.workers == 0 {
                     return Err("worker count must be positive".into());
+                }
+            }
+            "--event-threads" => {
+                let v = it.next().ok_or("--event-threads needs a value")?;
+                options.event_threads = v
+                    .parse()
+                    .map_err(|_| format!("bad event thread count {v:?}"))?;
+                if options.event_threads == 0 {
+                    return Err("event thread count must be positive".into());
                 }
             }
             "--idle-timeout-ms" => {

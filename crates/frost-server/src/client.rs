@@ -499,6 +499,69 @@ pub fn http_get(url: &str) -> Result<(u16, String), String> {
     Ok((response.status, response.body))
 }
 
+/// A herd of mostly-idle keep-alive connections — the client half of
+/// the high-connection-count story. One process opens `n` sockets that
+/// just *sit there* (costing the server a poll registration, not a
+/// thread), while [`probe`](Self::probe) exercises an arbitrary member
+/// to prove the idle mass does not starve the active subset.
+///
+/// Used by the `frost herd` subcommand, the C10K integration tests and
+/// the high-connection benchmark phase.
+pub struct IdleHerd {
+    streams: Vec<TcpStream>,
+    authority: String,
+}
+
+impl IdleHerd {
+    /// Opens `n` keep-alive connections to `authority`
+    /// (`host:port`). Fails on the first connection the OS refuses —
+    /// partial herds would silently weaken what the caller is
+    /// measuring.
+    pub fn open(authority: &str, n: usize) -> Result<Self, String> {
+        let mut streams = Vec::with_capacity(n);
+        for i in 0..n {
+            let stream = TcpStream::connect(authority)
+                .map_err(|e| format!("herd connect {authority} ({i} of {n} open): {e}"))?;
+            stream
+                .set_read_timeout(Some(Duration::from_secs(30)))
+                .map_err(|e| e.to_string())?;
+            streams.push(stream);
+        }
+        Ok(Self {
+            streams,
+            authority: authority.to_string(),
+        })
+    }
+
+    /// Connections currently held.
+    pub fn len(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Whether the herd holds no connections.
+    pub fn is_empty(&self) -> bool {
+        self.streams.is_empty()
+    }
+
+    /// Sends one keep-alive `GET target` on connection `index` and
+    /// returns `(status, body)` — the connection stays open and idle
+    /// afterwards, still part of the herd.
+    pub fn probe(&mut self, index: usize, target: &str) -> Result<(u16, String), String> {
+        let authority = self.authority.clone();
+        let stream = self
+            .streams
+            .get_mut(index)
+            .ok_or_else(|| format!("herd has no connection {index}"))?;
+        let request = format!("GET {target} HTTP/1.1\r\nHost: {authority}\r\n\r\n");
+        stream
+            .write_all(request.as_bytes())
+            .map_err(|e| format!("herd send: {e}"))?;
+        let mut buf = Vec::new();
+        let (status, _head, body) = read_raw_response(stream, &mut buf)?;
+        Ok((status, body))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

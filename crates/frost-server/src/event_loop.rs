@@ -1,0 +1,689 @@
+//! The readiness-based connection multiplexer: a small number of
+//! event threads own *every* connection's socket (non-blocking), and
+//! the worker pool only ever sees complete parsed requests.
+//!
+//! Each event loop polls its connections with the vendored
+//! [`polling`] shim, assembles request heads incrementally with
+//! [`RequestBuffer`], and hands a complete [`ParsedRequest`] (with its
+//! absolute deadline) to the shared dispatch queue. The worker's
+//! verdict comes back as a [`Completion`] through the loop's
+//! [`Waker`], and the loop writes the response under write-readiness
+//! — so 10k mostly-idle keep-alive connections cost file descriptors,
+//! not threads.
+//!
+//! Ordering: a connection has at most one request in flight — while
+//! it is [`Phase::Dispatched`] its socket is not polled for reads, so
+//! pipelined successors wait buffered (in the parser or the kernel)
+//! and responses go out strictly in request order.
+//!
+//! Overload semantics are the worker-pool contract, relocated:
+//!
+//! * the *parse-time* deadline check runs before anything else —
+//!   including the 405 method check — so a request past expiry is
+//!   never evaluated (and never answered per-method);
+//! * a full dispatch queue sheds with the canned queue-full `503`;
+//! * mid-head timers race the head timeout (`400`, a protocol fault)
+//!   against the request deadline (`503`, an overload signal), head
+//!   timeout first on ties;
+//! * sheds written before the request bytes were drained half-close
+//!   and linger (`Phase::Lingering`) so the `503` survives the unread
+//!   bytes instead of being RST-destroyed.
+
+use crate::http::{
+    close_variant_bytes, encode_response, error_body, shed_response_bytes, CachedResponse, Parsed,
+    ParsedRequest, RequestBuffer, ServeOptions, ServerState, ShedReason,
+};
+use polling::{PollFd, Source, Waker, POLLIN, POLLOUT};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// How long a lingering (half-closed) shed connection is drained
+/// before the socket is dropped — the event-loop rendering of
+/// `write_shed_unread`'s ~150 ms bound.
+const LINGER_MS: u64 = 150;
+
+/// Per-readiness-event read budget: one ready connection may consume
+/// at most this many bytes per poll round, so a flooding client
+/// cannot starve its loop-mates (level-triggered poll re-fires).
+const READ_BUDGET: usize = 64 * 1024;
+
+/// How long a draining loop waits for in-flight work to resolve
+/// before cutting the stragglers.
+const DRAIN_CAP: Duration = Duration::from_secs(5);
+
+/// A complete parsed request queued for the worker pool, stamped with
+/// its absolute deadline and its return address (loop, slot,
+/// generation).
+pub(crate) struct Work {
+    pub request: ParsedRequest,
+    pub deadline: Option<Instant>,
+    pub loop_id: usize,
+    pub token: usize,
+    pub generation: u64,
+}
+
+/// A worker's verdict on one request.
+pub(crate) enum Done {
+    Response(CachedResponse),
+    Shed(ShedReason),
+    Panicked,
+}
+
+/// A [`Done`] routed back to the connection that asked.
+pub(crate) struct Completion {
+    pub token: usize,
+    pub generation: u64,
+    pub done: Done,
+}
+
+/// The mailbox half of one event loop: the accept thread pushes fresh
+/// connections, workers push completions, shutdown pushes flags —
+/// every push wakes the loop out of its poll.
+pub(crate) struct LoopShared {
+    incoming: Mutex<Vec<(TcpStream, Instant)>>,
+    completions: Mutex<Vec<Completion>>,
+    waker: Waker,
+    drain: AtomicBool,
+    kill: AtomicBool,
+}
+
+impl LoopShared {
+    pub fn new() -> std::io::Result<Self> {
+        Ok(Self {
+            incoming: Mutex::new(Vec::new()),
+            completions: Mutex::new(Vec::new()),
+            waker: Waker::new()?,
+            drain: AtomicBool::new(false),
+            kill: AtomicBool::new(false),
+        })
+    }
+
+    /// Hands a freshly accepted connection to this loop.
+    pub fn adopt(&self, stream: TcpStream, admitted: Instant) {
+        self.incoming
+            .lock()
+            .expect("event loop incoming lock")
+            .push((stream, admitted));
+        self.waker.wake();
+    }
+
+    /// Routes a worker's verdict back to this loop.
+    pub fn push_completion(&self, completion: Completion) {
+        self.completions
+            .lock()
+            .expect("event loop completion lock")
+            .push(completion);
+        self.waker.wake();
+    }
+
+    /// Graceful: finish in-flight requests, close idle connections,
+    /// then exit (dropping the loop's queue sender).
+    pub fn begin_drain(&self) {
+        self.drain.store(true, Ordering::Release);
+        self.waker.wake();
+    }
+
+    /// Hard stop: drop every connection and exit now.
+    pub fn kill(&self) {
+        self.kill.store(true, Ordering::Release);
+        self.waker.wake();
+    }
+}
+
+/// What a connection is waiting for.
+enum Phase {
+    /// Poll for readability; assemble the next request head.
+    Reading,
+    /// One request is with the worker pool; the socket is unpolled
+    /// (backpressure: pipelined successors wait their turn).
+    Dispatched,
+    /// Poll for writability; flush `out`, then do `After`.
+    Writing(After),
+    /// Response written and send side half-closed; drain reads until
+    /// the client closes or the linger deadline cuts it.
+    Lingering(Instant),
+}
+
+/// What happens once the in-progress write completes.
+#[derive(Clone, Copy)]
+enum After {
+    KeepAlive,
+    Close,
+    /// Half-close and drain: the response must survive unread request
+    /// bytes in the socket (see [`Phase::Lingering`]).
+    Linger,
+}
+
+/// The bytes being written: shared cached responses avoid a copy on
+/// the hot path.
+enum OutBuf {
+    Empty,
+    Shared(Arc<[u8]>),
+    Owned(Vec<u8>),
+    Canned(&'static [u8]),
+}
+
+impl OutBuf {
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            OutBuf::Empty => &[],
+            OutBuf::Shared(b) => b,
+            OutBuf::Owned(b) => b,
+            OutBuf::Canned(b) => b,
+        }
+    }
+}
+
+/// One multiplexed connection.
+struct Conn {
+    stream: TcpStream,
+    /// Guards stale completions after this slot is reused.
+    generation: u64,
+    parser: RequestBuffer,
+    phase: Phase,
+    out: OutBuf,
+    out_pos: usize,
+    /// Responses served (the `max_requests` clock).
+    served: usize,
+    /// The first request's deadline clock: admission time, so queue
+    /// wait at accept counts. Cleared once the first request parses;
+    /// later requests clock from their first buffered byte.
+    first_clock: Option<Instant>,
+    /// The in-flight response must be the connection's last.
+    pending_close: bool,
+    idle_since: Instant,
+    /// First byte of the currently assembling request head: the
+    /// whole-head (slow-loris) deadline.
+    head_started: Option<Instant>,
+    write_since: Instant,
+    /// The client half-closed its send side.
+    eof: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, generation: u64, admitted: Instant) -> Self {
+        Self {
+            stream,
+            generation,
+            parser: RequestBuffer::new(),
+            phase: Phase::Reading,
+            out: OutBuf::Empty,
+            out_pos: 0,
+            served: 0,
+            first_clock: Some(admitted),
+            pending_close: false,
+            idle_since: Instant::now(),
+            head_started: None,
+            write_since: Instant::now(),
+            eof: false,
+        }
+    }
+}
+
+/// Everything the per-connection state machine needs from its loop.
+struct LoopEnv<'a> {
+    loop_id: usize,
+    tx: &'a SyncSender<Work>,
+    state: &'a ServerState,
+    options: &'a ServeOptions,
+}
+
+/// The event loop body: one per `--event-threads`, run on its own
+/// thread by `serve_with` until shut down.
+pub(crate) fn run(
+    loop_id: usize,
+    shared: Arc<LoopShared>,
+    tx: SyncSender<Work>,
+    state: Arc<ServerState>,
+    options: ServeOptions,
+) {
+    let env = LoopEnv {
+        loop_id,
+        tx: &tx,
+        state: &state,
+        options: &options,
+    };
+    let mut conns: Vec<Option<Conn>> = Vec::new();
+    let mut generation: u64 = 0;
+    let mut fds: Vec<PollFd> = Vec::new();
+    let mut tokens: Vec<usize> = Vec::new();
+    let mut drain_since: Option<Instant> = None;
+    loop {
+        if shared.kill.load(Ordering::Acquire) {
+            return;
+        }
+        // Adopt fresh connections.
+        let fresh: Vec<(TcpStream, Instant)> = {
+            let mut incoming = shared.incoming.lock().expect("event loop incoming lock");
+            std::mem::take(&mut *incoming)
+        };
+        for (stream, admitted) in fresh {
+            // Nagle off (responses are single whole writes) and
+            // non-blocking (the whole point); a socket that refuses
+            // either is already dead.
+            if stream.set_nodelay(true).is_err() || stream.set_nonblocking(true).is_err() {
+                continue;
+            }
+            let token = match conns.iter().position(Option::is_none) {
+                Some(i) => i,
+                None => {
+                    conns.push(None);
+                    conns.len() - 1
+                }
+            };
+            generation += 1;
+            conns[token] = Some(Conn::new(stream, generation, admitted));
+        }
+        // Apply worker verdicts.
+        let done: Vec<Completion> = {
+            let mut completions = shared
+                .completions
+                .lock()
+                .expect("event loop completion lock");
+            std::mem::take(&mut *completions)
+        };
+        for completion in done {
+            let keep = match conns.get_mut(completion.token).and_then(Option::as_mut) {
+                Some(conn) if conn.generation == completion.generation => {
+                    apply_completion(conn, completion.token, &env, completion.done)
+                }
+                _ => continue, // slot reused or closed: stale verdict
+            };
+            if !keep {
+                conns[completion.token] = None;
+            }
+        }
+        // Graceful drain: idle connections close now; dispatched and
+        // writing ones finish (workers stay alive until every loop
+        // has exited, so their completions still arrive).
+        if shared.drain.load(Ordering::Acquire) {
+            let now = Instant::now();
+            let since = *drain_since.get_or_insert(now);
+            for slot in conns.iter_mut() {
+                if matches!(slot.as_ref().map(|c| &c.phase), Some(Phase::Reading)) {
+                    *slot = None;
+                }
+            }
+            let active = conns.iter().any(Option::is_some);
+            let mailbox_empty = shared.incoming.lock().expect("lock").is_empty()
+                && shared.completions.lock().expect("lock").is_empty();
+            if (!active && mailbox_empty) || now.duration_since(since) > DRAIN_CAP {
+                return;
+            }
+        }
+        // Register interest + find the nearest timer.
+        fds.clear();
+        tokens.clear();
+        fds.push(PollFd::new(shared.waker.fd(), POLLIN));
+        tokens.push(usize::MAX);
+        let mut next_deadline: Option<Instant> = None;
+        for (token, slot) in conns.iter().enumerate() {
+            let Some(conn) = slot else { continue };
+            let interest = match conn.phase {
+                Phase::Reading => Some(POLLIN),
+                Phase::Dispatched => None,
+                Phase::Writing(_) => Some(POLLOUT),
+                Phase::Lingering(_) => Some(POLLIN),
+            };
+            if let Some(events) = interest {
+                fds.push(PollFd::new(conn.stream.raw_fd(), events));
+                tokens.push(token);
+            }
+            if let Some(deadline) = conn_deadline(conn, &options) {
+                next_deadline = Some(match next_deadline {
+                    Some(d) => d.min(deadline),
+                    None => deadline,
+                });
+            }
+        }
+        let timeout = next_deadline.map(|d| d.saturating_duration_since(Instant::now()));
+        // On targets without poll(2) this degrades to a 1 ms tick that
+        // treats every registered socket as ready — harmless, because
+        // the sockets are non-blocking.
+        let all_ready = polling::poll(&mut fds, timeout).is_err();
+        if all_ready {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        shared.waker.drain();
+        // Serve readiness.
+        for (i, fd) in fds.iter().enumerate().skip(1) {
+            let token = tokens[i];
+            let Some(conn) = conns.get_mut(token).and_then(Option::as_mut) else {
+                continue;
+            };
+            let keep = match conn.phase {
+                Phase::Reading if all_ready || fd.readable() => on_readable(conn, token, &env),
+                Phase::Writing(_) if all_ready || fd.writable() => drive_write(conn, token, &env),
+                Phase::Lingering(_) if all_ready || fd.readable() => drain_linger(conn),
+                _ => true,
+            };
+            if !keep {
+                conns[token] = None;
+            }
+        }
+        // Fire timers.
+        let now = Instant::now();
+        for (token, slot) in conns.iter_mut().enumerate() {
+            let Some(conn) = slot.as_mut() else {
+                continue;
+            };
+            if !sweep_timer(conn, token, &env, now) {
+                *slot = None;
+            }
+        }
+    }
+}
+
+/// The per-connection timer: when it fires, what happens is decided
+/// by the phase (and, mid-head, by which clock ran out).
+fn conn_deadline(conn: &Conn, options: &ServeOptions) -> Option<Instant> {
+    match conn.phase {
+        Phase::Reading => {
+            if conn.parser.pending() > 0 {
+                let head = conn.head_started.map(|s| s + options.idle_timeout);
+                let request = options.request_deadline.map(|limit| {
+                    let clock = conn
+                        .first_clock
+                        .or_else(|| conn.parser.pending_arrival())
+                        .unwrap_or_else(Instant::now);
+                    clock + limit
+                });
+                match (head, request) {
+                    (Some(h), Some(r)) => Some(h.min(r)),
+                    (h, r) => h.or(r),
+                }
+            } else {
+                Some(conn.idle_since + options.idle_timeout)
+            }
+        }
+        Phase::Dispatched => None,
+        Phase::Writing(_) => Some(conn.write_since + options.idle_timeout),
+        Phase::Lingering(until) => Some(until),
+    }
+}
+
+/// Fires an expired connection timer. Returns whether the connection
+/// survives.
+fn sweep_timer(conn: &mut Conn, token: usize, env: &LoopEnv, now: Instant) -> bool {
+    let Some(deadline) = conn_deadline(conn, env.options) else {
+        return true;
+    };
+    if now < deadline {
+        return true;
+    }
+    match conn.phase {
+        Phase::Reading if conn.parser.pending() > 0 => {
+            // The head timeout is a protocol fault (400) and wins
+            // ties; the request deadline is an overload signal (503
+            // shed) and lingers so the reject survives the unread
+            // request bytes.
+            let head_expired = conn
+                .head_started
+                .is_some_and(|s| now >= s + env.options.idle_timeout);
+            if head_expired {
+                let payload = encode_response(400, error_body("request head timeout").into());
+                start_response(conn, token, env, &payload, After::Close)
+            } else {
+                env.state.note_shed(ShedReason::Deadline);
+                start_canned(
+                    conn,
+                    token,
+                    env,
+                    shed_response_bytes(ShedReason::Deadline),
+                    After::Linger,
+                )
+            }
+        }
+        Phase::Reading => false,      // idle timeout: silent close
+        Phase::Writing(_) => false,   // client stopped reading
+        Phase::Lingering(_) => false, // linger deadline
+        Phase::Dispatched => true,
+    }
+}
+
+/// Reads everything available (bounded per round), then resumes the
+/// parse. Returns whether the connection survives.
+fn on_readable(conn: &mut Conn, token: usize, env: &LoopEnv) -> bool {
+    let mut chunk = [0u8; 16 * 1024];
+    let mut budget = READ_BUDGET;
+    while budget > 0 {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                conn.eof = true;
+                break;
+            }
+            Ok(n) => {
+                conn.parser.extend_at(&chunk[..n], Instant::now());
+                budget = budget.saturating_sub(n);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return false,
+        }
+    }
+    process_buffer(conn, token, env)
+}
+
+/// Drives the parser over the buffered bytes: dispatches at most one
+/// complete request (order is preserved by the one-in-flight rule) or
+/// settles into `Reading`. Returns whether the connection survives.
+fn process_buffer(conn: &mut Conn, token: usize, env: &LoopEnv) -> bool {
+    match conn.parser.next_request() {
+        Parsed::Request(request) => {
+            conn.head_started = None;
+            conn.served += 1;
+            // Deadline clock: admission for the first request (queue
+            // wait counts), the head's first *buffered* byte for later
+            // pipelined ones — a successor that sat buffered behind
+            // its predecessor's response has been waiting all along.
+            let clock = conn
+                .first_clock
+                .take()
+                .or_else(|| conn.parser.last_arrival())
+                .unwrap_or_else(Instant::now);
+            let deadline = env.options.request_deadline.map(|limit| clock + limit);
+            // The admission contract outranks everything, including
+            // method validation: a request past its deadline is never
+            // evaluated — not even to a 405.
+            if deadline.is_some_and(|d| Instant::now() > d) {
+                env.state.note_shed(ShedReason::Deadline);
+                return start_canned(
+                    conn,
+                    token,
+                    env,
+                    shed_response_bytes(ShedReason::Deadline),
+                    After::Close,
+                );
+            }
+            if !matches!(request.method.as_str(), "GET" | "POST" | "DELETE") {
+                env.state.overload().note_method_not_allowed();
+                let payload = encode_response(
+                    405,
+                    error_body("only GET, POST and DELETE are supported").into(),
+                );
+                return start_response(conn, token, env, &payload, After::Close);
+            }
+            conn.pending_close = !request.keep_alive
+                || conn.served >= env.options.max_requests
+                || env.state.is_draining();
+            match env.tx.try_send(Work {
+                request,
+                deadline,
+                loop_id: env.loop_id,
+                token,
+                generation: conn.generation,
+            }) {
+                Ok(()) => {
+                    env.state.overload().queue_enqueued();
+                    env.state.note_admitted();
+                    conn.phase = Phase::Dispatched;
+                    true
+                }
+                Err(TrySendError::Full(_)) => {
+                    env.state.note_shed(ShedReason::QueueFull);
+                    start_canned(
+                        conn,
+                        token,
+                        env,
+                        shed_response_bytes(ShedReason::QueueFull),
+                        After::Linger,
+                    )
+                }
+                Err(TrySendError::Disconnected(_)) => false,
+            }
+        }
+        Parsed::Error(message) => {
+            // One diagnostic, then close: the byte stream is not
+            // trustworthy beyond this point.
+            let payload = encode_response(400, error_body(message).into());
+            start_response(conn, token, env, &payload, After::Close)
+        }
+        Parsed::Incomplete => {
+            if conn.parser.pending() > 0 {
+                if conn.eof {
+                    return false; // half-closed mid-head: unfinishable
+                }
+                if conn.head_started.is_none() {
+                    conn.head_started = conn
+                        .parser
+                        .pending_arrival()
+                        .or_else(|| Some(Instant::now()));
+                }
+            } else {
+                conn.head_started = None;
+                conn.idle_since = Instant::now();
+                if conn.eof {
+                    return false; // clean close between requests
+                }
+            }
+            conn.phase = Phase::Reading;
+            true
+        }
+    }
+}
+
+/// A worker verdict lands: write the response (or the shed) back.
+fn apply_completion(conn: &mut Conn, token: usize, env: &LoopEnv, done: Done) -> bool {
+    match done {
+        Done::Response(payload) => {
+            let close = conn.pending_close || env.state.is_draining();
+            let after = if close {
+                After::Close
+            } else {
+                After::KeepAlive
+            };
+            start_response(conn, token, env, &payload, after)
+        }
+        Done::Shed(reason) => {
+            start_canned(conn, token, env, shed_response_bytes(reason), After::Close)
+        }
+        Done::Panicked => {
+            let payload = encode_response(
+                500,
+                error_body("internal error: request handler panicked").into(),
+            );
+            start_response(conn, token, env, &payload, After::Close)
+        }
+    }
+}
+
+/// Queues `payload` for writing: the keep-alive form shares the
+/// cached bytes, the closing form re-frames the head (keeping the
+/// `ETag`). Attempts the write immediately — the common case drains
+/// the whole response into the socket buffer without another poll.
+fn start_response(
+    conn: &mut Conn,
+    token: usize,
+    env: &LoopEnv,
+    payload: &CachedResponse,
+    after: After,
+) -> bool {
+    let out = match after {
+        After::KeepAlive => OutBuf::Shared(payload.shared_bytes()),
+        After::Close | After::Linger => OutBuf::Owned(close_variant_bytes(payload)),
+    };
+    start_write(conn, token, env, out, after)
+}
+
+/// [`start_response`] for the pre-serialized canned sheds.
+fn start_canned(
+    conn: &mut Conn,
+    token: usize,
+    env: &LoopEnv,
+    payload: &'static [u8],
+    after: After,
+) -> bool {
+    start_write(conn, token, env, OutBuf::Canned(payload), after)
+}
+
+fn start_write(conn: &mut Conn, token: usize, env: &LoopEnv, out: OutBuf, after: After) -> bool {
+    conn.out = out;
+    conn.out_pos = 0;
+    conn.write_since = Instant::now();
+    conn.phase = Phase::Writing(after);
+    drive_write(conn, token, env)
+}
+
+/// Writes as much of `out` as the socket accepts. On completion the
+/// `After` decides: keep-alive re-enters the parser (a buffered
+/// pipelined successor is served without waiting for another poll),
+/// close drops the socket, linger half-closes and drains.
+fn drive_write(conn: &mut Conn, token: usize, env: &LoopEnv) -> bool {
+    let Phase::Writing(after) = conn.phase else {
+        return true;
+    };
+    loop {
+        let len = conn.out.as_slice().len();
+        if conn.out_pos >= len {
+            break;
+        }
+        let n = {
+            let buf = conn.out.as_slice();
+            conn.stream.write(&buf[conn.out_pos..])
+        };
+        match n {
+            Ok(0) => return false,
+            Ok(n) => {
+                conn.out_pos += n;
+                conn.write_since = Instant::now();
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return true,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return false,
+        }
+    }
+    conn.out = OutBuf::Empty;
+    conn.out_pos = 0;
+    match after {
+        After::KeepAlive => {
+            conn.phase = Phase::Reading;
+            conn.idle_since = Instant::now();
+            process_buffer(conn, token, env)
+        }
+        After::Close => false,
+        After::Linger => {
+            let _ = conn.stream.shutdown(std::net::Shutdown::Write);
+            conn.phase = Phase::Lingering(Instant::now() + Duration::from_millis(LINGER_MS));
+            true
+        }
+    }
+}
+
+/// Discards whatever the lingering client still sends; the connection
+/// ends when the client closes (or the linger timer fires).
+fn drain_linger(conn: &mut Conn) -> bool {
+    let mut scratch = [0u8; 4096];
+    loop {
+        match conn.stream.read(&mut scratch) {
+            Ok(0) => return false,
+            Ok(_) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return true,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return false,
+        }
+    }
+}

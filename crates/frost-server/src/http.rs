@@ -1,6 +1,6 @@
-//! The std-only HTTP/1.1 server: `TcpListener` + a fixed worker
-//! thread pool, persistent (keep-alive) connections with request
-//! pipelining, JSON in and out, and a durable write path.
+//! The std-only HTTP/1.1 server: a readiness-based event loop feeding
+//! a fixed worker thread pool, persistent (keep-alive) connections
+//! with request pipelining, JSON in and out, and a durable write path.
 //!
 //! # Endpoints
 //!
@@ -45,18 +45,25 @@
 //!
 //! # Connection model
 //!
-//! A worker owns a connection for its whole lifetime and parses
-//! requests out of a per-connection [`RequestBuffer`]: reads may split
-//! a request head at any byte boundary, and one read may carry several
-//! pipelined requests back-to-back — both are handled by buffering and
-//! re-scanning incrementally. Responses go out in request order (the
-//! worker serves sequentially, so pipelining needs no reordering).
-//! A connection closes when the client asks (`Connection: close`, or
-//! HTTP/1.0), when it has been idle longer than
-//! [`ServeOptions::idle_timeout`], after
+//! Connections are owned by [`crate::event_loop`]'s poll threads
+//! (`--event-threads`), not by workers: sockets are non-blocking, and
+//! each event thread multiplexes its share of connections over a
+//! vendored `poll(2)` shim — an idle keep-alive connection costs a
+//! descriptor and a poll slot, not a thread. The event thread does the
+//! reads and parses heads out of a per-connection [`RequestBuffer`]:
+//! reads may split a request head at any byte boundary, and one read
+//! may carry several pipelined requests back-to-back — both are
+//! handled by buffering and re-scanning incrementally. Only *complete*
+//! request heads are dispatched to the worker pool (via [`execute`]);
+//! the finished response is queued back to the event thread, which
+//! writes it out under write-readiness. One request per connection is
+//! in flight at a time, so pipelined responses go out in request order
+//! with no reordering. A connection closes when the client asks
+//! (`Connection: close`, or HTTP/1.0), when it has been idle longer
+//! than [`ServeOptions::idle_timeout`], after
 //! [`ServeOptions::max_requests`] responses (so a persistent client
-//! cannot starve the fixed worker pool forever), or after any parse
-//! error (one `400` is sent, then the socket closes).
+//! cannot starve the server forever), or after any parse error (one
+//! `400` is sent, then the socket closes).
 //!
 //! # Caching
 //!
@@ -71,7 +78,9 @@
 //!    buffered `write_all` of a shared `Arc<[u8]>`: no JSON
 //!    re-rendering and no response-building allocation on the hot
 //!    path (the remaining per-request work is parsing the head and
-//!    routing the target).
+//!    routing the target). Cached responses carry a content-derived
+//!    strong `ETag`; a request presenting it via `If-None-Match` gets
+//!    a bodyless `304 Not Modified` instead of the payload.
 //!
 //! [`ServerState::json_renders`] counts actual JSON serializations, so
 //! tests can pin that the hot path performs zero of them. Listings
@@ -82,6 +91,7 @@
 //! [`api::handle`] result — the invariant the loopback golden tests
 //! pin, including across reused connections and pipelined clients.
 
+use crate::event_loop;
 use crate::json::{self, response_to_json};
 use frost_core::clustering::Clustering;
 use frost_storage::api::{self, Request};
@@ -95,7 +105,7 @@ use serde_json::Value;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{self, TrySendError};
+use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -118,6 +128,11 @@ pub const DEFAULT_MAX_REQUESTS: usize = 10_000;
 /// Default for [`ServeOptions::max_queued`].
 pub const DEFAULT_MAX_QUEUED: usize = 256;
 
+/// Default for [`ServeOptions::event_threads`]. One loop comfortably
+/// multiplexes thousands of mostly-idle connections; add more only
+/// when parse/write CPU in the loop itself becomes the bottleneck.
+pub const DEFAULT_EVENT_THREADS: usize = 1;
+
 /// `Retry-After` seconds advertised on every shed (`503`) response.
 pub const RETRY_AFTER_SECS: u64 = 1;
 
@@ -132,8 +147,14 @@ const READY_MIN_WINDOW_EVENTS: u64 = 16;
 /// Tunables of the connection path.
 #[derive(Debug, Clone)]
 pub struct ServeOptions {
-    /// Worker (connection) threads in the fixed pool.
+    /// Worker threads in the fixed pool: they evaluate complete
+    /// requests the event loops hand them, never own sockets.
     pub workers: usize,
+    /// Event-loop threads multiplexing every connection's socket via
+    /// `poll(2)` (non-blocking reads/writes, readiness-driven). A few
+    /// suffice for thousands of mostly-idle keep-alive connections —
+    /// connections cost file descriptors, not threads.
+    pub event_threads: usize,
     /// How long a keep-alive connection may sit between reads before
     /// the worker closes it and returns to the pool. The same bound
     /// applies to writes (a client that stops reading cannot pin a
@@ -194,6 +215,7 @@ impl Default for ServeOptions {
     fn default() -> Self {
         Self {
             workers: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            event_threads: DEFAULT_EVENT_THREADS,
             idle_timeout: Duration::from_millis(DEFAULT_IDLE_TIMEOUT_MS),
             max_requests: DEFAULT_MAX_REQUESTS,
             max_queued: DEFAULT_MAX_QUEUED,
@@ -287,6 +309,7 @@ pub struct OverloadStats {
     shed_class_saturated: AtomicU64,
     shed_draining: AtomicU64,
     deadline_exceeded: AtomicU64,
+    method_not_allowed: AtomicU64,
     inflight_cached: AtomicUsize,
     inflight_compute: AtomicUsize,
     inflight_write: AtomicUsize,
@@ -294,12 +317,12 @@ pub struct OverloadStats {
 }
 
 impl OverloadStats {
-    fn queue_enqueued(&self) {
+    pub(crate) fn queue_enqueued(&self) {
         let depth = self.queue_depth.fetch_add(1, Ordering::AcqRel) + 1;
         self.queue_max_depth.fetch_max(depth, Ordering::AcqRel);
     }
 
-    fn queue_dequeued(&self) {
+    pub(crate) fn queue_dequeued(&self) {
         self.queue_depth.fetch_sub(1, Ordering::AcqRel);
     }
 
@@ -336,6 +359,17 @@ impl OverloadStats {
         self.deadline_exceeded.load(Ordering::Relaxed)
     }
 
+    /// Requests refused with `405 Method Not Allowed`. Counted only
+    /// *after* the deadline check — a past-deadline request with a
+    /// bogus method is shed, not answered per-method.
+    pub fn method_not_allowed(&self) -> u64 {
+        self.method_not_allowed.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn note_method_not_allowed(&self) {
+        self.method_not_allowed.fetch_add(1, Ordering::Relaxed);
+    }
+
     fn slot(&self, secs: u64) -> &WindowSlot {
         let slot = &self.window[(secs % SHED_WINDOW_SECS) as usize];
         if slot.epoch.swap(secs, Ordering::Relaxed) != secs {
@@ -367,7 +401,7 @@ impl OverloadStats {
     /// A deadline that expired *during* an already-admitted
     /// evaluation: the response is still served (work is never
     /// cancelled mid-compute), but the lateness is counted.
-    fn note_deadline_late(&self) {
+    pub(crate) fn note_deadline_late(&self) {
         self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -546,6 +580,10 @@ pub struct CachedResponse {
     status: u16,
     bytes: Arc<[u8]>,
     body_start: usize,
+    /// Strong validator (quoted FNV-1a of the body), present only on
+    /// cached-tier `200`s — the revalidation (`If-None-Match` → `304`)
+    /// surface.
+    etag: Option<Arc<str>>,
 }
 
 impl CachedResponse {
@@ -559,9 +597,20 @@ impl CachedResponse {
         &self.bytes
     }
 
+    /// The serialized keep-alive response, by shared handle (the
+    /// event loop queues it for writing without a copy).
+    pub(crate) fn shared_bytes(&self) -> Arc<[u8]> {
+        Arc::clone(&self.bytes)
+    }
+
     /// The response body (shared with [`bytes`](Self::bytes)).
     pub fn body(&self) -> &[u8] {
         &self.bytes[self.body_start..]
+    }
+
+    /// The entity tag, when this response carries one.
+    pub fn etag(&self) -> Option<&str> {
+        self.etag.as_deref()
     }
 }
 
@@ -792,11 +841,11 @@ impl ServerState {
         self.started.elapsed().as_secs()
     }
 
-    fn note_admitted(&self) {
+    pub(crate) fn note_admitted(&self) {
         self.overload.note_admitted(self.clock_secs());
     }
 
-    fn note_shed(&self, reason: ShedReason) {
+    pub(crate) fn note_shed(&self, reason: ShedReason) {
         self.overload.note_shed(reason, self.clock_secs());
     }
 
@@ -839,10 +888,10 @@ pub struct ServerHandle {
     addr: SocketAddr,
     state: Arc<ServerState>,
     shutdown: Arc<AtomicBool>,
-    /// Each worker's currently served connection (a `try_clone`
-    /// handle), so shutdown can cut persistent connections instead of
-    /// waiting out their idle timeouts.
-    active: Arc<[Mutex<Option<TcpStream>>]>,
+    /// The event loops' mailboxes — shutdown signals go through them.
+    loops: Arc<[Arc<event_loop::LoopShared>]>,
+    loop_threads: Vec<std::thread::JoinHandle<()>>,
+    worker_threads: Vec<std::thread::JoinHandle<()>>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -857,30 +906,35 @@ impl ServerHandle {
         &self.state
     }
 
-    /// Stops accepting, drains the workers and joins the accept
-    /// thread (the drop glue does the work, so forgetting to call
+    /// Stops accepting, drops every connection, and joins all server
+    /// threads (the drop glue does the work, so forgetting to call
     /// this leaks nothing).
     pub fn shutdown(self) {}
 
-    /// The graceful variant: stops accepting and lets in-flight
-    /// responses finish. Active sockets are shut down for *reading*
-    /// only — a worker mid-`write_all` completes its response, then
-    /// sees EOF and returns to the pool. Call
-    /// [`ServerState::begin_drain`] first so those final responses
-    /// advertise `Connection: close`.
+    /// The graceful variant: stops accepting, lets dispatched and
+    /// mid-write requests finish, closes idle connections, then joins
+    /// everything. The ordering matters: the accept thread stops
+    /// first, then the event loops drain (their in-flight requests
+    /// need the still-live workers), and the workers exit once the
+    /// last loop drops its queue sender.
     pub fn graceful_shutdown(mut self) {
+        if self.accept_thread.is_none() {
+            return;
+        }
+        self.state.begin_drain();
+        self.shutdown.store(true, Ordering::Release);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
         if let Some(t) = self.accept_thread.take() {
-            self.state.begin_drain();
-            self.shutdown.store(true, Ordering::Release);
-            for slot in self.active.iter() {
-                if let Ok(guard) = slot.lock() {
-                    if let Some(stream) = guard.as_ref() {
-                        let _ = stream.shutdown(std::net::Shutdown::Read);
-                    }
-                }
-            }
-            // Wake the blocking accept with a throwaway connection.
-            let _ = TcpStream::connect(self.addr);
+            let _ = t.join();
+        }
+        for shared in self.loops.iter() {
+            shared.begin_drain();
+        }
+        for t in self.loop_threads.drain(..) {
+            let _ = t.join();
+        }
+        for t in self.worker_threads.drain(..) {
             let _ = t.join();
         }
     }
@@ -888,19 +942,25 @@ impl ServerHandle {
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
+        if self.accept_thread.is_none() && self.loop_threads.is_empty() {
+            return; // graceful_shutdown already ran
+        }
+        self.shutdown.store(true, Ordering::Release);
+        // Hard stop: every loop drops its connections immediately (a
+        // worker mid-request finishes, but its completion lands in a
+        // dead mailbox).
+        for shared in self.loops.iter() {
+            shared.kill();
+        }
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
         if let Some(t) = self.accept_thread.take() {
-            self.shutdown.store(true, Ordering::Release);
-            // Cut live keep-alive connections: their workers would
-            // otherwise sit out a full idle timeout before draining.
-            for slot in self.active.iter() {
-                if let Ok(guard) = slot.lock() {
-                    if let Some(stream) = guard.as_ref() {
-                        let _ = stream.shutdown(std::net::Shutdown::Both);
-                    }
-                }
-            }
-            // Wake the blocking accept with a throwaway connection.
-            let _ = TcpStream::connect(self.addr);
+            let _ = t.join();
+        }
+        for t in self.loop_threads.drain(..) {
+            let _ = t.join();
+        }
+        for t in self.worker_threads.drain(..) {
             let _ = t.join();
         }
     }
@@ -920,8 +980,10 @@ pub fn serve(addr: &str, state: Arc<ServerState>, workers: usize) -> std::io::Re
     )
 }
 
-/// Binds `addr` and serves keep-alive connections on a fixed pool of
-/// `options.workers` threads until the handle is shut down or dropped.
+/// Binds `addr` and serves keep-alive connections until the handle is
+/// shut down or dropped: `options.event_threads` readiness loops own
+/// every socket, `options.workers` pool threads evaluate the complete
+/// requests the loops dispatch.
 pub fn serve_with(
     addr: &str,
     state: Arc<ServerState>,
@@ -933,93 +995,100 @@ pub fn serve_with(
     if let Some(budget) = options.cache_budget {
         state.set_cache_budget(budget);
     }
-    // The bounded admission queue: accepted connections wait here for
-    // a pool worker, stamped with their admission instant so queue
-    // wait counts toward the first request's deadline. `try_send` on
-    // a full queue is the cheap-reject signal.
-    let (tx, rx) = mpsc::sync_channel::<(TcpStream, Instant)>(options.max_queued.max(1));
+    // The bounded admission queue now carries *complete parsed
+    // requests* (not connections): the event loops `try_send` each
+    // request they finish assembling, stamped with its absolute
+    // deadline. A full queue is the cheap-reject signal — and the
+    // accept thread pre-screens new connections against the queue
+    // depth so a flood is answered without ever entering a loop.
+    let (tx, rx) = mpsc::sync_channel::<event_loop::Work>(options.max_queued.max(1));
     let rx = Arc::new(Mutex::new(rx));
     let gates = Arc::new(ClassGates::for_options(&options));
     let workers = options.workers.max(1);
-    let active: Arc<[Mutex<Option<TcpStream>>]> = (0..workers).map(|_| Mutex::new(None)).collect();
-    let mut pool = Vec::with_capacity(workers);
-    for id in 0..workers {
+    let event_threads = options.event_threads.max(1);
+    let mut loop_mailboxes = Vec::with_capacity(event_threads);
+    for _ in 0..event_threads {
+        loop_mailboxes.push(Arc::new(event_loop::LoopShared::new()?));
+    }
+    let loops: Arc<[Arc<event_loop::LoopShared>]> = loop_mailboxes.into();
+    let mut worker_threads = Vec::with_capacity(workers);
+    for _ in 0..workers {
         let rx = Arc::clone(&rx);
         let state = Arc::clone(&state);
         let options = options.clone();
-        let active = Arc::clone(&active);
         let gates = Arc::clone(&gates);
-        pool.push(std::thread::spawn(move || loop {
+        let loops = Arc::clone(&loops);
+        worker_threads.push(std::thread::spawn(move || loop {
             // Holding the lock only for the recv keeps the pool fair.
             let next = rx.lock().expect("worker queue lock").recv();
             match next {
-                Ok((mut stream, admitted)) => {
+                Ok(work) => {
                     state.overload.queue_dequeued();
-                    if state.is_draining() {
-                        // Graceful shutdown: connections still queued
-                        // were never served — answer a clean 503 and
-                        // close instead of silently dropping them.
-                        let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
-                        state.note_shed(ShedReason::Draining);
-                        write_shed_unread(&mut stream, ShedReason::Draining);
-                        continue;
-                    }
-                    if let Ok(mut slot) = active[id].lock() {
-                        *slot = stream.try_clone().ok();
-                    }
-                    // Panic isolation, outer layer: whatever escapes
-                    // the per-request guard inside handle_connection
-                    // (parser, socket plumbing) must not shrink the
-                    // pool for the rest of the process lifetime.
-                    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        handle_connection(stream, admitted, &state, &options, &gates)
-                    }));
-                    if let Ok(mut slot) = active[id].lock() {
-                        *slot = None;
-                    }
+                    let done = execute(&work, &state, &options, &gates);
+                    loops[work.loop_id].push_completion(event_loop::Completion {
+                        token: work.token,
+                        generation: work.generation,
+                        done,
+                    });
                 }
-                Err(_) => break, // accept loop gone → drain done
+                Err(_) => break, // every event loop exited → drain done
             }
         }));
     }
+    let mut loop_threads = Vec::with_capacity(event_threads);
+    for (loop_id, shared) in loops.iter().enumerate() {
+        let shared = Arc::clone(shared);
+        let tx = tx.clone();
+        let state = Arc::clone(&state);
+        let options = options.clone();
+        loop_threads.push(std::thread::spawn(move || {
+            event_loop::run(loop_id, shared, tx, state, options);
+        }));
+    }
+    // Only the loops hold senders now: the last exiting loop is the
+    // workers' stop signal.
+    drop(tx);
     let accept_shutdown = Arc::clone(&shutdown);
     let accept_state = Arc::clone(&state);
+    let accept_loops = Arc::clone(&loops);
+    let max_queued = options.max_queued.max(1) as u64;
     let accept_thread = std::thread::spawn(move || {
+        let mut next_loop = 0usize;
         for stream in listener.incoming() {
             if accept_shutdown.load(Ordering::Acquire) {
                 break;
             }
-            if let Ok(stream) = stream {
+            if let Ok(mut stream) = stream {
                 accept_state.connections.fetch_add(1, Ordering::Relaxed);
-                match tx.try_send((stream, Instant::now())) {
-                    Ok(()) => {
-                        accept_state.overload.queue_enqueued();
-                        accept_state.note_admitted();
-                    }
-                    Err(TrySendError::Full((mut stream, _))) => {
-                        // The cheap reject: the accept thread answers
-                        // the canned 503 itself — no parsing, no
-                        // evaluation, no worker time — and moves on.
-                        accept_state.note_shed(ShedReason::QueueFull);
-                        let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
-                        write_shed_unread(&mut stream, ShedReason::QueueFull);
-                    }
-                    // Disconnected can only happen if every worker
-                    // panicked.
-                    Err(TrySendError::Disconnected(_)) => break,
+                if accept_state.is_draining() {
+                    // Connections racing shutdown must not land in a
+                    // loop that may already have drained away.
+                    accept_state.note_shed(ShedReason::Draining);
+                    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+                    write_shed_unread(&mut stream, ShedReason::Draining);
+                    continue;
                 }
+                if accept_state.overload.queue_depth() >= max_queued {
+                    // The cheap reject: the accept thread answers the
+                    // canned 503 itself — no parsing, no evaluation,
+                    // no worker time — and moves on.
+                    accept_state.note_shed(ShedReason::QueueFull);
+                    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+                    write_shed_unread(&mut stream, ShedReason::QueueFull);
+                    continue;
+                }
+                accept_loops[next_loop % accept_loops.len()].adopt(stream, Instant::now());
+                next_loop = next_loop.wrapping_add(1);
             }
-        }
-        drop(tx);
-        for t in pool {
-            let _ = t.join();
         }
     });
     Ok(ServerHandle {
         addr: local,
         state,
         shutdown,
-        active,
+        loops,
+        loop_threads,
+        worker_threads,
         accept_thread: Some(accept_thread),
     })
 }
@@ -1136,6 +1205,9 @@ pub struct ParsedRequest {
     pub keep_alive: bool,
     /// Declared `Content-Length` (0 when absent).
     pub content_length: usize,
+    /// The `If-None-Match` header, verbatim, when present — drives
+    /// `304 Not Modified` revalidation against cached entity tags.
+    pub if_none_match: Option<String>,
     /// The request body (`content_length` bytes, filled in by
     /// [`RequestBuffer::next_request`] once fully buffered).
     pub body: Vec<u8>,
@@ -1173,6 +1245,14 @@ pub struct RequestBuffer {
     /// not fully arrived yet, so re-parsing after each body read is
     /// `O(1)`, not a rescan of the head.
     head_end: Option<usize>,
+    /// Arrival timestamps keyed by buffer offset: `(start, when)`
+    /// records that bytes at `start..` (up to the next entry) arrived
+    /// at `when`. A pipelined request's deadline clocks from the
+    /// arrival of *its own first byte*, not from whenever its
+    /// predecessor's response finished writing.
+    arrivals: std::collections::VecDeque<(usize, Instant)>,
+    /// Arrival of the first byte of the most recently consumed head.
+    last_arrival: Option<Instant>,
 }
 
 impl RequestBuffer {
@@ -1183,6 +1263,13 @@ impl RequestBuffer {
 
     /// Appends freshly read bytes.
     pub fn extend(&mut self, bytes: &[u8]) {
+        self.extend_at(bytes, Instant::now());
+    }
+
+    /// [`extend`](Self::extend) with an explicit arrival timestamp for
+    /// the appended bytes.
+    pub fn extend_at(&mut self, bytes: &[u8], arrived: Instant) {
+        self.prune_arrivals();
         // Reclaim consumed space before growing: a long-lived
         // keep-alive connection must not accumulate every head it ever
         // parsed.
@@ -1192,9 +1279,48 @@ impl RequestBuffer {
             if let Some(e) = &mut self.head_end {
                 *e -= self.consumed;
             }
+            for (start, _) in &mut self.arrivals {
+                *start = start.saturating_sub(self.consumed);
+            }
             self.consumed = 0;
         }
+        if !bytes.is_empty() {
+            self.arrivals.push_back((self.buf.len(), arrived));
+        }
         self.buf.extend_from_slice(bytes);
+    }
+
+    /// Drops arrival entries wholly behind the consumed frontier,
+    /// keeping the latest such entry as the floor for offsets between
+    /// it and the next one.
+    fn prune_arrivals(&mut self) {
+        while self.arrivals.len() >= 2 && self.arrivals[1].0 <= self.consumed {
+            self.arrivals.pop_front();
+        }
+    }
+
+    /// Arrival time of the read that delivered the byte at `offset`.
+    fn arrival_at(&self, offset: usize) -> Option<Instant> {
+        self.arrivals
+            .iter()
+            .rev()
+            .find(|(start, _)| *start <= offset)
+            .map(|&(_, at)| at)
+    }
+
+    /// When the first *unconsumed* byte arrived (`None` when nothing
+    /// is pending) — the deadline clock for a buffered pipelined head.
+    pub fn pending_arrival(&self) -> Option<Instant> {
+        if self.pending() == 0 {
+            return None;
+        }
+        self.arrival_at(self.consumed)
+    }
+
+    /// When the first byte of the most recently consumed request
+    /// arrived — its deadline clock.
+    pub fn last_arrival(&self) -> Option<Instant> {
+        self.last_arrival
     }
 
     /// Unconsumed bytes currently buffered.
@@ -1205,6 +1331,7 @@ impl RequestBuffer {
     /// Tries to consume the next complete request (head, plus its body
     /// when a `Content-Length` is declared).
     pub fn next_request(&mut self) -> Parsed {
+        let head_start = self.consumed;
         let end = match self.head_end {
             Some(e) => e,
             None => match self.find_head_end() {
@@ -1235,6 +1362,7 @@ impl RequestBuffer {
             }
             request.body = self.buf[end..body_end].to_vec();
             self.head_end = None;
+            self.last_arrival = self.arrival_at(head_start);
             self.consumed = body_end;
             self.scan = body_end;
             return Parsed::Request(request);
@@ -1290,6 +1418,7 @@ fn parse_head(head: &[u8]) -> Parsed {
     let http10 = version == "HTTP/1.0";
     let mut keep_alive = !http10;
     let mut content_length = 0usize;
+    let mut if_none_match = None;
     for line in lines {
         let line = line.trim_end_matches('\r');
         if line.is_empty() {
@@ -1323,6 +1452,7 @@ fn parse_head(head: &[u8]) -> Parsed {
             "transfer-encoding" => {
                 return Parsed::Error("chunked request bodies are not supported");
             }
+            "if-none-match" => if_none_match = Some(value.to_string()),
             _ => {}
         }
     }
@@ -1336,167 +1466,93 @@ fn parse_head(head: &[u8]) -> Parsed {
         target: target.to_string(),
         keep_alive,
         content_length,
+        if_none_match,
         body: Vec::new(),
     })
 }
 
 // ---------------------------------------------------------------------
-// Connection handling
+// Request execution (worker side)
 // ---------------------------------------------------------------------
 
-fn handle_connection(
-    mut stream: TcpStream,
-    admitted: Instant,
+/// Evaluates one dispatched request on a pool worker. Everything
+/// socket-shaped already happened in the event loop; this is pure
+/// request → verdict.
+fn execute(
+    work: &event_loop::Work,
     state: &ServerState,
     options: &ServeOptions,
     gates: &ClassGates,
-) {
-    // Responses are written whole (one write_all per response), so
-    // Nagle only adds latency for pipelined bursts. Both directions
-    // carry the timeout: a client that stops *reading* must not pin a
-    // pool worker in write_all any more than a silent one may pin it
-    // in read.
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(options.idle_timeout));
-    let _ = stream.set_write_timeout(Some(options.idle_timeout));
-    // Queue-wait shed: a connection whose wait in the admission queue
-    // already consumed its whole deadline is answered before any read
-    // or parse — no work for a request the client has given up on.
-    if let Some(limit) = options.request_deadline {
-        if admitted.elapsed() > limit {
-            state.note_shed(ShedReason::Deadline);
-            write_shed_unread(&mut stream, ShedReason::Deadline);
-            return;
-        }
+) -> event_loop::Done {
+    // Graceful shutdown: requests still queued were never served —
+    // a clean 503 instead of a silent drop.
+    if state.is_draining() {
+        state.note_shed(ShedReason::Draining);
+        return event_loop::Done::Shed(ShedReason::Draining);
     }
-    let mut parser = RequestBuffer::new();
-    let mut chunk = [0u8; 4096];
-    let mut served = 0usize;
-    // Deadline for completing one request head: each partial read
-    // restarts the per-read idle clock, so without this a client
-    // trickling one byte per idle_timeout would hold the worker
-    // indefinitely. While a head is partial, the socket read timeout
-    // shrinks to the *remaining* deadline, so the worker is pinned
-    // for at most ~idle_timeout total per head.
-    let mut head_started: Option<Instant> = None;
-    // The current request's deadline clock. The first request clocks
-    // from admission (queue wait counts); after each response the
-    // clock clears and restarts at the next request's first buffered
-    // byte, so idle keep-alive gaps never count against a deadline.
-    let mut request_clock: Option<Instant> = Some(admitted);
-    loop {
-        // Drain every already-buffered request (pipelining) before
-        // touching the socket again.
-        match parser.next_request() {
-            Parsed::Request(request) => {
-                if head_started.take().is_some() {
-                    let _ = stream.set_read_timeout(Some(options.idle_timeout));
-                }
-                served += 1;
-                let close =
-                    !request.keep_alive || served >= options.max_requests || state.is_draining();
-                if !matches!(request.method.as_str(), "GET" | "POST" | "DELETE") {
-                    let payload = encode_response(
-                        405,
-                        error_body("only GET, POST and DELETE are supported").into(),
-                    );
-                    let _ = write_response(&mut stream, &payload, true);
-                    return;
-                }
-                let clock = request_clock.take().unwrap_or_else(Instant::now);
-                let deadline = options.request_deadline.map(|d| clock + d);
-                // The admission contract: a request past its deadline
-                // is never evaluated.
-                if deadline.is_some_and(|d| Instant::now() > d) {
-                    state.note_shed(ShedReason::Deadline);
-                    write_shed(&mut stream, ShedReason::Deadline);
-                    return;
-                }
-                let ctx = RequestContext {
-                    options,
-                    gates,
-                    deadline,
-                };
-                // Panic isolation, inner layer: a panicking handler
-                // answers 500 and the connection closes, but the
-                // worker survives to serve the next connection. The
-                // store's own locks are parking_lot (no poisoning), so
-                // unwinding cannot wedge them.
-                let routed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    if options.debug_panic && request.target == "/debug/panic" {
-                        panic!("debug panic requested");
-                    }
-                    route(&request, state, &ctx)
-                }));
-                match routed {
-                    Ok(RouteOutcome::Response(payload)) => {
-                        if deadline.is_some_and(|d| Instant::now() > d) {
-                            state.overload.note_deadline_late();
-                        }
-                        if write_response(&mut stream, &payload, close).is_err() || close {
-                            return;
-                        }
-                    }
-                    Ok(RouteOutcome::Shed(reason)) => {
-                        state.note_shed(reason);
-                        write_shed(&mut stream, reason);
-                        return;
-                    }
-                    Err(_) => {
-                        let payload = encode_response(
-                            500,
-                            error_body("internal error: request handler panicked").into(),
-                        );
-                        let _ = write_response(&mut stream, &payload, true);
-                        return;
-                    }
-                }
-            }
-            Parsed::Error(message) => {
-                // One diagnostic, then close: the byte stream is not
-                // trustworthy beyond this point.
-                let payload = encode_response(400, error_body(message).into());
-                let _ = write_response(&mut stream, &payload, true);
-                return;
-            }
-            Parsed::Incomplete => {
-                if parser.pending() > 0 {
-                    let started = *head_started.get_or_insert_with(Instant::now);
-                    let clock = *request_clock.get_or_insert(started);
-                    let remaining = options.idle_timeout.saturating_sub(started.elapsed());
-                    if remaining.is_zero() {
-                        let payload =
-                            encode_response(400, error_body("request head timeout").into());
-                        let _ = write_response(&mut stream, &payload, true);
-                        return;
-                    }
-                    // A partial request races *both* clocks: the head
-                    // deadline (400, a protocol fault) and the request
-                    // deadline (503 shed, an overload signal).
-                    let remaining = match options.request_deadline {
-                        Some(limit) => {
-                            let left = (clock + limit).saturating_duration_since(Instant::now());
-                            if left.is_zero() {
-                                state.note_shed(ShedReason::Deadline);
-                                write_shed_unread(&mut stream, ShedReason::Deadline);
-                                return;
-                            }
-                            remaining.min(left)
-                        }
-                        None => remaining,
-                    };
-                    let _ = stream.set_read_timeout(Some(remaining));
-                }
-                match stream.read(&mut chunk) {
-                    Ok(0) => return, // client closed
-                    Ok(n) => parser.extend(&chunk[..n]),
-                    // Idle timeout, head deadline, or hard error —
-                    // either way the worker goes back to the pool.
-                    Err(_) => return,
-                }
-            }
-        }
+    // The admission contract, re-checked after queue wait: a request
+    // past its deadline is never evaluated.
+    if work.deadline.is_some_and(|d| Instant::now() > d) {
+        state.note_shed(ShedReason::Deadline);
+        return event_loop::Done::Shed(ShedReason::Deadline);
     }
+    let ctx = RequestContext {
+        options,
+        gates,
+        deadline: work.deadline,
+    };
+    let request = &work.request;
+    // Panic isolation: a panicking handler becomes a 500 (written by
+    // the event loop) and the worker survives to serve the next
+    // request. The store's own locks are parking_lot (no poisoning),
+    // so unwinding cannot wedge them.
+    let routed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if options.debug_panic && request.target == "/debug/panic" {
+            panic!("debug panic requested");
+        }
+        route(request, state, &ctx)
+    }));
+    match routed {
+        Ok(RouteOutcome::Response(payload)) => {
+            if work.deadline.is_some_and(|d| Instant::now() > d) {
+                state.overload.note_deadline_late();
+            }
+            event_loop::Done::Response(revalidate(payload, request))
+        }
+        Ok(RouteOutcome::Shed(reason)) => {
+            state.note_shed(reason);
+            event_loop::Done::Shed(reason)
+        }
+        Err(_) => event_loop::Done::Panicked,
+    }
+}
+
+/// `ETag` revalidation on the cached-bytes tier: when a `200` carries
+/// an entity tag and the request's `If-None-Match` matches it, the
+/// body is replaced by a `304 Not Modified` — the client's cached copy
+/// is current, so only headers go over the wire.
+fn revalidate(payload: CachedResponse, request: &ParsedRequest) -> CachedResponse {
+    let (Some(etag), Some(candidates)) =
+        (payload.etag.as_deref(), request.if_none_match.as_deref())
+    else {
+        return payload;
+    };
+    if payload.status == 200 && etag_matches(candidates, etag) {
+        not_modified(etag)
+    } else {
+        payload
+    }
+}
+
+/// Whether an `If-None-Match` header value matches `etag`: a
+/// comma-separated list of (possibly `W/`-prefixed) quoted tags, or
+/// `*`. Weak comparison — revalidation only decides whether bytes
+/// must be resent.
+fn etag_matches(candidates: &str, etag: &str) -> bool {
+    candidates.split(',').any(|candidate| {
+        let candidate = candidate.trim();
+        candidate == "*" || candidate.strip_prefix("W/").unwrap_or(candidate) == etag
+    })
 }
 
 /// Writes the canned shed response for `reason`: a `503` with
@@ -1523,13 +1579,23 @@ fn write_shed_unread(stream: &mut TcpStream, reason: ShedReason) {
     let mut scratch = [0u8; 4096];
     while Instant::now() < deadline {
         match stream.read(&mut scratch) {
-            Ok(0) | Err(_) => break,
+            Ok(0) => break,
             Ok(_) => {}
+            // A read timeout just means the client sent nothing this
+            // tick; the drain window is the *deadline*, not one read.
+            // Breaking here cut the documented ~150 ms drain to the
+            // 50 ms read timeout.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) => {}
+            Err(_) => break,
         }
     }
 }
 
-fn shed_response_bytes(reason: ShedReason) -> &'static [u8] {
+pub(crate) fn shed_response_bytes(reason: ShedReason) -> &'static [u8] {
     static PAYLOADS: std::sync::OnceLock<[Vec<u8>; 4]> = std::sync::OnceLock::new();
     let idx = match reason {
         ShedReason::QueueFull => 0,
@@ -1560,9 +1626,10 @@ fn shed_response_bytes(reason: ShedReason) -> &'static [u8] {
 /// The one response-head rendering both framings share; the closing
 /// variant only adds the `Connection: close` header (HTTP/1.1
 /// defaults to persistent, so the keep-alive form carries none).
-fn response_head(status: u16, content_length: usize, close: bool) -> String {
+fn response_head(status: u16, content_length: usize, close: bool, etag: Option<&str>) -> String {
     let reason = match status {
         200 => "OK",
+        304 => "Not Modified",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
@@ -1570,14 +1637,30 @@ fn response_head(status: u16, content_length: usize, close: bool) -> String {
         _ => "Internal Server Error",
     };
     let connection = if close { "Connection: close\r\n" } else { "" };
+    let etag = match etag {
+        Some(tag) => format!("ETag: {tag}\r\n"),
+        None => String::new(),
+    };
     format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {content_length}\r\n{connection}\r\n"
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {content_length}\r\n{etag}{connection}\r\n"
     )
 }
 
-/// Serializes a response in its keep-alive form.
-fn encode_response(status: u16, body: Vec<u8>) -> CachedResponse {
-    let head = response_head(status, body.len(), false);
+/// Serializes an untagged response in its keep-alive form.
+pub(crate) fn encode_response(status: u16, body: Vec<u8>) -> CachedResponse {
+    encode_with_etag(status, body, None)
+}
+
+/// Serializes a cacheable response with a strong entity tag derived
+/// from the body, enabling `If-None-Match` revalidation on the
+/// response-byte cache tier.
+fn encode_cached(status: u16, body: Vec<u8>) -> CachedResponse {
+    let etag: Arc<str> = format!("\"{:016x}\"", fnv1a64(&body)).into();
+    encode_with_etag(status, body, Some(etag))
+}
+
+fn encode_with_etag(status: u16, body: Vec<u8>, etag: Option<Arc<str>>) -> CachedResponse {
+    let head = response_head(status, body.len(), false, etag.as_deref());
     let mut bytes = Vec::with_capacity(head.len() + body.len());
     bytes.extend_from_slice(head.as_bytes());
     let body_start = bytes.len();
@@ -1586,31 +1669,41 @@ fn encode_response(status: u16, body: Vec<u8>) -> CachedResponse {
         status,
         bytes: Arc::from(bytes),
         body_start,
+        etag,
     }
 }
 
-/// Writes a response. The keep-alive path is one `write_all` of the
-/// cached bytes; the closing variant re-frames the head with
-/// `Connection: close` but shares the body bytes.
-fn write_response(
-    stream: &mut TcpStream,
-    payload: &CachedResponse,
-    close: bool,
-) -> std::io::Result<()> {
-    if !close {
-        stream.write_all(&payload.bytes)?;
-    } else {
-        let body = payload.body();
-        let head = response_head(payload.status, body.len(), true);
-        let mut bytes = Vec::with_capacity(head.len() + body.len());
-        bytes.extend_from_slice(head.as_bytes());
-        bytes.extend_from_slice(body);
-        stream.write_all(&bytes)?;
-    }
-    stream.flush()
+/// The canned `304 Not Modified` for a revalidated entity tag: an
+/// empty body (`Content-Length: 0` keeps the in-repo client's framing
+/// exact) echoing the tag it validated.
+fn not_modified(etag: &str) -> CachedResponse {
+    let etag: Arc<str> = etag.into();
+    encode_with_etag(304, Vec::new(), Some(etag))
 }
 
-fn error_body(message: &str) -> String {
+/// FNV-1a 64-bit — cheap, dependency-free, and stable across runs,
+/// which is all an entity tag needs.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Re-frames a response with `Connection: close`, sharing nothing —
+/// used for the final response on a closing connection.
+pub(crate) fn close_variant_bytes(payload: &CachedResponse) -> Vec<u8> {
+    let body = payload.body();
+    let head = response_head(payload.status, body.len(), true, payload.etag());
+    let mut bytes = Vec::with_capacity(head.len() + body.len());
+    bytes.extend_from_slice(head.as_bytes());
+    bytes.extend_from_slice(body);
+    bytes
+}
+
+pub(crate) fn error_body(message: &str) -> String {
     serde_json::to_string(&Value::object([(
         "error".to_string(),
         Value::from(message),
@@ -1761,7 +1854,7 @@ fn route(request: &ParsedRequest, state: &ServerState, ctx: &RequestContext) -> 
                         }
                     }
                 };
-                let payload = encode_response(200, body.as_bytes().to_vec());
+                let payload = encode_cached(200, body.as_bytes().to_vec());
                 state
                     .responses
                     .insert_scoped(key, payload.clone(), observed_bytes);
@@ -1863,6 +1956,10 @@ fn stats_response(state: &ServerState) -> CachedResponse {
         (
             "deadline_exceeded".to_string(),
             Value::from(ov.deadline_exceeded()),
+        ),
+        (
+            "method_not_allowed".to_string(),
+            Value::from(ov.method_not_allowed()),
         ),
         ("inflight_cached".to_string(), Value::from(inflight_cached)),
         (
@@ -2174,6 +2271,7 @@ mod tests {
             target: target.into(),
             keep_alive,
             content_length: 0,
+            if_none_match: None,
             body: Vec::new(),
         }
     }

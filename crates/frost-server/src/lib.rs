@@ -8,14 +8,18 @@
 //! full feature set (Appendix A.4); `frost_storage::api` reproduces
 //! that surface as a library. This crate puts it on the wire:
 //!
-//! * [`http`] — a std-only server (`TcpListener` + a fixed thread
-//!   pool, no async runtime, no external dependencies) serving
-//!   persistent HTTP/1.1 connections with request pipelining, exposing
-//!   every [`Request`](frost_storage::api::Request) variant as a JSON
-//!   `GET` endpoint. Two generation-stamped cache tiers
+//! * [`http`] — a std-only server (no async runtime, no external
+//!   dependencies) serving persistent HTTP/1.1 connections with
+//!   request pipelining, exposing every
+//!   [`Request`](frost_storage::api::Request) variant as a JSON `GET`
+//!   endpoint. Connections live on a readiness-based event loop (a
+//!   vendored `poll(2)` shim — idle connections cost a poll slot, not
+//!   a thread); only complete parsed requests reach the fixed worker
+//!   pool. Two generation-stamped cache tiers
 //!   ([`frost_storage::cache`]) sit in front of the derived artifacts:
 //!   rendered JSON bodies, and fully serialized response bytes served
-//!   by a single `write_all` on the hot path.
+//!   by a single `write_all` on the hot path, with content-derived
+//!   `ETag` revalidation (`304`) on top.
 //! * [`json`] — the canonical JSON rendering of
 //!   [`Response`](frost_storage::api::Response) values. Tests pin the
 //!   HTTP bodies byte-for-byte against this in-process rendering.
@@ -29,6 +33,7 @@
 //! one sequential read.
 
 pub mod client;
+mod event_loop;
 pub mod http;
 pub mod json;
 

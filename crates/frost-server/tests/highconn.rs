@@ -1,0 +1,131 @@
+//! C10K integration: a mass of idle keep-alive connections held open
+//! against the event loop while a small active subset keeps serving.
+//!
+//! The contract under test is the PR's acceptance floor: N idle
+//! connections are served with the worker pool plus `--event-threads`
+//! only — no thread per connection — actives stay byte-identical to
+//! the in-process rendering, probes *through* herd members work, and
+//! `/readyz` stays ready under the idle mass.
+
+use frost_core::clustering::Clustering;
+use frost_core::dataset::{Dataset, Experiment, Schema};
+use frost_server::client::{Connection, IdleHerd};
+use frost_server::json::response_to_json;
+use frost_server::{serve_with, ServeOptions, ServerHandle, ServerState};
+use frost_storage::api::{self, Request};
+use frost_storage::BenchmarkStore;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The shared fixture (mirrors `tests/keepalive.rs`).
+fn store() -> BenchmarkStore {
+    let mut ds = Dataset::new("people", Schema::new(["name"]));
+    for (id, name) in [
+        ("a", "Ann"),
+        ("b", "Anne"),
+        ("c", "Bob"),
+        ("d", "Bobby"),
+        ("e", "Carl"),
+        ("f", "Carlo"),
+        ("g", "Dora"),
+        ("h", "Dora B"),
+    ] {
+        ds.push_record(id, [name]);
+    }
+    let mut store = BenchmarkStore::new();
+    store.add_dataset(ds).unwrap();
+    store
+        .set_gold_standard(
+            "people",
+            Clustering::from_assignment(&[0, 0, 1, 1, 2, 2, 3, 3]),
+        )
+        .unwrap();
+    store
+        .add_experiment(
+            "people",
+            Experiment::from_scored_pairs("e1", [(0u32, 1u32, 0.95), (2, 3, 0.9), (0, 2, 0.4)]),
+            None,
+        )
+        .unwrap();
+    store
+}
+
+/// `Threads:` from `/proc/self/status` — the whole test process,
+/// which bounds the server's share from above.
+#[cfg(target_os = "linux")]
+fn process_threads() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .expect("/proc/self/status")
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .expect("Threads: line")
+        .trim()
+        .parse()
+        .expect("thread count")
+}
+
+#[test]
+fn a_thousand_idle_connections_do_not_starve_actives() {
+    const HERD: usize = 1000;
+    let handle: ServerHandle = serve_with(
+        "127.0.0.1:0",
+        Arc::new(ServerState::new(store())),
+        ServeOptions {
+            workers: 2,
+            event_threads: 2,
+            // The herd must outlive the test, not get idle-reaped.
+            idle_timeout: Duration::from_secs(60),
+            ..ServeOptions::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = handle.addr().to_string();
+
+    // The golden body: the in-process rendering every active request
+    // must keep matching byte for byte.
+    let expected = serde_json::to_string(&response_to_json(
+        &api::handle(&store(), Request::ListDatasets).unwrap(),
+    ));
+    let mut active = Connection::open(&addr).unwrap();
+    let (status, before) = active.get("/datasets").unwrap();
+    assert_eq!(status, 200, "{before}");
+    assert_eq!(before, expected);
+
+    let mut herd = IdleHerd::open(&addr, HERD).expect("open the idle herd");
+    assert_eq!(herd.len(), HERD);
+
+    // Actives still complete, byte-identical, under the idle mass.
+    for _ in 0..20 {
+        let (status, body) = active.get("/datasets").unwrap();
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(body, expected);
+    }
+
+    // Probes through arbitrary herd members complete too (and leave
+    // those connections open: they stay herd members afterwards).
+    for index in [0, HERD / 2, HERD - 1] {
+        let (status, body) = herd.probe(index, "/datasets").unwrap();
+        assert_eq!(status, 200, "herd probe {index}: {body}");
+        assert_eq!(body, expected);
+    }
+
+    // Readiness holds: idle connections are not load.
+    let (status, ready) = active.get("/readyz").unwrap();
+    assert_eq!(status, 200, "{ready}");
+    assert!(ready.contains("\"ready\":true"), "{ready}");
+
+    // Every connection was accepted, and none of them got a thread:
+    // the whole process — server threads, test harness and all —
+    // stays orders of magnitude below one-thread-per-connection.
+    assert!(handle.state().connections_accepted() >= (HERD + 1) as u64);
+    #[cfg(target_os = "linux")]
+    {
+        let threads = process_threads();
+        assert!(
+            threads < 100,
+            "expected a fixed thread budget while holding {HERD} \
+             connections, found {threads} threads"
+        );
+    }
+    handle.shutdown();
+}

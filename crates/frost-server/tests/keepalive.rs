@@ -313,3 +313,127 @@ fn non_get_methods_are_rejected_and_closed() {
     assert!(rest.is_empty());
     handle.shutdown();
 }
+
+/// Extracts the `ETag` header value from a response head.
+fn etag_of(head: &str) -> String {
+    head.lines()
+        .find_map(|l| l.strip_prefix("ETag: "))
+        .unwrap_or_else(|| panic!("no ETag in {head:?}"))
+        .trim()
+        .to_string()
+}
+
+#[test]
+fn cached_tier_revalidates_with_etag() {
+    let handle = start(ServeOptions::default());
+    let addr = handle.addr().to_string();
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut spill = Vec::new();
+
+    // A cacheable 200 carries a strong entity tag.
+    stream
+        .write_all(format!("GET /datasets HTTP/1.1\r\nHost: {addr}\r\n\r\n").as_bytes())
+        .unwrap();
+    let (status, head, body) = read_raw_response(&mut stream, &mut spill);
+    assert_eq!(status, 200, "{body}");
+    let etag = etag_of(&head);
+    assert!(
+        etag.starts_with('"') && etag.ends_with('"'),
+        "strong quoted tag expected, got {etag:?}"
+    );
+
+    // A matching If-None-Match revalidates: 304, empty body, the tag
+    // echoed, and the connection stays open.
+    stream
+        .write_all(
+            format!("GET /datasets HTTP/1.1\r\nHost: {addr}\r\nIf-None-Match: {etag}\r\n\r\n")
+                .as_bytes(),
+        )
+        .unwrap();
+    let (status, head, not_modified_body) = read_raw_response(&mut stream, &mut spill);
+    assert_eq!(status, 304, "{head}");
+    assert!(not_modified_body.is_empty());
+    assert!(head.contains("Content-Length: 0"), "{head}");
+    assert_eq!(etag_of(&head), etag);
+
+    // A weak-prefixed tag and `*` both match; a stale tag does not.
+    for candidate in [format!("W/{etag}"), "*".to_string()] {
+        stream
+            .write_all(
+                format!(
+                    "GET /datasets HTTP/1.1\r\nHost: {addr}\r\nIf-None-Match: {candidate}\r\n\r\n"
+                )
+                .as_bytes(),
+            )
+            .unwrap();
+        let (status, _, _) = read_raw_response(&mut stream, &mut spill);
+        assert_eq!(status, 304, "If-None-Match: {candidate} must revalidate");
+    }
+    stream
+        .write_all(
+            format!(
+                "GET /datasets HTTP/1.1\r\nHost: {addr}\r\nIf-None-Match: \"deadbeef\"\r\n\r\n"
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+    let (status, _, full) = read_raw_response(&mut stream, &mut spill);
+    assert_eq!(status, 200);
+    assert_eq!(full, body, "a stale tag must serve the full body");
+
+    // Tags are content-derived, so a mutation only invalidates them
+    // where the body actually changes: the experiment listing gains an
+    // entry (new tag, full 200 against the old tag), while /datasets
+    // re-renders to identical bytes and keeps revalidating.
+    stream
+        .write_all(
+            format!("GET /experiments?dataset=people HTTP/1.1\r\nHost: {addr}\r\n\r\n").as_bytes(),
+        )
+        .unwrap();
+    let (status, head, listing) = read_raw_response(&mut stream, &mut spill);
+    assert_eq!(status, 200, "{listing}");
+    let listing_etag = etag_of(&head);
+    let mut conn = Connection::open(&addr).unwrap();
+    let (status, post_body) = conn
+        .post(
+            "/experiments?dataset=people&name=tagged",
+            b"id1,id2,similarity\na,b,0.9\n",
+        )
+        .unwrap();
+    assert_eq!(status, 200, "{post_body}");
+    stream
+        .write_all(
+            format!(
+                "GET /experiments?dataset=people HTTP/1.1\r\nHost: {addr}\r\nIf-None-Match: {listing_etag}\r\n\r\n"
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+    let (status, head, listing_after) = read_raw_response(&mut stream, &mut spill);
+    assert_eq!(
+        status, 200,
+        "a stale tag after mutation must serve the new body"
+    );
+    assert_ne!(listing_after, listing);
+    assert_ne!(
+        etag_of(&head),
+        listing_etag,
+        "new body must carry a new tag"
+    );
+    // /datasets did not change: its tag survives the generation bump.
+    stream
+        .write_all(
+            format!("GET /datasets HTTP/1.1\r\nHost: {addr}\r\nIf-None-Match: {etag}\r\n\r\n")
+                .as_bytes(),
+        )
+        .unwrap();
+    let (status, _, _) = read_raw_response(&mut stream, &mut spill);
+    assert_eq!(
+        status, 304,
+        "an identical re-rendered body must keep revalidating"
+    );
+    handle.shutdown();
+}

@@ -539,3 +539,158 @@ fn soak_at_twice_capacity_stays_bounded_and_byte_identical() {
     }
     handle.shutdown();
 }
+
+#[test]
+fn expired_request_with_bogus_method_is_shed_not_405() {
+    // Regression: the 405 method check used to run *before* the
+    // per-request deadline check, so an expired request with a bad
+    // method was evaluated (as a 405) and bypassed shed accounting.
+    let handle = start(ServeOptions {
+        workers: 1,
+        request_deadline: Some(Duration::from_millis(250)),
+        debug_sleep: true,
+        ..ServeOptions::default()
+    });
+    let addr = handle.addr().to_string();
+
+    // Pipeline a slow request and a bogus-method request in one
+    // write: by the time the PUT is parsed (after the sleeper's
+    // response), its deadline — clocked from arrival — has passed.
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let pipeline = format!(
+        "GET /debug/sleep?ms=600 HTTP/1.1\r\nHost: {addr}\r\n\r\n\
+         PUT /datasets HTTP/1.1\r\nHost: {addr}\r\n\r\n"
+    );
+    stream.write_all(pipeline.as_bytes()).expect("send");
+
+    let mut buf = Vec::new();
+    let (status, _, body) = read_raw_response(&mut stream, &mut buf).expect("first response");
+    assert_eq!(status, 200, "{body}");
+    let (status, _, body) = read_raw_response(&mut stream, &mut buf).expect("second response");
+    assert_eq!(status, 503, "expired PUT must shed, not 405: {body}");
+    assert!(body.contains("deadline"), "{body}");
+
+    let (status, _, stats) = get(&addr, "/stats");
+    assert_eq!(status, 200);
+    assert!(counter(&stats, "shed_deadline") >= 1, "{stats}");
+    assert_eq!(
+        counter(&stats, "method_not_allowed"),
+        0,
+        "an expired request must never reach method evaluation: {stats}"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn method_not_allowed_is_counted_in_stats() {
+    let handle = start(ServeOptions::default());
+    let addr = handle.addr().to_string();
+
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream
+        .write_all(format!("PUT /datasets HTTP/1.1\r\nHost: {addr}\r\n\r\n").as_bytes())
+        .expect("send");
+    let mut buf = Vec::new();
+    let (status, head, _) = read_raw_response(&mut stream, &mut buf).expect("response");
+    assert_eq!(status, 405);
+    assert!(head.contains("Connection: close"), "{head}");
+
+    let (status, _, stats) = get(&addr, "/stats");
+    assert_eq!(status, 200);
+    assert_eq!(counter(&stats, "method_not_allowed"), 1, "{stats}");
+    handle.shutdown();
+}
+
+#[test]
+fn shed_response_survives_a_client_that_pauses_before_reading() {
+    // Regression: the post-shed drain broke out of its loop on the
+    // first read timeout (~50 ms) instead of draining until the
+    // documented ~150 ms deadline. A client that paused, wrote more
+    // bytes, then read would hit a closed socket: the kernel answers
+    // writes-after-close with RST, which destroys the buffered 503.
+    let handle = start(ServeOptions {
+        workers: 1,
+        max_queued: 1,
+        debug_sleep: true,
+        ..ServeOptions::default()
+    });
+    let addr = handle.addr().to_string();
+
+    // Occupy the lone worker, then fill the one-slot queue.
+    let mut busy = send_get(&addr, "/debug/sleep?ms=1200");
+    std::thread::sleep(Duration::from_millis(150));
+    let mut queued = send_get(&addr, "/debug/sleep?ms=1200");
+    std::thread::sleep(Duration::from_millis(100));
+
+    // The shed candidate: request written, then a pause longer than
+    // the drain's per-read timeout, then *more* bytes, then the read.
+    let mut slow = send_get(&addr, "/datasets");
+    std::thread::sleep(Duration::from_millis(80));
+    slow.write_all(b"GET /datasets HTTP/1.1\r\n").expect(
+        "the server must still be draining 80 ms after the shed \
+         (a closed socket here means the drain ended early)",
+    );
+    std::thread::sleep(Duration::from_millis(20));
+    let mut buf = Vec::new();
+    let (status, head, body) =
+        read_raw_response(&mut slow, &mut buf).expect("full 503 despite the pause");
+    assert_eq!(status, 503, "{body}");
+    assert!(head.contains("Retry-After"), "{head}");
+    assert!(body.contains("queue full"), "{body}");
+
+    let (status, _, body) = read_reply(&mut busy);
+    assert_eq!(status, 200, "{body}");
+    let (status, _, body) = read_reply(&mut queued);
+    assert_eq!(status, 200, "{body}");
+    handle.shutdown();
+}
+
+#[test]
+fn pipelined_request_deadline_clocks_from_its_arrival() {
+    // Regression: a pipelined request already buffered when its
+    // predecessor's response was written used to clock its deadline
+    // from response-write time — queue time spent buffered was free.
+    // The deadline clock is the arrival of the request's first byte.
+    let handle = start(ServeOptions {
+        workers: 1,
+        request_deadline: Some(Duration::from_millis(250)),
+        debug_sleep: true,
+        ..ServeOptions::default()
+    });
+    let addr = handle.addr().to_string();
+
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let pipeline = format!(
+        "GET /debug/sleep?ms=600 HTTP/1.1\r\nHost: {addr}\r\n\r\n\
+         GET /datasets HTTP/1.1\r\nHost: {addr}\r\n\r\n"
+    );
+    stream.write_all(pipeline.as_bytes()).expect("send");
+
+    let mut buf = Vec::new();
+    // The sleeper started evaluating before its deadline: served late.
+    let (status, _, body) = read_raw_response(&mut stream, &mut buf).expect("first response");
+    assert_eq!(status, 200, "{body}");
+    // The second request waited ~600 ms buffered — far past its
+    // 250 ms deadline. Clocked from arrival it must shed; clocked
+    // from response-write time (the bug) it would have served.
+    let (status, _, body) = read_raw_response(&mut stream, &mut buf).expect("second response");
+    assert_eq!(
+        status, 503,
+        "a pipelined request that waited out its deadline must shed: {body}"
+    );
+    assert!(body.contains("deadline"), "{body}");
+
+    let (status, _, stats) = get(&addr, "/stats");
+    assert_eq!(status, 200);
+    assert!(counter(&stats, "shed_deadline") >= 1, "{stats}");
+    handle.shutdown();
+}

@@ -16,6 +16,7 @@
 //! frost snapshot load <file.frostb> [export-dir]
 //! frost serve    <store.frostb | store-dir> [port]
 //! frost get      <url>...
+//! frost herd     <host:port> <connections> [probe-target]
 //! frost import   <host:port> <dataset> <name> <experiment.csv>
 //! ```
 //!
@@ -88,6 +89,11 @@ enum Command {
     Get {
         urls: Vec<String>,
     },
+    Herd {
+        authority: String,
+        connections: usize,
+        probe: String,
+    },
     Import {
         authority: String,
         dataset: String,
@@ -109,6 +115,7 @@ usage:
   frost snapshot load <file.frostb> [export-dir]
   frost serve    <store.frostb | store-dir> [port]
   frost get      <url>...
+  frost herd     <host:port> <connections> [probe-target]
   frost import   <host:port> <dataset> <name> <experiment.csv>
 ";
 
@@ -205,6 +212,22 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
         ("get", urls) if !urls.is_empty() => Ok(Command::Get {
             urls: urls.to_vec(),
         }),
+        ("herd", [authority, connections, rest @ ..]) if rest.len() <= 1 => {
+            let connections = connections
+                .parse::<usize>()
+                .map_err(|_| format!("bad connection count {connections:?}"))?;
+            if connections == 0 {
+                return Err("connection count must be positive".into());
+            }
+            Ok(Command::Herd {
+                authority: authority.clone(),
+                connections,
+                probe: rest
+                    .first()
+                    .map(|s| s.to_string())
+                    .unwrap_or_else(|| "/healthz".to_string()),
+            })
+        }
         ("import", [authority, dataset, name, file]) => Ok(Command::Import {
             authority: authority.clone(),
             dataset: dataset.clone(),
@@ -521,6 +544,29 @@ fn run(command: Command) -> Result<(), String> {
                 }
             }
         }
+        Command::Herd {
+            authority,
+            connections,
+            probe,
+        } => {
+            // The CI smoke gate: hold a mass of idle keep-alive
+            // connections open against a running frostd, prove an
+            // active probe still completes through the event loop,
+            // then keep the herd open until stdin closes — the driver
+            // runs its own traffic while the idle mass sits here.
+            let mut herd = frost_server::client::IdleHerd::open(&authority, connections)?;
+            println!("herd: {} idle connection(s) open", herd.len());
+            let (status, body) = herd.probe(herd.len() - 1, &probe)?;
+            println!("probe {probe}: HTTP {status}");
+            println!("{body}");
+            if status >= 400 {
+                return Err(format!("HTTP {status}"));
+            }
+            println!("herd: holding until stdin closes");
+            let mut sink = String::new();
+            let _ = std::io::Read::read_to_string(&mut std::io::stdin(), &mut sink);
+            println!("herd: released");
+        }
         Command::Import {
             authority,
             dataset,
@@ -618,6 +664,29 @@ mod tests {
         );
         let distinct = s(&["runA/e1.csv", "runB/e2.csv"]);
         assert_eq!(labels_of(&distinct), s(&["e1.csv", "e2.csv"]));
+    }
+
+    #[test]
+    fn parse_herd() {
+        assert_eq!(
+            parse_args(&s(&["herd", "127.0.0.1:7878", "500"])).unwrap(),
+            Command::Herd {
+                authority: "127.0.0.1:7878".into(),
+                connections: 500,
+                probe: "/healthz".into(),
+            }
+        );
+        assert_eq!(
+            parse_args(&s(&["herd", "127.0.0.1:7878", "100", "/stats"])).unwrap(),
+            Command::Herd {
+                authority: "127.0.0.1:7878".into(),
+                connections: 100,
+                probe: "/stats".into(),
+            }
+        );
+        assert!(parse_args(&s(&["herd", "127.0.0.1:7878", "0"])).is_err());
+        assert!(parse_args(&s(&["herd", "127.0.0.1:7878", "abc"])).is_err());
+        assert!(parse_args(&s(&["herd", "127.0.0.1:7878"])).is_err());
     }
 
     #[test]

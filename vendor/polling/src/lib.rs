@@ -1,0 +1,226 @@
+//! A minimal safe wrapper over `poll(2)` — the readiness primitive the
+//! `frost-server` event loop multiplexes its connections on.
+//!
+//! The workspace vendors no libc crate, so on Unix the one C function
+//! is declared directly (the same pattern `frost-server` uses for
+//! `signal(2)`). The API surface is the subset the event loop needs:
+//!
+//! * [`PollFd`] — one registered descriptor plus its interest set
+//!   ([`POLLIN`] / [`POLLOUT`]) and kernel-reported readiness.
+//! * [`poll`] — blocks until at least one descriptor is ready or the
+//!   timeout elapses, retrying `EINTR` transparently.
+//! * [`Waker`] — a self-connected datagram socket another thread can
+//!   poke to interrupt a blocked [`poll`] (no `pipe(2)` needed, so it
+//!   stays inside `std::net`).
+//! * [`Source`] — `AsRawFd` without depending on a platform trait in
+//!   caller signatures.
+//!
+//! On non-Unix targets [`poll`] returns `ErrorKind::Unsupported`; the
+//! server falls back to its thread-per-connection path there.
+
+use std::io;
+use std::time::Duration;
+
+/// Readable interest/readiness bit (`POLLIN`).
+pub const POLLIN: i16 = 0x001;
+/// Writable interest/readiness bit (`POLLOUT`).
+pub const POLLOUT: i16 = 0x004;
+/// Error condition (always reported, never requested).
+pub const POLLERR: i16 = 0x008;
+/// Peer hang-up (always reported, never requested).
+pub const POLLHUP: i16 = 0x010;
+/// Invalid descriptor (always reported, never requested).
+pub const POLLNVAL: i16 = 0x020;
+
+/// One `struct pollfd`: layout-compatible with the C definition so a
+/// `&mut [PollFd]` can be handed to the kernel directly.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct PollFd {
+    /// The descriptor (negative entries are ignored by the kernel).
+    pub fd: i32,
+    /// Requested events (`POLLIN` / `POLLOUT` bits).
+    pub events: i16,
+    /// Kernel-reported readiness, filled in by [`poll`].
+    pub revents: i16,
+}
+
+impl PollFd {
+    /// A descriptor registered for `events`.
+    pub fn new(fd: i32, events: i16) -> Self {
+        Self {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+
+    /// Whether the descriptor is readable — or in an error/hang-up
+    /// state, which a reader must also wake for (the read reports it).
+    pub fn readable(&self) -> bool {
+        self.revents & (POLLIN | POLLERR | POLLHUP | POLLNVAL) != 0
+    }
+
+    /// Whether the descriptor is writable (or errored: the write
+    /// reports it).
+    pub fn writable(&self) -> bool {
+        self.revents & (POLLOUT | POLLERR | POLLHUP | POLLNVAL) != 0
+    }
+}
+
+/// Anything with a pollable descriptor. On non-Unix targets every
+/// source reports `-1` (poll is unsupported there anyway).
+pub trait Source {
+    /// The raw descriptor to register.
+    fn raw_fd(&self) -> i32;
+}
+
+#[cfg(unix)]
+impl<T: std::os::unix::io::AsRawFd> Source for T {
+    fn raw_fd(&self) -> i32 {
+        self.as_raw_fd()
+    }
+}
+
+#[cfg(not(unix))]
+impl<T> Source for T {
+    fn raw_fd(&self) -> i32 {
+        -1
+    }
+}
+
+/// Blocks until a registered descriptor is ready, `timeout` elapses
+/// (`None` = forever), or a signal arrives (`EINTR` is retried with
+/// the timeout re-derived). Returns the number of ready descriptors
+/// (0 = timeout).
+///
+/// Sub-millisecond timeouts round *up* to 1 ms — rounding down would
+/// turn a short timed wait into a busy spin.
+#[cfg(unix)]
+pub fn poll(fds: &mut [PollFd], timeout: Option<Duration>) -> io::Result<usize> {
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: std::ffi::c_ulong, timeout: std::ffi::c_int) -> i32;
+    }
+    let deadline = timeout.map(|t| std::time::Instant::now() + t);
+    loop {
+        let millis: i32 = match deadline {
+            None => -1,
+            Some(d) => {
+                let left = d.saturating_duration_since(std::time::Instant::now());
+                if left.is_zero() {
+                    0
+                } else {
+                    // Round up: a 100 µs wait must not become 0 ms.
+                    left.as_millis().saturating_add(1).min(i32::MAX as u128) as i32
+                }
+            }
+        };
+        let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as std::ffi::c_ulong, millis) };
+        if n >= 0 {
+            return Ok(n as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() != io::ErrorKind::Interrupted {
+            return Err(err);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+pub fn poll(_fds: &mut [PollFd], _timeout: Option<Duration>) -> io::Result<usize> {
+    Err(io::Error::new(
+        io::ErrorKind::Unsupported,
+        "poll(2) is only wrapped on unix targets",
+    ))
+}
+
+/// Interrupts a thread blocked in [`poll`]: the waker's receive side
+/// is registered like any other descriptor, and [`wake`](Self::wake)
+/// makes it readable from any thread.
+///
+/// Implemented as a self-connected non-blocking UDP socket on
+/// loopback — datagram semantics mean repeated wakes coalesce into a
+/// bounded receive queue and [`drain`](Self::drain) empties it in a
+/// few receives.
+pub struct Waker {
+    socket: std::net::UdpSocket,
+}
+
+impl Waker {
+    /// Binds a fresh loopback waker.
+    pub fn new() -> io::Result<Self> {
+        let socket = std::net::UdpSocket::bind("127.0.0.1:0")?;
+        socket.connect(socket.local_addr()?)?;
+        socket.set_nonblocking(true)?;
+        Ok(Self { socket })
+    }
+
+    /// Makes the waker's descriptor readable (callable from any
+    /// thread; a full socket buffer means a wake is already pending,
+    /// which is all a wake needs to guarantee).
+    pub fn wake(&self) {
+        let _ = self.socket.send(&[1]);
+    }
+
+    /// The descriptor to register with [`POLLIN`].
+    pub fn fd(&self) -> i32 {
+        self.socket.raw_fd()
+    }
+
+    /// Consumes every pending wake (call after [`poll`] reports the
+    /// waker readable, before processing — a wake sent during
+    /// processing must stay visible to the *next* poll).
+    pub fn drain(&self) {
+        let mut buf = [0u8; 64];
+        while self.socket.recv(&mut buf).is_ok() {}
+    }
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn timeout_expires_with_no_ready_fds() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut fds = [PollFd::new(listener.raw_fd(), POLLIN)];
+        let started = std::time::Instant::now();
+        let n = poll(&mut fds, Some(Duration::from_millis(30))).unwrap();
+        assert_eq!(n, 0, "idle listener must time out");
+        assert!(started.elapsed() >= Duration::from_millis(25));
+        assert!(!fds[0].readable());
+    }
+
+    #[test]
+    fn readable_data_is_reported() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = std::net::TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        client.write_all(b"ping").unwrap();
+        let mut fds = [PollFd::new(server.raw_fd(), POLLIN)];
+        let n = poll(&mut fds, Some(Duration::from_secs(2))).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].readable());
+    }
+
+    #[test]
+    fn waker_interrupts_a_blocked_poll_and_drains() {
+        let waker = std::sync::Arc::new(Waker::new().unwrap());
+        let poker = std::sync::Arc::clone(&waker);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            poker.wake();
+            poker.wake();
+        });
+        let mut fds = [PollFd::new(waker.fd(), POLLIN)];
+        let n = poll(&mut fds, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(n, 1, "wake must interrupt the poll");
+        assert!(fds[0].readable());
+        t.join().unwrap();
+        waker.drain();
+        fds[0].revents = 0;
+        let n = poll(&mut fds, Some(Duration::from_millis(20))).unwrap();
+        assert_eq!(n, 0, "drained waker must be quiet");
+    }
+}
