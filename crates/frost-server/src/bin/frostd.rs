@@ -6,6 +6,7 @@
 //!                [--max-requests N] [--max-queued N]
 //!                [--request-deadline-ms N] [--cache-budget-mb N]
 //!                [--fsync always|interval:<ms>] [--debug-panic]
+//!                [--slow-request-ms N] [--trace-ring N] [--no-telemetry]
 //! ```
 //!
 //! `<store>` is either a `FROSTB` snapshot file (the fast path: one
@@ -39,6 +40,15 @@
 //! may hold (default 256 MB; stale-first LRU eviction). `/healthz`
 //! reports liveness, `/readyz` readiness, and `/stats` the shed and
 //! queue counters.
+//!
+//! Observability: `GET /metrics` (no query) serves every counter,
+//! gauge, and latency histogram in Prometheus text exposition format,
+//! and `GET /debug/traces` dumps the last per-stage request traces
+//! (`--trace-ring` sets how many are kept). `--slow-request-ms N`
+//! logs any request slower than `N` ms end-to-end as one structured
+//! `frostd: slow-request …` line on stderr. `--no-telemetry` disables
+//! tracing and histograms (counters keep working) for overhead
+//! comparisons.
 
 use frost_server::{run_daemon, ServeOptions};
 use frost_storage::FsyncPolicy;
@@ -48,7 +58,8 @@ use std::time::Duration;
 const USAGE: &str = "usage: frostd <store.frostb | store-dir> [--port N] [--addr HOST] \
 [--workers N] [--event-threads N] [--idle-timeout-ms N] [--max-requests N] \
 [--max-queued N] [--request-deadline-ms N] [--cache-budget-mb N] \
-[--fsync always|interval:<ms>] [--debug-panic]";
+[--fsync always|interval:<ms>] [--debug-panic] \
+[--slow-request-ms N] [--trace-ring N] [--no-telemetry]";
 
 /// Default `--cache-budget-mb`: generous for a query daemon, small
 /// enough that cache growth can never OOM a modest host.
@@ -161,6 +172,28 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
             "--debug-panic" => {
                 options.debug_panic = true;
+            }
+            "--slow-request-ms" => {
+                let v = it.next().ok_or("--slow-request-ms needs a value")?;
+                let ms: u64 = v
+                    .parse()
+                    .map_err(|_| format!("bad slow-request threshold {v:?}"))?;
+                if ms == 0 {
+                    return Err("slow-request threshold must be positive".into());
+                }
+                options.slow_request = Some(Duration::from_millis(ms));
+            }
+            "--trace-ring" => {
+                let v = it.next().ok_or("--trace-ring needs a value")?;
+                options.trace_ring = v
+                    .parse()
+                    .map_err(|_| format!("bad trace ring capacity {v:?}"))?;
+                if options.trace_ring == 0 {
+                    return Err("trace ring capacity must be positive".into());
+                }
+            }
+            "--no-telemetry" => {
+                options.telemetry = false;
             }
             other if store.is_none() && !other.starts_with("--") => {
                 store = Some(other.to_string());

@@ -143,6 +143,23 @@ pub struct Connection {
     /// The request currently going through is the half-open probe: a
     /// single failure re-opens the circuit immediately.
     breaker_probing: bool,
+    /// Timing of the most recent successful exchange.
+    last_timing: Option<RequestTiming>,
+}
+
+/// Client-side timing of one request/response exchange, measured from
+/// the first request byte written. Behind `frost get --timing`.
+#[derive(Clone, Copy, Debug)]
+pub struct RequestTiming {
+    /// Whether the request went out on an already-open keep-alive
+    /// socket (`false` = a fresh TCP connect preceded it).
+    pub reused: bool,
+    /// Send-start to the first response byte arriving (time to first
+    /// byte). Zero-ish when a pipelined predecessor already left the
+    /// response in the read-ahead buffer.
+    pub ttfb: Duration,
+    /// Send-start to the last body byte parsed.
+    pub total: Duration,
 }
 
 impl Connection {
@@ -164,6 +181,7 @@ impl Connection {
             consecutive_failures: 0,
             breaker_open_until: None,
             breaker_probing: false,
+            last_timing: None,
         };
         conn.connect()?;
         Ok(conn)
@@ -267,18 +285,24 @@ impl Connection {
         self.breaker_check()?;
         if self.stream.is_none() {
             self.connect()?;
-            return self.request(target);
+            return self.request(target, false);
         }
         // A reused socket may have been closed server-side since the
         // last response (idle timeout / request cap): retry once on a
         // fresh connection before reporting failure.
-        match self.request(target) {
+        match self.request(target, true) {
             Ok(done) => Ok(done),
             Err(_) => {
                 self.connect()?;
-                self.request(target)
+                self.request(target, false)
             }
         }
+    }
+
+    /// Timing of the most recent successful exchange (cleared when an
+    /// exchange fails). See [`RequestTiming`].
+    pub fn last_timing(&self) -> Option<RequestTiming> {
+        self.last_timing
     }
 
     /// Sends `POST target` with `body` and returns `(status, body)`.
@@ -305,7 +329,8 @@ impl Connection {
         body: &[u8],
     ) -> Result<(u16, String), String> {
         self.breaker_check()?;
-        if self.stream.is_none() {
+        let reused = self.stream.is_some();
+        if !reused {
             self.connect()?;
         }
         let mut request = format!(
@@ -315,7 +340,7 @@ impl Connection {
         )
         .into_bytes();
         request.extend_from_slice(body);
-        let outcome = self.exchange(&request);
+        let outcome = self.exchange(&request, reused);
         if outcome.is_err() {
             self.stream = None;
             self.buf.clear();
@@ -323,9 +348,9 @@ impl Connection {
         outcome
     }
 
-    fn request(&mut self, target: &str) -> Result<(u16, String), String> {
+    fn request(&mut self, target: &str, reused: bool) -> Result<(u16, String), String> {
         let request = format!("GET {target} HTTP/1.1\r\nHost: {}\r\n\r\n", self.authority);
-        let outcome = self.exchange(request.as_bytes());
+        let outcome = self.exchange(request.as_bytes(), reused);
         if outcome.is_err() {
             // The socket may have unread bytes of a half-received
             // response: reusing it (or its spill buffer) would pair a
@@ -337,12 +362,22 @@ impl Connection {
         outcome
     }
 
-    fn exchange(&mut self, request: &[u8]) -> Result<(u16, String), String> {
+    fn exchange(&mut self, request: &[u8], reused: bool) -> Result<(u16, String), String> {
+        self.last_timing = None;
         let stream = self.stream.as_mut().ok_or("connection closed")?;
+        let start = Instant::now();
         stream
             .write_all(request)
             .map_err(|e| format!("send: {e}"))?;
         let response = read_response(stream, &mut self.buf, false)?;
+        self.last_timing = Some(RequestTiming {
+            reused,
+            ttfb: response
+                .first_byte
+                .unwrap_or(start)
+                .saturating_duration_since(start),
+            total: start.elapsed(),
+        });
         if response.close {
             self.stream = None;
             self.buf.clear();
@@ -366,6 +401,10 @@ struct Response {
     close: bool,
     /// Parsed `Retry-After` seconds, when the server sent one.
     retry_after: Option<u64>,
+    /// When the first response byte became available: the instant the
+    /// first socket read progressed, or entry time when the read-ahead
+    /// buffer already held spill from a pipelined predecessor.
+    first_byte: Option<Instant>,
 }
 
 /// Reads one `Content-Length`-framed response from a raw socket and
@@ -393,6 +432,7 @@ fn read_response(
     eof_body_ok: bool,
 ) -> Result<Response, String> {
     let mut chunk = [0u8; 4096];
+    let mut first_byte = (!buf.is_empty()).then(Instant::now);
     // Head.
     let head_end = loop {
         if let Some(end) = find_terminator(buf) {
@@ -400,7 +440,10 @@ fn read_response(
         }
         match stream.read(&mut chunk) {
             Ok(0) => return Err("connection closed mid-response".into()),
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Ok(n) => {
+                first_byte.get_or_insert_with(Instant::now);
+                buf.extend_from_slice(&chunk[..n]);
+            }
             Err(e) => return Err(format!("receive: {e}")),
         }
     };
@@ -459,6 +502,7 @@ fn read_response(
         body,
         close,
         retry_after,
+        first_byte,
     })
 }
 

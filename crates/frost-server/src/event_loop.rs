@@ -33,6 +33,7 @@ use crate::http::{
     close_variant_bytes, encode_response, error_body, shed_response_bytes, CachedResponse, Parsed,
     ParsedRequest, RequestBuffer, ServeOptions, ServerState, ShedReason,
 };
+use crate::telemetry::{OpenConnGuard, Stage, Trace};
 use polling::{PollFd, Source, Waker, POLLIN, POLLOUT};
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -64,6 +65,9 @@ pub(crate) struct Work {
     pub loop_id: usize,
     pub token: usize,
     pub generation: u64,
+    /// The request's lifecycle trace, riding along to be stamped by
+    /// the worker (`None` when telemetry is disabled).
+    pub trace: Option<Box<Trace>>,
 }
 
 /// A worker's verdict on one request.
@@ -78,6 +82,9 @@ pub(crate) struct Completion {
     pub token: usize,
     pub generation: u64,
     pub done: Done,
+    /// The trace from the [`Work`], coming home to be finished when
+    /// the response's last byte goes out.
+    pub trace: Option<Box<Trace>>,
 }
 
 /// The mailbox half of one event loop: the accept thread pushes fresh
@@ -202,10 +209,16 @@ struct Conn {
     write_since: Instant,
     /// The client half-closed its send side.
     eof: bool,
+    /// The trace of the response currently being written (taken and
+    /// finished when its last byte enters the socket).
+    trace: Option<Box<Trace>>,
+    /// Holds the `open_connections` gauge up for this connection's
+    /// lifetime — every exit path drops the `Conn` and with it this.
+    _open: OpenConnGuard,
 }
 
 impl Conn {
-    fn new(stream: TcpStream, generation: u64, admitted: Instant) -> Self {
+    fn new(stream: TcpStream, generation: u64, admitted: Instant, open: OpenConnGuard) -> Self {
         Self {
             stream,
             generation,
@@ -220,6 +233,8 @@ impl Conn {
             head_started: None,
             write_since: Instant::now(),
             eof: false,
+            trace: None,
+            _open: open,
         }
     }
 }
@@ -261,6 +276,9 @@ pub(crate) fn run(
             let mut incoming = shared.incoming.lock().expect("event loop incoming lock");
             std::mem::take(&mut *incoming)
         };
+        // Events handled this wake (adoptions + verdicts + readiness
+        // firings): the dispatch-batch histogram.
+        let mut batch = fresh.len();
         for (stream, admitted) in fresh {
             // Nagle off (responses are single whole writes) and
             // non-blocking (the whole point); a socket that refuses
@@ -276,7 +294,8 @@ pub(crate) fn run(
                 }
             };
             generation += 1;
-            conns[token] = Some(Conn::new(stream, generation, admitted));
+            let open = OpenConnGuard::new(state.telemetry());
+            conns[token] = Some(Conn::new(stream, generation, admitted, open));
         }
         // Apply worker verdicts.
         let done: Vec<Completion> = {
@@ -286,15 +305,18 @@ pub(crate) fn run(
                 .expect("event loop completion lock");
             std::mem::take(&mut *completions)
         };
+        batch += done.len();
         for completion in done {
-            let keep = match conns.get_mut(completion.token).and_then(Option::as_mut) {
+            let token = completion.token;
+            let keep = match conns.get_mut(token).and_then(Option::as_mut) {
                 Some(conn) if conn.generation == completion.generation => {
-                    apply_completion(conn, completion.token, &env, completion.done)
+                    conn.trace = completion.trace;
+                    apply_completion(conn, token, &env, completion.done)
                 }
                 _ => continue, // slot reused or closed: stale verdict
             };
             if !keep {
-                conns[completion.token] = None;
+                conns[token] = None;
             }
         }
         // Graceful drain: idle connections close now; dispatched and
@@ -344,7 +366,12 @@ pub(crate) fn run(
         // On targets without poll(2) this degrades to a 1 ms tick that
         // treats every registered socket as ready — harmless, because
         // the sockets are non-blocking.
+        let telemetry_on = state.telemetry().enabled();
+        let poll_started = telemetry_on.then(Instant::now);
         let all_ready = polling::poll(&mut fds, timeout).is_err();
+        if let Some(started) = poll_started {
+            state.telemetry().note_poll_dwell(started.elapsed());
+        }
         if all_ready {
             std::thread::sleep(Duration::from_millis(1));
         }
@@ -356,14 +383,26 @@ pub(crate) fn run(
                 continue;
             };
             let keep = match conn.phase {
-                Phase::Reading if all_ready || fd.readable() => on_readable(conn, token, &env),
-                Phase::Writing(_) if all_ready || fd.writable() => drive_write(conn, token, &env),
-                Phase::Lingering(_) if all_ready || fd.readable() => drain_linger(conn),
+                Phase::Reading if all_ready || fd.readable() => {
+                    batch += 1;
+                    on_readable(conn, token, &env)
+                }
+                Phase::Writing(_) if all_ready || fd.writable() => {
+                    batch += 1;
+                    drive_write(conn, token, &env)
+                }
+                Phase::Lingering(_) if all_ready || fd.readable() => {
+                    batch += 1;
+                    drain_linger(conn)
+                }
                 _ => true,
             };
             if !keep {
                 conns[token] = None;
             }
+        }
+        if telemetry_on && batch > 0 {
+            state.telemetry().note_dispatch_batch(batch as u64);
         }
         // Fire timers.
         let now = Instant::now();
@@ -486,11 +525,22 @@ fn process_buffer(conn: &mut Conn, token: usize, env: &LoopEnv) -> bool {
                 .or_else(|| conn.parser.last_arrival())
                 .unwrap_or_else(Instant::now);
             let deadline = env.options.request_deadline.map(|limit| clock + limit);
+            // The trace's `accepted` stamp is the same clock the
+            // deadline runs on, so queue wait is visible in it.
+            let trace = env.state.telemetry().enabled().then(|| {
+                let trace = Trace::begin(&request.method, &request.target, clock);
+                trace.stamp(Stage::HeadComplete);
+                trace
+            });
             // The admission contract outranks everything, including
             // method validation: a request past its deadline is never
             // evaluated — not even to a 405.
             if deadline.is_some_and(|d| Instant::now() > d) {
                 env.state.note_shed(ShedReason::Deadline);
+                if let Some(trace) = &trace {
+                    trace.set_status(503);
+                }
+                conn.trace = trace;
                 return start_canned(
                     conn,
                     token,
@@ -501,6 +551,10 @@ fn process_buffer(conn: &mut Conn, token: usize, env: &LoopEnv) -> bool {
             }
             if !matches!(request.method.as_str(), "GET" | "POST" | "DELETE") {
                 env.state.overload().note_method_not_allowed();
+                if let Some(trace) = &trace {
+                    trace.set_status(405);
+                }
+                conn.trace = trace;
                 let payload = encode_response(
                     405,
                     error_body("only GET, POST and DELETE are supported").into(),
@@ -510,12 +564,16 @@ fn process_buffer(conn: &mut Conn, token: usize, env: &LoopEnv) -> bool {
             conn.pending_close = !request.keep_alive
                 || conn.served >= env.options.max_requests
                 || env.state.is_draining();
+            if let Some(trace) = &trace {
+                trace.stamp(Stage::Admitted);
+            }
             match env.tx.try_send(Work {
                 request,
                 deadline,
                 loop_id: env.loop_id,
                 token,
                 generation: conn.generation,
+                trace,
             }) {
                 Ok(()) => {
                     env.state.overload().queue_enqueued();
@@ -523,8 +581,12 @@ fn process_buffer(conn: &mut Conn, token: usize, env: &LoopEnv) -> bool {
                     conn.phase = Phase::Dispatched;
                     true
                 }
-                Err(TrySendError::Full(_)) => {
+                Err(TrySendError::Full(work)) => {
                     env.state.note_shed(ShedReason::QueueFull);
+                    if let Some(trace) = work.trace {
+                        trace.set_status(503);
+                        conn.trace = Some(trace);
+                    }
                     start_canned(
                         conn,
                         token,
@@ -539,6 +601,11 @@ fn process_buffer(conn: &mut Conn, token: usize, env: &LoopEnv) -> bool {
         Parsed::Error(message) => {
             // One diagnostic, then close: the byte stream is not
             // trustworthy beyond this point.
+            if env.state.telemetry().enabled() {
+                let trace = Trace::begin("", "", Instant::now());
+                trace.set_status(400);
+                conn.trace = Some(trace);
+            }
             let payload = encode_response(400, error_body(message).into());
             start_response(conn, token, env, &payload, After::Close)
         }
@@ -648,6 +715,11 @@ fn drive_write(conn: &mut Conn, token: usize, env: &LoopEnv) -> bool {
         match n {
             Ok(0) => return false,
             Ok(n) => {
+                if conn.out_pos == 0 {
+                    if let Some(trace) = &conn.trace {
+                        trace.stamp(Stage::FirstByte);
+                    }
+                }
                 conn.out_pos += n;
                 conn.write_since = Instant::now();
             }
@@ -658,6 +730,15 @@ fn drive_write(conn: &mut Conn, token: usize, env: &LoopEnv) -> bool {
     }
     conn.out = OutBuf::Empty;
     conn.out_pos = 0;
+    // The whole response is in the socket buffer: finish the trace
+    // (stamps are first-wins, so `first_byte` keeps its earlier stamp
+    // when the response needed more than one write).
+    if let Some(trace) = conn.trace.take() {
+        let now = Instant::now();
+        trace.stamp_at(Stage::FirstByte, now);
+        trace.stamp_at(Stage::LastByte, now);
+        env.state.telemetry().finish(trace);
+    }
     match after {
         After::KeepAlive => {
             conn.phase = Phase::Reading;

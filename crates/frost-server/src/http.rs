@@ -19,6 +19,8 @@
 //! | `/errors`          | `GetErrorProfile`        | yes (`exp:<E>`) |
 //! | `/quality`         | `GetQualitySignals`      | yes (`exp:<E>`) |
 //! | `/stats`           | cache counters           | no             |
+//! | `/metrics` (bare)  | Prometheus exposition    | never          |
+//! | `/debug/traces`    | last-N request traces    | never          |
 //!
 //! Write endpoints (threaded through the same `api::Request` enum):
 //!
@@ -93,6 +95,7 @@
 
 use crate::event_loop;
 use crate::json::{self, response_to_json};
+use crate::telemetry::{self, Endpoint, Stage, Telemetry, Trace};
 use frost_core::clustering::Clustering;
 use frost_storage::api::{self, Request};
 use frost_storage::cache::{CacheWeight, ShardedCache};
@@ -209,6 +212,19 @@ pub struct ServeOptions {
     /// milliseconds — the deterministic load generator the overload
     /// tests saturate the server with. Never enabled by the CLI.
     pub debug_sleep: bool,
+    /// Per-request tracing and latency histograms (`GET /metrics`,
+    /// `GET /debug/traces`). On by default — the hot-path cost is two
+    /// extra `Instant::now()` calls and a handful of relaxed atomic
+    /// adds per request, gated by the bench's telemetry-overhead
+    /// phase. Disabling keeps `/metrics` serving counters/gauges but
+    /// leaves every histogram empty and the trace ring idle.
+    pub telemetry: bool,
+    /// Log any request slower than this end-to-end as one structured
+    /// `frostd: slow-request …` line on stderr (`--slow-request-ms`).
+    /// `None` disables the slow log.
+    pub slow_request: Option<Duration>,
+    /// Capacity of the `/debug/traces` ring (`--trace-ring`).
+    pub trace_ring: usize,
 }
 
 impl Default for ServeOptions {
@@ -226,6 +242,9 @@ impl Default for ServeOptions {
             cache_budget: None,
             debug_panic: false,
             debug_sleep: false,
+            telemetry: true,
+            slow_request: None,
+            trace_ring: crate::telemetry::DEFAULT_TRACE_RING,
         }
     }
 }
@@ -533,6 +552,8 @@ struct RequestContext<'a> {
     options: &'a ServeOptions,
     gates: &'a ClassGates,
     deadline: Option<Instant>,
+    /// The request's lifecycle trace, when telemetry is on.
+    trace: Option<&'a Trace>,
 }
 
 impl RequestContext<'_> {
@@ -561,6 +582,9 @@ impl RequestContext<'_> {
         if !gate.acquire(self.gate_wait()) {
             return Err(ShedReason::ClassSaturated);
         }
+        if let Some(trace) = self.trace {
+            trace.stamp(Stage::GateAcquired);
+        }
         Ok(Some(Permit { gate }))
     }
 }
@@ -580,6 +604,9 @@ pub struct CachedResponse {
     status: u16,
     bytes: Arc<[u8]>,
     body_start: usize,
+    /// The `Content-Type` this response was framed with — the closing
+    /// variant re-frames the head and must preserve it.
+    content_type: &'static str,
     /// Strong validator (quoted FNV-1a of the body), present only on
     /// cached-tier `200`s — the revalidation (`If-None-Match` → `304`)
     /// surface.
@@ -640,6 +667,9 @@ pub struct ServerState {
     overload: OverloadStats,
     /// The shed-window clock's epoch (server start).
     started: Instant,
+    /// Traces, latency histograms, and the `/metrics` registry (wired
+    /// to the durable writer's WAL histograms when one exists).
+    telemetry: Arc<Telemetry>,
 }
 
 impl ServerState {
@@ -656,6 +686,7 @@ impl ServerState {
     }
 
     fn build(store: BenchmarkStore, durable: Option<DurableStore>) -> Self {
+        let wal_stats = durable.as_ref().map(|d| d.wal_stats()).unwrap_or_default();
         Self {
             store: RwLock::new(store),
             cache: ShardedCache::new(CACHE_SHARDS),
@@ -666,7 +697,13 @@ impl ServerState {
             connections: AtomicU64::new(0),
             overload: OverloadStats::default(),
             started: Instant::now(),
+            telemetry: Arc::new(Telemetry::new(wal_stats)),
         }
+    }
+
+    /// The telemetry registry (traces, histograms, `/metrics`).
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
     }
 
     /// Whether writes are WAL-backed.
@@ -995,6 +1032,9 @@ pub fn serve_with(
     if let Some(budget) = options.cache_budget {
         state.set_cache_budget(budget);
     }
+    state
+        .telemetry
+        .configure(options.telemetry, options.slow_request, options.trace_ring);
     // The bounded admission queue now carries *complete parsed
     // requests* (not connections): the event loops `try_send` each
     // request they finish assembling, stamped with its absolute
@@ -1022,13 +1062,14 @@ pub fn serve_with(
             // Holding the lock only for the recv keeps the pool fair.
             let next = rx.lock().expect("worker queue lock").recv();
             match next {
-                Ok(work) => {
+                Ok(mut work) => {
                     state.overload.queue_dequeued();
                     let done = execute(&work, &state, &options, &gates);
                     loops[work.loop_id].push_completion(event_loop::Completion {
                         token: work.token,
                         generation: work.generation,
                         done,
+                        trace: work.trace.take(),
                     });
                 }
                 Err(_) => break, // every event loop exited → drain done
@@ -1484,22 +1525,30 @@ fn execute(
     options: &ServeOptions,
     gates: &ClassGates,
 ) -> event_loop::Done {
+    let trace = work.trace.as_deref();
     // Graceful shutdown: requests still queued were never served —
     // a clean 503 instead of a silent drop.
     if state.is_draining() {
         state.note_shed(ShedReason::Draining);
+        if let Some(trace) = trace {
+            trace.set_status(503);
+        }
         return event_loop::Done::Shed(ShedReason::Draining);
     }
     // The admission contract, re-checked after queue wait: a request
     // past its deadline is never evaluated.
     if work.deadline.is_some_and(|d| Instant::now() > d) {
         state.note_shed(ShedReason::Deadline);
+        if let Some(trace) = trace {
+            trace.set_status(503);
+        }
         return event_loop::Done::Shed(ShedReason::Deadline);
     }
     let ctx = RequestContext {
         options,
         gates,
         deadline: work.deadline,
+        trace,
     };
     let request = &work.request;
     // Panic isolation: a panicking handler becomes a 500 (written by
@@ -1517,13 +1566,26 @@ fn execute(
             if work.deadline.is_some_and(|d| Instant::now() > d) {
                 state.overload.note_deadline_late();
             }
-            event_loop::Done::Response(revalidate(payload, request))
+            let payload = revalidate(payload, request);
+            if let Some(trace) = trace {
+                trace.stamp(Stage::Serialized);
+                trace.set_status(payload.status);
+            }
+            event_loop::Done::Response(payload)
         }
         Ok(RouteOutcome::Shed(reason)) => {
             state.note_shed(reason);
+            if let Some(trace) = trace {
+                trace.set_status(503);
+            }
             event_loop::Done::Shed(reason)
         }
-        Err(_) => event_loop::Done::Panicked,
+        Err(_) => {
+            if let Some(trace) = trace {
+                trace.set_status(500);
+            }
+            event_loop::Done::Panicked
+        }
     }
 }
 
@@ -1623,10 +1685,22 @@ pub(crate) fn shed_response_bytes(reason: ShedReason) -> &'static [u8] {
     })[idx]
 }
 
+/// The default response content type (every JSON endpoint).
+const CONTENT_TYPE_JSON: &str = "application/json";
+
+/// The Prometheus text exposition format version `/metrics` serves.
+const CONTENT_TYPE_PROMETHEUS: &str = "text/plain; version=0.0.4";
+
 /// The one response-head rendering both framings share; the closing
 /// variant only adds the `Connection: close` header (HTTP/1.1
 /// defaults to persistent, so the keep-alive form carries none).
-fn response_head(status: u16, content_length: usize, close: bool, etag: Option<&str>) -> String {
+fn response_head(
+    status: u16,
+    content_length: usize,
+    close: bool,
+    etag: Option<&str>,
+    content_type: &str,
+) -> String {
     let reason = match status {
         200 => "OK",
         304 => "Not Modified",
@@ -1642,13 +1716,19 @@ fn response_head(status: u16, content_length: usize, close: bool, etag: Option<&
         None => String::new(),
     };
     format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {content_length}\r\n{etag}{connection}\r\n"
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {content_length}\r\n{etag}{connection}\r\n"
     )
 }
 
 /// Serializes an untagged response in its keep-alive form.
 pub(crate) fn encode_response(status: u16, body: Vec<u8>) -> CachedResponse {
     encode_with_etag(status, body, None)
+}
+
+/// [`encode_response`] with a non-JSON content type (the Prometheus
+/// exposition).
+fn encode_text(status: u16, body: Vec<u8>, content_type: &'static str) -> CachedResponse {
+    encode_full(status, body, None, content_type)
 }
 
 /// Serializes a cacheable response with a strong entity tag derived
@@ -1660,7 +1740,16 @@ fn encode_cached(status: u16, body: Vec<u8>) -> CachedResponse {
 }
 
 fn encode_with_etag(status: u16, body: Vec<u8>, etag: Option<Arc<str>>) -> CachedResponse {
-    let head = response_head(status, body.len(), false, etag.as_deref());
+    encode_full(status, body, etag, CONTENT_TYPE_JSON)
+}
+
+fn encode_full(
+    status: u16,
+    body: Vec<u8>,
+    etag: Option<Arc<str>>,
+    content_type: &'static str,
+) -> CachedResponse {
+    let head = response_head(status, body.len(), false, etag.as_deref(), content_type);
     let mut bytes = Vec::with_capacity(head.len() + body.len());
     bytes.extend_from_slice(head.as_bytes());
     let body_start = bytes.len();
@@ -1669,6 +1758,7 @@ fn encode_with_etag(status: u16, body: Vec<u8>, etag: Option<Arc<str>>) -> Cache
         status,
         bytes: Arc::from(bytes),
         body_start,
+        content_type,
         etag,
     }
 }
@@ -1696,7 +1786,13 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
 /// used for the final response on a closing connection.
 pub(crate) fn close_variant_bytes(payload: &CachedResponse) -> Vec<u8> {
     let body = payload.body();
-    let head = response_head(payload.status, body.len(), true, payload.etag());
+    let head = response_head(
+        payload.status,
+        body.len(),
+        true,
+        payload.etag(),
+        payload.content_type,
+    );
     let mut bytes = Vec::with_capacity(head.len() + body.len());
     bytes.extend_from_slice(head.as_bytes());
     bytes.extend_from_slice(body);
@@ -1800,6 +1896,9 @@ fn route(request: &ParsedRequest, state: &ServerState, ctx: &RequestContext) -> 
             return RouteOutcome::Shed(ShedReason::Deadline);
         }
         let outcome = route_write(&request.method, &path, &params, &request.body, state);
+        if let Some(trace) = ctx.trace {
+            trace.stamp(Stage::Evaluated);
+        }
         return RouteOutcome::Response(match outcome {
             Ok(response) => encode_response(200, state.rendered(&response).into()),
             Err((status, body)) => encode_response(status, body.into()),
@@ -1815,7 +1914,11 @@ fn route(request: &ParsedRequest, state: &ServerState, ctx: &RequestContext) -> 
             scopes,
         }) => {
             if let Some(key) = cache_key {
-                if let Some(hit) = state.responses.get(&key) {
+                let probed = state.responses.get(&key);
+                if let Some(trace) = ctx.trace {
+                    trace.stamp(Stage::CacheProbe);
+                }
+                if let Some(hit) = probed {
                     return RouteOutcome::Response(hit);
                 }
                 let scope_refs: Vec<&str> = scopes.iter().map(String::as_str).collect();
@@ -1833,7 +1936,11 @@ fn route(request: &ParsedRequest, state: &ServerState, ctx: &RequestContext) -> 
                         if ctx.expired() {
                             return RouteOutcome::Shed(ShedReason::Deadline);
                         }
-                        match state.with_store(|s| api::handle(s, request)) {
+                        let evaluated = state.with_store(|s| api::handle(s, request));
+                        if let Some(trace) = ctx.trace {
+                            trace.stamp(Stage::Evaluated);
+                        }
+                        match evaluated {
                             Ok(response) => {
                                 let rendered: Arc<str> =
                                     Arc::from(state.rendered(&response).as_str());
@@ -1867,7 +1974,11 @@ fn route(request: &ParsedRequest, state: &ServerState, ctx: &RequestContext) -> 
                 if ctx.expired() {
                     return RouteOutcome::Shed(ShedReason::Deadline);
                 }
-                match state.with_store(|s| api::handle(s, request)) {
+                let evaluated = state.with_store(|s| api::handle(s, request));
+                if let Some(trace) = ctx.trace {
+                    trace.stamp(Stage::Evaluated);
+                }
+                match evaluated {
                     Ok(response) => encode_response(200, state.rendered(&response).into()),
                     Err(e) => {
                         let (status, body) = store_error(e);
@@ -1877,6 +1988,8 @@ fn route(request: &ParsedRequest, state: &ServerState, ctx: &RequestContext) -> 
             }
         }
         Ok(Routed::Stats) => stats_response(state),
+        Ok(Routed::Prometheus) => prometheus_response(state),
+        Ok(Routed::Traces) => traces_response(state),
         Ok(Routed::Health) => {
             // Liveness: the process routes requests. Nothing else.
             let body =
@@ -1904,6 +2017,9 @@ fn debug_sleep(params: &Params, ctx: &RequestContext) -> RouteOutcome {
         return RouteOutcome::Shed(ShedReason::Deadline);
     }
     std::thread::sleep(Duration::from_millis(ms));
+    if let Some(trace) = ctx.trace {
+        trace.stamp(Stage::Evaluated);
+    }
     let body = serde_json::to_string(&Value::object([("slept_ms".to_string(), Value::from(ms))]));
     RouteOutcome::Response(encode_response(200, body.into()))
 }
@@ -1939,6 +2055,10 @@ fn stats_response(state: &ServerState) -> CachedResponse {
         (
             "connections".to_string(),
             Value::from(state.connections_accepted()),
+        ),
+        (
+            "open_connections".to_string(),
+            Value::from(state.telemetry.open_connections() as f64),
         ),
         ("queue_depth".to_string(), Value::from(ov.queue_depth())),
         (
@@ -1987,6 +2107,358 @@ fn readyz_response(state: &ServerState, options: &ServeOptions) -> CachedRespons
         ("recent_shed_rate".to_string(), Value::from(shed_rate)),
     ]));
     encode_response(if ready { 200 } else { 503 }, body.into())
+}
+
+/// The `GET /metrics` body: every `/stats` counter and gauge plus the
+/// telemetry histograms, in Prometheus text exposition format.
+/// Rendered fresh on every scrape — never cached, no `ETag`.
+fn prometheus_response(state: &ServerState) -> CachedResponse {
+    let mut out = String::with_capacity(8 * 1024);
+    let t = &state.telemetry;
+    let cache = state.cache();
+    let responses = state.response_cache();
+    let ov = state.overload();
+    let [queue_full, deadline, class_saturated, draining] = ov.sheds();
+    let (inflight_cached, inflight_compute, inflight_write) = ov.inflight();
+
+    telemetry::write_family(
+        &mut out,
+        "frost_http_requests_total",
+        "counter",
+        "Responses completed (last byte written), by endpoint.",
+    );
+    for endpoint in Endpoint::ALL {
+        let n = t.requests_for(endpoint);
+        if n > 0 {
+            telemetry::write_sample(
+                &mut out,
+                "frost_http_requests_total",
+                &endpoint_labels(endpoint),
+                n as f64,
+            );
+        }
+    }
+    telemetry::write_family(
+        &mut out,
+        "frost_http_slow_requests_total",
+        "counter",
+        "Requests exceeding the --slow-request-ms threshold.",
+    );
+    telemetry::write_sample(
+        &mut out,
+        "frost_http_slow_requests_total",
+        "",
+        t.slow_total() as f64,
+    );
+    telemetry::write_family(
+        &mut out,
+        "frost_connections_accepted_total",
+        "counter",
+        "Connections accepted since start.",
+    );
+    telemetry::write_sample(
+        &mut out,
+        "frost_connections_accepted_total",
+        "",
+        state.connections_accepted() as f64,
+    );
+    telemetry::write_family(
+        &mut out,
+        "frost_open_connections",
+        "gauge",
+        "Connections currently open on the event loops.",
+    );
+    telemetry::write_sample(
+        &mut out,
+        "frost_open_connections",
+        "",
+        t.open_connections() as f64,
+    );
+    telemetry::write_family(
+        &mut out,
+        "frost_admitted_total",
+        "counter",
+        "Requests admitted to the dispatch queue.",
+    );
+    telemetry::write_sample(&mut out, "frost_admitted_total", "", ov.admitted() as f64);
+    telemetry::write_family(
+        &mut out,
+        "frost_shed_total",
+        "counter",
+        "Requests shed with 503, by reason.",
+    );
+    for (reason, n) in [
+        ("queue_full", queue_full),
+        ("deadline", deadline),
+        ("class_saturated", class_saturated),
+        ("draining", draining),
+    ] {
+        telemetry::write_sample(
+            &mut out,
+            "frost_shed_total",
+            &format!("reason=\"{reason}\""),
+            n as f64,
+        );
+    }
+    telemetry::write_family(
+        &mut out,
+        "frost_deadline_exceeded_total",
+        "counter",
+        "Responses that finished after their deadline had passed.",
+    );
+    telemetry::write_sample(
+        &mut out,
+        "frost_deadline_exceeded_total",
+        "",
+        ov.deadline_exceeded() as f64,
+    );
+    telemetry::write_family(
+        &mut out,
+        "frost_method_not_allowed_total",
+        "counter",
+        "Requests rejected with 405.",
+    );
+    telemetry::write_sample(
+        &mut out,
+        "frost_method_not_allowed_total",
+        "",
+        ov.method_not_allowed() as f64,
+    );
+    telemetry::write_family(
+        &mut out,
+        "frost_queue_depth",
+        "gauge",
+        "Requests currently waiting in the dispatch queue.",
+    );
+    telemetry::write_sample(&mut out, "frost_queue_depth", "", ov.queue_depth() as f64);
+    telemetry::write_family(
+        &mut out,
+        "frost_queue_max_depth",
+        "gauge",
+        "High-water mark of the dispatch queue.",
+    );
+    telemetry::write_sample(
+        &mut out,
+        "frost_queue_max_depth",
+        "",
+        ov.queue_max_depth() as f64,
+    );
+    telemetry::write_family(
+        &mut out,
+        "frost_inflight_requests",
+        "gauge",
+        "Requests currently being routed, by cost class.",
+    );
+    for (class, n) in [
+        ("cached", inflight_cached),
+        ("compute", inflight_compute),
+        ("write", inflight_write),
+    ] {
+        telemetry::write_sample(
+            &mut out,
+            "frost_inflight_requests",
+            &format!("class=\"{class}\""),
+            n as f64,
+        );
+    }
+    telemetry::write_family(
+        &mut out,
+        "frost_cache_hits_total",
+        "counter",
+        "Result-cache hits, by tier (body = rendered JSON, response = serialized bytes).",
+    );
+    telemetry::write_family(
+        &mut out,
+        "frost_cache_misses_total",
+        "counter",
+        "Result-cache misses, by tier.",
+    );
+    telemetry::write_family(
+        &mut out,
+        "frost_cache_entries",
+        "gauge",
+        "Live result-cache entries, by tier.",
+    );
+    telemetry::write_family(
+        &mut out,
+        "frost_cache_bytes",
+        "gauge",
+        "Tracked result-cache bytes, by tier.",
+    );
+    for (tier, hits, misses, entries, bytes) in [
+        (
+            "body",
+            cache.hits(),
+            cache.misses(),
+            cache.len(),
+            cache.bytes(),
+        ),
+        (
+            "response",
+            responses.hits(),
+            responses.misses(),
+            responses.len(),
+            responses.bytes(),
+        ),
+    ] {
+        let labels = format!("tier=\"{tier}\"");
+        telemetry::write_sample(&mut out, "frost_cache_hits_total", &labels, hits as f64);
+        telemetry::write_sample(&mut out, "frost_cache_misses_total", &labels, misses as f64);
+        telemetry::write_sample(&mut out, "frost_cache_entries", &labels, entries as f64);
+        telemetry::write_sample(&mut out, "frost_cache_bytes", &labels, bytes as f64);
+    }
+    telemetry::write_family(
+        &mut out,
+        "frost_cache_generation",
+        "gauge",
+        "Store mutation generation both cache tiers are stamped with.",
+    );
+    telemetry::write_sample(
+        &mut out,
+        "frost_cache_generation",
+        "",
+        cache.generation() as f64,
+    );
+    telemetry::write_family(
+        &mut out,
+        "frost_json_renders_total",
+        "counter",
+        "JSON serializations actually performed (cache misses).",
+    );
+    telemetry::write_sample(
+        &mut out,
+        "frost_json_renders_total",
+        "",
+        state.json_renders() as f64,
+    );
+    telemetry::write_family(
+        &mut out,
+        "frost_wal_poisoned",
+        "gauge",
+        "1 when a WAL disk failure has poisoned the write path.",
+    );
+    telemetry::write_sample(
+        &mut out,
+        "frost_wal_poisoned",
+        "",
+        if state.wal_poisoned() { 1.0 } else { 0.0 },
+    );
+    telemetry::write_family(
+        &mut out,
+        "frost_draining",
+        "gauge",
+        "1 while the server is draining for shutdown.",
+    );
+    telemetry::write_sample(
+        &mut out,
+        "frost_draining",
+        "",
+        if state.is_draining() { 1.0 } else { 0.0 },
+    );
+
+    telemetry::write_family(
+        &mut out,
+        "frost_http_request_duration_seconds",
+        "histogram",
+        "End-to-end request latency (accepted to last byte), by endpoint.",
+    );
+    for endpoint in Endpoint::ALL {
+        let h = t.e2e_histogram(endpoint);
+        if h.count() > 0 {
+            telemetry::write_histogram(
+                &mut out,
+                "frost_http_request_duration_seconds",
+                &endpoint_labels(endpoint),
+                h,
+                1e-9,
+            );
+        }
+    }
+    telemetry::write_family(
+        &mut out,
+        "frost_http_stage_duration_seconds",
+        "histogram",
+        "Duration of each request lifecycle stage (see /debug/traces glossary).",
+    );
+    for stage in &Stage::ALL[1..] {
+        telemetry::write_histogram(
+            &mut out,
+            "frost_http_stage_duration_seconds",
+            &format!("stage=\"{}\"", stage.name()),
+            t.stage_histogram(*stage),
+            1e-9,
+        );
+    }
+    telemetry::write_family(
+        &mut out,
+        "frost_wal_append_duration_seconds",
+        "histogram",
+        "WAL frame append (write) duration.",
+    );
+    telemetry::write_histogram(
+        &mut out,
+        "frost_wal_append_duration_seconds",
+        "",
+        &t.wal().append,
+        1e-9,
+    );
+    telemetry::write_family(
+        &mut out,
+        "frost_wal_fsync_duration_seconds",
+        "histogram",
+        "WAL fsync duration.",
+    );
+    telemetry::write_histogram(
+        &mut out,
+        "frost_wal_fsync_duration_seconds",
+        "",
+        &t.wal().fsync,
+        1e-9,
+    );
+    telemetry::write_family(
+        &mut out,
+        "frost_event_loop_poll_dwell_seconds",
+        "histogram",
+        "Wall time spent inside each poll(2) call.",
+    );
+    telemetry::write_histogram(
+        &mut out,
+        "frost_event_loop_poll_dwell_seconds",
+        "",
+        t.poll_dwell(),
+        1e-9,
+    );
+    telemetry::write_family(
+        &mut out,
+        "frost_event_loop_dispatch_batch",
+        "histogram",
+        "Events handled per event-loop wake (adoptions + completions + readiness).",
+    );
+    telemetry::write_histogram(
+        &mut out,
+        "frost_event_loop_dispatch_batch",
+        "",
+        t.dispatch_batch(),
+        1.0,
+    );
+
+    encode_text(200, out.into_bytes(), CONTENT_TYPE_PROMETHEUS)
+}
+
+/// The `endpoint="…",class="…"` label pair of one endpoint.
+fn endpoint_labels(endpoint: Endpoint) -> String {
+    format!(
+        "endpoint=\"{}\",class=\"{}\"",
+        endpoint.name(),
+        endpoint.class_name()
+    )
+}
+
+/// The `GET /debug/traces` body: the retained per-stage traces, most
+/// recent first. Never cached.
+fn traces_response(state: &ServerState) -> CachedResponse {
+    let body = serde_json::to_string(&state.telemetry.traces_json());
+    encode_response(200, body.into())
 }
 
 /// The write-method dispatcher: `POST /experiments` (CSV import),
@@ -2042,6 +2514,12 @@ enum Routed {
     /// `/readyz`: readiness (store loaded, WAL healthy, shed rate
     /// under threshold).
     Ready,
+    /// `GET /metrics` without an `experiment` parameter: the
+    /// Prometheus text exposition. Never cached — scrapers must see
+    /// live values.
+    Prometheus,
+    /// `GET /debug/traces`: the last-N request traces. Never cached.
+    Traces,
 }
 
 fn build_request(path: &str, params: &Params) -> Result<Routed, (u16, String)> {
@@ -2085,6 +2563,12 @@ fn build_request(path: &str, params: &Params) -> Result<Routed, (u16, String)> {
             )
         }
         "/metrics" => {
+            // The bare path is the Prometheus exposition; with an
+            // `experiment` parameter it is the evaluation-metrics API
+            // (an empty value is still the API's 400, not a scrape).
+            if params.get("experiment").is_none() {
+                return Ok(Routed::Prometheus);
+            }
             let experiment = params.required("experiment")?.to_string();
             let key = cache_key("metrics", &[&experiment]);
             let scopes = exp_scope(&experiment);
@@ -2187,6 +2671,7 @@ fn build_request(path: &str, params: &Params) -> Result<Routed, (u16, String)> {
         "/stats" => Ok(Routed::Stats),
         "/healthz" => Ok(Routed::Health),
         "/readyz" => Ok(Routed::Ready),
+        "/debug/traces" => Ok(Routed::Traces),
         other => Err((404, error_body(&format!("no such endpoint {other:?}")))),
     }
 }

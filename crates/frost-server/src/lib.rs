@@ -25,7 +25,12 @@
 //!   HTTP bodies byte-for-byte against this in-process rendering.
 //! * [`client`] — a minimal blocking HTTP client with keep-alive
 //!   connection reuse (the `frost get` subcommand and the loopback
-//!   tests).
+//!   tests), with per-request timing capture behind `frost get
+//!   --timing`.
+//! * [`telemetry`] — the observability layer: per-request lifecycle
+//!   traces (`GET /debug/traces`, `--slow-request-ms`), lock-free
+//!   latency histograms keyed by endpoint × cost class, and the
+//!   Prometheus text exposition behind `GET /metrics`.
 //!
 //! Start-up pairs with the `FROSTB` snapshot format
 //! ([`frost_storage::snapshot`]): `frostd` accepts either a CSV store
@@ -36,5 +41,6 @@ pub mod client;
 mod event_loop;
 pub mod http;
 pub mod json;
+pub mod telemetry;
 
 pub use http::{run_daemon, serve, serve_with, ServeOptions, ServerHandle, ServerState};

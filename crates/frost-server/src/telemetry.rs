@@ -1,0 +1,798 @@
+//! The serving layer's telemetry: per-request lifecycle traces, the
+//! always-on latency histograms behind `GET /metrics`, and the
+//! last-N trace ring behind `GET /debug/traces`.
+//!
+//! # Stages
+//!
+//! A request is stamped as it moves through the pipeline, in this
+//! order (stages that do not apply to a path are simply absent):
+//!
+//! | stage           | stamped when                                             |
+//! |-----------------|----------------------------------------------------------|
+//! | `accepted`      | the deadline clock starts: connection admission for the first request, arrival of its own first byte for pipelined successors |
+//! | `head_complete` | the event loop's parser yields the complete request      |
+//! | `admitted`      | the request enters the bounded dispatch queue            |
+//! | `cache_probe`   | the worker probed the serialized-response cache tier     |
+//! | `gate_acquired` | the worker obtained its class concurrency permit (compute/write only) |
+//! | `evaluated`     | the store computation (or write) finished                |
+//! | `serialized`    | the full response (head + body + `ETag` revalidation) is built |
+//! | `first_byte`    | the event loop wrote the first response byte             |
+//! | `last_byte`     | the last response byte entered the socket buffer         |
+//!
+//! The stage deltas telescope: the per-stage durations of one trace
+//! sum *exactly* to its end-to-end duration (`last_byte − accepted`),
+//! which the loopback tests pin.
+//!
+//! # Cost
+//!
+//! Recording is deliberately cheap: stamping shares `Instant::now()`
+//! calls between adjacent stages (the hot cached path performs three
+//! beyond what the deadline machinery already takes), finishing a
+//! trace is a handful of relaxed `fetch_add`s into [`Histogram`]
+//! buckets, and the trace ring claims its slot with one atomic
+//! `fetch_add` (the slot payload swap is guarded by an uncontended
+//! per-slot mutex, since traces carry strings). Setting
+//! [`ServeOptions::telemetry`](crate::ServeOptions::telemetry) to
+//! `false` skips tracing entirely — the bench harness gates the
+//! enabled-vs-disabled difference at ≤ 5 % of hot-path p50.
+
+use frost_storage::telemetry::{Histogram, WalStats};
+use parking_lot::{Mutex, RwLock};
+use serde_json::Value;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Default capacity of the `/debug/traces` ring
+/// ([`ServeOptions::trace_ring`](crate::ServeOptions::trace_ring)).
+pub const DEFAULT_TRACE_RING: usize = 256;
+
+/// Resolution of the server-side histograms: `2^5` sub-buckets per
+/// power of two, ≈3 % relative error, ~15 KB per histogram.
+const SERVER_SUB_BITS: u32 = 5;
+
+// ---------------------------------------------------------------------
+// Stages and endpoint labels
+// ---------------------------------------------------------------------
+
+/// A request lifecycle stage (see the [module docs](self) glossary).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    Accepted = 0,
+    HeadComplete = 1,
+    Admitted = 2,
+    CacheProbe = 3,
+    GateAcquired = 4,
+    Evaluated = 5,
+    Serialized = 6,
+    FirstByte = 7,
+    LastByte = 8,
+}
+
+/// Number of [`Stage`]s.
+pub const STAGE_COUNT: usize = 9;
+
+impl Stage {
+    /// Every stage, in pipeline order.
+    pub const ALL: [Stage; STAGE_COUNT] = [
+        Stage::Accepted,
+        Stage::HeadComplete,
+        Stage::Admitted,
+        Stage::CacheProbe,
+        Stage::GateAcquired,
+        Stage::Evaluated,
+        Stage::Serialized,
+        Stage::FirstByte,
+        Stage::LastByte,
+    ];
+
+    /// The label value used in `/metrics` and `/debug/traces`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Accepted => "accepted",
+            Stage::HeadComplete => "head_complete",
+            Stage::Admitted => "admitted",
+            Stage::CacheProbe => "cache_probe",
+            Stage::GateAcquired => "gate_acquired",
+            Stage::Evaluated => "evaluated",
+            Stage::Serialized => "serialized",
+            Stage::FirstByte => "first_byte",
+            Stage::LastByte => "last_byte",
+        }
+    }
+}
+
+/// The bounded endpoint label set request metrics are keyed by. Every
+/// request maps to exactly one label (unknown paths fall into
+/// [`Endpoint::Other`]), and each label implies one cost class — so
+/// `endpoint × class` label pairs stay bounded no matter what clients
+/// send.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    Datasets = 0,
+    Experiments = 1,
+    Profile = 2,
+    Matrix = 3,
+    /// `/metrics?experiment=<E>` — the evaluation-metrics API (the
+    /// bare `/metrics` is [`Endpoint::Prometheus`]).
+    Metrics = 4,
+    Diagram = 5,
+    Compare = 6,
+    Venn = 7,
+    ClusterMetrics = 8,
+    Ratios = 9,
+    Errors = 10,
+    Quality = 11,
+    Stats = 12,
+    Healthz = 13,
+    Readyz = 14,
+    /// `GET /metrics` without an `experiment` parameter: the
+    /// Prometheus exposition.
+    Prometheus = 15,
+    /// `GET /debug/traces`.
+    Traces = 16,
+    /// The test-only `/debug/*` load endpoints.
+    Debug = 17,
+    /// `POST /experiments` (CSV import).
+    Import = 18,
+    /// `DELETE /experiments/<name>`.
+    Delete = 19,
+    /// `POST /snapshot/save`.
+    Snapshot = 20,
+    Other = 21,
+}
+
+/// Number of [`Endpoint`] labels.
+pub const ENDPOINT_COUNT: usize = 22;
+
+impl Endpoint {
+    /// Every label, in index order.
+    pub const ALL: [Endpoint; ENDPOINT_COUNT] = [
+        Endpoint::Datasets,
+        Endpoint::Experiments,
+        Endpoint::Profile,
+        Endpoint::Matrix,
+        Endpoint::Metrics,
+        Endpoint::Diagram,
+        Endpoint::Compare,
+        Endpoint::Venn,
+        Endpoint::ClusterMetrics,
+        Endpoint::Ratios,
+        Endpoint::Errors,
+        Endpoint::Quality,
+        Endpoint::Stats,
+        Endpoint::Healthz,
+        Endpoint::Readyz,
+        Endpoint::Prometheus,
+        Endpoint::Traces,
+        Endpoint::Debug,
+        Endpoint::Import,
+        Endpoint::Delete,
+        Endpoint::Snapshot,
+        Endpoint::Other,
+    ];
+
+    /// Maps a request line to its label without allocating.
+    pub fn from_request(method: &str, target: &str) -> Endpoint {
+        let (path, query) = match target.split_once('?') {
+            Some((p, q)) => (p, q),
+            None => (target, ""),
+        };
+        match method {
+            "GET" => match path {
+                "/datasets" => Endpoint::Datasets,
+                "/experiments" => Endpoint::Experiments,
+                "/profile" => Endpoint::Profile,
+                "/matrix" => Endpoint::Matrix,
+                "/metrics" if query.contains("experiment") => Endpoint::Metrics,
+                "/metrics" => Endpoint::Prometheus,
+                "/diagram" => Endpoint::Diagram,
+                "/compare" => Endpoint::Compare,
+                "/venn" => Endpoint::Venn,
+                "/cluster-metrics" => Endpoint::ClusterMetrics,
+                "/ratios" => Endpoint::Ratios,
+                "/errors" => Endpoint::Errors,
+                "/quality" => Endpoint::Quality,
+                "/stats" => Endpoint::Stats,
+                "/healthz" => Endpoint::Healthz,
+                "/readyz" => Endpoint::Readyz,
+                "/debug/traces" => Endpoint::Traces,
+                p if p.starts_with("/debug/") => Endpoint::Debug,
+                _ => Endpoint::Other,
+            },
+            "POST" => match path {
+                "/experiments" => Endpoint::Import,
+                "/snapshot/save" => Endpoint::Snapshot,
+                _ => Endpoint::Other,
+            },
+            "DELETE" => Endpoint::Delete,
+            _ => Endpoint::Other,
+        }
+    }
+
+    /// The label value in `/metrics`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Endpoint::Datasets => "datasets",
+            Endpoint::Experiments => "experiments",
+            Endpoint::Profile => "profile",
+            Endpoint::Matrix => "matrix",
+            Endpoint::Metrics => "metrics",
+            Endpoint::Diagram => "diagram",
+            Endpoint::Compare => "compare",
+            Endpoint::Venn => "venn",
+            Endpoint::ClusterMetrics => "cluster_metrics",
+            Endpoint::Ratios => "ratios",
+            Endpoint::Errors => "errors",
+            Endpoint::Quality => "quality",
+            Endpoint::Stats => "stats",
+            Endpoint::Healthz => "healthz",
+            Endpoint::Readyz => "readyz",
+            Endpoint::Prometheus => "prometheus",
+            Endpoint::Traces => "traces",
+            Endpoint::Debug => "debug",
+            Endpoint::Import => "import",
+            Endpoint::Delete => "delete",
+            Endpoint::Snapshot => "snapshot",
+            Endpoint::Other => "other",
+        }
+    }
+
+    /// The cost class this endpoint routes to (mirrors the server's
+    /// `classify`) — the second metric label.
+    pub fn class_name(self) -> &'static str {
+        match self {
+            Endpoint::Compare | Endpoint::Diagram | Endpoint::Venn | Endpoint::Debug => "compute",
+            Endpoint::Import | Endpoint::Delete | Endpoint::Snapshot => "write",
+            _ => "cached",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Traces
+// ---------------------------------------------------------------------
+
+/// One request's lifecycle stamps, threaded event loop → worker →
+/// event loop alongside the request itself. Stamps are `Cell`s — the
+/// trace is only ever touched by the thread currently owning the
+/// request, so no atomics are needed — and a stage's first stamp wins
+/// (re-stamping is a no-op), which lets the write path stamp
+/// `first_byte`/`last_byte` unconditionally on completion.
+pub struct Trace {
+    endpoint: Endpoint,
+    method: String,
+    target: String,
+    status: Cell<u16>,
+    stamps: [Cell<Option<Instant>>; STAGE_COUNT],
+}
+
+impl Trace {
+    /// Starts a trace at `accepted` (the request's deadline clock).
+    pub fn begin(method: &str, target: &str, accepted: Instant) -> Box<Trace> {
+        let trace = Box::new(Trace {
+            endpoint: Endpoint::from_request(method, target),
+            method: method.to_string(),
+            target: target.to_string(),
+            status: Cell::new(0),
+            stamps: Default::default(),
+        });
+        trace.stamps[Stage::Accepted as usize].set(Some(accepted));
+        trace
+    }
+
+    /// Stamps `stage` at `now` unless it was already stamped.
+    pub fn stamp_at(&self, stage: Stage, now: Instant) {
+        let slot = &self.stamps[stage as usize];
+        if slot.get().is_none() {
+            slot.set(Some(now));
+        }
+    }
+
+    /// Stamps `stage` at the current instant (first stamp wins).
+    pub fn stamp(&self, stage: Stage) {
+        self.stamp_at(stage, Instant::now());
+    }
+
+    /// Records the response status (the last call wins — `ETag`
+    /// revalidation may turn a `200` into a `304` after routing).
+    pub fn set_status(&self, status: u16) {
+        self.status.set(status);
+    }
+
+    /// The endpoint label derived from the request line.
+    pub fn endpoint(&self) -> Endpoint {
+        self.endpoint
+    }
+}
+
+/// A finished trace as kept in the ring: stage *durations* (deltas
+/// between consecutive present stamps, which telescope to `total`).
+struct FinishedTrace {
+    seq: u64,
+    endpoint: Endpoint,
+    method: String,
+    target: String,
+    status: u16,
+    slow: bool,
+    total: Duration,
+    stages: Vec<(Stage, Duration)>,
+}
+
+impl FinishedTrace {
+    fn to_json(&self) -> Value {
+        let stages: Vec<Value> = self
+            .stages
+            .iter()
+            .map(|(stage, d)| {
+                Value::object([
+                    ("stage".to_string(), Value::from(stage.name())),
+                    ("ns".to_string(), Value::from(d.as_nanos() as u64)),
+                ])
+            })
+            .collect();
+        Value::object([
+            ("seq".to_string(), Value::from(self.seq)),
+            ("endpoint".to_string(), Value::from(self.endpoint.name())),
+            ("class".to_string(), Value::from(self.endpoint.class_name())),
+            ("method".to_string(), Value::from(self.method.as_str())),
+            ("target".to_string(), Value::from(self.target.as_str())),
+            ("status".to_string(), Value::from(u64::from(self.status))),
+            ("slow".to_string(), Value::from(self.slow)),
+            (
+                "total_ns".to_string(),
+                Value::from(self.total.as_nanos() as u64),
+            ),
+            ("stages".to_string(), Value::Array(stages)),
+        ])
+    }
+}
+
+/// The last-N trace ring: the slot index is claimed with one atomic
+/// `fetch_add` (no lock, no contention point), and only the claimed
+/// slot's payload swap takes that slot's own mutex — two writers
+/// contend only if the ring wraps fully between their claims.
+struct TraceRing {
+    slots: Box<[Mutex<Option<FinishedTrace>>]>,
+    head: AtomicU64,
+}
+
+impl TraceRing {
+    fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            head: AtomicU64::new(0),
+        }
+    }
+
+    fn push(&self, trace: FinishedTrace) {
+        let seq = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(seq % self.slots.len() as u64) as usize];
+        *slot.lock() = Some(FinishedTrace { seq, ..trace });
+    }
+
+    /// The retained traces, most recent first.
+    fn collect(&self) -> Vec<Value> {
+        let mut traces: Vec<(u64, Value)> = self
+            .slots
+            .iter()
+            .filter_map(|slot| {
+                let slot = slot.lock();
+                slot.as_ref().map(|t| (t.seq, t.to_json()))
+            })
+            .collect();
+        traces.sort_by_key(|t| std::cmp::Reverse(t.0));
+        traces.into_iter().map(|(_, v)| v).collect()
+    }
+}
+
+// ---------------------------------------------------------------------
+// The registry
+// ---------------------------------------------------------------------
+
+/// Everything the telemetry layer accumulates, owned by
+/// [`ServerState`](crate::ServerState) and shared with the event loops
+/// and workers.
+pub struct Telemetry {
+    enabled: AtomicBool,
+    /// Slow-request threshold in nanoseconds; `0` disables the log.
+    slow_ns: AtomicU64,
+    ring: RwLock<TraceRing>,
+    /// Completed responses per endpoint (incremented at `last_byte`).
+    requests: Vec<AtomicU64>,
+    slow_total: AtomicU64,
+    /// End-to-end latency per endpoint (`accepted` → `last_byte`).
+    e2e: Vec<Histogram>,
+    /// Per-stage durations, indexed by the stage each interval *ends*
+    /// at (`stage[Accepted]` is unused — it has no predecessor).
+    stage: Vec<Histogram>,
+    /// Wall time spent inside each `poll(2)` call.
+    poll_dwell: Histogram,
+    /// Events handled per event-loop wake (fresh connections +
+    /// completions + readiness firings).
+    dispatch_batch: Histogram,
+    open_connections: AtomicI64,
+    wal: Arc<WalStats>,
+}
+
+impl Telemetry {
+    /// A registry with default settings (enabled, 256-slot ring, slow
+    /// log off) recording WAL timings into `wal`.
+    pub fn new(wal: Arc<WalStats>) -> Self {
+        Self {
+            enabled: AtomicBool::new(true),
+            slow_ns: AtomicU64::new(0),
+            ring: RwLock::new(TraceRing::new(DEFAULT_TRACE_RING)),
+            requests: (0..ENDPOINT_COUNT).map(|_| AtomicU64::new(0)).collect(),
+            slow_total: AtomicU64::new(0),
+            e2e: (0..ENDPOINT_COUNT)
+                .map(|_| Histogram::new(SERVER_SUB_BITS))
+                .collect(),
+            stage: (0..STAGE_COUNT)
+                .map(|_| Histogram::new(SERVER_SUB_BITS))
+                .collect(),
+            poll_dwell: Histogram::new(SERVER_SUB_BITS),
+            dispatch_batch: Histogram::new(SERVER_SUB_BITS),
+            open_connections: AtomicI64::new(0),
+            wal,
+        }
+    }
+
+    /// Applies the serve-time options (called once per `serve_with`).
+    pub(crate) fn configure(&self, enabled: bool, slow: Option<Duration>, ring: usize) {
+        self.enabled.store(enabled, Ordering::Release);
+        let slow_ns = slow
+            .map(|d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX).max(1))
+            .unwrap_or(0);
+        self.slow_ns.store(slow_ns, Ordering::Release);
+        let ring = ring.max(1);
+        if self.ring.read().slots.len() != ring {
+            *self.ring.write() = TraceRing::new(ring);
+        }
+    }
+
+    /// Whether request tracing is on (one relaxed load — the event
+    /// loop checks this before allocating anything).
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Connections currently open on the event loops (the
+    /// `open_connections` gauge; accepts that were shed before
+    /// adoption never count).
+    pub fn open_connections(&self) -> i64 {
+        self.open_connections.load(Ordering::Relaxed).max(0)
+    }
+
+    /// Completed responses, summed over every endpoint.
+    pub fn requests_total(&self) -> u64 {
+        self.requests
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Completed responses for one endpoint label.
+    pub fn requests_for(&self, endpoint: Endpoint) -> u64 {
+        self.requests[endpoint as usize].load(Ordering::Relaxed)
+    }
+
+    /// Requests that exceeded the slow-request threshold.
+    pub fn slow_total(&self) -> u64 {
+        self.slow_total.load(Ordering::Relaxed)
+    }
+
+    /// The end-to-end latency histogram of one endpoint.
+    pub fn e2e_histogram(&self, endpoint: Endpoint) -> &Histogram {
+        &self.e2e[endpoint as usize]
+    }
+
+    /// The duration histogram of the interval ending at `stage`.
+    pub fn stage_histogram(&self, stage: Stage) -> &Histogram {
+        &self.stage[stage as usize]
+    }
+
+    /// The poll-dwell histogram (time inside `poll(2)`).
+    pub fn poll_dwell(&self) -> &Histogram {
+        &self.poll_dwell
+    }
+
+    /// The dispatch-batch-size histogram (events per loop wake).
+    pub fn dispatch_batch(&self) -> &Histogram {
+        &self.dispatch_batch
+    }
+
+    /// The WAL append/fsync histograms.
+    pub fn wal(&self) -> &WalStats {
+        &self.wal
+    }
+
+    pub(crate) fn note_poll_dwell(&self, dwell: Duration) {
+        self.poll_dwell.record_duration(dwell);
+    }
+
+    pub(crate) fn note_dispatch_batch(&self, events: u64) {
+        self.dispatch_batch.record(events);
+    }
+
+    /// Finishes a trace once its last response byte entered the
+    /// socket: bumps the endpoint's request counter, records the
+    /// end-to-end and per-stage histograms, pushes the trace into the
+    /// ring, and emits the structured slow-request line when the
+    /// configured threshold is exceeded.
+    pub(crate) fn finish(&self, trace: Box<Trace>) {
+        let endpoint = trace.endpoint;
+        self.requests[endpoint as usize].fetch_add(1, Ordering::Relaxed);
+        let stamps = &trace.stamps;
+        let Some(accepted) = stamps[Stage::Accepted as usize].get() else {
+            return; // loop-local error response: counted, not traced
+        };
+        let mut prev = accepted;
+        let mut stages: Vec<(Stage, Duration)> = Vec::with_capacity(STAGE_COUNT - 1);
+        for stage in &Stage::ALL[1..] {
+            let Some(at) = stamps[*stage as usize].get() else {
+                continue;
+            };
+            let delta = at.saturating_duration_since(prev);
+            self.stage[*stage as usize].record_duration(delta);
+            stages.push((*stage, delta));
+            prev = at;
+        }
+        // `prev` is now the last present stamp (`last_byte`), so the
+        // collected deltas telescope exactly to `total`.
+        let total = prev.saturating_duration_since(accepted);
+        self.e2e[endpoint as usize].record_duration(total);
+        let slow_ns = self.slow_ns.load(Ordering::Relaxed);
+        let slow = slow_ns > 0 && total.as_nanos() as u64 >= slow_ns;
+        if slow {
+            self.slow_total.fetch_add(1, Ordering::Relaxed);
+            log_slow_request(&trace, total, &stages);
+        }
+        self.ring.read().push(FinishedTrace {
+            seq: 0, // assigned by the ring
+            endpoint,
+            method: trace.method,
+            target: trace.target,
+            status: trace.status.get(),
+            slow,
+            total,
+            stages,
+        });
+    }
+
+    /// The `/debug/traces` body: retained traces, most recent first.
+    pub fn traces_json(&self) -> Value {
+        let ring = self.ring.read();
+        Value::object([
+            ("ring".to_string(), Value::from(ring.slots.len())),
+            ("traces".to_string(), Value::Array(ring.collect())),
+        ])
+    }
+}
+
+/// RAII bump of the `open_connections` gauge, held by each event-loop
+/// connection — every way a connection dies (idle sweep, parse error,
+/// drain, hard kill, loop exit) drops the `Conn` and with it this
+/// guard, so the gauge can never leak.
+pub struct OpenConnGuard {
+    telemetry: Arc<Telemetry>,
+}
+
+impl OpenConnGuard {
+    pub(crate) fn new(telemetry: &Arc<Telemetry>) -> Self {
+        telemetry.open_connections.fetch_add(1, Ordering::Relaxed);
+        Self {
+            telemetry: Arc::clone(telemetry),
+        }
+    }
+}
+
+impl Drop for OpenConnGuard {
+    fn drop(&mut self) {
+        self.telemetry
+            .open_connections
+            .fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// One structured line per slow request, greppable by key:
+/// `frostd: slow-request endpoint=… status=… total_ms=… stages=…`.
+fn log_slow_request(trace: &Trace, total: Duration, stages: &[(Stage, Duration)]) {
+    let mut breakdown = String::new();
+    for (stage, d) in stages {
+        if !breakdown.is_empty() {
+            breakdown.push(',');
+        }
+        breakdown.push_str(stage.name());
+        breakdown.push(':');
+        breakdown.push_str(&format!("{:.3}", d.as_secs_f64() * 1e3));
+    }
+    eprintln!(
+        "frostd: slow-request endpoint={} method={} target={:?} status={} total_ms={:.3} stages={}",
+        trace.endpoint.name(),
+        trace.method,
+        trace.target,
+        trace.status.get(),
+        total.as_secs_f64() * 1e3,
+        breakdown,
+    );
+}
+
+// ---------------------------------------------------------------------
+// Prometheus text exposition helpers
+// ---------------------------------------------------------------------
+
+/// Appends a `# HELP` + `# TYPE` family header.
+pub(crate) fn write_family(out: &mut String, name: &str, kind: &str, help: &str) {
+    out.push_str("# HELP ");
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(help);
+    out.push_str("\n# TYPE ");
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(kind);
+    out.push('\n');
+}
+
+/// Appends one `name{labels} value` sample line (`labels` may be
+/// empty; values render integrally when integral).
+pub(crate) fn write_sample(out: &mut String, name: &str, labels: &str, value: f64) {
+    out.push_str(name);
+    if !labels.is_empty() {
+        out.push('{');
+        out.push_str(labels);
+        out.push('}');
+    }
+    out.push(' ');
+    if value.fract() == 0.0 && value.abs() < 9e15 {
+        out.push_str(&format!("{}", value as i64));
+    } else {
+        out.push_str(&format!("{value}"));
+    }
+    out.push('\n');
+}
+
+/// Appends one histogram's `_bucket`/`_sum`/`_count` samples.
+/// Recorded values are multiplied by `unit` (pass `1e-9` for
+/// nanosecond histograms rendered as seconds, `1.0` for unitless
+/// ones). Only non-empty buckets plus the mandatory `+Inf` bucket are
+/// emitted — cumulative `le` semantics make that a valid (and
+/// compact) exposition.
+pub(crate) fn write_histogram(
+    out: &mut String,
+    name: &str,
+    labels: &str,
+    h: &Histogram,
+    unit: f64,
+) {
+    let sep = if labels.is_empty() { "" } else { "," };
+    let mut cumulative = 0u64;
+    for (upper, count) in h.nonzero_buckets() {
+        cumulative += count;
+        let le = upper as f64 * unit;
+        out.push_str(name);
+        out.push_str("_bucket{");
+        out.push_str(labels);
+        out.push_str(sep);
+        out.push_str(&format!("le=\"{le}\"}} {cumulative}\n"));
+    }
+    out.push_str(name);
+    out.push_str("_bucket{");
+    out.push_str(labels);
+    out.push_str(sep);
+    out.push_str(&format!("le=\"+Inf\"}} {}\n", h.count()));
+    write_sample(out, &format!("{name}_sum"), labels, h.sum() as f64 * unit);
+    write_sample(out, &format!("{name}_count"), labels, h.count() as f64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_labels_cover_the_routing_table() {
+        let cases = [
+            ("GET", "/datasets", Endpoint::Datasets),
+            ("GET", "/metrics?experiment=e1", Endpoint::Metrics),
+            ("GET", "/metrics", Endpoint::Prometheus),
+            ("GET", "/diagram?experiment=e1&samples=5", Endpoint::Diagram),
+            ("GET", "/debug/traces", Endpoint::Traces),
+            ("GET", "/debug/sleep?ms=5", Endpoint::Debug),
+            ("GET", "/nope", Endpoint::Other),
+            ("POST", "/experiments?dataset=d&name=n", Endpoint::Import),
+            ("POST", "/snapshot/save", Endpoint::Snapshot),
+            ("DELETE", "/experiments/e1", Endpoint::Delete),
+            ("PATCH", "/datasets", Endpoint::Other),
+        ];
+        for (method, target, want) in cases {
+            assert_eq!(
+                Endpoint::from_request(method, target),
+                want,
+                "{method} {target}"
+            );
+        }
+        for endpoint in Endpoint::ALL {
+            assert!(!endpoint.name().is_empty());
+            assert!(matches!(
+                endpoint.class_name(),
+                "cached" | "compute" | "write"
+            ));
+        }
+    }
+
+    #[test]
+    fn stage_deltas_telescope_to_total() {
+        let telemetry = Telemetry::new(Arc::default());
+        let t0 = Instant::now();
+        let trace = Trace::begin("GET", "/datasets", t0);
+        trace.stamp_at(Stage::HeadComplete, t0 + Duration::from_micros(10));
+        trace.stamp_at(Stage::Admitted, t0 + Duration::from_micros(12));
+        trace.stamp_at(Stage::CacheProbe, t0 + Duration::from_micros(40));
+        trace.stamp_at(Stage::Serialized, t0 + Duration::from_micros(90));
+        trace.stamp_at(Stage::FirstByte, t0 + Duration::from_micros(120));
+        trace.stamp_at(Stage::LastByte, t0 + Duration::from_micros(120));
+        trace.set_status(200);
+        telemetry.finish(trace);
+        assert_eq!(telemetry.requests_for(Endpoint::Datasets), 1);
+        assert_eq!(telemetry.e2e_histogram(Endpoint::Datasets).count(), 1);
+        let traces = telemetry.traces_json();
+        let entries = traces.get("traces").and_then(Value::as_array).unwrap();
+        assert_eq!(entries.len(), 1);
+        let total = entries[0].get("total_ns").and_then(Value::as_f64).unwrap();
+        let stage_sum: f64 = entries[0]
+            .get("stages")
+            .and_then(Value::as_array)
+            .unwrap()
+            .iter()
+            .map(|s| s.get("ns").and_then(Value::as_f64).unwrap())
+            .sum();
+        assert_eq!(total, 120_000.0);
+        assert_eq!(stage_sum, total, "stage deltas must telescope exactly");
+    }
+
+    #[test]
+    fn ring_keeps_only_the_last_n() {
+        let telemetry = Telemetry::new(Arc::default());
+        telemetry.configure(true, None, 4);
+        for i in 0..10 {
+            let t0 = Instant::now();
+            let trace = Trace::begin("GET", &format!("/stats?i={i}"), t0);
+            trace.stamp_at(Stage::LastByte, t0 + Duration::from_micros(i));
+            telemetry.finish(trace);
+        }
+        let traces = telemetry.traces_json();
+        let entries = traces.get("traces").and_then(Value::as_array).unwrap();
+        assert_eq!(entries.len(), 4);
+        let newest = entries[0].get("seq").and_then(Value::as_f64).unwrap();
+        assert_eq!(newest, 9.0, "most recent trace first");
+    }
+
+    #[test]
+    fn open_connection_gauge_balances() {
+        let telemetry = Arc::new(Telemetry::new(Arc::default()));
+        let a = OpenConnGuard::new(&telemetry);
+        let b = OpenConnGuard::new(&telemetry);
+        assert_eq!(telemetry.open_connections(), 2);
+        drop(a);
+        assert_eq!(telemetry.open_connections(), 1);
+        drop(b);
+        assert_eq!(telemetry.open_connections(), 0);
+    }
+
+    #[test]
+    fn histogram_exposition_is_cumulative() {
+        let h = Histogram::new(5);
+        h.record(10);
+        h.record(10);
+        h.record(1_000);
+        let mut out = String::new();
+        write_histogram(&mut out, "x_seconds", "k=\"v\"", &h, 1e-9);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], "x_seconds_bucket{k=\"v\",le=\"0.00000001\"} 2");
+        assert!(out.contains("le=\"+Inf\"} 3"));
+        assert!(out.contains("x_seconds_count{k=\"v\"} 3"));
+    }
+}

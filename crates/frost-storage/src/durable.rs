@@ -40,6 +40,7 @@
 use crate::fault::{FailFs, RealFs};
 use crate::snapshot::{self, SnapshotError};
 use crate::store::{BenchmarkStore, StoreError};
+use crate::telemetry::WalStats;
 use crate::wal::{
     self, encode_frame, encode_header, snapshot_id, FsyncPolicy, SnapshotId, TailState, WalError,
     WalOp, WAL_HEADER_LEN,
@@ -139,6 +140,9 @@ pub struct DurableStore {
     dirty: bool,
     last_sync: Instant,
     poisoned: bool,
+    /// Append/fsync duration histograms, shared with whoever renders
+    /// them (the HTTP server's `/metrics` endpoint).
+    stats: Arc<WalStats>,
 }
 
 impl fmt::Debug for DurableStore {
@@ -195,6 +199,7 @@ impl DurableStore {
             dirty: false,
             last_sync: Instant::now(),
             poisoned: false,
+            stats: Arc::new(WalStats::default()),
         };
 
         if !durable.fs.exists(&durable.wal_path) {
@@ -254,7 +259,10 @@ impl DurableStore {
             return Err(DurableError::Poisoned);
         }
         let frame = encode_frame(op);
-        if let Err(e) = self.fs.append(&self.wal_path, &frame) {
+        let appending = Instant::now();
+        let appended = self.fs.append(&self.wal_path, &frame);
+        self.stats.append.record_duration(appending.elapsed());
+        if let Err(e) = appended {
             self.rollback();
             return Err(e.into());
         }
@@ -265,7 +273,7 @@ impl DurableStore {
             FsyncPolicy::Interval(d) => self.last_sync.elapsed() >= d,
         };
         if due {
-            if let Err(e) = self.fs.sync(&self.wal_path) {
+            if let Err(e) = self.timed_sync() {
                 // The op must not be acknowledged, so it must not
                 // survive to replay: truncate it away. And after a
                 // failed fsync the page cache is no longer trusted to
@@ -296,7 +304,7 @@ impl DurableStore {
             return Err(DurableError::Poisoned);
         }
         if self.dirty {
-            if let Err(e) = self.fs.sync(&self.wal_path) {
+            if let Err(e) = self.timed_sync() {
                 self.poisoned = true;
                 return Err(e.into());
             }
@@ -304,6 +312,21 @@ impl DurableStore {
             self.last_sync = Instant::now();
         }
         Ok(())
+    }
+
+    /// One WAL fsync, recorded into the
+    /// [fsync histogram](WalStats::fsync) whether it succeeds or not.
+    fn timed_sync(&self) -> std::io::Result<()> {
+        let syncing = Instant::now();
+        let synced = self.fs.sync(&self.wal_path);
+        self.stats.fsync.record_duration(syncing.elapsed());
+        synced
+    }
+
+    /// The WAL append/fsync duration histograms (shared handle; the
+    /// server's `/metrics` endpoint renders them).
+    pub fn wal_stats(&self) -> Arc<WalStats> {
+        Arc::clone(&self.stats)
     }
 
     /// Folds `store` (the current in-memory state, WAL ops included)

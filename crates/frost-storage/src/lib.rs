@@ -41,6 +41,10 @@
 //! * [`fault`] — the injectable I/O layer ([`fault::FailFs`]) the
 //!   durable path runs on, so tests can force short writes, fsync
 //!   errors and crashes at every boundary.
+//! * [`telemetry`] — lock-free log-linear latency histograms (the
+//!   measurement core shared by the durable writer's WAL timings, the
+//!   HTTP server's request telemetry, and the bench harness's
+//!   percentile reporting).
 
 pub mod api;
 pub mod cache;
@@ -50,6 +54,7 @@ pub mod import;
 pub mod persist;
 pub mod snapshot;
 pub mod store;
+pub mod telemetry;
 pub mod wal;
 
 pub use cache::ShardedCache;

@@ -1,0 +1,352 @@
+//! Lock-free log-linear latency histograms — the measurement core the
+//! serving layer's telemetry is built on.
+//!
+//! An HDR-style fixed-bucket histogram: values below `2^sub_bits`
+//! land in unit-width buckets, and every power-of-two range above is
+//! split into `2^sub_bits` equal sub-buckets, so the relative
+//! quantization error is bounded by `2^-sub_bits` across the whole
+//! `u64` range. Buckets are relaxed atomics — recording is a handful
+//! of `fetch_add`s with no locking, safe from any number of threads —
+//! and histograms with the same resolution merge by bucket-wise
+//! addition (merge is associative and commutative, so per-thread or
+//! per-shard histograms can be combined in any order).
+//!
+//! Values are unitless `u64`s; the server records durations as
+//! nanoseconds and batch sizes as plain counts. Quantiles come back as
+//! the *upper bound* of the bucket holding the target rank, so a
+//! reported quantile is always ≥ the exact order statistic and within
+//! one bucket width of it (the property the proptests pin).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A mergeable, concurrently recordable log-linear histogram.
+pub struct Histogram {
+    sub_bits: u32,
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram with `2^sub_bits` sub-buckets per power-of-two
+    /// range (relative error ≤ `2^-sub_bits`). `sub_bits` is clamped
+    /// to `1..=12` — 5 (≈3 % error, ~15 KB) suits always-on server
+    /// metrics, 7 (≈0.8 %, ~58 KB) suits offline bench analysis.
+    pub fn new(sub_bits: u32) -> Self {
+        let sub_bits = sub_bits.clamp(1, 12);
+        let len = ((65 - sub_bits) as usize) << sub_bits;
+        let buckets = (0..len).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            sub_bits,
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// The resolution this histogram was built with.
+    pub fn sub_bits(&self) -> u32 {
+        self.sub_bits
+    }
+
+    /// The bucket index holding `value`.
+    fn index_of(&self, value: u64) -> usize {
+        let unit = 1u64 << self.sub_bits;
+        if value < unit {
+            return value as usize;
+        }
+        let exp = 63 - value.leading_zeros();
+        let group = (exp - self.sub_bits + 1) as usize;
+        let offset = ((value >> (exp - self.sub_bits)) & (unit - 1)) as usize;
+        (group << self.sub_bits) + offset
+    }
+
+    /// The inclusive `[low, high]` range of values sharing `value`'s
+    /// bucket — `high - low + 1` is the bucket width a quantile answer
+    /// is accurate to.
+    pub fn bucket_range(&self, value: u64) -> (u64, u64) {
+        let index = self.index_of(value);
+        let unit = 1u64 << self.sub_bits;
+        if (index as u64) < unit {
+            return (index as u64, index as u64);
+        }
+        let group = index >> self.sub_bits;
+        let offset = (index as u64) & (unit - 1);
+        let scale = (group - 1) as u32;
+        let low = (unit + offset) << scale;
+        (low, low + ((1u64 << scale) - 1))
+    }
+
+    /// Records one value: three relaxed `fetch_add`s, no locking.
+    pub fn record(&self, value: u64) {
+        self.buckets[self.index_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Records a duration as nanoseconds (saturating past ~584 years).
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Values recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded values (wrapping on overflow).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Folds `other`'s buckets into `self` (bucket-wise addition).
+    /// Both histograms must share a resolution.
+    pub fn merge(&self, other: &Histogram) {
+        assert_eq!(
+            self.sub_bits, other.sub_bits,
+            "cannot merge histograms of different resolution"
+        );
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) as the upper bound of the bucket
+    /// holding the target rank: ≥ the exact order statistic, within
+    /// one bucket width of it. `0` when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        let mut last_nonempty = 0u64;
+        for (index, bucket) in self.buckets.iter().enumerate() {
+            let n = bucket.load(Ordering::Relaxed);
+            if n == 0 {
+                continue;
+            }
+            seen += n;
+            last_nonempty = self.upper_bound(index);
+            if seen >= target {
+                return last_nonempty;
+            }
+        }
+        last_nonempty
+    }
+
+    /// Inclusive upper value of bucket `index`.
+    fn upper_bound(&self, index: usize) -> u64 {
+        let unit = 1u64 << self.sub_bits;
+        if (index as u64) < unit {
+            return index as u64;
+        }
+        let group = index >> self.sub_bits;
+        let offset = (index as u64) & (unit - 1);
+        let scale = (group - 1) as u32;
+        ((unit + offset) << scale) + ((1u64 << scale) - 1)
+    }
+
+    /// The non-empty buckets in ascending value order, as
+    /// `(inclusive upper bound, count)` — the Prometheus renderer's
+    /// input (it cumulates them into `le` buckets).
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(index, bucket)| {
+                let n = bucket.load(Ordering::Relaxed);
+                (n > 0).then(|| (self.upper_bound(index), n))
+            })
+            .collect()
+    }
+}
+
+/// WAL disk-latency histograms, shared between the durable writer
+/// (which records) and the serving layer (which renders them as
+/// `frost_wal_*_duration_seconds`). Nanosecond values.
+pub struct WalStats {
+    /// Duration of each WAL frame append (the `write(2)` half).
+    pub append: Histogram,
+    /// Duration of each WAL fsync (policy-due syncs and explicit
+    /// [`sync`](crate::durable::DurableStore::sync) calls).
+    pub fsync: Histogram,
+}
+
+impl Default for WalStats {
+    fn default() -> Self {
+        Self {
+            append: Histogram::new(5),
+            fsync: Histogram::new(5),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn linear_region_is_exact() {
+        let h = Histogram::new(3);
+        for v in 0..8u64 {
+            assert_eq!(h.bucket_range(v), (v, v), "value {v} must be exact");
+        }
+    }
+
+    #[test]
+    fn bucket_boundaries_land_in_documented_buckets() {
+        // sub_bits = 2: unit region 0..4, then groups of 4 sub-buckets
+        // doubling in width: [4,4],[5,5],[6,6],[7,7], [8,9],[10,11],…
+        let h = Histogram::new(2);
+        assert_eq!(h.bucket_range(4), (4, 4));
+        assert_eq!(h.bucket_range(7), (7, 7));
+        assert_eq!(h.bucket_range(8), (8, 9));
+        assert_eq!(h.bucket_range(9), (8, 9));
+        assert_eq!(h.bucket_range(10), (10, 11));
+        assert_eq!(h.bucket_range(15), (14, 15));
+        assert_eq!(h.bucket_range(16), (16, 19));
+        assert_eq!(h.bucket_range(19), (16, 19));
+        assert_eq!(h.bucket_range(20), (20, 23));
+        // Powers of two start a fresh group; the value below them ends
+        // the previous one.
+        for exp in 3..63 {
+            let v = 1u64 << exp;
+            assert_eq!(h.bucket_range(v).0, v, "2^{exp} must open its bucket");
+            assert_eq!(
+                h.bucket_range(v - 1).1,
+                v - 1,
+                "2^{exp}-1 must close its bucket"
+            );
+        }
+        // The top of the u64 range is representable.
+        assert_eq!(h.bucket_range(u64::MAX).1, u64::MAX);
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        let h = Histogram::new(5);
+        for &v in &[1u64, 100, 1_000, 123_456, u32::MAX as u64, u64::MAX / 3] {
+            let (low, high) = h.bucket_range(v);
+            assert!(low <= v && v <= high);
+            let width = high - low;
+            assert!(
+                (width as f64) <= (low.max(1) as f64) / 32.0 + 1.0,
+                "width {width} too wide for value {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_of_known_distribution() {
+        let h = Histogram::new(7);
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.sum(), 500_500);
+        let p50 = h.quantile(0.50);
+        let p99 = h.quantile(0.99);
+        let (_, p50_hi) = h.bucket_range(500);
+        let (_, p99_hi) = h.bucket_range(990);
+        assert_eq!(p50, p50_hi);
+        assert_eq!(p99, p99_hi);
+        assert_eq!(h.quantile(1.0), h.bucket_range(1000).1);
+    }
+
+    #[test]
+    fn concurrent_recording_preserves_counts() {
+        let h = std::sync::Arc::new(Histogram::new(5));
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 20_000;
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let h = std::sync::Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..PER_THREAD {
+                        // A spread of magnitudes so every group of
+                        // buckets sees contention.
+                        h.record((i.wrapping_mul(2_654_435_761).wrapping_add(t)) % 1_000_000);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(h.count(), THREADS * PER_THREAD);
+        let bucket_total: u64 = h.nonzero_buckets().iter().map(|&(_, n)| n).sum();
+        assert_eq!(
+            bucket_total,
+            THREADS * PER_THREAD,
+            "no record may be lost or double-counted under contention"
+        );
+    }
+
+    fn snapshot(h: &Histogram) -> (Vec<(u64, u64)>, u64, u64) {
+        (h.nonzero_buckets(), h.count(), h.sum())
+    }
+
+    proptest! {
+        #[test]
+        fn merge_is_associative(
+            a in proptest::collection::vec(0u64..1u64 << 40, 0..64),
+            b in proptest::collection::vec(0u64..1u64 << 40, 0..64),
+            c in proptest::collection::vec(0u64..1u64 << 40, 0..64),
+        ) {
+            let build = |values: &[u64]| {
+                let h = Histogram::new(4);
+                for &v in values {
+                    h.record(v);
+                }
+                h
+            };
+            // (a ⊕ b) ⊕ c
+            let left = build(&a);
+            left.merge(&build(&b));
+            left.merge(&build(&c));
+            // a ⊕ (b ⊕ c)
+            let bc = build(&b);
+            bc.merge(&build(&c));
+            let right = build(&a);
+            right.merge(&bc);
+            prop_assert_eq!(snapshot(&left), snapshot(&right));
+        }
+
+        #[test]
+        fn quantiles_track_exact_order_statistics(
+            unsorted in proptest::collection::vec(0u64..1u64 << 48, 1..256),
+            q in 0.0f64..1.0,
+        ) {
+            let h = Histogram::new(5);
+            for &v in &unsorted {
+                h.record(v);
+            }
+            let mut values = unsorted;
+            values.sort_unstable();
+            let rank = ((q * values.len() as f64).ceil() as usize).max(1) - 1;
+            let exact = values[rank.min(values.len() - 1)];
+            let approx = h.quantile(q);
+            let (low, high) = h.bucket_range(exact);
+            prop_assert!(
+                approx >= exact,
+                "quantile {approx} below exact order statistic {exact}"
+            );
+            prop_assert!(
+                approx - exact <= high - low,
+                "quantile {approx} further than one bucket width from {exact} \
+                 (bucket [{low}, {high}])"
+            );
+        }
+    }
+}

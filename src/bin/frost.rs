@@ -15,7 +15,7 @@
 //! frost snapshot save <store-dir> <file.frostb>
 //! frost snapshot load <file.frostb> [export-dir]
 //! frost serve    <store.frostb | store-dir> [port]
-//! frost get      <url>...
+//! frost get      [--timing] <url>...
 //! frost herd     <host:port> <connections> [probe-target]
 //! frost import   <host:port> <dataset> <name> <experiment.csv>
 //! ```
@@ -27,7 +27,9 @@
 //! the binary `FROSTB` at-rest format, and `serve` starts the `frostd`
 //! HTTP server on either. `import` uploads an experiment pair list to
 //! a running server (`POST /experiments`), which journals it to the
-//! WAL when serving a snapshot.
+//! WAL when serving a snapshot. `get --timing` reports client-side
+//! per-request latency (connection reuse, time to first byte, total)
+//! on stderr, leaving the response bodies on stdout untouched.
 
 use frost::core::dataset::CsvOptions;
 use frost::core::diagram::{DiagramEngine, MetricDiagram};
@@ -88,6 +90,7 @@ enum Command {
     },
     Get {
         urls: Vec<String>,
+        timing: bool,
     },
     Herd {
         authority: String,
@@ -114,7 +117,7 @@ usage:
   frost snapshot save <store-dir> <file.frostb>
   frost snapshot load <file.frostb> [export-dir]
   frost serve    <store.frostb | store-dir> [port]
-  frost get      <url>...
+  frost get      [--timing] <url>...
   frost herd     <host:port> <connections> [probe-target]
   frost import   <host:port> <dataset> <name> <experiment.csv>
 ";
@@ -209,9 +212,17 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                 port,
             })
         }
-        ("get", urls) if !urls.is_empty() => Ok(Command::Get {
-            urls: urls.to_vec(),
-        }),
+        ("get", rest) if !rest.is_empty() => {
+            let timing = rest[0] == "--timing";
+            let urls = if timing { &rest[1..] } else { rest };
+            if urls.is_empty() {
+                return Err(USAGE.to_string());
+            }
+            Ok(Command::Get {
+                urls: urls.to_vec(),
+                timing,
+            })
+        }
         ("herd", [authority, connections, rest @ ..]) if rest.len() <= 1 => {
             let connections = connections
                 .parse::<usize>()
@@ -522,7 +533,7 @@ fn run(command: Command) -> Result<(), String> {
                 frost::storage::FsyncPolicy::Always,
             )?;
         }
-        Command::Get { urls } => {
+        Command::Get { urls, timing } => {
             // Consecutive URLs to the same authority share one
             // keep-alive connection — `frost get url1 url2 …` is a
             // multi-request sequence, not N cold connections.
@@ -539,6 +550,19 @@ fn run(command: Command) -> Result<(), String> {
                 let conn = &mut connection.as_mut().expect("connection just ensured").1;
                 let (status, body) = conn.get(target)?;
                 println!("{body}");
+                // Timing goes to stderr so stdout stays exactly the
+                // response bodies (scripts pipe it).
+                if timing {
+                    if let Some(t) = conn.last_timing() {
+                        eprintln!(
+                            "timing {url}: status={status} reused={} \
+                             ttfb_ms={:.3} total_ms={:.3}",
+                            t.reused,
+                            t.ttfb.as_secs_f64() * 1e3,
+                            t.total.as_secs_f64() * 1e3
+                        );
+                    }
+                }
                 if status >= 400 {
                     return Err(format!("HTTP {status}"));
                 }
@@ -687,6 +711,27 @@ mod tests {
         assert!(parse_args(&s(&["herd", "127.0.0.1:7878", "0"])).is_err());
         assert!(parse_args(&s(&["herd", "127.0.0.1:7878", "abc"])).is_err());
         assert!(parse_args(&s(&["herd", "127.0.0.1:7878"])).is_err());
+    }
+
+    #[test]
+    fn parse_get_timing() {
+        assert_eq!(
+            parse_args(&s(&["get", "http://h:1/a", "http://h:1/b"])).unwrap(),
+            Command::Get {
+                urls: s(&["http://h:1/a", "http://h:1/b"]),
+                timing: false,
+            }
+        );
+        assert_eq!(
+            parse_args(&s(&["get", "--timing", "http://h:1/a"])).unwrap(),
+            Command::Get {
+                urls: s(&["http://h:1/a"]),
+                timing: true,
+            }
+        );
+        // --timing alone has no URL to fetch.
+        assert!(parse_args(&s(&["get", "--timing"])).is_err());
+        assert!(parse_args(&s(&["get"])).is_err());
     }
 
     #[test]
