@@ -1,0 +1,107 @@
+//! Replication-path microbenchmarks: the codec work a replica does per
+//! poll, separated from the HTTP transfer around it.
+//!
+//! * `scan_stream` — decoding a batch of CRC-framed WAL records into
+//!   ops (the per-poll parse cost, linear in streamed bytes);
+//! * `apply` — replaying decoded ops into a live store (the part that
+//!   holds the replica's writer lock);
+//! * `preamble` — encode/decode of the 36-byte stream preamble (pure
+//!   fixed overhead, here to catch accidental regressions).
+//!
+//! Standalone (not part of the CI baselines). Run
+//! `cargo bench -p frost-bench --bench replication`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use frost_core::clustering::Clustering;
+use frost_core::dataset::{Dataset, Experiment, Schema, ScoredPair};
+use frost_server::replication::StreamPreamble;
+use frost_storage::wal::{encode_frame, scan_stream, snapshot_id, WalOp};
+use frost_storage::BenchmarkStore;
+
+const RECORDS: u32 = 1_000;
+
+fn seed_store() -> BenchmarkStore {
+    let mut ds = Dataset::new("people", Schema::new(["name"]));
+    for i in 0..RECORDS {
+        ds.push_record(format!("r{i}"), [format!("person {i}")]);
+    }
+    let mut store = BenchmarkStore::new();
+    store.add_dataset(ds).unwrap();
+    let assignment: Vec<u32> = (0..RECORDS).map(|i| i / 2).collect();
+    store
+        .set_gold_standard("people", Clustering::from_assignment(&assignment))
+        .unwrap();
+    store
+}
+
+/// `n` imports of `pairs_per_op` scored pairs each — the record mix a
+/// steady import loop ships.
+fn import_ops(n: usize, pairs_per_op: usize) -> Vec<WalOp> {
+    (0..n)
+        .map(|i| {
+            let pairs = (0..pairs_per_op).map(|p| {
+                let a = ((i * pairs_per_op + p) % (RECORDS as usize - 1)) as u32;
+                ScoredPair::scored((a, a + 1), 0.9)
+            });
+            let experiment = Experiment::new(format!("imp{i}"), pairs);
+            WalOp::add_experiment("people", &experiment, None)
+        })
+        .collect()
+}
+
+fn stream_bytes(ops: &[WalOp]) -> Vec<u8> {
+    let mut stream = Vec::new();
+    for op in ops {
+        stream.extend_from_slice(&encode_frame(op));
+    }
+    stream
+}
+
+fn bench_scan_stream(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replication_scan_stream");
+    for (label, n, pairs) in [("small_ops", 256, 8), ("large_ops", 32, 2_000)] {
+        let stream = stream_bytes(&import_ops(n, pairs));
+        group.bench_with_input(BenchmarkId::from_parameter(label), &stream, |b, stream| {
+            b.iter(|| {
+                let scan = scan_stream(stream).unwrap();
+                assert_eq!(scan.consumed, stream.len());
+                scan.ops.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_apply(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replication_apply");
+    group.sample_size(20);
+    for (label, n, pairs) in [("small_ops", 64, 8), ("large_ops", 8, 2_000)] {
+        let ops = import_ops(n, pairs);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &ops, |b, ops| {
+            b.iter(|| {
+                let mut store = seed_store();
+                for op in ops {
+                    op.apply(&mut store).unwrap();
+                }
+                store
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_preamble(c: &mut Criterion) {
+    let preamble = StreamPreamble {
+        primary: true,
+        snapshot: snapshot_id(b"bench snapshot bytes"),
+        wal_len: 123_456,
+        records: 789,
+    };
+    let wire = preamble.encode();
+    c.bench_function("replication_preamble_roundtrip", |b| {
+        b.iter(|| StreamPreamble::decode(&wire).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_scan_stream, bench_apply, bench_preamble);
+criterion_main!(benches);

@@ -7,6 +7,8 @@
 //!                [--request-deadline-ms N] [--cache-budget-mb N]
 //!                [--fsync always|interval:<ms>] [--debug-panic]
 //!                [--slow-request-ms N] [--trace-ring N] [--no-telemetry]
+//!                [--replica-of HOST:PORT] [--max-replica-lag MS]
+//!                [--sync-replication]
 //! ```
 //!
 //! `<store>` is either a `FROSTB` snapshot file (the fast path: one
@@ -49,6 +51,18 @@
 //! `frostd: slow-request …` line on stderr. `--no-telemetry` disables
 //! tracing and histograms (counters keep working) for overhead
 //! comparisons.
+//!
+//! Replication: `--replica-of <host:port>` starts this daemon as a
+//! read replica of the named primary — it bootstraps the FROSTB
+//! snapshot from the primary when the store file is missing, tails
+//! the primary's WAL over long-poll `GET /replication/wal`, serves
+//! the full read surface, and answers writes `503` with a
+//! `Frost-Primary` hint. `--max-replica-lag <ms>` takes a replica out
+//! of rotation (`/readyz` 503) when its replication lag exceeds the
+//! bound; `--sync-replication` makes a primary hold each acknowledged
+//! write until a replica has polled past it (semi-synchronous
+//! replication). `POST /replication/promote` seals the WAL, compacts,
+//! and flips a replica into a primary.
 
 use frost_server::{run_daemon, ServeOptions};
 use frost_storage::FsyncPolicy;
@@ -59,7 +73,8 @@ const USAGE: &str = "usage: frostd <store.frostb | store-dir> [--port N] [--addr
 [--workers N] [--event-threads N] [--idle-timeout-ms N] [--max-requests N] \
 [--max-queued N] [--request-deadline-ms N] [--cache-budget-mb N] \
 [--fsync always|interval:<ms>] [--debug-panic] \
-[--slow-request-ms N] [--trace-ring N] [--no-telemetry]";
+[--slow-request-ms N] [--trace-ring N] [--no-telemetry] \
+[--replica-of HOST:PORT] [--max-replica-lag MS] [--sync-replication]";
 
 /// Default `--cache-budget-mb`: generous for a query daemon, small
 /// enough that cache growth can never OOM a modest host.
@@ -194,6 +209,24 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
             "--no-telemetry" => {
                 options.telemetry = false;
+            }
+            "--replica-of" => {
+                let v = it.next().ok_or("--replica-of needs a host:port value")?;
+                if !v.contains(':') {
+                    return Err(format!("bad primary authority {v:?}; expected host:port"));
+                }
+                options.replica_of = Some(v.clone());
+            }
+            "--max-replica-lag" => {
+                let v = it.next().ok_or("--max-replica-lag needs a value (ms)")?;
+                let ms: u64 = v.parse().map_err(|_| format!("bad lag bound {v:?}"))?;
+                if ms == 0 {
+                    return Err("replica lag bound must be positive".into());
+                }
+                options.max_replica_lag = Some(ms);
+            }
+            "--sync-replication" => {
+                options.sync_replication = true;
             }
             other if store.is_none() && !other.starts_with("--") => {
                 store = Some(other.to_string());

@@ -46,6 +46,12 @@ pub struct RetryPolicy {
     /// How long an open breaker fails fast before its half-open
     /// probe, unless the server's `Retry-After` asked for longer.
     pub breaker_cooldown: Duration,
+    /// Retry budget: total milliseconds one logical request may spend
+    /// across reconnect backoff sleeps (failover across endpoints
+    /// included) before giving up with a "retry budget exhausted"
+    /// error. `None` = unbounded. The budget caps *waiting*, not the
+    /// in-flight exchange itself.
+    pub max_total_ms: Option<u64>,
 }
 
 impl RetryPolicy {
@@ -56,6 +62,7 @@ impl RetryPolicy {
         max_delay: Duration::ZERO,
         breaker_threshold: 0,
         breaker_cooldown: Duration::ZERO,
+        max_total_ms: None,
     };
 
     /// The sleep before retry number `retry` (0-based), pre-jitter:
@@ -75,6 +82,7 @@ impl Default for RetryPolicy {
             max_delay: Duration::from_secs(2),
             breaker_threshold: 5,
             breaker_cooldown: Duration::from_millis(500),
+            max_total_ms: None,
         }
     }
 }
@@ -120,29 +128,51 @@ pub fn split_url(url: &str) -> Result<(&str, &str), String> {
     })
 }
 
-/// A persistent keep-alive connection to one authority
-/// (`host:port`).
+/// Per-endpoint circuit-breaker bookkeeping: with a failover list,
+/// one endpoint being shed or dead must not fail requests to its
+/// healthy siblings fast.
+#[derive(Debug, Default)]
+struct BreakerState {
+    /// Consecutive breaker-relevant failures (`503` sheds and
+    /// exhausted connects); any successful response resets it.
+    consecutive_failures: u32,
+    /// `Some(t)` = the circuit is open: requests fail fast until `t`.
+    open_until: Option<Instant>,
+    /// The request currently going through is the half-open probe: a
+    /// single failure re-opens the circuit immediately.
+    probing: bool,
+}
+
+/// A persistent keep-alive connection to one *active* authority
+/// (`host:port`) out of an ordered failover list.
 ///
 /// The server may close the connection at any time (idle timeout,
 /// per-connection request cap, `Connection: close` on its final
 /// response); [`get`](Self::get) reconnects transparently — once per
 /// request — so callers see at most one round of that race.
+///
+/// Failover: [`open_failover`](Self::open_failover) takes an ordered
+/// endpoint list. `GET`s rotate to the next endpoint when the active
+/// one is unreachable or its breaker is open; writes go out exactly
+/// once, but skip endpoints with open breakers when picking where. A
+/// `503` carrying a `Frost-Primary` header (a replica declining a
+/// write) re-points the connection at the named primary — adopted
+/// into the list if it was not already there — so the caller's retry
+/// lands on the node that can take it.
 pub struct Connection {
-    authority: String,
+    /// Ordered failover list; `endpoints[active]` serves requests.
+    endpoints: Vec<String>,
+    active: usize,
+    breakers: Vec<BreakerState>,
     stream: Option<TcpStream>,
     /// Read-ahead spill between responses.
     buf: Vec<u8>,
     timeout: Duration,
     retry: RetryPolicy,
     jitter: Jitter,
-    /// Consecutive breaker-relevant failures (`503` sheds and
-    /// exhausted connects); any successful response resets it.
-    consecutive_failures: u32,
-    /// `Some(t)` = the circuit is open: requests fail fast until `t`.
-    breaker_open_until: Option<Instant>,
-    /// The request currently going through is the half-open probe: a
-    /// single failure re-opens the circuit immediately.
-    breaker_probing: bool,
+    /// Deadline of the in-flight logical request's retry budget
+    /// (`RetryPolicy::max_total_ms`); backoff sleeps clamp to it.
+    budget_deadline: Option<Instant>,
     /// Timing of the most recent successful exchange.
     last_timing: Option<RequestTiming>,
 }
@@ -171,20 +201,85 @@ impl Connection {
 
     /// Connects with an explicit connect/reconnect [`RetryPolicy`].
     pub fn open_with_retry(authority: &str, retry: RetryPolicy) -> Result<Self, String> {
+        Self::open_failover(&[authority.to_string()], retry)
+    }
+
+    /// Connects with an ordered failover list: the first reachable
+    /// endpoint becomes active; later transport failures, open
+    /// breakers and `Frost-Primary` hints move the connection along
+    /// the list (see the type-level docs).
+    pub fn open_failover(endpoints: &[String], retry: RetryPolicy) -> Result<Self, String> {
+        if endpoints.is_empty() {
+            return Err("no endpoints to connect to".to_string());
+        }
         let mut conn = Self {
-            authority: authority.to_string(),
+            endpoints: endpoints.to_vec(),
+            active: 0,
+            breakers: endpoints.iter().map(|_| BreakerState::default()).collect(),
             stream: None,
             buf: Vec::new(),
             timeout: Duration::from_secs(30),
             retry,
             jitter: Jitter::new(),
-            consecutive_failures: 0,
-            breaker_open_until: None,
-            breaker_probing: false,
+            budget_deadline: None,
             last_timing: None,
         };
-        conn.connect()?;
-        Ok(conn)
+        conn.begin_request();
+        let mut last = String::new();
+        for _ in 0..conn.endpoints.len() {
+            match conn.connect() {
+                Ok(()) => return Ok(conn),
+                Err(e) => {
+                    last = e;
+                    conn.advance_endpoint();
+                }
+            }
+        }
+        Err(last)
+    }
+
+    /// The authority (`host:port`) requests currently go to.
+    pub fn authority(&self) -> &str {
+        &self.endpoints[self.active]
+    }
+
+    /// Arms the retry budget for one logical request. Every public
+    /// entry point calls this; internal reconnects within the request
+    /// then clamp their sleeps to the remaining budget.
+    fn begin_request(&mut self) {
+        self.budget_deadline = self
+            .retry
+            .max_total_ms
+            .map(|ms| Instant::now() + Duration::from_millis(ms));
+    }
+
+    /// Rotates to the next endpoint in the failover list (a no-op with
+    /// a single endpoint), dropping any half-used socket state.
+    fn advance_endpoint(&mut self) {
+        if self.endpoints.len() <= 1 {
+            return;
+        }
+        self.active = (self.active + 1) % self.endpoints.len();
+        self.stream = None;
+        self.buf.clear();
+    }
+
+    /// Re-points the connection at a `Frost-Primary` hint, adopting
+    /// the authority into the failover list when it is new.
+    fn follow_hint(&mut self, hint: &str) {
+        let idx = match self.endpoints.iter().position(|e| e == hint) {
+            Some(idx) => idx,
+            None => {
+                self.endpoints.push(hint.to_string());
+                self.breakers.push(BreakerState::default());
+                self.endpoints.len() - 1
+            }
+        };
+        if idx != self.active {
+            self.active = idx;
+            self.stream = None;
+            self.buf.clear();
+        }
     }
 
     fn connect(&mut self) -> Result<(), String> {
@@ -192,10 +287,22 @@ impl Connection {
         let mut last = String::new();
         for attempt in 0..attempts {
             if attempt > 0 {
-                let delay = self.jitter.scale(self.retry.backoff(attempt - 1));
+                let mut delay = self.jitter.scale(self.retry.backoff(attempt - 1));
+                if let Some(deadline) = self.budget_deadline {
+                    let remaining = deadline.saturating_duration_since(Instant::now());
+                    if remaining.is_zero() {
+                        self.note_failure(None);
+                        return Err(format!(
+                            "connect {}: retry budget of {}ms exhausted after {attempt} attempt(s): {last}",
+                            self.endpoints[self.active],
+                            self.retry.max_total_ms.unwrap_or(0),
+                        ));
+                    }
+                    delay = delay.min(remaining);
+                }
                 std::thread::sleep(delay);
             }
-            match TcpStream::connect(&self.authority) {
+            match TcpStream::connect(&self.endpoints[self.active]) {
                 Ok(stream) => {
                     stream
                         .set_read_timeout(Some(self.timeout))
@@ -210,7 +317,7 @@ impl Connection {
         self.note_failure(None);
         Err(format!(
             "connect {}: {last} (after {attempts} attempt(s))",
-            self.authority
+            self.endpoints[self.active]
         ))
     }
 
@@ -218,57 +325,64 @@ impl Connection {
     /// elapsed, lets the current request through as the half-open
     /// probe.
     fn breaker_check(&mut self) -> Result<(), String> {
-        let Some(until) = self.breaker_open_until else {
+        let state = &mut self.breakers[self.active];
+        let Some(until) = state.open_until else {
             return Ok(());
         };
         let now = Instant::now();
         if now < until {
             return Err(format!(
                 "circuit open for {}: cooling down another {:?} after {} consecutive failure(s)",
-                self.authority,
+                self.endpoints[self.active],
                 until - now,
-                self.consecutive_failures
+                state.consecutive_failures
             ));
         }
-        self.breaker_open_until = None;
-        self.breaker_probing = true;
+        state.open_until = None;
+        state.probing = true;
         Ok(())
     }
 
-    /// Records a breaker-relevant failure. Opens the circuit when the
-    /// threshold is reached (or instantly if this was the half-open
-    /// probe), honoring the server's `Retry-After` when it asked for
-    /// a longer pause than the configured cooldown.
+    /// Records a breaker-relevant failure on the active endpoint.
+    /// Opens its circuit when the threshold is reached (or instantly
+    /// if this was the half-open probe), honoring the server's
+    /// `Retry-After` when it asked for a longer pause than the
+    /// configured cooldown.
     fn note_failure(&mut self, retry_after: Option<Duration>) {
         if self.retry.breaker_threshold == 0 {
             return;
         }
-        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
-        if self.breaker_probing || self.consecutive_failures >= self.retry.breaker_threshold {
-            let cooldown = retry_after
-                .unwrap_or(Duration::ZERO)
-                .max(self.retry.breaker_cooldown);
-            self.breaker_open_until = Some(Instant::now() + cooldown);
-            self.breaker_probing = false;
+        let threshold = self.retry.breaker_threshold;
+        let cooldown = retry_after
+            .unwrap_or(Duration::ZERO)
+            .max(self.retry.breaker_cooldown);
+        let state = &mut self.breakers[self.active];
+        state.consecutive_failures = state.consecutive_failures.saturating_add(1);
+        if state.probing || state.consecutive_failures >= threshold {
+            state.open_until = Some(Instant::now() + cooldown);
+            state.probing = false;
         }
     }
 
     fn note_success(&mut self) {
-        self.consecutive_failures = 0;
-        self.breaker_open_until = None;
-        self.breaker_probing = false;
+        let state = &mut self.breakers[self.active];
+        state.consecutive_failures = 0;
+        state.open_until = None;
+        state.probing = false;
     }
 
-    /// Whether the breaker currently fails requests fast.
+    /// Whether the active endpoint's breaker currently fails requests
+    /// fast.
     pub fn breaker_is_open(&self) -> bool {
-        self.breaker_open_until
+        self.breakers[self.active]
+            .open_until
             .is_some_and(|until| Instant::now() < until)
     }
 
     /// Time until the open breaker's half-open probe (`None` when the
-    /// circuit is closed or already probe-ready).
+    /// active endpoint's circuit is closed or already probe-ready).
     pub fn breaker_remaining(&self) -> Option<Duration> {
-        let until = self.breaker_open_until?;
+        let until = self.breakers[self.active].open_until?;
         let now = Instant::now();
         (now < until).then(|| until - now)
     }
@@ -280,8 +394,26 @@ impl Connection {
     }
 
     /// Sends `GET target` on the kept-alive connection and returns
-    /// `(status, body)`.
+    /// `(status, body)`. With a failover list, an unreachable (or
+    /// breaker-open) active endpoint rotates the request to the next
+    /// one — `GET`s are idempotent, so trying siblings is safe.
     pub fn get(&mut self, target: &str) -> Result<(u16, String), String> {
+        self.begin_request();
+        let mut last = String::new();
+        for _ in 0..self.endpoints.len() {
+            match self.get_active(target) {
+                Ok(done) => return Ok(done),
+                Err(e) => {
+                    last = e;
+                    self.advance_endpoint();
+                }
+            }
+        }
+        Err(last)
+    }
+
+    /// One `GET` against the active endpoint only.
+    fn get_active(&mut self, target: &str) -> Result<(u16, String), String> {
         self.breaker_check()?;
         if self.stream.is_none() {
             self.connect()?;
@@ -328,6 +460,16 @@ impl Connection {
         target: &str,
         body: &[u8],
     ) -> Result<(u16, String), String> {
+        self.begin_request();
+        // The write itself goes out exactly once, but not to an
+        // endpoint known to be bad: rotate past open breakers first
+        // (at most one full turn of the list).
+        for _ in 1..self.endpoints.len() {
+            if !self.breaker_is_open() {
+                break;
+            }
+            self.advance_endpoint();
+        }
         self.breaker_check()?;
         let reused = self.stream.is_some();
         if !reused {
@@ -335,7 +477,7 @@ impl Connection {
         }
         let mut request = format!(
             "{method} {target} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\n\r\n",
-            self.authority,
+            self.endpoints[self.active],
             body.len()
         )
         .into_bytes();
@@ -349,7 +491,10 @@ impl Connection {
     }
 
     fn request(&mut self, target: &str, reused: bool) -> Result<(u16, String), String> {
-        let request = format!("GET {target} HTTP/1.1\r\nHost: {}\r\n\r\n", self.authority);
+        let request = format!(
+            "GET {target} HTTP/1.1\r\nHost: {}\r\n\r\n",
+            self.endpoints[self.active]
+        );
         let outcome = self.exchange(request.as_bytes(), reused);
         if outcome.is_err() {
             // The socket may have unread bytes of a half-received
@@ -387,6 +532,11 @@ impl Connection {
         // actually answered counts as success.
         if response.status == 503 {
             self.note_failure(response.retry_after.map(Duration::from_secs));
+            // A replica declining a write names the primary: re-point
+            // the connection there so the caller's retry can land.
+            if let Some(hint) = response.frost_primary.clone() {
+                self.follow_hint(&hint);
+            }
         } else {
             self.note_success();
         }
@@ -401,6 +551,9 @@ struct Response {
     close: bool,
     /// Parsed `Retry-After` seconds, when the server sent one.
     retry_after: Option<u64>,
+    /// The `Frost-Primary` authority a replica's `503` points writes
+    /// at, when present.
+    frost_primary: Option<String>,
     /// When the first response byte became available: the instant the
     /// first socket read progressed, or entry time when the read-ahead
     /// buffer already held spill from a pipelined predecessor.
@@ -456,6 +609,7 @@ fn read_response(
     let mut content_length: Option<usize> = None;
     let mut close = false;
     let mut retry_after = None;
+    let mut frost_primary = None;
     for line in head.lines().skip(1) {
         let Some((name, value)) = line.split_once(':') else {
             continue;
@@ -472,6 +626,7 @@ fn read_response(
             "connection" if value.trim().eq_ignore_ascii_case("close") => close = true,
             // Seconds form only (frostd never sends the date form).
             "retry-after" => retry_after = value.trim().parse::<u64>().ok(),
+            "frost-primary" => frost_primary = Some(value.trim().to_string()),
             _ => {}
         }
     }
@@ -502,6 +657,7 @@ fn read_response(
         body,
         close,
         retry_after,
+        frost_primary,
         first_byte,
     })
 }
@@ -736,7 +892,7 @@ mod tests {
         let (status, _) = conn.get("/datasets").unwrap();
         assert_eq!(status, 200);
         assert!(!conn.breaker_is_open(), "success closes the circuit");
-        assert_eq!(conn.consecutive_failures, 0);
+        assert_eq!(conn.breakers[conn.active].consecutive_failures, 0);
         let _ = server.join();
     }
 
@@ -758,5 +914,86 @@ mod tests {
         drop(conn);
         let _ = TcpStream::connect(&authority);
         let _ = server.join();
+    }
+
+    #[test]
+    fn retry_budget_caps_total_backoff_time() {
+        // 50 attempts × ≥20ms jittered sleeps would take over a
+        // second; a 150ms budget must cut it off long before that.
+        let policy = RetryPolicy {
+            attempts: 50,
+            base_delay: Duration::from_millis(40),
+            max_delay: Duration::from_millis(40),
+            max_total_ms: Some(150),
+            ..RetryPolicy::NONE
+        };
+        let start = Instant::now();
+        let err = match Connection::open_with_retry("127.0.0.1:1", policy) {
+            Ok(_) => panic!("port 1 must refuse connections"),
+            Err(e) => e,
+        };
+        assert!(err.contains("retry budget of 150ms exhausted"), "{err}");
+        assert!(
+            start.elapsed() < Duration::from_secs(1),
+            "budget must bound the wait, took {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn get_fails_over_to_the_next_endpoint_when_the_first_is_down() {
+        let (live, server) = canned_server(vec![(200, None)]);
+        let endpoints = vec!["127.0.0.1:1".to_string(), live.clone()];
+        let mut conn = Connection::open_failover(&endpoints, RetryPolicy::NONE).unwrap();
+        assert_eq!(
+            conn.authority(),
+            live,
+            "initial connect must skip the dead endpoint"
+        );
+        let (status, _) = conn.get("/datasets").unwrap();
+        assert_eq!(status, 200);
+        let _ = server.join();
+    }
+
+    /// A one-connection server that 503s every request with a
+    /// `Frost-Primary` hint naming `primary` — a replica's write
+    /// rejection in miniature.
+    fn hinting_replica(primary: String) -> (String, std::thread::JoinHandle<()>) {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let authority = listener.local_addr().unwrap().to_string();
+        let handle = std::thread::spawn(move || {
+            let Ok((mut stream, _)) = listener.accept() else {
+                return;
+            };
+            let mut buf = [0u8; 1024];
+            if stream.read(&mut buf).unwrap_or(0) == 0 {
+                return;
+            }
+            let body = "{}";
+            let response = format!(
+                "HTTP/1.1 503 Service Unavailable\r\nContent-Length: {}\r\n\
+                 Frost-Primary: {primary}\r\nConnection: close\r\n\r\n{body}",
+                body.len()
+            );
+            let _ = stream.write_all(response.as_bytes());
+        });
+        (authority, handle)
+    }
+
+    #[test]
+    fn a_503_with_a_frost_primary_hint_repoints_the_connection() {
+        let (primary, primary_srv) = canned_server(vec![(200, None)]);
+        let (replica, replica_srv) = hinting_replica(primary.clone());
+        let mut conn = Connection::open_with_retry(&replica, RetryPolicy::NONE).unwrap();
+        // The write is declined, but the hint re-points the connection
+        // at the primary — adopted into the list even though the
+        // caller never configured it.
+        let (status, _) = conn.post("/experiments", b"{}").unwrap();
+        assert_eq!(status, 503);
+        assert_eq!(conn.authority(), primary, "hint must become active");
+        let (status, _) = conn.get("/datasets").unwrap();
+        assert_eq!(status, 200, "the retry lands on the primary");
+        let _ = primary_srv.join();
+        let _ = replica_srv.join();
     }
 }

@@ -95,13 +95,14 @@
 
 use crate::event_loop;
 use crate::json::{self, response_to_json};
+use crate::replication::{self, ReplicationHub, Role, StreamPreamble};
 use crate::telemetry::{self, Endpoint, Stage, Telemetry, Trace};
 use frost_core::clustering::Clustering;
 use frost_storage::api::{self, Request};
 use frost_storage::cache::{CacheWeight, ShardedCache};
 use frost_storage::durable::{DurableError, DurableStore};
 use frost_storage::store::{StoreError, StoredExperiment};
-use frost_storage::wal::WalOp;
+use frost_storage::wal::{SnapshotId, WalOp, WAL_HEADER_LEN};
 use frost_storage::BenchmarkStore;
 use parking_lot::RwLock;
 use serde_json::Value;
@@ -146,6 +147,15 @@ const SHED_WINDOW_SECS: u64 = 8;
 /// flip `/readyz` — a single early shed must not mark a quiet server
 /// unready.
 const READY_MIN_WINDOW_EVENTS: u64 = 16;
+
+/// Longest a `/replication/wal` long poll is held open waiting for new
+/// frames (the `wait_ms` parameter is clamped to this).
+const MAX_POLL_WAIT_MS: u64 = 10_000;
+
+/// How long a semi-sync (`--sync-replication`) write waits for a
+/// replica to prove it durable before answering `503` (the write stays
+/// durable locally either way).
+const SYNC_ACK_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// Tunables of the connection path.
 #[derive(Debug, Clone)]
@@ -225,6 +235,24 @@ pub struct ServeOptions {
     pub slow_request: Option<Duration>,
     /// Capacity of the `/debug/traces` ring (`--trace-ring`).
     pub trace_ring: usize,
+    /// Run as a replica of this primary (`host:port`): bootstrap from
+    /// its snapshot when the local store file is absent, tail its WAL,
+    /// serve the full read surface, and answer writes with `503` plus
+    /// a `Frost-Primary` hint. Requires a durable (FROSTB) store.
+    pub replica_of: Option<String>,
+    /// Replica readiness gate: `/readyz` reports not-ready once
+    /// replication lag exceeds this many milliseconds (`None` = lag
+    /// never gates readiness). Lag oscillates between zero and roughly
+    /// the poll interval on a healthy replica, so values under ~2000
+    /// flap.
+    pub max_replica_lag: Option<u64>,
+    /// Semi-synchronous replication (primary side): a mutating write
+    /// is acknowledged only after a replica has proven it durable by
+    /// polling past it (or after a bounded wait, in which case the
+    /// client gets `503` — the write *is* durable locally and will be
+    /// re-shipped). Off = asynchronous shipping with a bounded loss
+    /// window on failover.
+    pub sync_replication: bool,
 }
 
 impl Default for ServeOptions {
@@ -245,6 +273,9 @@ impl Default for ServeOptions {
             telemetry: true,
             slow_request: None,
             trace_ring: crate::telemetry::DEFAULT_TRACE_RING,
+            replica_of: None,
+            max_replica_lag: None,
+            sync_replication: false,
         }
     }
 }
@@ -611,6 +642,10 @@ pub struct CachedResponse {
     /// cached-tier `200`s — the revalidation (`If-None-Match` → `304`)
     /// surface.
     etag: Option<Arc<str>>,
+    /// Extra pre-rendered header lines (`Name: value\r\n`), carried so
+    /// the closing variant re-emits them — the replica's
+    /// `Frost-Primary` redirect hint rides here.
+    extra: Option<Arc<str>>,
 }
 
 impl CachedResponse {
@@ -670,6 +705,10 @@ pub struct ServerState {
     /// Traces, latency histograms, and the `/metrics` registry (wired
     /// to the durable writer's WAL histograms when one exists).
     telemetry: Arc<Telemetry>,
+    /// Replication role, positions, long-poll wakeup and semi-sync ack
+    /// condvars. Present on every server (a primary with no replicas
+    /// just never sees a poll).
+    hub: Arc<ReplicationHub>,
 }
 
 impl ServerState {
@@ -687,6 +726,10 @@ impl ServerState {
 
     fn build(store: BenchmarkStore, durable: Option<DurableStore>) -> Self {
         let wal_stats = durable.as_ref().map(|d| d.wal_stats()).unwrap_or_default();
+        let hub = Arc::new(match durable.as_ref() {
+            Some(d) => ReplicationHub::new(d.snapshot_id(), d.wal_len(), d.wal_records()),
+            None => ReplicationHub::new(SnapshotId { len: 0, crc: 0 }, 0, 0),
+        });
         Self {
             store: RwLock::new(store),
             cache: ShardedCache::new(CACHE_SHARDS),
@@ -698,12 +741,18 @@ impl ServerState {
             overload: OverloadStats::default(),
             started: Instant::now(),
             telemetry: Arc::new(Telemetry::new(wal_stats)),
+            hub,
         }
     }
 
     /// The telemetry registry (traces, histograms, `/metrics`).
     pub fn telemetry(&self) -> &Arc<Telemetry> {
         &self.telemetry
+    }
+
+    /// The replication hub (role, positions, lag, ack condvars).
+    pub fn hub(&self) -> &Arc<ReplicationHub> {
+        &self.hub
     }
 
     /// Whether writes are WAL-backed.
@@ -795,6 +844,10 @@ impl ServerState {
             .insert_stored(stored)
             .map_err(store_error)?;
         self.invalidate_write_scopes(&[&format!("exp:{name}"), "sys:experiments"]);
+        if let Some(d) = writer.as_ref() {
+            self.hub
+                .publish(d.snapshot_id(), d.wal_len(), d.wal_records());
+        }
         Ok(api::Response::Imported {
             experiment: name.to_string(),
             pairs,
@@ -820,6 +873,10 @@ impl ServerState {
             .remove_experiment(name)
             .map_err(store_error)?;
         self.invalidate_write_scopes(&[&format!("exp:{name}"), "sys:experiments"]);
+        if let Some(d) = writer.as_ref() {
+            self.hub
+                .publish(d.snapshot_id(), d.wal_len(), d.wal_records());
+        }
         Ok(api::Response::Deleted {
             experiment: name.to_string(),
         })
@@ -841,10 +898,119 @@ impl ServerState {
         };
         let store = self.store.read();
         d.compact(&store).map_err(durable_error)?;
+        self.hub
+            .publish(d.snapshot_id(), d.wal_len(), d.wal_records());
         Ok(api::Response::Saved {
             datasets: store.dataset_names().len(),
             experiments: store.experiment_names(None).len(),
         })
+    }
+
+    /// This node's durable replication position: snapshot epoch plus
+    /// WAL length — the coordinate the replica polls `?from=` with.
+    /// Volatile stores report a zero position.
+    pub fn replication_position(&self) -> (SnapshotId, u64) {
+        match self.writer.lock().as_ref() {
+            Some(d) => (d.snapshot_id(), d.wal_len()),
+            None => (SnapshotId { len: 0, crc: 0 }, 0),
+        }
+    }
+
+    /// Applies one replicated WAL record through the exact path
+    /// single-node recovery takes: append to the local WAL (re-encoded
+    /// bytes are identical — the op codec is deterministic), apply to
+    /// the in-memory store, invalidate the touched cache scopes, and
+    /// publish the new position.
+    pub fn apply_replicated(&self, op: &WalOp) -> std::io::Result<()> {
+        let mut writer = self.writer.lock();
+        let Some(d) = writer.as_mut() else {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "replica has no durable store",
+            ));
+        };
+        d.append(op)
+            .map_err(|e| std::io::Error::other(format!("replicated append failed: {e}")))?;
+        let name = match op {
+            WalOp::AddExperiment { name, .. } | WalOp::DeleteExperiment { name } => name.clone(),
+        };
+        {
+            let mut store = self.store.write();
+            op.apply(&mut store)
+                .map_err(|e| std::io::Error::other(format!("replicated apply failed: {e}")))?;
+        }
+        self.invalidate_write_scopes(&[&format!("exp:{name}"), "sys:experiments"]);
+        self.hub
+            .publish(d.snapshot_id(), d.wal_len(), d.wal_records());
+        Ok(())
+    }
+
+    /// Swaps in a snapshot fetched from the primary (re-bootstrap after
+    /// the primary compacted): atomically replaces the snapshot file,
+    /// reopens the durable store over it (the old WAL is discarded as
+    /// stale by the normal recovery rule), replaces the in-memory
+    /// store, and invalidates every cache entry.
+    pub fn install_snapshot(&self, bytes: &[u8]) -> std::io::Result<()> {
+        let mut writer = self.writer.lock();
+        let Some(current) = writer.as_ref() else {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "replica has no durable store",
+            ));
+        };
+        let path = current.snapshot_path().to_path_buf();
+        let policy = current.policy();
+        let stats = current.wal_stats();
+        let tmp = path.with_extension("rebootstrap.tmp");
+        {
+            let mut file = std::fs::File::create(&tmp)?;
+            file.write_all(bytes)?;
+            file.sync_all()?;
+        }
+        std::fs::rename(&tmp, &path)?;
+        let (store, mut durable, _report) = DurableStore::open(&path, policy)
+            .map_err(|e| std::io::Error::other(format!("reopen after bootstrap failed: {e}")))?;
+        durable.set_wal_stats(stats);
+        {
+            let mut guard = self.store.write();
+            *guard = store;
+        }
+        self.hub.publish(
+            durable.snapshot_id(),
+            durable.wal_len(),
+            durable.wal_records(),
+        );
+        *writer = Some(durable);
+        self.cache.invalidate();
+        self.responses.invalidate();
+        Ok(())
+    }
+
+    /// `POST /replication/promote`: flips a replica into a primary.
+    /// The role flips *first* (the apply loop and write path observe it
+    /// before any state change), then the tail is sealed — fsync, then
+    /// compact, so the promoted node starts its primary life on a
+    /// fresh snapshot epoch and replicas of the old primary that
+    /// re-point here re-bootstrap cleanly. Idempotent on a primary.
+    pub fn promote(&self) -> Result<String, (u16, String)> {
+        let already_primary = self.hub.is_primary();
+        if !already_primary {
+            self.hub.set_role(Role::Primary);
+            self.hub.set_primary_hint(None);
+            let mut writer = self.writer.lock();
+            if let Some(d) = writer.as_mut() {
+                d.sync().map_err(durable_error)?;
+                let store = self.store.read();
+                d.compact(&store).map_err(durable_error)?;
+                drop(store);
+                self.hub
+                    .publish(d.snapshot_id(), d.wal_len(), d.wal_records());
+            }
+        }
+        Ok(serde_json::to_string(&Value::object([
+            ("promoted".to_string(), Value::from(!already_primary)),
+            ("role".to_string(), Value::from("primary")),
+        ])))
     }
 
     /// The first-tier result cache (rendered JSON bodies).
@@ -930,6 +1096,9 @@ pub struct ServerHandle {
     loop_threads: Vec<std::thread::JoinHandle<()>>,
     worker_threads: Vec<std::thread::JoinHandle<()>>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
+    /// The replica apply loop (`--replica-of`); observes the shared
+    /// shutdown flag.
+    replica_thread: Option<std::thread::JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -974,6 +1143,9 @@ impl ServerHandle {
         for t in self.worker_threads.drain(..) {
             let _ = t.join();
         }
+        if let Some(t) = self.replica_thread.take() {
+            let _ = t.join();
+        }
     }
 }
 
@@ -998,6 +1170,9 @@ impl Drop for ServerHandle {
             let _ = t.join();
         }
         for t in self.worker_threads.drain(..) {
+            let _ = t.join();
+        }
+        if let Some(t) = self.replica_thread.take() {
             let _ = t.join();
         }
     }
@@ -1026,12 +1201,33 @@ pub fn serve_with(
     state: Arc<ServerState>,
     options: ServeOptions,
 ) -> std::io::Result<ServerHandle> {
+    if options.replica_of.is_some() && !state.is_durable() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "--replica-of requires a durable (FROSTB) store: a volatile \
+             store has no WAL to replicate into",
+        ));
+    }
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
     if let Some(budget) = options.cache_budget {
         state.set_cache_budget(budget);
     }
+    let replica_thread = match options.replica_of.clone() {
+        Some(primary) => {
+            // Role flips before any request can be served, so the
+            // write path never races a not-yet-replica window.
+            state.hub.set_role(Role::Replica);
+            state.hub.set_primary_hint(Some(primary.clone()));
+            let replica_state = Arc::clone(&state);
+            let replica_shutdown = Arc::clone(&shutdown);
+            Some(std::thread::spawn(move || {
+                replication::run_replica(&replica_state, &primary, &replica_shutdown);
+            }))
+        }
+        None => None,
+    };
     state
         .telemetry
         .configure(options.telemetry, options.slow_request, options.trace_ring);
@@ -1131,6 +1327,7 @@ pub fn serve_with(
         loop_threads,
         worker_threads,
         accept_thread: Some(accept_thread),
+        replica_thread,
     })
 }
 
@@ -1179,6 +1376,25 @@ pub fn run_daemon(
     options: ServeOptions,
     fsync: frost_storage::FsyncPolicy,
 ) -> Result<(), String> {
+    if let Some(primary) = options.replica_of.as_deref() {
+        // A replica may be pointed at a store file that does not exist
+        // yet: bootstrap it from the primary's snapshot endpoint.
+        if !std::path::Path::new(store_path).exists() {
+            println!("frostd: replica bootstrap: fetching snapshot from {primary}");
+            replication::bootstrap_snapshot(
+                primary,
+                std::path::Path::new(store_path),
+                Duration::from_secs(30),
+            )
+            .map_err(|e| format!("replica bootstrap from {primary} failed: {e}"))?;
+            println!("frostd: replica bootstrap complete");
+        }
+        if !frost_storage::snapshot::is_snapshot(store_path) {
+            return Err(format!(
+                "--replica-of requires a FROSTB snapshot store, but {store_path:?} is not one"
+            ));
+        }
+    }
     let state = if frost_storage::snapshot::is_snapshot(store_path) {
         let (store, durable, report) = DurableStore::open(store_path, fsync)
             .map_err(|e| format!("cannot recover store {store_path:?}: {e}"))?;
@@ -1211,11 +1427,16 @@ pub fn run_daemon(
     } else {
         "volatile (in-memory writes)"
     };
+    let role = match options.replica_of.as_deref() {
+        Some(primary) => format!("replica of {primary}"),
+        None => "primary".to_string(),
+    };
     let handle = serve_with(&format!("{addr}:{port}"), Arc::clone(&state), options)
         .map_err(|e| format!("cannot bind {addr}:{port}: {e}"))?;
     println!("frostd listening on http://{}", handle.addr());
     println!("serving {datasets} dataset(s), {experiments} experiment(s) with {workers} worker(s)");
     println!("write path: {durability}");
+    println!("role: {role}");
     install_shutdown_handlers();
     while !SHUTDOWN_REQUESTED.load(Ordering::SeqCst) {
         std::thread::sleep(Duration::from_millis(100));
@@ -1691,6 +1912,10 @@ const CONTENT_TYPE_JSON: &str = "application/json";
 /// The Prometheus text exposition format version `/metrics` serves.
 const CONTENT_TYPE_PROMETHEUS: &str = "text/plain; version=0.0.4";
 
+/// The replication stream content type (`/replication/wal` and
+/// `/replication/snapshot` bodies are binary: preamble + raw bytes).
+const CONTENT_TYPE_BINARY: &str = "application/octet-stream";
+
 /// The one response-head rendering both framings share; the closing
 /// variant only adds the `Connection: close` header (HTTP/1.1
 /// defaults to persistent, so the keep-alive form carries none).
@@ -1700,6 +1925,7 @@ fn response_head(
     close: bool,
     etag: Option<&str>,
     content_type: &str,
+    extra: Option<&str>,
 ) -> String {
     let reason = match status {
         200 => "OK",
@@ -1715,8 +1941,9 @@ fn response_head(
         Some(tag) => format!("ETag: {tag}\r\n"),
         None => String::new(),
     };
+    let extra = extra.unwrap_or("");
     format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {content_length}\r\n{etag}{connection}\r\n"
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {content_length}\r\n{etag}{extra}{connection}\r\n"
     )
 }
 
@@ -1749,7 +1976,26 @@ fn encode_full(
     etag: Option<Arc<str>>,
     content_type: &'static str,
 ) -> CachedResponse {
-    let head = response_head(status, body.len(), false, etag.as_deref(), content_type);
+    encode_extra(status, body, etag, content_type, None)
+}
+
+/// [`encode_full`] carrying extra pre-rendered header lines (the
+/// replica write rejection's `Frost-Primary` hint).
+fn encode_extra(
+    status: u16,
+    body: Vec<u8>,
+    etag: Option<Arc<str>>,
+    content_type: &'static str,
+    extra: Option<Arc<str>>,
+) -> CachedResponse {
+    let head = response_head(
+        status,
+        body.len(),
+        false,
+        etag.as_deref(),
+        content_type,
+        extra.as_deref(),
+    );
     let mut bytes = Vec::with_capacity(head.len() + body.len());
     bytes.extend_from_slice(head.as_bytes());
     let body_start = bytes.len();
@@ -1760,6 +2006,7 @@ fn encode_full(
         body_start,
         content_type,
         etag,
+        extra,
     }
 }
 
@@ -1792,6 +2039,7 @@ pub(crate) fn close_variant_bytes(payload: &CachedResponse) -> Vec<u8> {
         true,
         payload.etag(),
         payload.content_type,
+        payload.extra.as_deref(),
     );
     let mut bytes = Vec::with_capacity(head.len() + body.len());
     bytes.extend_from_slice(head.as_bytes());
@@ -1888,6 +2136,39 @@ fn route(request: &ParsedRequest, state: &ServerState, ctx: &RequestContext) -> 
     let class = classify(&request.method, &path);
     let _inflight = GaugeGuard::new(state.overload.gauge(class));
     if request.method != "GET" {
+        if request.method == "POST" && path == "/replication/promote" {
+            let _permit = match ctx.gate_for(class) {
+                Ok(permit) => permit,
+                Err(reason) => return RouteOutcome::Shed(reason),
+            };
+            let outcome = state.promote();
+            if let Some(trace) = ctx.trace {
+                trace.stamp(Stage::Evaluated);
+            }
+            return RouteOutcome::Response(match outcome {
+                Ok(body) => encode_response(200, body.into()),
+                Err((status, body)) => encode_response(status, body.into()),
+            });
+        }
+        if !state.hub.is_primary() {
+            // Replicas reject writes before any gate or permit: cheap,
+            // and the Frost-Primary header tells the client where to
+            // retry.
+            let extra = state
+                .hub
+                .primary_hint()
+                .map(|h| Arc::from(format!("Frost-Primary: {h}\r\n")));
+            if let Some(trace) = ctx.trace {
+                trace.set_status(503);
+            }
+            return RouteOutcome::Response(encode_extra(
+                503,
+                error_body("replica: writes must go to the primary").into(),
+                None,
+                CONTENT_TYPE_JSON,
+                extra,
+            ));
+        }
         let _permit = match ctx.gate_for(class) {
             Ok(permit) => permit,
             Err(reason) => return RouteOutcome::Shed(reason),
@@ -1898,6 +2179,32 @@ fn route(request: &ParsedRequest, state: &ServerState, ctx: &RequestContext) -> 
         let outcome = route_write(&request.method, &path, &params, &request.body, state);
         if let Some(trace) = ctx.trace {
             trace.stamp(Stage::Evaluated);
+        }
+        // Semi-sync replication: a WAL-appending write is acknowledged
+        // only once a replica has proven it durable by polling past
+        // its offset. On timeout the client sees 503, but the write IS
+        // durable locally — the safe direction (a retry is idempotent
+        // for imports of the same experiment).
+        let appended_wal = matches!(
+            (request.method.as_str(), path.as_str()),
+            ("POST", "/experiments")
+        ) || (request.method == "DELETE" && path.starts_with("/experiments/"));
+        if outcome.is_ok() && appended_wal && ctx.options.sync_replication && state.is_durable() {
+            let (snap, target, _) = state.hub.position();
+            let mut wait = SYNC_ACK_TIMEOUT;
+            if let Some(deadline) = ctx.deadline {
+                wait = wait.min(deadline.saturating_duration_since(Instant::now()));
+            }
+            if !state.hub.wait_for_ack(snap, target, wait) {
+                return RouteOutcome::Response(encode_response(
+                    503,
+                    error_body(
+                        "write is durable on the primary but no replica \
+                         acknowledged it in time",
+                    )
+                    .into(),
+                ));
+            }
         }
         return RouteOutcome::Response(match outcome {
             Ok(response) => encode_response(200, state.rendered(&response).into()),
@@ -1990,6 +2297,12 @@ fn route(request: &ParsedRequest, state: &ServerState, ctx: &RequestContext) -> 
         Ok(Routed::Stats) => stats_response(state),
         Ok(Routed::Prometheus) => prometheus_response(state),
         Ok(Routed::Traces) => traces_response(state),
+        Ok(Routed::ReplicationWal {
+            from,
+            wait_ms,
+            snap,
+        }) => replication_wal_response(state, from, wait_ms, snap),
+        Ok(Routed::ReplicationSnapshot) => replication_snapshot_response(state),
         Ok(Routed::Health) => {
             // Liveness: the process routes requests. Nothing else.
             let body =
@@ -2032,8 +2345,14 @@ fn stats_response(state: &ServerState) -> CachedResponse {
     let ov = state.overload();
     let [queue_full, deadline, class_saturated, draining] = ov.sheds();
     let (inflight_cached, inflight_compute, inflight_write) = ov.inflight();
+    let role = match state.hub.role() {
+        Role::Primary => "primary",
+        Role::Replica => "replica",
+    };
     let body = serde_json::to_string(&Value::object([
         ("generation".to_string(), Value::from(cache.generation())),
+        ("poisoned".to_string(), Value::from(state.wal_poisoned())),
+        ("role".to_string(), Value::from(role)),
         ("hits".to_string(), Value::from(cache.hits())),
         ("misses".to_string(), Value::from(cache.misses())),
         ("entries".to_string(), Value::from(cache.len())),
@@ -2098,13 +2417,45 @@ fn readyz_response(state: &ServerState, options: &ServeOptions) -> CachedRespons
     let poisoned = state.wal_poisoned();
     let shed_rate = state.recent_shed_rate();
     let draining = state.is_draining();
-    let ready = !poisoned && !draining && shed_rate <= options.shed_ready_threshold;
+    let hub = &state.hub;
+    let is_replica = !hub.is_primary();
+    let role = if is_replica { "replica" } else { "primary" };
+    let lag = hub.lag();
+    // The lag gate takes a stale replica out of rotation; primaries
+    // (lag zero by definition) are never gated by it.
+    let lag_exceeded = is_replica
+        && options
+            .max_replica_lag
+            .is_some_and(|max_ms| lag.ms > max_ms);
+    let ready =
+        !poisoned && !draining && !lag_exceeded && shed_rate <= options.shed_ready_threshold;
+    let (_, applied_offset, applied_records) = hub.position();
     let body = serde_json::to_string(&Value::object([
         ("ready".to_string(), Value::from(ready)),
         ("store_loaded".to_string(), Value::from(true)),
         ("wal_poisoned".to_string(), Value::from(poisoned)),
         ("draining".to_string(), Value::from(draining)),
         ("recent_shed_rate".to_string(), Value::from(shed_rate)),
+        ("role".to_string(), Value::from(role)),
+        (
+            "applied_offset_bytes".to_string(),
+            Value::from(applied_offset),
+        ),
+        ("applied_records".to_string(), Value::from(applied_records)),
+        ("replication_lag_bytes".to_string(), Value::from(lag.bytes)),
+        (
+            "replication_lag_records".to_string(),
+            Value::from(lag.records),
+        ),
+        ("replication_lag_ms".to_string(), Value::from(lag.ms)),
+        (
+            "replication_lag_exceeded".to_string(),
+            Value::from(lag_exceeded),
+        ),
+        (
+            "replication_connected".to_string(),
+            Value::from(hub.connected()),
+        ),
     ]));
     encode_response(if ready { 200 } else { 503 }, body.into())
 }
@@ -2356,6 +2707,130 @@ fn prometheus_response(state: &ServerState) -> CachedResponse {
         if state.is_draining() { 1.0 } else { 0.0 },
     );
 
+    let hub = &state.hub;
+    let lag = hub.lag();
+    let (_, applied_offset, applied_records) = hub.position();
+    telemetry::write_family(
+        &mut out,
+        "frost_replication_role",
+        "gauge",
+        "Replication role: 0 = primary, 1 = replica.",
+    );
+    telemetry::write_sample(
+        &mut out,
+        "frost_replication_role",
+        "",
+        if hub.is_primary() { 0.0 } else { 1.0 },
+    );
+    telemetry::write_family(
+        &mut out,
+        "frost_replication_applied_offset_bytes",
+        "gauge",
+        "Durable WAL length of this node (the offset replicas poll from).",
+    );
+    telemetry::write_sample(
+        &mut out,
+        "frost_replication_applied_offset_bytes",
+        "",
+        applied_offset as f64,
+    );
+    telemetry::write_family(
+        &mut out,
+        "frost_replication_applied_records",
+        "gauge",
+        "WAL records in this node's durable prefix.",
+    );
+    telemetry::write_sample(
+        &mut out,
+        "frost_replication_applied_records",
+        "",
+        applied_records as f64,
+    );
+    telemetry::write_family(
+        &mut out,
+        "frost_replication_lag_bytes",
+        "gauge",
+        "WAL bytes the primary has that this replica has not applied (0 on a primary).",
+    );
+    telemetry::write_sample(
+        &mut out,
+        "frost_replication_lag_bytes",
+        "",
+        lag.bytes as f64,
+    );
+    telemetry::write_family(
+        &mut out,
+        "frost_replication_lag_records",
+        "gauge",
+        "WAL records the primary has that this replica has not applied (0 on a primary).",
+    );
+    telemetry::write_sample(
+        &mut out,
+        "frost_replication_lag_records",
+        "",
+        lag.records as f64,
+    );
+    telemetry::write_family(
+        &mut out,
+        "frost_replication_lag_seconds",
+        "gauge",
+        "Seconds since this replica last matched the primary's WAL length (0-ish when caught up).",
+    );
+    telemetry::write_sample(
+        &mut out,
+        "frost_replication_lag_seconds",
+        "",
+        lag.ms as f64 / 1000.0,
+    );
+    telemetry::write_family(
+        &mut out,
+        "frost_replication_connected",
+        "gauge",
+        "1 while the replica's last poll of its primary succeeded.",
+    );
+    telemetry::write_sample(
+        &mut out,
+        "frost_replication_connected",
+        "",
+        if hub.connected() { 1.0 } else { 0.0 },
+    );
+    telemetry::write_family(
+        &mut out,
+        "frost_replication_polls_total",
+        "counter",
+        "Replication WAL polls served to replicas.",
+    );
+    telemetry::write_sample(
+        &mut out,
+        "frost_replication_polls_total",
+        "",
+        hub.polls() as f64,
+    );
+    telemetry::write_family(
+        &mut out,
+        "frost_replication_streamed_bytes_total",
+        "counter",
+        "WAL and snapshot payload bytes streamed to replicas.",
+    );
+    telemetry::write_sample(
+        &mut out,
+        "frost_replication_streamed_bytes_total",
+        "",
+        hub.streamed_bytes() as f64,
+    );
+    telemetry::write_family(
+        &mut out,
+        "frost_replication_sync_timeouts_total",
+        "counter",
+        "Semi-sync writes answered 503 because no replica acknowledged in time.",
+    );
+    telemetry::write_sample(
+        &mut out,
+        "frost_replication_sync_timeouts_total",
+        "",
+        hub.sync_timeouts() as f64,
+    );
+
     telemetry::write_family(
         &mut out,
         "frost_http_request_duration_seconds",
@@ -2461,6 +2936,103 @@ fn traces_response(state: &ServerState) -> CachedResponse {
     encode_response(200, body.into())
 }
 
+/// `GET /replication/wal?from=<offset>`: the long-poll WAL tail. The
+/// reply is a [`StreamPreamble`] followed by the raw CRC-framed WAL
+/// bytes from `from` to the durable length — exactly the bytes a
+/// single-node recovery would replay. When the caller is current the
+/// request is held open (condvar, no locks) up to `wait_ms` waiting
+/// for the next append; a snapshot-epoch mismatch answers immediately
+/// with empty frames so the caller re-bootstraps.
+///
+/// The poll doubles as the replication acknowledgement: a caller
+/// asking for bytes past `from` has everything before `from` durable,
+/// which is what `--sync-replication` writers wait on.
+fn replication_wal_response(
+    state: &ServerState,
+    from: u64,
+    wait_ms: u64,
+    snap: Option<SnapshotId>,
+) -> CachedResponse {
+    let hub = &state.hub;
+    let (current_snap, _, _) = hub.position();
+    let snap = snap.unwrap_or(current_snap);
+    hub.note_poll(snap, from);
+    let wait = Duration::from_millis(wait_ms.min(MAX_POLL_WAIT_MS));
+    hub.wait_for_data(from, snap, wait);
+    // Serve under the writer lock so position and file bytes stay
+    // consistent — no append or compaction can race the read.
+    let writer = state.writer.lock();
+    let Some(d) = writer.as_ref() else {
+        return encode_response(
+            400,
+            error_body("store is volatile (no WAL): replication unavailable").into(),
+        );
+    };
+    let snapshot_id = d.snapshot_id();
+    let wal_len = d.wal_len();
+    let records = d.wal_records();
+    let frames: Vec<u8> = if snap == snapshot_id && from >= WAL_HEADER_LEN && from < wal_len {
+        match d.read_wal() {
+            Ok(bytes) => bytes
+                .get(from as usize..)
+                .map(<[u8]>::to_vec)
+                .unwrap_or_default(),
+            Err(e) => {
+                return encode_response(500, error_body(&format!("WAL read failed: {e}")).into());
+            }
+        }
+    } else {
+        Vec::new()
+    };
+    drop(writer);
+    hub.add_streamed(frames.len() as u64);
+    let preamble = StreamPreamble {
+        primary: hub.is_primary(),
+        snapshot: snapshot_id,
+        wal_len,
+        records,
+    };
+    let mut body = Vec::with_capacity(replication::STREAM_PREAMBLE_LEN + frames.len());
+    body.extend_from_slice(&preamble.encode());
+    body.extend_from_slice(&frames);
+    encode_text(200, body, CONTENT_TYPE_BINARY)
+}
+
+/// `GET /replication/snapshot`: preamble + the exact current FROSTB
+/// snapshot bytes — the replica bootstrap payload. Served under the
+/// writer lock so a concurrent compaction cannot swap the file
+/// mid-read.
+fn replication_snapshot_response(state: &ServerState) -> CachedResponse {
+    let writer = state.writer.lock();
+    let Some(d) = writer.as_ref() else {
+        return encode_response(
+            400,
+            error_body("store is volatile (no snapshot): replication unavailable").into(),
+        );
+    };
+    let bytes = match d.read_snapshot() {
+        Ok(bytes) => bytes,
+        Err(e) => {
+            return encode_response(
+                500,
+                error_body(&format!("snapshot read failed: {e}")).into(),
+            );
+        }
+    };
+    let preamble = StreamPreamble {
+        primary: state.hub.is_primary(),
+        snapshot: d.snapshot_id(),
+        wal_len: d.wal_len(),
+        records: d.wal_records(),
+    };
+    drop(writer);
+    state.hub.add_streamed(bytes.len() as u64);
+    let mut body = Vec::with_capacity(replication::STREAM_PREAMBLE_LEN + bytes.len());
+    body.extend_from_slice(&preamble.encode());
+    body.extend_from_slice(&bytes);
+    encode_text(200, body, CONTENT_TYPE_BINARY)
+}
+
 /// The write-method dispatcher: `POST /experiments` (CSV import),
 /// `DELETE /experiments/<name>`, `POST /snapshot/save`. Anything else
 /// reached with a write method is a 405.
@@ -2520,6 +3092,20 @@ enum Routed {
     Prometheus,
     /// `GET /debug/traces`: the last-N request traces. Never cached.
     Traces,
+    /// `GET /replication/wal?from=<offset>`: long-poll WAL tail for
+    /// replicas. Never cached.
+    ReplicationWal {
+        from: u64,
+        wait_ms: u64,
+        /// The snapshot epoch the caller's WAL applies over; a
+        /// mismatch with ours means the caller must re-bootstrap, so
+        /// the server answers immediately with empty frames. `None`
+        /// (parameters absent) means "whatever the server has".
+        snap: Option<SnapshotId>,
+    },
+    /// `GET /replication/snapshot`: the current FROSTB snapshot bytes
+    /// (replica bootstrap). Never cached.
+    ReplicationSnapshot,
 }
 
 fn build_request(path: &str, params: &Params) -> Result<Routed, (u16, String)> {
@@ -2672,6 +3258,32 @@ fn build_request(path: &str, params: &Params) -> Result<Routed, (u16, String)> {
         "/healthz" => Ok(Routed::Health),
         "/readyz" => Ok(Routed::Ready),
         "/debug/traces" => Ok(Routed::Traces),
+        "/replication/wal" => {
+            let from = parse_param(params, "from", "", |s| s.parse::<u64>().ok())?;
+            let wait_ms = parse_param(
+                params,
+                "wait_ms",
+                &replication::REPLICA_POLL_WAIT_MS.to_string(),
+                |s| s.parse::<u64>().ok(),
+            )?;
+            let snap = match (params.get("snap_len"), params.get("snap_crc")) {
+                (Some(len), Some(crc)) => Some(SnapshotId {
+                    len: len
+                        .parse()
+                        .map_err(|_| (400, error_body("bad snap_len value")))?,
+                    crc: crc
+                        .parse()
+                        .map_err(|_| (400, error_body("bad snap_crc value")))?,
+                }),
+                _ => None,
+            };
+            Ok(Routed::ReplicationWal {
+                from,
+                wait_ms,
+                snap,
+            })
+        }
+        "/replication/snapshot" => Ok(Routed::ReplicationSnapshot),
         other => Err((404, error_body(&format!("no such endpoint {other:?}")))),
     }
 }

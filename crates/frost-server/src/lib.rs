@@ -31,6 +31,10 @@
 //!   traces (`GET /debug/traces`, `--slow-request-ms`), lock-free
 //!   latency histograms keyed by endpoint × cost class, and the
 //!   Prometheus text exposition behind `GET /metrics`.
+//! * [`replication`] — WAL-shipping primary/replica roles: replicas
+//!   bootstrap from the primary's FROSTB snapshot, tail its FROSTW
+//!   WAL over a long-poll endpoint, and serve the full read surface;
+//!   `POST /replication/promote` flips a replica into a primary.
 //!
 //! Start-up pairs with the `FROSTB` snapshot format
 //! ([`frost_storage::snapshot`]): `frostd` accepts either a CSV store
@@ -41,6 +45,7 @@ pub mod client;
 mod event_loop;
 pub mod http;
 pub mod json;
+pub mod replication;
 pub mod telemetry;
 
 pub use http::{run_daemon, serve, serve_with, ServeOptions, ServerHandle, ServerState};

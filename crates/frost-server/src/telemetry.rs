@@ -141,10 +141,16 @@ pub enum Endpoint {
     /// `POST /snapshot/save`.
     Snapshot = 20,
     Other = 21,
+    /// `GET /replication/wal` — the replica long-poll WAL stream.
+    ReplicationWal = 22,
+    /// `GET /replication/snapshot` — the replica bootstrap download.
+    ReplicationSnapshot = 23,
+    /// `POST /replication/promote` — the explicit failover trigger.
+    Promote = 24,
 }
 
 /// Number of [`Endpoint`] labels.
-pub const ENDPOINT_COUNT: usize = 22;
+pub const ENDPOINT_COUNT: usize = 25;
 
 impl Endpoint {
     /// Every label, in index order.
@@ -171,6 +177,9 @@ impl Endpoint {
         Endpoint::Delete,
         Endpoint::Snapshot,
         Endpoint::Other,
+        Endpoint::ReplicationWal,
+        Endpoint::ReplicationSnapshot,
+        Endpoint::Promote,
     ];
 
     /// Maps a request line to its label without allocating.
@@ -198,12 +207,15 @@ impl Endpoint {
                 "/healthz" => Endpoint::Healthz,
                 "/readyz" => Endpoint::Readyz,
                 "/debug/traces" => Endpoint::Traces,
+                "/replication/wal" => Endpoint::ReplicationWal,
+                "/replication/snapshot" => Endpoint::ReplicationSnapshot,
                 p if p.starts_with("/debug/") => Endpoint::Debug,
                 _ => Endpoint::Other,
             },
             "POST" => match path {
                 "/experiments" => Endpoint::Import,
                 "/snapshot/save" => Endpoint::Snapshot,
+                "/replication/promote" => Endpoint::Promote,
                 _ => Endpoint::Other,
             },
             "DELETE" => Endpoint::Delete,
@@ -236,6 +248,9 @@ impl Endpoint {
             Endpoint::Delete => "delete",
             Endpoint::Snapshot => "snapshot",
             Endpoint::Other => "other",
+            Endpoint::ReplicationWal => "replication_wal",
+            Endpoint::ReplicationSnapshot => "replication_snapshot",
+            Endpoint::Promote => "promote",
         }
     }
 
@@ -244,7 +259,7 @@ impl Endpoint {
     pub fn class_name(self) -> &'static str {
         match self {
             Endpoint::Compare | Endpoint::Diagram | Endpoint::Venn | Endpoint::Debug => "compute",
-            Endpoint::Import | Endpoint::Delete | Endpoint::Snapshot => "write",
+            Endpoint::Import | Endpoint::Delete | Endpoint::Snapshot | Endpoint::Promote => "write",
             _ => "cached",
         }
     }

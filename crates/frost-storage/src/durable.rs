@@ -136,6 +136,9 @@ pub struct DurableStore {
     /// Length of the durable prefix: header + every fully appended
     /// frame. Rollback truncates to this.
     wal_len: u64,
+    /// Frames in the durable prefix — the record coordinate that
+    /// replication lag is reported in.
+    records: u64,
     /// Whether frames have been appended since the last fsync.
     dirty: bool,
     last_sync: Instant,
@@ -196,6 +199,7 @@ impl DurableStore {
             policy,
             snapshot_id: id,
             wal_len: WAL_HEADER_LEN,
+            records: 0,
             dirty: false,
             last_sync: Instant::now(),
             poisoned: false,
@@ -236,6 +240,7 @@ impl DurableStore {
         }
         report.replayed = scan.ops.len();
         durable.wal_len = scan.valid_len;
+        durable.records = scan.ops.len() as u64;
         Ok((store, durable, report))
     }
 
@@ -247,6 +252,7 @@ impl DurableStore {
         self.fs.rename(&tmp, &self.wal_path)?;
         self.snapshot_id = id;
         self.wal_len = WAL_HEADER_LEN;
+        self.records = 0;
         self.dirty = false;
         Ok(())
     }
@@ -267,6 +273,7 @@ impl DurableStore {
             return Err(e.into());
         }
         self.wal_len += frame.len() as u64;
+        self.records += 1;
         self.dirty = true;
         let due = match self.policy {
             FsyncPolicy::Always => true,
@@ -279,6 +286,7 @@ impl DurableStore {
                 // failed fsync the page cache is no longer trusted to
                 // hold *earlier* acknowledged frames either — poison.
                 self.wal_len -= frame.len() as u64;
+                self.records -= 1;
                 self.rollback();
                 self.poisoned = true;
                 return Err(e.into());
@@ -329,6 +337,29 @@ impl DurableStore {
         Arc::clone(&self.stats)
     }
 
+    /// Replace the stats handle so a store swapped in at runtime (a
+    /// replica re-bootstrapping from a fresh snapshot) keeps feeding
+    /// the histograms the server already exports.
+    pub fn set_wal_stats(&mut self, stats: Arc<WalStats>) {
+        self.stats = stats;
+    }
+
+    /// Reads the durable WAL prefix back through the store's
+    /// filesystem: header plus every fully appended frame. Bytes past
+    /// the durable length (a torn append that was rolled back) are
+    /// excluded — this is exactly what replication ships.
+    pub fn read_wal(&self) -> Result<Vec<u8>, DurableError> {
+        let mut bytes = self.fs.read(&self.wal_path)?;
+        bytes.truncate(self.wal_len as usize);
+        Ok(bytes)
+    }
+
+    /// Reads the current snapshot file through the store's filesystem
+    /// (the replica-bootstrap payload).
+    pub fn read_snapshot(&self) -> Result<Vec<u8>, DurableError> {
+        Ok(self.fs.read(&self.snapshot_path)?)
+    }
+
     /// Folds `store` (the current in-memory state, WAL ops included)
     /// into a fresh snapshot and resets the WAL, both via atomic
     /// rename. Logically a no-op: a crash at any boundary recovers to
@@ -367,6 +398,11 @@ impl DurableStore {
     /// compaction) — the server's compaction trigger input.
     pub fn wal_backlog(&self) -> u64 {
         self.wal_len - WAL_HEADER_LEN
+    }
+
+    /// Frames in the durable WAL prefix (0 right after compaction).
+    pub fn wal_records(&self) -> u64 {
+        self.records
     }
 
     /// Whether the writer has been poisoned by an I/O failure.

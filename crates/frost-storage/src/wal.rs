@@ -392,6 +392,68 @@ fn lenient_varint(bytes: &[u8], mut pos: usize) -> Option<(u64, usize)> {
     None
 }
 
+/// The result of scanning a headerless frame stream
+/// ([`scan_stream`]): the decoded complete-frame prefix plus how many
+/// bytes it spanned, so a tailing replica knows exactly where its next
+/// poll should resume.
+#[derive(Debug)]
+pub struct StreamScan {
+    /// Operations decoded from the complete frames at the front of the
+    /// buffer.
+    pub ops: Vec<WalOp>,
+    /// Bytes consumed by those frames. Anything past this is an
+    /// incomplete frame still in flight — keep it (or drop it and
+    /// re-request from `from + consumed`).
+    pub consumed: usize,
+}
+
+/// Scans a *headerless* run of WAL frames as shipped over the
+/// replication stream: decodes every complete frame from the front and
+/// reports how many bytes they covered. An incomplete final frame is
+/// normal (the primary may flush mid-frame, or the connection may drop
+/// mid-frame) and simply isn't consumed; a *complete* frame that fails
+/// its CRC or decodes to an invalid op is an error — on a stream there
+/// is no torn-tail excuse for a fully delivered bad frame.
+pub fn scan_stream(bytes: &[u8]) -> Result<StreamScan, WalError> {
+    let mut ops = Vec::new();
+    let mut pos = 0usize;
+    loop {
+        if pos == bytes.len() {
+            return Ok(StreamScan { ops, consumed: pos });
+        }
+        // An undecodable or truncated length varint can't delimit a
+        // frame yet: wait for more bytes.
+        let Some((len, payload_start)) = lenient_varint(bytes, pos) else {
+            return Ok(StreamScan { ops, consumed: pos });
+        };
+        let Some(frame_end) = (len as usize)
+            .checked_add(4)
+            .and_then(|n| payload_start.checked_add(n))
+            .filter(|&e| e <= bytes.len())
+        else {
+            return Ok(StreamScan { ops, consumed: pos });
+        };
+        let payload = &bytes[payload_start..payload_start + len as usize];
+        let stored_crc = u32::from_le_bytes(bytes[frame_end - 4..frame_end].try_into().unwrap());
+        if crc32(payload) != stored_crc {
+            return Err(WalError::Corrupted {
+                offset: pos as u64,
+                reason: "frame checksum mismatch".into(),
+            });
+        }
+        match WalOp::decode(payload) {
+            Ok(op) => ops.push(op),
+            Err(e) => {
+                return Err(WalError::Corrupted {
+                    offset: pos as u64,
+                    reason: format!("undecodable op: {e}"),
+                })
+            }
+        }
+        pos = frame_end;
+    }
+}
+
 /// Scans WAL bytes: validates the header, decodes the longest valid
 /// prefix of frames and classifies the tail. Only a bad *header* is a
 /// hard error here — tail policy is the caller's.
@@ -605,6 +667,41 @@ mod tests {
         // Replay rebuilds the import-time artifacts.
         assert_eq!(replayed.clustering.num_records(), 4);
         assert_eq!(replayed.pair_set.len(), replayed.experiment.len());
+    }
+
+    #[test]
+    fn stream_scan_consumes_exactly_the_complete_frames() {
+        let mut stream = Vec::new();
+        let mut boundaries = vec![0usize];
+        for op in sample_ops() {
+            stream.extend_from_slice(&encode_frame(&op));
+            boundaries.push(stream.len());
+        }
+        let all = sample_ops();
+        for cut in 0..=stream.len() {
+            let scanned = scan_stream(&stream[..cut]).unwrap();
+            // `consumed` is the largest frame boundary ≤ cut, and the
+            // decoded ops are exactly the frames before it.
+            let expect = *boundaries.iter().filter(|&&b| b <= cut).max().unwrap();
+            assert_eq!(scanned.consumed, expect, "cut at {cut}");
+            assert_eq!(scanned.ops, all[..scanned.ops.len()]);
+        }
+    }
+
+    #[test]
+    fn stream_scan_rejects_a_complete_bad_frame() {
+        let mut stream = encode_frame(&sample_ops()[0]);
+        let mid = stream.len() / 2;
+        stream[mid] ^= 0x40;
+        assert!(matches!(
+            scan_stream(&stream),
+            Err(WalError::Corrupted { offset: 0, .. })
+        ));
+        // But the same damage while the frame is still incomplete is
+        // just "wait for more bytes".
+        let scanned = scan_stream(&stream[..stream.len() - 1]).unwrap();
+        assert!(scanned.ops.is_empty());
+        assert_eq!(scanned.consumed, 0);
     }
 
     #[test]

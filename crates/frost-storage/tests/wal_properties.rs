@@ -14,13 +14,18 @@
 //!   turn (clean error, short write, simulated crash); reopening from
 //!   disk always yields one of the script's consistent states, never a
 //!   torn one.
+//! * **Stream prefix**: any byte-prefix of a replication frame stream
+//!   (the body `GET /replication/wal` ships) applies exactly its
+//!   complete-record prefix, and resuming from the consumed offset
+//!   completes the stream — a primary dying mid-frame can never
+//!   half-apply a record on a replica, and the reconnect realigns.
 
 use frost_core::clustering::Clustering;
 use frost_core::dataset::{Dataset, Experiment, Schema, ScoredPair};
 use frost_storage::durable::{DurableError, DurableStore};
 use frost_storage::fault::{FailFs, FailMode, FailpointFs, RealFs};
 use frost_storage::snapshot;
-use frost_storage::wal::{encode_frame, WalError, WalOp, WAL_HEADER_LEN};
+use frost_storage::wal::{encode_frame, scan_stream, WalError, WalOp, WAL_HEADER_LEN};
 use frost_storage::{BenchmarkStore, FsyncPolicy};
 use proptest::prelude::*;
 use std::path::PathBuf;
@@ -212,6 +217,58 @@ proptest! {
             }
         }
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A replica fed any byte-prefix of a frame stream applies exactly
+    /// the whole frames in it, and a reconnect resuming at the
+    /// consumed offset yields the rest — prefix + remainder is
+    /// byte-identical to applying every op.
+    #[test]
+    fn stream_prefix_applies_whole_frames_and_resumes_at_the_cut(
+        raw in prop::collection::vec((0u32..16, 0u32..16, 0u32..200), 2..12),
+        deletes in prop::collection::vec(0u32..2, 0..6),
+        cut_seed in 0u64..1_000_000,
+    ) {
+        let ops = build_ops(&raw, &deletes);
+        prop_assume!(!ops.is_empty());
+        let mut stream = Vec::new();
+        let mut bounds = vec![0usize];
+        for op in &ops {
+            stream.extend_from_slice(&encode_frame(op));
+            bounds.push(stream.len());
+        }
+
+        let cut = (cut_seed as usize) % (stream.len() + 1);
+        let first = scan_stream(&stream[..cut]).unwrap();
+        let surviving = bounds.iter().rposition(|&b| b <= cut).unwrap();
+        prop_assert_eq!(
+            first.consumed, bounds[surviving],
+            "consumption must stop at the last whole-frame boundary"
+        );
+        prop_assert_eq!(first.ops.len(), surviving);
+
+        let mut store = seed_store();
+        for op in &first.ops {
+            op.apply(&mut store).unwrap();
+        }
+        prop_assert_eq!(
+            snapshot::to_bytes(&store).unwrap(),
+            expected_bytes(&ops, surviving),
+            "a partial stream applies exactly its complete-record prefix"
+        );
+
+        // The reconnect: poll again from the consumed offset.
+        let resumed = scan_stream(&stream[first.consumed..]).unwrap();
+        prop_assert_eq!(resumed.consumed, stream.len() - first.consumed);
+        prop_assert_eq!(resumed.ops.len(), ops.len() - surviving);
+        for op in &resumed.ops {
+            op.apply(&mut store).unwrap();
+        }
+        prop_assert_eq!(
+            snapshot::to_bytes(&store).unwrap(),
+            expected_bytes(&ops, ops.len()),
+            "prefix + resumed remainder must equal the full stream"
+        );
     }
 }
 

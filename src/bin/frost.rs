@@ -17,7 +17,8 @@
 //! frost serve    <store.frostb | store-dir> [port]
 //! frost get      [--timing] <url>...
 //! frost herd     <host:port> <connections> [probe-target]
-//! frost import   <host:port> <dataset> <name> <experiment.csv>
+//! frost import   <host:port[,host:port...]> <dataset> <name> <experiment.csv>
+//! frost promote  <host:port>
 //! ```
 //!
 //! Datasets are CSV with an `id` column; gold standards and experiments
@@ -27,7 +28,12 @@
 //! the binary `FROSTB` at-rest format, and `serve` starts the `frostd`
 //! HTTP server on either. `import` uploads an experiment pair list to
 //! a running server (`POST /experiments`), which journals it to the
-//! WAL when serving a snapshot. `get --timing` reports client-side
+//! WAL when serving a snapshot; a comma-separated authority list is
+//! an ordered failover list — a replica's `Frost-Primary` hint and
+//! unreachable endpoints re-point the upload. `promote` flips a
+//! replica into a primary (`POST /replication/promote`), the manual
+//! failover step after a primary is lost. `get --timing` reports
+//! client-side
 //! per-request latency (connection reuse, time to first byte, total)
 //! on stderr, leaving the response bodies on stdout untouched.
 
@@ -103,6 +109,9 @@ enum Command {
         name: String,
         file: String,
     },
+    Promote {
+        authority: String,
+    },
 }
 
 const USAGE: &str = "\
@@ -119,7 +128,8 @@ usage:
   frost serve    <store.frostb | store-dir> [port]
   frost get      [--timing] <url>...
   frost herd     <host:port> <connections> [probe-target]
-  frost import   <host:port> <dataset> <name> <experiment.csv>
+  frost import   <host:port[,host:port...]> <dataset> <name> <experiment.csv>
+  frost promote  <host:port>
 ";
 
 fn parse_args(args: &[String]) -> Result<Command, String> {
@@ -244,6 +254,9 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             dataset: dataset.clone(),
             name: name.clone(),
             file: file.clone(),
+        }),
+        ("promote", [authority]) => Ok(Command::Promote {
+            authority: authority.clone(),
         }),
         _ => Err(USAGE.to_string()),
     }
@@ -598,9 +611,31 @@ fn run(command: Command) -> Result<(), String> {
             file,
         } => {
             let csv = read(&file)?;
-            let mut conn = frost_server::client::Connection::open(&authority)?;
+            // A comma-separated authority is an ordered failover
+            // list: the upload prefers the first reachable endpoint
+            // and follows a replica's Frost-Primary hint.
+            let endpoints: Vec<String> = authority.split(',').map(str::to_string).collect();
+            let mut conn = frost_server::client::Connection::open_failover(
+                &endpoints,
+                frost_server::client::RetryPolicy::default(),
+            )?;
             let target = format!("/experiments?dataset={dataset}&name={name}");
-            let (status, body) = conn.post(&target, csv.as_bytes())?;
+            let first_authority = conn.authority().to_string();
+            let (mut status, mut body) = conn.post(&target, csv.as_bytes())?;
+            if status == 503 && conn.authority() != first_authority {
+                // A replica declined the write and its Frost-Primary
+                // hint re-pointed the connection: the first node never
+                // applied anything, so one retry is safe.
+                (status, body) = conn.post(&target, csv.as_bytes())?;
+            }
+            println!("{body}");
+            if status >= 400 {
+                return Err(format!("HTTP {status}"));
+            }
+        }
+        Command::Promote { authority } => {
+            let mut conn = frost_server::client::Connection::open(&authority)?;
+            let (status, body) = conn.post("/replication/promote", &[])?;
             println!("{body}");
             if status >= 400 {
                 return Err(format!("HTTP {status}"));
